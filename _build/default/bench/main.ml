@@ -1,0 +1,284 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation on the synthetic suite, adds the ablation tables DESIGN.md
+   calls out, and times the analyses with Bechamel.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- quick   # skip the Bechamel timing runs *)
+
+let section title table =
+  Printf.printf "== %s ==\n" title;
+  Table.print table
+
+(* ---- ablation 1: strong updates ------------------------------------------------- *)
+
+let strong_update_ablation results =
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("name", Table.Left);
+          ("CI pairs", Table.Right); ("no strong updates", Table.Right);
+          ("extra pairs", Table.Right);
+          ("avg locs/indirect op", Table.Right); ("no-SU avg", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Figures.bench_result) ->
+      let weak =
+        Ci_solver.solve ~config:{ Ci_solver.default_config with Ci_solver.strong_updates = false } r.Figures.graph
+      in
+      let strong_pc = (Stats.ci_pair_counts r.Figures.ci).Stats.pc_total in
+      let weak_pc = (Stats.ci_pair_counts weak).Stats.pc_total in
+      let avg solver =
+        let ops = Vdg.indirect_memops r.Figures.graph in
+        let nonzero = ref 0 and sum = ref 0 in
+        List.iter
+          (fun ((n : Vdg.node), _) ->
+            let c = List.length (Ci_solver.referenced_locations solver n.Vdg.nid) in
+            if c > 0 then begin incr nonzero; sum := !sum + c end)
+          ops;
+        if !nonzero = 0 then 0. else float_of_int !sum /. float_of_int !nonzero
+      in
+      Table.add_row t
+        [
+          r.Figures.entry.Suite.profile.Profile.name;
+          Table.cell_int strong_pc;
+          Table.cell_int weak_pc;
+          Table.cell_int (weak_pc - strong_pc);
+          Table.cell_float (avg r.Figures.ci);
+          Table.cell_float (avg weak);
+        ])
+    results;
+  t
+
+(* ---- ablation 2: the flow-sensitivity spectrum ------------------------------------ *)
+
+(* average locations per recorded pointer dereference, under the two
+   flow-insensitive baselines, vs the framework's CI/CS at indirect ops *)
+let precision_spectrum results =
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("name", Table.Left);
+          ("Steensgaard avg", Table.Right); ("Andersen avg", Table.Right);
+          ("CI avg", Table.Right); ("CS avg", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Figures.bench_result) ->
+      let avg_fi memops =
+        let nonzero = ref 0 and sum = ref 0 in
+        List.iter
+          (fun (_, _, locs) ->
+            let c = List.length locs in
+            if c > 0 then begin incr nonzero; sum := !sum + c end)
+          memops;
+        if !nonzero = 0 then 0. else float_of_int !sum /. float_of_int !nonzero
+      in
+      let avg_fs locations_of =
+        let nonzero = ref 0 and sum = ref 0 in
+        List.iter
+          (fun ((n : Vdg.node), _) ->
+            let c = List.length (locations_of n.Vdg.nid) in
+            if c > 0 then begin incr nonzero; sum := !sum + c end)
+          (Vdg.indirect_memops r.Figures.graph);
+        if !nonzero = 0 then 0. else float_of_int !sum /. float_of_int !nonzero
+      in
+      let andersen = Andersen.analyze r.Figures.prog in
+      let steensgaard = Steensgaard.analyze r.Figures.prog in
+      Table.add_row t
+        [
+          r.Figures.entry.Suite.profile.Profile.name;
+          Table.cell_float (avg_fi (Steensgaard.memops steensgaard));
+          Table.cell_float (avg_fi (Andersen.memops andersen));
+          Table.cell_float (avg_fs (Ci_solver.referenced_locations r.Figures.ci));
+          Table.cell_float (avg_fs (Cs_solver.referenced_locations r.Figures.cs));
+        ])
+    results;
+  t
+
+(* ---- ablation 3: CS without the CI-derived pruning --------------------------------- *)
+
+let pruning_ablation () =
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("name", Table.Left);
+          ("CS meets (pruned)", Table.Right); ("CS meets (unpruned)", Table.Right);
+          ("blowup", Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      let entry = Option.get (Suite.find name) in
+      let g = Vdg_build.build (Suite.compile entry) in
+      let ci = Ci_solver.solve g in
+      let pruned = Cs_solver.solve g ~ci in
+      let unpruned =
+        Cs_solver.solve
+          ~config:{ Cs_solver.default_config with Cs_solver.ci_pruning = false }
+          g ~ci
+      in
+      Table.add_row t
+        [
+          name;
+          Table.cell_int (Cs_solver.flow_out_count pruned);
+          Table.cell_int (Cs_solver.flow_out_count unpruned);
+          Table.cell_float
+            (float_of_int (Cs_solver.flow_out_count unpruned)
+            /. float_of_int (max 1 (Cs_solver.flow_out_count pruned)));
+        ])
+    [ "allroots"; "backprop"; "anagram"; "part"; "span" ];
+  t
+
+(* ---- ablation 4: sparse (VDG) vs dense (CFG) representation ------------------------ *)
+
+(* the paper: the analyses "apply equally well to control-flow graph
+   representations; they merely run faster on the VDG because it is more
+   sparse" [Ruf95] *)
+let sparseness_ablation () =
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("name", Table.Left);
+          ("VDG nodes", Table.Right); ("CFG nodes", Table.Right);
+          ("VDG pairs", Table.Right); ("CFG pairs", Table.Right);
+          ("VDG CI time (s)", Table.Right); ("CFG CI time (s)", Table.Right);
+          ("slowdown", Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      let entry = Option.get (Suite.find name) in
+      let prog = Suite.compile entry in
+      let run mode =
+        let g = Vdg_build.build ~mode prog in
+        let t0 = Unix.gettimeofday () in
+        let ci = Ci_solver.solve g in
+        let dt = Unix.gettimeofday () -. t0 in
+        (Vdg.n_nodes g, (Stats.ci_pair_counts ci).Stats.pc_total, dt)
+      in
+      let sn, sp, st = run Vdg_build.Sparse in
+      let dn, dp, dt = run Vdg_build.Dense in
+      Table.add_row t
+        [
+          name;
+          Table.cell_int sn; Table.cell_int dn;
+          Table.cell_int sp; Table.cell_int dp;
+          Table.cell_float ~decimals:3 st; Table.cell_float ~decimals:3 dt;
+          Table.cell_float (dt /. Float.max 1e-6 st);
+        ])
+    [ "allroots"; "backprop"; "anagram"; "part"; "lex315"; "compiler" ];
+  t
+
+(* ---- Bechamel timing ------------------------------------------------------------------ *)
+
+let bechamel_benches () =
+  let open Bechamel in
+  let open Toolkit in
+  (* pre-compile the subjects so the timed region is only the analysis *)
+  let subjects =
+    List.map
+      (fun name ->
+        let entry = Option.get (Suite.find name) in
+        (name, Suite.compile entry))
+      [ "allroots"; "backprop"; "anagram"; "part"; "lex315" ]
+  in
+  let mk_test prefix f =
+    List.map
+      (fun (name, prog) ->
+        Test.make ~name:(prefix ^ "/" ^ name) (Staged.stage (fun () -> f prog)))
+      subjects
+  in
+  let tests =
+    List.concat
+      [
+        mk_test "vdg-build" (fun prog -> ignore (Vdg_build.build prog));
+        mk_test "ci" (fun prog ->
+            let g = Vdg_build.build prog in
+            ignore (Ci_solver.solve g));
+        mk_test "cs" (fun prog ->
+            let g = Vdg_build.build prog in
+            let ci = Ci_solver.solve g in
+            ignore (Cs_solver.solve g ~ci));
+        mk_test "andersen" (fun prog -> ignore (Andersen.analyze prog));
+        mk_test "steensgaard" (fun prog -> ignore (Steensgaard.analyze prog));
+      ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  let t =
+    Table.create
+      ~headers:[ ("benchmark", Table.Left); ("time per run", Table.Right) ]
+  in
+  let results = benchmark (Test.make_grouped ~name:"alias" ~fmt:"%s %s" tests) in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let nanos =
+        match Analyze.OLS.estimates ols with
+        | Some (v :: _) -> v
+        | _ -> nan
+      in
+      rows := (name, nanos) :: !rows)
+    results;
+  List.iter
+    (fun (name, nanos) ->
+      let cell =
+        if Float.is_nan nanos then "n/a"
+        else if nanos > 1e9 then Printf.sprintf "%.2f s" (nanos /. 1e9)
+        else if nanos > 1e6 then Printf.sprintf "%.2f ms" (nanos /. 1e6)
+        else Printf.sprintf "%.2f us" (nanos /. 1e3)
+      in
+      Table.add_row t [ name; cell ])
+    (List.sort compare !rows);
+  t
+
+(* ---- driver ----------------------------------------------------------------------------- *)
+
+let () =
+  let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  Printf.printf
+    "Reproducing: Ruf, \"Context-Insensitive Alias Analysis Reconsidered\" (PLDI 1995)\n";
+  Printf.printf "Benchmarks are deterministic synthetic stand-ins; see DESIGN.md.\n\n";
+  let results = Figures.analyze_suite () in
+  section "Figure 2: benchmark programs and their sizes in source and VDG form"
+    (Figures.figure2 results);
+  section "Figure 3: total points-to relationships (context-insensitive)"
+    (Figures.figure3 results);
+  section "Figure 4: points-to statistics for indirect memory reads and writes"
+    (Figures.figure4 results);
+  section "Figure 6: points-to relationships, context-sensitive vs insensitive"
+    (Figures.figure6 results);
+  let all_bd, spurious_bd = Figures.figure7 results in
+  section "Figure 7a: all context-insensitive pairs, by path and referent type" all_bd;
+  section "Figure 7b: spurious pairs only, by path and referent type" spurious_bd;
+  section "Headline (Section 4.3): CS vs CI at indirect memory operations"
+    (Figures.headline results);
+  section "Section 4.2: analysis cost (transfer functions, meets, time)"
+    (Figures.cost_table results);
+  section "Section 4.2: applicability of the CI-derived pruning optimizations"
+    (Figures.pruning_table results);
+  section "Section 5.1.2: call-graph sparsity" (Figures.callgraph_table results);
+  section "Ablation: strong updates disabled" (strong_update_ablation results);
+  section "Ablation: the precision spectrum (unification / inclusion / CI / CS)"
+    (precision_spectrum results);
+  section "Ablation: CS cost without CI-derived pruning" (pruning_ablation ());
+  section "Ablation: sparse (VDG) vs dense (CFG) representation"
+    (sparseness_ablation ());
+  if not quick then begin
+    print_endline "Bechamel timing (this takes a little while)...";
+    section "Timing (Bechamel, monotonic clock)" (bechamel_benches ())
+  end

@@ -1,0 +1,266 @@
+(* alias-analyze: command-line front door to the library.
+
+   Subcommands:
+     analyze <file.c>   parse, analyze, and report points-to facts
+     tables [names...]  regenerate the paper's figures for the suite
+     gen <name>         print a generated benchmark program
+     interp <file.c>    run a program under the concrete interpreter
+     bench-list         list the benchmark suite *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let with_frontend_errors f =
+  try f () with
+  | Srcloc.Error (loc, msg) ->
+    Printf.eprintf "%s: error: %s\n" (Srcloc.to_string loc) msg;
+    exit 1
+
+(* ---- analyze ----------------------------------------------------------------- *)
+
+let run_analyze file dump_sil dump_dot context_sensitive show_pairs =
+  with_frontend_errors @@ fun () ->
+  let prog = Norm.compile ~file (read_file file) in
+  if dump_sil then Format.printf "%a@." Sil.pp_program prog;
+  let g = Vdg_build.build prog in
+  if dump_dot then print_string (Vdg.to_dot g);
+  let ci = Ci_solver.solve g in
+  Printf.printf "functions: %d   VDG nodes: %d   alias-related outputs: %d\n"
+    (List.length prog.Sil.p_functions) (Vdg.n_nodes g)
+    (Stats.alias_related_outputs g);
+  let locations_of =
+    if context_sensitive then begin
+      let cs = Cs_solver.solve g ~ci in
+      Printf.printf "mode: context-sensitive (CS pairs: %d, CI pairs: %d)\n"
+        (Stats.cs_pair_counts cs g).Stats.pc_total
+        (Stats.ci_pair_counts ci).Stats.pc_total;
+      Cs_solver.referenced_locations cs
+    end
+    else begin
+      Printf.printf "mode: context-insensitive (pairs: %d)\n"
+        (Stats.ci_pair_counts ci).Stats.pc_total;
+      Ci_solver.referenced_locations ci
+    end
+  in
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("function", Table.Left); ("op", Table.Left); ("where", Table.Left);
+          ("may touch", Table.Left);
+        ]
+  in
+  List.iter
+    (fun ((n : Vdg.node), rw) ->
+      Table.add_row t
+        [
+          n.Vdg.nfun;
+          (match rw with `Read -> "read" | `Write -> "write");
+          (match Vdg.loc_of g n.Vdg.nid with
+          | Some l -> Srcloc.to_string l
+          | None -> "-");
+          String.concat ", " (List.map Apath.to_string (locations_of n.Vdg.nid));
+        ])
+    (Vdg.indirect_memops g);
+  print_endline "indirect memory operations:";
+  Table.print t;
+  if show_pairs then begin
+    print_endline "points-to pairs per alias-related output:";
+    Vdg.iter_nodes g (fun n ->
+        let set = Ci_solver.pairs ci n.Vdg.nid in
+        if Ptpair.Set.cardinal set > 0 && Vdg.is_alias_related n.Vdg.ntype then begin
+          Printf.printf "  node %d (%s, in %s):\n" n.Vdg.nid
+            (Vdg.string_of_kind n.Vdg.nkind) n.Vdg.nfun;
+          Ptpair.Set.iter
+            (fun p -> Printf.printf "    %s\n" (Ptpair.to_string p))
+            set
+        end)
+  end
+
+let analyze_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c") in
+  let dump_sil =
+    Arg.(value & flag & info [ "dump-sil" ] ~doc:"Print the SIL lowering.")
+  in
+  let cs =
+    Arg.(value & flag & info [ "context-sensitive"; "s" ]
+           ~doc:"Use the context-sensitive solver for the report.")
+  in
+  let pairs =
+    Arg.(value & flag & info [ "pairs" ] ~doc:"Dump all points-to pairs.")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Print the VDG in GraphViz format.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the points-to analysis on a C file")
+    Term.(const run_analyze $ file $ dump_sil $ dot $ cs $ pairs)
+
+(* ---- conflicts ----------------------------------------------------------------- *)
+
+let run_conflicts file =
+  with_frontend_errors @@ fun () ->
+  let prog = Norm.compile ~file (read_file file) in
+  let g = Vdg_build.build prog in
+  let ci = Ci_solver.solve g in
+  let modref = Modref.of_ci ci in
+  List.iter
+    (fun fd ->
+      let fname = fd.Sil.fd_name in
+      if fname <> Sil.global_init_name then begin
+        let conflicts = Query.conflicts_in modref fname in
+        if conflicts <> [] then begin
+          Printf.printf "%s: %d conflicting operation pair(s)\n" fname
+            (List.length conflicts);
+          List.iter
+            (fun c ->
+              let where op =
+                match op.Modref.op_loc with
+                | Some l -> Srcloc.to_string l
+                | None -> "<entry>"
+              in
+              Printf.printf "  %s %s <-> %s %s on { %s }\n"
+                (match c.Query.cf_a.Modref.op_rw with `Read -> "read" | `Write -> "write")
+                (where c.Query.cf_a)
+                (match c.Query.cf_b.Modref.op_rw with `Read -> "read" | `Write -> "write")
+                (where c.Query.cf_b)
+                (String.concat ", " (List.map Apath.to_string c.Query.cf_common)))
+            conflicts
+        end
+      end)
+    prog.Sil.p_functions
+
+let conflicts_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c") in
+  Cmd.v
+    (Cmd.info "conflicts"
+       ~doc:"Report operation pairs that may touch the same storage")
+    Term.(const run_conflicts $ file)
+
+(* ---- purity -------------------------------------------------------------------- *)
+
+let run_purity file =
+  with_frontend_errors @@ fun () ->
+  let prog = Norm.compile ~file (read_file file) in
+  let g = Vdg_build.build prog in
+  let ci = Ci_solver.solve g in
+  List.iter
+    (fun fd ->
+      let fname = fd.Sil.fd_name in
+      if fname <> Sil.global_init_name then
+        Printf.printf "%-24s %s\n" fname
+          (match Query.classify_purity g ci fname with
+          | Query.Pure -> "pure"
+          | Query.Impure_writes -> "writes memory"
+          | Query.Impure_calls ext -> "calls extern '" ^ ext ^ "'"))
+    prog.Sil.p_functions
+
+let purity_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c") in
+  Cmd.v
+    (Cmd.info "purity" ~doc:"Classify each function's memory purity")
+    Term.(const run_purity $ file)
+
+(* ---- tables ------------------------------------------------------------------- *)
+
+let run_tables names =
+  let names = match names with [] -> None | l -> Some l in
+  let results = Figures.analyze_suite ?names () in
+  let section title table =
+    Printf.printf "== %s ==\n" title;
+    Table.print table
+  in
+  section "Figure 2: benchmark programs and their sizes" (Figures.figure2 results);
+  section "Figure 3: total points-to pairs (context-insensitive)"
+    (Figures.figure3 results);
+  section "Figure 4: indirect memory reads and writes" (Figures.figure4 results);
+  section "Figure 6: context-sensitive pairs vs context-insensitive"
+    (Figures.figure6 results);
+  let all_bd, spurious_bd = Figures.figure7 results in
+  section "Figure 7a: all CI pairs by path and referent type" all_bd;
+  section "Figure 7b: spurious pairs by path and referent type" spurious_bd;
+  section "Headline (Section 4.3): CS vs CI at indirect operations"
+    (Figures.headline results);
+  section "Section 4.2: analysis cost" (Figures.cost_table results);
+  section "Section 4.2: CI-based pruning applicability" (Figures.pruning_table results);
+  section "Section 5.1.2: call-graph sparsity" (Figures.callgraph_table results)
+
+let tables_cmd =
+  let names = Arg.(value & pos_all string [] & info [] ~docv:"BENCHMARK") in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run_tables $ names)
+
+(* ---- gen ----------------------------------------------------------------------- *)
+
+let run_gen name =
+  match Suite.find name with
+  | Some entry -> print_string (Suite.source entry)
+  | None ->
+    Printf.eprintf "unknown benchmark '%s'; try bench-list\n" name;
+    exit 1
+
+let gen_cmd =
+  let bench_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Print a generated benchmark program")
+    Term.(const run_gen $ bench_arg)
+
+(* ---- interp -------------------------------------------------------------------- *)
+
+let run_interp file fuel trace =
+  with_frontend_errors @@ fun () ->
+  let prog = Norm.compile ~file (read_file file) in
+  let res = Interp.run ~fuel prog in
+  print_string res.Interp.output;
+  (match res.Interp.outcome with
+  | Interp.Exit code -> Printf.printf "[exit %Ld after %d steps]\n" code res.Interp.steps
+  | Interp.Out_of_fuel -> Printf.printf "[out of fuel after %d steps]\n" res.Interp.steps
+  | Interp.Trap msg -> Printf.printf "[trap: %s]\n" msg);
+  if trace then
+    List.iter
+      (fun ob -> print_endline ("  " ^ Interp.string_of_observation ob))
+      res.Interp.observations
+
+let interp_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c") in
+  let fuel =
+    Arg.(value & opt int 1_000_000 & info [ "fuel" ] ~doc:"Step budget.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print every observed dereference.")
+  in
+  Cmd.v
+    (Cmd.info "interp" ~doc:"Run a C file under the concrete interpreter")
+    Term.(const run_interp $ file $ fuel $ trace)
+
+(* ---- bench-list ----------------------------------------------------------------- *)
+
+let run_bench_list () =
+  List.iter
+    (fun e ->
+      Printf.printf "%-10s  %5d paper lines\n" e.Suite.profile.Profile.name
+        e.Suite.paper_lines)
+    Suite.benchmarks
+
+let bench_list_cmd =
+  Cmd.v
+    (Cmd.info "bench-list" ~doc:"List the benchmark suite")
+    Term.(const run_bench_list $ const ())
+
+let () =
+  let doc = "points-to alias analysis for C (Ruf, PLDI 1995 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "alias-analyze" ~doc)
+          [ analyze_cmd; tables_cmd; gen_cmd; interp_cmd; bench_list_cmd;
+            conflicts_cmd; purity_cmd ]))

@@ -1,0 +1,1 @@
+examples/callgraph.ml: Absloc Ci_solver Hashtbl List Norm Option Printf Sil Steensgaard String Vdg Vdg_build

@@ -1,0 +1,1 @@
+examples/context_compare.ml: Apath Ci_solver Cs_solver List Norm Option Printf Stats String Vdg Vdg_build

@@ -1,0 +1,1 @@
+examples/dead_store_finder.ml: Apath Ci_solver List Modref Norm Printf Srcloc String Vdg Vdg_build

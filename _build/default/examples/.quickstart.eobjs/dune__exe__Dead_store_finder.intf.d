@@ -1,0 +1,1 @@
+examples/dead_store_finder.mli:

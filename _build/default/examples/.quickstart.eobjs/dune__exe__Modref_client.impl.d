@@ -1,0 +1,1 @@
+examples/modref_client.ml: Apath Ci_solver List Modref Norm Printf Sil String Vdg_build

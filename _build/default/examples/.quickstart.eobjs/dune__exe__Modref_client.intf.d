@@ -1,0 +1,1 @@
+examples/modref_client.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apath Ci_solver Interp List Norm Printf Srcloc Stats String Vdg Vdg_build

@@ -1,0 +1,67 @@
+(* Quickstart: compile a C program, run the context-insensitive points-to
+   analysis, and ask what each pointer dereference can touch.
+
+     dune exec examples/quickstart.exe *)
+
+let program =
+  {|
+typedef struct node { int val; struct node *next; } node_t;
+
+int counter;
+int *active;
+
+node_t *push(node_t *head, int v) {
+  node_t *n = (node_t *)malloc(sizeof(node_t));
+  n->val = v;
+  n->next = head;
+  return n;
+}
+
+int total(node_t *l) {
+  int s = 0;
+  while (l) { s += l->val; l = l->next; }
+  return s;
+}
+
+int main(int argc, char **argv) {
+  node_t *stack = 0;
+  int i;
+  active = &counter;
+  for (i = 0; i < 4; i++) stack = push(stack, i);
+  *active = total(stack);
+  return counter;
+}
+|}
+
+let () =
+  (* 1. frontend: preprocess, parse, type check, lower to SIL *)
+  let prog = Norm.compile ~file:"quickstart.c" program in
+
+  (* 2. build the value dependence graph (SSA + threaded store) *)
+  let graph = Vdg_build.build prog in
+  Printf.printf "VDG: %d nodes, %d alias-related outputs\n\n" (Vdg.n_nodes graph)
+    (Stats.alias_related_outputs graph);
+
+  (* 3. run the context-insensitive points-to analysis (paper, Figure 1) *)
+  let ci = Ci_solver.solve graph in
+
+  (* 4. query: what may each indirect memory operation touch? *)
+  print_endline "indirect memory operations:";
+  List.iter
+    (fun ((n : Vdg.node), rw) ->
+      let targets = Ci_solver.referenced_locations ci n.Vdg.nid in
+      Printf.printf "  %-5s in %-8s %s -> { %s }\n"
+        (match rw with `Read -> "read" | `Write -> "write")
+        n.Vdg.nfun
+        (match Vdg.loc_of graph n.Vdg.nid with
+        | Some l -> Srcloc.to_string l
+        | None -> "<entry>")
+        (String.concat ", " (List.map Apath.to_string targets)))
+    (Vdg.indirect_memops graph);
+
+  (* 5. sanity-check the program actually runs (concrete interpreter) *)
+  let res = Interp.run prog in
+  (match res.Interp.outcome with
+  | Interp.Exit code -> Printf.printf "\nconcrete run: exit %Ld (sum 0+1+2+3 = 6)\n" code
+  | Interp.Out_of_fuel -> print_endline "\nconcrete run: out of fuel"
+  | Interp.Trap m -> Printf.printf "\nconcrete run: trap (%s)\n" m)

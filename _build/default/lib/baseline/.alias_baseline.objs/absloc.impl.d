@@ -1,0 +1,1 @@
+lib/baseline/absloc.ml: Apath Hashtbl List Printf Sil

@@ -1,0 +1,1 @@
+lib/baseline/absloc.mli: Apath Sil

@@ -1,0 +1,1 @@
+lib/baseline/andersen.ml: Absloc Array Fi_constraints Hashtbl List Queue Sil

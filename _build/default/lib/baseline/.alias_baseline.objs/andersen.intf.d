@@ -1,0 +1,1 @@
+lib/baseline/andersen.mli: Absloc Sil Srcloc

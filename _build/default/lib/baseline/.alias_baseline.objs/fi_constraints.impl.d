@@ -1,0 +1,1 @@
+lib/baseline/fi_constraints.ml: Absloc Array Ctype Extern_summary Hashtbl List Sil Srcloc

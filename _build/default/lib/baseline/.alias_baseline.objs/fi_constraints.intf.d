@@ -1,0 +1,1 @@
+lib/baseline/fi_constraints.mli: Absloc Hashtbl Sil Srcloc

@@ -1,0 +1,1 @@
+lib/baseline/steensgaard.ml: Absloc Array Fi_constraints Hashtbl List Sil

@@ -1,0 +1,1 @@
+lib/baseline/steensgaard.mli: Absloc Sil Srcloc

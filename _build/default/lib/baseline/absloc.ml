@@ -1,0 +1,62 @@
+type t =
+  | Lvar of int * string
+  | Lheap of int
+  | Lstr of int
+  | Lfun of string
+  | Lext of string
+
+let of_var (v : Sil.var) = Lvar (v.Sil.vid, v.Sil.vname)
+
+let of_base (b : Apath.base) =
+  match b.Apath.bkind with
+  | Apath.Bvar v -> of_var v
+  | Apath.Bheap site -> Lheap site
+  | Apath.Bstr idx -> Lstr idx
+  | Apath.Bfun name -> Lfun name
+  | Apath.Bext name -> Lext name
+
+let is_function = function Lfun _ -> true | _ -> false
+
+let key = function
+  | Lvar (vid, _) -> (0, vid, "")
+  | Lheap site -> (1, site, "")
+  | Lstr idx -> (2, idx, "")
+  | Lfun name -> (3, 0, name)
+  | Lext name -> (4, 0, name)
+
+let compare a b = compare (key a) (key b)
+let equal a b = key a = key b
+
+let to_string = function
+  | Lvar (_, name) -> name
+  | Lheap site -> Printf.sprintf "heap@%d" site
+  | Lstr idx -> Printf.sprintf "str#%d" idx
+  | Lfun name -> "fun:" ^ name
+  | Lext name -> "ext:" ^ name
+
+module Table = struct
+  type absloc = t
+
+  type t = {
+    ids : (int * int * string, int) Hashtbl.t;
+    mutable rev : absloc list;  (* reversed *)
+    mutable count : int;
+  }
+
+  let create () = { ids = Hashtbl.create 64; rev = []; count = 0 }
+
+  let id tbl l =
+    let k = key l in
+    match Hashtbl.find_opt tbl.ids k with
+    | Some id -> id
+    | None ->
+      let id = tbl.count in
+      tbl.count <- id + 1;
+      tbl.rev <- l :: tbl.rev;
+      Hashtbl.add tbl.ids k id;
+      id
+
+  let get tbl id = List.nth (List.rev tbl.rev) id
+
+  let count tbl = tbl.count
+end

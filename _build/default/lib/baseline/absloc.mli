@@ -1,0 +1,35 @@
+(** Abstract locations for the flow-insensitive baseline analyses.
+
+    The baselines are field-insensitive: one location per variable, heap
+    site, string literal, external blob, or function — the granularity of
+    the early program-wide analyses the paper contrasts with (Weihl,
+    Coutant).  {!of_base} projects the points-to framework's access-path
+    bases onto this space so results can be compared at memory
+    operations. *)
+
+type t =
+  | Lvar of int * string        (** Sil variable by vid (name for printing) *)
+  | Lheap of int                (** allocation site *)
+  | Lstr of int                 (** string literal *)
+  | Lfun of string
+  | Lext of string
+
+val of_var : Sil.var -> t
+val of_base : Apath.base -> t
+(** Project an access-path base (dropping all accessors). *)
+
+val is_function : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+
+(** Dense interning of abstract locations. *)
+module Table : sig
+  type absloc = t
+  type t
+
+  val create : unit -> t
+  val id : t -> absloc -> int
+  val get : t -> int -> absloc
+  val count : t -> int
+end

@@ -1,0 +1,123 @@
+type t = {
+  cs : Fi_constraints.t;
+  pts : (int, unit) Hashtbl.t array;   (* node -> absloc-id set *)
+}
+
+type solver = {
+  scs : Fi_constraints.t;
+  spts : (int, unit) Hashtbl.t array;
+  edges : int list ref array;          (* copy edges: src -> dsts *)
+  loads_on : (int * int) list ref array;   (* src -> (dst) loads *)
+  stores_on : int list ref array;      (* dst-ptr -> srcs *)
+  ind_on : (int list * int option) list ref array;  (* fn node -> calls *)
+  is_fun : string option array;        (* absloc id -> function name *)
+  queue : (int * int) Queue.t;         (* (node, absloc id) *)
+}
+
+let add_fact s node loc =
+  if not (Hashtbl.mem s.spts.(node) loc) then begin
+    Hashtbl.replace s.spts.(node) loc ();
+    Queue.add (node, loc) s.queue
+  end
+
+let add_edge s src dst =
+  if not (List.mem dst !(s.edges.(src))) then begin
+    s.edges.(src) := dst :: !(s.edges.(src));
+    Hashtbl.iter (fun loc () -> add_fact s dst loc) s.spts.(src)
+  end
+
+let wire_call s formals retnode args ret =
+  let rec pair fs xs =
+    match fs, xs with
+    | f :: fs', x :: xs' ->
+      add_edge s x f;
+      pair fs' xs'
+    | _, _ -> ()
+  in
+  pair formals args;
+  match ret, retnode with
+  | Some r, Some rn -> add_edge s rn r
+  | _ -> ()
+
+let analyze (p : Sil.program) : t =
+  let cs = Fi_constraints.generate p in
+  let n = cs.Fi_constraints.n_nodes in
+  let nlocs = Absloc.Table.count cs.Fi_constraints.locs in
+  let s =
+    {
+      scs = cs;
+      spts = Array.init n (fun _ -> Hashtbl.create 4);
+      edges = Array.init n (fun _ -> ref []);
+      loads_on = Array.init n (fun _ -> ref []);
+      stores_on = Array.init n (fun _ -> ref []);
+      ind_on = Array.init n (fun _ -> ref []);
+      is_fun =
+        Array.init nlocs (fun i ->
+            match Absloc.Table.get cs.Fi_constraints.locs i with
+            | Absloc.Lfun f -> Some f
+            | _ -> None);
+      queue = Queue.create ();
+    }
+  in
+  (* static constraints *)
+  List.iter
+    (fun c ->
+      match c with
+      | Fi_constraints.Addr (d, l) -> add_fact s d l
+      | Fi_constraints.Copy (d, src) -> add_edge s src d
+      | Fi_constraints.Load (d, src) -> s.loads_on.(src) := (src, d) :: !(s.loads_on.(src))
+      | Fi_constraints.Store (dst, src) -> s.stores_on.(dst) := src :: !(s.stores_on.(dst))
+      | Fi_constraints.Call_dir (name, args, ret) ->
+        (match Hashtbl.find_opt cs.Fi_constraints.formals name with
+        | Some formals ->
+          wire_call s formals (Hashtbl.find_opt cs.Fi_constraints.retnodes name) args ret
+        | None -> ())
+      | Fi_constraints.Call_ind (fn, args, ret) ->
+        s.ind_on.(fn) := (args, ret) :: !(s.ind_on.(fn)))
+    (Fi_constraints.constraints cs);
+  (* propagation *)
+  while not (Queue.is_empty s.queue) do
+    let node, loc = Queue.pop s.queue in
+    List.iter (fun dst -> add_fact s dst loc) !(s.edges.(node));
+    (* loads: contents of [loc] flow to each load destination *)
+    List.iter (fun (_, d) -> add_edge s loc d) !(s.loads_on.(node));
+    (* stores: sources flow into the contents of [loc] *)
+    List.iter (fun src -> add_edge s src loc) !(s.stores_on.(node));
+    (* indirect calls: newly discovered function values *)
+    (if loc < Array.length s.is_fun then
+       match s.is_fun.(loc) with
+       | Some fname ->
+         List.iter
+           (fun (args, ret) ->
+             match Hashtbl.find_opt cs.Fi_constraints.formals fname with
+             | Some formals ->
+               wire_call s formals
+                 (Hashtbl.find_opt cs.Fi_constraints.retnodes fname)
+                 args ret
+             | None -> ())
+           !(s.ind_on.(node))
+       | None -> ())
+  done;
+  { cs; pts = s.spts }
+
+let locs_of t node =
+  Hashtbl.fold
+    (fun loc () acc -> Absloc.Table.get t.cs.Fi_constraints.locs loc :: acc)
+    t.pts.(node) []
+  |> List.sort Absloc.compare
+
+let points_to_var t v =
+  let node = Fi_constraints.node_of_absloc t.cs (Absloc.of_var v) in
+  locs_of t node
+
+let memops t =
+  List.rev_map
+    (fun (mo : Fi_constraints.memop) ->
+      (mo.Fi_constraints.mo_loc, mo.Fi_constraints.mo_rw, locs_of t mo.Fi_constraints.mo_ptr))
+    t.cs.Fi_constraints.memops
+
+let memop_locations t loc rw =
+  List.concat_map
+    (fun (l, r, locs) -> if l = loc && r = rw then locs else [])
+    (memops t)
+  |> List.sort_uniq Absloc.compare

@@ -1,0 +1,20 @@
+(** Andersen-style inclusion-based flow-insensitive points-to analysis.
+
+    The program-wide baseline at the precise end of the flow-insensitive
+    spectrum: subset constraints solved by a worklist with dynamic edge
+    addition for loads, stores and indirect calls.  Field-insensitive,
+    one heap location per allocation site — directly comparable to the
+    framework analyses at memory operations via {!Absloc.of_base}. *)
+
+type t
+
+val analyze : Sil.program -> t
+
+val points_to_var : t -> Sil.var -> Absloc.t list
+(** Locations the variable's value may point to. *)
+
+val memops : t -> (Srcloc.t * [ `Read | `Write ] * Absloc.t list) list
+(** Every pointer dereference with the locations it may touch. *)
+
+val memop_locations : t -> Srcloc.t -> [ `Read | `Write ] -> Absloc.t list
+(** Union over all dereferences recorded at one source position. *)

@@ -1,0 +1,224 @@
+type nref = int
+
+type constr =
+  | Copy of nref * nref
+  | Addr of nref * int
+  | Load of nref * nref
+  | Store of nref * nref
+  | Call_dir of string * nref list * nref option
+  | Call_ind of nref * nref list * nref option
+
+type memop = {
+  mo_loc : Srcloc.t;
+  mo_rw : [ `Read | `Write ];
+  mo_ptr : nref;
+}
+
+type t = {
+  locs : Absloc.Table.t;
+  mutable n_nodes : int;
+  mutable constrs : constr list;
+  mutable memops : memop list;
+  formals : (string, nref list) Hashtbl.t;
+  retnodes : (string, nref) Hashtbl.t;
+}
+
+(* Abstract locations occupy node ids [0, count); fresh temps follow.  We
+   reserve a generous dense prefix by interning all locations first. *)
+
+let node_of_absloc t l = Absloc.Table.id t.locs l
+
+let fresh t =
+  let n = t.n_nodes in
+  t.n_nodes <- n + 1;
+  n
+
+let emit t c = t.constrs <- c :: t.constrs
+
+let record_memop t loc rw ptr = t.memops <- { mo_loc = loc; mo_rw = rw; mo_ptr = ptr } :: t.memops
+
+(* ---- expressions ------------------------------------------------------------- *)
+
+let rec eval t loc (e : Sil.exp) : nref =
+  match e with
+  | Sil.Const (Sil.Cint _) -> fresh t
+  | Sil.Const (Sil.Cstr idx) ->
+    let n = fresh t in
+    emit t (Addr (n, node_of_absloc t (Absloc.Lstr idx)));
+    n
+  | Sil.Fun_addr f ->
+    let n = fresh t in
+    emit t (Addr (n, node_of_absloc t (Absloc.Lfun f)));
+    n
+  | Sil.Lval lv -> eval_read t loc lv
+  | Sil.Addr_of lv | Sil.Start_of lv -> eval_addr t loc lv
+  | Sil.Cast (_, inner) -> eval t loc inner
+  | Sil.Binop (Sil.PtrAdd, p, i, _) ->
+    ignore (eval t loc i);
+    eval t loc p
+  | Sil.Binop (_, a, b, _) ->
+    ignore (eval t loc a);
+    ignore (eval t loc b);
+    fresh t
+  | Sil.Unop (_, a, _) ->
+    ignore (eval t loc a);
+    fresh t
+
+and eval_read t loc (lv : Sil.lval) : nref =
+  List.iter
+    (function Sil.Oindex e -> ignore (eval t loc e) | Sil.Ofield _ -> ())
+    lv.Sil.loffs;
+  match lv.Sil.lbase with
+  | Sil.Vbase v -> node_of_absloc t (Absloc.of_var v)
+  | Sil.Mem e ->
+    let p = eval t loc e in
+    record_memop t loc `Read p;
+    let d = fresh t in
+    emit t (Load (d, p));
+    d
+
+and eval_addr t loc (lv : Sil.lval) : nref =
+  List.iter
+    (function Sil.Oindex e -> ignore (eval t loc e) | Sil.Ofield _ -> ())
+    lv.Sil.loffs;
+  match lv.Sil.lbase with
+  | Sil.Vbase v ->
+    let n = fresh t in
+    emit t (Addr (n, node_of_absloc t (Absloc.of_var v)));
+    n
+  | Sil.Mem e ->
+    (* &e->f is e plus an offset: field-insensitively, just e *)
+    eval t loc e
+
+(* ---- instructions --------------------------------------------------------------- *)
+
+let assign t loc (lv : Sil.lval) (src : nref) =
+  List.iter
+    (function Sil.Oindex e -> ignore (eval t loc e) | Sil.Ofield _ -> ())
+    lv.Sil.loffs;
+  match lv.Sil.lbase with
+  | Sil.Vbase v -> emit t (Copy (node_of_absloc t (Absloc.of_var v), src))
+  | Sil.Mem e ->
+    let p = eval t loc e in
+    record_memop t loc `Write p;
+    emit t (Store (p, src))
+
+let gen_call t loc ret target args defined =
+  let arg_nodes = List.map (fun a -> eval t loc a) args in
+  let ret_node =
+    match ret with
+    | Some lv ->
+      let r = fresh t in
+      assign t loc lv r;
+      Some r
+    | None -> None
+  in
+  match target with
+  | Sil.Direct name when Hashtbl.mem defined name ->
+    emit t (Call_dir (name, arg_nodes, ret_node))
+  | Sil.Direct name ->
+    (* external function: expand its summary inline *)
+    let summary = Extern_summary.lookup name None in
+    (match ret_node, summary.Extern_summary.sum_returns with
+    | Some r, Extern_summary.Ret_arg k when k < List.length arg_nodes ->
+      emit t (Copy (r, List.nth arg_nodes k))
+    | Some r, Extern_summary.Ret_external ext ->
+      emit t (Addr (r, node_of_absloc t (Absloc.Lext ext)))
+    | _ -> ());
+    List.iter
+      (fun (ho_idx, formal_map) ->
+        if ho_idx < List.length arg_nodes then begin
+          let ho_args =
+            Array.to_list
+              (Array.map
+                 (fun k ->
+                   if k < List.length arg_nodes then List.nth arg_nodes k else fresh t)
+                 formal_map)
+          in
+          emit t (Call_ind (List.nth arg_nodes ho_idx, ho_args, None))
+        end)
+      summary.Extern_summary.sum_calls
+  | Sil.Indirect e ->
+    let fn = eval t loc e in
+    emit t (Call_ind (fn, arg_nodes, ret_node))
+
+let generate (p : Sil.program) : t =
+  let t =
+    {
+      locs = Absloc.Table.create ();
+      n_nodes = 0;
+      constrs = [];
+      memops = [];
+      formals = Hashtbl.create 16;
+      retnodes = Hashtbl.create 16;
+    }
+  in
+  let defined = Hashtbl.create 16 in
+  List.iter (fun fd -> Hashtbl.replace defined fd.Sil.fd_name ()) p.Sil.p_functions;
+  (* intern every variable and function so absloc nodes form a dense prefix *)
+  List.iter (fun v -> ignore (node_of_absloc t (Absloc.of_var v))) p.Sil.p_globals;
+  List.iter
+    (fun fd ->
+      List.iter
+        (fun v -> ignore (node_of_absloc t (Absloc.of_var v)))
+        (fd.Sil.fd_formals @ fd.Sil.fd_locals))
+    p.Sil.p_functions;
+  t.n_nodes <- Absloc.Table.count t.locs;
+  (* function interface nodes *)
+  List.iter
+    (fun fd ->
+      Hashtbl.replace t.formals fd.Sil.fd_name
+        (List.map (fun v -> node_of_absloc t (Absloc.of_var v)) fd.Sil.fd_formals);
+      if not (Ctype.is_void fd.Sil.fd_sig.Ctype.ret) then
+        Hashtbl.replace t.retnodes fd.Sil.fd_name (fresh t))
+    p.Sil.p_functions;
+  (* main's argv *)
+  (match p.Sil.p_main with
+  | Some main_name ->
+    (match List.find_opt (fun fd -> fd.Sil.fd_name = main_name) p.Sil.p_functions with
+    | Some fd when List.length fd.Sil.fd_formals >= 2 ->
+      let argv = List.nth fd.Sil.fd_formals 1 in
+      let argv_node = node_of_absloc t (Absloc.of_var argv) in
+      let arr = node_of_absloc t (Absloc.Lext "argv") in
+      emit t (Addr (argv_node, arr));
+      let strs = node_of_absloc t (Absloc.Lext "argv_strings") in
+      let tmp = fresh t in
+      emit t (Addr (tmp, strs));
+      (* the array's contents point to the strings *)
+      let arr_ptr = fresh t in
+      emit t (Addr (arr_ptr, arr));
+      emit t (Store (arr_ptr, tmp))
+    | _ -> ())
+  | None -> ());
+  (* bodies *)
+  List.iter
+    (fun fd ->
+      Array.iter
+        (fun b ->
+          List.iter
+            (fun instr ->
+              match instr with
+              | Sil.Set (lv, e, loc) ->
+                let r = eval t loc e in
+                assign t loc lv r
+              | Sil.Alloc (lv, size, site, loc) ->
+                ignore (eval t loc size);
+                let r = fresh t in
+                emit t (Addr (r, node_of_absloc t (Absloc.Lheap site)));
+                assign t loc lv r
+              | Sil.Call (ret, target, args, loc) ->
+                gen_call t loc ret target args defined)
+            b.Sil.binstrs;
+          match b.Sil.bterm with
+          | Sil.If (e, _, _) -> ignore (eval t Srcloc.dummy e)
+          | Sil.Return (Some e) ->
+            let r = eval t Srcloc.dummy e in
+            (match Hashtbl.find_opt t.retnodes fd.Sil.fd_name with
+            | Some rn -> emit t (Copy (rn, r))
+            | None -> ())
+          | Sil.Return None | Sil.Goto _ | Sil.Unreachable -> ())
+        fd.Sil.fd_blocks)
+    p.Sil.p_functions;
+  t
+
+let constraints t = List.rev t.constrs

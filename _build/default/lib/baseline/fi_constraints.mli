@@ -1,0 +1,43 @@
+(** Flow-insensitive constraint generation from {!Sil}.
+
+    One pass over the program produces the primitive constraints both
+    baseline solvers consume.  Nodes are dense ints: one per abstract
+    location (a location's node also stands for its contents, in the
+    classic style) plus anonymous temporaries for intermediate values.
+    Offsets are dropped (field-insensitive), matching the early
+    program-wide analyses. *)
+
+type nref = int
+
+type constr =
+  | Copy of nref * nref            (** dst gets src's values *)
+  | Addr of nref * int             (** dst contains the absloc (by id) *)
+  | Load of nref * nref            (** dst gets the contents of src's targets *)
+  | Store of nref * nref           (** src's values flow into dst's targets *)
+  | Call_dir of string * nref list * nref option
+      (** direct call to a defined function: actuals, result node *)
+  | Call_ind of nref * nref list * nref option
+      (** function values flowing into the first node get called *)
+
+type memop = {
+  mo_loc : Srcloc.t;
+  mo_rw : [ `Read | `Write ];
+  mo_ptr : nref;                   (** the dereferenced pointer's node *)
+}
+
+type t = {
+  locs : Absloc.Table.t;
+  mutable n_nodes : int;
+  mutable constrs : constr list;   (** reversed generation order *)
+  mutable memops : memop list;
+  formals : (string, nref list) Hashtbl.t;   (** defined function -> formal nodes *)
+  retnodes : (string, nref) Hashtbl.t;       (** defined function -> result node *)
+}
+
+val generate : Sil.program -> t
+
+val node_of_absloc : t -> Absloc.t -> nref
+(** The node standing for an abstract location (and its contents). *)
+
+val constraints : t -> constr list
+(** In generation order. *)

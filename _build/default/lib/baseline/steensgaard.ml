@@ -1,0 +1,162 @@
+(* Union-find over constraint nodes.  Each equivalence class (ecr) has an
+   optional pointee class and the set of abstract locations it contains. *)
+
+type uf = {
+  parent : int array;
+  rank : int array;
+  pointee : int option array;     (* per root *)
+  members : int list array;       (* absloc ids per root *)
+  cs : Fi_constraints.t;
+  mutable extra : int;            (* next synthetic node id *)
+}
+
+type t = { uf : uf }
+
+let rec find u x = if u.parent.(x) = x then x else begin
+    let r = find u u.parent.(x) in
+    u.parent.(x) <- r;
+    r
+  end
+
+let mk_uf cs extra_cap =
+  let n = cs.Fi_constraints.n_nodes + extra_cap in
+  let nlocs = Absloc.Table.count cs.Fi_constraints.locs in
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    pointee = Array.make n None;
+    members = Array.init n (fun i -> if i < nlocs then [ i ] else []);
+    cs;
+    extra = cs.Fi_constraints.n_nodes;
+  }
+
+let fresh_class u =
+  if u.extra >= Array.length u.parent then failwith "Steensgaard: class budget exceeded";
+  let id = u.extra in
+  u.extra <- id + 1;
+  id
+
+let rec union u a b =
+  let ra = find u a and rb = find u b in
+  if ra = rb then ra
+  else begin
+    let small, big = if u.rank.(ra) < u.rank.(rb) then (ra, rb) else (rb, ra) in
+    u.parent.(small) <- big;
+    if u.rank.(big) = u.rank.(small) then u.rank.(big) <- u.rank.(big) + 1;
+    u.members.(big) <- List.rev_append u.members.(small) u.members.(big);
+    u.members.(small) <- [];
+    let pa = u.pointee.(ra) and pb = u.pointee.(rb) in
+    u.pointee.(big) <-
+      (match pa, pb with
+      | None, None -> None
+      | Some p, None | None, Some p -> Some p
+      | Some p, Some _ -> Some p);
+    (match pa, pb with
+    | Some p, Some q -> ignore (join u p q)
+    | _ -> ());
+    big
+  end
+
+and join u a b =
+  (* unify the ecrs of two nodes *)
+  union u a b
+
+let pointee_of u x =
+  let r = find u x in
+  match u.pointee.(r) with
+  | Some p -> find u p
+  | None ->
+    let p = fresh_class u in
+    u.pointee.(find u x) <- Some p;
+    p
+
+let analyze (p : Sil.program) : t =
+  let cs = Fi_constraints.generate p in
+  (* every constraint can create at most two pointee classes; size
+     generously *)
+  let budget = (4 * List.length cs.Fi_constraints.constrs) + (4 * cs.Fi_constraints.n_nodes) + 64 in
+  let u = mk_uf cs budget in
+  let wire_call formals retnode args ret =
+    let rec pair fs xs =
+      match fs, xs with
+      | f :: fs', x :: xs' ->
+        ignore (join u (pointee_of u f) (pointee_of u x));
+        pair fs' xs'
+      | _, _ -> ()
+    in
+    pair formals args;
+    match ret, retnode with
+    | Some r, Some rn -> ignore (join u (pointee_of u r) (pointee_of u rn))
+    | _ -> ()
+  in
+  let apply c =
+    match c with
+    | Fi_constraints.Addr (d, l) -> ignore (join u (pointee_of u d) l)
+    | Fi_constraints.Copy (d, s) -> ignore (join u (pointee_of u d) (pointee_of u s))
+    | Fi_constraints.Load (d, s) ->
+      ignore (join u (pointee_of u d) (pointee_of u (pointee_of u s)))
+    | Fi_constraints.Store (d, s) ->
+      ignore (join u (pointee_of u (pointee_of u d)) (pointee_of u s))
+    | Fi_constraints.Call_dir (name, args, ret) ->
+      (match Hashtbl.find_opt cs.Fi_constraints.formals name with
+      | Some formals ->
+        wire_call formals (Hashtbl.find_opt cs.Fi_constraints.retnodes name) args ret
+      | None -> ())
+    | Fi_constraints.Call_ind _ -> ()  (* second pass below *)
+  in
+  List.iter apply (Fi_constraints.constraints cs);
+  (* indirect calls: iterate until the set of function values stabilizes *)
+  let wired : (int * string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let changed = ref true in
+  let call_id = ref 0 in
+  while !changed do
+    changed := false;
+    call_id := 0;
+    List.iter
+      (fun c ->
+        match c with
+        | Fi_constraints.Call_ind (fn, args, ret) ->
+          incr call_id;
+          let targets = u.members.(pointee_of u fn) in
+          List.iter
+            (fun loc_id ->
+              match Absloc.Table.get cs.Fi_constraints.locs loc_id with
+              | Absloc.Lfun fname ->
+                if not (Hashtbl.mem wired (!call_id, fname)) then begin
+                  Hashtbl.replace wired (!call_id, fname) ();
+                  changed := true;
+                  match Hashtbl.find_opt cs.Fi_constraints.formals fname with
+                  | Some formals ->
+                    wire_call formals
+                      (Hashtbl.find_opt cs.Fi_constraints.retnodes fname)
+                      args ret
+                  | None -> ()
+                end
+              | _ -> ())
+            targets
+        | _ -> ())
+      (Fi_constraints.constraints cs)
+  done;
+  { uf = u }
+
+let locs_of t node =
+  let u = t.uf in
+  let p = pointee_of u node in
+  List.rev_map (Absloc.Table.get u.cs.Fi_constraints.locs) u.members.(find u p)
+  |> List.sort Absloc.compare
+
+let points_to_var t v =
+  let node = Fi_constraints.node_of_absloc t.uf.cs (Absloc.of_var v) in
+  locs_of t node
+
+let memops t =
+  List.rev_map
+    (fun (mo : Fi_constraints.memop) ->
+      (mo.Fi_constraints.mo_loc, mo.Fi_constraints.mo_rw, locs_of t mo.Fi_constraints.mo_ptr))
+    t.uf.cs.Fi_constraints.memops
+
+let memop_locations t loc rw =
+  List.concat_map
+    (fun (l, r, locs) -> if l = loc && r = rw then locs else [])
+    (memops t)
+  |> List.sort_uniq Absloc.compare

@@ -1,0 +1,17 @@
+(** Steensgaard-style unification-based flow-insensitive points-to
+    analysis.
+
+    The coarse end of the spectrum: assignments unify pointees, so the
+    whole solution is a set of equivalence classes computed in
+    near-linear time.  This approximates the program-wide equality-based
+    analyses (Weihl, Coutant) the paper's introduction credits with
+    "overly large, imprecise approximations" — the benches quantify
+    exactly that against the framework analyses. *)
+
+type t
+
+val analyze : Sil.program -> t
+
+val points_to_var : t -> Sil.var -> Absloc.t list
+val memops : t -> (Srcloc.t * [ `Read | `Write ] * Absloc.t list) list
+val memop_locations : t -> Srcloc.t -> [ `Read | `Write ] -> Absloc.t list

@@ -1,0 +1,1 @@
+lib/cfront/ast_print.ml: Ast Buffer Char Ctype Int64 List Option Printf String

@@ -1,0 +1,1 @@
+lib/cfront/ast_print.mli: Ast Ctype

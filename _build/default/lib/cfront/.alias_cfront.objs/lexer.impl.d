@@ -1,0 +1,1 @@
+lib/cfront/lexer.ml: Buffer Int64 List Srcloc String Token

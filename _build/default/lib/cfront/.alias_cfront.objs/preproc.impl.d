@@ -1,0 +1,1 @@
+lib/cfront/preproc.ml: Buffer Hashtbl List Srcloc String

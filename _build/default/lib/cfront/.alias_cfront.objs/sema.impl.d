@@ -1,0 +1,1 @@
+lib/cfront/sema.ml: Ast Ctype Hashtbl List Option Srcloc String

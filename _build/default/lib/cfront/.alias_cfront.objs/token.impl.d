@@ -1,0 +1,1 @@
+lib/cfront/token.ml: Hashtbl Int64 List Printf Srcloc

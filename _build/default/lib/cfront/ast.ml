@@ -1,0 +1,86 @@
+(* Implementation mirrors the interface; see ast.mli for documentation. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr | Band | Bor | Bxor
+  | Lt | Gt | Le | Ge | Eq | Ne
+  | Land | Lor
+
+type unop =
+  | Neg | Bnot | Lnot
+
+type expr = { edesc : edesc; eloc : Srcloc.t }
+
+and edesc =
+  | Ident of string
+  | IntLit of int64
+  | CharLit of char
+  | StrLit of string
+  | Call of expr * expr list
+  | Index of expr * expr
+  | Member of expr * string
+  | Arrow of expr * string
+  | Deref of expr
+  | AddrOf of expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr
+  | OpAssign of binop * expr * expr
+  | PreIncr of expr | PreDecr of expr
+  | PostIncr of expr | PostDecr of expr
+  | Cast of Ctype.t * expr
+  | SizeofType of Ctype.t
+  | SizeofExpr of expr
+  | Cond of expr * expr * expr
+  | Comma of expr * expr
+
+type init =
+  | SingleInit of expr
+  | CompoundInit of init list
+
+type decl = {
+  dname : string;
+  dtype : Ctype.t;
+  dinit : init option;
+  dstatic : bool;
+  dloc : Srcloc.t;
+}
+
+type stmt = { sdesc : sdesc; sloc : Srcloc.t }
+
+and sdesc =
+  | Expr of expr
+  | Decl of decl list
+  | Block of stmt list
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | DoWhile of stmt * expr
+  | For of expr option * expr option * expr option * stmt
+  | Return of expr option
+  | Break
+  | Continue
+  | Switch of expr * switch_case list
+  | Empty
+
+and switch_case = {
+  cvals : int64 list;
+  cbody : stmt list;
+}
+
+type fundef = {
+  fun_name : string;
+  fun_sig : Ctype.funsig;
+  fun_body : stmt list;
+  fun_static : bool;
+  fun_loc : Srcloc.t;
+}
+
+type global =
+  | Gfun of fundef
+  | Gvar of decl * bool
+  | Gtypedef of string * Ctype.t * Srcloc.t
+  | Gcomp of Ctype.compinfo * Srcloc.t
+  | Genum of string * (string * int64) list * Srcloc.t
+  | Gfundecl of string * Ctype.funsig * Srcloc.t
+
+type program = global list

@@ -1,0 +1,90 @@
+(** Abstract syntax for the parsed C subset.
+
+    This is the parser's output: syntactically faithful, with no name
+    resolution or typing.  {!Sema} checks it and {!Norm} lowers it to
+    {!Alias_ir.Sil}. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr | Band | Bor | Bxor
+  | Lt | Gt | Le | Ge | Eq | Ne
+  | Land | Lor                       (** short-circuit *)
+
+type unop =
+  | Neg | Bnot | Lnot
+
+type expr = { edesc : edesc; eloc : Srcloc.t }
+
+and edesc =
+  | Ident of string
+  | IntLit of int64
+  | CharLit of char
+  | StrLit of string
+  | Call of expr * expr list
+  | Index of expr * expr             (** [a[i]] *)
+  | Member of expr * string          (** [e.f] *)
+  | Arrow of expr * string           (** [e->f] *)
+  | Deref of expr                    (** [*e] *)
+  | AddrOf of expr                   (** [&e] *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr
+  | OpAssign of binop * expr * expr  (** [e1 op= e2] *)
+  | PreIncr of expr | PreDecr of expr
+  | PostIncr of expr | PostDecr of expr
+  | Cast of Ctype.t * expr
+  | SizeofType of Ctype.t
+  | SizeofExpr of expr
+  | Cond of expr * expr * expr       (** [c ? a : b] *)
+  | Comma of expr * expr
+
+type init =
+  | SingleInit of expr
+  | CompoundInit of init list        (** braced initializer *)
+
+type decl = {
+  dname : string;
+  dtype : Ctype.t;
+  dinit : init option;
+  dstatic : bool;        (** block-scope [static] (file-scope storage) *)
+  dloc : Srcloc.t;
+}
+
+type stmt = { sdesc : sdesc; sloc : Srcloc.t }
+
+and sdesc =
+  | Expr of expr
+  | Decl of decl list                (** block-scope declaration *)
+  | Block of stmt list
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | DoWhile of stmt * expr
+  | For of expr option * expr option * expr option * stmt
+  | Return of expr option
+  | Break
+  | Continue
+  | Switch of expr * switch_case list
+  | Empty
+
+and switch_case = {
+  cvals : int64 list;                (** [case] values; [] means [default] *)
+  cbody : stmt list;
+}
+
+type fundef = {
+  fun_name : string;
+  fun_sig : Ctype.funsig;
+  fun_body : stmt list;
+  fun_static : bool;
+  fun_loc : Srcloc.t;
+}
+
+type global =
+  | Gfun of fundef
+  | Gvar of decl * bool              (** declaration, is_extern *)
+  | Gtypedef of string * Ctype.t * Srcloc.t
+  | Gcomp of Ctype.compinfo * Srcloc.t
+  | Genum of string * (string * int64) list * Srcloc.t
+  | Gfundecl of string * Ctype.funsig * Srcloc.t  (** prototype only *)
+
+type program = global list

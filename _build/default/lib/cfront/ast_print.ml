@@ -1,0 +1,211 @@
+(* ---- declarators --------------------------------------------------------- *)
+
+let base_type_string (t : Ctype.t) =
+  match t with
+  | Ctype.Void -> "void"
+  | Ctype.Int (k, s) ->
+    let b =
+      match k with
+      | Ctype.IChar -> "char" | Ctype.IShort -> "short"
+      | Ctype.IInt -> "int" | Ctype.ILong -> "long"
+    in
+    (match s with Ctype.Signed -> b | Ctype.Unsigned -> "unsigned " ^ b)
+  | Ctype.Float -> "double"
+  | Ctype.Comp (Ctype.Struct, tag) -> "struct " ^ tag
+  | Ctype.Comp (Ctype.Union, tag) -> "union " ^ tag
+  | Ctype.Enum tag -> "enum " ^ tag
+  | Ctype.Named (name, _) -> name
+  | Ctype.Ptr _ | Ctype.Array _ | Ctype.Func _ ->
+    invalid_arg "Ast_print.base_type_string: derived type"
+
+(* the classic inside-out C declarator construction *)
+let rec decl_string (t : Ctype.t) (name : string) =
+  match t with
+  | Ctype.Ptr inner ->
+    (match inner with
+    | Ctype.Array _ | Ctype.Func _ -> decl_string inner ("(*" ^ name ^ ")")
+    | _ -> decl_string inner ("*" ^ name))
+  | Ctype.Array (elt, n) ->
+    let dim = match n with Some n -> Printf.sprintf "[%d]" n | None -> "[]" in
+    decl_string elt (name ^ dim)
+  | Ctype.Func fs ->
+    let params =
+      match fs.Ctype.params with
+      | [] -> if fs.Ctype.variadic then "..." else "void"
+      | ps ->
+        let each (pname, pt) =
+          decl_string pt (Option.value pname ~default:"")
+        in
+        String.concat ", " (List.map each ps)
+        ^ if fs.Ctype.variadic then ", ..." else ""
+    in
+    decl_string fs.Ctype.ret (Printf.sprintf "%s(%s)" name params)
+  | base ->
+    let b = base_type_string base in
+    if name = "" then b else b ^ " " ^ String.trim name
+
+(* ---- expressions ------------------------------------------------------------ *)
+
+let escape_char c =
+  match c with
+  | '\n' -> "\\n" | '\t' -> "\\t" | '\r' -> "\\r" | '\000' -> "\\0"
+  | '\\' -> "\\\\" | '\'' -> "\\'"
+  | c when Char.code c >= 32 && Char.code c < 127 -> String.make 1 c
+  | c -> Printf.sprintf "\\%03o" (Char.code c)
+
+let escape_string s =
+  String.concat ""
+    (List.map
+       (fun c -> if c = '"' then "\\\"" else escape_char c)
+       (List.init (String.length s) (String.get s)))
+
+let binop_string (op : Ast.binop) =
+  match op with
+  | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/"
+  | Ast.Mod -> "%" | Ast.Shl -> "<<" | Ast.Shr -> ">>" | Ast.Band -> "&"
+  | Ast.Bor -> "|" | Ast.Bxor -> "^" | Ast.Lt -> "<" | Ast.Gt -> ">"
+  | Ast.Le -> "<=" | Ast.Ge -> ">=" | Ast.Eq -> "==" | Ast.Ne -> "!="
+  | Ast.Land -> "&&" | Ast.Lor -> "||"
+
+(* fully parenthesized: correctness without a precedence table, and the
+   printer becomes a fixpoint after one parse/print round *)
+let rec expr (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.Ident name -> name
+  | Ast.IntLit v -> Int64.to_string v
+  | Ast.CharLit c -> Printf.sprintf "'%s'" (escape_char c)
+  | Ast.StrLit s -> Printf.sprintf "\"%s\"" (escape_string s)
+  | Ast.Call (fn, args) ->
+    Printf.sprintf "%s(%s)" (expr fn) (String.concat ", " (List.map expr args))
+  | Ast.Index (a, i) -> Printf.sprintf "%s[%s]" (expr a) (expr i)
+  | Ast.Member (a, f) -> Printf.sprintf "%s.%s" (expr a) f
+  | Ast.Arrow (a, f) -> Printf.sprintf "%s->%s" (expr a) f
+  | Ast.Deref a -> Printf.sprintf "(*%s)" (expr a)
+  | Ast.AddrOf a -> Printf.sprintf "(&%s)" (expr a)
+  | Ast.Unop (Ast.Neg, a) -> Printf.sprintf "(-%s)" (expr a)
+  | Ast.Unop (Ast.Bnot, a) -> Printf.sprintf "(~%s)" (expr a)
+  | Ast.Unop (Ast.Lnot, a) -> Printf.sprintf "(!%s)" (expr a)
+  | Ast.Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr a) (binop_string op) (expr b)
+  | Ast.Assign (l, r) -> Printf.sprintf "(%s = %s)" (expr l) (expr r)
+  | Ast.OpAssign (op, l, r) ->
+    Printf.sprintf "(%s %s= %s)" (expr l) (binop_string op) (expr r)
+  | Ast.PreIncr a -> Printf.sprintf "(++%s)" (expr a)
+  | Ast.PreDecr a -> Printf.sprintf "(--%s)" (expr a)
+  | Ast.PostIncr a -> Printf.sprintf "(%s++)" (expr a)
+  | Ast.PostDecr a -> Printf.sprintf "(%s--)" (expr a)
+  | Ast.Cast (t, a) -> Printf.sprintf "((%s)%s)" (decl_string t "") (expr a)
+  | Ast.SizeofType t -> Printf.sprintf "sizeof(%s)" (decl_string t "")
+  | Ast.SizeofExpr a -> Printf.sprintf "sizeof(%s)" (expr a)
+  | Ast.Cond (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (expr c) (expr a) (expr b)
+  | Ast.Comma (a, b) -> Printf.sprintf "(%s, %s)" (expr a) (expr b)
+
+(* ---- statements ---------------------------------------------------------------- *)
+
+let rec init_string (i : Ast.init) =
+  match i with
+  | Ast.SingleInit e -> expr e
+  | Ast.CompoundInit items ->
+    Printf.sprintf "{%s}" (String.concat ", " (List.map init_string items))
+
+let decl_line ?(static = false) (d : Ast.decl) =
+  let prefix = if static then "static " else "" in
+  match d.Ast.dinit with
+  | Some i ->
+    Printf.sprintf "%s%s = %s;" prefix (decl_string d.Ast.dtype d.Ast.dname)
+      (init_string i)
+  | None -> Printf.sprintf "%s%s;" prefix (decl_string d.Ast.dtype d.Ast.dname)
+
+let rec stmt buf indent (s : Ast.stmt) =
+  let pad = String.make indent ' ' in
+  let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf (pad ^ str ^ "\n")) fmt in
+  match s.Ast.sdesc with
+  | Ast.Expr e -> line "%s;" (expr e)
+  | Ast.Decl decls ->
+    List.iter (fun d -> line "%s" (decl_line ~static:d.Ast.dstatic d)) decls
+  | Ast.Block stmts ->
+    line "{";
+    List.iter (stmt buf (indent + 2)) stmts;
+    line "}"
+  | Ast.If (c, then_s, else_s) ->
+    line "if (%s)" (expr c);
+    stmt_block buf indent then_s;
+    (match else_s with
+    | Some es ->
+      line "else";
+      stmt_block buf indent es
+    | None -> ())
+  | Ast.While (c, body) ->
+    line "while (%s)" (expr c);
+    stmt_block buf indent body
+  | Ast.DoWhile (body, c) ->
+    line "do";
+    stmt_block buf indent body;
+    line "while (%s);" (expr c)
+  | Ast.For (init, cond, step, body) ->
+    let opt = function Some e -> expr e | None -> "" in
+    line "for (%s; %s; %s)" (opt init) (opt cond) (opt step);
+    stmt_block buf indent body
+  | Ast.Return (Some e) -> line "return %s;" (expr e)
+  | Ast.Return None -> line "return;"
+  | Ast.Break -> line "break;"
+  | Ast.Continue -> line "continue;"
+  | Ast.Switch (scrut, cases) ->
+    line "switch (%s) {" (expr scrut);
+    List.iter
+      (fun case ->
+        if case.Ast.cvals = [] then line "default:"
+        else List.iter (fun v -> line "case %Ld:" v) case.Ast.cvals;
+        List.iter (stmt buf (indent + 2)) case.Ast.cbody)
+      cases;
+    line "}"
+  | Ast.Empty -> line ";"
+
+(* bodies of control statements always print as blocks: no dangling-else
+   ambiguity, stable reparse *)
+and stmt_block buf indent (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Block _ -> stmt buf indent s
+  | _ ->
+    stmt buf indent { s with Ast.sdesc = Ast.Block [ s ] }
+
+(* ---- globals ----------------------------------------------------------------------- *)
+
+let global buf (g : Ast.global) =
+  let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf (str ^ "\n")) fmt in
+  match g with
+  | Ast.Gcomp (ci, _) ->
+    let kw = match ci.Ctype.ckind with Ctype.Struct -> "struct" | Ctype.Union -> "union" in
+    line "%s %s {" kw ci.Ctype.ctag;
+    List.iter
+      (fun f -> line "  %s;" (decl_string f.Ctype.ftype f.Ctype.fname))
+      ci.Ctype.cfields;
+    line "};"
+  | Ast.Genum (tag, items, _) ->
+    line "enum %s {" tag;
+    List.iter (fun (n, v) -> line "  %s = %Ld," n v) items;
+    line "};"
+  | Ast.Gtypedef (name, t, _) -> line "typedef %s;" (decl_string t name)
+  | Ast.Gvar (d, is_extern) ->
+    if is_extern then line "extern %s" (decl_line d) else line "%s" (decl_line d)
+  | Ast.Gfundecl (name, fs, _) -> line "%s;" (decl_string (Ctype.Func fs) name)
+  | Ast.Gfun fd ->
+    let prefix = if fd.Ast.fun_static then "static " else "" in
+    line "%s%s"
+      prefix
+      (decl_string (Ctype.Func fd.Ast.fun_sig) fd.Ast.fun_name);
+    line "{";
+    List.iter (stmt buf 2) fd.Ast.fun_body;
+    line "}"
+
+let program (p : Ast.program) =
+  let buf = Buffer.create 4096 in
+  (* comp and enum definitions were hoisted by the parser and their tags
+     may be referenced by typedefs that follow; emit in original order *)
+  List.iteri
+    (fun i g ->
+      if i > 0 then Buffer.add_char buf '\n';
+      global buf g)
+    p;
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Printing the AST back to compilable C.
+
+    Expressions are fully parenthesized and declarators are rebuilt with
+    the standard inside-out algorithm, so the output is valid input for
+    {!Parser} again.  The printer is a fixpoint after one round
+    ([print (parse (print ast)) = print ast]), which the test suite uses
+    as a parser/printer consistency oracle on every generated benchmark;
+    it is also how [alias-analyze gen] output stays debuggable. *)
+
+val program : Ast.program -> string
+
+val decl_string : Ctype.t -> string -> string
+(** [decl_string t name] is the C declarator for [name] of type [t],
+    e.g. [decl_string (Ptr (Func …)) "f"] = ["int (*f)(int)"]. *)
+
+val expr : Ast.expr -> string

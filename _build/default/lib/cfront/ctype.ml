@@ -1,0 +1,138 @@
+type ikind = IChar | IShort | IInt | ILong
+type signedness = Signed | Unsigned
+
+type t =
+  | Void
+  | Int of ikind * signedness
+  | Float
+  | Ptr of t
+  | Array of t * int option
+  | Comp of comp_kind * string
+  | Enum of string
+  | Func of funsig
+  | Named of string * t
+
+and comp_kind = Struct | Union
+
+and funsig = {
+  ret : t;
+  params : (string option * t) list;
+  variadic : bool;
+}
+
+type field = { fname : string; ftype : t }
+
+type compinfo = {
+  ckind : comp_kind;
+  ctag : string;
+  mutable cfields : field list;
+  mutable cdefined : bool;
+}
+
+let rec unroll = function
+  | Named (_, t) -> unroll t
+  | t -> t
+
+let is_integral t =
+  match unroll t with Int _ | Enum _ -> true | _ -> false
+
+let is_arith t =
+  match unroll t with Int _ | Enum _ | Float -> true | _ -> false
+
+let is_pointer t =
+  match unroll t with Ptr _ -> true | _ -> false
+
+let is_scalar t = is_arith t || is_pointer t
+
+let is_aggregate t =
+  match unroll t with Comp _ | Array _ -> true | _ -> false
+
+let is_function t =
+  match unroll t with Func _ -> true | _ -> false
+
+let is_void t =
+  match unroll t with Void -> true | _ -> false
+
+let decay t =
+  match unroll t with
+  | Array (elt, _) -> Ptr elt
+  | Func _ as f -> Ptr f
+  | _ -> t
+
+let pointee t =
+  match unroll t with Ptr target -> Some target | _ -> None
+
+let rec same a b =
+  let a = unroll a and b = unroll b in
+  match a, b with
+  | Void, Void -> true
+  | Int (ka, sa), Int (kb, sb) -> ka = kb && sa = sb
+  | Float, Float -> true
+  | Ptr ta, Ptr tb -> same ta tb
+  | Array (ea, na), Array (eb, nb) -> same ea eb && na = nb
+  | Comp (ka, ta), Comp (kb, tb) -> ka = kb && String.equal ta tb
+  | Enum ta, Enum tb -> String.equal ta tb
+  | Func fa, Func fb ->
+    same fa.ret fb.ret
+    && fa.variadic = fb.variadic
+    && List.length fa.params = List.length fb.params
+    && List.for_all2 (fun (_, x) (_, y) -> same x y) fa.params fb.params
+  | _ -> false
+
+let rec compatible a b =
+  let a = unroll a and b = unroll b in
+  match a, b with
+  | Void, Void -> true
+  | (Int _ | Enum _ | Float), (Int _ | Enum _ | Float) -> true
+  (* Pointers assign freely across target types (casts are pervasive in C;
+     the analysis is value-based so declared-type mixing is harmless), and
+     integer<->pointer conversion is accepted for null and flag idioms. *)
+  | Ptr _, (Ptr _ | Array _ | Func _ | Int _ | Enum _) -> true
+  | (Int _ | Enum _), Ptr _ -> true
+  | Array (ea, _), Array (eb, _) -> compatible ea eb
+  | Comp (ka, ta), Comp (kb, tb) -> ka = kb && String.equal ta tb
+  | Func fa, Func fb ->
+    compatible fa.ret fb.ret
+    && List.length fa.params = List.length fb.params
+    && List.for_all2 (fun (_, x) (_, y) -> compatible x y) fa.params fb.params
+  | _ -> false
+
+let int_t = Int (IInt, Signed)
+let char_t = Int (IChar, Signed)
+let uint_t = Int (IInt, Unsigned)
+let long_t = Int (ILong, Signed)
+let char_ptr = Ptr char_t
+
+let rec to_string t =
+  match t with
+  | Void -> "void"
+  | Int (k, s) ->
+    let base =
+      match k with IChar -> "char" | IShort -> "short" | IInt -> "int" | ILong -> "long"
+    in
+    (match s with Signed -> base | Unsigned -> "unsigned " ^ base)
+  | Float -> "double"
+  | Ptr target -> to_string target ^ "*"
+  | Array _ ->
+    (* print dimensions outermost-first, as C spells them *)
+    let rec split dims t =
+      match t with
+      | Array (elt, n) -> split (n :: dims) elt
+      | _ -> (List.rev dims, t)
+    in
+    let dims, elt = split [] t in
+    let dim_str =
+      String.concat ""
+        (List.map
+           (function Some n -> Printf.sprintf "[%d]" n | None -> "[]")
+           dims)
+    in
+    to_string elt ^ dim_str
+  | Comp (Struct, tag) -> "struct " ^ tag
+  | Comp (Union, tag) -> "union " ^ tag
+  | Enum tag -> "enum " ^ tag
+  | Func { ret; params; variadic } ->
+    let ps = List.map (fun (_, pt) -> to_string pt) params in
+    let ps = if variadic then ps @ [ "..." ] else ps in
+    Printf.sprintf "%s(%s)" (to_string ret) (String.concat ", " ps)
+  | Named (name, _) -> name

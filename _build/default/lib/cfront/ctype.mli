@@ -1,0 +1,80 @@
+(** Representation of C types for the analyzed subset.
+
+    Integer types are collapsed onto a handful of ranks (the alias problem
+    does not depend on exact widths), floats are a single [Float] scalar,
+    and composite types are named references into a program-wide tag
+    environment so recursive structs work naturally. *)
+
+type ikind = IChar | IShort | IInt | ILong
+type signedness = Signed | Unsigned
+
+type t =
+  | Void
+  | Int of ikind * signedness
+  | Float
+  | Ptr of t
+  | Array of t * int option      (** element type, length if known *)
+  | Comp of comp_kind * string   (** struct/union by tag *)
+  | Enum of string
+  | Func of funsig
+  | Named of string * t          (** typedef name and its expansion *)
+
+and comp_kind = Struct | Union
+
+and funsig = {
+  ret : t;
+  params : (string option * t) list;
+  variadic : bool;
+}
+
+type field = { fname : string; ftype : t }
+
+type compinfo = {
+  ckind : comp_kind;
+  ctag : string;
+  mutable cfields : field list;  (** mutable: filled when the definition is seen *)
+  mutable cdefined : bool;
+}
+
+val unroll : t -> t
+(** Strip [Named] wrappers down to the underlying shape. *)
+
+val is_integral : t -> bool
+val is_arith : t -> bool
+val is_pointer : t -> bool
+val is_scalar : t -> bool
+(** Scalar = arithmetic or pointer (valid in boolean contexts). *)
+
+val is_aggregate : t -> bool
+(** Struct, union, or array type. *)
+
+val is_function : t -> bool
+val is_void : t -> bool
+
+val decay : t -> t
+(** Array-to-pointer and function-to-pointer decay applied to a value of
+    the given type used in expression position. *)
+
+val pointee : t -> t option
+(** Target type of a pointer type, if it is one. *)
+
+val same : t -> t -> bool
+(** Structural equality modulo typedef names (used for redeclaration
+    checking, where {!compatible}'s looseness would be wrong). *)
+
+val compatible : t -> t -> bool
+(** Loose assignment compatibility used by {!Sema}: identical shapes up to
+    typedefs, any pointer/pointer or pointer/integer mix (C programmers
+    cast freely; the analysis tracks values, not declared types), and
+    arithmetic mixes. *)
+
+val int_t : t
+(** Plain [int]. *)
+
+val char_t : t
+val uint_t : t
+val long_t : t
+val char_ptr : t
+
+val to_string : t -> string
+(** Human-readable type spelling for diagnostics. *)

@@ -1,0 +1,257 @@
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make_state ~file src = { src; file; pos = 0; line = 1; col = 1 }
+
+let loc st = Srcloc.make ~file:st.file ~line:st.line ~col:st.col
+
+let at_end st = st.pos >= String.length st.src
+
+let peek st = if at_end st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  if not (at_end st) then begin
+    (if st.src.[st.pos] = '\n' then begin
+       st.line <- st.line + 1;
+       st.col <- 1
+     end
+     else st.col <- st.col + 1);
+    st.pos <- st.pos + 1
+  end
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let skip_line_comment st = while (not (at_end st)) && peek st <> '\n' do advance st done
+
+let skip_block_comment st start_loc =
+  advance st;  (* '*' *)
+  let rec go () =
+    if at_end st then Srcloc.error start_loc "unterminated block comment"
+    else if peek st = '*' && peek2 st = '/' then begin
+      advance st; advance st
+    end
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+(* Whitespace and comments between tokens. *)
+let rec skip_trivia st =
+  match peek st with
+  | ' ' | '\t' | '\r' | '\n' ->
+    advance st;
+    skip_trivia st
+  | '/' when peek2 st = '/' ->
+    skip_line_comment st;
+    skip_trivia st
+  | '/' when peek2 st = '*' ->
+    let l = loc st in
+    advance st;
+    skip_block_comment st l;
+    skip_trivia st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while is_ident_char (peek st) do advance st done;
+  String.sub st.src start (st.pos - start)
+
+let lex_number st start_loc =
+  let start = st.pos in
+  if peek st = '0' && (peek2 st = 'x' || peek2 st = 'X') then begin
+    advance st; advance st;
+    while is_hex_digit (peek st) do advance st done
+  end
+  else
+    while is_digit (peek st) do advance st done;
+  (* integer-typed suffixes; float literals are lexed as ints followed by
+     '.', which we reject since floats are outside the alias problem *)
+  while peek st = 'u' || peek st = 'U' || peek st = 'l' || peek st = 'L' do
+    advance st
+  done;
+  if peek st = '.' || is_ident_start (peek st) then
+    Srcloc.error start_loc "malformed (or floating-point) numeric literal";
+  let text = String.sub st.src start (st.pos - start) in
+  let text =
+    (* drop suffixes for Int64.of_string *)
+    let stop = ref (String.length text) in
+    while !stop > 0 && (match text.[!stop - 1] with 'u' | 'U' | 'l' | 'L' -> true | _ -> false) do
+      decr stop
+    done;
+    String.sub text 0 !stop
+  in
+  match Int64.of_string_opt text with
+  | Some v -> v
+  | None -> Srcloc.error start_loc "integer literal out of range: %s" text
+
+let lex_escape st start_loc =
+  advance st;  (* backslash *)
+  let c = peek st in
+  advance st;
+  match c with
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | 'a' -> '\007'
+  | 'b' -> '\b'
+  | 'f' -> '\012'
+  | 'v' -> '\011'
+  | _ -> Srcloc.error start_loc "unsupported escape sequence '\\%c'" c
+
+let lex_char_lit st =
+  let start_loc = loc st in
+  advance st;  (* opening quote *)
+  let c =
+    if peek st = '\\' then lex_escape st start_loc
+    else begin
+      let c = peek st in
+      if c = '\'' || c = '\n' || c = '\000' then
+        Srcloc.error start_loc "malformed character literal";
+      advance st;
+      c
+    end
+  in
+  if peek st <> '\'' then Srcloc.error start_loc "unterminated character literal";
+  advance st;
+  c
+
+let lex_string_lit st =
+  let start_loc = loc st in
+  advance st;  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | '"' -> advance st
+    | '\000' | '\n' -> Srcloc.error start_loc "unterminated string literal"
+    | '\\' -> Buffer.add_char buf (lex_escape st start_loc); go ()
+    | c -> advance st; Buffer.add_char buf c; go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let lex_punct st =
+  let l = loc st in
+  let c = peek st in
+  let open Token in
+  (* [two] / [three] commit to a multi-character operator *)
+  let one kind = advance st; kind in
+  let two kind = advance st; advance st; kind in
+  let three kind = advance st; advance st; advance st; kind in
+  let kind =
+    match c, peek2 st with
+    | '.', '.' when st.pos + 2 < String.length st.src && st.src.[st.pos + 2] = '.' ->
+      three Ellipsis
+    | '.', _ -> one Dot
+    | '-', '>' -> two Arrow
+    | '-', '-' -> two Minus_minus
+    | '-', '=' -> two Minus_assign
+    | '-', _ -> one Minus
+    | '+', '+' -> two Plus_plus
+    | '+', '=' -> two Plus_assign
+    | '+', _ -> one Plus
+    | '*', '=' -> two Star_assign
+    | '*', _ -> one Star
+    | '/', '=' -> two Slash_assign
+    | '/', _ -> one Slash
+    | '%', '=' -> two Percent_assign
+    | '%', _ -> one Percent
+    | '&', '&' -> two Amp_amp
+    | '&', '=' -> two Amp_assign
+    | '&', _ -> one Amp
+    | '|', '|' -> two Bar_bar
+    | '|', '=' -> two Bar_assign
+    | '|', _ -> one Bar
+    | '^', '=' -> two Caret_assign
+    | '^', _ -> one Caret
+    | '~', _ -> one Tilde
+    | '!', '=' -> two Bang_eq
+    | '!', _ -> one Bang
+    | '<', '<' ->
+      if st.pos + 2 < String.length st.src && st.src.[st.pos + 2] = '=' then
+        three Shl_assign
+      else two Shl
+    | '<', '=' -> two Le
+    | '<', _ -> one Lt
+    | '>', '>' ->
+      if st.pos + 2 < String.length st.src && st.src.[st.pos + 2] = '=' then
+        three Shr_assign
+      else two Shr
+    | '>', '=' -> two Ge
+    | '>', _ -> one Gt
+    | '=', '=' -> two Eq_eq
+    | '=', _ -> one Assign
+    | '(', _ -> one Lparen
+    | ')', _ -> one Rparen
+    | '{', _ -> one Lbrace
+    | '}', _ -> one Rbrace
+    | '[', _ -> one Lbracket
+    | ']', _ -> one Rbracket
+    | ';', _ -> one Semi
+    | ',', _ -> one Comma
+    | ':', _ -> one Colon
+    | '?', _ -> one Question
+    | _ -> Srcloc.error l "unexpected character '%c'" c
+  in
+  { Token.kind; loc = l }
+
+let next_token st =
+  skip_trivia st;
+  let l = loc st in
+  if at_end st then { Token.kind = Token.Eof; loc = l }
+  else
+    let c = peek st in
+    if c = '#' then
+      Srcloc.error l "preprocessor directive reached the lexer (run Preproc first)"
+    else if is_ident_start c then begin
+      let name = lex_ident st in
+      let kind =
+        match Token.keyword_of_string name with
+        | Some kw -> kw
+        | None -> Token.Ident name
+      in
+      { Token.kind; loc = l }
+    end
+    else if is_digit c then
+      { Token.kind = Token.Int_lit (lex_number st l); loc = l }
+    else if c = '\'' then
+      { Token.kind = Token.Char_lit (lex_char_lit st); loc = l }
+    else if c = '"' then
+      { Token.kind = Token.Str_lit (lex_string_lit st); loc = l }
+    else lex_punct st
+
+(* Adjacent string literals concatenate, as in C. *)
+let coalesce_strings tokens =
+  let rec go acc = function
+    | { Token.kind = Token.Str_lit a; loc } :: { Token.kind = Token.Str_lit b; _ } :: rest ->
+      go acc ({ Token.kind = Token.Str_lit (a ^ b); loc } :: rest)
+    | tok :: rest -> go (tok :: acc) rest
+    | [] -> List.rev acc
+  in
+  go [] tokens
+
+let tokenize ~file src =
+  let st = make_state ~file src in
+  let rec go acc =
+    let tok = next_token st in
+    match tok.Token.kind with
+    | Token.Eof -> List.rev (tok :: acc)
+    | _ -> go (tok :: acc)
+  in
+  coalesce_strings (go [])

@@ -1,0 +1,11 @@
+(** Hand-written lexer for the C subset.
+
+    The lexer works on a whole source string (the preprocessor runs before
+    it and produces one flat string).  It strips [//] and [/* */] comments,
+    concatenates adjacent string literals, and tracks line/column positions
+    for error reporting.  Lines beginning with [#] are assumed to have been
+    consumed by {!Preproc} and are rejected here. *)
+
+val tokenize : file:string -> string -> Token.t list
+(** Full token stream, terminated by a single [Eof] token.
+    Raises {!Srcloc.Error} on malformed input. *)

@@ -1,0 +1,867 @@
+type state = {
+  toks : Token.t array;
+  mutable pos : int;
+  typedefs : (string, Ctype.t) Hashtbl.t;
+  comps : (string, Ctype.compinfo) Hashtbl.t;     (* tag -> info *)
+  enum_consts : (string, int64) Hashtbl.t;
+  mutable hoisted : Ast.global list;              (* comp/enum defs, reversed *)
+  mutable anon_counter : int;
+}
+
+let make_state toks =
+  {
+    toks = Array.of_list toks;
+    pos = 0;
+    typedefs = Hashtbl.create 32;
+    comps = Hashtbl.create 32;
+    enum_consts = Hashtbl.create 32;
+    hoisted = [];
+    anon_counter = 0;
+  }
+
+let cur st = st.toks.(st.pos)
+let cur_kind st = (cur st).Token.kind
+let cur_loc st = (cur st).Token.loc
+
+let peek_kind st n =
+  let i = st.pos + n in
+  if i < Array.length st.toks then st.toks.(i).Token.kind else Token.Eof
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let err st fmt = Srcloc.error (cur_loc st) fmt
+
+let expect st kind =
+  if cur_kind st = kind then advance st
+  else
+    err st "expected '%s' but found '%s'" (Token.to_string kind)
+      (Token.to_string (cur_kind st))
+
+let accept st kind =
+  if cur_kind st = kind then begin advance st; true end else false
+
+let expect_ident st =
+  match cur_kind st with
+  | Token.Ident name -> advance st; name
+  | k -> err st "expected identifier but found '%s'" (Token.to_string k)
+
+let fresh_anon st prefix =
+  st.anon_counter <- st.anon_counter + 1;
+  Printf.sprintf "%s$%d" prefix st.anon_counter
+
+let is_typedef_name st name = Hashtbl.mem st.typedefs name
+
+(* Does the current token start a type name?  Used for the
+   declaration/expression and cast/parenthesization ambiguities. *)
+let starts_type st =
+  match cur_kind st with
+  | Token.Kw_void | Token.Kw_char | Token.Kw_short | Token.Kw_int
+  | Token.Kw_long | Token.Kw_signed | Token.Kw_unsigned | Token.Kw_float
+  | Token.Kw_double | Token.Kw_struct | Token.Kw_union | Token.Kw_enum
+  | Token.Kw_const | Token.Kw_volatile -> true
+  | Token.Ident name -> is_typedef_name st name
+  | _ -> false
+
+let starts_decl st =
+  starts_type st
+  ||
+  match cur_kind st with
+  | Token.Kw_typedef | Token.Kw_extern | Token.Kw_static | Token.Kw_auto
+  | Token.Kw_register -> true
+  | _ -> false
+
+(* ---- sizeof layout (parser-level, for constant folding) ---------------- *)
+
+let rec type_size st loc t =
+  match Ctype.unroll t with
+  | Ctype.Void -> 1
+  | Ctype.Int (Ctype.IChar, _) -> 1
+  | Ctype.Int (Ctype.IShort, _) -> 2
+  | Ctype.Int (Ctype.IInt, _) -> 4
+  | Ctype.Int (Ctype.ILong, _) -> 8
+  | Ctype.Float -> 8
+  | Ctype.Ptr _ | Ctype.Func _ -> 8
+  | Ctype.Enum _ -> 4
+  | Ctype.Array (elt, Some n) -> n * type_size st loc elt
+  | Ctype.Array (_, None) -> Srcloc.error loc "sizeof incomplete array type"
+  | Ctype.Comp (kind, tag) ->
+    (match Hashtbl.find_opt st.comps tag with
+    | Some ci when ci.Ctype.cdefined ->
+      let sizes =
+        List.map (fun f -> type_size st loc f.Ctype.ftype) ci.Ctype.cfields
+      in
+      (match kind with
+      | Ctype.Struct -> List.fold_left ( + ) 0 sizes
+      | Ctype.Union -> List.fold_left max 1 sizes)
+    | _ -> Srcloc.error loc "sizeof incomplete type '%s'" (Ctype.to_string t))
+  | Ctype.Named _ -> assert false (* unroll removed it *)
+
+(* ---- constant expression evaluation ------------------------------------ *)
+
+let rec const_eval st (e : Ast.expr) : int64 =
+  let bool_of v = if v then 1L else 0L in
+  let open Ast in
+  match e.edesc with
+  | IntLit v -> v
+  | CharLit c -> Int64.of_int (Char.code c)
+  | Ident name ->
+    (match Hashtbl.find_opt st.enum_consts name with
+    | Some v -> v
+    | None -> Srcloc.error e.eloc "'%s' is not a constant" name)
+  | Unop (Neg, a) -> Int64.neg (const_eval st a)
+  | Unop (Bnot, a) -> Int64.lognot (const_eval st a)
+  | Unop (Lnot, a) -> bool_of (const_eval st a = 0L)
+  | Binop (op, a, b) ->
+    let va = const_eval st a and vb = const_eval st b in
+    let shift f = f va (Int64.to_int vb) in
+    (match op with
+    | Add -> Int64.add va vb
+    | Sub -> Int64.sub va vb
+    | Mul -> Int64.mul va vb
+    | Div ->
+      if vb = 0L then Srcloc.error e.eloc "division by zero in constant"
+      else Int64.div va vb
+    | Mod ->
+      if vb = 0L then Srcloc.error e.eloc "division by zero in constant"
+      else Int64.rem va vb
+    | Shl -> shift Int64.shift_left
+    | Shr -> shift Int64.shift_right
+    | Band -> Int64.logand va vb
+    | Bor -> Int64.logor va vb
+    | Bxor -> Int64.logxor va vb
+    | Lt -> bool_of (va < vb)
+    | Gt -> bool_of (va > vb)
+    | Le -> bool_of (va <= vb)
+    | Ge -> bool_of (va >= vb)
+    | Eq -> bool_of (va = vb)
+    | Ne -> bool_of (va <> vb)
+    | Land -> bool_of (va <> 0L && vb <> 0L)
+    | Lor -> bool_of (va <> 0L || vb <> 0L))
+  | Cond (c, a, b) ->
+    if const_eval st c <> 0L then const_eval st a else const_eval st b
+  | Cast (_, a) -> const_eval st a
+  | SizeofType t -> Int64.of_int (type_size st e.eloc t)
+  | SizeofExpr _ ->
+    Srcloc.error e.eloc "sizeof(expression) not supported in constants"
+  | _ -> Srcloc.error e.eloc "expression is not constant"
+
+(* ---- type specifiers ---------------------------------------------------- *)
+
+type storage = Snone | Stypedef | Sextern | Sstatic
+
+(* Parse declaration specifiers: storage class + base type. *)
+let rec parse_decl_specifiers st : storage * Ctype.t =
+  let storage = ref Snone in
+  let set_storage s =
+    if !storage <> Snone then err st "multiple storage classes"
+    else storage := s
+  in
+  (* accumulated base-type words *)
+  let signed = ref None in
+  let base = ref None in            (* `void`/`char`/`int`/`float`/... *)
+  let long_count = ref 0 in
+  let named = ref None in           (* composite/enum/typedef result *)
+  let saw_any = ref false in
+  let set_base b =
+    if !base <> None then err st "conflicting type specifiers" else base := Some b
+  in
+  let continue_scan = ref true in
+  while !continue_scan do
+    (match cur_kind st with
+    | Token.Kw_typedef -> set_storage Stypedef; advance st
+    | Token.Kw_extern -> set_storage Sextern; advance st
+    | Token.Kw_static -> set_storage Sstatic; advance st
+    | Token.Kw_auto | Token.Kw_register | Token.Kw_const | Token.Kw_volatile ->
+      advance st  (* irrelevant to aliasing *)
+    | Token.Kw_void -> saw_any := true; set_base `Void; advance st
+    | Token.Kw_char -> saw_any := true; set_base `Char; advance st
+    | Token.Kw_short -> saw_any := true; set_base `Short; advance st
+    | Token.Kw_int ->
+      saw_any := true;
+      (* `long int` etc: int combines with long/short *)
+      if !base = None then base := Some `Int;
+      advance st
+    | Token.Kw_long -> saw_any := true; incr long_count; advance st
+    | Token.Kw_float | Token.Kw_double -> saw_any := true; set_base `Float; advance st
+    | Token.Kw_signed -> saw_any := true; signed := Some Ctype.Signed; advance st
+    | Token.Kw_unsigned -> saw_any := true; signed := Some Ctype.Unsigned; advance st
+    | Token.Kw_struct | Token.Kw_union ->
+      saw_any := true;
+      named := Some (parse_comp_specifier st)
+    | Token.Kw_enum ->
+      saw_any := true;
+      named := Some (parse_enum_specifier st)
+    | Token.Ident name
+      when is_typedef_name st name && (not !saw_any) && !named = None ->
+      saw_any := true;
+      named := Some (Ctype.Named (name, Hashtbl.find st.typedefs name));
+      advance st
+    | _ -> continue_scan := false);
+    if !named <> None && !base = None && !long_count = 0 && !signed = None then
+      (* a named type cannot combine with other specifiers; stop scanning *)
+      continue_scan := starts_decl st && !named = None
+  done;
+  if not !saw_any then err st "expected type specifier";
+  let t =
+    match !named with
+    | Some t -> t
+    | None ->
+      let s = Option.value !signed ~default:Ctype.Signed in
+      (match !base, !long_count with
+      | Some `Void, 0 -> Ctype.Void
+      | Some `Char, 0 -> Ctype.Int (Ctype.IChar, s)
+      | Some `Short, 0 -> Ctype.Int (Ctype.IShort, s)
+      | Some `Float, _ -> Ctype.Float
+      | (Some `Int | None), 0 -> Ctype.Int (Ctype.IInt, s)
+      | (Some `Int | None), _ -> Ctype.Int (Ctype.ILong, s)
+      | Some `Void, _ | Some `Char, _ | Some `Short, _ ->
+        err st "conflicting type specifiers")
+  in
+  (!storage, t)
+
+(* struct/union specifier: definition, reference, or anonymous definition *)
+and parse_comp_specifier st : Ctype.t =
+  let loc = cur_loc st in
+  let kind =
+    match cur_kind st with
+    | Token.Kw_struct -> Ctype.Struct
+    | Token.Kw_union -> Ctype.Union
+    | _ -> assert false
+  in
+  advance st;
+  let tag =
+    match cur_kind st with
+    | Token.Ident name -> advance st; name
+    | _ -> fresh_anon st (match kind with Ctype.Struct -> "struct" | Ctype.Union -> "union")
+  in
+  let info =
+    match Hashtbl.find_opt st.comps tag with
+    | Some ci ->
+      if ci.Ctype.ckind <> kind then
+        Srcloc.error loc "'%s' redeclared as a different composite kind" tag;
+      ci
+    | None ->
+      let ci = { Ctype.ckind = kind; ctag = tag; cfields = []; cdefined = false } in
+      Hashtbl.add st.comps tag ci;
+      ci
+  in
+  if cur_kind st = Token.Lbrace then begin
+    advance st;
+    if info.Ctype.cdefined then Srcloc.error loc "redefinition of '%s'" tag;
+    let fields = ref [] in
+    while cur_kind st <> Token.Rbrace do
+      let _, base = parse_decl_specifiers st in
+      (* one or more field declarators *)
+      let rec field_loop () =
+        let name, t = parse_declarator st base in
+        (match name with
+        | Some fname -> fields := { Ctype.fname; ftype = t } :: !fields
+        | None -> err st "field requires a name");
+        if accept st Token.Comma then field_loop ()
+      in
+      field_loop ();
+      expect st Token.Semi
+    done;
+    expect st Token.Rbrace;
+    info.Ctype.cfields <- List.rev !fields;
+    info.Ctype.cdefined <- true;
+    st.hoisted <- Ast.Gcomp (info, loc) :: st.hoisted
+  end;
+  Ctype.Comp (kind, tag)
+
+and parse_enum_specifier st : Ctype.t =
+  let loc = cur_loc st in
+  advance st;  (* 'enum' *)
+  let tag =
+    match cur_kind st with
+    | Token.Ident name -> advance st; name
+    | _ -> fresh_anon st "enum"
+  in
+  if cur_kind st = Token.Lbrace then begin
+    advance st;
+    let next = ref 0L in
+    let items = ref [] in
+    let rec loop () =
+      let name = expect_ident st in
+      let value =
+        if accept st Token.Assign then const_eval st (parse_conditional st)
+        else !next
+      in
+      next := Int64.add value 1L;
+      Hashtbl.replace st.enum_consts name value;
+      items := (name, value) :: !items;
+      if accept st Token.Comma then
+        (if cur_kind st <> Token.Rbrace then loop ())
+    in
+    if cur_kind st <> Token.Rbrace then loop ();
+    expect st Token.Rbrace;
+    st.hoisted <- Ast.Genum (tag, List.rev !items, loc) :: st.hoisted
+  end;
+  Ctype.Enum tag
+
+(* ---- declarators -------------------------------------------------------- *)
+
+(* A declarator is parsed as a transformation applied to the base type.
+   We collect it as a function [Ctype.t -> Ctype.t] built inside-out. *)
+and parse_declarator st base : string option * Ctype.t =
+  let name, wrap = parse_declarator_fn st in
+  (name, wrap base)
+
+and parse_declarator_fn st : string option * (Ctype.t -> Ctype.t) =
+  (* pointer prefix *)
+  if accept st Token.Star then begin
+    (* const/volatile after * *)
+    while cur_kind st = Token.Kw_const || cur_kind st = Token.Kw_volatile do
+      advance st
+    done;
+    let name, inner = parse_declarator_fn st in
+    (name, fun t -> inner (Ctype.Ptr t))
+  end
+  else parse_direct_declarator st
+
+and parse_direct_declarator st : string option * (Ctype.t -> Ctype.t) =
+  let name, inner =
+    match cur_kind st with
+    | Token.Ident name -> advance st; (Some name, fun t -> t)
+    | Token.Lparen
+      when (match peek_kind st 1 with
+           | Token.Star | Token.Ident _ | Token.Lparen -> true
+           | _ -> false)
+           && not
+                (match peek_kind st 1 with
+                | Token.Ident n -> is_typedef_name st n
+                | _ -> false) ->
+      (* parenthesized declarator, e.g. a function pointer "( * fp)(...)" *)
+      advance st;
+      let name, inner = parse_declarator_fn st in
+      expect st Token.Rparen;
+      (name, inner)
+    | _ -> (None, fun t -> t)  (* abstract declarator *)
+  in
+  (* suffixes: arrays and function parameter lists, outside-in *)
+  let rec suffixes wrap =
+    match cur_kind st with
+    | Token.Lbracket ->
+      advance st;
+      let len =
+        if cur_kind st = Token.Rbracket then None
+        else Some (Int64.to_int (const_eval st (parse_conditional st)))
+      in
+      expect st Token.Rbracket;
+      suffixes (fun t -> wrap (Ctype.Array (t, len)))
+    | Token.Lparen ->
+      advance st;
+      let params, variadic = parse_param_list st in
+      expect st Token.Rparen;
+      suffixes (fun t -> wrap (Ctype.Func { Ctype.ret = t; params; variadic }))
+    | _ -> wrap
+  in
+  let suffix_wrap = suffixes (fun t -> t) in
+  (* inner (pointer/paren) structure binds tighter than suffixes:
+     for `*f(...)`, f is a function returning pointer *)
+  (name, fun t -> inner (suffix_wrap t))
+
+and parse_param_list st : (string option * Ctype.t) list * bool =
+  if cur_kind st = Token.Rparen then ([], false)
+  else if cur_kind st = Token.Kw_void && peek_kind st 1 = Token.Rparen then begin
+    advance st;
+    ([], false)
+  end
+  else begin
+    let params = ref [] in
+    let variadic = ref false in
+    let rec loop () =
+      if cur_kind st = Token.Ellipsis then begin
+        advance st;
+        variadic := true
+      end
+      else begin
+        let _, base = parse_decl_specifiers st in
+        let name, t = parse_declarator st base in
+        (* parameters of array/function type decay to pointers *)
+        params := (name, Ctype.decay t) :: !params;
+        if accept st Token.Comma then loop ()
+      end
+    in
+    loop ();
+    (List.rev !params, !variadic)
+  end
+
+(* type-name production (casts, sizeof): specifiers + abstract declarator *)
+and parse_type_name st : Ctype.t =
+  let _, base = parse_decl_specifiers st in
+  let name, t = parse_declarator st base in
+  (match name with
+  | Some n -> err st "unexpected identifier '%s' in type name" n
+  | None -> ());
+  t
+
+(* ---- expressions -------------------------------------------------------- *)
+
+and mk loc desc = { Ast.edesc = desc; eloc = loc }
+
+and parse_expr st : Ast.expr =
+  let loc = cur_loc st in
+  let e = parse_assignment st in
+  if cur_kind st = Token.Comma then begin
+    advance st;
+    let rest = parse_expr st in
+    mk loc (Ast.Comma (e, rest))
+  end
+  else e
+
+and parse_assignment st : Ast.expr =
+  let loc = cur_loc st in
+  let lhs = parse_conditional st in
+  let op_assign op =
+    advance st;
+    let rhs = parse_assignment st in
+    mk loc (Ast.OpAssign (op, lhs, rhs))
+  in
+  match cur_kind st with
+  | Token.Assign ->
+    advance st;
+    let rhs = parse_assignment st in
+    mk loc (Ast.Assign (lhs, rhs))
+  | Token.Plus_assign -> op_assign Ast.Add
+  | Token.Minus_assign -> op_assign Ast.Sub
+  | Token.Star_assign -> op_assign Ast.Mul
+  | Token.Slash_assign -> op_assign Ast.Div
+  | Token.Percent_assign -> op_assign Ast.Mod
+  | Token.Amp_assign -> op_assign Ast.Band
+  | Token.Bar_assign -> op_assign Ast.Bor
+  | Token.Caret_assign -> op_assign Ast.Bxor
+  | Token.Shl_assign -> op_assign Ast.Shl
+  | Token.Shr_assign -> op_assign Ast.Shr
+  | _ -> lhs
+
+and parse_conditional st : Ast.expr =
+  let loc = cur_loc st in
+  let cond = parse_binary st 0 in
+  if accept st Token.Question then begin
+    let then_e = parse_expr st in
+    expect st Token.Colon;
+    let else_e = parse_conditional st in
+    mk loc (Ast.Cond (cond, then_e, else_e))
+  end
+  else cond
+
+(* precedence-climbing for binary operators; level 0 is weakest (||) *)
+and binop_of_token = function
+  | Token.Bar_bar -> Some (Ast.Lor, 0)
+  | Token.Amp_amp -> Some (Ast.Land, 1)
+  | Token.Bar -> Some (Ast.Bor, 2)
+  | Token.Caret -> Some (Ast.Bxor, 3)
+  | Token.Amp -> Some (Ast.Band, 4)
+  | Token.Eq_eq -> Some (Ast.Eq, 5)
+  | Token.Bang_eq -> Some (Ast.Ne, 5)
+  | Token.Lt -> Some (Ast.Lt, 6)
+  | Token.Gt -> Some (Ast.Gt, 6)
+  | Token.Le -> Some (Ast.Le, 6)
+  | Token.Ge -> Some (Ast.Ge, 6)
+  | Token.Shl -> Some (Ast.Shl, 7)
+  | Token.Shr -> Some (Ast.Shr, 7)
+  | Token.Plus -> Some (Ast.Add, 8)
+  | Token.Minus -> Some (Ast.Sub, 8)
+  | Token.Star -> Some (Ast.Mul, 9)
+  | Token.Slash -> Some (Ast.Div, 9)
+  | Token.Percent -> Some (Ast.Mod, 9)
+  | _ -> None
+
+and parse_binary st min_level : Ast.expr =
+  let loc = cur_loc st in
+  let lhs = ref (parse_unary st) in
+  let continue_scan = ref true in
+  while !continue_scan do
+    match binop_of_token (cur_kind st) with
+    | Some (op, level) when level >= min_level ->
+      advance st;
+      let rhs = parse_binary st (level + 1) in
+      lhs := mk loc (Ast.Binop (op, !lhs, rhs))
+    | _ -> continue_scan := false
+  done;
+  !lhs
+
+and parse_unary st : Ast.expr =
+  let loc = cur_loc st in
+  match cur_kind st with
+  | Token.Plus_plus ->
+    advance st;
+    mk loc (Ast.PreIncr (parse_unary st))
+  | Token.Minus_minus ->
+    advance st;
+    mk loc (Ast.PreDecr (parse_unary st))
+  | Token.Amp ->
+    advance st;
+    mk loc (Ast.AddrOf (parse_unary st))
+  | Token.Star ->
+    advance st;
+    mk loc (Ast.Deref (parse_unary st))
+  | Token.Plus ->
+    advance st;
+    parse_unary st
+  | Token.Minus ->
+    advance st;
+    mk loc (Ast.Unop (Ast.Neg, parse_unary st))
+  | Token.Tilde ->
+    advance st;
+    mk loc (Ast.Unop (Ast.Bnot, parse_unary st))
+  | Token.Bang ->
+    advance st;
+    mk loc (Ast.Unop (Ast.Lnot, parse_unary st))
+  | Token.Kw_sizeof ->
+    advance st;
+    if cur_kind st = Token.Lparen
+       && (match peek_kind st 1 with
+          | Token.Ident n -> is_typedef_name st n
+          | Token.Kw_void | Token.Kw_char | Token.Kw_short | Token.Kw_int
+          | Token.Kw_long | Token.Kw_signed | Token.Kw_unsigned
+          | Token.Kw_float | Token.Kw_double | Token.Kw_struct
+          | Token.Kw_union | Token.Kw_enum | Token.Kw_const -> true
+          | _ -> false)
+    then begin
+      advance st;
+      let t = parse_type_name st in
+      expect st Token.Rparen;
+      mk loc (Ast.SizeofType t)
+    end
+    else mk loc (Ast.SizeofExpr (parse_unary st))
+  | Token.Lparen
+    when (match peek_kind st 1 with
+         | Token.Ident n -> is_typedef_name st n
+         | Token.Kw_void | Token.Kw_char | Token.Kw_short | Token.Kw_int
+         | Token.Kw_long | Token.Kw_signed | Token.Kw_unsigned
+         | Token.Kw_float | Token.Kw_double | Token.Kw_struct
+         | Token.Kw_union | Token.Kw_enum | Token.Kw_const -> true
+         | _ -> false) ->
+    (* cast expression *)
+    advance st;
+    let t = parse_type_name st in
+    expect st Token.Rparen;
+    mk loc (Ast.Cast (t, parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st : Ast.expr =
+  let e = ref (parse_primary st) in
+  let continue_scan = ref true in
+  while !continue_scan do
+    let loc = cur_loc st in
+    match cur_kind st with
+    | Token.Lparen ->
+      advance st;
+      let args = ref [] in
+      if cur_kind st <> Token.Rparen then begin
+        let rec loop () =
+          args := parse_assignment st :: !args;
+          if accept st Token.Comma then loop ()
+        in
+        loop ()
+      end;
+      expect st Token.Rparen;
+      e := mk loc (Ast.Call (!e, List.rev !args))
+    | Token.Lbracket ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.Rbracket;
+      e := mk loc (Ast.Index (!e, idx))
+    | Token.Dot ->
+      advance st;
+      let f = expect_ident st in
+      e := mk loc (Ast.Member (!e, f))
+    | Token.Arrow ->
+      advance st;
+      let f = expect_ident st in
+      e := mk loc (Ast.Arrow (!e, f))
+    | Token.Plus_plus ->
+      advance st;
+      e := mk loc (Ast.PostIncr !e)
+    | Token.Minus_minus ->
+      advance st;
+      e := mk loc (Ast.PostDecr !e)
+    | _ -> continue_scan := false
+  done;
+  !e
+
+and parse_primary st : Ast.expr =
+  let loc = cur_loc st in
+  match cur_kind st with
+  | Token.Ident name -> advance st; mk loc (Ast.Ident name)
+  | Token.Int_lit v -> advance st; mk loc (Ast.IntLit v)
+  | Token.Char_lit c -> advance st; mk loc (Ast.CharLit c)
+  | Token.Str_lit s -> advance st; mk loc (Ast.StrLit s)
+  | Token.Lparen ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.Rparen;
+    e
+  | k -> err st "expected expression but found '%s'" (Token.to_string k)
+
+(* ---- initializers ------------------------------------------------------- *)
+
+and parse_init st : Ast.init =
+  if cur_kind st = Token.Lbrace then begin
+    advance st;
+    let items = ref [] in
+    if cur_kind st <> Token.Rbrace then begin
+      let rec loop () =
+        items := parse_init st :: !items;
+        if accept st Token.Comma then
+          (if cur_kind st <> Token.Rbrace then loop ())
+      in
+      loop ()
+    end;
+    expect st Token.Rbrace;
+    Ast.CompoundInit (List.rev !items)
+  end
+  else Ast.SingleInit (parse_assignment st)
+
+(* ---- statements ---------------------------------------------------------- *)
+
+and mks loc desc = { Ast.sdesc = desc; sloc = loc }
+
+and parse_stmt st : Ast.stmt =
+  let loc = cur_loc st in
+  match cur_kind st with
+  | Token.Lbrace -> mks loc (Ast.Block (parse_block st))
+  | Token.Kw_if ->
+    advance st;
+    expect st Token.Lparen;
+    let cond = parse_expr st in
+    expect st Token.Rparen;
+    let then_s = parse_stmt st in
+    let else_s = if accept st Token.Kw_else then Some (parse_stmt st) else None in
+    mks loc (Ast.If (cond, then_s, else_s))
+  | Token.Kw_while ->
+    advance st;
+    expect st Token.Lparen;
+    let cond = parse_expr st in
+    expect st Token.Rparen;
+    mks loc (Ast.While (cond, parse_stmt st))
+  | Token.Kw_do ->
+    advance st;
+    let body = parse_stmt st in
+    expect st Token.Kw_while;
+    expect st Token.Lparen;
+    let cond = parse_expr st in
+    expect st Token.Rparen;
+    expect st Token.Semi;
+    mks loc (Ast.DoWhile (body, cond))
+  | Token.Kw_for ->
+    advance st;
+    expect st Token.Lparen;
+    (* declaration in for-init is lowered by wrapping in a block *)
+    if starts_decl st then begin
+      let decls = parse_local_decl st in
+      let cond = if cur_kind st = Token.Semi then None else Some (parse_expr st) in
+      expect st Token.Semi;
+      let step = if cur_kind st = Token.Rparen then None else Some (parse_expr st) in
+      expect st Token.Rparen;
+      let body = parse_stmt st in
+      mks loc
+        (Ast.Block
+           [ mks loc (Ast.Decl decls); mks loc (Ast.For (None, cond, step, body)) ])
+    end
+    else begin
+      let init = if cur_kind st = Token.Semi then None else Some (parse_expr st) in
+      expect st Token.Semi;
+      let cond = if cur_kind st = Token.Semi then None else Some (parse_expr st) in
+      expect st Token.Semi;
+      let step = if cur_kind st = Token.Rparen then None else Some (parse_expr st) in
+      expect st Token.Rparen;
+      mks loc (Ast.For (init, cond, step, parse_stmt st))
+    end
+  | Token.Kw_return ->
+    advance st;
+    let e = if cur_kind st = Token.Semi then None else Some (parse_expr st) in
+    expect st Token.Semi;
+    mks loc (Ast.Return e)
+  | Token.Kw_break ->
+    advance st;
+    expect st Token.Semi;
+    mks loc Ast.Break
+  | Token.Kw_continue ->
+    advance st;
+    expect st Token.Semi;
+    mks loc Ast.Continue
+  | Token.Kw_switch ->
+    advance st;
+    expect st Token.Lparen;
+    let scrutinee = parse_expr st in
+    expect st Token.Rparen;
+    expect st Token.Lbrace;
+    let cases = ref [] in
+    while cur_kind st <> Token.Rbrace do
+      let vals = ref [] in
+      let is_default = ref false in
+      let rec labels () =
+        match cur_kind st with
+        | Token.Kw_case ->
+          advance st;
+          vals := const_eval st (parse_conditional st) :: !vals;
+          expect st Token.Colon;
+          labels ()
+        | Token.Kw_default ->
+          advance st;
+          is_default := true;
+          expect st Token.Colon;
+          labels ()
+        | _ -> ()
+      in
+      labels ();
+      if !vals = [] && not !is_default then
+        err st "expected 'case' or 'default' label";
+      let body = ref [] in
+      while
+        cur_kind st <> Token.Rbrace
+        && cur_kind st <> Token.Kw_case
+        && cur_kind st <> Token.Kw_default
+      do
+        body := parse_stmt st :: !body
+      done;
+      cases := { Ast.cvals = List.rev !vals; cbody = List.rev !body } :: !cases
+    done;
+    expect st Token.Rbrace;
+    mks loc (Ast.Switch (scrutinee, List.rev !cases))
+  | Token.Semi ->
+    advance st;
+    mks loc Ast.Empty
+  | Token.Kw_goto -> err st "goto is not supported by this frontend"
+  | _ when starts_decl st -> mks loc (Ast.Decl (parse_local_decl st))
+  | _ ->
+    let e = parse_expr st in
+    expect st Token.Semi;
+    mks loc (Ast.Expr e)
+
+and parse_block st : Ast.stmt list =
+  expect st Token.Lbrace;
+  let stmts = ref [] in
+  while cur_kind st <> Token.Rbrace do
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect st Token.Rbrace;
+  List.rev !stmts
+
+(* local declaration up to and including the ';' (or up to the first ';'
+   inside for-init) *)
+and parse_local_decl st : Ast.decl list =
+  let loc = cur_loc st in
+  let storage, base = parse_decl_specifiers st in
+  if storage = Stypedef then err st "typedef is only supported at file scope";
+  let is_static = storage = Sstatic in
+  if cur_kind st = Token.Semi then begin
+    advance st;
+    []  (* bare struct/enum definition as a statement *)
+  end
+  else begin
+    let decls = ref [] in
+    let rec loop () =
+      let name, t = parse_declarator st base in
+      let name =
+        match name with Some n -> n | None -> err st "declaration requires a name"
+      in
+      let init = if accept st Token.Assign then Some (parse_init st) else None in
+      decls :=
+        { Ast.dname = name; dtype = t; dinit = init; dstatic = is_static; dloc = loc }
+        :: !decls;
+      if accept st Token.Comma then loop ()
+    in
+    loop ();
+    expect st Token.Semi;
+    List.rev !decls
+  end
+
+(* ---- globals ------------------------------------------------------------- *)
+
+let drain_hoisted st =
+  let globals = List.rev st.hoisted in
+  st.hoisted <- [];
+  globals
+
+let parse_global st : Ast.global list =
+  let loc = cur_loc st in
+  let storage, base = parse_decl_specifiers st in
+  let hoisted = drain_hoisted st in
+  if cur_kind st = Token.Semi then begin
+    (* bare struct/union/enum definition *)
+    advance st;
+    hoisted
+  end
+  else begin
+    let name, t = parse_declarator st base in
+    match storage, name with
+    | Stypedef, Some name ->
+      Hashtbl.replace st.typedefs name t;
+      expect st Token.Semi;
+      hoisted @ [ Ast.Gtypedef (name, t, loc) ]
+    | Stypedef, None -> err st "typedef requires a name"
+    | _, None -> err st "declaration requires a name"
+    | _, Some name ->
+      (match Ctype.unroll t with
+      | Ctype.Func fs when cur_kind st = Token.Lbrace ->
+        let body = parse_block st in
+        hoisted
+        @ drain_hoisted st
+        @ [ Ast.Gfun
+              {
+                Ast.fun_name = name;
+                fun_sig = fs;
+                fun_body = body;
+                fun_static = storage = Sstatic;
+                fun_loc = loc;
+              } ]
+      | Ctype.Func fs ->
+        (* prototype; allow a comma-separated list of further declarators *)
+        let acc = ref [ Ast.Gfundecl (name, fs, loc) ] in
+        while accept st Token.Comma do
+          let name2, t2 = parse_declarator st base in
+          match name2, Ctype.unroll t2 with
+          | Some n2, Ctype.Func fs2 -> acc := Ast.Gfundecl (n2, fs2, loc) :: !acc
+          | Some n2, _ ->
+            acc :=
+              Ast.Gvar
+                ({ Ast.dname = n2; dtype = t2; dinit = None; dstatic = false;
+                   dloc = loc },
+                 storage = Sextern)
+              :: !acc
+          | None, _ -> err st "declaration requires a name"
+        done;
+        expect st Token.Semi;
+        hoisted @ List.rev !acc
+      | _ ->
+        let first_init = if accept st Token.Assign then Some (parse_init st) else None in
+        let acc =
+          ref
+            [ Ast.Gvar
+                ({ Ast.dname = name; dtype = t; dinit = first_init;
+                   dstatic = false; dloc = loc },
+                 storage = Sextern) ]
+        in
+        while accept st Token.Comma do
+          let name2, t2 = parse_declarator st base in
+          let name2 =
+            match name2 with
+            | Some n -> n
+            | None -> err st "declaration requires a name"
+          in
+          let init2 = if accept st Token.Assign then Some (parse_init st) else None in
+          acc :=
+            Ast.Gvar
+              ({ Ast.dname = name2; dtype = t2; dinit = init2; dstatic = false;
+                 dloc = loc },
+               storage = Sextern)
+            :: !acc
+        done;
+        expect st Token.Semi;
+        hoisted @ List.rev !acc)
+  end
+
+let parse_tokens toks : Ast.program =
+  let st = make_state toks in
+  let globals = ref [] in
+  while cur_kind st <> Token.Eof do
+    let gs = parse_global st in
+    globals := List.rev_append gs !globals
+  done;
+  List.rev !globals
+
+let parse ~file src = parse_tokens (Lexer.tokenize ~file src)

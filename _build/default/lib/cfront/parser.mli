@@ -1,0 +1,18 @@
+(** Recursive-descent parser for the C subset.
+
+    Menhir is not available in this environment, so the grammar is
+    hand-written with one-token lookahead plus the classic typedef-name
+    feedback: the parser maintains the set of names introduced by
+    [typedef] and treats them as type specifiers, which resolves the
+    declaration/expression ambiguity exactly as the C lexer hack does.
+
+    The parser also owns the struct/union tag environment (so that
+    [sizeof] of a composite can be folded into a constant where the
+    grammar requires one) and the enum-constant environment. *)
+
+val parse : file:string -> string -> Ast.program
+(** Preprocess is assumed done; lexes and parses a full translation unit.
+    Raises {!Srcloc.Error} on syntax errors. *)
+
+val parse_tokens : Token.t list -> Ast.program
+(** Parse an existing token stream (used by tests). *)

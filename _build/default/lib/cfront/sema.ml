@@ -1,0 +1,514 @@
+type env = {
+  comps : (string, Ctype.compinfo) Hashtbl.t;
+  enum_consts : (string, int64) Hashtbl.t;
+  funcs : (string, Ctype.funsig) Hashtbl.t;
+  defined_funcs : (string, unit) Hashtbl.t;
+  globals : (string, Ctype.t) Hashtbl.t;
+}
+
+(* ---- builtin prototypes -------------------------------------------------- *)
+
+let fsig ?(variadic = false) ret params =
+  { Ctype.ret; params = List.map (fun t -> (None, t)) params; variadic }
+
+let void_ptr = Ctype.Ptr Ctype.Void
+let cp = Ctype.char_ptr
+let i = Ctype.int_t
+let l = Ctype.long_t
+
+let builtins =
+  [
+    ("malloc", fsig void_ptr [ l ]);
+    ("calloc", fsig void_ptr [ l; l ]);
+    ("realloc", fsig void_ptr [ void_ptr; l ]);
+    ("free", fsig Ctype.Void [ void_ptr ]);
+    ("printf", fsig ~variadic:true i [ cp ]);
+    ("fprintf", fsig ~variadic:true i [ void_ptr; cp ]);
+    ("sprintf", fsig ~variadic:true i [ cp; cp ]);
+    ("scanf", fsig ~variadic:true i [ cp ]);
+    ("sscanf", fsig ~variadic:true i [ cp; cp ]);
+    ("strcpy", fsig cp [ cp; cp ]);
+    ("strncpy", fsig cp [ cp; cp; l ]);
+    ("strcat", fsig cp [ cp; cp ]);
+    ("strncat", fsig cp [ cp; cp; l ]);
+    ("strcmp", fsig i [ cp; cp ]);
+    ("strncmp", fsig i [ cp; cp; l ]);
+    ("strchr", fsig cp [ cp; i ]);
+    ("strrchr", fsig cp [ cp; i ]);
+    ("strstr", fsig cp [ cp; cp ]);
+    ("strdup", fsig cp [ cp ]);
+    ("strlen", fsig l [ cp ]);
+    ("strtol", fsig l [ cp; Ctype.Ptr cp; i ]);
+    ("memcpy", fsig void_ptr [ void_ptr; void_ptr; l ]);
+    ("memmove", fsig void_ptr [ void_ptr; void_ptr; l ]);
+    ("memset", fsig void_ptr [ void_ptr; i; l ]);
+    ("memcmp", fsig i [ void_ptr; void_ptr; l ]);
+    ("exit", fsig Ctype.Void [ i ]);
+    ("abort", fsig Ctype.Void []);
+    ("atoi", fsig i [ cp ]);
+    ("atol", fsig l [ cp ]);
+    ("abs", fsig i [ i ]);
+    ("labs", fsig l [ l ]);
+    ("getchar", fsig i []);
+    ("putchar", fsig i [ i ]);
+    ("puts", fsig i [ cp ]);
+    ("gets", fsig cp [ cp ]);
+    ("fgets", fsig cp [ cp; i; void_ptr ]);
+    ("fputs", fsig i [ cp; void_ptr ]);
+    ("fopen", fsig void_ptr [ cp; cp ]);
+    ("fclose", fsig i [ void_ptr ]);
+    ("fread", fsig l [ void_ptr; l; l; void_ptr ]);
+    ("fwrite", fsig l [ void_ptr; l; l; void_ptr ]);
+    ("getc", fsig i [ void_ptr ]);
+    ("putc", fsig i [ i; void_ptr ]);
+    ("rand", fsig i []);
+    ("srand", fsig Ctype.Void [ i ]);
+    ("qsort",
+     fsig Ctype.Void
+       [ void_ptr; l; l;
+         Ctype.Ptr (Ctype.Func (fsig i [ void_ptr; void_ptr ])) ]);
+    ("assert", fsig Ctype.Void [ i ]);
+  ]
+
+let builtin_table =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (name, fs) -> Hashtbl.add tbl name fs) builtins;
+  tbl
+
+let is_alloc_function name =
+  match name with "malloc" | "calloc" | "realloc" | "strdup" -> true | _ -> false
+
+(* ---- scopes -------------------------------------------------------------- *)
+
+type scope = {
+  senv : env;
+  sfun : string;
+  sret : Ctype.t;
+  mutable frames : (string, Ctype.t) Hashtbl.t list;
+}
+
+let scope_create env fname fs =
+  let frame = Hashtbl.create 16 in
+  List.iteri
+    (fun idx (name, t) ->
+      match name with
+      | Some n -> Hashtbl.replace frame n t
+      | None ->
+        Srcloc.error Srcloc.dummy "function %s: parameter %d has no name" fname idx)
+    fs.Ctype.params;
+  { senv = env; sfun = fname; sret = fs.Ctype.ret; frames = [ frame ] }
+
+let scope_push sc = sc.frames <- Hashtbl.create 8 :: sc.frames
+
+let scope_pop sc =
+  match sc.frames with
+  | [] | [ _ ] -> invalid_arg "Sema.scope_pop: cannot pop parameter frame"
+  | _ :: rest -> sc.frames <- rest
+
+let scope_add sc name t loc =
+  match sc.frames with
+  | [] -> assert false
+  | frame :: _ ->
+    if Hashtbl.mem frame name then
+      Srcloc.error loc "redeclaration of '%s' in the same scope" name;
+    Hashtbl.replace frame name t
+
+let scope_params sc =
+  (* outermost frame, insertion order not preserved by Hashtbl; callers that
+     need order use the funsig instead *)
+  match List.rev sc.frames with
+  | frame :: _ -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) frame []
+  | [] -> []
+
+let lookup_var sc name =
+  let rec go = function
+    | [] -> None
+    | frame :: rest ->
+      (match Hashtbl.find_opt frame name with
+      | Some t -> Some t
+      | None -> go rest)
+  in
+  go sc.frames
+
+(* ---- typing -------------------------------------------------------------- *)
+
+let comp_of sc loc t =
+  match Ctype.unroll t with
+  | Ctype.Comp (_, tag) ->
+    (match Hashtbl.find_opt sc.senv.comps tag with
+    | Some ci when ci.Ctype.cdefined -> ci
+    | _ -> Srcloc.error loc "use of incomplete type 'struct/union %s'" tag)
+  | _ -> Srcloc.error loc "member access on non-composite type '%s'" (Ctype.to_string t)
+
+let field_type sc loc t fname =
+  let ci = comp_of sc loc t in
+  match List.find_opt (fun f -> String.equal f.Ctype.fname fname) ci.Ctype.cfields with
+  | Some f -> f.Ctype.ftype
+  | None ->
+    Srcloc.error loc "no member named '%s' in '%s'" fname (Ctype.to_string t)
+
+let rec is_lvalue (e : Ast.expr) =
+  match e.edesc with
+  | Ast.Ident _ | Ast.Index _ | Ast.Arrow _ | Ast.Deref _ -> true
+  | Ast.Member (base, _) -> is_lvalue base
+  | Ast.StrLit _ -> true  (* array lvalue; writes to it are UB but type-legal *)
+  | Ast.Cast (_, inner) -> is_lvalue inner  (* accepted as a C extension *)
+  | _ -> false
+
+let rec type_of_expr sc (e : Ast.expr) : Ctype.t =
+  let loc = e.Ast.eloc in
+  let open Ast in
+  match e.edesc with
+  | IntLit _ -> Ctype.int_t
+  | CharLit _ -> Ctype.int_t
+  | StrLit s -> Ctype.Array (Ctype.char_t, Some (String.length s + 1))
+  | Ident name ->
+    (match lookup_var sc name with
+    | Some t -> t
+    | None ->
+      (match Hashtbl.find_opt sc.senv.globals name with
+      | Some t -> t
+      | None ->
+        (match Hashtbl.find_opt sc.senv.enum_consts name with
+        | Some _ -> Ctype.int_t
+        | None ->
+          (match Hashtbl.find_opt sc.senv.funcs name with
+          | Some fs -> Ctype.Func fs
+          | None -> Srcloc.error loc "undeclared identifier '%s'" name))))
+  | Call (fn, args) ->
+    let fn_t =
+      match fn.edesc with
+      | Ident name when lookup_var sc name = None
+                        && not (Hashtbl.mem sc.senv.globals name) ->
+        (* direct call: defined, declared, or builtin *)
+        (match Hashtbl.find_opt sc.senv.funcs name with
+        | Some fs -> Ctype.Func fs
+        | None ->
+          (match Hashtbl.find_opt builtin_table name with
+          | Some fs -> Ctype.Func fs
+          | None -> Srcloc.error loc "call to undeclared function '%s'" name))
+      | _ -> type_of_expr sc fn
+    in
+    let fs =
+      match Ctype.unroll fn_t with
+      | Ctype.Func fs -> fs
+      | Ctype.Ptr target ->
+        (match Ctype.unroll target with
+        | Ctype.Func fs -> fs
+        | _ -> Srcloc.error loc "called object is not a function")
+      | _ -> Srcloc.error loc "called object is not a function"
+    in
+    let nparams = List.length fs.Ctype.params in
+    let nargs = List.length args in
+    if nargs < nparams || (nargs > nparams && not fs.Ctype.variadic) then
+      Srcloc.error loc "wrong number of arguments (%d for %d)" nargs nparams;
+    List.iteri
+      (fun idx arg ->
+        let arg_t = Ctype.decay (type_of_expr sc arg) in
+        if idx < nparams then begin
+          let _, param_t = List.nth fs.Ctype.params idx in
+          if not (Ctype.compatible param_t arg_t) then
+            Srcloc.error arg.eloc
+              "argument %d: cannot pass '%s' where '%s' is expected" (idx + 1)
+              (Ctype.to_string arg_t) (Ctype.to_string param_t)
+        end)
+      args;
+    fs.Ctype.ret
+  | Index (arr, idx) ->
+    let arr_t = Ctype.decay (type_of_expr sc arr) in
+    let idx_t = type_of_expr sc idx in
+    (* support the legal-but-rare [i[a]] spelling by symmetry *)
+    (match Ctype.pointee arr_t, Ctype.pointee (Ctype.decay idx_t) with
+    | Some elt, _ ->
+      if not (Ctype.is_integral idx_t) then
+        Srcloc.error loc "array subscript is not an integer";
+      elt
+    | None, Some elt ->
+      if not (Ctype.is_integral arr_t) then
+        Srcloc.error loc "subscripted value is neither array nor pointer";
+      elt
+    | None, None -> Srcloc.error loc "subscripted value is neither array nor pointer")
+  | Member (base, fname) -> field_type sc loc (type_of_expr sc base) fname
+  | Arrow (base, fname) ->
+    let base_t = Ctype.decay (type_of_expr sc base) in
+    (match Ctype.pointee base_t with
+    | Some t -> field_type sc loc t fname
+    | None -> Srcloc.error loc "'->' applied to non-pointer type")
+  | Deref ptr ->
+    let t = Ctype.decay (type_of_expr sc ptr) in
+    (match Ctype.pointee t with
+    | Some target -> target
+    | None -> Srcloc.error loc "dereference of non-pointer type '%s'" (Ctype.to_string t))
+  | AddrOf inner ->
+    if not (is_lvalue inner) then
+      (match inner.edesc with
+      | Ident name when Hashtbl.mem sc.senv.funcs name -> ()
+      | _ -> Srcloc.error loc "cannot take the address of this expression");
+    Ctype.Ptr (type_of_expr sc inner)
+  | Unop (Lnot, a) ->
+    let t = Ctype.decay (type_of_expr sc a) in
+    if not (Ctype.is_scalar t) then Srcloc.error loc "'!' requires a scalar operand";
+    Ctype.int_t
+  | Unop ((Neg | Bnot), a) ->
+    let t = type_of_expr sc a in
+    if not (Ctype.is_arith t) then
+      Srcloc.error loc "unary arithmetic on non-arithmetic type";
+    t
+  | Binop (op, a, b) -> type_binop sc loc op a b
+  | Assign (lhs, rhs) ->
+    if not (is_lvalue lhs) then Srcloc.error loc "assignment to a non-lvalue";
+    let lhs_t = type_of_expr sc lhs in
+    let rhs_t = Ctype.decay (type_of_expr sc rhs) in
+    if not (Ctype.compatible lhs_t rhs_t) then
+      Srcloc.error loc "cannot assign '%s' to '%s'" (Ctype.to_string rhs_t)
+        (Ctype.to_string lhs_t);
+    lhs_t
+  | OpAssign (op, lhs, rhs) ->
+    if not (is_lvalue lhs) then Srcloc.error loc "assignment to a non-lvalue";
+    let t = type_binop sc loc op lhs rhs in
+    let lhs_t = type_of_expr sc lhs in
+    if not (Ctype.compatible lhs_t t) then
+      Srcloc.error loc "invalid compound assignment";
+    lhs_t
+  | PreIncr a | PreDecr a | PostIncr a | PostDecr a ->
+    if not (is_lvalue a) then Srcloc.error loc "++/-- requires an lvalue";
+    let t = type_of_expr sc a in
+    if not (Ctype.is_scalar (Ctype.decay t)) then
+      Srcloc.error loc "++/-- requires a scalar operand";
+    t
+  | Cast (t, inner) ->
+    let inner_t = Ctype.decay (type_of_expr sc inner) in
+    let ok =
+      Ctype.is_void t
+      || (Ctype.is_scalar t && Ctype.is_scalar inner_t)
+      || Ctype.compatible t inner_t
+    in
+    if not ok then
+      Srcloc.error loc "invalid cast from '%s' to '%s'" (Ctype.to_string inner_t)
+        (Ctype.to_string t);
+    t
+  | SizeofType _ | SizeofExpr _ ->
+    (match e.edesc with
+    | SizeofExpr inner -> ignore (type_of_expr sc inner)
+    | _ -> ());
+    Ctype.long_t
+  | Cond (c, a, b) ->
+    let c_t = Ctype.decay (type_of_expr sc c) in
+    if not (Ctype.is_scalar c_t) then Srcloc.error loc "condition must be scalar";
+    let a_t = Ctype.decay (type_of_expr sc a) in
+    let b_t = Ctype.decay (type_of_expr sc b) in
+    if not (Ctype.compatible a_t b_t) then
+      Srcloc.error loc "incompatible branches of '?:'";
+    (* prefer the pointer branch so null-pointer constants don't lose types *)
+    if Ctype.is_pointer a_t then a_t else b_t
+  | Comma (a, b) ->
+    ignore (type_of_expr sc a);
+    type_of_expr sc b
+
+and type_binop sc loc op a b =
+  let a_t = Ctype.decay (type_of_expr sc a) in
+  let b_t = Ctype.decay (type_of_expr sc b) in
+  let open Ast in
+  match op with
+  | Add | Sub ->
+    (match Ctype.is_pointer a_t, Ctype.is_pointer b_t with
+    | true, false ->
+      if not (Ctype.is_integral b_t) then
+        Srcloc.error loc "pointer arithmetic requires an integer operand";
+      a_t
+    | false, true ->
+      if op = Sub then Srcloc.error loc "cannot subtract a pointer from an integer";
+      if not (Ctype.is_integral a_t) then
+        Srcloc.error loc "pointer arithmetic requires an integer operand";
+      b_t
+    | true, true ->
+      if op = Add then Srcloc.error loc "cannot add two pointers";
+      Ctype.long_t
+    | false, false ->
+      if not (Ctype.is_arith a_t && Ctype.is_arith b_t) then
+        Srcloc.error loc "arithmetic on non-arithmetic types";
+      Ctype.int_t)
+  | Mul | Div | Mod | Shl | Shr | Band | Bor | Bxor ->
+    if not (Ctype.is_arith a_t && Ctype.is_arith b_t) then
+      Srcloc.error loc "arithmetic on non-arithmetic types";
+    Ctype.int_t
+  | Lt | Gt | Le | Ge | Eq | Ne ->
+    if not (Ctype.is_scalar a_t && Ctype.is_scalar b_t) then
+      Srcloc.error loc "comparison requires scalar operands";
+    Ctype.int_t
+  | Land | Lor ->
+    if not (Ctype.is_scalar a_t && Ctype.is_scalar b_t) then
+      Srcloc.error loc "logical operator requires scalar operands";
+    Ctype.int_t
+
+(* ---- initializer checking ------------------------------------------------ *)
+
+let rec check_init sc t (init : Ast.init) loc =
+  match init, Ctype.unroll t with
+  | Ast.SingleInit e, Ctype.Array (elt, _)
+    when (match e.Ast.edesc with Ast.StrLit _ -> true | _ -> false)
+         && Ctype.is_integral elt -> ()
+  | Ast.SingleInit e, _ ->
+    let e_t = Ctype.decay (type_of_expr sc e) in
+    if not (Ctype.compatible t e_t) then
+      Srcloc.error loc "cannot initialize '%s' with '%s'" (Ctype.to_string t)
+        (Ctype.to_string e_t)
+  | Ast.CompoundInit items, Ctype.Array (elt, len) ->
+    (match len with
+    | Some n when List.length items > n ->
+      Srcloc.error loc "too many array initializers"
+    | _ -> ());
+    List.iter (fun item -> check_init sc elt item loc) items
+  | Ast.CompoundInit items, Ctype.Comp (Ctype.Struct, tag) ->
+    (match Hashtbl.find_opt sc.senv.comps tag with
+    | Some ci when ci.Ctype.cdefined ->
+      if List.length items > List.length ci.Ctype.cfields then
+        Srcloc.error loc "too many struct initializers";
+      List.iteri
+        (fun idx item ->
+          let f = List.nth ci.Ctype.cfields idx in
+          check_init sc f.Ctype.ftype item loc)
+        items
+    | _ -> Srcloc.error loc "initializer for incomplete type")
+  | Ast.CompoundInit (first :: _), Ctype.Comp (Ctype.Union, tag) ->
+    (match Hashtbl.find_opt sc.senv.comps tag with
+    | Some ci when ci.Ctype.cdefined && ci.Ctype.cfields <> [] ->
+      check_init sc (List.hd ci.Ctype.cfields).Ctype.ftype first loc
+    | _ -> Srcloc.error loc "initializer for incomplete type")
+  | Ast.CompoundInit [], _ -> ()
+  | Ast.CompoundInit _, _ ->
+    Srcloc.error loc "braced initializer for scalar type '%s'" (Ctype.to_string t)
+
+(* ---- statement checking --------------------------------------------------- *)
+
+let rec check_stmt sc in_loop (s : Ast.stmt) =
+  let loc = s.Ast.sloc in
+  let open Ast in
+  match s.sdesc with
+  | Expr e -> ignore (type_of_expr sc e)
+  | Decl decls ->
+    List.iter
+      (fun d ->
+        if Ctype.is_void d.dtype then
+          Srcloc.error d.dloc "variable '%s' has incomplete type void" d.dname;
+        scope_add sc d.dname d.dtype d.dloc;
+        match d.dinit with
+        | Some init -> check_init sc d.dtype init d.dloc
+        | None -> ())
+      decls
+  | Block stmts ->
+    scope_push sc;
+    List.iter (check_stmt sc in_loop) stmts;
+    scope_pop sc
+  | If (cond, then_s, else_s) ->
+    require_scalar sc cond;
+    check_stmt sc in_loop then_s;
+    Option.iter (check_stmt sc in_loop) else_s
+  | While (cond, body) | DoWhile (body, cond) ->
+    require_scalar sc cond;
+    check_stmt sc true body
+  | For (init, cond, step, body) ->
+    Option.iter (fun e -> ignore (type_of_expr sc e)) init;
+    Option.iter (require_scalar sc) cond;
+    Option.iter (fun e -> ignore (type_of_expr sc e)) step;
+    check_stmt sc true body
+  | Return None ->
+    if not (Ctype.is_void sc.sret) then
+      Srcloc.error loc "non-void function must return a value"
+  | Return (Some e) ->
+    let t = Ctype.decay (type_of_expr sc e) in
+    if Ctype.is_void sc.sret then
+      Srcloc.error loc "void function cannot return a value"
+    else if not (Ctype.compatible sc.sret t) then
+      Srcloc.error loc "cannot return '%s' from a function returning '%s'"
+        (Ctype.to_string t) (Ctype.to_string sc.sret)
+  | Break | Continue ->
+    if not in_loop then Srcloc.error loc "break/continue outside of a loop or switch"
+  | Switch (scrutinee, cases) ->
+    let t = type_of_expr sc scrutinee in
+    if not (Ctype.is_integral t) then
+      Srcloc.error loc "switch requires an integral scrutinee";
+    let seen_default = ref false in
+    List.iter
+      (fun case ->
+        if case.cvals = [] then begin
+          if !seen_default then Srcloc.error loc "duplicate default label";
+          seen_default := true
+        end;
+        scope_push sc;
+        List.iter (check_stmt sc true) case.cbody;
+        scope_pop sc)
+      cases
+  | Empty -> ()
+
+and require_scalar sc e =
+  let t = Ctype.decay (type_of_expr sc e) in
+  if not (Ctype.is_scalar t) then
+    Srcloc.error e.Ast.eloc "condition must have scalar type, not '%s'"
+      (Ctype.to_string t)
+
+(* ---- program checking ------------------------------------------------------ *)
+
+let check (prog : Ast.program) : env =
+  let env =
+    {
+      comps = Hashtbl.create 32;
+      enum_consts = Hashtbl.create 32;
+      funcs = Hashtbl.create 32;
+      defined_funcs = Hashtbl.create 32;
+      globals = Hashtbl.create 32;
+    }
+  in
+  (* pass 1: collect type and symbol definitions *)
+  List.iter
+    (fun g ->
+      let open Ast in
+      match g with
+      | Gcomp (ci, _) -> Hashtbl.replace env.comps ci.Ctype.ctag ci
+      | Genum (_, items, _) ->
+        List.iter (fun (n, v) -> Hashtbl.replace env.enum_consts n v) items
+      | Gfun fd ->
+        (match Hashtbl.find_opt env.funcs fd.fun_name with
+        | Some prior when not (Ctype.same (Ctype.Func prior) (Ctype.Func fd.fun_sig)) ->
+          Srcloc.error fd.fun_loc "conflicting declarations of '%s'" fd.fun_name
+        | _ -> ());
+        if Hashtbl.mem env.defined_funcs fd.fun_name then
+          Srcloc.error fd.fun_loc "redefinition of function '%s'" fd.fun_name;
+        Hashtbl.replace env.funcs fd.fun_name fd.fun_sig;
+        Hashtbl.replace env.defined_funcs fd.fun_name ()
+      | Gfundecl (name, fs, loc) ->
+        (match Hashtbl.find_opt env.funcs name with
+        | Some prior when not (Ctype.same (Ctype.Func prior) (Ctype.Func fs)) ->
+          Srcloc.error loc "conflicting declarations of '%s'" name
+        | Some _ -> ()  (* keep the definition's signature if present *)
+        | None -> Hashtbl.replace env.funcs name fs)
+      | Gvar (d, _) ->
+        (match Hashtbl.find_opt env.globals d.dname with
+        | Some prior when not (Ctype.same prior d.dtype) ->
+          Srcloc.error d.dloc "conflicting declarations of global '%s'" d.dname
+        | _ -> ());
+        Hashtbl.replace env.globals d.dname d.dtype
+      | Gtypedef _ -> ())
+    prog;
+  (* pass 2: check bodies and global initializers *)
+  List.iter
+    (fun g ->
+      let open Ast in
+      match g with
+      | Gfun fd ->
+        let sc = scope_create env fd.fun_name fd.fun_sig in
+        scope_push sc;
+        List.iter (check_stmt sc false) fd.fun_body;
+        scope_pop sc
+      | Gvar (d, _) ->
+        (match d.dinit with
+        | Some init ->
+          (* a global initializer is checked in an empty scope *)
+          let sc =
+            scope_create env "<global>" { Ctype.ret = Ctype.Void; params = []; variadic = false }
+          in
+          check_init sc d.dtype init d.dloc
+        | None -> ())
+      | Gcomp _ | Genum _ | Gtypedef _ | Gfundecl _ -> ())
+    prog;
+  env

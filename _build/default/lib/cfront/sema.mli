@@ -1,0 +1,46 @@
+(** Semantic analysis: name resolution and type checking of the AST.
+
+    [check] validates a whole translation unit: every name resolves, every
+    expression types, lvalues are used where lvalues are required, and
+    calls match their prototypes (loosely, in the C tradition — pointer
+    mixes and integer/pointer conversions are allowed, as the analysis is
+    value-based).  It returns the global environment that {!Norm} lowers
+    against.
+
+    Undeclared functions from the C library that the benchmarks use
+    ([malloc], [strcpy], [printf], ...) are typed against the built-in
+    prototype table {!builtins}. *)
+
+type env = {
+  comps : (string, Ctype.compinfo) Hashtbl.t;
+  enum_consts : (string, int64) Hashtbl.t;
+  funcs : (string, Ctype.funsig) Hashtbl.t;   (** defined and declared *)
+  defined_funcs : (string, unit) Hashtbl.t;   (** subset with bodies *)
+  globals : (string, Ctype.t) Hashtbl.t;
+}
+
+val builtins : (string * Ctype.funsig) list
+(** Prototypes assumed for well-known C library functions when no
+    declaration is in scope. *)
+
+val is_alloc_function : string -> bool
+(** [malloc]/[calloc]/[realloc]: calls become {!Sil.Alloc} sites. *)
+
+val check : Ast.program -> env
+(** Raises {!Srcloc.Error} on any semantic error. *)
+
+(** Expression typing is exposed for {!Norm} and the tests.  A [scope] is
+    a stack of local bindings over the global [env]. *)
+
+type scope
+
+val scope_create : env -> string (** function name *) -> Ctype.funsig -> scope
+val scope_push : scope -> unit
+val scope_pop : scope -> unit
+val scope_add : scope -> string -> Ctype.t -> Srcloc.t -> unit
+val scope_params : scope -> (string * Ctype.t) list
+
+val type_of_expr : scope -> Ast.expr -> Ctype.t
+(** Type of an expression in the given scope; raises {!Srcloc.Error}. *)
+
+val is_lvalue : Ast.expr -> bool

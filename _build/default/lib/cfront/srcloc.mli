@@ -1,0 +1,22 @@
+(** Source positions for error reporting throughout the frontend. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;   (** 1-based *)
+}
+
+val dummy : t
+(** Position used for synthesized constructs. *)
+
+val make : file:string -> line:int -> col:int -> t
+
+val to_string : t -> string
+(** ["file:line:col"]. *)
+
+exception Error of t * string
+(** Frontend error carrying its source position.  All lexer, preprocessor,
+    parser and type errors are reported through this exception. *)
+
+val error : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error loc fmt ...] raises {!Error} with a formatted message. *)

@@ -1,0 +1,81 @@
+type kind =
+  | Ident of string
+  | Int_lit of int64
+  | Char_lit of char
+  | Str_lit of string
+  | Kw_auto | Kw_break | Kw_case | Kw_char | Kw_const | Kw_continue
+  | Kw_default | Kw_do | Kw_double | Kw_else | Kw_enum | Kw_extern
+  | Kw_float | Kw_for | Kw_goto | Kw_if | Kw_int | Kw_long | Kw_register
+  | Kw_return | Kw_short | Kw_signed | Kw_sizeof | Kw_static | Kw_struct
+  | Kw_switch | Kw_typedef | Kw_union | Kw_unsigned | Kw_void | Kw_volatile
+  | Kw_while
+  | Lparen | Rparen | Lbrace | Rbrace | Lbracket | Rbracket
+  | Semi | Comma | Colon | Question | Ellipsis
+  | Dot | Arrow
+  | Plus | Minus | Star | Slash | Percent
+  | Amp | Bar | Caret | Tilde | Bang
+  | Lt | Gt | Le | Ge | Eq_eq | Bang_eq
+  | Amp_amp | Bar_bar
+  | Shl | Shr
+  | Assign
+  | Plus_assign | Minus_assign | Star_assign | Slash_assign | Percent_assign
+  | Amp_assign | Bar_assign | Caret_assign | Shl_assign | Shr_assign
+  | Plus_plus | Minus_minus
+  | Eof
+
+type t = { kind : kind; loc : Srcloc.t }
+
+let keywords =
+  [ ("auto", Kw_auto); ("break", Kw_break); ("case", Kw_case);
+    ("char", Kw_char); ("const", Kw_const); ("continue", Kw_continue);
+    ("default", Kw_default); ("do", Kw_do); ("double", Kw_double);
+    ("else", Kw_else); ("enum", Kw_enum); ("extern", Kw_extern);
+    ("float", Kw_float); ("for", Kw_for); ("goto", Kw_goto); ("if", Kw_if);
+    ("int", Kw_int); ("long", Kw_long); ("register", Kw_register);
+    ("return", Kw_return); ("short", Kw_short); ("signed", Kw_signed);
+    ("sizeof", Kw_sizeof); ("static", Kw_static); ("struct", Kw_struct);
+    ("switch", Kw_switch); ("typedef", Kw_typedef); ("union", Kw_union);
+    ("unsigned", Kw_unsigned); ("void", Kw_void); ("volatile", Kw_volatile);
+    ("while", Kw_while) ]
+
+let keyword_table =
+  let tbl = Hashtbl.create 41 in
+  List.iter (fun (name, kind) -> Hashtbl.add tbl name kind) keywords;
+  tbl
+
+let keyword_of_string s = Hashtbl.find_opt keyword_table s
+
+let to_string = function
+  | Ident s -> s
+  | Int_lit n -> Int64.to_string n
+  | Char_lit c -> Printf.sprintf "%C" c
+  | Str_lit s -> Printf.sprintf "%S" s
+  | Kw_auto -> "auto" | Kw_break -> "break" | Kw_case -> "case"
+  | Kw_char -> "char" | Kw_const -> "const" | Kw_continue -> "continue"
+  | Kw_default -> "default" | Kw_do -> "do" | Kw_double -> "double"
+  | Kw_else -> "else" | Kw_enum -> "enum" | Kw_extern -> "extern"
+  | Kw_float -> "float" | Kw_for -> "for" | Kw_goto -> "goto"
+  | Kw_if -> "if" | Kw_int -> "int" | Kw_long -> "long"
+  | Kw_register -> "register" | Kw_return -> "return" | Kw_short -> "short"
+  | Kw_signed -> "signed" | Kw_sizeof -> "sizeof" | Kw_static -> "static"
+  | Kw_struct -> "struct" | Kw_switch -> "switch" | Kw_typedef -> "typedef"
+  | Kw_union -> "union" | Kw_unsigned -> "unsigned" | Kw_void -> "void"
+  | Kw_volatile -> "volatile" | Kw_while -> "while"
+  | Lparen -> "(" | Rparen -> ")" | Lbrace -> "{" | Rbrace -> "}"
+  | Lbracket -> "[" | Rbracket -> "]"
+  | Semi -> ";" | Comma -> "," | Colon -> ":" | Question -> "?"
+  | Ellipsis -> "..."
+  | Dot -> "." | Arrow -> "->"
+  | Plus -> "+" | Minus -> "-" | Star -> "*" | Slash -> "/" | Percent -> "%"
+  | Amp -> "&" | Bar -> "|" | Caret -> "^" | Tilde -> "~" | Bang -> "!"
+  | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">=" | Eq_eq -> "=="
+  | Bang_eq -> "!="
+  | Amp_amp -> "&&" | Bar_bar -> "||"
+  | Shl -> "<<" | Shr -> ">>"
+  | Assign -> "="
+  | Plus_assign -> "+=" | Minus_assign -> "-=" | Star_assign -> "*="
+  | Slash_assign -> "/=" | Percent_assign -> "%="
+  | Amp_assign -> "&=" | Bar_assign -> "|=" | Caret_assign -> "^="
+  | Shl_assign -> "<<=" | Shr_assign -> ">>="
+  | Plus_plus -> "++" | Minus_minus -> "--"
+  | Eof -> "<eof>"

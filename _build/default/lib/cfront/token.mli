@@ -1,0 +1,37 @@
+(** Lexical tokens of the C subset. *)
+
+type kind =
+  (* literals and names *)
+  | Ident of string
+  | Int_lit of int64
+  | Char_lit of char
+  | Str_lit of string
+  (* keywords *)
+  | Kw_auto | Kw_break | Kw_case | Kw_char | Kw_const | Kw_continue
+  | Kw_default | Kw_do | Kw_double | Kw_else | Kw_enum | Kw_extern
+  | Kw_float | Kw_for | Kw_goto | Kw_if | Kw_int | Kw_long | Kw_register
+  | Kw_return | Kw_short | Kw_signed | Kw_sizeof | Kw_static | Kw_struct
+  | Kw_switch | Kw_typedef | Kw_union | Kw_unsigned | Kw_void | Kw_volatile
+  | Kw_while
+  (* punctuation / operators *)
+  | Lparen | Rparen | Lbrace | Rbrace | Lbracket | Rbracket
+  | Semi | Comma | Colon | Question | Ellipsis
+  | Dot | Arrow
+  | Plus | Minus | Star | Slash | Percent
+  | Amp | Bar | Caret | Tilde | Bang
+  | Lt | Gt | Le | Ge | Eq_eq | Bang_eq
+  | Amp_amp | Bar_bar
+  | Shl | Shr
+  | Assign
+  | Plus_assign | Minus_assign | Star_assign | Slash_assign | Percent_assign
+  | Amp_assign | Bar_assign | Caret_assign | Shl_assign | Shr_assign
+  | Plus_plus | Minus_minus
+  | Eof
+
+type t = { kind : kind; loc : Srcloc.t }
+
+val keyword_of_string : string -> kind option
+(** Keyword token for an identifier spelling, if it is a keyword. *)
+
+val to_string : kind -> string
+(** Printable spelling, used in parse error messages. *)

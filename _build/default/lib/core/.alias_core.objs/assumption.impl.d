@@ -1,0 +1,1 @@
+lib/core/assumption.ml: Apath Array Hashtbl List Printf Ptpair String Vdg

@@ -1,0 +1,1 @@
+lib/core/assumption.mli: Ptpair Vdg

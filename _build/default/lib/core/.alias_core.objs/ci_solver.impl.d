@@ -1,0 +1,1 @@
+lib/core/ci_solver.ml: Apath Array Extern_summary Hashtbl Int64 List Option Ptpair Srng Vdg

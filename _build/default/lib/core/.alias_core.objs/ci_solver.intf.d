@@ -1,0 +1,1 @@
+lib/core/ci_solver.mli: Apath Ptpair Vdg

@@ -1,0 +1,1 @@
+lib/core/cs_solver.ml: Apath Array Assumption Ci_solver Extern_summary Hashtbl List Ptpair Queue String Vdg

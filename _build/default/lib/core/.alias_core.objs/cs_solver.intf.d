@@ -1,0 +1,1 @@
+lib/core/cs_solver.mli: Apath Assumption Ci_solver Ptpair Vdg

@@ -1,0 +1,1 @@
+lib/core/extern_summary.ml: Ctype Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/extern_summary.mli: Ctype

@@ -1,0 +1,1 @@
+lib/core/modref.ml: Apath Ci_solver Cs_solver Hashtbl List Srcloc String Vdg

@@ -1,0 +1,1 @@
+lib/core/modref.mli: Apath Ci_solver Cs_solver Srcloc Vdg

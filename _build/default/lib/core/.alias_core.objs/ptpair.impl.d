@@ -1,0 +1,1 @@
+lib/core/ptpair.ml: Apath Hashtbl List Printf

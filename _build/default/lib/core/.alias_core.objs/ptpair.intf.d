@@ -1,0 +1,1 @@
+lib/core/ptpair.mli: Apath

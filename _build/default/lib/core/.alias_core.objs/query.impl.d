@@ -1,0 +1,1 @@
+lib/core/query.ml: Apath Ci_solver Hashtbl List Modref Sil String Vdg

@@ -1,0 +1,1 @@
+lib/core/query.mli: Apath Ci_solver Modref Vdg

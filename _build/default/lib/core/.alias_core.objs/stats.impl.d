@@ -1,0 +1,1 @@
+lib/core/stats.ml: Apath Array Ci_solver Cs_solver Hashtbl List Ptpair Sil Vdg

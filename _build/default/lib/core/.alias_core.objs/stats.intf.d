@@ -1,0 +1,1 @@
+lib/core/stats.mli: Apath Ci_solver Cs_solver Ptpair Vdg

@@ -1,0 +1,79 @@
+type ctx = {
+  ids : (int * int * int, int) Hashtbl.t;  (* (formal node, path, referent) -> id *)
+  mutable rev : (Vdg.node_id * Ptpair.t) array;
+  mutable count : int;
+}
+
+type t = int list
+
+let create_ctx () = { ids = Hashtbl.create 256; rev = [||]; count = 0 }
+
+let intern ctx node (pair : Ptpair.t) =
+  let key = (node, Apath.hash pair.Ptpair.path, Apath.hash pair.Ptpair.referent) in
+  match Hashtbl.find_opt ctx.ids key with
+  | Some id -> id
+  | None ->
+    let id = ctx.count in
+    if id >= Array.length ctx.rev then begin
+      let cap = max 64 (2 * Array.length ctx.rev) in
+      let fresh = Array.make cap (node, pair) in
+      Array.blit ctx.rev 0 fresh 0 ctx.count;
+      ctx.rev <- fresh
+    end;
+    ctx.rev.(id) <- (node, pair);
+    ctx.count <- id + 1;
+    Hashtbl.add ctx.ids key id;
+    id
+
+let describe ctx id =
+  if id < 0 || id >= ctx.count then invalid_arg "Assumption.describe";
+  ctx.rev.(id)
+
+let count ctx = ctx.count
+
+let empty : t = []
+
+let singleton ctx node pair = [ intern ctx node pair ]
+
+let rec union a b =
+  match a, b with
+  | [], l | l, [] -> l
+  | x :: xs, y :: ys ->
+    if x < y then x :: union xs b
+    else if x > y then y :: union a ys
+    else x :: union xs ys
+
+let rec subset a b =
+  match a, b with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs, y :: ys ->
+    if x < y then false
+    else if x > y then subset a ys
+    else subset xs ys
+
+let cardinal = List.length
+
+let to_string ctx s =
+  let item id =
+    let node, pair = describe ctx id in
+    Printf.sprintf "(n%d, %s)" node (Ptpair.to_string pair)
+  in
+  "{" ^ String.concat ", " (List.map item s) ^ "}"
+
+module Antichain = struct
+  type set = t
+  type nonrec t = { mutable sets : set list }
+
+  let create () = { sets = [] }
+
+  let insert ac s =
+    if List.exists (fun member -> subset member s) ac.sets then false
+    else begin
+      ac.sets <- s :: List.filter (fun member -> not (subset s member)) ac.sets;
+      true
+    end
+
+  let members ac = ac.sets
+  let is_empty ac = ac.sets = []
+end

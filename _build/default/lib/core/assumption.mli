@@ -1,0 +1,48 @@
+(** Assumption sets for the context-sensitive analysis (paper, Section 4.1).
+
+    An assumption [(f, p)] states that points-to pair [p] holds on formal
+    parameter output [f] on entry to the enclosing procedure.  A qualified
+    points-to pair carries a set of assumptions; the pair holds on its
+    output only under calling contexts satisfying all of them.
+
+    Assumptions are interned to dense ids inside a {!ctx}; sets are sorted
+    id lists, and per-(output, pair) collections are kept as antichains
+    under inclusion, implementing the paper's subsumption rule: a pair
+    already holding under [A] need not be recorded under any [B ⊇ A]. *)
+
+type ctx
+
+type t = int list
+(** A set: strictly increasing assumption ids. *)
+
+val create_ctx : unit -> ctx
+
+val intern : ctx -> Vdg.node_id -> Ptpair.t -> int
+(** Id of the assumption "[pair] holds on formal output [node]". *)
+
+val describe : ctx -> int -> Vdg.node_id * Ptpair.t
+
+val count : ctx -> int
+
+val empty : t
+val singleton : ctx -> Vdg.node_id -> Ptpair.t -> t
+val union : t -> t -> t
+val subset : t -> t -> bool
+val cardinal : t -> int
+val to_string : ctx -> t -> string
+
+(** Antichains of assumption sets under inclusion. *)
+module Antichain : sig
+  type set = t
+  type t
+
+  val create : unit -> t
+
+  val insert : t -> set -> bool
+  (** [insert ac s]: add [s] unless some member is a subset of [s];
+      removes members that are supersets of [s].  Returns [true] iff [s]
+      was added. *)
+
+  val members : t -> set list
+  val is_empty : t -> bool
+end

@@ -1,0 +1,477 @@
+type schedule = Fifo | Lifo | Random_order of int
+
+type config = {
+  strong_updates : bool;
+  schedule : schedule;
+}
+
+let default_config = { strong_updates = true; schedule = Fifo }
+
+(* A work bag whose removal order is configurable.  The paper notes the
+   algorithm "has the desirable property that its convergence time is
+   independent of the scheduling strategy used for the worklist"; the
+   test suite checks the stronger statement that the *solution* is
+   schedule-independent. *)
+module Workbag = struct
+  type 'a t = {
+    mutable items : 'a option array;
+    mutable count : int;
+    policy : schedule;
+    rng : Srng.t;
+    mutable head : int;  (* Fifo read cursor *)
+  }
+
+  let create policy =
+    {
+      items = Array.make 64 None;
+      count = 0;
+      policy;
+      rng = Srng.create (match policy with Random_order seed -> Int64.of_int seed | _ -> 0L);
+      head = 0;
+    }
+
+  let is_empty t = t.count = t.head
+
+  let add t x =
+    if t.count >= Array.length t.items then begin
+      let live = t.count - t.head in
+      let cap = max 64 (2 * live) in
+      let fresh = Array.make cap None in
+      Array.blit t.items t.head fresh 0 live;
+      t.items <- fresh;
+      t.count <- live;
+      t.head <- 0
+    end;
+    t.items.(t.count) <- Some x;
+    t.count <- t.count + 1
+
+  let pop t =
+    if is_empty t then invalid_arg "Workbag.pop: empty";
+    let idx =
+      match t.policy with
+      | Fifo -> t.head
+      | Lifo -> t.count - 1
+      | Random_order _ -> t.head + Srng.int t.rng (t.count - t.head)
+    in
+    let x = Option.get t.items.(idx) in
+    (match t.policy with
+    | Fifo ->
+      t.items.(t.head) <- None;
+      t.head <- t.head + 1
+    | Lifo ->
+      t.items.(idx) <- None;
+      t.count <- t.count - 1
+    | Random_order _ ->
+      (* swap with the head slot, then advance the head *)
+      t.items.(idx) <- t.items.(t.head);
+      t.items.(t.head) <- None;
+      t.head <- t.head + 1);
+    x
+end
+
+(* A discovered call edge: callee name plus the mapping from callee formal
+   index to actual argument index (identity for ordinary calls; special
+   for higher-order extern summaries like qsort). *)
+type callee_edge = {
+  ce_name : string;
+  ce_argmap : int array option;  (* None = identity *)
+}
+
+type t = {
+  g : Vdg.t;
+  config : config;
+  pts : Ptpair.Set.t array;
+  worklist : (Vdg.node_id * int * Ptpair.t) Workbag.t;
+  mutable flow_in_count : int;
+  mutable flow_out_count : int;
+  call_callees : (Vdg.node_id, callee_edge list ref) Hashtbl.t;
+  fun_callers : (string, Vdg.node_id list ref) Hashtbl.t;
+  ext_callees : (Vdg.node_id, string list ref) Hashtbl.t;
+}
+
+let graph t = t.g
+let pairs t nid = t.pts.(nid)
+let flow_in_count t = t.flow_in_count
+let flow_out_count t = t.flow_out_count
+
+let callees t call =
+  match Hashtbl.find_opt t.call_callees call with
+  | Some cell -> List.map (fun e -> e.ce_name) !cell
+  | None -> []
+
+let callers t fname =
+  match Hashtbl.find_opt t.fun_callers fname with Some cell -> !cell | None -> []
+
+let callee_edges t call =
+  match Hashtbl.find_opt t.call_callees call with
+  | Some cell -> List.map (fun e -> (e.ce_name, e.ce_argmap)) !cell
+  | None -> []
+
+let extern_callees t call =
+  match Hashtbl.find_opt t.ext_callees call with Some cell -> !cell | None -> []
+
+(* ---- flow-out: add a pair to an output, notify consumers ------------------- *)
+
+let rec flow_out t output pair =
+  t.flow_out_count <- t.flow_out_count + 1;
+  if Ptpair.Set.add t.pts.(output) pair then begin
+    List.iter
+      (fun (consumer, idx) -> Workbag.add t.worklist (consumer, idx, pair))
+      (Vdg.consumers t.g output);
+    (* return values/stores flow to every discovered call site *)
+    match (Vdg.node t.g output).Vdg.nkind with
+    | Vdg.Nret_value fname ->
+      List.iter
+        (fun call ->
+          let cm = Hashtbl.find t.g.Vdg.call_meta call in
+          match cm.Vdg.cm_result with
+          | Some res -> flow_out t res pair
+          | None -> ())
+        (callers t fname)
+    | Vdg.Nret_store fname ->
+      List.iter
+        (fun call ->
+          let cm = Hashtbl.find t.g.Vdg.call_meta call in
+          flow_out t cm.Vdg.cm_cstore pair)
+        (callers t fname)
+    | _ -> ()
+  end
+
+(* ---- call-edge discovery ----------------------------------------------------- *)
+
+(* actual argument output feeding a callee formal, under an edge's argmap *)
+let actual_for cm edge formal_idx =
+  match edge.ce_argmap with
+  | None ->
+    if formal_idx < Array.length cm.Vdg.cm_args then Some cm.Vdg.cm_args.(formal_idx)
+    else None
+  | Some map ->
+    if formal_idx < Array.length map && map.(formal_idx) < Array.length cm.Vdg.cm_args
+    then Some cm.Vdg.cm_args.(map.(formal_idx))
+    else None
+
+let add_defined_callee t call edge =
+  let cell =
+    match Hashtbl.find_opt t.call_callees call with
+    | Some cell -> cell
+    | None ->
+      let cell = ref [] in
+      Hashtbl.add t.call_callees call cell;
+      cell
+  in
+  if not (List.exists (fun e -> e.ce_name = edge.ce_name && e.ce_argmap = edge.ce_argmap) !cell)
+  then begin
+    cell := edge :: !cell;
+    let callers_cell =
+      match Hashtbl.find_opt t.fun_callers edge.ce_name with
+      | Some c -> c
+      | None ->
+        let c = ref [] in
+        Hashtbl.add t.fun_callers edge.ce_name c;
+        c
+    in
+    if not (List.mem call !callers_cell) then callers_cell := call :: !callers_cell;
+    (* repropagation: existing facts at the call site flow into the callee,
+       and the callee's existing results flow back (paper: "a new function
+       updates the call graph and performs appropriate repropagation") *)
+    let cm = Hashtbl.find t.g.Vdg.call_meta call in
+    let meta = Hashtbl.find t.g.Vdg.funs edge.ce_name in
+    Array.iteri
+      (fun formal_idx formal_out ->
+        match actual_for cm edge formal_idx with
+        | Some actual ->
+          Ptpair.Set.iter (fun p -> flow_out t formal_out p) t.pts.(actual)
+        | None -> ())
+      meta.Vdg.fm_formals;
+    Ptpair.Set.iter
+      (fun p -> flow_out t meta.Vdg.fm_formal_store p)
+      t.pts.(cm.Vdg.cm_store);
+    (match cm.Vdg.cm_result, meta.Vdg.fm_ret_value with
+    | Some res, Some rv -> Ptpair.Set.iter (fun p -> flow_out t res p) t.pts.(rv)
+    | _ -> ());
+    Ptpair.Set.iter
+      (fun p -> flow_out t cm.Vdg.cm_cstore p)
+      t.pts.(meta.Vdg.fm_ret_store)
+  end
+
+let rec add_extern_callee t call name =
+  let cell =
+    match Hashtbl.find_opt t.ext_callees call with
+    | Some cell -> cell
+    | None ->
+      let cell = ref [] in
+      Hashtbl.add t.ext_callees call cell;
+      cell
+  in
+  if not (List.mem name !cell) then begin
+    cell := name :: !cell;
+    let cm = Hashtbl.find t.g.Vdg.call_meta call in
+    let fs = Hashtbl.find_opt t.g.Vdg.externs name in
+    let summary = Extern_summary.lookup name fs in
+    (* store identity *)
+    Ptpair.Set.iter (fun p -> flow_out t cm.Vdg.cm_cstore p) t.pts.(cm.Vdg.cm_store);
+    (* result summary *)
+    (match cm.Vdg.cm_result, summary.Extern_summary.sum_returns with
+    | Some res, Extern_summary.Ret_arg k when k < Array.length cm.Vdg.cm_args ->
+      Ptpair.Set.iter (fun p -> flow_out t res p) t.pts.(cm.Vdg.cm_args.(k))
+    | Some res, Extern_summary.Ret_external ext ->
+      let base = Apath.mk_base t.g.Vdg.tbl (Apath.Bext ext) ~singular:false in
+      flow_out t res
+        (Ptpair.make (Apath.empty_offset t.g.Vdg.tbl) (Apath.of_base t.g.Vdg.tbl base))
+    | _ -> ());
+    (* higher-order arguments: existing function values on those arguments *)
+    List.iter
+      (fun (arg_idx, formal_map) ->
+        if arg_idx < Array.length cm.Vdg.cm_args then
+          Ptpair.Set.iter
+            (fun p -> handle_function_value t call (Some (arg_idx, formal_map)) p)
+            t.pts.(cm.Vdg.cm_args.(arg_idx)))
+      summary.Extern_summary.sum_calls
+  end
+
+(* a function value arrived at a call: either on the fn input (via = None)
+   or on a higher-order summary argument (via = Some (arg_idx, map)) *)
+and handle_function_value t call via (pair : Ptpair.t) =
+  match pair.Ptpair.referent.Apath.proot with
+  | Some { Apath.bkind = Apath.Bfun name; _ } ->
+    if Hashtbl.mem t.g.Vdg.funs name then
+      add_defined_callee t call
+        { ce_name = name; ce_argmap = Option.map snd via }
+    else if via = None then add_extern_callee t call name
+  | _ -> ()
+
+(* ---- transfer functions ------------------------------------------------------- *)
+
+let flow_in t (nid : Vdg.node_id) (idx : int) (pair : Ptpair.t) =
+  t.flow_in_count <- t.flow_in_count + 1;
+  let n = Vdg.node t.g nid in
+  let tbl = t.g.Vdg.tbl in
+  let input k = List.nth n.Vdg.ninputs k in
+  match n.Vdg.nkind with
+  | Vdg.Nconst _ | Vdg.Nbase _ | Vdg.Nundef -> ()
+  | Vdg.Nalloc _ -> ()  (* size input carries no pairs of interest *)
+  | Vdg.Nlookup ->
+    (* inputs: [loc; store] *)
+    (match idx with
+    | 0 ->
+      let rl = pair.Ptpair.referent in
+      if Apath.is_location rl then
+        Ptpair.Set.iter
+          (fun (sp : Ptpair.t) ->
+            if Apath.dom rl sp.Ptpair.path then
+              match Apath.subtract tbl sp.Ptpair.path rl with
+              | Some off -> flow_out t nid (Ptpair.make off sp.Ptpair.referent)
+              | None ->
+                (* rl covers sp.path via truncation: unknown remainder *)
+                flow_out t nid
+                  (Ptpair.make (Apath.empty_offset tbl) sp.Ptpair.referent))
+          t.pts.(input 1)
+    | 1 ->
+      Ptpair.Set.iter
+        (fun (lp : Ptpair.t) ->
+          let rl = lp.Ptpair.referent in
+          if Apath.is_location rl && Apath.dom rl pair.Ptpair.path then
+            match Apath.subtract tbl pair.Ptpair.path rl with
+            | Some off -> flow_out t nid (Ptpair.make off pair.Ptpair.referent)
+            | None ->
+              flow_out t nid
+                (Ptpair.make (Apath.empty_offset tbl) pair.Ptpair.referent))
+        t.pts.(input 0)
+    | _ -> ())
+  | Vdg.Nupdate ->
+    (* inputs: [loc; store; value]; output = new store *)
+    let strong rl sp = t.config.strong_updates && Apath.strong_dom rl sp in
+    (match idx with
+    | 0 ->
+      let rl = pair.Ptpair.referent in
+      if Apath.is_location rl then begin
+        Ptpair.Set.iter
+          (fun (vp : Ptpair.t) ->
+            if Apath.is_offset vp.Ptpair.path then
+              flow_out t nid
+                (Ptpair.make (Apath.append tbl rl vp.Ptpair.path) vp.Ptpair.referent))
+          t.pts.(input 2);
+        Ptpair.Set.iter
+          (fun (sp : Ptpair.t) ->
+            if not (strong rl sp.Ptpair.path) then flow_out t nid sp)
+          t.pts.(input 1)
+      end
+    | 1 ->
+      (* new store pair: propagated if at least one location does not
+         strongly update it; blocked while no location pair has arrived *)
+      let survives =
+        Ptpair.Set.fold
+          (fun (lp : Ptpair.t) acc ->
+            acc
+            || (Apath.is_location lp.Ptpair.referent
+                && not (strong lp.Ptpair.referent pair.Ptpair.path)))
+          t.pts.(input 0) false
+      in
+      if survives then flow_out t nid pair
+    | 2 ->
+      if Apath.is_offset pair.Ptpair.path then
+        Ptpair.Set.iter
+          (fun (lp : Ptpair.t) ->
+            let rl = lp.Ptpair.referent in
+            if Apath.is_location rl then
+              flow_out t nid
+                (Ptpair.make (Apath.append tbl rl pair.Ptpair.path) pair.Ptpair.referent))
+          t.pts.(input 0)
+    | _ -> ())
+  | Vdg.Nfield_addr acc ->
+    (* address arithmetic: referent path is extended by the accessor *)
+    if idx = 0 && Apath.is_location pair.Ptpair.referent then
+      flow_out t nid
+        (Ptpair.make pair.Ptpair.path (Apath.extend tbl pair.Ptpair.referent acc))
+  | Vdg.Noffset_read acc ->
+    if idx = 0 then begin
+      let acc_path = Apath.extend tbl (Apath.empty_offset tbl) acc in
+      if Apath.dom acc_path pair.Ptpair.path then
+        match Apath.subtract tbl pair.Ptpair.path acc_path with
+        | Some off -> flow_out t nid (Ptpair.make off pair.Ptpair.referent)
+        | None ->
+          flow_out t nid (Ptpair.make (Apath.empty_offset tbl) pair.Ptpair.referent)
+    end
+  | Vdg.Noffset_write acc ->
+    (* inputs: [agg; value] — a value-level member update *)
+    let acc_path = Apath.extend tbl (Apath.empty_offset tbl) acc in
+    (match idx with
+    | 0 ->
+      (* a member write definitely replaces that member of the value,
+         except through an array accessor *)
+      let killed =
+        t.config.strong_updates && acc <> Apath.Index
+        && Apath.dom acc_path pair.Ptpair.path
+      in
+      if not killed then flow_out t nid pair
+    | 1 ->
+      if Apath.is_offset pair.Ptpair.path then
+        flow_out t nid
+          (Ptpair.make (Apath.append tbl acc_path pair.Ptpair.path) pair.Ptpair.referent)
+    | _ -> ())
+  | Vdg.Ngamma -> flow_out t nid pair
+  | Vdg.Nprimop Vdg.Ptr_arith -> if idx = 0 then flow_out t nid pair
+  | Vdg.Nprimop (Vdg.Scalar_op _) -> ()
+  | Vdg.Nformal _ | Vdg.Nformal_store _ ->
+    (* inputs only exist for root wiring; interprocedural pairs arrive via
+       direct flow_out from call sites *)
+    flow_out t nid pair
+  | Vdg.Nret_value _ | Vdg.Nret_store _ -> flow_out t nid pair
+  | Vdg.Ncall ->
+    let cm = Hashtbl.find t.g.Vdg.call_meta nid in
+    (match idx with
+    | 0 -> handle_function_value t nid None pair
+    | 1 ->
+      (* store input: forward to defined callees' formal stores and along
+         extern identity summaries *)
+      (match Hashtbl.find_opt t.call_callees nid with
+      | Some cell ->
+        List.iter
+          (fun edge ->
+            let meta = Hashtbl.find t.g.Vdg.funs edge.ce_name in
+            flow_out t meta.Vdg.fm_formal_store pair)
+          !cell
+      | None -> ());
+      (match Hashtbl.find_opt t.ext_callees nid with
+      | Some cell ->
+        List.iter (fun _name -> flow_out t cm.Vdg.cm_cstore pair) !cell
+      | None -> ())
+    | k ->
+      let arg_idx = k - 2 in
+      (* defined callees: actual -> formal under each edge's argmap *)
+      (match Hashtbl.find_opt t.call_callees nid with
+      | Some cell ->
+        List.iter
+          (fun edge ->
+            let meta = Hashtbl.find t.g.Vdg.funs edge.ce_name in
+            Array.iteri
+              (fun formal_idx formal_out ->
+                let maps_here =
+                  match edge.ce_argmap with
+                  | None -> formal_idx = arg_idx
+                  | Some map ->
+                    formal_idx < Array.length map && map.(formal_idx) = arg_idx
+                in
+                if maps_here then flow_out t formal_out pair)
+              meta.Vdg.fm_formals)
+          !cell
+      | None -> ());
+      (* extern callees: result-from-arg and higher-order summaries *)
+      (match Hashtbl.find_opt t.ext_callees nid with
+      | Some cell ->
+        List.iter
+          (fun name ->
+            let fs = Hashtbl.find_opt t.g.Vdg.externs name in
+            let summary = Extern_summary.lookup name fs in
+            (match cm.Vdg.cm_result, summary.Extern_summary.sum_returns with
+            | Some res, Extern_summary.Ret_arg k' when k' = arg_idx ->
+              flow_out t res pair
+            | _ -> ());
+            List.iter
+              (fun (ho_idx, formal_map) ->
+                if ho_idx = arg_idx then
+                  handle_function_value t nid (Some (ho_idx, formal_map)) pair)
+              summary.Extern_summary.sum_calls)
+          !cell
+      | None -> ()))
+  | Vdg.Ncall_result _ | Vdg.Ncall_store _ ->
+    (* written directly by return propagation; the anchor edge carries
+       nothing *)
+    ()
+
+(* ---- driver ---------------------------------------------------------------------- *)
+
+let seed t =
+  let tbl = t.g.Vdg.tbl in
+  let eps = Apath.empty_offset tbl in
+  Vdg.iter_nodes t.g (fun n ->
+      match n.Vdg.nkind with
+      | Vdg.Nbase b | Vdg.Nalloc b ->
+        flow_out t n.Vdg.nid (Ptpair.make eps (Apath.of_base tbl b))
+      | _ -> ());
+  (* seed the initial store with argv's contents: argv[i] points to
+     external string storage *)
+  if t.g.Vdg.entry_store >= 0 then begin
+    let argv_arr = Apath.mk_base tbl (Apath.Bext "argv") ~singular:false in
+    let argv_str = Apath.mk_base tbl (Apath.Bext "argv_strings") ~singular:false in
+    let slot = Apath.extend tbl (Apath.of_base tbl argv_arr) Apath.Index in
+    flow_out t t.g.Vdg.entry_store (Ptpair.make slot (Apath.of_base tbl argv_str))
+  end
+
+let solve ?(config = default_config) (g : Vdg.t) : t =
+  let t =
+    {
+      g;
+      config;
+      pts = Array.init (Vdg.n_nodes g) (fun _ -> Ptpair.Set.create ());
+      worklist = Workbag.create config.schedule;
+      flow_in_count = 0;
+      flow_out_count = 0;
+      call_callees = Hashtbl.create 64;
+      fun_callers = Hashtbl.create 64;
+      ext_callees = Hashtbl.create 64;
+    }
+  in
+  seed t;
+  while not (Workbag.is_empty t.worklist) do
+    let nid, idx, pair = Workbag.pop t.worklist in
+    flow_in t nid idx pair
+  done;
+  t
+
+let referenced_locations t nid =
+  let n = Vdg.node t.g nid in
+  match n.Vdg.nkind, n.Vdg.ninputs with
+  | (Vdg.Nlookup | Vdg.Nupdate), loc :: _ ->
+    let seen = Hashtbl.create 8 in
+    Ptpair.Set.fold
+      (fun p acc ->
+        let r = p.Ptpair.referent in
+        if Apath.is_location r && not (Hashtbl.mem seen (Apath.hash r)) then begin
+          Hashtbl.replace seen (Apath.hash r) ();
+          r :: acc
+        end
+        else acc)
+      t.pts.(loc) []
+    |> List.rev
+  | _ -> []

@@ -1,0 +1,58 @@
+(** The context-insensitive points-to analysis (paper, Section 3, Figure 1).
+
+    A points-to pair set is maintained on every node output.  Pairs are
+    grown incrementally with a worklist: whenever a pair is added to an
+    output, all consumers of that output are notified and make the
+    appropriate additions to their own outputs.  Calls and returns are
+    handled like jumps: all information at a call's actuals propagates to
+    all (discovered) callees, and all information at a procedure's returns
+    propagates to all of its call sites.  Update nodes implicitly realize
+    the dual-worklist strategy of Chase et al.: store-input pairs are
+    blocked until a location pair arrives and are reprocessed as further
+    location pairs arrive.
+
+    The solver also maintains the dynamically discovered call graph
+    (needed for indirect calls and for the paper's Section 5.1.2
+    statistics) and counts transfer-function ([flow_in]) and meet
+    ([flow_out]) applications, the cost metrics of Section 4.2. *)
+
+type t
+
+type schedule = Fifo | Lifo | Random_order of int  (** seed *)
+
+type config = {
+  strong_updates : bool;  (** disable for the ablation bench *)
+  schedule : schedule;
+      (** worklist removal order; the solution is schedule-independent
+          (the paper's Section 3.1 remark), which the tests verify *)
+}
+
+val default_config : config
+
+val solve : ?config:config -> Vdg.t -> t
+(** Run to fixpoint. *)
+
+val graph : t -> Vdg.t
+val pairs : t -> Vdg.node_id -> Ptpair.Set.t
+(** Points-to pairs on an output (empty set if none were derived). *)
+
+val flow_in_count : t -> int
+val flow_out_count : t -> int
+
+val callees : t -> Vdg.node_id -> string list
+(** Resolved callees of a call node (defined functions only). *)
+
+val callee_edges : t -> Vdg.node_id -> (string * int array option) list
+(** Resolved callees with their formal-to-actual argument maps ([None] =
+    identity); higher-order extern summaries produce non-identity maps. *)
+
+val extern_callees : t -> Vdg.node_id -> string list
+(** External functions this call may invoke. *)
+
+val callers : t -> string -> Vdg.node_id list
+(** Call nodes that may invoke the given defined function. *)
+
+val referenced_locations : t -> Vdg.node_id -> Apath.t list
+(** Distinct location referents arriving at the location input of a
+    lookup/update node — the paper's "locations referenced/modified by an
+    indirect memory operation" (Figure 4). *)

@@ -1,0 +1,479 @@
+type config = {
+  ci_pruning : bool;
+  max_meets : int;
+}
+
+exception Budget_exceeded
+
+let default_config = { ci_pruning = true; max_meets = 50_000_000 }
+
+(* Per-(output, pair) state: the antichain of assumption sets under which
+   the pair holds. *)
+type entry = {
+  e_pair : Ptpair.t;
+  e_chain : Assumption.Antichain.t;
+}
+
+type t = {
+  g : Vdg.t;
+  ci : Ci_solver.t;
+  config : config;
+  actx : Assumption.ctx;
+  pts : (int * int, entry) Hashtbl.t array;  (* per output, keyed by pair *)
+  order : Ptpair.t list ref array;           (* insertion order of pairs per output *)
+  worklist : (Vdg.node_id * int * Ptpair.t * Assumption.t) Queue.t;
+  mutable flow_in_count : int;
+  mutable flow_out_count : int;
+  (* CI-derived pruning info, per lookup/update node *)
+  single_loc : (Vdg.node_id, bool) Hashtbl.t;
+  ci_locs : (Vdg.node_id, Apath.t list) Hashtbl.t;
+}
+
+let pair_key (p : Ptpair.t) = (Apath.hash p.Ptpair.path, Apath.hash p.Ptpair.referent)
+
+let entries t output = !(t.order.(output))
+
+let entry_chain t output pair =
+  match Hashtbl.find_opt t.pts.(output) (pair_key pair) with
+  | Some e -> Assumption.Antichain.members e.e_chain
+  | None -> []
+
+let iter_qualified t output f =
+  List.iter
+    (fun pair ->
+      List.iter (fun aset -> f pair aset) (entry_chain t output pair))
+    (entries t output)
+
+(* ---- flow-out -------------------------------------------------------------------- *)
+
+let rec flow_out t output pair aset =
+  t.flow_out_count <- t.flow_out_count + 1;
+  if t.flow_out_count > t.config.max_meets then raise Budget_exceeded;
+  let e =
+    match Hashtbl.find_opt t.pts.(output) (pair_key pair) with
+    | Some e -> e
+    | None ->
+      let e = { e_pair = pair; e_chain = Assumption.Antichain.create () } in
+      Hashtbl.add t.pts.(output) (pair_key pair) e;
+      t.order.(output) := pair :: !(t.order.(output));
+      e
+  in
+  if Assumption.Antichain.insert e.e_chain aset then begin
+    List.iter
+      (fun (consumer, idx) -> Queue.add (consumer, idx, pair, aset) t.worklist)
+      (Vdg.consumers t.g output);
+    match (Vdg.node t.g output).Vdg.nkind with
+    | Vdg.Nret_value fname ->
+      List.iter
+        (fun call -> propagate_return t call fname `Value pair aset)
+        (Ci_solver.callers t.ci fname)
+    | Vdg.Nret_store fname ->
+      List.iter
+        (fun call -> propagate_return t call fname `Store pair aset)
+        (Ci_solver.callers t.ci fname)
+    | _ -> ()
+  end
+
+(* ---- return propagation (Figure 5, propagate-return) ------------------------------- *)
+
+(* The actual-argument output at [call] corresponding to a callee formal
+   output, under the given argmap. *)
+and actual_of_formal t call argmap formal_node =
+  let cm = Hashtbl.find t.g.Vdg.call_meta call in
+  match (Vdg.node t.g formal_node).Vdg.nkind with
+  | Vdg.Nformal_store _ -> Some cm.Vdg.cm_store
+  | Vdg.Nformal (_, i) ->
+    let arg_idx =
+      match argmap with
+      | None -> Some i
+      | Some map -> if i < Array.length map then Some map.(i) else None
+    in
+    (match arg_idx with
+    | Some k when k < Array.length cm.Vdg.cm_args -> Some cm.Vdg.cm_args.(k)
+    | _ -> None)
+  | _ -> None
+
+and propagate_return t call fname which pair aset =
+  let cm = Hashtbl.find t.g.Vdg.call_meta call in
+  let target =
+    match which with
+    | `Value -> cm.Vdg.cm_result
+    | `Store -> Some cm.Vdg.cm_cstore
+  in
+  match target with
+  | None -> ()
+  | Some target ->
+    (* once per (callee-name, argmap) edge at this call *)
+    List.iter
+      (fun (edge_name, argmap) ->
+        if String.equal edge_name fname then begin
+          (* For each assumption, the set of caller assumption-sets that
+             satisfy it; the Cartesian product over assumptions gives all
+             sufficient caller contexts. *)
+          let satisfier_sets =
+            List.map
+              (fun aid ->
+                let formal_node, fpair = Assumption.describe t.actx aid in
+                match actual_of_formal t call argmap formal_node with
+                | None -> []
+                | Some actual -> entry_chain t actual fpair)
+              aset
+          in
+          if List.for_all (fun s -> s <> []) satisfier_sets then begin
+            let products =
+              List.fold_left
+                (fun acc sats ->
+                  List.concat_map
+                    (fun partial ->
+                      List.map (fun s -> Assumption.union partial s) sats)
+                    acc)
+                [ Assumption.empty ] satisfier_sets
+            in
+            List.iter (fun caller_aset -> flow_out t target pair caller_aset) products
+          end
+        end)
+      (Ci_solver.callee_edges t.ci call)
+
+(* When any input of a call gains a fact, previously returned pairs may
+   become satisfiable at this site: re-run propagate-return for all of the
+   call's callees.  The antichain makes this idempotent. *)
+and repropagate_returns t call =
+  List.iter
+    (fun (name, _argmap) ->
+      match Hashtbl.find_opt t.g.Vdg.funs name with
+      | None -> ()
+      | Some meta ->
+        (match meta.Vdg.fm_ret_value with
+        | Some rv ->
+          iter_qualified t rv (fun pair aset ->
+              propagate_return t call name `Value pair aset)
+        | None -> ());
+        iter_qualified t meta.Vdg.fm_ret_store (fun pair aset ->
+            propagate_return t call name `Store pair aset))
+    (Ci_solver.callee_edges t.ci call)
+
+(* ---- CI pruning helpers -------------------------------------------------------------- *)
+
+let node_single_loc t nid =
+  match Hashtbl.find_opt t.single_loc nid with Some b -> b | None -> false
+
+(* Can this update node modify path [ps] at all, according to CI? *)
+let ci_modifiable t nid ps =
+  match Hashtbl.find_opt t.ci_locs nid with
+  | None -> true
+  | Some locs -> List.exists (fun l -> Apath.dom l ps) locs
+
+(* assumption contribution of a location input, after pruning *)
+let loc_assumptions t nid al =
+  if t.config.ci_pruning && node_single_loc t nid then Assumption.empty else al
+
+(* ---- transfer functions --------------------------------------------------------------- *)
+
+let flow_in t nid idx pair aset =
+  t.flow_in_count <- t.flow_in_count + 1;
+  let n = Vdg.node t.g nid in
+  let tbl = t.g.Vdg.tbl in
+  let input k = List.nth n.Vdg.ninputs k in
+  let eps = Apath.empty_offset tbl in
+  match n.Vdg.nkind with
+  | Vdg.Nconst _ | Vdg.Nbase _ | Vdg.Nundef | Vdg.Nalloc _ -> ()
+  | Vdg.Nlookup ->
+    (match idx with
+    | 0 ->
+      let rl = pair.Ptpair.referent in
+      let al = loc_assumptions t nid aset in
+      if Apath.is_location rl then
+        iter_qualified t (input 1) (fun sp sa ->
+            if Apath.dom rl sp.Ptpair.path then
+              let off =
+                match Apath.subtract tbl sp.Ptpair.path rl with
+                | Some off -> off
+                | None -> eps
+              in
+              flow_out t nid
+                (Ptpair.make off sp.Ptpair.referent)
+                (Assumption.union al sa))
+    | 1 ->
+      iter_qualified t (input 0) (fun lp la ->
+          let rl = lp.Ptpair.referent in
+          let al = loc_assumptions t nid la in
+          if Apath.is_location rl && Apath.dom rl pair.Ptpair.path then
+            let off =
+              match Apath.subtract tbl pair.Ptpair.path rl with
+              | Some off -> off
+              | None -> eps
+            in
+            flow_out t nid
+              (Ptpair.make off pair.Ptpair.referent)
+              (Assumption.union al aset))
+    | _ -> ())
+  | Vdg.Nupdate ->
+    (match idx with
+    | 0 ->
+      let rl = pair.Ptpair.referent in
+      let al = loc_assumptions t nid aset in
+      if Apath.is_location rl then begin
+        iter_qualified t (input 2) (fun vp va ->
+            if Apath.is_offset vp.Ptpair.path then
+              flow_out t nid
+                (Ptpair.make (Apath.append tbl rl vp.Ptpair.path) vp.Ptpair.referent)
+                (Assumption.union al va));
+        iter_qualified t (input 1) (fun sp sa ->
+            if not (Apath.strong_dom rl sp.Ptpair.path) then
+              let contribution =
+                if t.config.ci_pruning
+                   && not (ci_modifiable t nid sp.Ptpair.path)
+                then Assumption.empty
+                else al
+              in
+              flow_out t nid sp (Assumption.union contribution sa))
+      end
+    | 1 ->
+      (* a new store pair: blocked until some location pair has arrived *)
+      let has_loc = entries t (input 0) <> [] in
+      if has_loc then begin
+        if t.config.ci_pruning && not (ci_modifiable t nid pair.Ptpair.path) then
+          (* CI proves this update cannot touch the pair: pass it through
+             without coupling it to any location assumptions *)
+          flow_out t nid pair aset
+        else
+          iter_qualified t (input 0) (fun lp la ->
+              let rl = lp.Ptpair.referent in
+              if Apath.is_location rl && not (Apath.strong_dom rl pair.Ptpair.path)
+              then
+                flow_out t nid pair
+                  (Assumption.union (loc_assumptions t nid la) aset))
+      end
+    | 2 ->
+      if Apath.is_offset pair.Ptpair.path then
+        iter_qualified t (input 0) (fun lp la ->
+            let rl = lp.Ptpair.referent in
+            if Apath.is_location rl then
+              flow_out t nid
+                (Ptpair.make (Apath.append tbl rl pair.Ptpair.path) pair.Ptpair.referent)
+                (Assumption.union (loc_assumptions t nid la) aset))
+    | _ -> ())
+  | Vdg.Nfield_addr acc ->
+    if idx = 0 && Apath.is_location pair.Ptpair.referent then
+      flow_out t nid
+        (Ptpair.make pair.Ptpair.path (Apath.extend tbl pair.Ptpair.referent acc))
+        aset
+  | Vdg.Noffset_read acc ->
+    if idx = 0 then begin
+      let acc_path = Apath.extend tbl eps acc in
+      if Apath.dom acc_path pair.Ptpair.path then
+        let off =
+          match Apath.subtract tbl pair.Ptpair.path acc_path with
+          | Some off -> off
+          | None -> eps
+        in
+        flow_out t nid (Ptpair.make off pair.Ptpair.referent) aset
+    end
+  | Vdg.Noffset_write acc ->
+    let acc_path = Apath.extend tbl eps acc in
+    (match idx with
+    | 0 ->
+      let killed = acc <> Apath.Index && Apath.dom acc_path pair.Ptpair.path in
+      if not killed then flow_out t nid pair aset
+    | 1 ->
+      if Apath.is_offset pair.Ptpair.path then
+        flow_out t nid
+          (Ptpair.make (Apath.append tbl acc_path pair.Ptpair.path) pair.Ptpair.referent)
+          aset
+    | _ -> ())
+  | Vdg.Ngamma -> flow_out t nid pair aset
+  | Vdg.Nprimop Vdg.Ptr_arith -> if idx = 0 then flow_out t nid pair aset
+  | Vdg.Nprimop (Vdg.Scalar_op _) -> ()
+  | Vdg.Nformal _ | Vdg.Nformal_store _ ->
+    (* root-wiring inputs: entry facts get the self-assumption, mirroring
+       call-site propagation *)
+    flow_out t nid pair (Assumption.singleton t.actx nid pair)
+  | Vdg.Nret_value _ | Vdg.Nret_store _ -> flow_out t nid pair aset
+  | Vdg.Ncall ->
+    let cm = Hashtbl.find t.g.Vdg.call_meta nid in
+    (match idx with
+    | 0 -> ()  (* call graph is fixed from the CI solution *)
+    | 1 ->
+      List.iter
+        (fun (name, _argmap) ->
+          match Hashtbl.find_opt t.g.Vdg.funs name with
+          | Some meta ->
+            let fnode = meta.Vdg.fm_formal_store in
+            flow_out t fnode pair (Assumption.singleton t.actx fnode pair)
+          | None -> ())
+        (Ci_solver.callee_edges t.ci nid);
+      List.iter
+        (fun _ext -> flow_out t cm.Vdg.cm_cstore pair aset)
+        (Ci_solver.extern_callees t.ci nid);
+      repropagate_returns t nid
+    | k ->
+      let arg_idx = k - 2 in
+      List.iter
+        (fun (name, argmap) ->
+          match Hashtbl.find_opt t.g.Vdg.funs name with
+          | Some meta ->
+            Array.iteri
+              (fun formal_idx fnode ->
+                let maps_here =
+                  match argmap with
+                  | None -> formal_idx = arg_idx
+                  | Some map ->
+                    formal_idx < Array.length map && map.(formal_idx) = arg_idx
+                in
+                if maps_here then
+                  flow_out t fnode pair (Assumption.singleton t.actx fnode pair))
+              meta.Vdg.fm_formals
+          | None -> ())
+        (Ci_solver.callee_edges t.ci nid);
+      List.iter
+        (fun ext ->
+          let fs = Hashtbl.find_opt t.g.Vdg.externs ext in
+          let summary = Extern_summary.lookup ext fs in
+          match cm.Vdg.cm_result, summary.Extern_summary.sum_returns with
+          | Some res, Extern_summary.Ret_arg k' when k' = arg_idx ->
+            flow_out t res pair aset
+          | _ -> ())
+        (Ci_solver.extern_callees t.ci nid);
+      repropagate_returns t nid)
+  | Vdg.Ncall_result _ | Vdg.Ncall_store _ -> ()
+
+(* ---- driver ------------------------------------------------------------------------------ *)
+
+let seed t =
+  let tbl = t.g.Vdg.tbl in
+  let eps = Apath.empty_offset tbl in
+  Vdg.iter_nodes t.g (fun n ->
+      match n.Vdg.nkind with
+      | Vdg.Nbase b | Vdg.Nalloc b ->
+        flow_out t n.Vdg.nid (Ptpair.make eps (Apath.of_base tbl b)) Assumption.empty
+      | _ -> ());
+  if t.g.Vdg.entry_store >= 0 then begin
+    let argv_arr = Apath.mk_base tbl (Apath.Bext "argv") ~singular:false in
+    let argv_str = Apath.mk_base tbl (Apath.Bext "argv_strings") ~singular:false in
+    let slot = Apath.extend tbl (Apath.of_base tbl argv_arr) Apath.Index in
+    flow_out t t.g.Vdg.entry_store
+      (Ptpair.make slot (Apath.of_base tbl argv_str))
+      Assumption.empty
+  end;
+  (* external results that exist regardless of argument values *)
+  List.iter
+    (fun call ->
+      let cm = Hashtbl.find t.g.Vdg.call_meta call in
+      List.iter
+        (fun ext ->
+          let fs = Hashtbl.find_opt t.g.Vdg.externs ext in
+          let summary = Extern_summary.lookup ext fs in
+          match cm.Vdg.cm_result, summary.Extern_summary.sum_returns with
+          | Some res, Extern_summary.Ret_external name ->
+            let base = Apath.mk_base tbl (Apath.Bext name) ~singular:false in
+            flow_out t res
+              (Ptpair.make eps (Apath.of_base tbl base))
+              Assumption.empty
+          | _ -> ())
+        (Ci_solver.extern_callees t.ci call))
+    t.g.Vdg.calls
+
+let precompute_pruning t =
+  Vdg.iter_nodes t.g (fun n ->
+      match n.Vdg.nkind with
+      | Vdg.Nlookup | Vdg.Nupdate ->
+        let locs = Ci_solver.referenced_locations t.ci n.Vdg.nid in
+        Hashtbl.replace t.ci_locs n.Vdg.nid locs;
+        Hashtbl.replace t.single_loc n.Vdg.nid (List.length locs <= 1)
+      | _ -> ())
+
+let solve ?(config = default_config) (g : Vdg.t) ~(ci : Ci_solver.t) : t =
+  let t =
+    {
+      g;
+      ci;
+      config;
+      actx = Assumption.create_ctx ();
+      pts = Array.init (Vdg.n_nodes g) (fun _ -> Hashtbl.create 4);
+      order = Array.init (Vdg.n_nodes g) (fun _ -> ref []);
+      worklist = Queue.create ();
+      flow_in_count = 0;
+      flow_out_count = 0;
+      single_loc = Hashtbl.create 64;
+      ci_locs = Hashtbl.create 64;
+    }
+  in
+  precompute_pruning t;
+  seed t;
+  while not (Queue.is_empty t.worklist) do
+    let nid, idx, pair, aset = Queue.pop t.worklist in
+    flow_in t nid idx pair aset
+  done;
+  t
+
+(* ---- accessors ---------------------------------------------------------------------------- *)
+
+let pairs t output = List.rev !(t.order.(output))
+
+let qualified t output =
+  List.rev_map (fun pair -> (pair, entry_chain t output pair)) !(t.order.(output))
+
+let flow_in_count t = t.flow_in_count
+let flow_out_count t = t.flow_out_count
+
+let referenced_locations t nid =
+  let n = Vdg.node t.g nid in
+  match n.Vdg.nkind, n.Vdg.ninputs with
+  | (Vdg.Nlookup | Vdg.Nupdate), loc :: _ ->
+    let seen = Hashtbl.create 8 in
+    List.fold_left
+      (fun acc (p : Ptpair.t) ->
+        let r = p.Ptpair.referent in
+        if Apath.is_location r && not (Hashtbl.mem seen (Apath.hash r)) then begin
+          Hashtbl.replace seen (Apath.hash r) ();
+          r :: acc
+        end
+        else acc)
+      [] (pairs t loc)
+    |> List.rev
+  | _ -> []
+
+(* ---- context-projected queries (paper, end of Section 4.1) ----------------- *)
+
+(* an assumption set holds via [call] when, for some callee edge, every
+   assumed formal pair is present on the matching actual *)
+let satisfiable_at t ~call aset =
+  aset = []
+  || List.exists
+       (fun (_name, argmap) ->
+         List.for_all
+           (fun aid ->
+             let formal_node, fpair = Assumption.describe t.actx aid in
+             match actual_of_formal t call argmap formal_node with
+             | Some actual -> entry_chain t actual fpair <> []
+             | None -> false)
+           aset)
+       (Ci_solver.callee_edges t.ci call)
+
+let locations_at_callsite t ~call nid =
+  let n = Vdg.node t.g nid in
+  let callee_names = List.map fst (Ci_solver.callee_edges t.ci call) in
+  if not (List.mem n.Vdg.nfun callee_names) then referenced_locations t nid
+  else
+    match n.Vdg.nkind, n.Vdg.ninputs with
+    | (Vdg.Nlookup | Vdg.Nupdate), loc :: _ ->
+      let seen = Hashtbl.create 8 in
+      List.fold_left
+        (fun acc (pair : Ptpair.t) ->
+          let r = pair.Ptpair.referent in
+          if
+            Apath.is_location r
+            && (not (Hashtbl.mem seen (Apath.hash r)))
+            && List.exists
+                 (fun aset -> satisfiable_at t ~call aset)
+                 (entry_chain t loc pair)
+          then begin
+            Hashtbl.replace seen (Apath.hash r) ();
+            r :: acc
+          end
+          else acc)
+        [] (pairs t loc)
+      |> List.rev
+    | _ -> []
+
+let assumption_ctx t = t.actx

@@ -1,0 +1,76 @@
+(** The maximally context-sensitive points-to analysis (paper, Section 4).
+
+    The same dataflow framework as {!Ci_solver}, but propagating
+    {e qualified} points-to pairs: each pair carries a set of assumptions
+    tying it to points-to facts on the enclosing procedure's formals.
+    Assumptions are introduced when actuals flow to formals at calls, and
+    checked/rewritten at returns: an assumption on a returned pair is
+    satisfied by the assumption sets of the matching actual pairs at each
+    call site, and the Cartesian product over a pair's assumptions yields
+    the caller-side assumption sets (Figure 5's [propagate-return]).
+
+    Implemented optimizations (Section 4.2):
+    - subsumption: a pair holding under [A] absorbs the same pair under
+      any superset of [A] ({!Assumption.Antichain});
+    - CI-derived pruning: no location assumptions are introduced at
+      lookup/update nodes that the context-insensitive analysis proved to
+      reference exactly one location, and store pairs that CI proves
+      unmodified by an update pass through without picking up the
+      update's location assumptions;
+    - function pointers are handled context-insensitively (the call graph
+      is taken from the CI solution), as in the paper's implementation.
+
+    The goal is an empirical upper bound on precision, not a practical
+    analysis: worst-case cost is exponential, and the paper's cost
+    metrics (transfer-function and meet counts) are exposed for the
+    Section 4.2 comparison. *)
+
+type t
+
+type config = {
+  ci_pruning : bool;    (** use the CI solution to prune assumptions *)
+  max_meets : int;      (** safety fuel; raises {!Budget_exceeded} at 0. *)
+}
+
+exception Budget_exceeded
+
+val default_config : config
+
+val solve : ?config:config -> Vdg.t -> ci:Ci_solver.t -> t
+(** Run to fixpoint.  The CI solution supplies the call graph and the
+    pruning information. *)
+
+val pairs : t -> Vdg.node_id -> Ptpair.t list
+(** Unqualified projection: pairs on an output with assumptions stripped
+    and duplicates removed (paper, end of Section 4.1). *)
+
+val qualified : t -> Vdg.node_id -> (Ptpair.t * Assumption.t list) list
+(** Full qualified solution for clients that want it. *)
+
+val flow_in_count : t -> int
+val flow_out_count : t -> int
+
+val referenced_locations : t -> Vdg.node_id -> Apath.t list
+(** As {!Ci_solver.referenced_locations}, from the CS solution. *)
+
+(** {2 Using the qualified information directly}
+
+    The paper (end of Section 4.1) notes that some context-sensitive
+    clients "prefer to use the qualified information directly; this would
+    be easy to accommodate".  These queries project a callee's facts onto
+    one call site: a qualified pair participates only if some of its
+    assumption sets are satisfiable by the facts at that site. *)
+
+val satisfiable_at : t -> call:Vdg.node_id -> Assumption.t -> bool
+(** Can the assumption set hold when entered from the given call site?
+    (One-level check: the matching actuals carry the assumed pairs under
+    some context of the caller.) *)
+
+val locations_at_callsite :
+  t -> call:Vdg.node_id -> Vdg.node_id -> Apath.t list
+(** Locations referenced by a memory operation of a directly-called
+    procedure, restricted to contexts reachable through [call].  Falls
+    back to the unrestricted set when the operation does not belong to a
+    callee of [call]. *)
+
+val assumption_ctx : t -> Assumption.ctx

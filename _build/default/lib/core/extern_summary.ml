@@ -1,0 +1,46 @@
+type returns =
+  | Ret_nothing
+  | Ret_arg of int
+  | Ret_external of string
+
+type t = {
+  sum_returns : returns;
+  sum_calls : (int * int array) list;
+}
+
+let plain returns = { sum_returns = returns; sum_calls = [] }
+
+let known =
+  [
+    ("strcpy", plain (Ret_arg 0));
+    ("strncpy", plain (Ret_arg 0));
+    ("strcat", plain (Ret_arg 0));
+    ("strncat", plain (Ret_arg 0));
+    ("memcpy", plain (Ret_arg 0));
+    ("memmove", plain (Ret_arg 0));
+    ("memset", plain (Ret_arg 0));
+    ("gets", plain (Ret_arg 0));
+    ("fgets", plain (Ret_arg 0));
+    ("strchr", plain (Ret_arg 0));
+    ("strrchr", plain (Ret_arg 0));
+    ("strstr", plain (Ret_arg 0));
+    ("fopen", plain (Ret_external "FILE"));
+    (* qsort(base, n, size, cmp): invokes cmp with two pointers into base *)
+    ("qsort", { sum_returns = Ret_nothing; sum_calls = [ (3, [| 0; 0 |]) ] });
+  ]
+
+let known_table =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (name, s) -> Hashtbl.replace tbl name s) known;
+  tbl
+
+let lookup name (fs : Ctype.funsig option) =
+  match Hashtbl.find_opt known_table name with
+  | Some s -> s
+  | None ->
+    let returns_pointer =
+      match fs with
+      | Some fs -> Ctype.is_pointer (Ctype.decay fs.Ctype.ret)
+      | None -> false
+    in
+    if returns_pointer then plain (Ret_external name) else plain Ret_nothing

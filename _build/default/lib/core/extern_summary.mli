@@ -1,0 +1,27 @@
+(** Transfer summaries for external (library) functions.
+
+    Following the paper, library procedures are modeled as the identity
+    function on stores.  On top of that, functions returning a pointer
+    into one of their arguments ([strcpy], [strchr], [memcpy], ...)
+    forward that argument's pairs to the call result; allocator-style
+    functions returning fresh external storage ([fopen]) return a
+    per-summary external base; and higher-order functions ([qsort])
+    invoke the function values arriving on one of their arguments. *)
+
+type returns =
+  | Ret_nothing                (** scalar or unmodeled result: no pairs *)
+  | Ret_arg of int             (** result aliases the given argument *)
+  | Ret_external of string     (** result points to library-owned storage *)
+
+type t = {
+  sum_returns : returns;
+  sum_calls : (int * int array) list;
+      (** [(arg_idx, formal_map)]: function values arriving on argument
+          [arg_idx] are invoked; callee formal [i] receives the pairs of
+          actual argument [formal_map.(i)]. *)
+}
+
+val lookup : string -> Ctype.funsig option -> t
+(** Summary for an external function.  Unknown externals with a pointer
+    result are treated as returning fresh external storage named after
+    the function; everything else returns nothing. *)

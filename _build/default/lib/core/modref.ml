@@ -1,0 +1,62 @@
+type op = {
+  op_node : Vdg.node_id;
+  op_rw : [ `Read | `Write ];
+  op_fun : string;
+  op_loc : Srcloc.t option;
+  op_targets : Apath.t list;
+}
+
+type t = { graph : Vdg.t; all_ops : op list }
+
+let build g locations_of =
+  let all_ops =
+    List.map
+      (fun ((n : Vdg.node), rw) ->
+        {
+          op_node = n.Vdg.nid;
+          op_rw = rw;
+          op_fun = n.Vdg.nfun;
+          op_loc = Vdg.loc_of g n.Vdg.nid;
+          op_targets = locations_of n.Vdg.nid;
+        })
+      (Vdg.indirect_memops g)
+  in
+  { graph = g; all_ops }
+
+let of_ci ci = build (Ci_solver.graph ci) (Ci_solver.referenced_locations ci)
+
+let of_cs g cs = build g (Cs_solver.referenced_locations cs)
+
+let ops t = t.all_ops
+
+let collect t fname rw =
+  List.concat_map
+    (fun op ->
+      if String.equal op.op_fun fname && op.op_rw = rw then op.op_targets else [])
+    t.all_ops
+  |> List.sort_uniq Apath.compare
+
+let mod_set t fname = collect t fname `Write
+
+let ref_set t fname = collect t fname `Read
+
+let transitive_mod_set t ci fname =
+  let g = t.graph in
+  let visited = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec visit f =
+    if not (Hashtbl.mem visited f) then begin
+      Hashtbl.replace visited f ();
+      acc := mod_set t f @ !acc;
+      (* follow call edges out of f *)
+      List.iter
+        (fun call ->
+          if String.equal (Vdg.node g call).Vdg.nfun f then
+            List.iter visit (Ci_solver.callees ci call))
+        g.Vdg.calls
+    end
+  in
+  visit fname;
+  List.sort_uniq Apath.compare !acc
+
+let at_loc t loc = List.filter (fun op -> op.op_loc = Some loc) t.all_ops

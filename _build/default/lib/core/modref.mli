@@ -1,0 +1,35 @@
+(** A mod/ref client of the points-to analysis.
+
+    This is the application the paper evaluates precision against: "such
+    applications are concerned only with the memory locations referenced
+    by each memory read or write".  Given a solved analysis, it reports,
+    per source position and per function, the sets of locations that may
+    be read or written through pointers. *)
+
+type op = {
+  op_node : Vdg.node_id;
+  op_rw : [ `Read | `Write ];
+  op_fun : string;
+  op_loc : Srcloc.t option;
+  op_targets : Apath.t list;
+}
+
+type t
+
+val of_ci : Ci_solver.t -> t
+val of_cs : Vdg.t -> Cs_solver.t -> t
+
+val ops : t -> op list
+(** All indirect memory operations with their target sets. *)
+
+val mod_set : t -> string -> Apath.t list
+(** Locations a function may modify through pointers (directly, not
+    transitively through callees). *)
+
+val ref_set : t -> string -> Apath.t list
+(** Locations a function may read through pointers. *)
+
+val transitive_mod_set : t -> Ci_solver.t -> string -> Apath.t list
+(** Mod set including everything reachable through the (CI) call graph. *)
+
+val at_loc : t -> Srcloc.t -> op list

@@ -1,0 +1,50 @@
+type t = {
+  path : Apath.t;
+  referent : Apath.t;
+}
+
+let make path referent = { path; referent }
+
+let equal a b = Apath.equal a.path b.path && Apath.equal a.referent b.referent
+
+let compare a b =
+  let c = Apath.compare a.path b.path in
+  if c <> 0 then c else Apath.compare a.referent b.referent
+
+let hash p = (Apath.hash p.path * 1000003) + Apath.hash p.referent
+
+let to_string p =
+  Printf.sprintf "(%s -> %s)" (Apath.to_string p.path) (Apath.to_string p.referent)
+
+module Set = struct
+  type pair = t
+
+  type t = {
+    table : (int * int, unit) Hashtbl.t;
+    mutable items : pair list;  (* reversed insertion order *)
+    mutable count : int;
+  }
+
+  let create () = { table = Hashtbl.create 8; items = []; count = 0 }
+
+  let key p = (Apath.hash p.path, Apath.hash p.referent)
+
+  let mem s p = Hashtbl.mem s.table (key p)
+
+  let add s p =
+    if mem s p then false
+    else begin
+      Hashtbl.replace s.table (key p) ();
+      s.items <- p :: s.items;
+      s.count <- s.count + 1;
+      true
+    end
+
+  let cardinal s = s.count
+
+  let elements s = List.rev s.items
+
+  let iter f s = List.iter f (elements s)
+
+  let fold f s init = List.fold_left (fun acc p -> f p acc) init (elements s)
+end

@@ -1,0 +1,35 @@
+(** Points-to pairs and pair sets (paper, Section 2).
+
+    A pair [(a, b)] on an output means: in the value produced by this
+    output, indirecting through any location (or offset) denoted by [a]
+    may return any location denoted by [b].  On store-typed outputs [a]
+    is a location path; on value-typed outputs [a] is an offset (the
+    empty offset for plain pointer values). *)
+
+type t = {
+  path : Apath.t;
+  referent : Apath.t;
+}
+
+val make : Apath.t -> Apath.t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val to_string : t -> string
+
+(** Mutable pair sets, used per output by the solvers. *)
+module Set : sig
+  type pair = t
+  type t
+
+  val create : unit -> t
+  val mem : t -> pair -> bool
+  val add : t -> pair -> bool
+  (** [add s p] inserts and returns [true] iff [p] was new. *)
+
+  val cardinal : t -> int
+  val iter : (pair -> unit) -> t -> unit
+  val fold : (pair -> 'a -> 'a) -> t -> 'a -> 'a
+  val elements : t -> pair list
+  (** In insertion order (deterministic). *)
+end

@@ -1,0 +1,101 @@
+let paths_may_overlap a b =
+  List.exists (fun p -> List.exists (fun q -> Apath.dom p q || Apath.dom q p) b) a
+
+let may_alias ci a b =
+  let g = Ci_solver.graph ci in
+  let is_memop nid =
+    match (Vdg.node g nid).Vdg.nkind with
+    | Vdg.Nlookup | Vdg.Nupdate -> true
+    | _ -> false
+  in
+  is_memop a && is_memop b
+  && paths_may_overlap
+       (Ci_solver.referenced_locations ci a)
+       (Ci_solver.referenced_locations ci b)
+
+type conflict = {
+  cf_a : Modref.op;
+  cf_b : Modref.op;
+  cf_kind : [ `Write_write | `Read_write ];
+  cf_common : Apath.t list;
+}
+
+let common_targets a b =
+  List.filter
+    (fun p -> List.exists (fun q -> Apath.dom p q || Apath.dom q p) b)
+    a
+
+let conflicts_in modref fname =
+  let ops =
+    List.filter (fun op -> String.equal op.Modref.op_fun fname) (Modref.ops modref)
+  in
+  let rec pairs acc = function
+    | [] -> acc
+    | op :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc other ->
+            let writes =
+              op.Modref.op_rw = `Write || other.Modref.op_rw = `Write
+            in
+            if not writes then acc
+            else begin
+              let common = common_targets op.Modref.op_targets other.Modref.op_targets in
+              if common = [] then acc
+              else
+                let kind =
+                  if op.Modref.op_rw = `Write && other.Modref.op_rw = `Write then
+                    `Write_write
+                  else `Read_write
+                in
+                { cf_a = op; cf_b = other; cf_kind = kind; cf_common = common } :: acc
+            end)
+          acc rest
+      in
+      pairs acc rest
+  in
+  List.rev (pairs [] ops)
+
+type purity =
+  | Pure
+  | Impure_writes
+  | Impure_calls of string
+
+(* library functions with no memory effects worth modeling *)
+let pure_externs =
+  [ "strlen"; "strcmp"; "strncmp"; "memcmp"; "abs"; "labs"; "atoi"; "atol" ]
+
+let classify_purity g ci fname =
+  let visited = Hashtbl.create 16 in
+  (* updates per function, computed once *)
+  let writes_of = Hashtbl.create 16 in
+  Vdg.iter_nodes g (fun n ->
+      if n.Vdg.nkind = Vdg.Nupdate then Hashtbl.replace writes_of n.Vdg.nfun ());
+  let exception Found of purity in
+  let rec visit f =
+    if not (Hashtbl.mem visited f) then begin
+      Hashtbl.replace visited f ();
+      if Hashtbl.mem writes_of f then raise (Found Impure_writes);
+      List.iter
+        (fun call ->
+          if String.equal (Vdg.node g call).Vdg.nfun f then begin
+            List.iter visit (Ci_solver.callees ci call);
+            List.iter
+              (fun ext ->
+                if not (List.mem ext pure_externs) then
+                  raise (Found (Impure_calls ext)))
+              (Ci_solver.extern_callees ci call)
+          end)
+        g.Vdg.calls
+    end
+  in
+  match visit fname with () -> Pure | exception Found p -> p
+
+let pure_functions g ci =
+  Hashtbl.fold
+    (fun fname _ acc ->
+      if fname <> Sil.global_init_name && classify_purity g ci fname = Pure then
+        fname :: acc
+      else acc)
+    g.Vdg.funs []
+  |> List.sort compare

@@ -1,0 +1,40 @@
+(** Higher-level queries over a points-to solution.
+
+    These are the question forms downstream compiler phases actually ask:
+    may two operations touch the same storage (dependence testing), which
+    operation pairs in a function conflict (reordering/parallelization),
+    and which functions are memory-pure (call-site motion). *)
+
+val paths_may_overlap : Apath.t list -> Apath.t list -> bool
+(** Two target sets may denote common storage: some pair is related by
+    the may-alias relation [dom] in either direction. *)
+
+val may_alias : Ci_solver.t -> Vdg.node_id -> Vdg.node_id -> bool
+(** May the two memory operations (lookup/update nodes) touch common
+    storage?  False for non-memory nodes. *)
+
+type conflict = {
+  cf_a : Modref.op;
+  cf_b : Modref.op;
+  cf_kind : [ `Write_write | `Read_write ];
+  cf_common : Apath.t list;   (** witnesses of the overlap *)
+}
+
+val conflicts_in : Modref.t -> string -> conflict list
+(** All pairs of indirect operations within one function that cannot be
+    reordered: at least one writes, and their target sets may overlap.
+    Each unordered pair is reported once. *)
+
+type purity =
+  | Pure                      (** no stores, no impure callees *)
+  | Impure_writes             (** performs a memory write *)
+  | Impure_calls of string    (** reaches an extern with unknown effects *)
+
+val classify_purity : Vdg.t -> Ci_solver.t -> string -> purity
+(** Transitive memory-purity of a defined function: [Pure] means neither
+    it nor anything it can call performs an update or reaches an external
+    function with possible side effects (a small allowlist of pure
+    library functions is built in). *)
+
+val pure_functions : Vdg.t -> Ci_solver.t -> string list
+(** All defined functions classified [Pure], sorted. *)

@@ -1,0 +1,74 @@
+(** Statistics over analysis results: the raw numbers behind every table
+    and figure in the paper's evaluation. *)
+
+(** Figure 3 / 6 rows: points-to pair counts by output type. *)
+type pair_counts = {
+  pc_pointer : int;
+  pc_function : int;
+  pc_aggregate : int;
+  pc_store : int;
+  pc_total : int;
+}
+
+val count_pairs : Vdg.t -> (Vdg.node_id -> int) -> pair_counts
+(** Sum a per-output pair count over all outputs, bucketed by the
+    output's value type (scalar outputs carry no pairs and are omitted,
+    as in the paper). *)
+
+val ci_pair_counts : Ci_solver.t -> pair_counts
+val cs_pair_counts : Cs_solver.t -> Vdg.t -> pair_counts
+
+(** Figure 4 rows: how many locations indirect reads/writes touch. *)
+type histogram = {
+  h_total : int;          (** indirect operations of this kind *)
+  h_zero : int;           (** operations whose location set is empty
+                              (statically unreachable or null-only, cf.
+                              the paper's backprop/bc footnote) *)
+  h_n : int array;        (** index 0 = 1 location, 1 = 2, 2 = 3, 3 = >=4 *)
+  h_max : int;
+  h_avg : float;          (** over operations with at least one location *)
+}
+
+val indirect_histograms :
+  Vdg.t -> (Vdg.node_id -> Apath.t list) -> histogram * histogram
+(** (reads, writes), given a per-node referenced-location function. *)
+
+(** Figure 7: pair population by path type x referent type. *)
+type path_class = Coffset | Clocal | Cglobal | Cheap
+
+val classify_path : Apath.t -> path_class
+val classify_referent : Apath.t -> [ `Function | `Local | `Global | `Heap ]
+
+type breakdown = {
+  bd_counts : int array array;  (** [path_class (4)][referent_class (4)] *)
+  bd_total : int;
+}
+
+val breakdown_of_pairs : Ptpair.t list -> breakdown
+val ci_breakdown : Ci_solver.t -> breakdown
+val spurious_breakdown : Ci_solver.t -> Cs_solver.t -> breakdown
+(** Pairs found by CI but not by CS, per output, classified. *)
+
+val spurious_total : Ci_solver.t -> Cs_solver.t -> int
+
+(** Section 4.2: how much the CI solution prunes the CS analysis. *)
+type pruning = {
+  pr_ops : int;                (** indirect reads+writes *)
+  pr_single : int;             (** proven single-location by CI *)
+  pr_ptr_ops : int;            (** ops whose value type carries pointers *)
+  pr_ptr_multi : int;          (** pointer-carrying ops still multi-location *)
+}
+
+val pruning_stats : Ci_solver.t -> pruning
+
+(** Section 5.1.2: call graph sparsity. *)
+type callgraph = {
+  cg_functions : int;          (** defined functions with at least one caller *)
+  cg_avg_callers : float;
+  cg_single_caller_pct : float;
+}
+
+val callgraph_stats : Ci_solver.t -> Vdg.t -> callgraph
+
+val alias_related_outputs : Vdg.t -> int
+(** Figure 2's "alias-related outputs". *)

@@ -1,0 +1,800 @@
+type outcome =
+  | Exit of int64
+  | Out_of_fuel
+  | Trap of string
+
+type observation = {
+  ob_loc : Srcloc.t;
+  ob_rw : [ `Read | `Write ];
+  ob_base : observed_base;
+  ob_accs : Apath.accessor list;
+}
+
+and observed_base =
+  | Ob_var of Sil.var
+  | Ob_heap of int
+  | Ob_str of int
+  | Ob_ext of string
+
+type result = {
+  outcome : outcome;
+  steps : int;
+  observations : observation list;
+  output : string;
+}
+
+(* ---- memory model ----------------------------------------------------------- *)
+
+type value =
+  | Vint of int64
+  | Vptr of pointer
+  | Vfun of string
+  | Vagg of cell            (* aggregate rvalue (a deep copy) *)
+  | Vundef
+
+and pointer = { pblock : block; ppath : step list }
+
+and step =
+  | Sfield of Ctype.comp_kind * string * string  (* kind, tag, field *)
+  | Selem of int
+
+and cell =
+  | Cval of value ref
+  | Cstruct of (Ctype.comp_kind * string) * (string * cell) array
+  | Cunion of string * (string * cell) option ref
+  | Carray of cell array
+  | Cflex of flex
+      (* lazily shaped storage (heap blocks): materializes as whatever the
+         first typed access requires *)
+  | Cflexarr of (int, cell) Hashtbl.t
+
+and flex = { mutable fshape : cell option }
+
+and block = { bid : int; borigin : observed_base; bcell : cell }
+
+exception Trap_exn of string
+exception Exit_exn of int64
+exception Fuel_exn
+
+let trap fmt = Printf.ksprintf (fun msg -> raise (Trap_exn msg)) fmt
+
+(* ---- machine state ------------------------------------------------------------ *)
+
+type frame = { fvars : (int, block) Hashtbl.t }
+
+type state = {
+  prog : Sil.program;
+  globals : (int, block) Hashtbl.t;
+  strings : (int, block) Hashtbl.t;
+  ext_blocks : (string, block) Hashtbl.t;
+  mutable next_bid : int;
+  mutable fuel : int;
+  mutable steps : int;
+  mutable observations : observation list;
+  out : Buffer.t;
+  mutable rng : int64;
+  mutable depth : int;
+  mutable cur_loc : Srcloc.t;
+}
+
+let comps st = st.prog.Sil.p_comps
+
+(* build a cell for a type; [zero] gives C static initialization *)
+let rec build_cell st ~zero (t : Ctype.t) : cell =
+  match Ctype.unroll t with
+  | Ctype.Void | Ctype.Int _ | Ctype.Float | Ctype.Enum _ ->
+    Cval (ref (if zero then Vint 0L else Vundef))
+  | Ctype.Ptr _ | Ctype.Func _ -> Cval (ref (if zero then Vint 0L else Vundef))
+  | Ctype.Array (elt, len) ->
+    let n = match len with Some n -> max n 0 | None -> 0 in
+    Carray (Array.init n (fun _ -> build_cell st ~zero elt))
+  | Ctype.Comp (Ctype.Struct, tag) ->
+    (match Hashtbl.find_opt (comps st) tag with
+    | Some ci when ci.Ctype.cdefined ->
+      Cstruct
+        ( (Ctype.Struct, tag),
+          Array.of_list
+            (List.map
+               (fun f -> (f.Ctype.fname, build_cell st ~zero f.Ctype.ftype))
+               ci.Ctype.cfields) )
+    | _ -> trap "instantiating incomplete struct %s" tag)
+  | Ctype.Comp (Ctype.Union, tag) -> Cunion (tag, ref None)
+  | Ctype.Named _ -> assert false
+
+let fresh_block st origin cell =
+  let b = { bid = st.next_bid; borigin = origin; bcell = cell } in
+  st.next_bid <- st.next_bid + 1;
+  b
+
+let var_block st frame (v : Sil.var) =
+  match v.Sil.vkind with
+  | Sil.Global ->
+    (match Hashtbl.find_opt st.globals v.Sil.vid with
+    | Some b -> b
+    | None ->
+      let b = fresh_block st (Ob_var v) (build_cell st ~zero:true v.Sil.vtype) in
+      Hashtbl.replace st.globals v.Sil.vid b;
+      b)
+  | _ ->
+    (match Hashtbl.find_opt frame.fvars v.Sil.vid with
+    | Some b -> b
+    | None ->
+      let b = fresh_block st (Ob_var v) (build_cell st ~zero:false v.Sil.vtype) in
+      Hashtbl.replace frame.fvars v.Sil.vid b;
+      b)
+
+let string_block st idx =
+  match Hashtbl.find_opt st.strings idx with
+  | Some b -> b
+  | None ->
+    let s = st.prog.Sil.p_strings.(idx) in
+    let n = String.length s + 1 in
+    let cells =
+      Array.init n (fun i ->
+          Cval (ref (Vint (if i < String.length s then Int64.of_int (Char.code s.[i]) else 0L))))
+    in
+    let b = fresh_block st (Ob_str idx) (Carray cells) in
+    Hashtbl.replace st.strings idx b;
+    b
+
+let ext_block st name n =
+  match Hashtbl.find_opt st.ext_blocks name with
+  | Some b -> b
+  | None ->
+    let cells = Array.init n (fun _ -> Cval (ref (Vint 0L))) in
+    let b = fresh_block st (Ob_ext name) (Carray cells) in
+    Hashtbl.replace st.ext_blocks name b;
+    b
+
+(* ---- cell navigation ------------------------------------------------------------ *)
+
+let rec resolve st (cell : cell) (path : step list) : cell =
+  match cell, path with
+  | Cflex flex, _ ->
+    (* materialize just enough shape for this access *)
+    let materialized =
+      match flex.fshape with
+      | Some c -> c
+      | None ->
+        let c =
+          match path with
+          | [] -> Cval (ref Vundef)
+          | Sfield (_, tag, _) :: _ ->
+            (match Hashtbl.find_opt (comps st) tag with
+            | Some ci when ci.Ctype.cdefined ->
+              build_cell st ~zero:false
+                (Ctype.Comp (ci.Ctype.ckind, tag))
+            | _ -> trap "flex access into unknown composite %s" tag)
+          | Selem _ :: _ -> Cflexarr (Hashtbl.create 4)
+        in
+        flex.fshape <- Some c;
+        c
+    in
+    resolve st materialized path
+  | Cflexarr tbl, Selem i :: rest ->
+    if i < 0 || i > 1 lsl 20 then trap "flex array index %d out of range" i
+    else begin
+      let sub =
+        match Hashtbl.find_opt tbl i with
+        | Some c -> c
+        | None ->
+          let c = Cflex { fshape = None } in
+          Hashtbl.replace tbl i c;
+          c
+      in
+      resolve st sub rest
+    end
+  | Cflexarr _, [] -> cell
+  | Cflexarr _, Sfield _ :: _ -> trap "field access on flex array"
+  | _, _ -> resolve_rigid st cell path
+
+and resolve_rigid st (cell : cell) (path : step list) : cell =
+  match path with
+  | [] -> cell
+  | Sfield (kind, tag, fname) :: rest ->
+    (match cell with
+    | Cstruct (_, fields) ->
+      (match Array.find_opt (fun (n, _) -> String.equal n fname) fields with
+      | Some (_, sub) -> resolve st sub rest
+      | None -> trap "no field %s" fname)
+    | Cunion (utag, active) ->
+      (match !active with
+      | Some (n, sub) when String.equal n fname -> resolve st sub rest
+      | _ ->
+        (* activate (or re-activate) the member: union type punning reads
+           yield fresh undefined storage *)
+        let ftype =
+          match Hashtbl.find_opt (comps st) tag with
+          | Some ci ->
+            (match List.find_opt (fun f -> f.Ctype.fname = fname) ci.Ctype.cfields with
+            | Some f -> f.Ctype.ftype
+            | None -> trap "no union member %s in %s" fname utag)
+          | None -> trap "unknown union %s" utag
+        in
+        ignore kind;
+        let sub = build_cell st ~zero:false ftype in
+        active := Some (fname, sub);
+        resolve st sub rest)
+    | _ -> trap "field access on non-struct storage")
+  | Selem i :: rest ->
+    (match cell with
+    | Carray cells ->
+      if i < 0 || i >= Array.length cells then
+        trap "array index %d out of bounds (%d)" i (Array.length cells)
+      else resolve st cells.(i) rest
+    | _ when i = 0 -> resolve st cell rest  (* scalar viewed as 1-element array *)
+    | _ -> trap "indexing non-array storage")
+
+let rec copy_cell (c : cell) : cell =
+  match c with
+  | Cval r -> Cval (ref !r)
+  | Cstruct (key, fields) ->
+    Cstruct (key, Array.map (fun (n, sub) -> (n, copy_cell sub)) fields)
+  | Cunion (tag, active) ->
+    Cunion (tag, ref (Option.map (fun (n, sub) -> (n, copy_cell sub)) !active))
+  | Carray cells -> Carray (Array.map copy_cell cells)
+  | Cflex { fshape = Some c } -> Cflex { fshape = Some (copy_cell c) }
+  | Cflex { fshape = None } -> Cflex { fshape = None }
+  | Cflexarr tbl ->
+    let fresh = Hashtbl.create (Hashtbl.length tbl) in
+    Hashtbl.iter (fun k v -> Hashtbl.replace fresh k (copy_cell v)) tbl;
+    Cflexarr fresh
+
+let rec overwrite_cell (dst : cell) (src : cell) =
+  match dst, src with
+  | Cval d, Cval s -> d := !s
+  | Cstruct (_, dfields), Cstruct (_, sfields)
+    when Array.length dfields = Array.length sfields ->
+    Array.iteri (fun i (_, d) -> overwrite_cell d (snd sfields.(i))) dfields
+  | Cunion (_, d), Cunion (_, s) ->
+    d := Option.map (fun (n, sub) -> (n, copy_cell sub)) !s
+  | Carray d, Carray s when Array.length d = Array.length s ->
+    Array.iteri (fun i dc -> overwrite_cell dc s.(i)) d
+  | Cflex d, _ ->
+    (match d.fshape with
+    | Some inner -> overwrite_cell inner src
+    | None -> d.fshape <- Some (copy_cell src))
+  | _, Cflex { fshape = Some inner } -> overwrite_cell dst inner
+  | _, Cflex { fshape = None } -> ()
+  | _ -> trap "aggregate assignment between incompatible shapes"
+
+(* ---- observations ----------------------------------------------------------------- *)
+
+let accessor_of_step = function
+  | Sfield (kind, tag, fname) ->
+    (match kind with
+    | Ctype.Union -> Apath.Field (Printf.sprintf "union %s" tag)
+    | Ctype.Struct -> Apath.Field (Printf.sprintf "%s.%s" tag fname))
+  | Selem _ -> Apath.Index
+
+let observe st loc rw (p : pointer) =
+  st.observations <-
+    {
+      ob_loc = loc;
+      ob_rw = rw;
+      ob_base = p.pblock.borigin;
+      ob_accs = List.map accessor_of_step p.ppath;
+    }
+    :: st.observations
+
+(* ---- expression evaluation ----------------------------------------------------------- *)
+
+let as_int = function
+  | Vint v -> v
+  | Vptr _ -> trap "pointer used as integer"
+  | Vfun _ -> trap "function used as integer"
+  | Vundef -> trap "read of undefined value"
+  | Vagg _ -> trap "aggregate used as integer"
+
+let truthy = function
+  | Vint v -> v <> 0L
+  | Vptr _ | Vfun _ -> true
+  | Vundef -> trap "branch on undefined value"
+  | Vagg _ -> trap "branch on aggregate"
+
+let value_eq a b =
+  match a, b with
+  | Vint x, Vint y -> x = y
+  | Vptr p, Vptr q -> p.pblock.bid = q.pblock.bid && p.ppath = q.ppath
+  | Vfun f, Vfun g -> String.equal f g
+  | Vptr _, Vint 0L | Vint 0L, Vptr _ -> false
+  | Vfun _, Vint 0L | Vint 0L, Vfun _ -> false
+  | Vundef, _ | _, Vundef -> trap "comparison with undefined value"
+  | _ -> false
+
+let rec eval st frame (e : Sil.exp) : value =
+  match e with
+  | Sil.Const (Sil.Cint v) -> Vint v
+  | Sil.Const (Sil.Cstr idx) ->
+    Vptr { pblock = string_block st idx; ppath = [ Selem 0 ] }
+  | Sil.Fun_addr f -> Vfun f
+  | Sil.Lval lv -> read_lval st frame st.cur_loc lv
+  | Sil.Addr_of lv -> Vptr (addr_of st frame st.cur_loc lv)
+  | Sil.Start_of lv ->
+    let p = addr_of st frame st.cur_loc lv in
+    Vptr { p with ppath = p.ppath @ [ Selem 0 ] }
+  | Sil.Cast (t, inner) ->
+    let v = eval st frame inner in
+    (match v, Ctype.unroll t with
+    | Vint 0L, (Ctype.Ptr _ | Ctype.Func _) -> Vint 0L
+    | v, _ -> v)
+  | Sil.Unop (op, a, _) ->
+    let v = as_int (eval st frame a) in
+    (match op with
+    | Sil.Neg -> Vint (Int64.neg v)
+    | Sil.Bnot -> Vint (Int64.lognot v)
+    | Sil.Lnot -> Vint (if v = 0L then 1L else 0L))
+  | Sil.Binop (Sil.PtrAdd, p, i, _) ->
+    let pv = eval st frame p in
+    let iv = as_int (eval st frame i) in
+    (match pv with
+    | Vptr ptr ->
+      (match List.rev ptr.ppath with
+      | Selem k :: rev_rest ->
+        Vptr { ptr with ppath = List.rev (Selem (k + Int64.to_int iv) :: rev_rest) }
+      | _ -> if iv = 0L then pv else trap "pointer arithmetic outside an array")
+    | Vint 0L when iv = 0L -> Vint 0L
+    | Vint _ -> trap "arithmetic on null/integer pointer"
+    | _ -> trap "pointer arithmetic on non-pointer")
+  | Sil.Binop (Sil.PtrDiff, a, b, _) ->
+    let va = eval st frame a and vb = eval st frame b in
+    (match va, vb with
+    | Vptr p, Vptr q when p.pblock.bid = q.pblock.bid ->
+      (match List.rev p.ppath, List.rev q.ppath with
+      | Selem i :: _, Selem j :: _ -> Vint (Int64.of_int (i - j))
+      | _ -> trap "pointer difference outside arrays")
+    | _ -> trap "pointer difference between unrelated blocks")
+  | Sil.Binop (op, a, b, _) ->
+    let va = eval st frame a in
+    let vb = eval st frame b in
+    eval_binop op va vb
+
+and eval_binop op va vb =
+  let bool_of b = Vint (if b then 1L else 0L) in
+  match op with
+  | Sil.Eq -> bool_of (value_eq va vb)
+  | Sil.Ne -> bool_of (not (value_eq va vb))
+  | Sil.Lt | Sil.Gt | Sil.Le | Sil.Ge ->
+    (match va, vb with
+    | Vptr p, Vptr q when p.pblock.bid = q.pblock.bid ->
+      let rank ptr =
+        match List.rev ptr.ppath with Selem i :: _ -> i | _ -> 0
+      in
+      let x = rank p and y = rank q in
+      bool_of
+        (match op with
+        | Sil.Lt -> x < y
+        | Sil.Gt -> x > y
+        | Sil.Le -> x <= y
+        | _ -> x >= y)
+    | _ ->
+      let x = as_int va and y = as_int vb in
+      bool_of
+        (match op with
+        | Sil.Lt -> x < y
+        | Sil.Gt -> x > y
+        | Sil.Le -> x <= y
+        | _ -> x >= y))
+  | Sil.Add | Sil.Sub | Sil.Mul | Sil.Div | Sil.Mod | Sil.Shl | Sil.Shr
+  | Sil.Band | Sil.Bor | Sil.Bxor ->
+    let x = as_int va and y = as_int vb in
+    let shift f = f x (Int64.to_int y) in
+    Vint
+      (match op with
+      | Sil.Add -> Int64.add x y
+      | Sil.Sub -> Int64.sub x y
+      | Sil.Mul -> Int64.mul x y
+      | Sil.Div -> if y = 0L then trap "division by zero" else Int64.div x y
+      | Sil.Mod -> if y = 0L then trap "division by zero" else Int64.rem x y
+      | Sil.Shl -> shift Int64.shift_left
+      | Sil.Shr -> shift Int64.shift_right
+      | Sil.Band -> Int64.logand x y
+      | Sil.Bor -> Int64.logor x y
+      | Sil.Bxor -> Int64.logxor x y
+      | _ -> assert false)
+  | Sil.PtrAdd | Sil.PtrDiff -> assert false
+
+and addr_of st frame loc (lv : Sil.lval) : pointer =
+  let base_ptr, is_indirect =
+    match lv.Sil.lbase with
+    | Sil.Vbase v -> ({ pblock = var_block st frame v; ppath = [] }, false)
+    | Sil.Mem e ->
+      (match eval st frame e with
+      | Vptr p -> (p, true)
+      | Vint 0L -> trap "null pointer dereference"
+      | Vint _ -> trap "integer used as pointer"
+      | Vfun _ -> trap "function pointer dereferenced as data"
+      | Vundef -> trap "dereference of undefined pointer"
+      | Vagg _ -> trap "aggregate used as pointer")
+  in
+  ignore is_indirect;
+  ignore loc;
+  let steps =
+    List.map
+      (fun off ->
+        match off with
+        | Sil.Ofield (kind, tag, fname) -> Sfield (kind, tag, fname)
+        | Sil.Oindex e -> Selem (Int64.to_int (as_int (eval st frame e))))
+      lv.Sil.loffs
+  in
+  { base_ptr with ppath = base_ptr.ppath @ steps }
+
+and read_lval st frame loc (lv : Sil.lval) : value =
+  let p = addr_of st frame loc lv in
+  (match lv.Sil.lbase with
+  | Sil.Mem _ -> observe st loc `Read p
+  | Sil.Vbase _ -> ());
+  match resolve st p.pblock.bcell p.ppath with
+  | Cval r -> !r
+  | aggregate -> Vagg (copy_cell aggregate)
+
+let write_lval st frame loc (lv : Sil.lval) (v : value) =
+  let p = addr_of st frame loc lv in
+  (match lv.Sil.lbase with
+  | Sil.Mem _ -> observe st loc `Write p
+  | Sil.Vbase _ -> ());
+  match resolve st p.pblock.bcell p.ppath, v with
+  | Cval r, (Vint _ | Vptr _ | Vfun _ | Vundef) -> r := v
+  | Cval _, Vagg _ -> trap "aggregate stored into scalar slot"
+  | dst, Vagg src -> overwrite_cell dst src
+  | Carray cells, Vptr _ when Array.length cells > 0 ->
+    (* char buf[] = "lit" prologue writes a pointer marker; treat as
+       copying nothing (characters don't matter to aliasing) *)
+    ()
+  | _, _ -> trap "scalar stored into aggregate slot"
+
+(* ---- library functions ----------------------------------------------------------------- *)
+
+let read_c_string st (p : pointer) : string =
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i > 100000 then trap "unterminated string";
+    let path =
+      match List.rev p.ppath with
+      | Selem k :: rev_rest -> List.rev (Selem (k + i) :: rev_rest)
+      | _ -> if i = 0 then p.ppath else trap "string read outside array"
+    in
+    match resolve st p.pblock.bcell path with
+    | Cval { contents = Vint 0L } -> ()
+    | Cval { contents = Vint c } ->
+      Buffer.add_char buf (Char.chr (Int64.to_int c land 0xff));
+      go (i + 1)
+    | _ -> trap "non-character in string"
+  in
+  go 0;
+  Buffer.contents buf
+
+let write_c_string st (p : pointer) (s : string) =
+  String.iteri
+    (fun i c ->
+      let path =
+        match List.rev p.ppath with
+        | Selem k :: rev_rest -> List.rev (Selem (k + i) :: rev_rest)
+        | _ -> trap "string write outside array"
+      in
+      match resolve st p.pblock.bcell path with
+      | Cval r -> r := Vint (Int64.of_int (Char.code c))
+      | _ -> trap "string write into aggregate")
+    (s ^ "\000")
+
+let next_rand st =
+  st.rng <- Int64.add (Int64.mul st.rng 6364136223846793005L) 1442695040888963407L;
+  Int64.to_int (Int64.logand (Int64.shift_right_logical st.rng 33) 0x3FFFFFFFL)
+
+(* ---- execution -------------------------------------------------------------------------- *)
+
+let rec call_function st fname (args : value list) : value =
+  match Sil.find_function st.prog fname with
+  | Some fd -> call_defined st fd args
+  | None -> call_extern st fname args
+
+and call_defined st (fd : Sil.fundec) (args : value list) : value =
+  st.depth <- st.depth + 1;
+  if st.depth > 2000 then trap "call stack overflow";
+  let frame = { fvars = Hashtbl.create 16 } in
+  List.iteri
+    (fun i formal ->
+      let b = var_block st frame formal in
+      let v = match List.nth_opt args i with Some v -> v | None -> Vundef in
+      match b.bcell, v with
+      | Cval r, (Vint _ | Vptr _ | Vfun _ | Vundef) -> r := v
+      | dst, Vagg src -> overwrite_cell dst src
+      | _ -> ())
+    fd.Sil.fd_formals;
+  let blocks = fd.Sil.fd_blocks in
+  let result = ref (Vint 0L) in
+  let rec run_block bid =
+    let b = blocks.(bid) in
+    List.iter (exec_instr st frame) b.Sil.binstrs;
+    st.steps <- st.steps + 1;
+    st.fuel <- st.fuel - 1;
+    if st.fuel <= 0 then raise Fuel_exn;
+    st.cur_loc <- b.Sil.bterm_loc;
+    match b.Sil.bterm with
+    | Sil.Goto next -> run_block next
+    | Sil.If (cond, then_b, else_b) ->
+      if truthy (eval st frame cond) then run_block then_b else run_block else_b
+    | Sil.Return (Some e) -> result := eval st frame e
+    | Sil.Return None -> result := Vint 0L
+    | Sil.Unreachable -> trap "reached unreachable block"
+  in
+  run_block fd.Sil.fd_entry;
+  st.depth <- st.depth - 1;
+  !result
+
+and exec_instr st frame (instr : Sil.instr) =
+  (match instr with
+  | Sil.Set (_, _, loc) | Sil.Call (_, _, _, loc) | Sil.Alloc (_, _, _, loc) ->
+    st.cur_loc <- loc);
+  st.steps <- st.steps + 1;
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise Fuel_exn;
+  match instr with
+  | Sil.Set (lv, e, loc) ->
+    let v = eval st frame e in
+    write_lval st frame loc lv v
+  | Sil.Alloc (lv, size, site, loc) ->
+    ignore (eval st frame size);
+    (* heap storage is lazily shaped: the block materializes as whatever
+       the program's typed accesses require *)
+    let b = fresh_block st (Ob_heap site) (Cflexarr (Hashtbl.create 8)) in
+    write_lval st frame loc lv (Vptr { pblock = b; ppath = [ Selem 0 ] })
+  | Sil.Call (ret, target, args, loc) ->
+    let arg_vals = List.map (fun a -> eval st frame a) args in
+    let fname =
+      match target with
+      | Sil.Direct name -> name
+      | Sil.Indirect e ->
+        (match eval st frame e with
+        | Vfun f -> f
+        | Vptr _ -> trap "data pointer called as function"
+        | Vint 0L -> trap "null function pointer call"
+        | _ -> trap "bad function pointer")
+    in
+    let v = call_function st fname arg_vals in
+    (match ret with
+    | Some lv -> write_lval st frame loc lv v
+    | None -> ())
+
+and call_extern st fname (args : value list) : value =
+  let arg i = List.nth_opt args i in
+  let ptr_arg i =
+    match arg i with
+    | Some (Vptr p) -> p
+    | _ -> trap "%s: expected pointer argument %d" fname i
+  in
+  let int_arg i = match arg i with Some v -> as_int v | None -> 0L in
+  match fname with
+  | "printf" | "fprintf" | "scanf" | "sscanf" -> Vint 0L
+  | "sprintf" ->
+    (* fmt copied verbatim: enough to exercise the pointer flow *)
+    let fmt = read_c_string st (ptr_arg 1) in
+    write_c_string st (ptr_arg 0) fmt;
+    Vint (Int64.of_int (String.length fmt))
+  | "puts" ->
+    Buffer.add_string st.out (read_c_string st (ptr_arg 0));
+    Buffer.add_char st.out '\n';
+    Vint 0L
+  | "putchar" | "putc" ->
+    Buffer.add_char st.out (Char.chr (Int64.to_int (int_arg 0) land 0xff));
+    Vint (int_arg 0)
+  | "getchar" | "getc" -> Vint (-1L)
+  | "exit" -> raise (Exit_exn (int_arg 0))
+  | "abort" -> trap "abort() called"
+  | "assert" -> if int_arg 0 = 0L then trap "assertion failure" else Vint 0L
+  | "free" | "fclose" | "srand" -> Vint 0L
+  | "rand" -> Vint (Int64.of_int (next_rand st))
+  | "abs" | "labs" -> Vint (Int64.abs (int_arg 0))
+  | "atoi" | "atol" ->
+    let s = read_c_string st (ptr_arg 0) in
+    Vint (try Int64.of_string (String.trim s) with _ -> 0L)
+  | "strlen" -> Vint (Int64.of_int (String.length (read_c_string st (ptr_arg 0))))
+  | "strcmp" | "strncmp" ->
+    let a = read_c_string st (ptr_arg 0) and b = read_c_string st (ptr_arg 1) in
+    Vint (Int64.of_int (compare a b))
+  | "strcpy" ->
+    write_c_string st (ptr_arg 0) (read_c_string st (ptr_arg 1));
+    Vptr (ptr_arg 0)
+  | "strncpy" ->
+    let n = Int64.to_int (int_arg 2) in
+    let s = read_c_string st (ptr_arg 1) in
+    let s = if String.length s > n then String.sub s 0 n else s in
+    write_c_string st (ptr_arg 0) s;
+    Vptr (ptr_arg 0)
+  | "strcat" | "strncat" ->
+    let dst = ptr_arg 0 in
+    let existing = read_c_string st dst in
+    write_c_string st dst (existing ^ read_c_string st (ptr_arg 1));
+    Vptr dst
+  | "strchr" | "strrchr" ->
+    let base = ptr_arg 0 in
+    let s = read_c_string st base in
+    let c = Char.chr (Int64.to_int (int_arg 1) land 0xff) in
+    let found =
+      if fname = "strchr" then String.index_opt s c else String.rindex_opt s c
+    in
+    (match found, List.rev base.ppath with
+    | Some i, Selem k :: rev_rest ->
+      Vptr { base with ppath = List.rev (Selem (k + i) :: rev_rest) }
+    | Some _, _ -> Vptr base
+    | None, _ -> Vint 0L)
+  | "strstr" ->
+    let base = ptr_arg 0 in
+    let hay = read_c_string st base in
+    let needle = read_c_string st (ptr_arg 1) in
+    let rec find i =
+      if i + String.length needle > String.length hay then None
+      else if String.sub hay i (String.length needle) = needle then Some i
+      else find (i + 1)
+    in
+    (match find 0, List.rev base.ppath with
+    | Some i, Selem k :: rev_rest ->
+      Vptr { base with ppath = List.rev (Selem (k + i) :: rev_rest) }
+    | Some _, _ -> Vptr base
+    | None, _ -> Vint 0L)
+  | "memset" ->
+    (* cell-level fill: exact for byte-sized elements, and for the common
+       memset(p, 0, n) on any scalar element type *)
+    let base = ptr_arg 0 in
+    let v = Vint (int_arg 1) in
+    let n = Int64.to_int (int_arg 2) in
+    let rec fill i =
+      if i < n then begin
+        let path =
+          match List.rev base.ppath with
+          | Selem k :: rev_rest -> List.rev (Selem (k + i) :: rev_rest)
+          | _ -> trap "memset outside an array"
+        in
+        (match resolve st base.pblock.bcell path with
+        | Cval r -> r := v
+        | _ -> trap "memset into aggregate cells");
+        fill (i + 1)
+      end
+    in
+    (* stop early rather than trap when n exceeds the (cell) length *)
+    (try fill 0 with Trap_exn _ -> ());
+    Vptr base
+  | "memcpy" | "memmove" ->
+    let dst = ptr_arg 0 in
+    let src = ptr_arg 1 in
+    let n = Int64.to_int (int_arg 2) in
+    let elem p i =
+      match List.rev p.ppath with
+      | Selem k :: rev_rest -> { p with ppath = List.rev (Selem (k + i) :: rev_rest) }
+      | _ -> trap "memcpy outside an array"
+    in
+    (try
+       for i = 0 to n - 1 do
+         let s = elem src i and d = elem dst i in
+         let sc = resolve st s.pblock.bcell s.ppath in
+         let dc = resolve st d.pblock.bcell d.ppath in
+         overwrite_cell dc sc
+       done
+     with Trap_exn _ -> ());
+    Vptr dst
+  | "fopen" -> Vptr { pblock = ext_block st "FILE" 4; ppath = [ Selem 0 ] }
+  | "fgets" | "gets" ->
+    Vint 0L  (* deterministic EOF *)
+  | "qsort" ->
+    (* bubble sort over the first [n] elements via the comparator *)
+    let base = ptr_arg 0 in
+    let n = Int64.to_int (int_arg 1) in
+    let cmp =
+      match arg 3 with
+      | Some (Vfun f) -> f
+      | _ -> trap "qsort: bad comparator"
+    in
+    let elem i =
+      match List.rev base.ppath with
+      | Selem k :: rev_rest -> { base with ppath = List.rev (Selem (k + i) :: rev_rest) }
+      | _ -> trap "qsort: base not into an array"
+    in
+    for i = 0 to n - 2 do
+      for j = 0 to n - 2 - i do
+        let pa = elem j and pb = elem (j + 1) in
+        let r = as_int (call_function st cmp [ Vptr pa; Vptr pb ]) in
+        if r > 0L then begin
+          let ca = resolve st pa.pblock.bcell pa.ppath in
+          let cb = resolve st pb.pblock.bcell pb.ppath in
+          let tmp = copy_cell ca in
+          overwrite_cell ca cb;
+          overwrite_cell cb tmp
+        end
+      done
+    done;
+    Vint 0L
+  | _ -> Vint 0L
+
+(* ---- entry point ----------------------------------------------------------------------------- *)
+
+let run ?(fuel = 200_000) (p : Sil.program) : result =
+  let st =
+    {
+      prog = p;
+      globals = Hashtbl.create 64;
+      strings = Hashtbl.create 16;
+      ext_blocks = Hashtbl.create 8;
+      next_bid = 0;
+      fuel;
+      steps = 0;
+      observations = [];
+      out = Buffer.create 256;
+      rng = 0x12345678L;
+      depth = 0;
+      cur_loc = Srcloc.dummy;
+    }
+  in
+  let finish outcome =
+    {
+      outcome;
+      steps = st.steps;
+      observations = List.rev st.observations;
+      output = Buffer.contents st.out;
+    }
+  in
+  try
+    if Sil.find_function p Sil.global_init_name <> None then
+      ignore (call_function st Sil.global_init_name []);
+    match p.Sil.p_main with
+    | Some main_name ->
+      let fd = Option.get (Sil.find_function p main_name) in
+      let args =
+        match fd.Sil.fd_formals with
+        | [] -> []
+        | _ ->
+          let argv = ext_block st "argv" 2 in
+          (match argv.bcell with
+          | Carray cells ->
+            let s = ext_block st "argv_strings" 8 in
+            (match cells.(0) with
+            | Cval r -> r := Vptr { pblock = s; ppath = [ Selem 0 ] }
+            | _ -> ())
+          | _ -> ());
+          [ Vint 1L; Vptr { pblock = argv; ppath = [ Selem 0 ] } ]
+      in
+      let v = call_function st main_name args in
+      finish (Exit (match v with Vint n -> n | _ -> 0L))
+    | None -> finish (Exit 0L)
+  with
+  | Exit_exn code -> finish (Exit code)
+  | Fuel_exn -> finish Out_of_fuel
+  | Trap_exn msg -> finish (Trap msg)
+
+let observed_apath tbl (ob : observation) : Apath.t option =
+  let base_kind =
+    match ob.ob_base with
+    | Ob_var v -> Apath.Bvar v
+    | Ob_heap site -> Apath.Bheap site
+    | Ob_str idx -> Apath.Bstr idx
+    | Ob_ext name -> Apath.Bext name
+  in
+  let base = Apath.mk_base tbl base_kind ~singular:false in
+  (* the analyses model malloc results and string-literal pointers as
+     pointing at the block itself, not at element 0 of an array: drop the
+     leading index so vocabularies agree *)
+  let accs =
+    match ob.ob_base, ob.ob_accs with
+    | (Ob_heap _ | Ob_str _), Apath.Index :: rest -> rest
+    | _, accs -> accs
+  in
+  Some
+    (List.fold_left
+       (fun path acc -> Apath.extend tbl path acc)
+       (Apath.of_base tbl base) accs)
+
+let string_of_observation ob =
+  let base =
+    match ob.ob_base with
+    | Ob_var v -> v.Sil.vname
+    | Ob_heap site -> Printf.sprintf "heap@%d" site
+    | Ob_str idx -> Printf.sprintf "str#%d" idx
+    | Ob_ext name -> "ext:" ^ name
+  in
+  Printf.sprintf "%s %s%s at %s"
+    (match ob.ob_rw with `Read -> "read" | `Write -> "write")
+    base
+    (String.concat ""
+       (List.map
+          (function Apath.Field f -> "." ^ f | Apath.Index -> "[*]")
+          ob.ob_accs))
+    (Srcloc.to_string ob.ob_loc)

@@ -1,0 +1,51 @@
+(** A concrete interpreter for SIL programs.
+
+    Runs a program deterministically (library randomness and I/O are
+    stubbed) under a step budget, and records, at every pointer
+    dereference, the concrete storage that was actually touched —
+    abstracted to the analyses' vocabulary (base kind plus accessor
+    chain with array indices collapsed).  The test suite uses this as a
+    soundness oracle: every observed access must be covered by every
+    analysis' prediction at the same source position.
+
+    Memory is a graph of typed blocks (one per global, per local
+    activation, per allocation, per string literal), so wild pointer
+    arithmetic traps instead of corrupting unrelated state; programs
+    under test are expected to be memory-safe. *)
+
+type outcome =
+  | Exit of int64            (** program returned / called [exit] *)
+  | Out_of_fuel              (** step budget exhausted (fine for testing) *)
+  | Trap of string           (** runtime error (null deref, bad index, ...) *)
+
+(** One observed pointer dereference. *)
+type observation = {
+  ob_loc : Srcloc.t;
+  ob_rw : [ `Read | `Write ];
+  ob_base : observed_base;
+  ob_accs : Apath.accessor list;  (** concrete indices collapsed to [Index] *)
+}
+
+and observed_base =
+  | Ob_var of Sil.var
+  | Ob_heap of int           (** allocation site *)
+  | Ob_str of int
+  | Ob_ext of string
+
+type result = {
+  outcome : outcome;
+  steps : int;
+  observations : observation list;     (** in execution order *)
+  output : string;                     (** collected [printf]/[puts] text *)
+}
+
+val run : ?fuel:int -> Sil.program -> result
+(** Execute from [__global_init] then [main] (default fuel 200_000). *)
+
+val observed_apath : Apath.table -> observation -> Apath.t option
+(** Rebuild the observation as an access path in the given table, for
+    containment checks against analysis results.  [None] when the base
+    cannot be named there (never happens for programs built into the
+    same table). *)
+
+val string_of_observation : observation -> string

@@ -1,0 +1,1 @@
+lib/ir/norm.ml: Array Ast Char Ctype Hashtbl Int64 List Option Parser Preproc Printf Sema Sil Srcloc String

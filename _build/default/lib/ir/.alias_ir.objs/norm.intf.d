@@ -1,0 +1,1 @@
+lib/ir/norm.mli: Ast Sema Sil

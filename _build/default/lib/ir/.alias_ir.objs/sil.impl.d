@@ -1,0 +1,1 @@
+lib/ir/sil.ml: Array Ctype Format Hashtbl Int64 List Printf Srcloc String

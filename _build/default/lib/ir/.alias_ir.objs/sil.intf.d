@@ -1,0 +1,1 @@
+lib/ir/sil.mli: Ctype Format Hashtbl Srcloc

@@ -1,0 +1,55 @@
+type t = {
+  nblocks : int;
+  entry : int;
+  succs : int list array;
+  preds : int list array;
+}
+
+let successors_of_term = function
+  | Sil.Goto b -> [ b ]
+  | Sil.If (_, t, f) -> if t = f then [ t ] else [ t; f ]
+  | Sil.Return _ | Sil.Unreachable -> []
+
+let of_edges ~nblocks ~entry edges =
+  let succs = Array.make nblocks [] in
+  let preds = Array.make nblocks [] in
+  List.iter
+    (fun (a, b) ->
+      succs.(a) <- succs.(a) @ [ b ];
+      preds.(b) <- preds.(b) @ [ a ])
+    edges;
+  { nblocks; entry; succs; preds }
+
+let of_fundec (fd : Sil.fundec) =
+  let nblocks = Array.length fd.Sil.fd_blocks in
+  let edges = ref [] in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun s -> edges := (b.Sil.bid, s) :: !edges)
+        (successors_of_term b.Sil.bterm))
+    fd.Sil.fd_blocks;
+  of_edges ~nblocks ~entry:fd.Sil.fd_entry (List.rev !edges)
+
+let postorder t =
+  let visited = Array.make t.nblocks false in
+  let order = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs t.succs.(b);
+      order := b :: !order
+    end
+  in
+  dfs t.entry;
+  (* [order] is now reverse postorder *)
+  !order
+
+let reverse_postorder t = Array.of_list (postorder t)
+
+let postorder_index t =
+  let rpo = reverse_postorder t in
+  let idx = Array.make t.nblocks (-1) in
+  let n = Array.length rpo in
+  Array.iteri (fun i b -> idx.(b) <- n - 1 - i) rpo;
+  idx

@@ -1,0 +1,25 @@
+(** Control-flow graph view of a {!Sil.fundec}.
+
+    Blocks are already dense and reachable (guaranteed by {!Norm}); this
+    module only materializes successor/predecessor arrays and traversal
+    orders for {!Dom} and {!Vdg_build}. *)
+
+type t = {
+  nblocks : int;
+  entry : int;
+  succs : int list array;
+  preds : int list array;
+}
+
+val of_fundec : Sil.fundec -> t
+
+val of_edges : nblocks:int -> entry:int -> (int * int) list -> t
+(** Build a CFG from raw edges (used by tests and property generators). *)
+
+val reverse_postorder : t -> int array
+(** Blocks in reverse postorder from the entry; every block appears
+    exactly once (all blocks are reachable). *)
+
+val postorder_index : t -> int array
+(** [postorder_index.(b)] is [b]'s position in postorder; higher means
+    earlier in reverse postorder. *)

@@ -1,0 +1,98 @@
+type t = {
+  cfg : Cfg.t;
+  idoms : int array;
+  po_index : int array;   (* higher = earlier in reverse postorder *)
+  frontiers : int list array;
+  kids : int list array;
+}
+
+(* Cooper-Harvey-Kennedy: iterate intersect() over reverse postorder. *)
+let compute (cfg : Cfg.t) =
+  let n = cfg.Cfg.nblocks in
+  let rpo = Cfg.reverse_postorder cfg in
+  let po_index = Cfg.postorder_index cfg in
+  let idoms = Array.make n (-1) in
+  idoms.(cfg.Cfg.entry) <- cfg.Cfg.entry;
+  let rec intersect a b =
+    if a = b then a
+    else if po_index.(a) < po_index.(b) then intersect idoms.(a) b
+    else intersect a idoms.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> cfg.Cfg.entry then begin
+          let processed_preds =
+            List.filter (fun p -> idoms.(p) <> -1) cfg.Cfg.preds.(b)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left (fun acc p -> intersect acc p) first rest in
+            if idoms.(b) <> new_idom then begin
+              idoms.(b) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  (* dominance frontiers; the entry needs special care because a back
+     edge into it gives it an (implicit) second predecessor and its idom
+     is itself *)
+  let frontiers = Array.make n [] in
+  let add b runner =
+    if not (List.mem b frontiers.(runner)) then
+      frontiers.(runner) <- b :: frontiers.(runner)
+  in
+  for b = 0 to n - 1 do
+    let preds = cfg.Cfg.preds.(b) in
+    if List.length preds >= 2 || (b = cfg.Cfg.entry && preds <> []) then
+      List.iter
+        (fun p ->
+          let rec walk runner =
+            if b = cfg.Cfg.entry then begin
+              add b runner;
+              if runner <> cfg.Cfg.entry then walk idoms.(runner)
+            end
+            else if runner <> idoms.(b) then begin
+              add b runner;
+              walk idoms.(runner)
+            end
+          in
+          walk p)
+        preds
+  done;
+  let kids = Array.make n [] in
+  for b = 0 to n - 1 do
+    if b <> cfg.Cfg.entry then kids.(idoms.(b)) <- b :: kids.(idoms.(b))
+  done;
+  { cfg; idoms; po_index; frontiers; kids }
+
+let idom t b = t.idoms.(b)
+
+let dominates t a b =
+  let entry = t.cfg.Cfg.entry in
+  let rec up x = if x = a then true else if x = entry then a = entry else up t.idoms.(x) in
+  up b
+
+let dominance_frontier t b = t.frontiers.(b)
+
+let children t b = t.kids.(b)
+
+let iterated_frontier t blocks =
+  let in_result = Hashtbl.create 16 in
+  let worklist = Queue.create () in
+  List.iter (fun b -> Queue.add b worklist) blocks;
+  while not (Queue.is_empty worklist) do
+    let b = Queue.pop worklist in
+    List.iter
+      (fun f ->
+        if not (Hashtbl.mem in_result f) then begin
+          Hashtbl.replace in_result f ();
+          Queue.add f worklist
+        end)
+      t.frontiers.(b)
+  done;
+  List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) in_result [])

@@ -1,0 +1,26 @@
+(** Dominator tree and dominance frontiers.
+
+    Implements the Cooper-Harvey-Kennedy iterative dominator algorithm
+    over reverse postorder, and the standard dominance-frontier
+    computation from the immediate-dominator tree.  Used for SSA phi
+    placement in {!Vdg_build}. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val idom : t -> int -> int
+(** Immediate dominator of a block; the entry's idom is itself. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: [a] dominates [b] (reflexive). *)
+
+val dominance_frontier : t -> int -> int list
+(** Dominance frontier of a block. *)
+
+val children : t -> int -> int list
+(** Children in the dominator tree. *)
+
+val iterated_frontier : t -> int list -> int list
+(** Iterated dominance frontier of a set of blocks (the SSA phi-placement
+    set for a variable defined in those blocks). *)

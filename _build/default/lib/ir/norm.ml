@@ -1,0 +1,950 @@
+(* Program-wide lowering state. *)
+type pstate = {
+  env : Sema.env;
+  mutable next_vid : int;
+  globals : (string, Sil.var) Hashtbl.t;
+  strings : (string, int) Hashtbl.t;
+  mutable string_pool : string list;  (* reversed *)
+  mutable string_count : int;
+  mutable alloc_count : int;
+  mutable static_inits : (Sil.var * Ctype.t * Ast.init * Srcloc.t) list;
+      (* block-scope statics: initialized in __global_init *)
+  mutable statics : Sil.var list;
+}
+
+(* Per-function lowering state. *)
+type fstate = {
+  ps : pstate;
+  fname : string;
+  ret_type : Ctype.t;
+  mutable scopes : (string, Sil.var) Hashtbl.t list;
+  mutable locals : Sil.var list;  (* reversed *)
+  mutable blocks : Sil.block list;  (* reversed; terminators patched later *)
+  mutable nblocks : int;
+  mutable cur : Sil.block option;  (* block being filled *)
+  mutable break_targets : int list;
+  mutable continue_targets : int list;
+}
+
+let fresh_var ps name vtype vkind =
+  let v = { Sil.vid = ps.next_vid; vname = name; vtype; vkind; vaddr_taken = false } in
+  ps.next_vid <- ps.next_vid + 1;
+  v
+
+let intern_string ps s =
+  match Hashtbl.find_opt ps.strings s with
+  | Some id -> id
+  | None ->
+    let id = ps.string_count in
+    ps.string_count <- id + 1;
+    ps.string_pool <- s :: ps.string_pool;
+    Hashtbl.add ps.strings s id;
+    id
+
+(* ---- block management ---------------------------------------------------- *)
+
+let new_block fs =
+  let b =
+    { Sil.bid = fs.nblocks; binstrs = []; bterm = Sil.Unreachable;
+      bterm_loc = Srcloc.dummy }
+  in
+  fs.nblocks <- fs.nblocks + 1;
+  fs.blocks <- b :: fs.blocks;
+  b
+
+let start_block fs b = fs.cur <- Some b
+
+let emit fs instr =
+  match fs.cur with
+  | Some b -> b.Sil.binstrs <- b.Sil.binstrs @ [ instr ]
+  | None -> ()  (* dead code after return/break: dropped *)
+
+let terminate ?loc fs term =
+  match fs.cur with
+  | Some b ->
+    b.Sil.bterm <- term;
+    (match loc with Some l -> b.Sil.bterm_loc <- l | None -> ());
+    fs.cur <- None
+  | None -> ()
+
+let in_dead_code fs = fs.cur = None
+
+(* ---- scope handling -------------------------------------------------------- *)
+
+let push_scope fs = fs.scopes <- Hashtbl.create 8 :: fs.scopes
+
+let pop_scope fs =
+  match fs.scopes with
+  | [] -> assert false
+  | _ :: rest -> fs.scopes <- rest
+
+let add_local fs name vtype =
+  let v = fresh_var fs.ps name vtype (Sil.Local fs.fname) in
+  fs.locals <- v :: fs.locals;
+  (match fs.scopes with
+  | frame :: _ -> Hashtbl.replace frame name v
+  | [] -> assert false);
+  v
+
+let fresh_temp fs vtype =
+  let v =
+    fresh_var fs.ps (Printf.sprintf "$t%d" fs.ps.next_vid) vtype (Sil.Temp fs.fname)
+  in
+  fs.locals <- v :: fs.locals;
+  v
+
+let lookup_var fs name =
+  let rec go = function
+    | [] -> Hashtbl.find_opt fs.ps.globals name
+    | frame :: rest ->
+      (match Hashtbl.find_opt frame name with
+      | Some v -> Some v
+      | None -> go rest)
+  in
+  go fs.scopes
+
+let exp_type fs e = Sil.type_of_exp fs.ps.env.Sema.comps e
+let lval_type fs lv = Sil.type_of_lval fs.ps.env.Sema.comps lv
+
+(* ---- expression lowering ---------------------------------------------------- *)
+
+let comp_key _fs loc t =
+  match Ctype.unroll t with
+  | Ctype.Comp (kind, tag) -> (kind, tag)
+  | _ -> Srcloc.error loc "member access on non-composite type"
+
+(* Decay an exp when it is used as a value: arrays become element pointers,
+   function designators become function addresses. *)
+let decay_exp fs (e : Sil.exp) : Sil.exp =
+  match e with
+  | Sil.Lval lv ->
+    (match Ctype.unroll (lval_type fs lv) with
+    | Ctype.Array _ ->
+      (* decay takes the array's address *)
+      (match lv.Sil.lbase with
+      | Sil.Vbase v -> v.Sil.vaddr_taken <- true
+      | Sil.Mem _ -> ());
+      Sil.Start_of lv
+    | Ctype.Func _ ->
+      (match lv.Sil.lbase, lv.Sil.loffs with
+      | Sil.Vbase v, [] -> Sil.Fun_addr v.Sil.vname
+      | _ -> e)
+    | _ -> e)
+  | _ -> e
+
+let mark_addr_taken (lv : Sil.lval) =
+  match lv.Sil.lbase with
+  | Sil.Vbase v -> v.Sil.vaddr_taken <- true
+  | Sil.Mem _ -> ()
+
+let rec lower_exp fs (e : Ast.expr) : Sil.exp =
+  let loc = e.Ast.eloc in
+  let open Ast in
+  match e.edesc with
+  | IntLit v -> Sil.Const (Sil.Cint v)
+  | CharLit c -> Sil.Const (Sil.Cint (Int64.of_int (Char.code c)))
+  | StrLit s -> Sil.Const (Sil.Cstr (intern_string fs.ps s))
+  | Ident name ->
+    (match lookup_var fs name with
+    | Some v -> decay_exp fs (Sil.Lval { Sil.lbase = Sil.Vbase v; loffs = [] })
+    | None ->
+      (match Hashtbl.find_opt fs.ps.env.Sema.enum_consts name with
+      | Some v -> Sil.Const (Sil.Cint v)
+      | None ->
+        if Hashtbl.mem fs.ps.env.Sema.funcs name
+           || List.mem_assoc name Sema.builtins
+        then Sil.Fun_addr name
+        else Srcloc.error loc "undeclared identifier '%s'" name))
+  | Call _ -> lower_call fs e
+  | Index _ | Member _ | Arrow _ | Deref _ ->
+    decay_exp fs (Sil.Lval (lower_lval fs e))
+  | AddrOf inner ->
+    (match inner.edesc with
+    | Ident name
+      when lookup_var fs name = None && Hashtbl.mem fs.ps.env.Sema.funcs name ->
+      Sil.Fun_addr name
+    | _ ->
+      let lv = lower_lval fs inner in
+      mark_addr_taken lv;
+      Sil.Addr_of lv)
+  | Unop (op, a) ->
+    let a' = lower_value fs a in
+    let sop = match op with Neg -> Sil.Neg | Bnot -> Sil.Bnot | Lnot -> Sil.Lnot in
+    Sil.Unop (sop, a', Ctype.int_t)
+  | Binop (Land, _, _) | Binop (Lor, _, _) -> lower_short_circuit fs e
+  | Binop (op, a, b) ->
+    let a' = lower_value fs a in
+    let b' = lower_value fs b in
+    lower_binop fs loc op a' b'
+  | Assign (lhs, rhs) ->
+    let rhs' = lower_value fs rhs in
+    let lv = lower_lval fs lhs in
+    emit fs (Sil.Set (lv, rhs', loc));
+    Sil.Lval lv
+  | OpAssign (op, lhs, rhs) ->
+    let rhs' = lower_value fs rhs in
+    let lv = lower_lval fs lhs in
+    let cur_val = decay_exp fs (Sil.Lval lv) in
+    let combined = lower_binop fs loc op cur_val rhs' in
+    emit fs (Sil.Set (lv, combined, loc));
+    Sil.Lval lv
+  | PreIncr a | PreDecr a ->
+    let op = match e.edesc with PreIncr _ -> Add | _ -> Sub in
+    let lv = lower_lval fs a in
+    let cur_val = decay_exp fs (Sil.Lval lv) in
+    let stepped = lower_binop fs loc op cur_val (Sil.Const (Sil.Cint 1L)) in
+    emit fs (Sil.Set (lv, stepped, loc));
+    Sil.Lval lv
+  | PostIncr a | PostDecr a ->
+    let op = match e.edesc with PostIncr _ -> Add | _ -> Sub in
+    let lv = lower_lval fs a in
+    let t = lval_type fs lv in
+    let tmp = fresh_temp fs t in
+    let tmp_lv = { Sil.lbase = Sil.Vbase tmp; loffs = [] } in
+    emit fs (Sil.Set (tmp_lv, Sil.Lval lv, loc));
+    let cur_val = decay_exp fs (Sil.Lval lv) in
+    let stepped = lower_binop fs loc op cur_val (Sil.Const (Sil.Cint 1L)) in
+    emit fs (Sil.Set (lv, stepped, loc));
+    Sil.Lval tmp_lv
+  | Cast (t, inner) ->
+    let inner' = lower_value fs inner in
+    Sil.Cast (t, inner')
+  | SizeofType t ->
+    Sil.Const (Sil.Cint (Int64.of_int (sizeof fs loc t)))
+  | SizeofExpr inner ->
+    (* purely static: no lowering of the operand, per C semantics *)
+    let t = sizeof_expr_type fs inner in
+    Sil.Const (Sil.Cint (Int64.of_int (sizeof fs loc t)))
+  | Cond (c, a, b) -> lower_cond_expr fs loc c a b
+  | Comma (a, b) ->
+    ignore (lower_value fs a);
+    lower_value fs b
+
+(* value position: lower and decay *)
+and lower_value fs e = decay_exp fs (lower_exp fs e)
+
+and lower_binop fs loc op a b =
+  let a_t = exp_type fs a and b_t = exp_type fs b in
+  let open Ast in
+  match op with
+  | Add when Ctype.is_pointer a_t -> Sil.Binop (Sil.PtrAdd, a, b, a_t)
+  | Add when Ctype.is_pointer b_t -> Sil.Binop (Sil.PtrAdd, b, a, b_t)
+  | Sub when Ctype.is_pointer a_t && Ctype.is_pointer b_t ->
+    Sil.Binop (Sil.PtrDiff, a, b, Ctype.long_t)
+  | Sub when Ctype.is_pointer a_t ->
+    Sil.Binop (Sil.PtrAdd, a, Sil.Unop (Sil.Neg, b, Ctype.long_t), a_t)
+  | _ ->
+    let sop =
+      match op with
+      | Add -> Sil.Add | Sub -> Sil.Sub | Mul -> Sil.Mul | Div -> Sil.Div
+      | Mod -> Sil.Mod | Shl -> Sil.Shl | Shr -> Sil.Shr | Band -> Sil.Band
+      | Bor -> Sil.Bor | Bxor -> Sil.Bxor | Lt -> Sil.Lt | Gt -> Sil.Gt
+      | Le -> Sil.Le | Ge -> Sil.Ge | Eq -> Sil.Eq | Ne -> Sil.Ne
+      | Land | Lor -> Srcloc.error loc "internal: short-circuit op in lower_binop"
+    in
+    Sil.Binop (sop, a, b, Ctype.int_t)
+
+and sizeof fs loc t =
+  match Ctype.unroll t with
+  | Ctype.Void -> 1
+  | Ctype.Int (Ctype.IChar, _) -> 1
+  | Ctype.Int (Ctype.IShort, _) -> 2
+  | Ctype.Int (Ctype.IInt, _) -> 4
+  | Ctype.Int (Ctype.ILong, _) -> 8
+  | Ctype.Float -> 8
+  | Ctype.Ptr _ | Ctype.Func _ -> 8
+  | Ctype.Enum _ -> 4
+  | Ctype.Array (elt, Some n) -> n * sizeof fs loc elt
+  | Ctype.Array (_, None) -> Srcloc.error loc "sizeof incomplete array"
+  | Ctype.Comp (kind, tag) ->
+    (match Hashtbl.find_opt fs.ps.env.Sema.comps tag with
+    | Some ci when ci.Ctype.cdefined ->
+      let sizes = List.map (fun f -> sizeof fs loc f.Ctype.ftype) ci.Ctype.cfields in
+      (match kind with
+      | Ctype.Struct -> List.fold_left ( + ) 0 sizes
+      | Ctype.Union -> List.fold_left max 1 sizes)
+    | _ -> Srcloc.error loc "sizeof incomplete type")
+  | Ctype.Named _ -> assert false
+
+and sizeof_expr_type fs (e : Ast.expr) : Ctype.t =
+  (* reconstruct the operand's type without emitting code; we re-type via a
+     throwaway lowering into a scratch function state is not possible, so we
+     use the SIL typing of a side-effect-free lowering when the operand is
+     pure, falling back to int for the rare impure operand *)
+  match e.Ast.edesc with
+  | Ast.Ident name ->
+    (match lookup_var fs name with
+    | Some v -> v.Sil.vtype
+    | None -> Ctype.int_t)
+  | Ast.Deref _ | Ast.Index _ | Ast.Member _ | Ast.Arrow _ ->
+    (try lval_type fs (lower_lval_pure fs e) with _ -> Ctype.int_t)
+  | Ast.StrLit s -> Ctype.Array (Ctype.char_t, Some (String.length s + 1))
+  | _ -> Ctype.int_t
+
+(* a restricted lval lowering that must not emit instructions; used only by
+   sizeof(expression) typing *)
+and lower_lval_pure fs (e : Ast.expr) : Sil.lval =
+  let saved = fs.cur in
+  fs.cur <- None;  (* any emission becomes a no-op *)
+  let lv = lower_lval fs e in
+  fs.cur <- saved;
+  lv
+
+and lower_lval fs (e : Ast.expr) : Sil.lval =
+  let loc = e.Ast.eloc in
+  let open Ast in
+  match e.edesc with
+  | Ident name ->
+    (match lookup_var fs name with
+    | Some v -> { Sil.lbase = Sil.Vbase v; loffs = [] }
+    | None -> Srcloc.error loc "'%s' is not a variable" name)
+  | Deref ptr ->
+    let p = lower_value fs ptr in
+    { Sil.lbase = Sil.Mem p; loffs = [] }
+  | Member (base, fname) ->
+    let base_lv = lower_lval fs base in
+    let kind, tag = comp_key fs loc (lval_type fs base_lv) in
+    { base_lv with Sil.loffs = base_lv.Sil.loffs @ [ Sil.Ofield (kind, tag, fname) ] }
+  | Arrow (base, fname) ->
+    let p = lower_value fs base in
+    let pointee =
+      match Ctype.pointee (exp_type fs p) with
+      | Some t -> t
+      | None -> Srcloc.error loc "'->' on non-pointer"
+    in
+    let kind, tag = comp_key fs loc pointee in
+    { Sil.lbase = Sil.Mem p; loffs = [ Sil.Ofield (kind, tag, fname) ] }
+  | Index (arr, idx) ->
+    let idx' = lower_value fs idx in
+    (* array lvalues extend the access path; pointers become Mem *)
+    let rec base_is_array (a : Ast.expr) =
+      match a.edesc with
+      | Ident name ->
+        (match lookup_var fs name with
+        | Some v -> (match Ctype.unroll v.Sil.vtype with Ctype.Array _ -> true | _ -> false)
+        | None -> false)
+      | Member _ | Arrow _ | Index _ ->
+        (try
+           match Ctype.unroll (lval_type fs (lower_lval_pure fs a)) with
+           | Ctype.Array _ -> true
+           | _ -> false
+         with _ -> false)
+      | Cast (t, inner) ->
+        (match Ctype.unroll t with Ctype.Array _ -> base_is_array inner | _ -> false)
+      | _ -> false
+    in
+    if base_is_array arr then begin
+      let arr_lv = lower_lval fs arr in
+      { arr_lv with Sil.loffs = arr_lv.Sil.loffs @ [ Sil.Oindex idx' ] }
+    end
+    else begin
+      let p = lower_value fs arr in
+      if not (Ctype.is_pointer (exp_type fs p)) then
+        Srcloc.error loc "subscripted value is neither array nor pointer";
+      { Sil.lbase = Sil.Mem (Sil.Binop (Sil.PtrAdd, p, idx', exp_type fs p)); loffs = [] }
+    end
+  | StrLit s ->
+    (* writable string lvalue: give it its own temp array *)
+    let id = intern_string fs.ps s in
+    let t = Ctype.Array (Ctype.char_t, Some (String.length s + 1)) in
+    let tmp = fresh_temp fs t in
+    emit fs
+      (Sil.Set
+         ( { Sil.lbase = Sil.Vbase tmp; loffs = [ Sil.Oindex (Sil.Const (Sil.Cint 0L)) ] },
+           Sil.Const (Sil.Cstr id), loc ));
+    { Sil.lbase = Sil.Vbase tmp; loffs = [] }
+  | Cast (_, inner) -> lower_lval fs inner
+  | _ ->
+    (* not an lvalue: materialize into a temp (e.g. for (a, b).f idioms) *)
+    let v = lower_value fs e in
+    let tmp = fresh_temp fs (exp_type fs v) in
+    let tmp_lv = { Sil.lbase = Sil.Vbase tmp; loffs = [] } in
+    emit fs (Sil.Set (tmp_lv, v, loc));
+    tmp_lv
+
+and lower_call fs (e : Ast.expr) : Sil.exp =
+  let loc = e.Ast.eloc in
+  match e.Ast.edesc with
+  | Ast.Call (fn, args) ->
+    let args' = List.map (fun a -> lower_value fs a) args in
+    let target, ret_t =
+      match fn.Ast.edesc with
+      | Ast.Ident name when lookup_var fs name = None ->
+        let fs_sig =
+          match Hashtbl.find_opt fs.ps.env.Sema.funcs name with
+          | Some s -> Some s
+          | None -> List.assoc_opt name Sema.builtins
+        in
+        (match fs_sig with
+        | Some s -> (Sil.Direct name, s.Ctype.ret)
+        | None -> Srcloc.error loc "call to undeclared function '%s'" name)
+      | _ ->
+        let fn' = lower_value fs fn in
+        let fn_t = exp_type fs fn' in
+        let ret_t =
+          match Ctype.unroll fn_t with
+          | Ctype.Ptr target ->
+            (match Ctype.unroll target with
+            | Ctype.Func s -> s.Ctype.ret
+            | _ -> Srcloc.error loc "called object is not a function")
+          | Ctype.Func s -> s.Ctype.ret
+          | _ -> Srcloc.error loc "called object is not a function"
+        in
+        (Sil.Indirect fn', ret_t)
+    in
+    let alloc_name =
+      match target with
+      | Sil.Direct name
+        when Sema.is_alloc_function name
+             && not (Hashtbl.mem fs.ps.env.Sema.defined_funcs name) -> Some name
+      | _ -> None
+    in
+    (match alloc_name with
+    | Some name ->
+      let size =
+        match name, args' with
+        | "malloc", [ sz ] -> sz
+        | "calloc", [ n; sz ] -> Sil.Binop (Sil.Mul, n, sz, Ctype.long_t)
+        | "realloc", [ _; sz ] -> sz
+        | "strdup", [ _ ] -> Sil.Const (Sil.Cint 0L)
+        | _, _ -> Sil.Const (Sil.Cint 0L)
+      in
+      let tmp = fresh_temp fs (Ctype.Ptr Ctype.Void) in
+      let tmp_lv = { Sil.lbase = Sil.Vbase tmp; loffs = [] } in
+      let site = fs.ps.alloc_count in
+      fs.ps.alloc_count <- site + 1;
+      emit fs (Sil.Alloc (tmp_lv, size, site, loc));
+      Sil.Lval tmp_lv
+    | None ->
+      if Ctype.is_void ret_t then begin
+        emit fs (Sil.Call (None, target, args', loc));
+        Sil.Const (Sil.Cint 0L)  (* value of a void call is never used *)
+      end
+      else begin
+        let tmp = fresh_temp fs (Ctype.decay ret_t) in
+        let tmp_lv = { Sil.lbase = Sil.Vbase tmp; loffs = [] } in
+        emit fs (Sil.Call (Some tmp_lv, target, args', loc));
+        Sil.Lval tmp_lv
+      end)
+  | _ -> assert false
+
+(* short-circuit && and || produce an int temp via control flow *)
+and lower_short_circuit fs (e : Ast.expr) : Sil.exp =
+  let tmp = fresh_temp fs Ctype.int_t in
+  let tmp_lv = { Sil.lbase = Sil.Vbase tmp; loffs = [] } in
+  let join = new_block fs in
+  lower_bool_into fs e tmp_lv join;
+  start_block fs join;
+  Sil.Lval tmp_lv
+
+(* evaluate a boolean expression, store 0/1 into [dest], jump to [join] *)
+and lower_bool_into fs (e : Ast.expr) dest join =
+  let loc = e.Ast.eloc in
+  match e.Ast.edesc with
+  | Ast.Binop (Ast.Land, a, b) ->
+    let b_block = new_block fs in
+    let false_block = new_block fs in
+    lower_branch fs a b_block.Sil.bid false_block.Sil.bid;
+    start_block fs false_block;
+    emit fs (Sil.Set (dest, Sil.Const (Sil.Cint 0L), loc));
+    terminate fs (Sil.Goto join.Sil.bid);
+    start_block fs b_block;
+    lower_bool_into fs b dest join
+  | Ast.Binop (Ast.Lor, a, b) ->
+    let b_block = new_block fs in
+    let true_block = new_block fs in
+    lower_branch fs a true_block.Sil.bid b_block.Sil.bid;
+    start_block fs true_block;
+    emit fs (Sil.Set (dest, Sil.Const (Sil.Cint 1L), loc));
+    terminate fs (Sil.Goto join.Sil.bid);
+    start_block fs b_block;
+    lower_bool_into fs b dest join
+  | _ ->
+    let v = lower_value fs e in
+    let as_bool =
+      match exp_type fs v with
+      | t when Ctype.is_pointer t ->
+        Sil.Binop (Sil.Ne, v, Sil.Const (Sil.Cint 0L), Ctype.int_t)
+      | _ -> Sil.Binop (Sil.Ne, v, Sil.Const (Sil.Cint 0L), Ctype.int_t)
+    in
+    emit fs (Sil.Set (dest, as_bool, loc));
+    terminate fs (Sil.Goto join.Sil.bid)
+
+(* evaluate a condition and branch *)
+and lower_branch fs (e : Ast.expr) then_bid else_bid =
+  match e.Ast.edesc with
+  | Ast.Binop (Ast.Land, a, b) ->
+    let mid = new_block fs in
+    lower_branch fs a mid.Sil.bid else_bid;
+    start_block fs mid;
+    lower_branch fs b then_bid else_bid
+  | Ast.Binop (Ast.Lor, a, b) ->
+    let mid = new_block fs in
+    lower_branch fs a then_bid mid.Sil.bid;
+    start_block fs mid;
+    lower_branch fs b then_bid else_bid
+  | Ast.Unop (Ast.Lnot, a) -> lower_branch fs a else_bid then_bid
+  | _ ->
+    let v = lower_value fs e in
+    terminate ~loc:e.Ast.eloc fs (Sil.If (v, then_bid, else_bid))
+
+and lower_cond_expr fs loc c a b =
+  let then_block = new_block fs in
+  let else_block = new_block fs in
+  let join = new_block fs in
+  lower_branch fs c then_block.Sil.bid else_block.Sil.bid;
+  start_block fs then_block;
+  let a' = lower_value fs a in
+  let t = exp_type fs a' in
+  let tmp = fresh_temp fs t in
+  let tmp_lv = { Sil.lbase = Sil.Vbase tmp; loffs = [] } in
+  emit fs (Sil.Set (tmp_lv, a', loc));
+  terminate fs (Sil.Goto join.Sil.bid);
+  start_block fs else_block;
+  let b' = lower_value fs b in
+  emit fs (Sil.Set (tmp_lv, b', loc));
+  terminate fs (Sil.Goto join.Sil.bid);
+  start_block fs join;
+  Sil.Lval tmp_lv
+
+(* ---- initializers -------------------------------------------------------- *)
+
+let rec lower_init fs (lv : Sil.lval) t (init : Ast.init) loc =
+  match init, Ctype.unroll t with
+  | Ast.SingleInit e, Ctype.Array (elt, _)
+    when (match e.Ast.edesc with Ast.StrLit _ -> true | _ -> false) ->
+    (* char buf[] = "..." copies characters: no pointer content, but we
+       record one write so the array is not treated as uninitialized *)
+    ignore elt;
+    let s = match e.Ast.edesc with Ast.StrLit s -> s | _ -> assert false in
+    let id = intern_string fs.ps s in
+    emit fs
+      (Sil.Set
+         ( { lv with Sil.loffs = lv.Sil.loffs @ [ Sil.Oindex (Sil.Const (Sil.Cint 0L)) ] },
+           Sil.Const (Sil.Cstr id), loc ))
+  | Ast.SingleInit e, _ ->
+    let v = lower_value fs e in
+    emit fs (Sil.Set (lv, v, loc))
+  | Ast.CompoundInit items, Ctype.Array (elt, _) ->
+    List.iteri
+      (fun idx item ->
+        let elt_lv =
+          { lv with Sil.loffs = lv.Sil.loffs @ [ Sil.Oindex (Sil.Const (Sil.Cint (Int64.of_int idx))) ] }
+        in
+        lower_init fs elt_lv elt item loc)
+      items
+  | Ast.CompoundInit items, Ctype.Comp (kind, tag) ->
+    (match Hashtbl.find_opt fs.ps.env.Sema.comps tag with
+    | Some ci when ci.Ctype.cdefined ->
+      List.iteri
+        (fun idx item ->
+          if idx < List.length ci.Ctype.cfields then begin
+            let f = List.nth ci.Ctype.cfields idx in
+            let f_lv =
+              { lv with Sil.loffs = lv.Sil.loffs @ [ Sil.Ofield (kind, tag, f.Ctype.fname) ] }
+            in
+            lower_init fs f_lv f.Ctype.ftype item loc
+          end)
+        items
+    | _ -> Srcloc.error loc "initializer for incomplete type")
+  | Ast.CompoundInit _, _ -> Srcloc.error loc "braced initializer for scalar"
+
+(* ---- statements ------------------------------------------------------------ *)
+
+let rec lower_stmt fs (s : Ast.stmt) =
+  let loc = s.Ast.sloc in
+  let open Ast in
+  if in_dead_code fs && (match s.sdesc with Decl _ -> false | _ -> true) then ()
+  else
+    match s.sdesc with
+    | Expr e -> ignore (lower_exp fs e)
+    | Decl decls ->
+      List.iter
+        (fun d ->
+          if d.dstatic then begin
+            (* block-scope static: file-scope storage under a mangled
+               name, initialized once in __global_init *)
+            let mangled = Printf.sprintf "%s$%s" fs.fname d.dname in
+            let v = fresh_var fs.ps mangled d.dtype Sil.Global in
+            (match fs.scopes with
+            | frame :: _ -> Hashtbl.replace frame d.dname v
+            | [] -> assert false);
+            fs.ps.statics <- v :: fs.ps.statics;
+            match d.dinit with
+            | Some init ->
+              fs.ps.static_inits <- (v, d.dtype, init, d.dloc) :: fs.ps.static_inits
+            | None -> ()
+          end
+          else begin
+            let v = add_local fs d.dname d.dtype in
+            match d.dinit with
+            | Some init ->
+              lower_init fs { Sil.lbase = Sil.Vbase v; loffs = [] } d.dtype init
+                d.dloc
+            | None -> ()
+          end)
+        decls
+    | Block stmts ->
+      push_scope fs;
+      List.iter (lower_stmt fs) stmts;
+      pop_scope fs
+    | If (cond, then_s, else_s) ->
+      let then_block = new_block fs in
+      let join = new_block fs in
+      let else_bid =
+        match else_s with Some _ -> (new_block fs).Sil.bid | None -> join.Sil.bid
+      in
+      lower_branch fs cond then_block.Sil.bid else_bid;
+      start_block fs then_block;
+      lower_stmt fs then_s;
+      terminate fs (Sil.Goto join.Sil.bid);
+      (match else_s with
+      | Some es ->
+        start_block fs (find_block fs else_bid);
+        lower_stmt fs es;
+        terminate fs (Sil.Goto join.Sil.bid)
+      | None -> ());
+      start_block fs join
+    | While (cond, body) ->
+      let header = new_block fs in
+      let body_block = new_block fs in
+      let exit_block = new_block fs in
+      terminate fs (Sil.Goto header.Sil.bid);
+      start_block fs header;
+      lower_branch fs cond body_block.Sil.bid exit_block.Sil.bid;
+      fs.break_targets <- exit_block.Sil.bid :: fs.break_targets;
+      fs.continue_targets <- header.Sil.bid :: fs.continue_targets;
+      start_block fs body_block;
+      lower_stmt fs body;
+      terminate fs (Sil.Goto header.Sil.bid);
+      fs.break_targets <- List.tl fs.break_targets;
+      fs.continue_targets <- List.tl fs.continue_targets;
+      start_block fs exit_block
+    | DoWhile (body, cond) ->
+      let body_block = new_block fs in
+      let cond_block = new_block fs in
+      let exit_block = new_block fs in
+      terminate fs (Sil.Goto body_block.Sil.bid);
+      fs.break_targets <- exit_block.Sil.bid :: fs.break_targets;
+      fs.continue_targets <- cond_block.Sil.bid :: fs.continue_targets;
+      start_block fs body_block;
+      lower_stmt fs body;
+      terminate fs (Sil.Goto cond_block.Sil.bid);
+      start_block fs cond_block;
+      lower_branch fs cond body_block.Sil.bid exit_block.Sil.bid;
+      fs.break_targets <- List.tl fs.break_targets;
+      fs.continue_targets <- List.tl fs.continue_targets;
+      start_block fs exit_block
+    | For (init, cond, step, body) ->
+      Option.iter (fun e -> ignore (lower_exp fs e)) init;
+      let header = new_block fs in
+      let body_block = new_block fs in
+      let step_block = new_block fs in
+      let exit_block = new_block fs in
+      terminate fs (Sil.Goto header.Sil.bid);
+      start_block fs header;
+      (match cond with
+      | Some c -> lower_branch fs c body_block.Sil.bid exit_block.Sil.bid
+      | None -> terminate fs (Sil.Goto body_block.Sil.bid));
+      fs.break_targets <- exit_block.Sil.bid :: fs.break_targets;
+      fs.continue_targets <- step_block.Sil.bid :: fs.continue_targets;
+      start_block fs body_block;
+      lower_stmt fs body;
+      terminate fs (Sil.Goto step_block.Sil.bid);
+      start_block fs step_block;
+      Option.iter (fun e -> ignore (lower_exp fs e)) step;
+      terminate fs (Sil.Goto header.Sil.bid);
+      fs.break_targets <- List.tl fs.break_targets;
+      fs.continue_targets <- List.tl fs.continue_targets;
+      start_block fs exit_block
+    | Return e_opt ->
+      let v = Option.map (fun e -> lower_value fs e) e_opt in
+      terminate ~loc fs (Sil.Return v)
+    | Break ->
+      (match fs.break_targets with
+      | target :: _ -> terminate fs (Sil.Goto target)
+      | [] -> Srcloc.error loc "break outside of a loop or switch")
+    | Continue ->
+      (match fs.continue_targets with
+      | target :: _ -> terminate fs (Sil.Goto target)
+      | [] -> Srcloc.error loc "continue outside of a loop")
+    | Switch (scrutinee, cases) -> lower_switch fs loc scrutinee cases
+    | Empty -> ()
+
+and find_block fs bid = List.find (fun b -> b.Sil.bid = bid) fs.blocks
+
+and lower_switch fs loc scrutinee cases =
+  let v = lower_value fs scrutinee in
+  let t = exp_type fs v in
+  let tmp = fresh_temp fs t in
+  let tmp_lv = { Sil.lbase = Sil.Vbase tmp; loffs = [] } in
+  emit fs (Sil.Set (tmp_lv, v, loc));
+  let exit_block = new_block fs in
+  (* one body block per case, in order, for C fall-through *)
+  let body_blocks = List.map (fun _ -> new_block fs) cases in
+  let default_bid =
+    match
+      List.find_index (fun case -> case.Ast.cvals = []) cases
+    with
+    | Some idx -> (List.nth body_blocks idx).Sil.bid
+    | None -> exit_block.Sil.bid
+  in
+  (* dispatch chain *)
+  fs.break_targets <- exit_block.Sil.bid :: fs.break_targets;
+  let rec dispatch cases body_blocks =
+    match cases, body_blocks with
+    | [], [] -> terminate fs (Sil.Goto default_bid)
+    | case :: rest_cases, body :: rest_blocks ->
+      if case.Ast.cvals = [] then dispatch rest_cases rest_blocks
+      else begin
+        (* compare against each value of this case group *)
+        let rec compare_vals = function
+          | [] -> dispatch rest_cases rest_blocks
+          | cv :: rest_vals ->
+            let next = new_block fs in
+            terminate ~loc fs
+              (Sil.If
+                 ( Sil.Binop (Sil.Eq, Sil.Lval tmp_lv, Sil.Const (Sil.Cint cv), Ctype.int_t),
+                   body.Sil.bid, next.Sil.bid ));
+            start_block fs next;
+            compare_vals rest_vals
+        in
+        compare_vals case.Ast.cvals
+      end
+    | _ -> assert false
+  in
+  dispatch cases body_blocks;
+  (* bodies with fall-through *)
+  let rec bodies cases blocks =
+    match cases, blocks with
+    | [], [] -> ()
+    | case :: rest_cases, body :: rest_blocks ->
+      start_block fs body;
+      push_scope fs;
+      List.iter (lower_stmt fs) case.Ast.cbody;
+      pop_scope fs;
+      let fall_bid =
+        match rest_blocks with
+        | next :: _ -> next.Sil.bid
+        | [] -> exit_block.Sil.bid
+      in
+      terminate fs (Sil.Goto fall_bid);
+      bodies rest_cases rest_blocks
+    | _ -> assert false
+  in
+  bodies cases body_blocks;
+  fs.break_targets <- List.tl fs.break_targets;
+  start_block fs exit_block
+
+(* ---- reachability cleanup -------------------------------------------------- *)
+
+let successors = function
+  | Sil.Goto b -> [ b ]
+  | Sil.If (_, t, f) -> [ t; f ]
+  | Sil.Return _ | Sil.Unreachable -> []
+
+(* Drop unreachable blocks and renumber densely; entry becomes 0. *)
+let prune_blocks (blocks : Sil.block list) entry : Sil.block array * int =
+  let by_id = Hashtbl.create 32 in
+  List.iter (fun b -> Hashtbl.replace by_id b.Sil.bid b) blocks;
+  let visited = Hashtbl.create 32 in
+  let order = ref [] in
+  let rec dfs bid =
+    if not (Hashtbl.mem visited bid) then begin
+      Hashtbl.replace visited bid ();
+      order := bid :: !order;
+      let b = Hashtbl.find by_id bid in
+      List.iter dfs (successors b.Sil.bterm)
+    end
+  in
+  dfs entry;
+  let reachable = List.rev !order in
+  let remap = Hashtbl.create 32 in
+  List.iteri (fun idx bid -> Hashtbl.replace remap bid idx) reachable;
+  let arr =
+    Array.of_list
+      (List.mapi
+         (fun idx bid ->
+           let b = Hashtbl.find by_id bid in
+           let term =
+             match b.Sil.bterm with
+             | Sil.Goto target -> Sil.Goto (Hashtbl.find remap target)
+             | Sil.If (c, t, f) -> Sil.If (c, Hashtbl.find remap t, Hashtbl.find remap f)
+             | other -> other
+           in
+           { Sil.bid = idx; binstrs = b.Sil.binstrs; bterm = term;
+             bterm_loc = b.Sil.bterm_loc })
+         reachable)
+  in
+  (arr, 0)
+
+(* ---- function and program lowering ------------------------------------------ *)
+
+let lower_function ps (fd : Ast.fundef) : Sil.fundec =
+  let fs =
+    {
+      ps;
+      fname = fd.Ast.fun_name;
+      ret_type = fd.Ast.fun_sig.Ctype.ret;
+      scopes = [];
+      locals = [];
+      blocks = [];
+      nblocks = 0;
+      cur = None;
+      break_targets = [];
+      continue_targets = [];
+    }
+  in
+  ignore fs.ret_type;
+  push_scope fs;
+  let formals =
+    List.mapi
+      (fun idx (name, t) ->
+        let name = Option.value name ~default:(Printf.sprintf "$arg%d" idx) in
+        let v = fresh_var ps name t (Sil.Param (fd.Ast.fun_name, idx)) in
+        (match fs.scopes with
+        | frame :: _ -> Hashtbl.replace frame name v
+        | [] -> assert false);
+        v)
+      fd.Ast.fun_sig.Ctype.params
+  in
+  let entry = new_block fs in
+  start_block fs entry;
+  push_scope fs;
+  List.iter (lower_stmt fs) fd.Ast.fun_body;
+  pop_scope fs;
+  (* implicit return at the end of the body *)
+  (match fs.cur with
+  | Some _ ->
+    if Ctype.is_void fd.Ast.fun_sig.Ctype.ret then terminate fs (Sil.Return None)
+    else terminate fs (Sil.Return (Some (Sil.Const (Sil.Cint 0L))))
+  | None -> ());
+  pop_scope fs;
+  let blocks, entry_id = prune_blocks fs.blocks entry.Sil.bid in
+  {
+    Sil.fd_name = fd.Ast.fun_name;
+    fd_sig = fd.Ast.fun_sig;
+    fd_formals = formals;
+    fd_locals = List.rev fs.locals;
+    fd_blocks = blocks;
+    fd_entry = entry_id;
+    fd_loc = fd.Ast.fun_loc;
+  }
+
+let lower ~file (env : Sema.env) (prog : Ast.program) : Sil.program =
+  let ps =
+    {
+      env;
+      next_vid = 0;
+      globals = Hashtbl.create 32;
+      strings = Hashtbl.create 32;
+      string_pool = [];
+      string_count = 0;
+      alloc_count = 0;
+      static_inits = [];
+      statics = [];
+    }
+  in
+  (* collect globals first so bodies can reference later definitions *)
+  let globals = ref [] in
+  List.iter
+    (fun g ->
+      match g with
+      | Ast.Gvar (d, is_extern) ->
+        if not (Hashtbl.mem ps.globals d.Ast.dname) then begin
+          let v = fresh_var ps d.Ast.dname d.Ast.dtype Sil.Global in
+          ignore is_extern;
+          Hashtbl.replace ps.globals d.Ast.dname v;
+          globals := v :: !globals
+        end
+      | _ -> ())
+    prog;
+  (* lower function bodies first: block-scope statics and their
+     initializers are discovered here *)
+  let functions =
+    List.filter_map
+      (function Ast.Gfun fd -> Some (lower_function ps fd) | _ -> None)
+      prog
+  in
+  (* global and static-local initializers run in __global_init *)
+  let init_fd_needed =
+    ps.static_inits <> []
+    || List.exists
+         (function Ast.Gvar (d, _) -> d.Ast.dinit <> None | _ -> false)
+         prog
+  in
+  let init_fun =
+    if not init_fd_needed then []
+    else begin
+      let fsig = { Ctype.ret = Ctype.Void; params = []; variadic = false } in
+      let fs =
+        {
+          ps;
+          fname = Sil.global_init_name;
+          ret_type = Ctype.Void;
+          scopes = [];
+          locals = [];
+          blocks = [];
+          nblocks = 0;
+          cur = None;
+          break_targets = [];
+          continue_targets = [];
+        }
+      in
+      push_scope fs;
+      let entry = new_block fs in
+      start_block fs entry;
+      List.iter
+        (fun g ->
+          match g with
+          | Ast.Gvar (d, _) ->
+            (match d.Ast.dinit with
+            | Some init ->
+              let v = Hashtbl.find ps.globals d.Ast.dname in
+              lower_init fs { Sil.lbase = Sil.Vbase v; loffs = [] } d.Ast.dtype init
+                d.Ast.dloc
+            | None -> ())
+          | _ -> ())
+        prog;
+      (* static locals: C requires constant initializers, so lowering in
+         this (global-only) scope either succeeds or reports the error *)
+      List.iter
+        (fun (v, dtype, init, loc) ->
+          lower_init fs { Sil.lbase = Sil.Vbase v; loffs = [] } dtype init loc)
+        (List.rev ps.static_inits);
+      terminate fs (Sil.Return None);
+      pop_scope fs;
+      let blocks, entry_id = prune_blocks fs.blocks entry.Sil.bid in
+      [ {
+          Sil.fd_name = Sil.global_init_name;
+          fd_sig = fsig;
+          fd_formals = [];
+          fd_locals = List.rev fs.locals;
+          fd_blocks = blocks;
+          fd_entry = entry_id;
+          fd_loc = Srcloc.dummy;
+        } ]
+    end
+  in
+  let defined = List.map (fun fd -> fd.Sil.fd_name) functions in
+  let externals =
+    Hashtbl.fold
+      (fun name fsig acc ->
+        if List.mem name defined then acc else (name, fsig) :: acc)
+      env.Sema.funcs []
+  in
+  {
+    Sil.p_file = file;
+    p_globals = List.rev !globals @ List.rev ps.statics;
+    p_functions = init_fun @ functions;
+    p_comps = env.Sema.comps;
+    p_strings = Array.of_list (List.rev ps.string_pool);
+    p_externals = externals;
+    p_main = (if List.mem "main" defined then Some "main" else None);
+  }
+
+let compile ?(defines = []) ~file src =
+  let pped = Preproc.run ~defines ~file src in
+  let ast = Parser.parse ~file pped in
+  let env = Sema.check ast in
+  lower ~file env ast

@@ -1,0 +1,20 @@
+(** Lowering from the checked AST to {!Sil}.
+
+    This pass plays CIL's role: it makes every side effect an explicit
+    instruction, lowers short-circuit operators, [?:], [switch], and
+    [++/--] to control flow and temporaries, decays arrays and function
+    designators, converts allocation calls ([malloc]/[calloc]/[realloc]/
+    [strdup]) into {!Sil.Alloc} sites, collects string literals into a
+    pool, and moves global initializers into a synthetic
+    [__global_init] function.
+
+    Unreachable basic blocks are pruned, so every block in the output is
+    reachable from its function's entry — a precondition of {!Dom}. *)
+
+val lower : file:string -> Sema.env -> Ast.program -> Sil.program
+(** Requires the program to have passed {!Sema.check} (the same [env]).
+    Raises {!Srcloc.Error} on constructs outside the supported subset. *)
+
+val compile : ?defines:(string * string) list -> file:string -> string -> Sil.program
+(** Convenience pipeline: {!Preproc.run} -> {!Parser.parse} ->
+    {!Sema.check} -> {!lower}. *)

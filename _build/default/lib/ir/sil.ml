@@ -1,0 +1,218 @@
+type var_kind =
+  | Global
+  | Local of string
+  | Param of string * int
+  | Temp of string
+
+type var = {
+  vid : int;
+  vname : string;
+  vtype : Ctype.t;
+  vkind : var_kind;
+  mutable vaddr_taken : bool;
+}
+
+type const =
+  | Cint of int64
+  | Cstr of int
+
+type unop = Neg | Bnot | Lnot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr | Band | Bor | Bxor
+  | Lt | Gt | Le | Ge | Eq | Ne
+  | PtrAdd
+  | PtrDiff
+
+type lval = { lbase : lbase; loffs : offset list }
+
+and lbase =
+  | Vbase of var
+  | Mem of exp
+
+and offset =
+  | Ofield of Ctype.comp_kind * string * string
+  | Oindex of exp
+
+and exp =
+  | Const of const
+  | Lval of lval
+  | Addr_of of lval
+  | Start_of of lval
+  | Fun_addr of string
+  | Unop of unop * exp * Ctype.t
+  | Binop of binop * exp * exp * Ctype.t
+  | Cast of Ctype.t * exp
+
+type instr =
+  | Set of lval * exp * Srcloc.t
+  | Call of lval option * call_target * exp list * Srcloc.t
+  | Alloc of lval * exp * int * Srcloc.t
+
+and call_target =
+  | Direct of string
+  | Indirect of exp
+
+type term =
+  | Goto of int
+  | If of exp * int * int
+  | Return of exp option
+  | Unreachable
+
+type block = {
+  bid : int;
+  mutable binstrs : instr list;
+  mutable bterm : term;
+  mutable bterm_loc : Srcloc.t;
+}
+
+type fundec = {
+  fd_name : string;
+  fd_sig : Ctype.funsig;
+  fd_formals : var list;
+  mutable fd_locals : var list;
+  mutable fd_blocks : block array;
+  fd_entry : int;
+  fd_loc : Srcloc.t;
+}
+
+type program = {
+  p_file : string;
+  p_globals : var list;
+  p_functions : fundec list;
+  p_comps : (string, Ctype.compinfo) Hashtbl.t;
+  p_strings : string array;
+  p_externals : (string * Ctype.funsig) list;
+  p_main : string option;
+}
+
+let global_init_name = "__global_init"
+
+let find_field comps tag fname =
+  match Hashtbl.find_opt comps tag with
+  | None -> raise Not_found
+  | Some ci -> List.find (fun f -> String.equal f.Ctype.fname fname) ci.Ctype.cfields
+
+let rec type_of_lval comps lv =
+  let base_t =
+    match lv.lbase with
+    | Vbase v -> v.vtype
+    | Mem e ->
+      (match Ctype.pointee (type_of_exp comps e) with
+      | Some t -> t
+      | None -> invalid_arg "Sil.type_of_lval: Mem of non-pointer")
+  in
+  List.fold_left
+    (fun t off ->
+      match off with
+      | Ofield (_, tag, fname) ->
+        (try (find_field comps tag fname).Ctype.ftype
+         with Not_found ->
+           invalid_arg (Printf.sprintf "Sil.type_of_lval: no field %s.%s" tag fname))
+      | Oindex _ ->
+        (match Ctype.unroll t with
+        | Ctype.Array (elt, _) -> elt
+        | Ctype.Ptr elt -> elt
+        | _ -> invalid_arg "Sil.type_of_lval: index of non-array"))
+    base_t lv.loffs
+
+and type_of_exp comps = function
+  | Const (Cint _) -> Ctype.long_t
+  | Const (Cstr _) -> Ctype.char_ptr
+  | Lval lv -> type_of_lval comps lv
+  | Addr_of lv -> Ctype.Ptr (type_of_lval comps lv)
+  | Start_of lv ->
+    (match Ctype.unroll (type_of_lval comps lv) with
+    | Ctype.Array (elt, _) -> Ctype.Ptr elt
+    | _ -> invalid_arg "Sil.type_of_exp: Start_of of non-array")
+  | Fun_addr _ -> Ctype.Ptr Ctype.Void  (* refined by consumers via p_functions *)
+  | Unop (_, _, t) -> t
+  | Binop (_, _, _, t) -> t
+  | Cast (t, _) -> t
+
+let find_function p name =
+  List.find_opt (fun fd -> String.equal fd.fd_name name) p.p_functions
+
+(* ---- printing ----------------------------------------------------------- *)
+
+let string_of_unop = function Neg -> "-" | Bnot -> "~" | Lnot -> "!"
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Shl -> "<<" | Shr -> ">>" | Band -> "&" | Bor -> "|" | Bxor -> "^"
+  | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | PtrAdd -> "+p" | PtrDiff -> "-p"
+
+let rec string_of_lval lv =
+  let base =
+    match lv.lbase with
+    | Vbase v -> v.vname
+    | Mem e -> Printf.sprintf "(*%s)" (string_of_exp e)
+  in
+  List.fold_left
+    (fun acc off ->
+      match off with
+      | Ofield (_, _, f) -> acc ^ "." ^ f
+      | Oindex e -> Printf.sprintf "%s[%s]" acc (string_of_exp e))
+    base lv.loffs
+
+and string_of_exp = function
+  | Const (Cint v) -> Int64.to_string v
+  | Const (Cstr i) -> Printf.sprintf "str#%d" i
+  | Lval lv -> string_of_lval lv
+  | Addr_of lv -> "&" ^ string_of_lval lv
+  | Start_of lv -> "&" ^ string_of_lval lv ^ "[0]"
+  | Fun_addr f -> "&" ^ f
+  | Unop (op, e, _) -> string_of_unop op ^ string_of_exp e
+  | Binop (op, a, b, _) ->
+    Printf.sprintf "(%s %s %s)" (string_of_exp a) (string_of_binop op) (string_of_exp b)
+  | Cast (t, e) -> Printf.sprintf "(%s)%s" (Ctype.to_string t) (string_of_exp e)
+
+let string_of_instr = function
+  | Set (lv, e, _) -> Printf.sprintf "%s = %s;" (string_of_lval lv) (string_of_exp e)
+  | Call (ret, target, args, _) ->
+    let ret_s = match ret with Some lv -> string_of_lval lv ^ " = " | None -> "" in
+    let target_s =
+      match target with
+      | Direct f -> f
+      | Indirect e -> Printf.sprintf "(*%s)" (string_of_exp e)
+    in
+    Printf.sprintf "%s%s(%s);" ret_s target_s
+      (String.concat ", " (List.map string_of_exp args))
+  | Alloc (lv, size, site, _) ->
+    Printf.sprintf "%s = malloc(%s); /* site %d */" (string_of_lval lv)
+      (string_of_exp size) site
+
+let string_of_term = function
+  | Goto b -> Printf.sprintf "goto B%d;" b
+  | If (e, t, f) -> Printf.sprintf "if (%s) goto B%d; else goto B%d;" (string_of_exp e) t f
+  | Return None -> "return;"
+  | Return (Some e) -> Printf.sprintf "return %s;" (string_of_exp e)
+  | Unreachable -> "unreachable;"
+
+let pp_fundec ppf fd =
+  Format.fprintf ppf "@[<v>function %s(%s):@,"
+    fd.fd_name
+    (String.concat ", " (List.map (fun v -> v.vname) fd.fd_formals));
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "  B%d:@," b.bid;
+      List.iter (fun i -> Format.fprintf ppf "    %s@," (string_of_instr i)) b.binstrs;
+      Format.fprintf ppf "    %s@," (string_of_term b.bterm))
+    fd.fd_blocks;
+  Format.fprintf ppf "@]"
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>// %s@," p.p_file;
+  List.iter (fun v -> Format.fprintf ppf "global %s : %s@," v.vname (Ctype.to_string v.vtype)) p.p_globals;
+  List.iter (fun fd -> pp_fundec ppf fd) p.p_functions;
+  Format.fprintf ppf "@]"
+
+let instr_count p =
+  List.fold_left
+    (fun acc fd ->
+      Array.fold_left
+        (fun acc b -> acc + List.length b.binstrs + 1)
+        acc fd.fd_blocks)
+    0 p.p_functions

@@ -1,0 +1,135 @@
+(** SIL: the simple intermediate language the analyses run on.
+
+    SIL plays the role CIL plays for the analyses the paper's lineage
+    inspired: a small, fully-typed subset of C where every expression is
+    side-effect free, every side effect is an explicit instruction, and
+    control flow is a graph of basic blocks.  {!Norm} produces it from the
+    AST; {!Vdg_build} turns it into the paper's value dependence graph.
+
+    Conventions:
+    - all calls assign to a fresh temporary (or nothing);
+    - [&&], [||], [?:] and [switch] are lowered to control flow;
+    - array/function decay is explicit ([Start_of]);
+    - global initializers live in a synthetic [__global_init] function that
+      conceptually runs before [main]. *)
+
+type var_kind =
+  | Global
+  | Local of string   (** enclosing function name *)
+  | Param of string * int
+  | Temp of string
+
+type var = {
+  vid : int;                     (** unique across the program *)
+  vname : string;
+  vtype : Ctype.t;
+  vkind : var_kind;
+  mutable vaddr_taken : bool;    (** set by {!Norm} when [&v] occurs *)
+}
+
+type const =
+  | Cint of int64
+  | Cstr of int                  (** index into {!program.strings} *)
+
+type unop = Neg | Bnot | Lnot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr | Band | Bor | Bxor
+  | Lt | Gt | Le | Ge | Eq | Ne
+  | PtrAdd                        (** pointer +/- integer: stays inside the array *)
+  | PtrDiff
+
+(** Lvalues: a base plus a (possibly empty) chain of offsets. *)
+type lval = { lbase : lbase; loffs : offset list }
+
+and lbase =
+  | Vbase of var                 (** the variable's own storage *)
+  | Mem of exp                   (** [*e] for a pointer-typed [e] *)
+
+and offset =
+  | Ofield of Ctype.comp_kind * string * string  (** comp kind, tag, field *)
+  | Oindex of exp
+
+and exp =
+  | Const of const
+  | Lval of lval                 (** read *)
+  | Addr_of of lval              (** [&lv] *)
+  | Start_of of lval             (** array-to-pointer decay of [lv] *)
+  | Fun_addr of string           (** function designator / [&f] *)
+  | Unop of unop * exp * Ctype.t
+  | Binop of binop * exp * exp * Ctype.t
+  | Cast of Ctype.t * exp
+
+type instr =
+  | Set of lval * exp * Srcloc.t
+  | Call of lval option * call_target * exp list * Srcloc.t
+  | Alloc of lval * exp * int * Srcloc.t
+      (** [lv = malloc(size)]: the [int] is the program-wide allocation
+          site id, assigned by {!Norm}; every analysis names the site's
+          storage by this id *)
+
+and call_target =
+  | Direct of string             (** defined or external function by name *)
+  | Indirect of exp              (** via function pointer *)
+
+type term =
+  | Goto of int
+  | If of exp * int * int        (** cond, then-block, else-block *)
+  | Return of exp option
+  | Unreachable
+
+type block = {
+  bid : int;
+  mutable binstrs : instr list;
+  mutable bterm : term;
+  mutable bterm_loc : Srcloc.t;
+      (** position of the terminator's expression (conditions, return
+          values); ties terminator-evaluated dereferences to a source
+          position for the analyses and the interpreter *)
+}
+
+type fundec = {
+  fd_name : string;
+  fd_sig : Ctype.funsig;
+  fd_formals : var list;
+  mutable fd_locals : var list;   (** all non-formal vars, including temps *)
+  mutable fd_blocks : block array;
+  fd_entry : int;
+  fd_loc : Srcloc.t;
+}
+
+type program = {
+  p_file : string;
+  p_globals : var list;
+  p_functions : fundec list;      (** includes [__global_init] when needed *)
+  p_comps : (string, Ctype.compinfo) Hashtbl.t;
+  p_strings : string array;       (** string literal pool *)
+  p_externals : (string * Ctype.funsig) list;  (** declared but not defined *)
+  p_main : string option;
+}
+
+val global_init_name : string
+(** ["__global_init"]. *)
+
+val type_of_exp : (string, Ctype.compinfo) Hashtbl.t -> exp -> Ctype.t
+val type_of_lval : (string, Ctype.compinfo) Hashtbl.t -> lval -> Ctype.t
+(** Static types, given the program's composite tag table ([p_comps]).
+    Both are total for well-formed SIL (they raise [Invalid_argument] on
+    ill-formed terms, which {!Norm} never produces). *)
+
+val find_field : (string, Ctype.compinfo) Hashtbl.t -> string -> string -> Ctype.field
+(** [find_field comps tag fname]; raises [Not_found]. *)
+
+val find_function : program -> string -> fundec option
+
+val string_of_exp : exp -> string
+val string_of_lval : lval -> string
+val string_of_instr : instr -> string
+val string_of_binop : binop -> string
+(** Debug printers used in tests and [analyze --dump-sil]. *)
+
+val pp_program : Format.formatter -> program -> unit
+
+val instr_count : program -> int
+(** Total instructions, a size metric for Figure 2. *)

@@ -1,0 +1,55 @@
+(** Assembly of every table and figure in the paper's evaluation.
+
+    [analyze_benchmark] runs the whole pipeline once per benchmark
+    (generate, compile, build the VDG, solve CI and CS, time both); the
+    [figure*] functions then render the paper's Figures 2, 3, 4, 6 and 7
+    and the Section 4.2 / 5.1.2 side tables from those results. *)
+
+type bench_result = {
+  entry : Suite.entry;
+  src_lines : int;
+  prog : Sil.program;
+  graph : Vdg.t;
+  ci : Ci_solver.t;
+  cs : Cs_solver.t;
+  ci_seconds : float;
+  cs_seconds : float;
+}
+
+val analyze_benchmark : Suite.entry -> bench_result
+
+val analyze_suite : ?names:string list -> unit -> bench_result list
+(** All benchmarks (or the named subset), in the paper's order. *)
+
+val figure2 : bench_result list -> Table.t
+(** Benchmark programs and their sizes in source and VDG form. *)
+
+val figure3 : bench_result list -> Table.t
+(** Total points-to relationships by output type (context-insensitive). *)
+
+val figure4 : bench_result list -> Table.t
+(** Points-to statistics for indirect memory reads and writes. *)
+
+val figure6 : bench_result list -> Table.t
+(** Context-sensitive pair counts vs context-insensitive, % spurious. *)
+
+val figure7 : bench_result list -> Table.t * Table.t
+(** (all CI pairs, spurious pairs only), each a path-type x referent-type
+    percentage matrix aggregated over the suite. *)
+
+val headline : bench_result list -> Table.t
+(** Per-benchmark: do CI and CS agree at every indirect memory
+    operation's location input (the paper's Section 4.3 result)? *)
+
+val cost_table : bench_result list -> Table.t
+(** Section 4.2's cost comparison: transfer functions, meets, time. *)
+
+val pruning_table : bench_result list -> Table.t
+(** Section 4.2's optimization statistics. *)
+
+val callgraph_table : bench_result list -> Table.t
+(** Section 5.1.2's call-graph sparsity statistics. *)
+
+val indirect_delta_count : bench_result -> int
+(** Number of indirect operations where CS refines CI (0 reproduces the
+    paper). *)

@@ -1,0 +1,1 @@
+lib/support/srng.ml: Array Char Int64 List String

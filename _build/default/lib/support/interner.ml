@@ -1,0 +1,47 @@
+type 'a t = {
+  ids : ('a, int) Hashtbl.t;
+  mutable keys : 'a array;  (* dense storage, index = id *)
+  mutable count : int;
+  dummy : 'a option ref;    (* first key seeds array growth *)
+}
+
+let create ?(initial_size = 64) () =
+  { ids = Hashtbl.create initial_size; keys = [||]; count = 0; dummy = ref None }
+
+let ensure_capacity t =
+  if t.count >= Array.length t.keys then begin
+    let seed =
+      match !(t.dummy) with
+      | Some k -> k
+      | None -> invalid_arg "Interner.ensure_capacity: empty"
+    in
+    let cap = max 16 (2 * Array.length t.keys) in
+    let fresh = Array.make cap seed in
+    Array.blit t.keys 0 fresh 0 t.count;
+    t.keys <- fresh
+  end
+
+let intern t k =
+  match Hashtbl.find_opt t.ids k with
+  | Some id -> id
+  | None ->
+    if !(t.dummy) = None then t.dummy := Some k;
+    ensure_capacity t;
+    let id = t.count in
+    t.keys.(id) <- k;
+    t.count <- id + 1;
+    Hashtbl.add t.ids k id;
+    id
+
+let find_opt t k = Hashtbl.find_opt t.ids k
+
+let get t id =
+  if id < 0 || id >= t.count then invalid_arg "Interner.get: bad id";
+  t.keys.(id)
+
+let count t = t.count
+
+let iter f t =
+  for id = 0 to t.count - 1 do
+    f id t.keys.(id)
+  done

@@ -1,0 +1,29 @@
+(** Generic hash-consing tables.
+
+    An interner assigns a dense integer id to each distinct key, so that
+    structural equality degenerates to integer equality downstream.  Access
+    paths, accessors and base-locations are all interned; the points-to
+    solvers then compare paths in O(1). *)
+
+type 'a t
+(** Interner for keys of type ['a]. *)
+
+val create : ?initial_size:int -> unit -> 'a t
+(** Fresh interner using structural equality/hashing on keys. *)
+
+val intern : 'a t -> 'a -> int
+(** [intern t k] returns the id of [k], allocating the next dense id on
+    first sight. *)
+
+val find_opt : 'a t -> 'a -> int option
+(** Id of [k] if it has been interned already. *)
+
+val get : 'a t -> int -> 'a
+(** Key for an id.  Raises [Invalid_argument] on an id never produced by
+    this interner. *)
+
+val count : 'a t -> int
+(** Number of distinct keys interned so far; ids are [0 .. count - 1]. *)
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** Iterate over all (id, key) bindings in id order. *)

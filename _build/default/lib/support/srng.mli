@@ -1,0 +1,38 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    The workload generator must emit byte-identical benchmark programs on
+    every run (the paper's figures are per-benchmark), so we avoid
+    [Random] and its global state.  Splitmix64 is tiny, well distributed,
+    and supports cheap stream splitting. *)
+
+type t
+
+val create : int64 -> t
+(** Generator seeded with the given value. *)
+
+val of_string : string -> t
+(** Generator seeded from a string (FNV-1a hash), so each named benchmark
+    gets an independent deterministic stream. *)
+
+val split : t -> t
+(** Independent child stream; the parent advances by one step. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n); requires [n > 0]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [0,1]). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

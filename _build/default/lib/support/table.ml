@@ -1,0 +1,64 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure (List.map fst t.headers);
+  let rows = List.rev t.rows in
+  List.iter (function Cells cs -> measure cs | Rule -> ()) rows;
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let aligns = List.map snd t.headers in
+  let render_cells cells =
+    let padded =
+      List.mapi
+        (fun i c -> pad (List.nth aligns i) widths.(i) c)
+        cells
+    in
+    String.concat " | " padded
+  in
+  let rule_line () =
+    String.concat "-+-" (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_cells (List.map fst t.headers));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (rule_line ());
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      (match row with
+      | Cells cs -> Buffer.add_string buf (render_cells cs)
+      | Rule -> Buffer.add_string buf (rule_line ()));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+
+let cell_pct ?(decimals = 1) f = Printf.sprintf "%.*f%%" decimals (100. *. f)

@@ -1,0 +1,29 @@
+(** Aligned plain-text tables for the figure/bench output.
+
+    Every reproduced paper figure is rendered through this module so all
+    tables share one look. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:(string * align) list -> t
+(** Table with the given column headers and per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have exactly as many cells as there are headers. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator line. *)
+
+val render : t -> string
+(** Render with single-space-padded, [' ' ^ '|' ^ ' '] separated columns. *)
+
+val print : t -> unit
+(** [render] followed by [print_string] and a newline. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_pct : ?decimals:int -> float -> string
+(** Formatting helpers used throughout the figures: integers, fixed-point
+    floats, and percentages ([cell_pct 0.031 = "3.1%"]). *)

@@ -1,0 +1,1 @@
+lib/vdg/vdg.ml: Apath Array Buffer Ctype Hashtbl List Printf Srcloc String

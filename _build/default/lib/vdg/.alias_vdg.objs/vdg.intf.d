@@ -1,0 +1,1 @@
+lib/vdg/vdg.mli: Apath Ctype Hashtbl Srcloc

@@ -1,0 +1,1 @@
+lib/vdg/vdg_build.ml: Apath Array Cfg Ctype Dom Hashtbl List Option Sema Sil Srcloc String Vdg

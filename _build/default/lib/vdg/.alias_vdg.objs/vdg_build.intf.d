@@ -1,0 +1,1 @@
+lib/vdg/vdg_build.mli: Hashtbl Sil Vdg

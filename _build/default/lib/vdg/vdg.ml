@@ -1,0 +1,324 @@
+type node_id = int
+
+type vtype =
+  | Vscalar
+  | Vptr
+  | Vfun
+  | Vagg of bool
+  | Vstore
+
+type kind =
+  | Nconst of int64
+  | Nbase of Apath.base
+  | Nalloc of Apath.base
+  | Nundef
+  | Nlookup
+  | Nupdate
+  | Nfield_addr of Apath.accessor
+  | Noffset_read of Apath.accessor
+  | Noffset_write of Apath.accessor
+  | Ngamma
+  | Nprimop of primop
+  | Ncall
+  | Ncall_result of node_id
+  | Ncall_store of node_id
+  | Nformal of string * int
+  | Nformal_store of string
+  | Nret_value of string
+  | Nret_store of string
+
+and primop =
+  | Ptr_arith
+  | Scalar_op of string
+
+type node = {
+  nid : node_id;
+  nkind : kind;
+  mutable ninputs : node_id list;
+  ntype : vtype;
+  nfun : string;
+}
+
+type fun_meta = {
+  fm_name : string;
+  fm_formals : node_id array;
+  fm_formal_store : node_id;
+  fm_ret_value : node_id option;
+  fm_ret_store : node_id;
+}
+
+type call_meta = {
+  cm_call : node_id;
+  cm_fn : node_id;
+  cm_store : node_id;
+  cm_args : node_id array;
+  cm_result : node_id option;
+  cm_cstore : node_id;
+}
+
+type t = {
+  mutable nodes : node array;
+  mutable n_nodes : int;
+  mutable consumers : (node_id * int) list array;
+  funs : (string, fun_meta) Hashtbl.t;
+  externs : (string, Ctype.funsig) Hashtbl.t;
+  mutable calls : node_id list;
+  call_meta : (node_id, call_meta) Hashtbl.t;
+  tbl : Apath.table;
+  mutable entry_store : node_id;
+  mutable root_fun : string option;
+  node_locs : (node_id, Srcloc.t) Hashtbl.t;
+}
+
+let dummy_node = { nid = -1; nkind = Nundef; ninputs = []; ntype = Vscalar; nfun = "" }
+
+let create tbl =
+  {
+    nodes = Array.make 256 dummy_node;
+    n_nodes = 0;
+    consumers = Array.make 256 [];
+    funs = Hashtbl.create 32;
+    externs = Hashtbl.create 32;
+    calls = [];
+    call_meta = Hashtbl.create 32;
+    tbl;
+    entry_store = -1;
+    root_fun = None;
+    node_locs = Hashtbl.create 256;
+  }
+
+let grow g =
+  if g.n_nodes >= Array.length g.nodes then begin
+    let cap = 2 * Array.length g.nodes in
+    let nodes = Array.make cap dummy_node in
+    Array.blit g.nodes 0 nodes 0 g.n_nodes;
+    g.nodes <- nodes;
+    let consumers = Array.make cap [] in
+    Array.blit g.consumers 0 consumers 0 g.n_nodes;
+    g.consumers <- consumers
+  end
+
+let register_consumer g producer consumer input_idx =
+  if producer >= 0 then
+    g.consumers.(producer) <- (consumer, input_idx) :: g.consumers.(producer)
+
+let add_node g nkind ntype ~fun_name ninputs =
+  grow g;
+  let nid = g.n_nodes in
+  g.n_nodes <- nid + 1;
+  g.nodes.(nid) <- { nid; nkind; ninputs; ntype; nfun = fun_name };
+  List.iteri (fun idx producer -> register_consumer g producer nid idx) ninputs;
+  nid
+
+let add_input g nid producer =
+  let n = g.nodes.(nid) in
+  let idx = List.length n.ninputs in
+  n.ninputs <- n.ninputs @ [ producer ];
+  register_consumer g producer nid idx;
+  idx
+
+let set_loc g nid loc = Hashtbl.replace g.node_locs nid loc
+
+let loc_of g nid = Hashtbl.find_opt g.node_locs nid
+
+let node g nid = g.nodes.(nid)
+let n_nodes g = g.n_nodes
+let consumers g nid = g.consumers.(nid)
+
+let iter_nodes g f =
+  for i = 0 to g.n_nodes - 1 do
+    f g.nodes.(i)
+  done
+
+let is_alias_related = function
+  | Vptr | Vfun | Vstore -> true
+  | Vagg contains_ptr -> contains_ptr
+  | Vscalar -> false
+
+let rec contains_pointer comps t =
+  match Ctype.unroll t with
+  | Ctype.Ptr _ | Ctype.Func _ -> true
+  | Ctype.Array (elt, _) -> contains_pointer comps elt
+  | Ctype.Comp (_, tag) ->
+    (match Hashtbl.find_opt comps tag with
+    | Some ci ->
+      List.exists (fun f -> contains_pointer comps f.Ctype.ftype) ci.Ctype.cfields
+    | None -> false)
+  | _ -> false
+
+let vtype_of_ctype comps t =
+  match Ctype.unroll t with
+  | Ctype.Func _ -> Vfun
+  | Ctype.Ptr target ->
+    (match Ctype.unroll target with
+    | Ctype.Func _ -> Vfun
+    | _ -> Vptr)
+  | Ctype.Comp _ | Ctype.Array _ -> Vagg (contains_pointer comps t)
+  | Ctype.Void | Ctype.Int _ | Ctype.Float | Ctype.Enum _ -> Vscalar
+  | Ctype.Named _ -> assert false
+
+(* A memory operation is "indirect" when its location input is a run-time
+   pointer value: the address chain passes through something other than
+   static address arithmetic rooted at a base-location. *)
+let loc_is_indirect g loc_id =
+  let rec chase nid guard =
+    if guard = 0 then true
+    else
+      let n = g.nodes.(nid) in
+      match n.nkind with
+      | Nbase _ | Nundef | Nconst _ -> false
+      | Nalloc _ -> true  (* allocation results are run-time pointer values *)
+      | Nfield_addr _ ->
+        (match n.ninputs with ptr :: _ -> chase ptr (guard - 1) | [] -> false)
+      | Nprimop Ptr_arith ->
+        (match n.ninputs with ptr :: _ -> chase ptr (guard - 1) | [] -> false)
+      | _ -> true  (* lookup, gamma, call result, formal, ... *)
+  in
+  chase loc_id 64
+
+let memops g =
+  let acc = ref [] in
+  iter_nodes g (fun n ->
+      match n.nkind with
+      | Nlookup -> acc := (n, `Read) :: !acc
+      | Nupdate -> acc := (n, `Write) :: !acc
+      | _ -> ());
+  List.rev !acc
+
+let indirect_memops g =
+  let acc = ref [] in
+  iter_nodes g (fun n ->
+      match n.nkind, n.ninputs with
+      | Nlookup, loc :: _ when loc_is_indirect g loc -> acc := (n, `Read) :: !acc
+      | Nupdate, loc :: _ when loc_is_indirect g loc -> acc := (n, `Write) :: !acc
+      | _ -> ());
+  List.rev !acc
+
+let string_of_kind = function
+  | Nconst v -> Printf.sprintf "const %Ld" v
+  | Nbase b -> Printf.sprintf "base %s" (Apath.base_to_string b)
+  | Nalloc b -> Printf.sprintf "alloc %s" (Apath.base_to_string b)
+  | Nundef -> "undef"
+  | Nlookup -> "lookup"
+  | Nupdate -> "update"
+  | Nfield_addr (Apath.Field f) -> Printf.sprintf "fieldaddr .%s" f
+  | Nfield_addr Apath.Index -> "indexaddr"
+  | Noffset_read (Apath.Field f) -> Printf.sprintf "offsetread .%s" f
+  | Noffset_read Apath.Index -> "offsetread [*]"
+  | Noffset_write (Apath.Field f) -> Printf.sprintf "offsetwrite .%s" f
+  | Noffset_write Apath.Index -> "offsetwrite [*]"
+  | Ngamma -> "gamma"
+  | Nprimop Ptr_arith -> "ptr-arith"
+  | Nprimop (Scalar_op name) -> Printf.sprintf "primop %s" name
+  | Ncall -> "call"
+  | Ncall_result c -> Printf.sprintf "call-result of %d" c
+  | Ncall_store c -> Printf.sprintf "call-store of %d" c
+  | Nformal (f, i) -> Printf.sprintf "formal %s#%d" f i
+  | Nformal_store f -> Printf.sprintf "formal-store %s" f
+  | Nret_value f -> Printf.sprintf "ret-value %s" f
+  | Nret_store f -> Printf.sprintf "ret-store %s" f
+
+(* ---- dot export ------------------------------------------------------------ *)
+
+let to_dot ?(max_nodes = 4000) g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph vdg {\n";
+  if g.n_nodes > max_nodes then
+    Buffer.add_string buf
+      (Printf.sprintf "  // %d nodes exceed the drawing limit (%d)\n" g.n_nodes
+         max_nodes)
+  else begin
+    Buffer.add_string buf "  rankdir=BT;\n  node [fontsize=9];\n";
+    iter_nodes g (fun n ->
+        let shape =
+          match n.nkind with
+          | Nlookup | Nupdate -> "box"
+          | Ncall | Ncall_result _ | Ncall_store _ -> "hexagon"
+          | Ngamma -> "diamond"
+          | Nformal _ | Nformal_store _ | Nret_value _ | Nret_store _ -> "house"
+          | _ -> "ellipse"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d [label=\"%d: %s\\n%s\" shape=%s];\n" n.nid n.nid
+             (String.concat ""
+                (String.split_on_char '"' (string_of_kind n.nkind)))
+             n.nfun shape);
+        List.iteri
+          (fun idx input ->
+            let style =
+              if n.ntype = Vstore || (node g input).ntype = Vstore then
+                " [style=dashed]"
+              else ""
+            in
+            ignore idx;
+            Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" input n.nid style))
+          n.ninputs)
+  end;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* ---- validation --------------------------------------------------------------- *)
+
+let validate g =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  iter_nodes g (fun n ->
+      (* inputs reference existing nodes and consumer edges mirror them *)
+      List.iteri
+        (fun idx input ->
+          if input < 0 || input >= g.n_nodes then
+            err "node %d input %d out of range (%d)" n.nid idx input
+          else if
+            not (List.exists (fun (c, i) -> c = n.nid && i = idx) g.consumers.(input))
+          then err "node %d input %d lacks a consumer edge from %d" n.nid idx input)
+        n.ninputs;
+      (* fixed arities *)
+      let arity_ok =
+        match n.nkind with
+        | Nlookup -> List.length n.ninputs = 2
+        | Nupdate -> List.length n.ninputs = 3
+        | Nfield_addr _ | Noffset_read _ ->
+          List.length n.ninputs >= 1 && List.length n.ninputs <= 2
+        | Noffset_write _ ->
+          List.length n.ninputs >= 2 && List.length n.ninputs <= 3
+        | Ncall -> List.length n.ninputs >= 2
+        | Ncall_result _ | Ncall_store _ -> List.length n.ninputs = 1
+        | _ -> true
+      in
+      if not arity_ok then
+        err "node %d (%s) has arity %d" n.nid (string_of_kind n.nkind)
+          (List.length n.ninputs);
+      (* store typing of memory nodes *)
+      (match n.nkind with
+      | Nupdate | Ncall_store _ | Nformal_store _ | Nret_store _ ->
+        if n.ntype <> Vstore then err "node %d should be store-typed" n.nid
+      | _ -> ()));
+  (* call metadata consistency *)
+  Hashtbl.iter
+    (fun call cm ->
+      if cm.cm_call <> call then err "call_meta key %d mismatches cm_call" call;
+      (match (node g call).nkind with
+      | Ncall -> ()
+      | _ -> err "call_meta entry %d is not a call node" call);
+      (match cm.cm_result with
+      | Some r ->
+        (match (node g r).nkind with
+        | Ncall_result c when c = call -> ()
+        | _ -> err "call %d result companion malformed" call)
+      | None -> ());
+      match (node g cm.cm_cstore).nkind with
+      | Ncall_store c when c = call -> ()
+      | _ -> err "call %d store companion malformed" call)
+    g.call_meta;
+  (* function metadata *)
+  Hashtbl.iter
+    (fun fname fm ->
+      if fm.fm_name <> fname then err "fun_meta key %s mismatches" fname;
+      Array.iter
+        (fun f ->
+          match (node g f).nkind with
+          | Nformal _ -> ()
+          | _ -> err "%s formal node %d malformed" fname f)
+        fm.fm_formals)
+    g.funs;
+  List.rev !errs

@@ -1,0 +1,136 @@
+(** The value dependence graph the analyses run on (paper, Section 2).
+
+    Computation is expressed by nodes that consume input values (outputs
+    of other nodes) and produce output values.  Memory accesses are
+    uniformly lookup and update operations that consume (and, for update,
+    produce) explicit store values.  Every node here has exactly one
+    output, identified with the node id; a call's two results (return
+    value and post-call store) are split into companion nodes.
+
+    {!Vdg_build} constructs the graph from {!Sil} by SSA conversion:
+    non-addressed locals (including struct-valued ones) become value
+    edges, with [gamma] nodes at joins, and the store is threaded as one
+    more SSA value. *)
+
+type node_id = int
+
+(** Output type classification used by the paper's Figures 3 and 6. *)
+type vtype =
+  | Vscalar
+  | Vptr
+  | Vfun                 (** function or pointer-to-function values *)
+  | Vagg of bool         (** aggregate; [true] if it can contain pointers/functions *)
+  | Vstore
+
+type kind =
+  | Nconst of int64            (** integer constant; carries no points-to pairs *)
+  | Nbase of Apath.base        (** address of a base-location, or a function value *)
+  | Nalloc of Apath.base       (** heap allocation site; returns its base's address *)
+  | Nundef                     (** uninitialized value / empty initial store *)
+  | Nlookup                    (** inputs: [loc; store] *)
+  | Nupdate                    (** inputs: [loc; store; value] *)
+  | Nfield_addr of Apath.accessor  (** inputs: [ptr] (+ [idx] for array accessors) *)
+  | Noffset_read of Apath.accessor (** inputs: [agg] (+ [idx]) — value-level member read *)
+  | Noffset_write of Apath.accessor(** inputs: [agg; value] (+ [idx]) — value-level member write *)
+  | Ngamma                     (** n-ary merge (SSA phi); predicate is ignored *)
+  | Nprimop of primop          (** arithmetic / comparison / pointer arithmetic *)
+  | Ncall                      (** inputs: [fn; store; arg0; ...]; output = none (anchor) *)
+  | Ncall_result of node_id    (** return value of the call node *)
+  | Ncall_store of node_id     (** post-call store of the call node *)
+  | Nformal of string * int    (** formal parameter of a function *)
+  | Nformal_store of string    (** store on entry to a function *)
+  | Nret_value of string       (** merge of a function's returned values *)
+  | Nret_store of string       (** merge of a function's returned stores *)
+
+and primop =
+  | Ptr_arith                  (** pointer +/- integer: forwards input 0's pairs *)
+  | Scalar_op of string        (** everything else: no pairs *)
+
+type node = {
+  nid : node_id;
+  nkind : kind;
+  mutable ninputs : node_id list;  (** outputs consumed, in input-index order *)
+  ntype : vtype;
+  nfun : string;                   (** enclosing function; "" for program-level nodes *)
+}
+
+(** Metadata for interprocedural propagation. *)
+type fun_meta = {
+  fm_name : string;
+  fm_formals : node_id array;
+  fm_formal_store : node_id;
+  fm_ret_value : node_id option;   (** [None] for void functions *)
+  fm_ret_store : node_id;
+}
+
+(** Per-call metadata used by the solvers for interprocedural flow. *)
+type call_meta = {
+  cm_call : node_id;
+  cm_fn : node_id;                 (** function-value input *)
+  cm_store : node_id;              (** store input *)
+  cm_args : node_id array;         (** actual-argument inputs *)
+  cm_result : node_id option;      (** [Ncall_result] companion, if any *)
+  cm_cstore : node_id;             (** [Ncall_store] companion *)
+}
+
+type t = {
+  mutable nodes : node array;
+  mutable n_nodes : int;
+  mutable consumers : (node_id * int) list array;
+      (** per output: consuming (node, input index) pairs *)
+  funs : (string, fun_meta) Hashtbl.t;      (** defined functions *)
+  externs : (string, Ctype.funsig) Hashtbl.t;
+  mutable calls : node_id list;
+  call_meta : (node_id, call_meta) Hashtbl.t;
+  tbl : Apath.table;
+  mutable entry_store : node_id;            (** initial store fed to the root *)
+  mutable root_fun : string option;         (** [main] if present *)
+  node_locs : (node_id, Srcloc.t) Hashtbl.t;
+}
+
+val create : Apath.table -> t
+
+val add_node : t -> kind -> vtype -> fun_name:string -> node_id list -> node_id
+(** Create a node with the given inputs; consumer edges are registered. *)
+
+val add_input : t -> node_id -> node_id -> int
+(** Append one input to an existing node (gamma and return merges);
+    returns the new input's index. *)
+
+val set_loc : t -> node_id -> Srcloc.t -> unit
+val loc_of : t -> node_id -> Srcloc.t option
+(** Source position of the SIL instruction a node was built from (set for
+    lookup/update nodes; used to correlate analyses with the concrete
+    interpreter and the baselines). *)
+
+val node : t -> node_id -> node
+val n_nodes : t -> int
+val consumers : t -> node_id -> (node_id * int) list
+val iter_nodes : t -> (node -> unit) -> unit
+
+val is_alias_related : vtype -> bool
+(** Output can carry pointer or function values (paper, Figure 2). *)
+
+val vtype_of_ctype : (string, Ctype.compinfo) Hashtbl.t -> Ctype.t -> vtype
+
+val memops : t -> (node * [ `Read | `Write ]) list
+(** Every lookup/update node, in creation order. *)
+
+val indirect_memops : t -> (node * [ `Read | `Write ]) list
+(** Lookup and update nodes whose location input is a run-time pointer
+    value rather than a statically computed address — the paper's
+    "indirect memory operations" of Figure 4. *)
+
+val string_of_kind : kind -> string
+
+val to_dot : ?max_nodes:int -> t -> string
+(** GraphViz rendering of the dataflow graph (memory nodes boxed, store
+    edges dashed); refuses graphs above [max_nodes] (default 4000) with a
+    comment-only digraph instead of an unusable drawing. *)
+
+val validate : t -> string list
+(** Structural well-formedness check: every input id is a valid node id,
+    consumer edges mirror inputs, call metadata is consistent with the
+    node table, and fixed-arity nodes have their arity.  Returns
+    diagnostics (empty = well-formed); the test suite runs it on every
+    built graph. *)

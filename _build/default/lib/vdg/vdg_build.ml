@@ -1,0 +1,712 @@
+(* ---- recursion detection --------------------------------------------------- *)
+
+(* A function is "possibly recursive" if it participates in a cycle of the
+   direct call graph, or if any function's address escapes (in which case
+   indirect calls could close a cycle we cannot see statically).  To avoid
+   penalizing every program that uses function pointers, address-taken
+   functions (and everything they can reach) are marked, plus all members
+   of direct cycles. *)
+let recursive_functions (p : Sil.program) : (string, unit) Hashtbl.t =
+  let defined = Hashtbl.create 16 in
+  List.iter (fun fd -> Hashtbl.replace defined fd.Sil.fd_name fd) p.Sil.p_functions;
+  (* direct call edges + address-taken set *)
+  let edges : (string, string list ref) Hashtbl.t = Hashtbl.create 16 in
+  let addr_taken = Hashtbl.create 16 in
+  let edge_of caller callee =
+    let cell =
+      match Hashtbl.find_opt edges caller with
+      | Some cell -> cell
+      | None ->
+        let cell = ref [] in
+        Hashtbl.add edges caller cell;
+        cell
+    in
+    cell := callee :: !cell
+  in
+  let rec scan_exp fname (e : Sil.exp) =
+    match e with
+    | Sil.Fun_addr f -> Hashtbl.replace addr_taken f ()
+    | Sil.Lval lv | Sil.Addr_of lv | Sil.Start_of lv -> scan_lval fname lv
+    | Sil.Unop (_, a, _) -> scan_exp fname a
+    | Sil.Binop (_, a, b, _) -> scan_exp fname a; scan_exp fname b
+    | Sil.Cast (_, a) -> scan_exp fname a
+    | Sil.Const _ -> ()
+  and scan_lval fname lv =
+    (match lv.Sil.lbase with Sil.Mem e -> scan_exp fname e | Sil.Vbase _ -> ());
+    List.iter
+      (function Sil.Oindex e -> scan_exp fname e | Sil.Ofield _ -> ())
+      lv.Sil.loffs
+  in
+  List.iter
+    (fun fd ->
+      let fname = fd.Sil.fd_name in
+      Array.iter
+        (fun b ->
+          List.iter
+            (fun instr ->
+              match instr with
+              | Sil.Set (lv, e, _) -> scan_lval fname lv; scan_exp fname e
+              | Sil.Alloc (lv, e, _, _) -> scan_lval fname lv; scan_exp fname e
+              | Sil.Call (ret, target, args, _) ->
+                Option.iter (scan_lval fname) ret;
+                List.iter (scan_exp fname) args;
+                (match target with
+                | Sil.Direct callee ->
+                  if Hashtbl.mem defined callee then edge_of fname callee
+                | Sil.Indirect e -> scan_exp fname e))
+            b.Sil.binstrs;
+          match b.Sil.bterm with
+          | Sil.If (e, _, _) -> scan_exp fname e
+          | Sil.Return (Some e) -> scan_exp fname e
+          | Sil.Return None | Sil.Goto _ | Sil.Unreachable -> ())
+        fd.Sil.fd_blocks)
+    p.Sil.p_functions;
+  (* Tarjan-style cycle detection via iterative DFS with colors *)
+  let result = Hashtbl.create 16 in
+  let color = Hashtbl.create 16 in  (* 1 = on stack, 2 = done *)
+  let rec dfs f path =
+    match Hashtbl.find_opt color f with
+    | Some 1 ->
+      (* back edge: every function on [path] from its head down to the
+         previous occurrence of [f] is in a cycle.  The head IS [f] (the
+         callee just revisited), so the stop test must skip it. *)
+      let rec mark started = function
+        | [] -> ()
+        | g :: rest ->
+          Hashtbl.replace result g ();
+          if String.equal g f && started then () else mark true rest
+      in
+      mark false path
+    | Some _ -> ()
+    | None ->
+      Hashtbl.replace color f 1;
+      let callees =
+        match Hashtbl.find_opt edges f with Some cell -> !cell | None -> []
+      in
+      List.iter (fun callee -> dfs callee (callee :: path)) callees;
+      Hashtbl.replace color f 2
+  in
+  Hashtbl.iter (fun f _ -> dfs f [ f ]) defined;
+  (* address-taken functions may recurse through indirect calls: mark them
+     and everything reachable from them *)
+  let reach_mark = Hashtbl.create 16 in
+  let rec reach f =
+    if not (Hashtbl.mem reach_mark f) then begin
+      Hashtbl.replace reach_mark f ();
+      Hashtbl.replace result f ();
+      match Hashtbl.find_opt edges f with
+      | Some cell -> List.iter reach !cell
+      | None -> ()
+    end
+  in
+  Hashtbl.iter (fun f () -> if Hashtbl.mem defined f then reach f) addr_taken;
+  result
+
+(* ---- builder state ----------------------------------------------------------- *)
+
+let store_key = -1  (* pseudo-variable id for the threaded store *)
+
+type mode = Sparse | Dense
+
+type fctx = {
+  g : Vdg.t;
+  prog : Sil.program;
+  mode : mode;
+  fd : Sil.fundec;
+  cfg : Cfg.t;
+  dom : Dom.t;
+  recursive : (string, unit) Hashtbl.t;
+  ssa_vars : (int, Sil.var) Hashtbl.t;        (* vid -> var, SSA-convertible *)
+  bindings : (int, Vdg.node_id list ref) Hashtbl.t;  (* vid/store_key -> stack *)
+  phis : (int, (int * Vdg.node_id) list ref) Hashtbl.t;  (* block -> (vid, gamma) *)
+  undefs : (int, Vdg.node_id) Hashtbl.t;      (* per-var undef node cache *)
+  consts : (int64, Vdg.node_id) Hashtbl.t;
+  base_nodes : (int, Vdg.node_id) Hashtbl.t;  (* Apath base id -> Nbase node *)
+  mutable heap_counter : int ref;
+  mutable cur_loc : Srcloc.t;
+}
+
+let comps ctx = ctx.prog.Sil.p_comps
+
+let vt ctx (t : Ctype.t) = Vdg.vtype_of_ctype (comps ctx) t
+
+(* ---- base locations ----------------------------------------------------------- *)
+
+let base_of_var ctx (v : Sil.var) =
+  let singular =
+    match v.Sil.vkind with
+    | Sil.Global -> true
+    | Sil.Local f | Sil.Param (f, _) | Sil.Temp f ->
+      not (Hashtbl.mem ctx.recursive f)
+  in
+  Apath.mk_base ctx.g.Vdg.tbl (Apath.Bvar v) ~singular
+
+let node_for_base ctx ?(kind = `Base) base vtype =
+  match kind, Hashtbl.find_opt ctx.base_nodes base.Apath.bid with
+  | `Base, Some nid -> nid
+  | _ ->
+    let nkind = match kind with `Base -> Vdg.Nbase base | `Alloc -> Vdg.Nalloc base in
+    let nid = Vdg.add_node ctx.g nkind vtype ~fun_name:ctx.fd.Sil.fd_name [] in
+    (match kind with `Base -> Hashtbl.replace ctx.base_nodes base.Apath.bid nid | `Alloc -> ());
+    nid
+
+(* ---- SSA machinery ------------------------------------------------------------- *)
+
+(* In the sparse (VDG) mode, non-addressed locals become SSA values; in
+   the dense (CFG-like) mode every variable lives in memory and only the
+   store is threaded — the degenerate representation the paper's Section 2
+   describes ("the standard control-flow graph representation … can be
+   viewed as a degenerate VDG in which all inputs and outputs are of store
+   type").  The bench harness uses the dense mode to reproduce the paper's
+   sparseness claim. *)
+let is_ssa_var ctx (v : Sil.var) =
+  ctx.mode = Sparse
+  && (not v.Sil.vaddr_taken)
+  && (match v.Sil.vkind with
+     | Sil.Global -> false
+     | Sil.Local _ | Sil.Param _ | Sil.Temp _ -> true)
+
+let binding_stack ctx key =
+  match Hashtbl.find_opt ctx.bindings key with
+  | Some stack -> stack
+  | None ->
+    let stack = ref [] in
+    Hashtbl.add ctx.bindings key stack;
+    stack
+
+let push_binding ctx key nid = binding_stack ctx key := nid :: !(binding_stack ctx key)
+
+let pop_binding ctx key =
+  let stack = binding_stack ctx key in
+  match !stack with [] -> () | _ :: rest -> stack := rest
+
+let current_binding ctx key = match !(binding_stack ctx key) with [] -> None | n :: _ -> Some n
+
+let undef_for ctx key vtype =
+  match Hashtbl.find_opt ctx.undefs key with
+  | Some nid -> nid
+  | None ->
+    let nid = Vdg.add_node ctx.g Vdg.Nundef vtype ~fun_name:ctx.fd.Sil.fd_name [] in
+    Hashtbl.add ctx.undefs key nid;
+    nid
+
+let read_var ctx (v : Sil.var) =
+  match current_binding ctx v.Sil.vid with
+  | Some nid -> nid
+  | None -> undef_for ctx v.Sil.vid (vt ctx v.Sil.vtype)
+
+let read_store ctx =
+  match current_binding ctx store_key with
+  | Some nid -> nid
+  | None -> undef_for ctx store_key Vdg.Vstore
+
+(* ---- expression translation --------------------------------------------------- *)
+
+let accessor_of ctx (off : Sil.offset) =
+  match off with
+  | Sil.Ofield (kind, tag, fname) ->
+    (Apath.field_accessor (comps ctx) kind tag fname, None)
+  | Sil.Oindex e -> (Apath.Index, Some e)
+
+let rec eval_exp ctx (e : Sil.exp) : Vdg.node_id =
+  match e with
+  | Sil.Const (Sil.Cint v) ->
+    (match Hashtbl.find_opt ctx.consts v with
+    | Some nid -> nid
+    | None ->
+      let nid = Vdg.add_node ctx.g (Vdg.Nconst v) Vdg.Vscalar ~fun_name:ctx.fd.Sil.fd_name [] in
+      Hashtbl.add ctx.consts v nid;
+      nid)
+  | Sil.Const (Sil.Cstr idx) ->
+    let base = Apath.mk_base ctx.g.Vdg.tbl (Apath.Bstr idx) ~singular:true in
+    node_for_base ctx base Vdg.Vptr
+  | Sil.Fun_addr f ->
+    let base = Apath.mk_base ctx.g.Vdg.tbl (Apath.Bfun f) ~singular:true in
+    node_for_base ctx base Vdg.Vfun
+  | Sil.Lval lv -> read_lval ctx lv
+  | Sil.Addr_of lv -> addr_of_lval ctx lv
+  | Sil.Start_of lv ->
+    (* decay: pointer to the (collapsed) first element *)
+    let addr = addr_of_lval ctx lv in
+    let elt_t =
+      match Ctype.unroll (Sil.type_of_lval (comps ctx) lv) with
+      | Ctype.Array (elt, _) -> Ctype.Ptr elt
+      | other -> Ctype.Ptr other
+    in
+    Vdg.add_node ctx.g (Vdg.Nfield_addr Apath.Index) (vt ctx elt_t)
+      ~fun_name:ctx.fd.Sil.fd_name [ addr ]
+  | Sil.Unop (op, a, t) ->
+    let a' = eval_exp ctx a in
+    let name = match op with Sil.Neg -> "neg" | Sil.Bnot -> "bnot" | Sil.Lnot -> "lnot" in
+    Vdg.add_node ctx.g (Vdg.Nprimop (Vdg.Scalar_op name)) (vt ctx t)
+      ~fun_name:ctx.fd.Sil.fd_name [ a' ]
+  | Sil.Binop (Sil.PtrAdd, p, i, t) ->
+    let p' = eval_exp ctx p in
+    let i' = eval_exp ctx i in
+    Vdg.add_node ctx.g (Vdg.Nprimop Vdg.Ptr_arith) (vt ctx t)
+      ~fun_name:ctx.fd.Sil.fd_name [ p'; i' ]
+  | Sil.Binop (op, a, b, t) ->
+    let a' = eval_exp ctx a in
+    let b' = eval_exp ctx b in
+    Vdg.add_node ctx.g
+      (Vdg.Nprimop (Vdg.Scalar_op (Sil.string_of_binop op)))
+      (vt ctx t) ~fun_name:ctx.fd.Sil.fd_name [ a'; b' ]
+  | Sil.Cast (_, inner) ->
+    (* casts neither create nor destroy values: forward the operand *)
+    eval_exp ctx inner
+
+and read_lval ctx (lv : Sil.lval) : Vdg.node_id =
+  match lv.Sil.lbase with
+  | Sil.Vbase v when is_ssa_var ctx v ->
+    (* SSA value, possibly with value-level member reads *)
+    let agg = read_var ctx v in
+    let t0 = v.Sil.vtype in
+    let rec fold nid t offs =
+      match offs with
+      | [] -> nid
+      | off :: rest ->
+        let acc, idx = accessor_of ctx off in
+        let t' = offset_type ctx t off in
+        let inputs =
+          match idx with
+          | None -> [ nid ]
+          | Some e -> [ nid; eval_exp ctx e ]
+        in
+        let nid' =
+          Vdg.add_node ctx.g (Vdg.Noffset_read acc) (vt ctx t')
+            ~fun_name:ctx.fd.Sil.fd_name inputs
+        in
+        fold nid' t' rest
+    in
+    fold agg t0 lv.Sil.loffs
+  | _ ->
+    let addr = addr_of_lval ctx lv in
+    let t = Sil.type_of_lval (comps ctx) lv in
+    let nid =
+      Vdg.add_node ctx.g Vdg.Nlookup (vt ctx t) ~fun_name:ctx.fd.Sil.fd_name
+        [ addr; read_store ctx ]
+    in
+    Vdg.set_loc ctx.g nid ctx.cur_loc;
+    nid
+
+and offset_type ctx t (off : Sil.offset) =
+  match off with
+  | Sil.Ofield (_, tag, fname) ->
+    (try (Sil.find_field (comps ctx) tag fname).Ctype.ftype
+     with Not_found -> Ctype.int_t)
+  | Sil.Oindex _ ->
+    (match Ctype.unroll t with
+    | Ctype.Array (elt, _) -> elt
+    | Ctype.Ptr elt -> elt
+    | _ -> Ctype.int_t)
+
+and addr_of_lval ctx (lv : Sil.lval) : Vdg.node_id =
+  let base_addr, base_t =
+    match lv.Sil.lbase with
+    | Sil.Vbase v ->
+      let base = base_of_var ctx v in
+      (node_for_base ctx base (vt ctx (Ctype.Ptr v.Sil.vtype)), v.Sil.vtype)
+    | Sil.Mem e ->
+      let nid = eval_exp ctx e in
+      let t =
+        match Ctype.pointee (Sil.type_of_exp (comps ctx) e) with
+        | Some t -> t
+        | None -> Ctype.int_t
+      in
+      (nid, t)
+  in
+  let rec fold nid t offs =
+    match offs with
+    | [] -> nid
+    | off :: rest ->
+      let acc, idx = accessor_of ctx off in
+      let t' = offset_type ctx t off in
+      let inputs =
+        match idx with
+        | None -> [ nid ]
+        | Some e -> [ nid; eval_exp ctx e ]
+      in
+      let nid' =
+        Vdg.add_node ctx.g (Vdg.Nfield_addr acc) (vt ctx (Ctype.Ptr t'))
+          ~fun_name:ctx.fd.Sil.fd_name inputs
+      in
+      fold nid' t' rest
+  in
+  fold base_addr base_t lv.Sil.loffs
+
+(* write a value node into an lval; returns the list of SSA keys defined *)
+and write_lval ctx (lv : Sil.lval) (value : Vdg.node_id) : int list =
+  match lv.Sil.lbase with
+  | Sil.Vbase v when is_ssa_var ctx v ->
+    (match lv.Sil.loffs with
+    | [] ->
+      push_binding ctx v.Sil.vid value;
+      [ v.Sil.vid ]
+    | offs ->
+      (* rebuild the aggregate value with the member replaced *)
+      let rec rebuild agg t offs =
+        match offs with
+        | [] -> value
+        | off :: rest ->
+          let acc, idx = accessor_of ctx off in
+          let t' = offset_type ctx t off in
+          let new_inner =
+            match rest with
+            | [] -> value
+            | _ ->
+              let read_inputs =
+                match idx with
+                | None -> [ agg ]
+                | Some e -> [ agg; eval_exp ctx e ]
+              in
+              let inner =
+                Vdg.add_node ctx.g (Vdg.Noffset_read acc) (vt ctx t')
+                  ~fun_name:ctx.fd.Sil.fd_name read_inputs
+              in
+              rebuild inner t' rest
+          in
+          let write_inputs =
+            match idx with
+            | None -> [ agg; new_inner ]
+            | Some e -> [ agg; new_inner; eval_exp ctx e ]
+          in
+          Vdg.add_node ctx.g (Vdg.Noffset_write acc) (vt ctx t)
+            ~fun_name:ctx.fd.Sil.fd_name write_inputs
+      in
+      let agg = read_var ctx v in
+      let rebuilt = rebuild agg v.Sil.vtype offs in
+      push_binding ctx v.Sil.vid rebuilt;
+      [ v.Sil.vid ])
+  | _ ->
+    let addr = addr_of_lval ctx lv in
+    let store = read_store ctx in
+    let new_store =
+      Vdg.add_node ctx.g Vdg.Nupdate Vdg.Vstore ~fun_name:ctx.fd.Sil.fd_name
+        [ addr; store; value ]
+    in
+    Vdg.set_loc ctx.g new_store ctx.cur_loc;
+    push_binding ctx store_key new_store;
+    [ store_key ]
+
+(* ---- instruction translation ---------------------------------------------------- *)
+
+let translate_instr ctx (instr : Sil.instr) : int list =
+  (match instr with
+  | Sil.Set (_, _, loc) | Sil.Call (_, _, _, loc) | Sil.Alloc (_, _, _, loc) ->
+    ctx.cur_loc <- loc);
+  match instr with
+  | Sil.Set (lv, e, _) ->
+    let v = eval_exp ctx e in
+    write_lval ctx lv v
+  | Sil.Alloc (lv, size, site, _) ->
+    let size' = eval_exp ctx size in
+    let base = Apath.mk_base ctx.g.Vdg.tbl (Apath.Bheap site) ~singular:false in
+    let alloc =
+      Vdg.add_node ctx.g (Vdg.Nalloc base) Vdg.Vptr ~fun_name:ctx.fd.Sil.fd_name
+        [ size' ]
+    in
+    write_lval ctx lv alloc
+  | Sil.Call (ret, target, args, _) ->
+    let fn =
+      match target with
+      | Sil.Direct name ->
+        let base = Apath.mk_base ctx.g.Vdg.tbl (Apath.Bfun name) ~singular:true in
+        node_for_base ctx base Vdg.Vfun
+      | Sil.Indirect e -> eval_exp ctx e
+    in
+    let args' = List.map (fun a -> eval_exp ctx a) args in
+    let store = read_store ctx in
+    let call =
+      Vdg.add_node ctx.g Vdg.Ncall Vdg.Vscalar ~fun_name:ctx.fd.Sil.fd_name
+        (fn :: store :: args')
+    in
+    let ret_t =
+      match ret with
+      | Some lv -> Some (Sil.type_of_lval (comps ctx) lv)
+      | None -> None
+    in
+    let result =
+      match ret_t with
+      | Some t ->
+        Some
+          (Vdg.add_node ctx.g (Vdg.Ncall_result call) (vt ctx t)
+             ~fun_name:ctx.fd.Sil.fd_name [ call ])
+      | None -> None
+    in
+    let cstore =
+      Vdg.add_node ctx.g (Vdg.Ncall_store call) Vdg.Vstore
+        ~fun_name:ctx.fd.Sil.fd_name [ call ]
+    in
+    Hashtbl.replace ctx.g.Vdg.call_meta call
+      {
+        Vdg.cm_call = call;
+        cm_fn = fn;
+        cm_store = store;
+        cm_args = Array.of_list args';
+        cm_result = result;
+        cm_cstore = cstore;
+      };
+    ctx.g.Vdg.calls <- call :: ctx.g.Vdg.calls;
+    push_binding ctx store_key cstore;
+    let defined = [ store_key ] in
+    (match ret, result with
+    | Some lv, Some res -> write_lval ctx lv res @ defined
+    | _ -> defined)
+
+(* ---- per-function SSA construction ------------------------------------------------ *)
+
+(* SSA keys defined by an instruction, without building nodes (for phi
+   placement).  Mirrors [translate_instr]. *)
+let def_keys_of_instr ctx (instr : Sil.instr) : int list =
+  let lval_key (lv : Sil.lval) =
+    match lv.Sil.lbase with
+    | Sil.Vbase v when is_ssa_var ctx v -> [ v.Sil.vid ]
+    | _ -> [ store_key ]
+  in
+  match instr with
+  | Sil.Set (lv, _, _) | Sil.Alloc (lv, _, _, _) -> lval_key lv
+  | Sil.Call (ret, _, _, _) ->
+    store_key :: (match ret with Some lv -> lval_key lv | None -> [])
+
+let vtype_of_key ctx key =
+  if key = store_key then Vdg.Vstore
+  else
+    match Hashtbl.find_opt ctx.ssa_vars key with
+    | Some v -> vt ctx v.Sil.vtype
+    | None -> Vdg.Vscalar
+
+let build_function (g : Vdg.t) prog mode recursive heap_counter (fd : Sil.fundec) =
+  let cfg = Cfg.of_fundec fd in
+  let dom = Dom.compute cfg in
+  let ctx =
+    {
+      g;
+      prog;
+      mode;
+      fd;
+      cfg;
+      dom;
+      recursive;
+      ssa_vars = Hashtbl.create 32;
+      bindings = Hashtbl.create 32;
+      phis = Hashtbl.create 16;
+      undefs = Hashtbl.create 16;
+      consts = Hashtbl.create 32;
+      base_nodes = Hashtbl.create 32;
+      heap_counter;
+      cur_loc = Srcloc.dummy;
+    }
+  in
+  List.iter
+    (fun v -> if is_ssa_var ctx v then Hashtbl.replace ctx.ssa_vars v.Sil.vid v)
+    (fd.Sil.fd_formals @ fd.Sil.fd_locals);
+  (* collect def blocks per SSA key *)
+  let def_blocks : (int, int list ref) Hashtbl.t = Hashtbl.create 32 in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun instr ->
+          List.iter
+            (fun key ->
+              let cell =
+                match Hashtbl.find_opt def_blocks key with
+                | Some c -> c
+                | None ->
+                  let c = ref [] in
+                  Hashtbl.add def_blocks key c;
+                  c
+              in
+              if not (List.mem b.Sil.bid !cell) then cell := b.Sil.bid :: !cell)
+            (def_keys_of_instr ctx instr))
+        b.Sil.binstrs)
+    fd.Sil.fd_blocks;
+  (* phi placement via iterated dominance frontiers *)
+  Hashtbl.iter
+    (fun key blocks ->
+      let phi_blocks = Dom.iterated_frontier dom !blocks in
+      List.iter
+        (fun blk ->
+          let gamma =
+            Vdg.add_node g Vdg.Ngamma (vtype_of_key ctx key)
+              ~fun_name:fd.Sil.fd_name []
+          in
+          let cell =
+            match Hashtbl.find_opt ctx.phis blk with
+            | Some c -> c
+            | None ->
+              let c = ref [] in
+              Hashtbl.add ctx.phis blk c;
+              c
+          in
+          cell := (key, gamma) :: !cell)
+        phi_blocks)
+    def_blocks;
+  (* seed formals *)
+  let meta = Hashtbl.find g.Vdg.funs fd.Sil.fd_name in
+  List.iteri
+    (fun idx v ->
+      if is_ssa_var ctx v then push_binding ctx v.Sil.vid meta.Vdg.fm_formals.(idx)
+      else begin
+        (* an addressed formal lives in memory: materialize the incoming
+           value with a synthetic update at function entry (done below in
+           the entry block prologue via pending list) *)
+        ()
+      end)
+    fd.Sil.fd_formals;
+  push_binding ctx store_key meta.Vdg.fm_formal_store;
+  (* addressed formals: write the incoming formal value into the formal's
+     memory base at entry *)
+  let entry_prologue () =
+    List.iteri
+      (fun idx v ->
+        if not (is_ssa_var ctx v) then begin
+          let lv = { Sil.lbase = Sil.Vbase v; loffs = [] } in
+          ignore (write_lval ctx lv meta.Vdg.fm_formals.(idx))
+        end)
+      fd.Sil.fd_formals
+  in
+  (* dominator-tree renaming walk *)
+  let blocks = fd.Sil.fd_blocks in
+  let rec rename blk_id =
+    let pushed = ref [] in
+    (* phis first *)
+    (match Hashtbl.find_opt ctx.phis blk_id with
+    | Some cell ->
+      List.iter
+        (fun (key, gamma) ->
+          push_binding ctx key gamma;
+          pushed := key :: !pushed)
+        !cell
+    | None -> ());
+    if blk_id = fd.Sil.fd_entry then entry_prologue ();
+    let b = blocks.(blk_id) in
+    List.iter
+      (fun instr ->
+        let defined = translate_instr ctx instr in
+        pushed := defined @ !pushed)
+      b.Sil.binstrs;
+    (match b.Sil.bterm with
+    | Sil.If (e, _, _) ->
+      ctx.cur_loc <- b.Sil.bterm_loc;
+      ignore (eval_exp ctx e)
+    | Sil.Return e_opt ->
+      ctx.cur_loc <- b.Sil.bterm_loc;
+      (match e_opt, meta.Vdg.fm_ret_value with
+      | Some e, Some rv ->
+        let v = eval_exp ctx e in
+        ignore (Vdg.add_input g rv v)
+      | Some e, None -> ignore (eval_exp ctx e)
+      | None, _ -> ());
+      ignore (Vdg.add_input g meta.Vdg.fm_ret_store (read_store ctx))
+    | Sil.Goto _ | Sil.Unreachable -> ());
+    (* feed successor phis *)
+    List.iter
+      (fun succ ->
+        match Hashtbl.find_opt ctx.phis succ with
+        | Some cell ->
+          List.iter
+            (fun (key, gamma) ->
+              let value =
+                match current_binding ctx key with
+                | Some nid -> nid
+                | None -> undef_for ctx key (vtype_of_key ctx key)
+              in
+              ignore (Vdg.add_input g gamma value))
+            !cell
+        | None -> ())
+      cfg.Cfg.succs.(blk_id);
+    (* recurse into dominator children *)
+    List.iter rename (Dom.children dom blk_id);
+    (* pop this block's bindings *)
+    List.iter (fun key -> pop_binding ctx key) !pushed
+  in
+  rename fd.Sil.fd_entry
+
+(* ---- program-level build ------------------------------------------------------------ *)
+
+let build ?(mode = Sparse) (prog : Sil.program) : Vdg.t =
+  let tbl = Apath.create_table () in
+  let g = Vdg.create tbl in
+  let recursive = recursive_functions prog in
+  (* pre-create interprocedural interface nodes for each defined function *)
+  List.iter
+    (fun fd ->
+      let fname = fd.Sil.fd_name in
+      let formals =
+        Array.of_list
+          (List.mapi
+             (fun idx v ->
+               Vdg.add_node g (Vdg.Nformal (fname, idx))
+                 (Vdg.vtype_of_ctype prog.Sil.p_comps v.Sil.vtype)
+                 ~fun_name:fname [])
+             fd.Sil.fd_formals)
+      in
+      let formal_store =
+        Vdg.add_node g (Vdg.Nformal_store fname) Vdg.Vstore ~fun_name:fname []
+      in
+      let ret_value =
+        if Ctype.is_void fd.Sil.fd_sig.Ctype.ret then None
+        else
+          Some
+            (Vdg.add_node g (Vdg.Nret_value fname)
+               (Vdg.vtype_of_ctype prog.Sil.p_comps fd.Sil.fd_sig.Ctype.ret)
+               ~fun_name:fname [])
+      in
+      let ret_store =
+        Vdg.add_node g (Vdg.Nret_store fname) Vdg.Vstore ~fun_name:fname []
+      in
+      Hashtbl.replace g.Vdg.funs fname
+        {
+          Vdg.fm_name = fname;
+          fm_formals = formals;
+          fm_formal_store = formal_store;
+          fm_ret_value = ret_value;
+          fm_ret_store = ret_store;
+        })
+    prog.Sil.p_functions;
+  (* externals: declared prototypes plus the builtin library *)
+  List.iter
+    (fun (name, fs) ->
+      if not (Hashtbl.mem g.Vdg.funs name) then Hashtbl.replace g.Vdg.externs name fs)
+    (prog.Sil.p_externals @ Sema.builtins);
+  (* initial store *)
+  let entry_store = Vdg.add_node g Vdg.Nundef Vdg.Vstore ~fun_name:"" [] in
+  g.Vdg.entry_store <- entry_store;
+  (* build all function bodies *)
+  let heap_counter = ref 0 in
+  List.iter
+    (fun fd -> build_function g prog mode recursive heap_counter fd)
+    prog.Sil.p_functions;
+  (* root wiring: entry store -> __global_init -> main (or all functions) *)
+  let feed_store target_fun source =
+    match Hashtbl.find_opt g.Vdg.funs target_fun with
+    | Some meta -> ignore (Vdg.add_input g meta.Vdg.fm_formal_store source)
+    | None -> ()
+  in
+  let ginit = Hashtbl.find_opt g.Vdg.funs Sil.global_init_name in
+  (match prog.Sil.p_main with
+  | Some main_name ->
+    g.Vdg.root_fun <- Some main_name;
+    (match ginit with
+    | Some gi ->
+      feed_store Sil.global_init_name entry_store;
+      feed_store main_name gi.Vdg.fm_ret_store
+    | None -> feed_store main_name entry_store);
+    (* seed argv: main(int argc, char **argv) *)
+    (match Hashtbl.find_opt g.Vdg.funs main_name with
+    | Some meta when Array.length meta.Vdg.fm_formals >= 2 ->
+      let argv_arr = Apath.mk_base tbl (Apath.Bext "argv") ~singular:false in
+      let argv_node = Vdg.add_node g (Vdg.Nbase argv_arr) Vdg.Vptr ~fun_name:main_name [] in
+      ignore (Vdg.add_input g meta.Vdg.fm_formals.(1) argv_node)
+    | _ -> ())
+  | None ->
+    (* no main: every defined function is a root *)
+    List.iter
+      (fun fd ->
+        match ginit with
+        | Some gi when fd.Sil.fd_name <> Sil.global_init_name ->
+          feed_store fd.Sil.fd_name gi.Vdg.fm_ret_store
+        | _ -> feed_store fd.Sil.fd_name entry_store)
+      prog.Sil.p_functions;
+    (match ginit with Some _ -> feed_store Sil.global_init_name entry_store | None -> ()));
+  g

@@ -1,0 +1,33 @@
+(** Construction of the value dependence graph from {!Sil}.
+
+    Per function: non-addressed locals, formals and temporaries (including
+    struct-valued ones) are converted to SSA — gamma nodes at join points
+    found via iterated dominance frontiers ({!Dom}) — and the store is
+    threaded through as one more SSA variable, so that every lookup/update/
+    call consumes the reaching store value and every update/call produces a
+    new one.  Addressed locals, globals, heap and string storage are
+    reached through base-location address nodes.
+
+    Base-location policy (paper, Sections 2 and 3.1):
+    - one base per variable; locals/formals of possibly-recursive functions
+      (direct-call-graph cycles, or functions whose address is taken) are
+      weakly updateable, everything else is singular;
+    - one heap base per static allocation site;
+    - one base per string literal and per function.
+
+    The root wiring threads the initial store through [__global_init]
+    (when present) into [main], and seeds [main]'s [argv]. *)
+
+type mode =
+  | Sparse  (** the VDG proper: non-addressed locals become SSA values *)
+  | Dense
+      (** the degenerate CFG-like representation: every variable lives in
+          memory and only the store is threaded.  Same analysis results
+          at memory operations, many more nodes and pairs — the paper's
+          sparseness claim, measured by the bench harness *)
+
+val build : ?mode:mode -> Sil.program -> Vdg.t
+
+val recursive_functions : Sil.program -> (string, unit) Hashtbl.t
+(** Functions that may have multiple simultaneous activations (exposed
+    for tests). *)

@@ -1,0 +1,1 @@
+lib/workload/genc.ml: Buffer Char List Option Printf Profile Srng String

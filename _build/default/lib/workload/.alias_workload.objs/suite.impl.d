@@ -1,0 +1,1 @@
+lib/workload/suite.ml: Genc List Norm Profile String

@@ -1,0 +1,15 @@
+(** Deterministic synthetic C benchmark generator.
+
+    Emits a self-contained, memory-safe C program from a {!Profile.t}:
+    the same profile always yields byte-identical source.  Programs are
+    built from layered "phase" driver functions over a pool of shared
+    utility routines (linked-list operations, record helpers, string
+    scanners, an optional function-pointer dispatcher), globals and
+    buffers — the shape the paper's Section 5.1.2 describes.  Loops are
+    bounded and every pointer is initialized before use, so the programs
+    also run cleanly under {!Interp} as soundness-test subjects. *)
+
+val generate : Profile.t -> string
+(** The program text. *)
+
+val line_count : string -> int

@@ -1,0 +1,33 @@
+type t = {
+  name : string;
+  target_lines : int;
+  n_list_types : int;
+  n_record_types : int;
+  n_int_globals : int;
+  n_ptr_globals : int;
+  n_arrays : int;
+  n_buffers : int;
+  multi_target : bool;
+  use_funptr : bool;
+  string_heavy : bool;
+  list_exchange : bool;
+  n_stashers : int;
+}
+
+let default ~name ~target_lines =
+  let scale = max 1 (target_lines / 400) in
+  {
+    name;
+    target_lines;
+    n_list_types = min 4 (1 + (scale / 2));
+    n_record_types = min 3 (1 + (scale / 3));
+    n_int_globals = min 12 (3 + scale);
+    n_ptr_globals = min 6 (2 + (scale / 2));
+    n_arrays = min 4 (1 + (scale / 3));
+    n_buffers = min 3 (1 + (scale / 4));
+    multi_target = true;
+    use_funptr = false;
+    string_heavy = false;
+    list_exchange = false;
+    n_stashers = 1;
+  }

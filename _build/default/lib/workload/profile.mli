@@ -1,0 +1,36 @@
+(** Shape parameters for synthetic benchmark generation.
+
+    The paper's benchmark suite (Landi's and Austin's programs, GNU bc,
+    SPEC92 compress) is not redistributable, so {!Genc} synthesizes one
+    program per benchmark name, matched to the sizes of the paper's
+    Figure 2 and to the structural characteristics its Section 5.1.2
+    credits for the headline result: sparse call graphs with mostly
+    single-caller procedures, predominantly single-level pointers, small
+    linked structures, and light use of function pointers. *)
+
+type t = {
+  name : string;
+  target_lines : int;       (** paper's source-line count for this benchmark *)
+  n_list_types : int;       (** distinct linked-list node structs *)
+  n_record_types : int;     (** plain record structs *)
+  n_int_globals : int;
+  n_ptr_globals : int;      (** global [int *] cells *)
+  n_arrays : int;           (** global [int] arrays (power-of-two sized) *)
+  n_buffers : int;          (** global [char] buffers *)
+  multi_target : bool;
+      (** emit patterns where one indirect operation reaches several
+          locations (off for the paper's backprop/compiler/span, which
+          had none) *)
+  use_funptr : bool;        (** emit a function-pointer dispatch helper *)
+  string_heavy : bool;      (** bias statements toward string utilities *)
+  list_exchange : bool;
+      (** the paper's [part] phenomenon: two lists of the same node type
+          handled by shared routines, exchanging elements *)
+  n_stashers : int;
+      (** phases that park pointers in addressable locals, seeding the
+          store pairs context-insensitivity spreads to sibling callers;
+          calibrates the Figure 6 spurious-pair fraction *)
+}
+
+val default : name:string -> target_lines:int -> t
+(** Mid-sized defaults, scaled to the line target. *)

@@ -1,0 +1,59 @@
+type entry = {
+  profile : Profile.t;
+  paper_lines : int;
+  paper_vdg_nodes : int;
+  paper_alias_outputs : int;
+}
+
+let mk ?(tweak = fun (p : Profile.t) -> p) name paper_lines paper_vdg_nodes
+    paper_alias_outputs =
+  {
+    profile = tweak (Profile.default ~name ~target_lines:paper_lines);
+    paper_lines;
+    paper_vdg_nodes;
+    paper_alias_outputs;
+  }
+
+let benchmarks =
+  [
+    mk "allroots" 231 554 278 ~tweak:(fun p -> { p with Profile.n_stashers = 0 });
+    mk "anagram" 648 1018 560
+      ~tweak:(fun p ->
+        { p with Profile.string_heavy = true; n_buffers = 3; n_stashers = 3 });
+    mk "assembler" 2764 4741 2990
+      ~tweak:(fun p -> { p with Profile.string_heavy = true; use_funptr = true });
+    mk "backprop" 286 721 421
+      ~tweak:(fun p ->
+        { p with Profile.multi_target = false; n_arrays = 3; n_buffers = 0;
+          n_list_types = 1; n_record_types = 1; n_stashers = 0 });
+    mk "bc" 6771 9024 5435
+      ~tweak:(fun p -> { p with Profile.use_funptr = true; n_list_types = 4 });
+    mk "compiler" 2282 3852 2057
+      ~tweak:(fun p ->
+        { p with Profile.multi_target = false; n_list_types = 3; n_buffers = 0;
+          n_record_types = 1 });
+    mk "compress" 1502 2080 1124
+      ~tweak:(fun p -> { p with Profile.n_arrays = 4; n_list_types = 1 });
+    mk "lex315" 1039 1453 716
+      ~tweak:(fun p -> { p with Profile.string_heavy = true; n_stashers = 0 });
+    mk "loader" 1241 2033 1202
+      ~tweak:(fun p -> { p with Profile.n_record_types = 3; n_stashers = 2 });
+    mk "part" 684 1677 1105
+      ~tweak:(fun p -> { p with Profile.list_exchange = true; n_list_types = 2 });
+    mk "simulator" 4009 7052 4047
+      ~tweak:(fun p -> { p with Profile.n_record_types = 3; use_funptr = true });
+    mk "span" 1297 1364 944
+      ~tweak:(fun p ->
+        { p with Profile.multi_target = false; n_buffers = 0; n_record_types = 1;
+          n_list_types = 1; n_stashers = 2 });
+    mk "yacr2" 3208 5963 3047
+      ~tweak:(fun p -> { p with Profile.n_arrays = 4; n_stashers = 3 });
+  ]
+
+let find name =
+  List.find_opt (fun e -> String.equal e.profile.Profile.name name) benchmarks
+
+let source e = Genc.generate e.profile
+
+let compile e =
+  Norm.compile ~file:(e.profile.Profile.name ^ ".c") (source e)

@@ -1,0 +1,25 @@
+(** The paper's 13-benchmark suite (Figure 2), as generation profiles.
+
+    Each entry carries the paper's source-line count; the generator
+    targets that size and the structural flavor the paper reports for
+    the program (string-heavy for [anagram]/[lex315], the list-exchange
+    pattern for [part], no multi-target indirect operations for
+    [backprop]/[compiler]/[span], ...). *)
+
+type entry = {
+  profile : Profile.t;
+  paper_lines : int;         (** Figure 2 "source lines" *)
+  paper_vdg_nodes : int;     (** Figure 2 "VDG nodes" *)
+  paper_alias_outputs : int; (** Figure 2 "alias-related outputs" *)
+}
+
+val benchmarks : entry list
+(** All 13, in the paper's order. *)
+
+val find : string -> entry option
+
+val source : entry -> string
+(** Generated program text (deterministic). *)
+
+val compile : entry -> Sil.program
+(** Generate and push through the frontend. *)

@@ -1,0 +1,1 @@
+test/test_apath.ml: Alcotest Apath Ctype Hashtbl List Printf QCheck QCheck_alcotest Sil

@@ -1,0 +1,1 @@
+test/test_ast_print.ml: Alcotest Apath Ast_print Ci_solver Ctype Interp List Norm Option Parser Preproc Printf Profile Srcloc Suite Vdg Vdg_build

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Absloc Alcotest Andersen Ctype List Norm Option Printf Sil Steensgaard

@@ -1,0 +1,1 @@
+test/test_cfg_dom.ml: Alcotest Array Cfg Dom List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ci.ml: Alcotest Apath Ci_solver List Norm Vdg Vdg_build

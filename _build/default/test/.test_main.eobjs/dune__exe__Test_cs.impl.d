@@ -1,0 +1,1 @@
+test/test_cs.ml: Alcotest Apath Assumption Ci_solver Cs_solver Ctype Hashtbl List Norm Option Printf Ptpair Sil Stats Vdg Vdg_build

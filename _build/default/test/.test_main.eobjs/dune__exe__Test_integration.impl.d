@@ -1,0 +1,1 @@
+test/test_integration.ml: Absloc Alcotest Andersen Apath Array Ci_solver Cs_solver Genc Hashtbl Interp List Norm Option Printf Profile Ptpair Sil Srcloc Stats Steensgaard String Suite Vdg Vdg_build

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Apath Interp List Norm Sil Vdg Vdg_build

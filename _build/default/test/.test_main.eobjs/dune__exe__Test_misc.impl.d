@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Apath Array Ci_solver Ctype Interp List Norm Option Sil String Vdg Vdg_build

@@ -1,0 +1,1 @@
+test/test_norm.ml: Alcotest Array Cfg List Norm Option Sil

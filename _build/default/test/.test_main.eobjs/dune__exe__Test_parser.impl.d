@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Ctype List Option Parser Printf Srcloc

@@ -1,0 +1,1 @@
+test/test_preproc.ml: Alcotest Lexer List Preproc Srcloc String Token

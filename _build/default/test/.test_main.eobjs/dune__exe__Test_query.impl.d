@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Apath Ci_solver Ctype Hashtbl List Modref Norm Printf Query Sil Vdg Vdg_build

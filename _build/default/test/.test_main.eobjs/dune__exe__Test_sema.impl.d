@@ -1,0 +1,1 @@
+test/test_sema.ml: Alcotest Ast Ctype List Option Parser Sema Srcloc

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Apath Array Ci_solver Cs_solver Ctype Extern_summary Figures Hashtbl List Modref Norm Ptpair Sil Stats String Table Vdg Vdg_build

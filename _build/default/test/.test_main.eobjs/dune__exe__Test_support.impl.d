@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Int64 Interner List QCheck QCheck_alcotest Srng String Table

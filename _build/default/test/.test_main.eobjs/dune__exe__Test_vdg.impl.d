@@ -1,0 +1,1 @@
+test/test_vdg.ml: Alcotest Apath Array Hashtbl List Norm Option Sil Stats String Suite Vdg Vdg_build

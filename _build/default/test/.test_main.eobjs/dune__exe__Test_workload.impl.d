@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Apath Ci_solver Cs_solver Genc Interp List Norm Option Printf Profile QCheck QCheck_alcotest Sil Srcloc Stats String Suite Vdg Vdg_build

@@ -1,0 +1,207 @@
+(* Access-path algebra tests: interning, dom/strong_dom, append/subtract,
+   truncation, plus qcheck laws. *)
+
+let mk_var vid name ?(kind = Sil.Global) ?(vtype = Ctype.int_t) () =
+  { Sil.vid; vname = name; vtype; vkind = kind; vaddr_taken = false }
+
+let with_table f =
+  let tbl = Apath.create_table () in
+  let gbase = Apath.mk_base tbl (Apath.Bvar (mk_var 0 "g" ())) ~singular:true in
+  let hbase = Apath.mk_base tbl (Apath.Bheap 0) ~singular:false in
+  f tbl gbase hbase
+
+let interning_is_stable () =
+  with_table @@ fun tbl gbase _ ->
+  let p1 = Apath.of_base tbl gbase in
+  let p2 = Apath.of_base tbl gbase in
+  Alcotest.(check bool) "same handle" true (Apath.equal p1 p2);
+  let q1 = Apath.extend tbl p1 (Apath.Field "s.f") in
+  let q2 = Apath.extend tbl p2 (Apath.Field "s.f") in
+  Alcotest.(check bool) "extended same handle" true (Apath.equal q1 q2);
+  Alcotest.(check bool) "distinct accessors distinct" false
+    (Apath.equal q1 (Apath.extend tbl p1 Apath.Index))
+
+let base_interning_by_identity () =
+  let tbl = Apath.create_table () in
+  let v = mk_var 7 "x" () in
+  let b1 = Apath.mk_base tbl (Apath.Bvar v) ~singular:true in
+  let b2 = Apath.mk_base tbl (Apath.Bvar v) ~singular:false in
+  Alcotest.(check int) "same base (first singular flag wins)" b1.Apath.bid b2.Apath.bid;
+  Alcotest.(check bool) "kept singular" true b1.Apath.bsingular
+
+let dom_prefix_rule () =
+  with_table @@ fun tbl gbase hbase ->
+  let g = Apath.of_base tbl gbase in
+  let gf = Apath.extend tbl g (Apath.Field "s.f") in
+  let gfi = Apath.extend tbl gf Apath.Index in
+  let h = Apath.of_base tbl hbase in
+  Alcotest.(check bool) "g dom g.f" true (Apath.dom g gf);
+  Alcotest.(check bool) "g dom g.f[*]" true (Apath.dom g gfi);
+  Alcotest.(check bool) "g.f dom g.f" true (Apath.dom gf gf);
+  Alcotest.(check bool) "g.f !dom g" false (Apath.dom gf g);
+  Alcotest.(check bool) "different roots never dom" false (Apath.dom g h);
+  Alcotest.(check bool) "offset root differs from location" false
+    (Apath.dom (Apath.empty_offset tbl) g)
+
+let strong_dom_rules () =
+  with_table @@ fun tbl gbase hbase ->
+  let g = Apath.of_base tbl gbase in
+  let gf = Apath.extend tbl g (Apath.Field "s.f") in
+  let gi = Apath.extend tbl g Apath.Index in
+  let gif = Apath.extend tbl gi (Apath.Field "s.f") in
+  let h = Apath.of_base tbl hbase in
+  Alcotest.(check bool) "singular field path strong" true (Apath.strong_dom gf gf);
+  Alcotest.(check bool) "prefix strong" true (Apath.strong_dom g gf);
+  Alcotest.(check bool) "array accessor blocks strong" false (Apath.strong_dom gi gi);
+  Alcotest.(check bool) "array anywhere blocks strong" false (Apath.strong_dom gif gif);
+  Alcotest.(check bool) "heap base never strong" false (Apath.strong_dom h h);
+  Alcotest.(check bool) "strong implies dom" true
+    ((not (Apath.strong_dom g gf)) || Apath.dom g gf)
+
+let append_subtract_roundtrip () =
+  with_table @@ fun tbl gbase _ ->
+  let g = Apath.of_base tbl gbase in
+  let off =
+    Apath.extend tbl (Apath.extend tbl (Apath.empty_offset tbl) (Apath.Field "s.a")) Apath.Index
+  in
+  let appended = Apath.append tbl g off in
+  (match Apath.subtract tbl appended g with
+  | Some back -> Alcotest.(check bool) "round trip" true (Apath.equal back off)
+  | None -> Alcotest.fail "subtract failed");
+  (* subtract of non-prefix *)
+  let gf = Apath.extend tbl g (Apath.Field "s.b") in
+  Alcotest.(check bool) "non-prefix subtract" true (Apath.subtract tbl g gf = None)
+
+let append_requires_offset () =
+  with_table @@ fun tbl gbase hbase ->
+  let g = Apath.of_base tbl gbase in
+  let h = Apath.of_base tbl hbase in
+  Alcotest.check_raises "append location"
+    (Invalid_argument "Apath.append: second argument must be an offset")
+    (fun () -> ignore (Apath.append tbl g h))
+
+let truncation () =
+  with_table @@ fun tbl gbase _ ->
+  let g = Apath.of_base tbl gbase in
+  let deep = ref g in
+  for i = 0 to Apath.max_depth + 3 do
+    deep := Apath.extend tbl !deep (Apath.Field (Printf.sprintf "s.f%d" i))
+  done;
+  Alcotest.(check bool) "truncated flag" true !deep.Apath.ptruncated;
+  Alcotest.(check int) "depth capped" Apath.max_depth (List.length !deep.Apath.paccs);
+  (* truncated paths are never strongly updateable *)
+  Alcotest.(check bool) "not strong" false (Apath.strongly_updateable !deep);
+  (* a truncated path doms its extensions in both directions *)
+  let ext = Apath.extend tbl !deep (Apath.Field "s.g") in
+  Alcotest.(check bool) "extending truncated is identity" true (Apath.equal ext !deep)
+
+let union_members_share_accessor () =
+  let comps = Hashtbl.create 4 in
+  let acc_a = Apath.field_accessor comps Ctype.Union "u" "a" in
+  let acc_b = Apath.field_accessor comps Ctype.Union "u" "b" in
+  Alcotest.(check bool) "union members collide" true (acc_a = acc_b);
+  let sa = Apath.field_accessor comps Ctype.Struct "s" "a" in
+  let sb = Apath.field_accessor comps Ctype.Struct "s" "b" in
+  Alcotest.(check bool) "struct members distinct" false (sa = sb);
+  let s2a = Apath.field_accessor comps Ctype.Struct "s2" "a" in
+  Alcotest.(check bool) "same field name, different tag" false (sa = s2a)
+
+(* ---- qcheck laws ------------------------------------------------------------------ *)
+
+(* generator for random paths over a fixed base set *)
+let arbitrary_ops =
+  QCheck.make
+    QCheck.Gen.(
+      list_size (int_bound 6)
+        (oneof [ return `Index; map (fun i -> `Field i) (int_bound 3) ]))
+
+let build_path tbl base ops =
+  List.fold_left
+    (fun p op ->
+      match op with
+      | `Index -> Apath.extend tbl p Apath.Index
+      | `Field i -> Apath.extend tbl p (Apath.Field (Printf.sprintf "s.f%d" i)))
+    (Apath.of_base tbl base) ops
+
+let law_dom_reflexive =
+  QCheck.Test.make ~name:"dom is reflexive" ~count:200 arbitrary_ops (fun ops ->
+      with_table @@ fun tbl gbase _ ->
+      let p = build_path tbl gbase ops in
+      Apath.dom p p)
+
+let law_dom_transitive =
+  QCheck.Test.make ~name:"dom is transitive on a chain" ~count:200
+    (QCheck.triple arbitrary_ops arbitrary_ops arbitrary_ops)
+    (fun (a, b, c) ->
+      with_table @@ fun tbl gbase _ ->
+      let p = build_path tbl gbase a in
+      let q = build_path tbl gbase (a @ b) in
+      let r = build_path tbl gbase (a @ b @ c) in
+      (* p prefix of q prefix of r *)
+      Apath.dom p q && Apath.dom q r && Apath.dom p r)
+
+let law_append_assoc_with_extend =
+  QCheck.Test.make ~name:"append = iterated extend" ~count:200
+    (QCheck.pair arbitrary_ops arbitrary_ops)
+    (fun (a, b) ->
+      with_table @@ fun tbl gbase _ ->
+      let base_path = build_path tbl gbase a in
+      let off =
+        List.fold_left
+          (fun p op ->
+            match op with
+            | `Index -> Apath.extend tbl p Apath.Index
+            | `Field i -> Apath.extend tbl p (Apath.Field (Printf.sprintf "s.f%d" i)))
+          (Apath.empty_offset tbl) b
+      in
+      let via_append = Apath.append tbl base_path off in
+      let via_extend = build_path tbl gbase (a @ b) in
+      Apath.equal via_append via_extend)
+
+let law_subtract_inverts_append =
+  QCheck.Test.make ~name:"subtract inverts append (untruncated)" ~count:200
+    (QCheck.pair arbitrary_ops arbitrary_ops)
+    (fun (a, b) ->
+      with_table @@ fun tbl gbase _ ->
+      let p = build_path tbl gbase a in
+      let off =
+        List.fold_left
+          (fun acc op ->
+            match op with
+            | `Index -> Apath.extend tbl acc Apath.Index
+            | `Field i -> Apath.extend tbl acc (Apath.Field (Printf.sprintf "s.f%d" i)))
+          (Apath.empty_offset tbl) b
+      in
+      let q = Apath.append tbl p off in
+      if p.Apath.ptruncated || q.Apath.ptruncated then true
+      else
+        match Apath.subtract tbl q p with
+        | Some back -> Apath.equal back off
+        | None -> false)
+
+let law_strong_dom_implies_dom =
+  QCheck.Test.make ~name:"strong_dom implies dom" ~count:400
+    (QCheck.pair arbitrary_ops arbitrary_ops)
+    (fun (a, b) ->
+      with_table @@ fun tbl gbase hbase ->
+      let base = if List.length a mod 2 = 0 then gbase else hbase in
+      let p = build_path tbl base a in
+      let q = build_path tbl base b in
+      (not (Apath.strong_dom p q)) || Apath.dom p q)
+
+let tests =
+  [
+    Alcotest.test_case "interning stability" `Quick interning_is_stable;
+    Alcotest.test_case "base identity" `Quick base_interning_by_identity;
+    Alcotest.test_case "dom prefix rule" `Quick dom_prefix_rule;
+    Alcotest.test_case "strong_dom rules" `Quick strong_dom_rules;
+    Alcotest.test_case "append/subtract roundtrip" `Quick append_subtract_roundtrip;
+    Alcotest.test_case "append requires offset" `Quick append_requires_offset;
+    Alcotest.test_case "truncation" `Quick truncation;
+    Alcotest.test_case "union accessors" `Quick union_members_share_accessor;
+    QCheck_alcotest.to_alcotest law_dom_reflexive;
+    QCheck_alcotest.to_alcotest law_dom_transitive;
+    QCheck_alcotest.to_alcotest law_append_assoc_with_extend;
+    QCheck_alcotest.to_alcotest law_subtract_inverts_append;
+    QCheck_alcotest.to_alcotest law_strong_dom_implies_dom;
+  ]

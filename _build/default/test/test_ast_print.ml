@@ -1,0 +1,128 @@
+(* AST printer tests: declarator reconstruction, print/parse fixpoint,
+   and semantic preservation through a print/reparse round. *)
+
+let check_decl msg expected t name =
+  Alcotest.(check string) msg expected (Ast_print.decl_string t name)
+
+let declarators () =
+  let open Ctype in
+  check_decl "scalar" "int x" int_t "x";
+  check_decl "pointer" "int *p" (Ptr int_t) "p";
+  check_decl "double pointer" "int **pp" (Ptr (Ptr int_t)) "pp";
+  check_decl "array" "int a[4]" (Array (int_t, Some 4)) "a";
+  check_decl "array of pointers" "int *a[4]" (Array (Ptr int_t, Some 4)) "a";
+  check_decl "pointer to array" "int (*pa)[4]" (Ptr (Array (int_t, Some 4))) "pa";
+  check_decl "function" "int f(void)"
+    (Func { ret = int_t; params = []; variadic = false })
+    "f";
+  check_decl "function pointer" "int (*fp)(int x, char *s)"
+    (Ptr
+       (Func
+          {
+            ret = int_t;
+            params = [ (Some "x", int_t); (Some "s", char_ptr) ];
+            variadic = false;
+          }))
+    "fp";
+  check_decl "variadic" "int printf(char *fmt, ...)"
+    (Func { ret = int_t; params = [ (Some "fmt", char_ptr) ]; variadic = true })
+    "printf";
+  check_decl "array of function pointers" "int (*tab[3])(int)"
+    (Array (Ptr (Func { ret = int_t; params = [ (None, int_t) ]; variadic = false }), Some 3))
+    "tab";
+  check_decl "struct" "struct s v" (Comp (Struct, "s")) "v";
+  check_decl "abstract pointer" "int *" (Ptr int_t) ""
+
+let parse src = Parser.parse ~file:"p.c" (Preproc.run ~file:"p.c" src)
+
+let roundtrip_declarations () =
+  (* everything the parser accepts must print back to something it
+     accepts again, with the same meaning *)
+  let decls =
+    [
+      "int x;"; "int *p;"; "int a[3];"; "int (*f)(int, int);";
+      "struct s { int a; struct s *next; };";
+      "typedef struct s2 { int v; } s2_t;";
+      "union u { int i; char c; };";
+      "enum color { RED, GREEN = 5 };";
+      "char *names[4];";
+      "int (*dispatch[2])(char *);";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let printed = Ast_print.program (parse src) in
+      match parse printed with
+      | _ -> ()
+      | exception Srcloc.Error (_, m) ->
+        Alcotest.fail (Printf.sprintf "reparse of %S failed: %s (printed %S)" src m printed))
+    decls
+
+let fixpoint_after_one_round () =
+  let srcs =
+    [
+      "int f(int n) { if (n > 1) return n * f(n - 1); return 1; }";
+      "int main(void) { int i; int s; s = 0; for (i = 0; i < 4; i++) s += i; return s; }";
+      "int g; int main(void) { switch (g) { case 0: g = 1; break; default: g = 2; } return g; }";
+      "int main(void) { int a; a = 1 ? 2 : 3; do a--; while (a > 0); return a; }";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let p1 = Ast_print.program (parse src) in
+      let p2 = Ast_print.program (parse p1) in
+      Alcotest.(check string) "fixpoint" p1 p2)
+    srcs
+
+let fixpoint_on_benchmarks () =
+  List.iter
+    (fun e ->
+      let src = Suite.source e in
+      let p1 = Ast_print.program (parse src) in
+      let p2 = Ast_print.program (parse p1) in
+      if p1 <> p2 then
+        Alcotest.fail (e.Suite.profile.Profile.name ^ ": printer is not a fixpoint"))
+    Suite.benchmarks
+
+let semantics_preserved () =
+  (* a print/reparse round must not change the program's behaviour *)
+  List.iter
+    (fun e ->
+      let name = e.Suite.profile.Profile.name in
+      let src = Suite.source e in
+      let printed = Ast_print.program (parse src) in
+      let run s = (Interp.run ~fuel:1_000_000 (Norm.compile ~file:"r.c" s)).Interp.outcome in
+      let a = run src and b = run printed in
+      if a <> b then Alcotest.fail (name ^ ": outcome changed by print/reparse"))
+    [ Option.get (Suite.find "allroots"); Option.get (Suite.find "backprop");
+      Option.get (Suite.find "part") ]
+
+let analysis_preserved () =
+  (* ... nor the analysis results at indirect operations *)
+  let e = Option.get (Suite.find "allroots") in
+  let src = Suite.source e in
+  let printed = Ast_print.program (parse src) in
+  let summarize s =
+    let g = Vdg_build.build (Norm.compile ~file:"r.c" s) in
+    let ci = Ci_solver.solve g in
+    List.map
+      (fun ((n : Vdg.node), rw) ->
+        ( (match rw with `Read -> "R" | `Write -> "W"),
+          n.Vdg.nfun,
+          List.sort compare
+            (List.map Apath.to_string (Ci_solver.referenced_locations ci n.Vdg.nid)) ))
+      (Vdg.indirect_memops g)
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "same indirect-op summary" true
+    (summarize src = summarize printed)
+
+let tests =
+  [
+    Alcotest.test_case "declarators" `Quick declarators;
+    Alcotest.test_case "declaration roundtrips" `Quick roundtrip_declarations;
+    Alcotest.test_case "fixpoint (small)" `Quick fixpoint_after_one_round;
+    Alcotest.test_case "fixpoint (benchmarks)" `Slow fixpoint_on_benchmarks;
+    Alcotest.test_case "semantics preserved" `Slow semantics_preserved;
+    Alcotest.test_case "analysis preserved" `Slow analysis_preserved;
+  ]

@@ -1,0 +1,179 @@
+(* Flow-insensitive baseline tests: Andersen inclusion vs Steensgaard
+   unification, and the precision ordering between them. *)
+
+let compile src = Norm.compile ~file:"b.c" src
+
+let var_of prog fname vname =
+  let fd = Option.get (Sil.find_function prog fname) in
+  List.find (fun v -> v.Sil.vname = vname) (fd.Sil.fd_formals @ fd.Sil.fd_locals)
+
+let global_of prog vname = List.find (fun v -> v.Sil.vname = vname) prog.Sil.p_globals
+
+let names locs = List.sort compare (List.map Absloc.to_string locs)
+
+let andersen_basic () =
+  let prog = compile "int x; int y; int main(void) { int *p; p = &x; p = &y; return *p; }" in
+  let a = Andersen.analyze prog in
+  let p = var_of prog "main" "p" in
+  (* flow-insensitive: both targets, no killing *)
+  Alcotest.(check (list string)) "both targets" [ "x"; "y" ]
+    (names (Andersen.points_to_var a p))
+
+let andersen_deref_assign () =
+  let prog =
+    compile
+      "int x; int main(void) { int *p; int **pp; p = &x; pp = &p; **pp = 1; return 0; }"
+  in
+  let a = Andersen.analyze prog in
+  let pp = var_of prog "main" "pp" in
+  Alcotest.(check (list string)) "pp -> p" [ "p" ] (names (Andersen.points_to_var a pp))
+
+let andersen_store_constraint () =
+  let prog =
+    compile
+      "int x; int main(void) { int *p; int **pp; int *q; p = &x; pp = &p; *pp = p; q = *pp; return *q; }"
+  in
+  let a = Andersen.analyze prog in
+  let q = var_of prog "main" "q" in
+  Alcotest.(check (list string)) "load through pp" [ "x" ]
+    (names (Andersen.points_to_var a q))
+
+let andersen_interprocedural () =
+  let prog =
+    compile
+      "int a; int b;\n\
+       int *id(int *p) { return p; }\n\
+       int main(void) { int *x = id(&a); int *y = id(&b); return *x + *y; }"
+  in
+  let an = Andersen.analyze prog in
+  let x = var_of prog "main" "x" in
+  (* context-insensitive AND flow-insensitive: everything merges *)
+  Alcotest.(check (list string)) "merged" [ "a"; "b" ] (names (Andersen.points_to_var an x))
+
+let andersen_heap_and_strings () =
+  let prog =
+    compile
+      "int main(void) { int *h = (int *)malloc(4); char *s = \"lit\"; return *h; }"
+  in
+  let a = Andersen.analyze prog in
+  let h = var_of prog "main" "h" in
+  let s = var_of prog "main" "s" in
+  Alcotest.(check (list string)) "heap site" [ "heap@0" ] (names (Andersen.points_to_var a h));
+  Alcotest.(check (list string)) "string" [ "str#0" ] (names (Andersen.points_to_var a s))
+
+let andersen_function_pointers () =
+  let prog =
+    compile
+      "int f(int n) { return n; } int g(int n) { return n + 1; }\n\
+       int main(int argc, char **argv) { int (*fp)(int); if (argc) fp = f; else fp = g; return fp(1); }"
+  in
+  let a = Andersen.analyze prog in
+  let fp = var_of prog "main" "fp" in
+  Alcotest.(check (list string)) "both functions" [ "fun:f"; "fun:g" ]
+    (names (Andersen.points_to_var a fp))
+
+let andersen_indirect_call_wiring () =
+  (* arguments must flow through indirect calls *)
+  let prog =
+    compile
+      "int x;\n\
+       int *id(int *p) { return p; }\n\
+       int main(void) { int *(*fp)(int *); int *r; fp = id; r = fp(&x); return *r; }"
+  in
+  let a = Andersen.analyze prog in
+  let r = var_of prog "main" "r" in
+  Alcotest.(check (list string)) "through indirect call" [ "x" ]
+    (names (Andersen.points_to_var a r))
+
+let steensgaard_unifies () =
+  let prog =
+    compile
+      "int x; int y; int main(void) { int *p; int *q; p = &x; q = &y; p = q; return *p; }"
+  in
+  let s = Steensgaard.analyze prog in
+  let p = var_of prog "main" "p" in
+  let q = var_of prog "main" "q" in
+  (* p = q unifies the pointees: both now point to {x, y} *)
+  Alcotest.(check (list string)) "p sees both" [ "x"; "y" ]
+    (names (Steensgaard.points_to_var s p));
+  Alcotest.(check (list string)) "q sees both too" [ "x"; "y" ]
+    (names (Steensgaard.points_to_var s q))
+
+let andersen_keeps_direction () =
+  (* the same program under Andersen: q = p direction matters *)
+  let prog =
+    compile
+      "int x; int y; int main(void) { int *p; int *q; p = &x; q = &y; p = q; return *p; }"
+  in
+  let a = Andersen.analyze prog in
+  let p = var_of prog "main" "p" in
+  let q = var_of prog "main" "q" in
+  Alcotest.(check (list string)) "p gets both" [ "x"; "y" ]
+    (names (Andersen.points_to_var a p));
+  Alcotest.(check (list string)) "q only y" [ "y" ] (names (Andersen.points_to_var a q))
+
+let steensgaard_coarser_than_andersen () =
+  (* on every program, Andersen's solution is contained in Steensgaard's *)
+  let srcs =
+    [
+      "int x; int y; int main(void) { int *p; int *q; p = &x; q = &y; p = q; return *p; }";
+      "int a; int b; int *id(int *p) { return p; }\n\
+       int main(void) { int *u = id(&a); int *v = id(&b); return *u + *v; }";
+      "int g; int main(void) { int **pp; int *p; p = &g; pp = &p; **pp = 2; return 0; }";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let prog = compile src in
+      let a = Andersen.analyze prog in
+      let s = Steensgaard.analyze prog in
+      List.iter
+        (fun fd ->
+          List.iter
+            (fun v ->
+              if Ctype.is_pointer v.Sil.vtype then begin
+                let al = names (Andersen.points_to_var a v) in
+                let sl = names (Steensgaard.points_to_var s v) in
+                List.iter
+                  (fun l ->
+                    if not (List.mem l sl) then
+                      Alcotest.fail
+                        (Printf.sprintf "%s in Andersen(%s) but not Steensgaard" l
+                           v.Sil.vname))
+                  al
+              end)
+            (fd.Sil.fd_formals @ fd.Sil.fd_locals))
+        prog.Sil.p_functions)
+    srcs
+
+let memops_recorded () =
+  let prog = compile "int x; int main(void) { int *p; p = &x; *p = 1; return *p; }" in
+  let a = Andersen.analyze prog in
+  let ops = Andersen.memops a in
+  Alcotest.(check int) "two derefs" 2 (List.length ops);
+  List.iter
+    (fun (_, _, locs) ->
+      Alcotest.(check (list string)) "deref hits x" [ "x" ] (names locs))
+    ops
+
+let globals_absloc () =
+  let prog = compile "int g; int *gp; int main(void) { gp = &g; return *gp; }" in
+  let a = Andersen.analyze prog in
+  let gp = global_of prog "gp" in
+  Alcotest.(check (list string)) "gp -> g" [ "g" ] (names (Andersen.points_to_var a gp))
+
+let tests =
+  [
+    Alcotest.test_case "andersen basics" `Quick andersen_basic;
+    Alcotest.test_case "andersen deref assign" `Quick andersen_deref_assign;
+    Alcotest.test_case "andersen store/load" `Quick andersen_store_constraint;
+    Alcotest.test_case "andersen interprocedural" `Quick andersen_interprocedural;
+    Alcotest.test_case "andersen heap/strings" `Quick andersen_heap_and_strings;
+    Alcotest.test_case "andersen function ptrs" `Quick andersen_function_pointers;
+    Alcotest.test_case "andersen indirect wiring" `Quick andersen_indirect_call_wiring;
+    Alcotest.test_case "steensgaard unification" `Quick steensgaard_unifies;
+    Alcotest.test_case "andersen directionality" `Quick andersen_keeps_direction;
+    Alcotest.test_case "precision ordering" `Quick steensgaard_coarser_than_andersen;
+    Alcotest.test_case "memop recording" `Quick memops_recorded;
+    Alcotest.test_case "global cells" `Quick globals_absloc;
+  ]

@@ -1,0 +1,176 @@
+(* CFG and dominator tests: hand-built graphs with known dominator trees,
+   plus qcheck properties on random CFGs against a reference dominator
+   computation. *)
+
+(* classic diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+let diamond () = Cfg.of_edges ~nblocks:4 ~entry:0 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let dom_diamond () =
+  let d = Dom.compute (diamond ()) in
+  Alcotest.(check int) "idom 1" 0 (Dom.idom d 1);
+  Alcotest.(check int) "idom 2" 0 (Dom.idom d 2);
+  Alcotest.(check int) "idom 3 is the fork" 0 (Dom.idom d 3);
+  Alcotest.(check bool) "0 dominates all" true
+    (Dom.dominates d 0 1 && Dom.dominates d 0 2 && Dom.dominates d 0 3);
+  Alcotest.(check bool) "1 does not dominate 3" false (Dom.dominates d 1 3);
+  Alcotest.(check bool) "reflexive" true (Dom.dominates d 2 2)
+
+let dom_chain () =
+  let cfg = Cfg.of_edges ~nblocks:4 ~entry:0 [ (0, 1); (1, 2); (2, 3) ] in
+  let d = Dom.compute cfg in
+  Alcotest.(check int) "idom 3" 2 (Dom.idom d 3);
+  Alcotest.(check bool) "chain dominance" true (Dom.dominates d 1 3)
+
+let dom_loop () =
+  (* 0 -> 1 (header), 1 -> 2 (body), 2 -> 1, 1 -> 3 (exit) *)
+  let cfg = Cfg.of_edges ~nblocks:4 ~entry:0 [ (0, 1); (1, 2); (2, 1); (1, 3) ] in
+  let d = Dom.compute cfg in
+  Alcotest.(check int) "header idom body" 1 (Dom.idom d 2);
+  Alcotest.(check int) "header idom exit" 1 (Dom.idom d 3);
+  (* back edge: the header is in the body's dominance frontier *)
+  Alcotest.(check (list int)) "frontier of body" [ 1 ] (Dom.dominance_frontier d 2);
+  (* the header is in its own frontier (self-loop region) *)
+  Alcotest.(check bool) "header in own frontier" true
+    (List.mem 1 (Dom.dominance_frontier d 1))
+
+let frontier_diamond () =
+  let d = Dom.compute (diamond ()) in
+  Alcotest.(check (list int)) "frontier 1" [ 3 ] (Dom.dominance_frontier d 1);
+  Alcotest.(check (list int)) "frontier 2" [ 3 ] (Dom.dominance_frontier d 2);
+  Alcotest.(check (list int)) "frontier 0" [] (Dom.dominance_frontier d 0);
+  Alcotest.(check (list int)) "frontier 3" [] (Dom.dominance_frontier d 3)
+
+let iterated_frontier_nested () =
+  (* double diamond: definitions in 1 require phis at both joins 3 and 6 *)
+  let cfg =
+    Cfg.of_edges ~nblocks:7 ~entry:0
+      [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4); (3, 5); (4, 6); (5, 6) ]
+  in
+  let d = Dom.compute cfg in
+  Alcotest.(check (list int)) "idf of {1}" [ 3 ] (Dom.iterated_frontier d [ 1 ]);
+  Alcotest.(check (list int)) "idf of {4}" [ 6 ] (Dom.iterated_frontier d [ 4 ]);
+  Alcotest.(check (list int)) "idf of {1,4}" [ 3; 6 ] (Dom.iterated_frontier d [ 1; 4 ])
+
+let dom_children_partition () =
+  let d = Dom.compute (diamond ()) in
+  Alcotest.(check (list int)) "children of 0" [ 1; 2; 3 ]
+    (List.sort compare (Dom.children d 0))
+
+let rpo_visits_once () =
+  let cfg = Cfg.of_edges ~nblocks:5 ~entry:0 [ (0, 1); (1, 2); (2, 1); (1, 3); (3, 4) ] in
+  let rpo = Cfg.reverse_postorder cfg in
+  Alcotest.(check int) "all blocks" 5 (Array.length rpo);
+  Alcotest.(check (list int)) "each once" [ 0; 1; 2; 3; 4 ]
+    (List.sort compare (Array.to_list rpo));
+  Alcotest.(check int) "entry first" 0 rpo.(0)
+
+(* ---- qcheck: random CFGs against a reference dominator computation ---------- *)
+
+(* reference: iterative set-based dominators (slow but obviously correct) *)
+let reference_dominators (cfg : Cfg.t) =
+  let n = cfg.Cfg.nblocks in
+  let all = List.init n (fun i -> i) in
+  let doms = Array.make n all in
+  doms.(cfg.Cfg.entry) <- [ cfg.Cfg.entry ];
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> cfg.Cfg.entry then begin
+          let pred_doms =
+            List.map (fun p -> doms.(p)) cfg.Cfg.preds.(b)
+          in
+          let inter =
+            match pred_doms with
+            | [] -> all
+            | first :: rest ->
+              List.fold_left (fun acc s -> List.filter (fun x -> List.mem x s) acc)
+                first rest
+          in
+          let updated = List.sort_uniq compare (b :: inter) in
+          if updated <> doms.(b) then begin
+            doms.(b) <- updated;
+            changed := true
+          end
+        end)
+      all
+  done;
+  doms
+
+(* random connected CFG: each block i>0 gets an edge from some j<i, plus
+   random extra edges (including back edges) *)
+let arbitrary_cfg =
+  QCheck.make
+    ~print:(fun (n, extra) ->
+      Printf.sprintf "n=%d extra=%s" n
+        (String.concat ","
+           (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) extra)))
+    QCheck.Gen.(
+      int_range 2 12 >>= fun n ->
+      list_size (int_bound 10) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+      >>= fun extra -> return (n, extra))
+
+let build_random_cfg (n, extra) =
+  let spine = List.init (n - 1) (fun i -> ((i + 1) / 2, i + 1)) in
+  (* the spine guarantees reachability: block i+1 is reachable from a
+     lower-numbered block *)
+  Cfg.of_edges ~nblocks:n ~entry:0 (spine @ extra)
+
+let law_dominators_match_reference =
+  QCheck.Test.make ~name:"CHK dominators match reference" ~count:300 arbitrary_cfg
+    (fun input ->
+      let cfg = build_random_cfg input in
+      let d = Dom.compute cfg in
+      let reference = reference_dominators cfg in
+      List.for_all
+        (fun b ->
+          List.for_all
+            (fun a -> Dom.dominates d a b = List.mem a reference.(b))
+            (List.init cfg.Cfg.nblocks (fun i -> i)))
+        (List.init cfg.Cfg.nblocks (fun i -> i)))
+
+let law_idom_is_strict_dominator =
+  QCheck.Test.make ~name:"idom strictly dominates (except entry)" ~count:300
+    arbitrary_cfg (fun input ->
+      let cfg = build_random_cfg input in
+      let d = Dom.compute cfg in
+      List.for_all
+        (fun b ->
+          b = cfg.Cfg.entry
+          || (Dom.idom d b <> b && Dom.dominates d (Dom.idom d b) b))
+        (List.init cfg.Cfg.nblocks (fun i -> i)))
+
+let law_frontier_definition =
+  QCheck.Test.make ~name:"dominance frontier definition" ~count:200 arbitrary_cfg
+    (fun input ->
+      let cfg = build_random_cfg input in
+      let d = Dom.compute cfg in
+      let strictly_dominates a b = a <> b && Dom.dominates d a b in
+      (* y in DF(x) iff x dominates a predecessor of y but not strictly y *)
+      List.for_all
+        (fun x ->
+          List.for_all
+            (fun y ->
+              let in_df = List.mem y (Dom.dominance_frontier d x) in
+              let expected =
+                List.exists (fun p -> Dom.dominates d x p) cfg.Cfg.preds.(y)
+                && not (strictly_dominates x y)
+              in
+              in_df = expected)
+            (List.init cfg.Cfg.nblocks (fun i -> i)))
+        (List.init cfg.Cfg.nblocks (fun i -> i)))
+
+let tests =
+  [
+    Alcotest.test_case "diamond dominators" `Quick dom_diamond;
+    Alcotest.test_case "chain dominators" `Quick dom_chain;
+    Alcotest.test_case "loop dominators" `Quick dom_loop;
+    Alcotest.test_case "diamond frontiers" `Quick frontier_diamond;
+    Alcotest.test_case "iterated frontier" `Quick iterated_frontier_nested;
+    Alcotest.test_case "dominator children" `Quick dom_children_partition;
+    Alcotest.test_case "reverse postorder" `Quick rpo_visits_once;
+    QCheck_alcotest.to_alcotest law_dominators_match_reference;
+    QCheck_alcotest.to_alcotest law_idom_is_strict_dominator;
+    QCheck_alcotest.to_alcotest law_frontier_definition;
+  ]

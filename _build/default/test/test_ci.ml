@@ -1,0 +1,334 @@
+(* Context-insensitive solver tests: exact points-to expectations on
+   crafted programs (paper, Section 3). *)
+
+type setup = { g : Vdg.t; ci : Ci_solver.t }
+
+let solve ?config src =
+  let g = Vdg_build.build (Norm.compile ~file:"ci.c" src) in
+  { g; ci = Ci_solver.solve ?config g }
+
+(* locations referenced at the [idx]-th memory op of kind [rw], in
+   program order (direct or indirect: precision tests care about the
+   solution, not the Figure 4 classification) *)
+let locs_at s rw idx =
+  let ops = List.filter (fun (_, r) -> r = rw) (Vdg.memops s.g) in
+  match List.nth_opt ops idx with
+  | Some (n, _) ->
+    List.sort compare
+      (List.map Apath.to_string (Ci_solver.referenced_locations s.ci n.Vdg.nid))
+  | None -> Alcotest.fail "no such indirect op"
+
+let all_locs s rw =
+  List.concat_map
+    (fun ((n : Vdg.node), r) ->
+      if r = rw then
+        List.map Apath.to_string (Ci_solver.referenced_locations s.ci n.Vdg.nid)
+      else [])
+    (Vdg.memops s.g)
+  |> List.sort_uniq compare
+
+let check_locs msg expected actual = Alcotest.(check (list string)) msg expected actual
+
+(* ---- basic flow ----------------------------------------------------------------- *)
+
+let single_target () =
+  let s = solve "int x; int main(void) { int *p; p = &x; *p = 1; return 0; }" in
+  check_locs "p -> x" [ "x" ] (locs_at s `Write 0)
+
+let two_targets_via_branch () =
+  let s =
+    solve
+      "int a; int b;\n\
+       int main(int argc, char **argv) { int *p; if (argc) p = &a; else p = &b; *p = 1; return 0; }"
+  in
+  check_locs "p -> a or b" [ "a"; "b" ] (locs_at s `Write 0)
+
+let flow_sensitivity_within_function () =
+  (* after reassignment, only the new target remains: strong update of an
+     SSA binding *)
+  let s =
+    solve
+      "int a; int b;\n\
+       int main(void) { int *p; p = &a; p = &b; *p = 1; return 0; }"
+  in
+  check_locs "only b" [ "b" ] (locs_at s `Write 0)
+
+let strong_update_through_store () =
+  (* pointer stored in a global cell, overwritten: the old target must be
+     strongly updated away (gp is a singular global) *)
+  let s =
+    solve
+      "int a; int b; int *gp;\n\
+       int main(void) { gp = &a; gp = &b; *gp = 1; return 0; }"
+  in
+  (* writes 0/1 set gp itself; write 2 is *gp *)
+  check_locs "strong update kills a" [ "b" ] (locs_at s `Write 2)
+
+let weak_update_on_heap () =
+  (* heap cells are never strongly updated: both stores accumulate *)
+  let s =
+    solve
+      {|int a; int b;
+        int main(void) {
+          int **cell = (int **)malloc(8);
+          *cell = &a;
+          *cell = &b;
+          **cell = 1;
+          return 0;
+        }|}
+  in
+  (* the **cell write sees both a and b (weak heap update) *)
+  check_locs "weak update keeps both" [ "a"; "b" ] (locs_at s `Write 2)
+
+let heap_site_naming () =
+  let s =
+    solve
+      {|typedef struct n { int v; struct n *next; } node;
+        int main(void) {
+          node *x = (node *)malloc(sizeof(node));
+          node *y = (node *)malloc(sizeof(node));
+          x->v = 1;
+          y->v = 2;
+          return 0;
+        }|}
+  in
+  check_locs "first site" [ "heap@0.n.v" ] (locs_at s `Write 0);
+  check_locs "second site" [ "heap@1.n.v" ] (locs_at s `Write 1)
+
+let field_sensitivity () =
+  let s =
+    solve
+      {|struct s { int *p; int *q; }; struct s gs; int a; int b;
+        int main(void) {
+          gs.p = &a;
+          gs.q = &b;
+          *gs.p = 1;
+          *gs.q = 2;
+          return 0;
+        }|}
+  in
+  check_locs "p field" [ "a" ] (locs_at s `Write 2);
+  check_locs "q field" [ "b" ] (locs_at s `Write 3)
+
+let union_members_alias () =
+  let s =
+    solve
+      {|union u { int *p; int *q; }; union u gu; int a;
+        int main(void) {
+          gu.p = &a;
+          *gu.q = 1;   /* reading through the other member sees the same cell */
+          return 0;
+        }|}
+  in
+  check_locs "union members alias" [ "a" ] (locs_at s `Write 1)
+
+let array_elements_collapse () =
+  let s =
+    solve
+      {|int a; int b; int *tab[4];
+        int main(void) {
+          tab[0] = &a;
+          tab[3] = &b;
+          *tab[1] = 1;   /* any element: sees both */
+          return 0;
+        }|}
+  in
+  check_locs "collapsed array" [ "a"; "b" ] (locs_at s `Write 2)
+
+let pointer_arithmetic_stays_in_array () =
+  let s =
+    solve
+      {|int arr[8];
+        int main(void) {
+          int *p = arr;
+          p = p + 3;
+          *p = 1;
+          return *(p + 1);
+        }|}
+  in
+  check_locs "write in arr" [ "arr[*]" ] (locs_at s `Write 0);
+  check_locs "read in arr" [ "arr[*]" ] (locs_at s `Read 0)
+
+(* ---- interprocedural -------------------------------------------------------------- *)
+
+let callee_merges_callers () =
+  let s =
+    solve
+      "int a; int b; void set(int *p) { *p = 1; }\n\
+       int main(void) { set(&a); set(&b); return 0; }"
+  in
+  check_locs "merged at callee" [ "a"; "b" ] (locs_at s `Write 0)
+
+let return_values_merge () =
+  let s =
+    solve
+      "int a; int b;\n\
+       int *pick(int c) { if (c) return &a; return &b; }\n\
+       int main(void) { int *p = pick(1); *p = 9; return 0; }"
+  in
+  check_locs "merged returns" [ "a"; "b" ] (locs_at s `Write 0)
+
+let globals_flow_across_calls () =
+  let s =
+    solve
+      "int x; int *gp;\n\
+       void init(void) { gp = &x; }\n\
+       int use(void) { return *gp; }\n\
+       int main(void) { init(); return use(); }"
+  in
+  (* read 0 loads gp itself; read 1 is *gp *)
+  check_locs "store threads through calls" [ "x" ] (locs_at s `Read 1)
+
+let function_pointers_resolve () =
+  let s =
+    solve
+      "int add1(int n) { return n + 1; }\n\
+       int dbl(int n) { return n * 2; }\n\
+       int main(int argc, char **argv) {\n\
+         int (*f)(int);\n\
+         if (argc) f = add1; else f = dbl;\n\
+         return f(3);\n\
+       }"
+  in
+  (* both functions become callees of the indirect call *)
+  let callee_names =
+    List.concat_map (fun c -> Ci_solver.callees s.ci c) s.g.Vdg.calls
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "resolved" [ "add1"; "dbl" ] callee_names
+
+let linked_list_traversal () =
+  let s =
+    solve
+      {|typedef struct n { int v; struct n *next; } node;
+        node *make(int v, node *t) {
+          node *x = (node *)malloc(sizeof(node));
+          x->v = v; x->next = t; return x;
+        }
+        int main(void) {
+          node *l = 0; int i; int sum; sum = 0;
+          for (i = 0; i < 5; i++) l = make(i, l);
+          while (l) { sum += l->v; l = l->next; }
+          return sum;
+        }|}
+  in
+  check_locs "all reads hit the one site" [ "heap@0.n.next"; "heap@0.n.v" ]
+    (all_locs s `Read)
+
+(* ---- extern summaries -------------------------------------------------------------- *)
+
+let strcpy_returns_first_arg () =
+  let s =
+    solve
+      {|char buf[16];
+        int main(void) {
+          char *r = strcpy(buf, "x");
+          *r = 'y';
+          return 0;
+        }|}
+  in
+  check_locs "r aliases buf" [ "buf[*]" ] (locs_at s `Write 0)
+
+let fopen_returns_external () =
+  let s =
+    solve
+      {|int main(void) {
+          int *fp = (int *)fopen("f", "r");
+          return *fp;
+        }|}
+  in
+  check_locs "FILE blob" [ "ext:FILE" ] (locs_at s `Read 0)
+
+let qsort_calls_comparator () =
+  let s =
+    solve
+      {|int tab[4];
+        int cmp(void *a, void *b) { return *(int *)a - *(int *)b; }
+        int main(void) { qsort(tab, 4, sizeof(int), cmp); return tab[0]; }|}
+  in
+  (* cmp's parameters receive pointers into tab *)
+  check_locs "comparator sees the array" [ "tab[*]" ] (locs_at s `Read 0)
+
+let unknown_extern_is_store_identity () =
+  let s =
+    solve
+      "int x; int *gp; int mystery(int n);\n\
+       int main(void) { gp = &x; mystery(3); return *gp; }"
+  in
+  check_locs "facts survive the call" [ "x" ] (locs_at s `Read 1)
+
+(* ---- strong-update ablation ---------------------------------------------------------- *)
+
+let disabling_strong_updates_only_adds () =
+  let src =
+    "int a; int b; int *gp;\n\
+     int main(void) { gp = &a; gp = &b; *gp = 1; return 0; }"
+  in
+  let strong = solve src in
+  let weak = solve ~config:{ Ci_solver.default_config with Ci_solver.strong_updates = false } src in
+  let locs s =
+    List.concat_map
+      (fun ((n : Vdg.node), _) ->
+        List.map Apath.to_string (Ci_solver.referenced_locations s.ci n.Vdg.nid))
+      (Vdg.indirect_memops s.g)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "strong: only b" [ "b" ] (locs strong);
+  Alcotest.(check (list string)) "weak: both" [ "a"; "b" ] (locs weak)
+
+let static_local_is_singular () =
+  (* a static local of a recursive function is still one runtime location,
+     so it stays strongly updateable (unlike ordinary locals there) *)
+  let s =
+    solve
+      "int a; int b;\n\
+       int walk(int n) {\n\
+         static int *cursor;\n\
+         cursor = &a;\n\
+         cursor = &b;\n\
+         *cursor = n;\n\
+         if (n) return walk(n - 1);\n\
+         return 0;\n\
+       }\n\
+       int main(void) { return walk(2); }"
+  in
+  (* the second assignment strongly updates the first away *)
+  check_locs "strong update on static" [ "b" ] (locs_at s `Write 2)
+
+(* ---- misc ------------------------------------------------------------------------------ *)
+
+let counters_positive () =
+  let s = solve "int x; int main(void) { x = 1; return x; }" in
+  Alcotest.(check bool) "transfers > 0" true (Ci_solver.flow_in_count s.ci > 0);
+  Alcotest.(check bool) "meets > 0" true (Ci_solver.flow_out_count s.ci > 0)
+
+let null_only_pointer () =
+  let s = solve "int main(void) { int *p; p = 0; if (p) *p = 1; return 0; }" in
+  check_locs "null pointer reaches nothing" [] (locs_at s `Write 0)
+
+let tests =
+  [
+    Alcotest.test_case "single target" `Quick single_target;
+    Alcotest.test_case "branch merge" `Quick two_targets_via_branch;
+    Alcotest.test_case "flow sensitivity" `Quick flow_sensitivity_within_function;
+    Alcotest.test_case "strong update" `Quick strong_update_through_store;
+    Alcotest.test_case "weak heap update" `Quick weak_update_on_heap;
+    Alcotest.test_case "heap site naming" `Quick heap_site_naming;
+    Alcotest.test_case "field sensitivity" `Quick field_sensitivity;
+    Alcotest.test_case "union aliasing" `Quick union_members_alias;
+    Alcotest.test_case "array collapse" `Quick array_elements_collapse;
+    Alcotest.test_case "pointer arithmetic" `Quick pointer_arithmetic_stays_in_array;
+    Alcotest.test_case "callee merges callers" `Quick callee_merges_callers;
+    Alcotest.test_case "return merge" `Quick return_values_merge;
+    Alcotest.test_case "store threading" `Quick globals_flow_across_calls;
+    Alcotest.test_case "function pointers" `Quick function_pointers_resolve;
+    Alcotest.test_case "linked list" `Quick linked_list_traversal;
+    Alcotest.test_case "strcpy summary" `Quick strcpy_returns_first_arg;
+    Alcotest.test_case "fopen summary" `Quick fopen_returns_external;
+    Alcotest.test_case "qsort summary" `Quick qsort_calls_comparator;
+    Alcotest.test_case "unknown extern" `Quick unknown_extern_is_store_identity;
+    Alcotest.test_case "strong update ablation" `Quick disabling_strong_updates_only_adds;
+    Alcotest.test_case "static local strong update" `Quick static_local_is_singular;
+    Alcotest.test_case "cost counters" `Quick counters_positive;
+    Alcotest.test_case "null-only pointer" `Quick null_only_pointer;
+  ]

@@ -1,0 +1,214 @@
+(* Concrete interpreter tests: arithmetic, control flow, memory model,
+   library functions, traps, observations. *)
+
+let run ?fuel src = Interp.run ?fuel (Norm.compile ~file:"i.c" src)
+
+let check_exit msg expected src =
+  match (run src).Interp.outcome with
+  | Interp.Exit code -> Alcotest.(check int64) msg expected code
+  | Interp.Out_of_fuel -> Alcotest.fail "out of fuel"
+  | Interp.Trap m -> Alcotest.fail ("trap: " ^ m)
+
+let check_trap msg src =
+  match (run src).Interp.outcome with
+  | Interp.Trap _ -> ()
+  | Interp.Exit _ -> Alcotest.fail ("expected trap: " ^ msg)
+  | Interp.Out_of_fuel -> Alcotest.fail "out of fuel"
+
+let arithmetic () =
+  check_exit "add" 7L "int main(void) { return 3 + 4; }";
+  check_exit "precedence" 7L "int main(void) { return 1 + 2 * 3; }";
+  check_exit "division" 3L "int main(void) { return 10 / 3; }";
+  check_exit "modulo" 1L "int main(void) { return 10 % 3; }";
+  check_exit "shifts" 20L "int main(void) { return (5 << 3) >> 1; }";
+  check_exit "bitops" 6L "int main(void) { return (3 | 4) & ~1; }";
+  check_exit "comparison" 1L "int main(void) { return 3 < 4; }";
+  check_exit "negation" 1L "int main(void) { return !0; }"
+
+let control_flow () =
+  check_exit "if" 1L "int main(void) { if (2 > 1) return 1; return 2; }";
+  check_exit "while" 10L
+    "int main(void) { int i; int s; i = 0; s = 0; while (i < 5) { s += i; i++; } return s; }";
+  check_exit "do-while" 1L "int main(void) { int i; i = 0; do i++; while (i < 1); return i; }";
+  check_exit "for" 6L "int main(void) { int i; int s; s = 0; for (i = 1; i <= 3; i++) s += i; return s; }";
+  check_exit "break" 3L "int main(void) { int i; for (i = 0; i < 10; i++) if (i == 3) break; return i; }";
+  check_exit "continue" 4L
+    "int main(void) { int i; int n; n = 0; for (i = 0; i < 6; i++) { if (i == 2 || i == 4) continue; n++; } return n; }";
+  check_exit "switch fallthrough" 5L
+    "int main(void) { int r; r = 0; switch (1) { case 0: r += 100; case 1: r += 2; case 2: r += 3; break; default: r += 50; } return r; }";
+  check_exit "short circuit" 1L
+    "int g; int bomb(void) { g = 99; return 1; } int main(void) { int r = 0 && bomb(); return g == 0 && r == 0; }"
+
+let functions_and_recursion () =
+  check_exit "call" 9L "int sq(int n) { return n * n; } int main(void) { return sq(3); }";
+  check_exit "recursion" 120L
+    "int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }\n\
+     int main(void) { return fact(5); }";
+  check_exit "mutual" 1L
+    "int odd(int n);\n\
+     int even(int n) { if (n == 0) return 1; return odd(n - 1); }\n\
+     int odd(int n) { if (n == 0) return 0; return even(n - 1); }\n\
+     int main(void) { return even(10); }";
+  check_exit "function pointer" 8L
+    "int dbl(int n) { return 2 * n; } int main(void) { int (*f)(int) = dbl; return f(4); }"
+
+let memory_model () =
+  check_exit "pointer write" 5L
+    "int main(void) { int x; int *p; x = 1; p = &x; *p = 5; return x; }";
+  check_exit "global zero init" 0L "int g; int main(void) { return g; }";
+  check_exit "global initializer" 42L "int g = 42; int main(void) { return g; }";
+  check_exit "pointer global init" 7L
+    "int x = 7; int *p = &x; int main(void) { return *p; }";
+  check_exit "array" 6L
+    "int main(void) { int a[3]; int i; int s; s = 0; for (i = 0; i < 3; i++) a[i] = i + 1; for (i = 0; i < 3; i++) s += a[i]; return s; }";
+  check_exit "struct" 3L
+    "struct p { int x; int y; }; int main(void) { struct p v; v.x = 1; v.y = 2; return v.x + v.y; }";
+  check_exit "struct copy semantics" 1L
+    "struct p { int x; }; int main(void) { struct p a; struct p b; a.x = 1; b = a; a.x = 9; return b.x; }";
+  check_exit "pointer arithmetic" 30L
+    "int main(void) { int a[4]; int *p; a[2] = 30; p = a; return *(p + 2); }"
+
+let heap () =
+  check_exit "malloc scalar" 11L
+    "int main(void) { int *p = (int *)malloc(sizeof(int)); *p = 11; return *p; }";
+  check_exit "linked list" 10L
+    {|typedef struct n { int v; struct n *next; } node;
+      int main(void) {
+        node *l = 0; int i; int s; s = 0;
+        for (i = 1; i <= 4; i++) {
+          node *x = (node *)malloc(sizeof(node));
+          x->v = i; x->next = l; l = x;
+        }
+        while (l) { s += l->v; l = l->next; }
+        return s;
+      }|};
+  check_exit "heap array" 9L
+    "int main(void) { int *a = (int *)malloc(10 * sizeof(int)); a[4] = 9; return a[4]; }"
+
+let library_functions () =
+  check_exit "strlen" 5L "int main(void) { return (int)strlen(\"hello\"); }";
+  check_exit "strcpy" 2L
+    "int main(void) { char b[8]; strcpy(b, \"hi\"); return (int)strlen(b); }";
+  check_exit "strcmp" 0L "int main(void) { return strcmp(\"ab\", \"ab\"); }";
+  check_exit "atoi" 123L "int main(void) { return atoi(\"123\"); }";
+  check_exit "abs" 5L "int main(void) { return abs(-5); }";
+  check_exit "exit" 3L "int main(void) { exit(3); return 0; }";
+  check_exit "qsort" 1L
+    {|int tab[4];
+      int cmp(void *a, void *b) { return *(int *)a - *(int *)b; }
+      int main(void) {
+        tab[0] = 9; tab[1] = 1; tab[2] = 7; tab[3] = 3;
+        qsort(tab, 4, sizeof(int), cmp);
+        return tab[0] == 1 && tab[1] == 3 && tab[2] == 7 && tab[3] == 9;
+      }|}
+
+let string_search_functions () =
+  check_exit "strchr found" 1L
+    "int main(void) { char *s = \"hello\"; char *p = strchr(s, 'e'); return p != 0 && *p == 'e'; }";
+  check_exit "strchr missing is null" 1L
+    "int main(void) { char *p = strchr(\"abc\", 'z'); return p == 0; }";
+  check_exit "strrchr finds last" 1L
+    "int main(void) { char *p = strrchr(\"abcb\", 'b'); return *(p + 1) == 0; }";
+  check_exit "strstr" 1L
+    "int main(void) { char *p = strstr(\"foobar\", \"bar\"); return p != 0 && *p == 'b'; }";
+  check_exit "memset" 0L
+    "int main(void) { int a[4]; memset(a, 0, 4); return a[0] + a[1] + a[2] + a[3]; }";
+  check_exit "memcpy" 6L
+    "int main(void) { int a[3]; int b[3]; a[0]=1; a[1]=2; a[2]=3; memcpy(b, a, 3); return b[0]+b[1]+b[2]; }"
+
+let output_capture () =
+  let r = run "int main(void) { puts(\"hello\"); putchar('!'); return 0; }" in
+  Alcotest.(check string) "captured" "hello\n!" r.Interp.output
+
+let traps () =
+  check_trap "null deref" "int main(void) { int *p; p = 0; return *p; }";
+  check_trap "uninitialized deref" "int main(void) { int *p; return *p; }";
+  check_trap "out of bounds" "int main(void) { int a[2]; return a[5]; }";
+  check_trap "division by zero" "int main(void) { int z; z = 0; return 1 / z; }";
+  check_trap "uninitialized read" "int main(void) { int x; return x + 1; }";
+  check_trap "abort" "int main(void) { abort(); return 0; }"
+
+let fuel_exhaustion () =
+  match (run ~fuel:100 "int main(void) { while (1) ; return 0; }").Interp.outcome with
+  | Interp.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let observations_recorded () =
+  let r =
+    run
+      "int x; int main(void) { int *p; p = &x; *p = 3; return *p; }"
+  in
+  (* at least the write and read through p *)
+  let writes =
+    List.filter (fun ob -> ob.Interp.ob_rw = `Write) r.Interp.observations
+  in
+  let reads = List.filter (fun ob -> ob.Interp.ob_rw = `Read) r.Interp.observations in
+  Alcotest.(check bool) "has write obs" true (List.length writes >= 1);
+  Alcotest.(check bool) "has read obs" true (List.length reads >= 1);
+  List.iter
+    (fun ob ->
+      match ob.Interp.ob_base with
+      | Interp.Ob_var v -> Alcotest.(check string) "on x" "x" v.Sil.vname
+      | _ -> Alcotest.fail "expected variable base")
+    (writes @ reads)
+
+let observation_paths_match_analysis_vocabulary () =
+  let prog =
+    Norm.compile ~file:"i.c"
+      {|typedef struct n { int v; struct n *next; } node;
+        int main(void) {
+          node *x = (node *)malloc(sizeof(node));
+          x->v = 1;
+          return x->v;
+        }|}
+  in
+  let r = Interp.run prog in
+  let g = Vdg_build.build prog in
+  let paths =
+    List.filter_map (fun ob -> Interp.observed_apath g.Vdg.tbl ob) r.Interp.observations
+    |> List.map Apath.to_string
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "heap paths" [ "heap@0.n.v" ] paths
+
+let deterministic_runs () =
+  let src =
+    "int main(void) { int i; int s; s = 0; srand(7); for (i = 0; i < 5; i++) s += rand() % 10; return s; }"
+  in
+  let a = run src and b = run src in
+  Alcotest.(check bool) "same outcome" true (a.Interp.outcome = b.Interp.outcome)
+
+let static_local_semantics () =
+  (* the static retains its value across calls and is initialized once *)
+  check_exit "static counter" 3L
+    "int counter(void) { static int n; n = n + 1; return n; }\n\
+     int main(void) { counter(); counter(); return counter(); }";
+  check_exit "static with initializer" 42L
+    "int tick(void) { static int base = 40; base = base + 1; return base; }\n\
+     int main(void) { tick(); return tick(); }";
+  check_exit "static in recursion is shared" 4L
+    "int deep(int n) { static int hits; hits = hits + 1; if (n) return deep(n - 1); return hits; }\n\
+     int main(void) { return deep(3); }"
+
+let union_type_punning () =
+  check_exit "union member" 9L
+    "union u { int i; char c; }; int main(void) { union u v; v.i = 9; return v.i; }"
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick arithmetic;
+    Alcotest.test_case "control flow" `Quick control_flow;
+    Alcotest.test_case "functions/recursion" `Quick functions_and_recursion;
+    Alcotest.test_case "memory model" `Quick memory_model;
+    Alcotest.test_case "heap" `Quick heap;
+    Alcotest.test_case "library functions" `Quick library_functions;
+    Alcotest.test_case "string search fns" `Quick string_search_functions;
+    Alcotest.test_case "output capture" `Quick output_capture;
+    Alcotest.test_case "traps" `Quick traps;
+    Alcotest.test_case "fuel" `Quick fuel_exhaustion;
+    Alcotest.test_case "observations" `Quick observations_recorded;
+    Alcotest.test_case "observation vocabulary" `Quick observation_paths_match_analysis_vocabulary;
+    Alcotest.test_case "determinism" `Quick deterministic_runs;
+    Alcotest.test_case "static locals" `Quick static_local_semantics;
+    Alcotest.test_case "unions" `Quick union_type_punning;
+  ]

@@ -1,0 +1,114 @@
+(* Lexer tests: token streams, positions, literals, comments, errors. *)
+
+let toks src = List.map (fun t -> t.Token.kind) (Lexer.tokenize ~file:"t.c" src)
+
+let kind_list =
+  Alcotest.testable
+    (fun ppf ks ->
+      Format.fprintf ppf "[%s]" (String.concat "; " (List.map Token.to_string ks)))
+    ( = )
+
+let check_toks msg expected src =
+  Alcotest.check kind_list msg (expected @ [ Token.Eof ]) (toks src)
+
+let keywords () =
+  check_toks "keywords"
+    [ Token.Kw_int; Token.Kw_while; Token.Kw_return; Token.Kw_struct ]
+    "int while return struct"
+
+let identifiers () =
+  check_toks "identifiers"
+    [ Token.Ident "foo"; Token.Ident "_bar"; Token.Ident "x9"; Token.Ident "intx" ]
+    "foo _bar x9 intx"
+
+let integer_literals () =
+  check_toks "decimal" [ Token.Int_lit 42L ] "42";
+  check_toks "zero" [ Token.Int_lit 0L ] "0";
+  check_toks "hex" [ Token.Int_lit 255L ] "0xff";
+  check_toks "hex upper" [ Token.Int_lit 255L ] "0XFF";
+  check_toks "suffixes" [ Token.Int_lit 7L; Token.Int_lit 8L; Token.Int_lit 9L ]
+    "7L 8u 9UL"
+
+let char_literals () =
+  check_toks "plain" [ Token.Char_lit 'a' ] "'a'";
+  check_toks "newline escape" [ Token.Char_lit '\n' ] "'\\n'";
+  check_toks "nul escape" [ Token.Char_lit '\000' ] "'\\0'";
+  check_toks "quote escape" [ Token.Char_lit '\'' ] "'\\''"
+
+let string_literals () =
+  check_toks "plain" [ Token.Str_lit "hi" ] "\"hi\"";
+  check_toks "escapes" [ Token.Str_lit "a\tb\n" ] "\"a\\tb\\n\"";
+  check_toks "adjacent concat" [ Token.Str_lit "ab" ] "\"a\" \"b\"";
+  check_toks "empty" [ Token.Str_lit "" ] "\"\""
+
+let operators () =
+  check_toks "arrows and dots"
+    [ Token.Ident "a"; Token.Arrow; Token.Ident "b"; Token.Dot; Token.Ident "c" ]
+    "a->b.c";
+  check_toks "shifts"
+    [ Token.Shl; Token.Shr; Token.Shl_assign; Token.Shr_assign ] "<< >> <<= >>=";
+  check_toks "compound assigns"
+    [ Token.Plus_assign; Token.Minus_assign; Token.Star_assign; Token.Slash_assign;
+      Token.Percent_assign; Token.Amp_assign; Token.Bar_assign; Token.Caret_assign ]
+    "+= -= *= /= %= &= |= ^=";
+  check_toks "inc dec" [ Token.Plus_plus; Token.Minus_minus ] "++ --";
+  check_toks "logic" [ Token.Amp_amp; Token.Bar_bar; Token.Bang; Token.Bang_eq ]
+    "&& || ! !=";
+  check_toks "comparisons" [ Token.Le; Token.Ge; Token.Eq_eq; Token.Lt; Token.Gt ]
+    "<= >= == < >";
+  check_toks "ellipsis" [ Token.Ellipsis; Token.Dot ] "... ."
+
+let maximal_munch () =
+  (* a+++b lexes as a ++ + b *)
+  check_toks "a+++b"
+    [ Token.Ident "a"; Token.Plus_plus; Token.Plus; Token.Ident "b" ] "a+++b"
+
+let comments_stripped () =
+  check_toks "line comment" [ Token.Int_lit 1L; Token.Int_lit 2L ] "1 // x\n2";
+  check_toks "block comment" [ Token.Int_lit 1L; Token.Int_lit 2L ] "1 /* x\ny */ 2";
+  check_toks "comment with stars" [ Token.Int_lit 3L ] "/* ** * */ 3";
+  check_toks "slash not comment" [ Token.Int_lit 1L; Token.Slash; Token.Int_lit 2L ]
+    "1 / 2"
+
+let positions () =
+  let toks = Lexer.tokenize ~file:"pos.c" "a\n  b" in
+  (match toks with
+  | [ a; b; _eof ] ->
+    Alcotest.(check int) "a line" 1 a.Token.loc.Srcloc.line;
+    Alcotest.(check int) "a col" 1 a.Token.loc.Srcloc.col;
+    Alcotest.(check int) "b line" 2 b.Token.loc.Srcloc.line;
+    Alcotest.(check int) "b col" 3 b.Token.loc.Srcloc.col
+  | _ -> Alcotest.fail "expected two tokens")
+
+let lexer_errors () =
+  let expect_error src =
+    match Lexer.tokenize ~file:"e.c" src with
+    | exception Srcloc.Error _ -> ()
+    | _ -> Alcotest.fail ("expected a lex error on: " ^ src)
+  in
+  expect_error "\"unterminated";
+  expect_error "'a";
+  expect_error "'ab'";
+  expect_error "/* unterminated";
+  expect_error "@";
+  expect_error "1.5";  (* floats are outside the subset *)
+  expect_error "#define X 1\nint x;"  (* directives must go through Preproc *)
+
+let empty_input () =
+  Alcotest.check kind_list "just eof" [ Token.Eof ] (toks "");
+  Alcotest.check kind_list "whitespace only" [ Token.Eof ] (toks "  \n\t  ")
+
+let tests =
+  [
+    Alcotest.test_case "keywords" `Quick keywords;
+    Alcotest.test_case "identifiers" `Quick identifiers;
+    Alcotest.test_case "integer literals" `Quick integer_literals;
+    Alcotest.test_case "char literals" `Quick char_literals;
+    Alcotest.test_case "string literals" `Quick string_literals;
+    Alcotest.test_case "operators" `Quick operators;
+    Alcotest.test_case "maximal munch" `Quick maximal_munch;
+    Alcotest.test_case "comments" `Quick comments_stripped;
+    Alcotest.test_case "positions" `Quick positions;
+    Alcotest.test_case "errors" `Quick lexer_errors;
+    Alcotest.test_case "empty input" `Quick empty_input;
+  ]

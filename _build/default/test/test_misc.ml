@@ -1,0 +1,198 @@
+(* Edge-case tests: k-limited paths end to end, pointer comparison
+   semantics, SIL printers, deep nesting. *)
+
+(* ---- k-limit soundness ----------------------------------------------------------- *)
+
+let deep_struct_program =
+  (* ten levels of nested structs: the access path exceeds the k-limit
+     (Apath.max_depth = 8) and must be truncated, not lost *)
+  {|
+struct l9 { int v; };
+struct l8 { struct l9 n; };
+struct l7 { struct l8 n; };
+struct l6 { struct l7 n; };
+struct l5 { struct l6 n; };
+struct l4 { struct l5 n; };
+struct l3 { struct l4 n; };
+struct l2 { struct l3 n; };
+struct l1 { struct l2 n; };
+struct l0 { struct l1 n; };
+struct l0 g;
+int probe(struct l0 *p) {
+  p->n.n.n.n.n.n.n.n.n.v = 7;
+  return p->n.n.n.n.n.n.n.n.n.v;
+}
+int main(void) { return probe(&g); }
+|}
+
+let klimit_paths_truncate () =
+  let prog = Norm.compile ~file:"k.c" deep_struct_program in
+  let g = Vdg_build.build prog in
+  let ci = Ci_solver.solve g in
+  (* the deep write's location set is non-empty and truncated *)
+  let truncated = ref false in
+  List.iter
+    (fun ((n : Vdg.node), rw) ->
+      if rw = `Write && n.Vdg.nfun = "probe" then begin
+        let locs = Ci_solver.referenced_locations ci n.Vdg.nid in
+        Alcotest.(check bool) "non-empty" true (locs <> []);
+        List.iter (fun p -> if p.Apath.ptruncated then truncated := true) locs
+      end)
+    (Vdg.indirect_memops g);
+  Alcotest.(check bool) "truncation happened" true !truncated
+
+let klimit_soundness () =
+  (* the interpreter's concrete (full-depth) access must still be covered
+     by the truncated analysis path *)
+  let prog = Norm.compile ~file:"k.c" deep_struct_program in
+  let g = Vdg_build.build prog in
+  let ci = Ci_solver.solve g in
+  let res = Interp.run prog in
+  (match res.Interp.outcome with
+  | Interp.Exit code -> Alcotest.(check int64) "runs" 7L code
+  | _ -> Alcotest.fail "interpreter failed");
+  List.iter
+    (fun ob ->
+      match Interp.observed_apath g.Vdg.tbl ob with
+      | None -> ()
+      | Some opath ->
+        let covered = ref false in
+        List.iter
+          (fun ((n : Vdg.node), rw) ->
+            if rw = ob.Interp.ob_rw
+               && Vdg.loc_of g n.Vdg.nid = Some ob.Interp.ob_loc then
+              List.iter
+                (fun al -> if Apath.dom al opath then covered := true)
+                (Ci_solver.referenced_locations ci n.Vdg.nid))
+          (Vdg.memops g);
+        if not !covered then
+          Alcotest.fail ("uncovered: " ^ Interp.string_of_observation ob))
+    res.Interp.observations
+
+(* ---- pointer comparison semantics -------------------------------------------------- *)
+
+let interp_run src = (Interp.run (Norm.compile ~file:"m.c" src)).Interp.outcome
+
+let check_exit msg expected src =
+  match interp_run src with
+  | Interp.Exit code -> Alcotest.(check int64) msg expected code
+  | Interp.Out_of_fuel -> Alcotest.fail "fuel"
+  | Interp.Trap m -> Alcotest.fail ("trap: " ^ m)
+
+let pointer_comparisons () =
+  check_exit "equality" 1L
+    "int main(void) { int x; int *p; int *q; p = &x; q = &x; return p == q; }";
+  check_exit "inequality" 1L
+    "int main(void) { int x; int y; int *p = &x; int *q = &y; return p != q; }";
+  check_exit "null tests" 1L
+    "int main(void) { int *p; p = 0; return p == 0 && !(p != 0); }";
+  check_exit "array element ordering" 1L
+    "int main(void) { int a[4]; int *p = &a[1]; int *q = &a[3]; return p < q; }";
+  check_exit "pointer difference" 2L
+    "int main(void) { int a[4]; int *p = &a[1]; int *q = &a[3]; return q - p; }"
+
+let function_pointer_equality () =
+  check_exit "same function" 1L
+    "int f(int n) { return n; }\n\
+     int main(void) { int (*a)(int) = f; int (*b)(int) = f; return a == b; }"
+
+(* ---- SIL printers --------------------------------------------------------------------- *)
+
+let sil_printers () =
+  let prog =
+    Norm.compile ~file:"s.c"
+      "struct s { int a; }; struct s g; int *p;\n\
+       int main(void) { int t; p = &g.a; *p = 3; t = g.a; return t; }"
+  in
+  let fd = Option.get (Sil.find_function prog "main") in
+  let printed =
+    Array.to_list fd.Sil.fd_blocks
+    |> List.concat_map (fun b -> List.map Sil.string_of_instr b.Sil.binstrs)
+    |> String.concat "\n"
+  in
+  let contains needle =
+    let rec go i =
+      i + String.length needle <= String.length printed
+      && (String.sub printed i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "address-of field" true (contains "p = &g.a;");
+  Alcotest.(check bool) "deref write" true (contains "(*p) = 3;")
+
+let sil_type_recovery () =
+  let prog =
+    Norm.compile ~file:"s.c"
+      "struct s { int a; int *q; }; struct s g;\n\
+       int main(void) { return *g.q; }"
+  in
+  let comps = prog.Sil.p_comps in
+  let gv = List.find (fun v -> v.Sil.vname = "g") prog.Sil.p_globals in
+  let lv_a =
+    { Sil.lbase = Sil.Vbase gv; loffs = [ Sil.Ofield (Ctype.Struct, "s", "a") ] }
+  in
+  let lv_q =
+    { Sil.lbase = Sil.Vbase gv; loffs = [ Sil.Ofield (Ctype.Struct, "s", "q") ] }
+  in
+  Alcotest.(check string) "field a" "int" (Ctype.to_string (Sil.type_of_lval comps lv_a));
+  Alcotest.(check string) "field q" "int*" (Ctype.to_string (Sil.type_of_lval comps lv_q));
+  Alcotest.(check string) "addr of field" "int*"
+    (Ctype.to_string (Sil.type_of_exp comps (Sil.Addr_of lv_a)))
+
+(* ---- deeply nested control flow --------------------------------------------------------- *)
+
+let deep_nesting () =
+  (* heavily nested loops/conditionals exercise dominator + phi machinery *)
+  check_exit "nested" 30L
+    {|int main(void) {
+        int i; int j; int k; int s; s = 0;
+        for (i = 0; i < 4; i++)
+          for (j = 0; j < 4; j++) {
+            if (i == j) continue;
+            for (k = 0; k < 2; k++) {
+              if (k && i > j) s += 2; else s += 1;
+              if (s > 1000) break;
+            }
+          }
+        return s & 255;
+      }|}
+
+let many_gammas_analyzed () =
+  let src =
+    {|int a; int b; int c;
+      int main(int argc, char **argv) {
+        int *p; int i;
+        p = &a;
+        for (i = 0; i < argc; i++) {
+          if (i == 1) p = &b;
+          else if (i == 2) p = &c;
+          *p = i;
+        }
+        return *p;
+      }|}
+  in
+  let prog = Norm.compile ~file:"m.c" src in
+  let g = Vdg_build.build prog in
+  let ci = Ci_solver.solve g in
+  let write_locs =
+    List.concat_map
+      (fun ((n : Vdg.node), rw) ->
+        if rw = `Write then
+          List.map Apath.to_string (Ci_solver.referenced_locations ci n.Vdg.nid)
+        else [])
+      (Vdg.indirect_memops g)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "loop-carried merge" [ "a"; "b"; "c" ] write_locs
+
+let tests =
+  [
+    Alcotest.test_case "k-limit truncation" `Quick klimit_paths_truncate;
+    Alcotest.test_case "k-limit soundness" `Quick klimit_soundness;
+    Alcotest.test_case "pointer comparisons" `Quick pointer_comparisons;
+    Alcotest.test_case "function pointer equality" `Quick function_pointer_equality;
+    Alcotest.test_case "sil printers" `Quick sil_printers;
+    Alcotest.test_case "sil type recovery" `Quick sil_type_recovery;
+    Alcotest.test_case "deep nesting" `Quick deep_nesting;
+    Alcotest.test_case "loop-carried pointer merge" `Quick many_gammas_analyzed;
+  ]

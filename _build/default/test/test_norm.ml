@@ -1,0 +1,264 @@
+(* Lowering tests: SIL shape, control flow, temporaries, allocation sites. *)
+
+let compile src = Norm.compile ~file:"n.c" src
+
+let find_fun prog name = Option.get (Sil.find_function prog name)
+
+let instrs_of fd =
+  Array.to_list fd.Sil.fd_blocks |> List.concat_map (fun b -> b.Sil.binstrs)
+
+let main_of src = find_fun (compile src) "main"
+
+let count_blocks fd = Array.length fd.Sil.fd_blocks
+
+let straight_line_is_one_block () =
+  let fd = main_of "int main(void) { int a; int b; a = 1; b = a + 2; return b; }" in
+  Alcotest.(check int) "one block" 1 (count_blocks fd)
+
+let if_produces_diamond () =
+  let fd = main_of "int main(void) { int a; a = 0; if (a) a = 1; else a = 2; return a; }" in
+  (* entry, then, else, join *)
+  Alcotest.(check int) "four blocks" 4 (count_blocks fd)
+
+let while_loop_shape () =
+  let fd = main_of "int main(void) { int i; i = 0; while (i < 3) i = i + 1; return i; }" in
+  (* entry, header, body, exit *)
+  Alcotest.(check int) "four blocks" 4 (count_blocks fd);
+  (* the header must have two predecessors: entry and the body's back edge *)
+  let cfg = Cfg.of_fundec fd in
+  let has_loop_header =
+    Array.exists (fun preds -> List.length preds >= 2) cfg.Cfg.preds
+  in
+  Alcotest.(check bool) "a block has two preds" true has_loop_header
+
+let short_circuit_lowered () =
+  let fd =
+    main_of "int main(void) { int a; int b; a = 1; b = 0; if (a && b) return 1; return 0; }"
+  in
+  (* && must become control flow: one block more than a then-only if *)
+  Alcotest.(check bool) "extra blocks for &&" true (count_blocks fd >= 4)
+
+let conditional_expression_lowered () =
+  let fd = main_of "int main(void) { int a; a = 1; return a ? 2 : 3; }" in
+  Alcotest.(check bool) "blocks for ?:" true (count_blocks fd >= 4);
+  (* result flows through a temporary *)
+  let has_temp =
+    List.exists (fun v -> match v.Sil.vkind with Sil.Temp _ -> true | _ -> false)
+      fd.Sil.fd_locals
+  in
+  Alcotest.(check bool) "uses a temp" true has_temp
+
+let calls_assign_temps () =
+  let prog = compile "int g(void) { return 1; } int main(void) { return g() + g(); }" in
+  let fd = find_fun prog "main" in
+  let call_count =
+    List.length
+      (List.filter (function Sil.Call _ -> true | _ -> false) (instrs_of fd))
+  in
+  Alcotest.(check int) "two calls" 2 call_count
+
+let malloc_becomes_alloc_with_site_ids () =
+  let prog =
+    compile
+      {|int main(void) {
+          int *a = (int *)malloc(4);
+          int *b = (int *)malloc(4);
+          char *c = strdup("x");
+          return 0;
+        }|}
+  in
+  let fd = find_fun prog "main" in
+  let sites =
+    List.filter_map
+      (function Sil.Alloc (_, _, site, _) -> Some site | _ -> None)
+      (instrs_of fd)
+  in
+  Alcotest.(check (list int)) "three distinct sites" [ 0; 1; 2 ] sites
+
+let user_defined_malloc_not_alloc () =
+  (* a program defining its own malloc wrapper name should call it *)
+  let prog =
+    compile
+      "int arena[64]; int used; int *my_alloc(int n) { used += n; return &arena[used]; }\n\
+       int main(void) { int *p = my_alloc(2); *p = 1; return 0; }"
+  in
+  let fd = find_fun prog "main" in
+  let has_call =
+    List.exists
+      (function Sil.Call (_, Sil.Direct "my_alloc", _, _) -> true | _ -> false)
+      (instrs_of fd)
+  in
+  Alcotest.(check bool) "stays a call" true has_call
+
+let global_init_function () =
+  let prog = compile "int x = 3; int *p = &x; int main(void) { return *p; }" in
+  let gi = find_fun prog Sil.global_init_name in
+  Alcotest.(check bool) "has init instrs" true (List.length (instrs_of gi) >= 2);
+  let prog2 = compile "int x; int main(void) { return x; }" in
+  Alcotest.(check bool) "no init fn when no initializers" true
+    (Sil.find_function prog2 Sil.global_init_name = None)
+
+let address_taken_marking () =
+  let prog =
+    compile "int main(void) { int a; int b; int *p; a = 0; b = 0; p = &a; *p = 1; return b; }"
+  in
+  let fd = find_fun prog "main" in
+  let var name = List.find (fun v -> v.Sil.vname = name) fd.Sil.fd_locals in
+  Alcotest.(check bool) "a addressed" true (var "a").Sil.vaddr_taken;
+  Alcotest.(check bool) "b not addressed" false (var "b").Sil.vaddr_taken
+
+let array_decay_marks_address_taken () =
+  let prog =
+    compile "int main(void) { int arr[4]; int *p; p = arr; *p = 1; return 0; }"
+  in
+  let fd = find_fun prog "main" in
+  let arr = List.find (fun v -> v.Sil.vname = "arr") fd.Sil.fd_locals in
+  Alcotest.(check bool) "array decay takes address" true arr.Sil.vaddr_taken
+
+let switch_fallthrough_edges () =
+  let fd =
+    main_of
+      {|int main(void) {
+          int n; int r; n = 1; r = 0;
+          switch (n) { case 0: r = 1; case 1: r = 2; break; default: r = 3; }
+          return r;
+        }|}
+  in
+  (* case 0's body must have an edge into case 1's body (fall-through) *)
+  let cfg = Cfg.of_fundec fd in
+  let reachable_all = Array.for_all (fun _ -> true) cfg.Cfg.succs in
+  Alcotest.(check bool) "built" true reachable_all;
+  Alcotest.(check bool) "several blocks" true (count_blocks fd > 4)
+
+let no_unreachable_blocks () =
+  let fd =
+    main_of
+      "int main(void) { int a; a = 0; return a; a = 1; while (a) a = 2; return a; }"
+  in
+  (* code after return is dropped; every block reachable from entry *)
+  let cfg = Cfg.of_fundec fd in
+  let visited = Array.make cfg.Cfg.nblocks false in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs cfg.Cfg.succs.(b)
+    end
+  in
+  dfs cfg.Cfg.entry;
+  Alcotest.(check bool) "all reachable" true (Array.for_all (fun x -> x) visited)
+
+let implicit_return_added () =
+  let fd = main_of "int main(void) { int a; a = 1; }" in
+  let last = fd.Sil.fd_blocks.(Array.length fd.Sil.fd_blocks - 1) in
+  (match last.Sil.bterm with
+  | Sil.Return (Some _) -> ()
+  | _ ->
+    (* find any return *)
+    let has_return =
+      Array.exists
+        (fun b -> match b.Sil.bterm with Sil.Return _ -> true | _ -> false)
+        fd.Sil.fd_blocks
+    in
+    Alcotest.(check bool) "some return exists" true has_return)
+
+let compound_assign_reads_then_writes () =
+  let fd = main_of "int main(void) { int a; a = 1; a += 2; return a; }" in
+  let sets =
+    List.filter_map
+      (function Sil.Set (_, e, _) -> Some (Sil.string_of_exp e) | _ -> None)
+      (instrs_of fd)
+  in
+  Alcotest.(check bool) "a+2 appears" true
+    (List.exists (fun s -> s = "(a + 2)") sets)
+
+let post_increment_value () =
+  let fd = main_of "int main(void) { int a; int b; a = 5; b = a++; return b; }" in
+  (* b must receive the OLD value via a temp *)
+  let has_tmp_copy =
+    List.exists
+      (function
+        | Sil.Set ({ Sil.lbase = Sil.Vbase v; _ }, Sil.Lval { Sil.lbase = Sil.Vbase src; _ }, _) ->
+          (match v.Sil.vkind with Sil.Temp _ -> src.Sil.vname = "a" | _ -> false)
+        | _ -> false)
+      (instrs_of fd)
+  in
+  Alcotest.(check bool) "temp copy of old value" true has_tmp_copy
+
+let string_literals_pooled () =
+  let prog =
+    compile
+      "int main(void) { char *a = \"dup\"; char *b = \"dup\"; char *c = \"other\"; return 0; }"
+  in
+  Alcotest.(check int) "two pooled strings" 2 (Array.length prog.Sil.p_strings)
+
+let field_offsets_in_lvals () =
+  let prog =
+    compile
+      "struct s { int a; struct s *n; }; struct s g;\n\
+       int main(void) { g.n = &g; g.n->a = 3; return g.a; }"
+  in
+  let fd = find_fun prog "main" in
+  let strs = List.map Sil.string_of_instr (instrs_of fd) in
+  Alcotest.(check bool) "g.n write" true (List.exists (fun s -> s = "g.n = &g;") strs);
+  Alcotest.(check bool) "indirect field write" true
+    (List.exists (fun s -> s = "(*g.n).a = 3;") strs)
+
+let static_locals () =
+  let prog =
+    compile
+      "int counter(void) { static int n; n += 1; return n; }\n\
+       int main(void) { counter(); counter(); return counter(); }"
+  in
+  (* the static lives at file scope under a mangled name *)
+  let v =
+    List.find_opt (fun v -> v.Sil.vname = "counter$n") prog.Sil.p_globals
+  in
+  Alcotest.(check bool) "promoted to file scope" true (v <> None);
+  Alcotest.(check bool) "kind is global" true
+    ((Option.get v).Sil.vkind = Sil.Global);
+  (* and it is not among the function's locals *)
+  let fd = find_fun prog "counter" in
+  Alcotest.(check bool) "not a local" false
+    (List.exists (fun v -> v.Sil.vname = "n") fd.Sil.fd_locals)
+
+let static_local_initializer () =
+  let prog =
+    compile
+      "int tick(void) { static int base = 40; base += 1; return base; }\n\
+       int main(void) { tick(); return tick(); }"
+  in
+  let gi = find_fun prog Sil.global_init_name in
+  Alcotest.(check bool) "init emitted in __global_init" true
+    (List.exists
+       (fun i -> Sil.string_of_instr i = "tick$base = 40;")
+       (instrs_of gi))
+
+let externals_recorded () =
+  let prog = compile "int my_ext(int); int main(void) { return my_ext(2); }" in
+  Alcotest.(check bool) "my_ext is external" true
+    (List.mem_assoc "my_ext" prog.Sil.p_externals)
+
+let tests =
+  [
+    Alcotest.test_case "straight line" `Quick straight_line_is_one_block;
+    Alcotest.test_case "if diamond" `Quick if_produces_diamond;
+    Alcotest.test_case "while loop" `Quick while_loop_shape;
+    Alcotest.test_case "short circuit" `Quick short_circuit_lowered;
+    Alcotest.test_case "conditional expr" `Quick conditional_expression_lowered;
+    Alcotest.test_case "calls assign temps" `Quick calls_assign_temps;
+    Alcotest.test_case "alloc site ids" `Quick malloc_becomes_alloc_with_site_ids;
+    Alcotest.test_case "user-defined allocator" `Quick user_defined_malloc_not_alloc;
+    Alcotest.test_case "global init function" `Quick global_init_function;
+    Alcotest.test_case "address-taken marking" `Quick address_taken_marking;
+    Alcotest.test_case "array decay addresses" `Quick array_decay_marks_address_taken;
+    Alcotest.test_case "switch fallthrough" `Quick switch_fallthrough_edges;
+    Alcotest.test_case "no unreachable blocks" `Quick no_unreachable_blocks;
+    Alcotest.test_case "implicit return" `Quick implicit_return_added;
+    Alcotest.test_case "compound assignment" `Quick compound_assign_reads_then_writes;
+    Alcotest.test_case "post increment" `Quick post_increment_value;
+    Alcotest.test_case "string pooling" `Quick string_literals_pooled;
+    Alcotest.test_case "field lvals" `Quick field_offsets_in_lvals;
+    Alcotest.test_case "static locals" `Quick static_locals;
+    Alcotest.test_case "static local initializer" `Quick static_local_initializer;
+    Alcotest.test_case "externals recorded" `Quick externals_recorded;
+  ]

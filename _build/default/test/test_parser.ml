@@ -1,0 +1,288 @@
+(* Parser tests: declarations, declarators, expressions, statements. *)
+
+let parse src = Parser.parse ~file:"t.c" src
+
+let parse_fails msg src =
+  match parse src with
+  | exception Srcloc.Error _ -> ()
+  | _ -> Alcotest.fail ("expected a parse error: " ^ msg)
+
+let only_fun src =
+  match List.filter_map (function Ast.Gfun f -> Some f | _ -> None) (parse src) with
+  | [ f ] -> f
+  | fs -> Alcotest.fail (Printf.sprintf "expected one function, got %d" (List.length fs))
+
+let only_var src =
+  match List.filter_map (function Ast.Gvar (d, _) -> Some d | _ -> None) (parse src) with
+  | [ d ] -> d
+  | _ -> Alcotest.fail "expected one variable"
+
+let check_type msg expected actual =
+  Alcotest.(check string) msg expected (Ctype.to_string actual)
+
+(* ---- declarators ---------------------------------------------------------------- *)
+
+let simple_declarations () =
+  check_type "int" "int" (only_var "int x;").Ast.dtype;
+  check_type "ptr" "int*" (only_var "int *p;").Ast.dtype;
+  check_type "ptr ptr" "int**" (only_var "int **pp;").Ast.dtype;
+  check_type "array" "int[10]" (only_var "int a[10];").Ast.dtype;
+  check_type "array of ptr" "int*[4]" (only_var "int *a[4];").Ast.dtype;
+  check_type "2d array" "int[2][3]" (only_var "int m[2][3];").Ast.dtype
+
+let pointer_to_array_and_function () =
+  check_type "ptr to array" "int[4]*" (only_var "int (*pa)[4];").Ast.dtype;
+  check_type "function ptr" "int(int, int)*" (only_var "int (*f)(int, int);").Ast.dtype;
+  check_type "array of fn ptr" "int(int)*[3]" (only_var "int (*tab[3])(int);").Ast.dtype
+
+let unsigned_and_long () =
+  check_type "unsigned" "unsigned int" (only_var "unsigned x;").Ast.dtype;
+  check_type "unsigned long" "unsigned long" (only_var "unsigned long x;").Ast.dtype;
+  check_type "long int" "long" (only_var "long int x;").Ast.dtype;
+  check_type "unsigned char" "unsigned char" (only_var "unsigned char c;").Ast.dtype;
+  check_type "const ignored" "int" (only_var "const int x;").Ast.dtype
+
+let multi_declarator () =
+  let globals = parse "int a, *b, c[2];" in
+  let types =
+    List.filter_map
+      (function Ast.Gvar (d, _) -> Some (Ctype.to_string d.Ast.dtype) | _ -> None)
+      globals
+  in
+  Alcotest.(check (list string)) "three declarators" [ "int"; "int*"; "int[2]" ] types
+
+let typedef_feedback () =
+  let globals = parse "typedef int myint; myint x; myint *p;" in
+  let types =
+    List.filter_map
+      (function Ast.Gvar (d, _) -> Some (Ctype.to_string (Ctype.unroll d.Ast.dtype)) | _ -> None)
+      globals
+  in
+  (* unroll is shallow: it strips Named at the head, not under Ptr *)
+  Alcotest.(check (list string)) "typedef resolves" [ "int"; "myint*" ] types
+
+let typedef_struct () =
+  let globals = parse "typedef struct n { int v; struct n *next; } node; node *h;" in
+  let has_comp = List.exists (function Ast.Gcomp _ -> true | _ -> false) globals in
+  Alcotest.(check bool) "comp hoisted" true has_comp;
+  let d = List.find_map (function Ast.Gvar (d, _) -> Some d | _ -> None) globals in
+  check_type "node*" "node*" (Option.get d).Ast.dtype
+
+let struct_fields () =
+  let globals = parse "struct s { int a; char b[4]; struct s *link; };" in
+  (match globals with
+  | [ Ast.Gcomp (ci, _) ] ->
+    Alcotest.(check int) "three fields" 3 (List.length ci.Ctype.cfields);
+    Alcotest.(check (list string)) "names" [ "a"; "b"; "link" ]
+      (List.map (fun f -> f.Ctype.fname) ci.Ctype.cfields)
+  | _ -> Alcotest.fail "expected one comp")
+
+let union_and_enum () =
+  let globals = parse "union u { int i; char c; }; enum e { A, B = 5, C };" in
+  (match globals with
+  | [ Ast.Gcomp (ci, _); Ast.Genum (_, items, _) ] ->
+    Alcotest.(check bool) "is union" true (ci.Ctype.ckind = Ctype.Union);
+    Alcotest.(check (list (pair string int64)))
+      "enum values" [ ("A", 0L); ("B", 5L); ("C", 6L) ]
+      (List.map (fun (n, v) -> (n, v)) items)
+  | _ -> Alcotest.fail "expected comp + enum")
+
+let enum_constant_in_array_size () =
+  let d = only_var "enum k { SZ = 7 }; int a[SZ];" in
+  check_type "sized by enum" "int[7]" d.Ast.dtype
+
+let sizeof_in_constant () =
+  let d = only_var "struct p { int x; int y; }; char buf[sizeof(struct p)];" in
+  check_type "sizeof folds" "char[8]" d.Ast.dtype
+
+(* ---- functions --------------------------------------------------------------------- *)
+
+let function_definition () =
+  let f = only_fun "int add(int a, int b) { return a + b; }" in
+  Alcotest.(check string) "name" "add" f.Ast.fun_name;
+  Alcotest.(check int) "params" 2 (List.length f.Ast.fun_sig.Ctype.params);
+  check_type "ret" "int" f.Ast.fun_sig.Ctype.ret
+
+let void_params () =
+  let f = only_fun "int f(void) { return 0; }" in
+  Alcotest.(check int) "no params" 0 (List.length f.Ast.fun_sig.Ctype.params)
+
+let variadic () =
+  let globals = parse "int printf(char *fmt, ...);" in
+  (match globals with
+  | [ Ast.Gfundecl (_, fs, _) ] ->
+    Alcotest.(check bool) "variadic" true fs.Ctype.variadic
+  | _ -> Alcotest.fail "expected a prototype")
+
+let array_param_decays () =
+  let f = only_fun "int f(int a[], int m[3]) { return 0; }" in
+  let types = List.map (fun (_, t) -> Ctype.to_string t) f.Ast.fun_sig.Ctype.params in
+  Alcotest.(check (list string)) "decayed" [ "int*"; "int*" ] types
+
+let static_function () =
+  let f = only_fun "static int f(void) { return 1; }" in
+  Alcotest.(check bool) "static" true f.Ast.fun_static
+
+(* ---- expressions --------------------------------------------------------------------- *)
+
+let body_first_expr src =
+  let f = only_fun src in
+  match f.Ast.fun_body with
+  | { Ast.sdesc = Ast.Expr e; _ } :: _ -> e
+  | { Ast.sdesc = Ast.Return (Some e); _ } :: _ -> e
+  | _ -> Alcotest.fail "expected expression statement"
+
+let precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  let e = body_first_expr "int f(void) { return 1 + 2 * 3; }" in
+  (match e.Ast.edesc with
+  | Ast.Binop (Ast.Add, _, { Ast.edesc = Ast.Binop (Ast.Mul, _, _); _ }) -> ()
+  | _ -> Alcotest.fail "wrong precedence for + *");
+  let e = body_first_expr "int f(int a, int b) { return a < b && b < 10; }" in
+  (match e.Ast.edesc with
+  | Ast.Binop (Ast.Land, _, _) -> ()
+  | _ -> Alcotest.fail "&& should be weakest")
+
+let assignment_right_assoc () =
+  let e = body_first_expr "int f(int a, int b) { a = b = 1; return a; }" in
+  match e.Ast.edesc with
+  | Ast.Assign (_, { Ast.edesc = Ast.Assign (_, _); _ }) -> ()
+  | _ -> Alcotest.fail "assignment should be right-associative"
+
+let unary_and_postfix () =
+  let e = body_first_expr "int f(int *p) { return *p++; }" in
+  (* *p++ is *(p++) *)
+  match e.Ast.edesc with
+  | Ast.Deref { Ast.edesc = Ast.PostIncr _; _ } -> ()
+  | _ -> Alcotest.fail "*p++ should be *(p++)"
+
+let cast_vs_paren () =
+  let e = body_first_expr "typedef int T; int f(int x) { return (T)x; }" in
+  (match e.Ast.edesc with
+  | Ast.Cast (_, _) -> ()
+  | _ -> Alcotest.fail "(T)x should be a cast");
+  let e = body_first_expr "int f(int T) { return (T); }" in
+  (match e.Ast.edesc with
+  | Ast.Ident "T" -> ()
+  | _ -> Alcotest.fail "(T) should be a parenthesized identifier")
+
+let sizeof_expr_forms () =
+  let e = body_first_expr "int f(int x) { return sizeof x; }" in
+  (match e.Ast.edesc with
+  | Ast.SizeofExpr _ -> ()
+  | _ -> Alcotest.fail "sizeof x");
+  let e = body_first_expr "int f(void) { return sizeof(long); }" in
+  (match e.Ast.edesc with
+  | Ast.SizeofType t -> Alcotest.(check string) "type" "long" (Ctype.to_string t)
+  | _ -> Alcotest.fail "sizeof(long)")
+
+let conditional_and_comma () =
+  let e = body_first_expr "int f(int a) { return a ? 1 : 2; }" in
+  (match e.Ast.edesc with Ast.Cond _ -> () | _ -> Alcotest.fail "?:");
+  let f = only_fun "int f(int a) { a = 1, a = 2; return a; }" in
+  match f.Ast.fun_body with
+  | { Ast.sdesc = Ast.Expr { Ast.edesc = Ast.Comma _; _ }; _ } :: _ -> ()
+  | _ -> Alcotest.fail "comma expression"
+
+let address_and_member_chains () =
+  let e =
+    body_first_expr
+      "struct s { int v; }; int f(struct s *p) { return (&p->v != 0); }"
+  in
+  match e.Ast.edesc with
+  | Ast.Binop (Ast.Ne, { Ast.edesc = Ast.AddrOf { Ast.edesc = Ast.Arrow _; _ }; _ }, _) ->
+    ()
+  | _ -> Alcotest.fail "&p->v should be &(p->v)"
+
+(* ---- statements ---------------------------------------------------------------------- *)
+
+let statement_shapes () =
+  let f =
+    only_fun
+      {|int f(int n) {
+          int i;
+          if (n) n = 1; else n = 2;
+          while (n < 10) n++;
+          do n--; while (n > 0);
+          for (i = 0; i < 3; i++) n += i;
+          switch (n) { case 0: n = 1; break; default: n = 2; }
+          return n;
+        }|}
+  in
+  let kinds =
+    List.map
+      (fun s ->
+        match s.Ast.sdesc with
+        | Ast.Decl _ -> "decl" | Ast.If _ -> "if" | Ast.While _ -> "while"
+        | Ast.DoWhile _ -> "do" | Ast.For _ -> "for" | Ast.Switch _ -> "switch"
+        | Ast.Return _ -> "return" | Ast.Expr _ -> "expr" | Ast.Block _ -> "block"
+        | Ast.Break -> "break" | Ast.Continue -> "continue" | Ast.Empty -> "empty")
+      f.Ast.fun_body
+  in
+  Alcotest.(check (list string)) "statement kinds"
+    [ "decl"; "if"; "while"; "do"; "for"; "switch"; "return" ]
+    kinds
+
+let for_with_declaration () =
+  let f = only_fun "int f(void) { for (int i = 0; i < 3; i++) ; return 0; }" in
+  (* lowered to a block containing the decl and the loop *)
+  match f.Ast.fun_body with
+  | { Ast.sdesc = Ast.Block [ { Ast.sdesc = Ast.Decl _; _ }; { Ast.sdesc = Ast.For _; _ } ]; _ } :: _ ->
+    ()
+  | _ -> Alcotest.fail "for-decl should be wrapped in a block"
+
+let dangling_else () =
+  let f = only_fun "int f(int a, int b) { if (a) if (b) return 1; else return 2; return 3; }" in
+  match f.Ast.fun_body with
+  | { Ast.sdesc = Ast.If (_, { Ast.sdesc = Ast.If (_, _, Some _); _ }, None); _ } :: _ ->
+    ()
+  | _ -> Alcotest.fail "else binds to the nearest if"
+
+let initializers () =
+  let d = only_var "int a[3] = {1, 2, 3};" in
+  (match d.Ast.dinit with
+  | Some (Ast.CompoundInit items) -> Alcotest.(check int) "three items" 3 (List.length items)
+  | _ -> Alcotest.fail "array initializer");
+  let d = only_var "struct p { int x; int y; } pt = {1, 2};" in
+  (match d.Ast.dinit with
+  | Some (Ast.CompoundInit _) -> ()
+  | _ -> Alcotest.fail "struct initializer")
+
+let parse_errors () =
+  parse_fails "missing semi" "int x";
+  parse_fails "unbalanced brace" "int f(void) { return 0;";
+  parse_fails "bad token order" "int f(void) { return + ; }";
+  parse_fails "goto unsupported" "int f(void) { goto l; }";
+  parse_fails "local typedef" "int f(void) { typedef int t; return 0; }";
+  parse_fails "missing paren" "int f(void) { if (1 return 0; }"
+
+let tests =
+  [
+    Alcotest.test_case "simple declarations" `Quick simple_declarations;
+    Alcotest.test_case "complex declarators" `Quick pointer_to_array_and_function;
+    Alcotest.test_case "integer type specifiers" `Quick unsigned_and_long;
+    Alcotest.test_case "multi declarators" `Quick multi_declarator;
+    Alcotest.test_case "typedef feedback" `Quick typedef_feedback;
+    Alcotest.test_case "typedef struct" `Quick typedef_struct;
+    Alcotest.test_case "struct fields" `Quick struct_fields;
+    Alcotest.test_case "union and enum" `Quick union_and_enum;
+    Alcotest.test_case "enum in array size" `Quick enum_constant_in_array_size;
+    Alcotest.test_case "sizeof in constant" `Quick sizeof_in_constant;
+    Alcotest.test_case "function definition" `Quick function_definition;
+    Alcotest.test_case "void params" `Quick void_params;
+    Alcotest.test_case "variadic prototype" `Quick variadic;
+    Alcotest.test_case "array param decay" `Quick array_param_decays;
+    Alcotest.test_case "static function" `Quick static_function;
+    Alcotest.test_case "precedence" `Quick precedence;
+    Alcotest.test_case "assignment associativity" `Quick assignment_right_assoc;
+    Alcotest.test_case "unary vs postfix" `Quick unary_and_postfix;
+    Alcotest.test_case "cast vs paren" `Quick cast_vs_paren;
+    Alcotest.test_case "sizeof forms" `Quick sizeof_expr_forms;
+    Alcotest.test_case "conditional and comma" `Quick conditional_and_comma;
+    Alcotest.test_case "address of member" `Quick address_and_member_chains;
+    Alcotest.test_case "statement shapes" `Quick statement_shapes;
+    Alcotest.test_case "for with declaration" `Quick for_with_declaration;
+    Alcotest.test_case "dangling else" `Quick dangling_else;
+    Alcotest.test_case "initializers" `Quick initializers;
+    Alcotest.test_case "parse errors" `Quick parse_errors;
+  ]

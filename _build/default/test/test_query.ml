@@ -1,0 +1,168 @@
+(* Tests for the high-level query API: may-alias, conflicts, purity. *)
+
+let analyze src =
+  let prog = Norm.compile ~file:"q.c" src in
+  let g = Vdg_build.build prog in
+  let ci = Ci_solver.solve g in
+  (prog, g, ci)
+
+let memop_nodes g =
+  List.map (fun ((n : Vdg.node), rw) -> (n.Vdg.nid, rw)) (Vdg.memops g)
+
+let may_alias_basics () =
+  let _, g, ci =
+    analyze
+      {|int a; int b;
+        int main(int argc, char **argv) {
+          int *p; int *q; int *r;
+          p = &a;
+          q = argc ? &a : &b;
+          r = &b;
+          *p = 1;     /* write {a}    */
+          *q = 2;     /* write {a,b}  */
+          *r = 3;     /* write {b}    */
+          return 0;
+        }|}
+  in
+  let writes =
+    List.filter_map (fun (nid, rw) -> if rw = `Write then Some nid else None)
+      (memop_nodes g)
+  in
+  (match writes with
+  | [ wp; wq; wr ] ->
+    Alcotest.(check bool) "p vs q overlap" true (Query.may_alias ci wp wq);
+    Alcotest.(check bool) "q vs r overlap" true (Query.may_alias ci wq wr);
+    Alcotest.(check bool) "p vs r disjoint" false (Query.may_alias ci wp wr)
+  | _ -> Alcotest.fail "expected three writes")
+
+let may_alias_prefix_paths () =
+  (* a whole-struct path aliases its member paths *)
+  let _, g, ci =
+    analyze
+      {|struct s { int x; int y; }; struct s gs;
+        void blank(struct s *p) { p->x = 0; }
+        int read_y(struct s *p) { return p->y; }
+        int main(void) { blank(&gs); return read_y(&gs); }|}
+  in
+  let ops = memop_nodes g in
+  let write_x = List.find (fun (_, rw) -> rw = `Write) ops in
+  let read_y =
+    List.find
+      (fun ((nid : int), rw) ->
+        rw = `Read
+        && List.exists
+             (fun p -> Apath.to_string p = "gs.s.y")
+             (Ci_solver.referenced_locations ci nid))
+      ops
+  in
+  Alcotest.(check bool) "x vs y disjoint" false
+    (Query.may_alias ci (fst write_x) (fst read_y))
+
+let conflict_detection () =
+  let _, _, ci =
+    analyze
+      {|int shared; int other;
+        int work(int *p, int *q, int n) {
+          *p = n;          /* write {shared} */
+          n += *q;         /* read {shared}: read-write conflict with above */
+          *p = n + 1;      /* write-write with the first */
+          return n;
+        }
+        int main(void) { return work(&shared, &shared, 1); }|}
+  in
+  let m = Modref.of_ci ci in
+  let conflicts = Query.conflicts_in m "work" in
+  let kinds =
+    List.sort compare
+      (List.map
+         (fun c -> match c.Query.cf_kind with `Write_write -> "ww" | `Read_write -> "rw")
+         conflicts)
+  in
+  Alcotest.(check (list string)) "conflict kinds" [ "rw"; "rw"; "ww" ] kinds;
+  List.iter
+    (fun c -> Alcotest.(check bool) "witness paths" true (c.Query.cf_common <> []))
+    conflicts
+
+let no_conflicts_when_disjoint () =
+  let _, _, ci =
+    analyze
+      {|int a; int b;
+        void two(int *p, int *q) { *p = 1; *q = 2; }
+        int main(void) { two(&a, &b); return 0; }|}
+  in
+  let m = Modref.of_ci ci in
+  (* p and q both merge {a} vs {b}?  No: p only receives &a, q only &b *)
+  Alcotest.(check int) "no conflicts" 0 (List.length (Query.conflicts_in m "two"))
+
+let purity_classes () =
+  let _, g, ci =
+    analyze
+      {|int g1;
+        int pure_math(int a, int b) { return a * b + (a >> 1); }
+        int pure_chain(int a) { return pure_math(a, 3) - 1; }
+        int writes_global(int a) { g1 = a; return a; }
+        int calls_writer(int a) { return writes_global(a); }
+        int uses_strlen(char *s) { return (int)strlen(s); }
+        int does_io(int a) { printf("%d", a); return a; }
+        int main(int argc, char **argv) {
+          return pure_chain(argc) + calls_writer(argc) + does_io(argc)
+               + uses_strlen(argv[0]);
+        }|}
+  in
+  let check name expected =
+    let actual = Query.classify_purity g ci name in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s purity" name)
+      true (actual = expected)
+  in
+  check "pure_math" Query.Pure;
+  check "pure_chain" Query.Pure;
+  check "writes_global" Query.Impure_writes;
+  check "calls_writer" Query.Impure_writes;
+  check "uses_strlen" Query.Pure;
+  check "does_io" (Query.Impure_calls "printf");
+  let pure = Query.pure_functions g ci in
+  Alcotest.(check bool) "pure list" true
+    (List.mem "pure_math" pure && List.mem "pure_chain" pure
+    && not (List.mem "calls_writer" pure))
+
+let purity_through_function_pointers () =
+  let _, g, ci =
+    analyze
+      {|int g1;
+        int bad(int n) { g1 = n; return n; }
+        int good(int n) { return n + 1; }
+        int apply(int (*f)(int), int n) { return f(n); }
+        int main(int argc, char **argv) {
+          return apply(argc ? bad : good, 3);
+        }|}
+  in
+  (* apply may reach bad through the pointer: impure *)
+  Alcotest.(check bool) "apply impure" true
+    (Query.classify_purity g ci "apply" = Query.Impure_writes)
+
+let overlap_helper () =
+  let tbl = Apath.create_table () in
+  let v name =
+    { Sil.vid = Hashtbl.hash name; vname = name; vtype = Ctype.int_t;
+      vkind = Sil.Global; vaddr_taken = false }
+  in
+  let path name = Apath.of_base tbl (Apath.mk_base tbl (Apath.Bvar (v name)) ~singular:true) in
+  let a = path "a" and b = path "b" in
+  let a_f = Apath.extend tbl a (Apath.Field "s.f") in
+  Alcotest.(check bool) "same" true (Query.paths_may_overlap [ a ] [ a ]);
+  Alcotest.(check bool) "prefix overlaps" true (Query.paths_may_overlap [ a ] [ a_f ]);
+  Alcotest.(check bool) "suffix overlaps" true (Query.paths_may_overlap [ a_f ] [ a ]);
+  Alcotest.(check bool) "disjoint" false (Query.paths_may_overlap [ a ] [ b ]);
+  Alcotest.(check bool) "empty" false (Query.paths_may_overlap [] [ a ])
+
+let tests =
+  [
+    Alcotest.test_case "may-alias basics" `Quick may_alias_basics;
+    Alcotest.test_case "may-alias prefixes" `Quick may_alias_prefix_paths;
+    Alcotest.test_case "conflict detection" `Quick conflict_detection;
+    Alcotest.test_case "disjoint no-conflict" `Quick no_conflicts_when_disjoint;
+    Alcotest.test_case "purity classes" `Quick purity_classes;
+    Alcotest.test_case "purity via fn ptrs" `Quick purity_through_function_pointers;
+    Alcotest.test_case "overlap helper" `Quick overlap_helper;
+  ]

@@ -1,0 +1,143 @@
+(* Type checker tests: accepted programs, rejected programs, typing rules. *)
+
+let check_ok src =
+  let ast = Parser.parse ~file:"s.c" src in
+  ignore (Sema.check ast)
+
+let check_fails msg src =
+  let ast =
+    try Parser.parse ~file:"s.c" src
+    with Srcloc.Error (_, m) -> Alcotest.fail ("parse error, not sema: " ^ m)
+  in
+  match Sema.check ast with
+  | exception Srcloc.Error _ -> ()
+  | _ -> Alcotest.fail ("expected a type error: " ^ msg)
+
+let accepts_basics () =
+  check_ok "int x; int main(void) { return x; }";
+  check_ok "int f(int a) { return a * 2; } int main(void) { return f(3); }";
+  check_ok "int main(void) { int *p; int x; p = &x; *p = 1; return *p; }";
+  check_ok
+    "struct s { int v; struct s *n; }; int main(void) { struct s a; a.v = 1; a.n = &a; return a.n->v; }"
+
+let accepts_pointer_mixing () =
+  (* C programmers cast freely; the analysis tracks values *)
+  check_ok "int main(void) { char *c; int *i; c = (char *)i; i = (int *)c; return 0; }";
+  check_ok "int main(void) { void *v; int *i; v = i; i = v; return 0; }";
+  check_ok "int main(void) { int *p = 0; return p == 0; }"
+
+let accepts_builtins () =
+  check_ok "int main(void) { char b[8]; strcpy(b, \"x\"); return (int)strlen(b); }";
+  check_ok "int main(void) { int *p = (int *)malloc(4); *p = 1; free(p); return 0; }";
+  check_ok "int main(void) { printf(\"%d %d\\n\", 1, 2); return 0; }"
+
+let rejects_undeclared () =
+  check_fails "undeclared var" "int main(void) { return nope; }";
+  check_fails "undeclared fn" "int main(void) { return zorp(3); }";
+  check_fails "no member" "struct s { int v; }; int main(void) { struct s a; return a.w; }"
+
+let rejects_type_errors () =
+  check_fails "deref int" "int main(void) { int x; return *x; }";
+  check_fails "call non-fn" "int main(void) { int x; return x(1); }";
+  check_fails "arrow on non-ptr" "struct s { int v; }; int main(void) { struct s a; return a->v; }";
+  check_fails "dot on ptr" "struct s { int v; }; int main(void) { struct s *p; return p.v; }";
+  check_fails "assign to rvalue" "int main(void) { 1 = 2; return 0; }";
+  check_fails "addr of rvalue" "int main(void) { int *p = &3; return 0; }";
+  check_fails "void variable" "int main(void) { void v; return 0; }";
+  check_fails "struct as condition" "struct s { int v; }; int main(void) { struct s a; if (a) return 1; return 0; }"
+
+let rejects_arity () =
+  check_fails "too few" "int f(int a, int b) { return a; } int main(void) { return f(1); }";
+  check_fails "too many" "int f(int a) { return a; } int main(void) { return f(1, 2); }"
+
+let accepts_variadic_extra () =
+  check_ok "int main(void) { printf(\"%d\", 1); printf(\"x\"); return 0; }"
+
+let rejects_return_mismatch () =
+  check_fails "value from void" "void f(void) { return 3; }";
+  check_fails "missing value" "int f(void) { return; }";
+  check_fails "struct for int" "struct s { int v; }; struct s g; int f(void) { return g; }"
+
+let rejects_break_outside () =
+  check_fails "stray break" "int main(void) { break; return 0; }";
+  check_fails "stray continue" "int main(void) { continue; return 0; }"
+
+let accepts_break_in_loop () =
+  check_ok "int main(void) { while (1) break; return 0; }";
+  check_ok "int main(void) { int i; for (i = 0; i < 3; i++) if (i) continue; return 0; }";
+  check_ok "int main(void) { switch (1) { case 1: break; } return 0; }"
+
+let rejects_scope_violations () =
+  check_fails "use before decl in sibling scope"
+    "int main(void) { { int x; x = 1; } return x; }";
+  check_fails "redeclaration" "int main(void) { int x; int x; return 0; }"
+
+let accepts_shadowing () =
+  check_ok "int x; int main(void) { int x; x = 1; { int x; x = 2; } return x; }"
+
+let rejects_bad_initializers () =
+  check_fails "too many array inits" "int a[2] = {1, 2, 3};";
+  check_fails "brace for scalar" "int x = {1};";
+  check_fails "wrong type" "struct s { int v; }; struct s g; int *p = g;"
+
+let accepts_initializers () =
+  check_ok "int a[3] = {1, 2, 3};";
+  check_ok "int x = 5; int *p = &x;";
+  check_ok "char msg[6] = \"hello\";";
+  check_ok "struct s { int a; int b; }; struct s g = {1, 2};";
+  check_ok "int a[2][2] = {{1, 2}, {3, 4}};"
+
+let type_of_expr_rules () =
+  let scope_for src =
+    let ast = Parser.parse ~file:"s.c" src in
+    let env = Sema.check ast in
+    let f =
+      List.find_map (function Ast.Gfun f -> Some f | _ -> None) ast |> Option.get
+    in
+    Sema.scope_create env f.Ast.fun_name f.Ast.fun_sig
+  in
+  let sc = scope_for "struct s { int v; int *p; }; int f(struct s *r, int n, int *q) { return 0; }" in
+  let ty src =
+    let e =
+      match Parser.parse ~file:"e.c" ("int probe(void) { return (" ^ src ^ ") != 0; }") with
+      | [ Ast.Gfun f ] ->
+        (match f.Ast.fun_body with
+        | [ { Ast.sdesc = Ast.Return (Some { Ast.edesc = Ast.Binop (Ast.Ne, e, _); _ }); _ } ] -> e
+        | _ -> Alcotest.fail "probe shape")
+      | _ -> Alcotest.fail "probe parse"
+    in
+    Ctype.to_string (Sema.type_of_expr sc e)
+  in
+  Alcotest.(check string) "param" "int" (ty "n");
+  Alcotest.(check string) "deref" "int" (ty "*q");
+  Alcotest.(check string) "arrow" "int" (ty "r->v");
+  Alcotest.(check string) "arrow ptr" "int*" (ty "r->p");
+  Alcotest.(check string) "addr" "int*" (ty "&n");
+  Alcotest.(check string) "comparison is int" "int" (ty "q == q");
+  Alcotest.(check string) "ptr add" "int*" (ty "q + 2");
+  Alcotest.(check string) "ptr diff" "long" (ty "q - q")
+
+let conflicting_declarations () =
+  check_fails "global type conflict" "int x; char *x;";
+  check_fails "fn redefinition" "int f(void) { return 0; } int f(void) { return 1; }";
+  check_ok "int f(int); int f(int a) { return a; }"
+
+let tests =
+  [
+    Alcotest.test_case "accepts basics" `Quick accepts_basics;
+    Alcotest.test_case "pointer mixing allowed" `Quick accepts_pointer_mixing;
+    Alcotest.test_case "builtins" `Quick accepts_builtins;
+    Alcotest.test_case "rejects undeclared" `Quick rejects_undeclared;
+    Alcotest.test_case "rejects type errors" `Quick rejects_type_errors;
+    Alcotest.test_case "rejects arity" `Quick rejects_arity;
+    Alcotest.test_case "variadic extra args" `Quick accepts_variadic_extra;
+    Alcotest.test_case "return mismatch" `Quick rejects_return_mismatch;
+    Alcotest.test_case "break outside loop" `Quick rejects_break_outside;
+    Alcotest.test_case "break in loop" `Quick accepts_break_in_loop;
+    Alcotest.test_case "scope violations" `Quick rejects_scope_violations;
+    Alcotest.test_case "shadowing" `Quick accepts_shadowing;
+    Alcotest.test_case "bad initializers" `Quick rejects_bad_initializers;
+    Alcotest.test_case "good initializers" `Quick accepts_initializers;
+    Alcotest.test_case "expression typing" `Quick type_of_expr_rules;
+    Alcotest.test_case "conflicting declarations" `Quick conflicting_declarations;
+  ]

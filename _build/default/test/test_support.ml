@@ -1,0 +1,162 @@
+(* Tests for the support library: interner, deterministic RNG, tables. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ---- Interner ---------------------------------------------------------------- *)
+
+let interner_dense_ids () =
+  let t = Interner.create () in
+  check "first id" 0 (Interner.intern t "a");
+  check "second id" 1 (Interner.intern t "b");
+  check "reuse" 0 (Interner.intern t "a");
+  check "count" 2 (Interner.count t)
+
+let interner_get_roundtrip () =
+  let t = Interner.create () in
+  let keys = [ "x"; "y"; "z"; "w" ] in
+  let ids = List.map (Interner.intern t) keys in
+  List.iter2 (fun k id -> check_string "roundtrip" k (Interner.get t id)) keys ids
+
+let interner_find_opt () =
+  let t = Interner.create () in
+  ignore (Interner.intern t 42);
+  check_bool "present" true (Interner.find_opt t 42 = Some 0);
+  check_bool "absent" true (Interner.find_opt t 43 = None)
+
+let interner_bad_id () =
+  let t = Interner.create () in
+  ignore (Interner.intern t "only");
+  Alcotest.check_raises "negative id" (Invalid_argument "Interner.get: bad id")
+    (fun () -> ignore (Interner.get t (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Interner.get: bad id")
+    (fun () -> ignore (Interner.get t 1))
+
+let interner_growth () =
+  let t = Interner.create ~initial_size:1 () in
+  for i = 0 to 999 do
+    check "id" i (Interner.intern t i)
+  done;
+  check "count after growth" 1000 (Interner.count t);
+  check "spot check" 567 (Interner.intern t 567)
+
+let interner_iter_order () =
+  let t = Interner.create () in
+  List.iter (fun k -> ignore (Interner.intern t k)) [ "p"; "q"; "r" ];
+  let seen = ref [] in
+  Interner.iter (fun id k -> seen := (id, k) :: !seen) t;
+  Alcotest.(check (list (pair int string)))
+    "in id order" [ (0, "p"); (1, "q"); (2, "r") ] (List.rev !seen)
+
+(* ---- Srng --------------------------------------------------------------------- *)
+
+let srng_deterministic () =
+  let a = Srng.create 99L and b = Srng.create 99L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Srng.next_int64 a) (Srng.next_int64 b)
+  done
+
+let srng_of_string_deterministic () =
+  let a = Srng.of_string "bench" and b = Srng.of_string "bench" in
+  check "same ints" (Srng.int a 1000) (Srng.int b 1000);
+  let c = Srng.of_string "other" in
+  (* overwhelmingly likely to differ somewhere in 20 draws *)
+  let differs = ref false in
+  let a = Srng.of_string "bench" in
+  for _ = 1 to 20 do
+    if Srng.int a 1000000 <> Srng.int c 1000000 then differs := true
+  done;
+  check_bool "different seeds differ" true !differs
+
+let srng_int_range =
+  QCheck.Test.make ~name:"Srng.int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Srng.create (Int64.of_int seed) in
+      let v = Srng.int rng bound in
+      v >= 0 && v < bound)
+
+let srng_chance_extremes () =
+  let rng = Srng.create 7L in
+  check_bool "p=0 never" false (Srng.chance rng 0.);
+  check_bool "p=1 always" true (Srng.chance rng 1.)
+
+let srng_pick_singleton () =
+  let rng = Srng.create 7L in
+  check "array" 5 (Srng.pick rng [| 5 |]);
+  check "list" 5 (Srng.pick_list rng [ 5 ])
+
+let srng_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Srng.create (Int64.of_int seed) in
+      let arr = Array.of_list l in
+      Srng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+let srng_split_independent () =
+  let parent = Srng.create 1L in
+  let child = Srng.split parent in
+  (* child and parent advance independently *)
+  let c1 = Srng.next_int64 child in
+  let p1 = Srng.next_int64 parent in
+  check_bool "not identical" true (c1 <> p1)
+
+(* ---- Table --------------------------------------------------------------------- *)
+
+let table_renders_aligned () =
+  let t = Table.create ~headers:[ ("name", Table.Left); ("n", Table.Right) ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "bcd"; "22" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  (match lines with
+  | header :: _rule :: row1 :: row2 :: _ ->
+    check "all lines same width" (String.length header) (String.length row1);
+    check "row widths equal" (String.length row1) (String.length row2);
+    check_bool "right aligned number" true
+      (String.length row1 > 0 && row1.[String.length row1 - 1] = '1')
+  | _ -> Alcotest.fail "expected at least 4 lines")
+
+let table_wrong_arity () =
+  let t = Table.create ~headers:[ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: wrong number of cells")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let table_cells () =
+  check_string "int" "42" (Table.cell_int 42);
+  check_string "float" "3.14" (Table.cell_float 3.141592);
+  check_string "pct" "12.5%" (Table.cell_pct 0.125);
+  check_string "pct decimals" "12.50%" (Table.cell_pct ~decimals:2 0.125)
+
+let table_rule_in_output () =
+  let t = Table.create ~headers:[ ("x", Table.Left) ] in
+  Table.add_row t [ "1" ];
+  Table.add_rule t;
+  Table.add_row t [ "2" ];
+  let rendered = Table.render t in
+  check "five lines" 5
+    (List.length (List.filter (fun s -> s <> "") (String.split_on_char '\n' rendered)))
+
+let tests =
+  [
+    Alcotest.test_case "interner dense ids" `Quick interner_dense_ids;
+    Alcotest.test_case "interner get roundtrip" `Quick interner_get_roundtrip;
+    Alcotest.test_case "interner find_opt" `Quick interner_find_opt;
+    Alcotest.test_case "interner bad id" `Quick interner_bad_id;
+    Alcotest.test_case "interner growth" `Quick interner_growth;
+    Alcotest.test_case "interner iter order" `Quick interner_iter_order;
+    Alcotest.test_case "srng deterministic" `Quick srng_deterministic;
+    Alcotest.test_case "srng of_string" `Quick srng_of_string_deterministic;
+    QCheck_alcotest.to_alcotest srng_int_range;
+    Alcotest.test_case "srng chance extremes" `Quick srng_chance_extremes;
+    Alcotest.test_case "srng pick singleton" `Quick srng_pick_singleton;
+    QCheck_alcotest.to_alcotest srng_shuffle_permutation;
+    Alcotest.test_case "srng split" `Quick srng_split_independent;
+    Alcotest.test_case "table alignment" `Quick table_renders_aligned;
+    Alcotest.test_case "table arity check" `Quick table_wrong_arity;
+    Alcotest.test_case "table cell formatting" `Quick table_cells;
+    Alcotest.test_case "table rules" `Quick table_rule_in_output;
+  ]

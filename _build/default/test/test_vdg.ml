@@ -1,0 +1,263 @@
+(* VDG construction tests: SSA conversion, store threading, node shapes,
+   interprocedural wiring, recursion detection. *)
+
+let build src = Vdg_build.build (Norm.compile ~file:"v.c" src)
+
+let count_kind g pred =
+  let n = ref 0 in
+  Vdg.iter_nodes g (fun node -> if pred node.Vdg.nkind then incr n);
+  !n
+
+let scalar_code_has_no_memory_ops () =
+  (* non-addressed locals are pure dataflow: no lookup/update at all *)
+  let g = build "int main(void) { int a; int b; a = 1; b = a + 2; return a * b; }" in
+  Alcotest.(check int) "no lookups" 0
+    (count_kind g (function Vdg.Nlookup -> true | _ -> false));
+  Alcotest.(check int) "no updates" 0
+    (count_kind g (function Vdg.Nupdate -> true | _ -> false))
+
+let globals_go_through_store () =
+  let g = build "int x; int main(void) { x = 1; return x; }" in
+  Alcotest.(check int) "one update" 1
+    (count_kind g (function Vdg.Nupdate -> true | _ -> false));
+  Alcotest.(check int) "one lookup" 1
+    (count_kind g (function Vdg.Nlookup -> true | _ -> false))
+
+let gamma_at_join () =
+  let g =
+    build "int main(void) { int a; a = 0; if (a) a = 1; else a = 2; return a; }"
+  in
+  Alcotest.(check bool) "has gamma" true
+    (count_kind g (function Vdg.Ngamma -> true | _ -> false) >= 1)
+
+let gamma_inputs_match_preds () =
+  let g =
+    build "int main(void) { int a; a = 0; if (a) a = 1; else a = 2; return a; }"
+  in
+  Vdg.iter_nodes g (fun n ->
+      match n.Vdg.nkind with
+      | Vdg.Ngamma ->
+        Alcotest.(check int) "two-way merge" 2 (List.length n.Vdg.ninputs)
+      | _ -> ())
+
+let loop_gamma_cycle () =
+  (* SSA for a loop creates a gamma that (transitively) consumes itself *)
+  let g = build "int main(void) { int i; i = 0; while (i < 9) i = i + 1; return i; }" in
+  let reaches_self gamma =
+    let visited = Hashtbl.create 16 in
+    let rec chase nid =
+      if Hashtbl.mem visited nid then false
+      else begin
+        Hashtbl.replace visited nid ();
+        let node = Vdg.node g nid in
+        List.exists (fun inp -> inp = gamma || chase inp) node.Vdg.ninputs
+      end
+    in
+    chase gamma
+  in
+  let found_cycle = ref false in
+  Vdg.iter_nodes g (fun n ->
+      if n.Vdg.nkind = Vdg.Ngamma && reaches_self n.Vdg.nid then found_cycle := true);
+  Alcotest.(check bool) "loop-carried gamma" true !found_cycle
+
+let formals_and_returns_created () =
+  let g = build "int f(int a, int *p) { return a; } int main(void) { int x; return f(1, &x); }" in
+  let meta = Hashtbl.find g.Vdg.funs "f" in
+  Alcotest.(check int) "two formals" 2 (Array.length meta.Vdg.fm_formals);
+  Alcotest.(check bool) "ret value exists" true (meta.Vdg.fm_ret_value <> None);
+  let main_meta = Hashtbl.find g.Vdg.funs "main" in
+  Alcotest.(check int) "main has no formals" 0 (Array.length main_meta.Vdg.fm_formals)
+
+let void_function_has_no_ret_value () =
+  let g = build "void f(void) { return; } int main(void) { f(); return 0; }" in
+  let meta = Hashtbl.find g.Vdg.funs "f" in
+  Alcotest.(check bool) "no ret value" true (meta.Vdg.fm_ret_value = None)
+
+let call_meta_recorded () =
+  let g = build "int f(int a) { return a; } int main(void) { return f(7); }" in
+  Alcotest.(check int) "one call" 1 (List.length g.Vdg.calls);
+  let cm = Hashtbl.find g.Vdg.call_meta (List.hd g.Vdg.calls) in
+  Alcotest.(check int) "one actual" 1 (Array.length cm.Vdg.cm_args);
+  Alcotest.(check bool) "has result" true (cm.Vdg.cm_result <> None)
+
+let direct_vs_indirect_classification () =
+  let g =
+    build
+      {|int g1; int *p;
+        int main(void) {
+          int local;
+          g1 = 1;          /* direct global write */
+          local = g1;      /* direct read (but local is SSA, so only a lookup of g1) */
+          p = &g1;
+          *p = 2;          /* indirect */
+          return *p;       /* indirect */
+        }|}
+  in
+  let ops = Vdg.indirect_memops g in
+  (* only the two *p operations are indirect *)
+  Alcotest.(check int) "two indirect ops" 2 (List.length ops);
+  let rws = List.map snd ops in
+  Alcotest.(check bool) "one read one write" true
+    (List.mem `Read rws && List.mem `Write rws)
+
+let field_addressing_nodes () =
+  let g =
+    build
+      "struct s { int a; int b; }; struct s gs;\n\
+       int main(void) { struct s *p; p = &gs; p->b = 1; return p->b; }"
+  in
+  Alcotest.(check bool) "field addr nodes" true
+    (count_kind g (function Vdg.Nfield_addr (Apath.Field _) -> true | _ -> false) >= 2)
+
+let ssa_struct_uses_offset_nodes () =
+  (* a never-addressed struct local stays out of memory: member access
+     becomes value-level offset reads/writes *)
+  let g =
+    build
+      "struct s { int a; int b; };\n\
+       int main(void) { struct s v; v.a = 1; v.b = 2; return v.a + v.b; }"
+  in
+  Alcotest.(check int) "no memory traffic" 0
+    (count_kind g (function Vdg.Nlookup | Vdg.Nupdate -> true | _ -> false));
+  Alcotest.(check bool) "offset writes" true
+    (count_kind g (function Vdg.Noffset_write _ -> true | _ -> false) >= 2);
+  Alcotest.(check bool) "offset reads" true
+    (count_kind g (function Vdg.Noffset_read _ -> true | _ -> false) >= 2)
+
+let alloc_nodes_per_site () =
+  let g =
+    build
+      "int main(void) { int *a = (int *)malloc(4); int *b = (int *)malloc(4); return 0; }"
+  in
+  Alcotest.(check int) "two alloc nodes" 2
+    (count_kind g (function Vdg.Nalloc _ -> true | _ -> false))
+
+let recursion_detection_direct () =
+  let prog =
+    Norm.compile ~file:"r.c"
+      "int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }\n\
+       int helper(int n) { return n; }\n\
+       int main(void) { return fact(5) + helper(1); }"
+  in
+  let rec_funs = Vdg_build.recursive_functions prog in
+  Alcotest.(check bool) "fact recursive" true (Hashtbl.mem rec_funs "fact");
+  Alcotest.(check bool) "helper not" false (Hashtbl.mem rec_funs "helper");
+  Alcotest.(check bool) "main not" false (Hashtbl.mem rec_funs "main")
+
+let recursion_detection_mutual () =
+  let prog =
+    Norm.compile ~file:"r.c"
+      "int odd(int n);\n\
+       int even(int n) { if (n == 0) return 1; return odd(n - 1); }\n\
+       int odd(int n) { if (n == 0) return 0; return even(n - 1); }\n\
+       int main(void) { return even(4); }"
+  in
+  let rec_funs = Vdg_build.recursive_functions prog in
+  Alcotest.(check bool) "even recursive" true (Hashtbl.mem rec_funs "even");
+  Alcotest.(check bool) "odd recursive" true (Hashtbl.mem rec_funs "odd")
+
+let recursion_detection_address_taken () =
+  let prog =
+    Norm.compile ~file:"r.c"
+      "int cb(int n) { return n + 1; }\n\
+       int apply(int (*f)(int), int x) { return f(x); }\n\
+       int main(void) { return apply(cb, 1); }"
+  in
+  let rec_funs = Vdg_build.recursive_functions prog in
+  (* address-taken functions are conservatively treated as possibly
+     recursive (indirect calls could close a cycle) *)
+  Alcotest.(check bool) "address-taken cb marked" true (Hashtbl.mem rec_funs "cb")
+
+let recursive_locals_weak_bases () =
+  let prog =
+    Norm.compile ~file:"r.c"
+      "int deep(int n) { int slot; int *p; p = &slot; *p = n; if (n) return deep(n - 1); return slot; }\n\
+       int main(void) { return deep(3); }"
+  in
+  let g = Vdg_build.build prog in
+  (* the addressed local of a recursive function gets a weak base *)
+  let found = ref None in
+  Vdg.iter_nodes g (fun n ->
+      match n.Vdg.nkind with
+      | Vdg.Nbase b ->
+        (match b.Apath.bkind with
+        | Apath.Bvar v when v.Sil.vname = "slot" -> found := Some b.Apath.bsingular
+        | _ -> ())
+      | _ -> ());
+  Alcotest.(check (option bool)) "weakly updateable" (Some false) !found
+
+let main_argv_seeded () =
+  let g = build "int main(int argc, char **argv) { return argc; }" in
+  let meta = Hashtbl.find g.Vdg.funs "main" in
+  (* argv formal has a root-wiring input *)
+  let argv_node = Vdg.node g meta.Vdg.fm_formals.(1) in
+  Alcotest.(check bool) "argv wired" true (argv_node.Vdg.ninputs <> [])
+
+let graphs_validate () =
+  (* the structural validator accepts everything Vdg_build produces *)
+  List.iter
+    (fun src ->
+      let g = build src in
+      match Vdg.validate g with
+      | [] -> ()
+      | errs -> Alcotest.fail (String.concat "; " errs))
+    [
+      "int main(void) { return 0; }";
+      "int x; int *p; int main(void) { p = &x; return *p; }";
+      "int f(int n) { return n ? f(n - 1) : 0; }\nint main(void) { return f(3); }";
+      "int main(void) { int *h = (int *)malloc(4); *h = 1; return *h; }";
+    ];
+  (* and on benchmarks, in both representations *)
+  let prog = Suite.compile (Option.get (Suite.find "allroots")) in
+  List.iter
+    (fun mode ->
+      match Vdg.validate (Vdg_build.build ~mode prog) with
+      | [] -> ()
+      | errs -> Alcotest.fail (String.concat "; " errs))
+    [ Vdg_build.Sparse; Vdg_build.Dense ]
+
+let dot_export () =
+  let g = build "int x; int main(void) { int *p; p = &x; return *p; }" in
+  let dot = Vdg.to_dot g in
+  Alcotest.(check bool) "digraph header" true
+    (String.length dot > 20 && String.sub dot 0 11 = "digraph vdg");
+  Alcotest.(check bool) "has edges" true
+    (String.length dot > 100
+    && String.split_on_char '\n' dot
+       |> List.exists (fun l -> String.length l > 4 && String.sub l 2 1 = "n"));
+  (* the size guard produces a stub, not a huge drawing *)
+  let big = Vdg_build.build (Suite.compile (Option.get (Suite.find "bc"))) in
+  let stub = Vdg.to_dot ~max_nodes:10 big in
+  Alcotest.(check bool) "guarded" true
+    (String.length stub < 200)
+
+let alias_related_counts () =
+  let g = build "int *p; int x; int main(void) { p = &x; return *p; }" in
+  let total = Vdg.n_nodes g in
+  let related = Stats.alias_related_outputs g in
+  Alcotest.(check bool) "some but not all outputs alias-related" true
+    (related > 0 && related < total)
+
+let tests =
+  [
+    Alcotest.test_case "scalars stay out of memory" `Quick scalar_code_has_no_memory_ops;
+    Alcotest.test_case "globals use the store" `Quick globals_go_through_store;
+    Alcotest.test_case "gamma at join" `Quick gamma_at_join;
+    Alcotest.test_case "gamma arity" `Quick gamma_inputs_match_preds;
+    Alcotest.test_case "loop-carried gamma" `Quick loop_gamma_cycle;
+    Alcotest.test_case "formals and returns" `Quick formals_and_returns_created;
+    Alcotest.test_case "void returns" `Quick void_function_has_no_ret_value;
+    Alcotest.test_case "call metadata" `Quick call_meta_recorded;
+    Alcotest.test_case "indirect classification" `Quick direct_vs_indirect_classification;
+    Alcotest.test_case "field addressing" `Quick field_addressing_nodes;
+    Alcotest.test_case "SSA structs" `Quick ssa_struct_uses_offset_nodes;
+    Alcotest.test_case "alloc sites" `Quick alloc_nodes_per_site;
+    Alcotest.test_case "direct recursion" `Quick recursion_detection_direct;
+    Alcotest.test_case "mutual recursion" `Quick recursion_detection_mutual;
+    Alcotest.test_case "address-taken recursion" `Quick recursion_detection_address_taken;
+    Alcotest.test_case "recursive locals weak" `Quick recursive_locals_weak_bases;
+    Alcotest.test_case "argv seeding" `Quick main_argv_seeded;
+    Alcotest.test_case "graphs validate" `Quick graphs_validate;
+    Alcotest.test_case "dot export" `Quick dot_export;
+    Alcotest.test_case "alias-related outputs" `Quick alias_related_counts;
+  ]

@@ -1,0 +1,190 @@
+(* Workload generator tests: determinism, validity, calibration, and the
+   structural properties the paper's Section 5.1.2 describes. *)
+
+let small_entry name = Option.get (Suite.find name)
+
+let generator_deterministic () =
+  let e = small_entry "allroots" in
+  Alcotest.(check string) "byte identical" (Suite.source e) (Suite.source e)
+
+let distinct_benchmarks_differ () =
+  let a = Suite.source (small_entry "allroots") in
+  let b = Suite.source (small_entry "backprop") in
+  Alcotest.(check bool) "different programs" true (a <> b)
+
+let all_benchmarks_present () =
+  Alcotest.(check int) "thirteen" 13 (List.length Suite.benchmarks);
+  let names = List.map (fun e -> e.Suite.profile.Profile.name) Suite.benchmarks in
+  Alcotest.(check (list string)) "paper order"
+    [ "allroots"; "anagram"; "assembler"; "backprop"; "bc"; "compiler"; "compress";
+      "lex315"; "loader"; "part"; "simulator"; "span"; "yacr2" ]
+    names
+
+let sizes_near_paper () =
+  List.iter
+    (fun e ->
+      let lines = Genc.line_count (Suite.source e) in
+      let target = e.Suite.paper_lines in
+      let ratio = float_of_int lines /. float_of_int target in
+      if ratio < 0.7 || ratio > 1.4 then
+        Alcotest.fail
+          (Printf.sprintf "%s: %d lines vs paper %d (ratio %.2f)"
+             e.Suite.profile.Profile.name lines target ratio))
+    Suite.benchmarks
+
+let every_benchmark_compiles () =
+  List.iter
+    (fun e ->
+      try ignore (Suite.compile e)
+      with Srcloc.Error (loc, msg) ->
+        Alcotest.fail
+          (Printf.sprintf "%s: %s: %s" e.Suite.profile.Profile.name
+             (Srcloc.to_string loc) msg))
+    Suite.benchmarks
+
+let small_benchmarks_run_clean () =
+  List.iter
+    (fun name ->
+      let prog = Suite.compile (small_entry name) in
+      match (Interp.run ~fuel:1_000_000 prog).Interp.outcome with
+      | Interp.Exit _ -> ()
+      | Interp.Out_of_fuel -> Alcotest.fail (name ^ ": out of fuel")
+      | Interp.Trap m -> Alcotest.fail (name ^ ": trap: " ^ m))
+    [ "allroots"; "backprop"; "part"; "anagram" ]
+
+let no_dead_functions () =
+  (* every defined function except main/__global_init has a caller *)
+  let prog = Suite.compile (small_entry "part") in
+  let g = Vdg_build.build prog in
+  let ci = Ci_solver.solve g in
+  List.iter
+    (fun fd ->
+      let name = fd.Sil.fd_name in
+      if name <> "main" && name <> Sil.global_init_name then
+        Alcotest.(check bool) (name ^ " has callers") true
+          (Ci_solver.callers ci name <> []))
+    prog.Sil.p_functions
+
+let call_graph_sparse () =
+  (* the paper: procedures average ~4.2 callers, 54% single-caller; our
+     generator aims for the same regime (sparse, mostly few callers) *)
+  let prog = Suite.compile (small_entry "compiler") in
+  let g = Vdg_build.build prog in
+  let ci = Ci_solver.solve g in
+  let cg = Stats.callgraph_stats ci g in
+  Alcotest.(check bool) "avg callers between 1 and 10" true
+    (cg.Stats.cg_avg_callers >= 1. && cg.Stats.cg_avg_callers <= 10.);
+  Alcotest.(check bool) "some single-caller procedures" true
+    (cg.Stats.cg_single_caller_pct > 20.)
+
+let zero_multi_profiles () =
+  (* backprop/compiler/span: no indirect op may reference > 1 location
+     (paper, Section 3.2) *)
+  List.iter
+    (fun name ->
+      let prog = Suite.compile (small_entry name) in
+      let g = Vdg_build.build prog in
+      let ci = Ci_solver.solve g in
+      List.iter
+        (fun ((n : Vdg.node), _) ->
+          let nlocs = List.length (Ci_solver.referenced_locations ci n.Vdg.nid) in
+          if nlocs > 1 then
+            Alcotest.fail (Printf.sprintf "%s: node %d has %d locations" name n.Vdg.nid nlocs))
+        (Vdg.indirect_memops g))
+    [ "backprop"; "span" ]
+
+let multi_target_profiles_have_some () =
+  let prog = Suite.compile (small_entry "loader") in
+  let g = Vdg_build.build prog in
+  let ci = Ci_solver.solve g in
+  let multi =
+    List.filter
+      (fun ((n : Vdg.node), _) ->
+        List.length (Ci_solver.referenced_locations ci n.Vdg.nid) > 1)
+      (Vdg.indirect_memops g)
+  in
+  Alcotest.(check bool) "loader has multi-target ops" true (multi <> [])
+
+(* qcheck: random profile knobs always yield a program that parses,
+   type-checks, analyzes, and runs without trapping *)
+let arbitrary_profile =
+  QCheck.make
+    ~print:(fun (lines, lists, recs, bufs, multi, funptr, heavy, exch, stash) ->
+      Printf.sprintf "lines=%d lists=%d recs=%d bufs=%d multi=%b funptr=%b heavy=%b exch=%b stash=%d"
+        lines lists recs bufs multi funptr heavy exch stash)
+    QCheck.Gen.(
+      let* lines = int_range 120 500 in
+      let* lists = int_range 0 3 in
+      let* recs = int_range 0 2 in
+      let* bufs = int_range 0 3 in
+      let* multi = bool in
+      let* funptr = bool in
+      let* heavy = bool in
+      let* exch = bool in
+      let* stash = int_range 0 2 in
+      return (lines, lists, recs, bufs, multi, funptr, heavy, exch, stash))
+
+let profile_of (lines, lists, recs, bufs, multi, funptr, heavy, exch, stash) idx =
+  let p = Profile.default ~name:(Printf.sprintf "qc%d" idx) ~target_lines:lines in
+  {
+    p with
+    Profile.n_list_types = lists;
+    n_record_types = recs;
+    n_buffers = bufs;
+    multi_target = multi;
+    use_funptr = funptr;
+    string_heavy = heavy;
+    list_exchange = exch && lists > 0;
+    n_stashers = stash;
+  }
+
+let counter = ref 0
+
+let random_profiles_generate_valid_programs =
+  QCheck.Test.make ~name:"random profiles yield valid programs" ~count:15
+    arbitrary_profile (fun knobs ->
+      incr counter;
+      let p = profile_of knobs !counter in
+      let src = Genc.generate p in
+      let prog = Norm.compile ~file:(p.Profile.name ^ ".c") src in
+      let g = Vdg_build.build prog in
+      (match Vdg.validate g with
+      | [] -> ()
+      | errs -> QCheck.Test.fail_report (String.concat "; " errs));
+      let ci = Ci_solver.solve g in
+      let cs = Cs_solver.solve g ~ci in
+      (* CS never refines CI at indirect ops on generated programs *)
+      List.iter
+        (fun ((n : Vdg.node), _) ->
+          let a = List.sort Apath.compare (Ci_solver.referenced_locations ci n.Vdg.nid) in
+          let b = List.sort Apath.compare (Cs_solver.referenced_locations cs n.Vdg.nid) in
+          if not (List.equal Apath.equal a b) then
+            QCheck.Test.fail_report "CS refined CI on a generated program")
+        (Vdg.indirect_memops g);
+      match (Interp.run ~fuel:2_000_000 prog).Interp.outcome with
+      | Interp.Exit _ | Interp.Out_of_fuel -> true
+      | Interp.Trap m -> QCheck.Test.fail_report ("interpreter trap: " ^ m))
+
+let profile_default_scales () =
+  let small = Profile.default ~name:"s" ~target_lines:200 in
+  let large = Profile.default ~name:"l" ~target_lines:6000 in
+  Alcotest.(check bool) "larger profile has more globals" true
+    (large.Profile.n_int_globals >= small.Profile.n_int_globals);
+  Alcotest.(check bool) "list types grow" true
+    (large.Profile.n_list_types >= small.Profile.n_list_types)
+
+let tests =
+  [
+    Alcotest.test_case "deterministic" `Quick generator_deterministic;
+    Alcotest.test_case "benchmarks differ" `Quick distinct_benchmarks_differ;
+    Alcotest.test_case "all 13 present" `Quick all_benchmarks_present;
+    Alcotest.test_case "sizes near paper" `Quick sizes_near_paper;
+    Alcotest.test_case "all compile" `Quick every_benchmark_compiles;
+    Alcotest.test_case "small ones run clean" `Slow small_benchmarks_run_clean;
+    Alcotest.test_case "no dead functions" `Quick no_dead_functions;
+    Alcotest.test_case "call graph sparse" `Quick call_graph_sparse;
+    Alcotest.test_case "zero-multi profiles" `Quick zero_multi_profiles;
+    Alcotest.test_case "multi-target profiles" `Quick multi_target_profiles_have_some;
+    Alcotest.test_case "profile scaling" `Quick profile_default_scales;
+    QCheck_alcotest.to_alcotest random_profiles_generate_valid_programs;
+  ]
