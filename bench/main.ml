@@ -2,8 +2,9 @@
    evaluation on the synthetic suite, adds the ablation tables DESIGN.md
    calls out, and times the analyses with Bechamel.
 
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- quick   # skip the Bechamel timing runs *)
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- quick     # skip the Bechamel timing runs
+     dune exec bench/main.exe -- -j 4      # solve the suite on 4 domains *)
 
 let section title table =
   Printf.printf "== %s ==\n" title;
@@ -24,9 +25,14 @@ let strong_update_ablation results =
   in
   List.iter
     (fun (r : Figures.bench_result) ->
-      let weak =
-        Ci_solver.solve ~config:{ Ci_solver.default_config with Ci_solver.strong_updates = false } r.Figures.graph
+      let weak_config =
+        {
+          Engine.default_config with
+          Engine.ci_config =
+            { Ci_solver.default_config with Ci_solver.strong_updates = false };
+        }
       in
+      let weak = Engine.solve_ci ~config:weak_config r.Figures.graph in
       let strong_pc = (Stats.ci_pair_counts r.Figures.ci).Stats.pc_total in
       let weak_pc = (Stats.ci_pair_counts weak).Stats.pc_total in
       let avg solver =
@@ -113,14 +119,20 @@ let pruning_ablation () =
   List.iter
     (fun name ->
       let entry = Option.get (Suite.find name) in
-      let g = Vdg_build.build (Suite.compile entry) in
-      let ci = Ci_solver.solve g in
-      let pruned = Cs_solver.solve g ~ci in
-      let unpruned =
-        Cs_solver.solve
-          ~config:{ Cs_solver.default_config with Cs_solver.ci_pruning = false }
-          g ~ci
+      let input =
+        Engine.load_string ~file:(name ^ ".c") (Suite.source entry)
       in
+      let g = Engine.build_graph (Engine.compile input) in
+      let ci = Engine.solve_ci g in
+      let pruned = Engine.solve_cs g ~ci in
+      let unpruned_config =
+        {
+          Engine.default_config with
+          Engine.cs_config =
+            { Cs_solver.default_config with Cs_solver.ci_pruning = false };
+        }
+      in
+      let unpruned = Engine.solve_cs ~config:unpruned_config g ~ci in
       Table.add_row t
         [
           name;
@@ -153,11 +165,14 @@ let sparseness_ablation () =
   List.iter
     (fun name ->
       let entry = Option.get (Suite.find name) in
-      let prog = Suite.compile entry in
+      let prog =
+        Engine.compile (Engine.load_string ~file:(name ^ ".c") (Suite.source entry))
+      in
       let run mode =
-        let g = Vdg_build.build ~mode prog in
+        let config = { Engine.default_config with Engine.vdg_mode = mode } in
+        let g = Engine.build_graph ~config prog in
         let t0 = Unix.gettimeofday () in
-        let ci = Ci_solver.solve g in
+        let ci = Engine.solve_ci g in
         let dt = Unix.gettimeofday () -. t0 in
         (Vdg.n_nodes g, (Stats.ci_pair_counts ci).Stats.pc_total, dt)
       in
@@ -184,7 +199,10 @@ let bechamel_benches () =
     List.map
       (fun name ->
         let entry = Option.get (Suite.find name) in
-        (name, Suite.compile entry))
+        let input =
+          Engine.load_string ~file:(name ^ ".c") (Suite.source entry)
+        in
+        (name, Engine.compile input))
       [ "allroots"; "backprop"; "anagram"; "part"; "lex315" ]
   in
   let mk_test prefix f =
@@ -196,14 +214,14 @@ let bechamel_benches () =
   let tests =
     List.concat
       [
-        mk_test "vdg-build" (fun prog -> ignore (Vdg_build.build prog));
+        mk_test "vdg-build" (fun prog -> ignore (Engine.build_graph prog));
         mk_test "ci" (fun prog ->
-            let g = Vdg_build.build prog in
-            ignore (Ci_solver.solve g));
+            let g = Engine.build_graph prog in
+            ignore (Engine.solve_ci g));
         mk_test "cs" (fun prog ->
-            let g = Vdg_build.build prog in
-            let ci = Ci_solver.solve g in
-            ignore (Cs_solver.solve g ~ci));
+            let g = Engine.build_graph prog in
+            let ci = Engine.solve_ci g in
+            ignore (Engine.solve_cs g ~ci));
         mk_test "andersen" (fun prog -> ignore (Andersen.analyze prog));
         mk_test "steensgaard" (fun prog -> ignore (Steensgaard.analyze prog));
       ]
@@ -250,10 +268,25 @@ let bechamel_benches () =
 
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  let jobs =
+    (* `-j N` anywhere in argv; defaults to sequential so the per-phase
+       timings in the cost table stay contention-free *)
+    let rec find i =
+      if i + 1 >= Array.length Sys.argv then 1
+      else if Sys.argv.(i) = "-j" then
+        match int_of_string_opt Sys.argv.(i + 1) with
+        | Some n when n >= 1 -> n
+        | _ -> 1
+      else find (i + 1)
+    in
+    find 1
+  in
   Printf.printf
     "Reproducing: Ruf, \"Context-Insensitive Alias Analysis Reconsidered\" (PLDI 1995)\n";
-  Printf.printf "Benchmarks are deterministic synthetic stand-ins; see DESIGN.md.\n\n";
-  let results = Figures.analyze_suite () in
+  Printf.printf "Benchmarks are deterministic synthetic stand-ins; see DESIGN.md.\n";
+  if jobs > 1 then Printf.printf "Suite analysis on %d domains.\n" jobs;
+  print_newline ();
+  let results = Figures.analyze_suite ~jobs () in
   section "Figure 2: benchmark programs and their sizes in source and VDG form"
     (Figures.figure2 results);
   section "Figure 3: total points-to relationships (context-insensitive)"

@@ -5,16 +5,16 @@
      tables [names...]  regenerate the paper's figures for the suite
      gen <name>         print a generated benchmark program
      interp <file.c>    run a program under the concrete interpreter
-     bench-list         list the benchmark suite *)
+     bench-list         list the benchmark suite
+     conflicts <file.c> report operation pairs that may conflict
+     purity <file.c>    classify each function's memory purity
+
+   All analysis goes through the Engine facade: phases are timed, solver
+   counters captured, and `--metrics FILE` dumps them as JSON.  `tables`
+   additionally caches results (keyed by source hash + config) and can
+   fan the suite out over multiple domains with `--jobs N`. *)
 
 open Cmdliner
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
 
 let with_frontend_errors f =
   try f () with
@@ -22,21 +22,39 @@ let with_frontend_errors f =
     Printf.eprintf "%s: error: %s\n" (Srcloc.to_string loc) msg;
     exit 1
 
+let write_metrics path json =
+  match open_out path with
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Ejson.to_string json);
+        output_char oc '\n')
+  | exception Sys_error msg ->
+    Printf.eprintf "alias-analyze: cannot write metrics: %s\n" msg;
+    exit 1
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write per-phase timings and solver counters as JSON to $(docv).")
+
 (* ---- analyze ----------------------------------------------------------------- *)
 
-let run_analyze file dump_sil dump_dot context_sensitive show_pairs =
+let run_analyze file dump_sil dump_dot context_sensitive show_pairs metrics =
   with_frontend_errors @@ fun () ->
-  let prog = Norm.compile ~file (read_file file) in
+  let a = Engine.run (Engine.load_file file) in
+  let prog = a.Engine.prog and g = a.Engine.graph and ci = a.Engine.ci in
   if dump_sil then Format.printf "%a@." Sil.pp_program prog;
-  let g = Vdg_build.build prog in
   if dump_dot then print_string (Vdg.to_dot g);
-  let ci = Ci_solver.solve g in
   Printf.printf "functions: %d   VDG nodes: %d   alias-related outputs: %d\n"
     (List.length prog.Sil.p_functions) (Vdg.n_nodes g)
     (Stats.alias_related_outputs g);
   let locations_of =
     if context_sensitive then begin
-      let cs = Cs_solver.solve g ~ci in
+      let cs = Engine.cs a in
       Printf.printf "mode: context-sensitive (CS pairs: %d, CI pairs: %d)\n"
         (Stats.cs_pair_counts cs g).Stats.pc_total
         (Stats.ci_pair_counts ci).Stats.pc_total;
@@ -81,7 +99,10 @@ let run_analyze file dump_sil dump_dot context_sensitive show_pairs =
             (fun p -> Printf.printf "    %s\n" (Ptpair.to_string p))
             set
         end)
-  end
+  end;
+  Option.iter
+    (fun path -> write_metrics path (Telemetry.to_json a.Engine.telemetry))
+    metrics
 
 let analyze_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c") in
@@ -100,16 +121,14 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the points-to analysis on a C file")
-    Term.(const run_analyze $ file $ dump_sil $ dot $ cs $ pairs)
+    Term.(const run_analyze $ file $ dump_sil $ dot $ cs $ pairs $ metrics_arg)
 
 (* ---- conflicts ----------------------------------------------------------------- *)
 
 let run_conflicts file =
   with_frontend_errors @@ fun () ->
-  let prog = Norm.compile ~file (read_file file) in
-  let g = Vdg_build.build prog in
-  let ci = Ci_solver.solve g in
-  let modref = Modref.of_ci ci in
+  let a = Engine.run (Engine.load_file file) in
+  let modref = Modref.of_ci a.Engine.ci in
   List.iter
     (fun fd ->
       let fname = fd.Sil.fd_name in
@@ -134,7 +153,7 @@ let run_conflicts file =
             conflicts
         end
       end)
-    prog.Sil.p_functions
+    a.Engine.prog.Sil.p_functions
 
 let conflicts_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c") in
@@ -147,19 +166,17 @@ let conflicts_cmd =
 
 let run_purity file =
   with_frontend_errors @@ fun () ->
-  let prog = Norm.compile ~file (read_file file) in
-  let g = Vdg_build.build prog in
-  let ci = Ci_solver.solve g in
+  let a = Engine.run (Engine.load_file file) in
   List.iter
     (fun fd ->
       let fname = fd.Sil.fd_name in
       if fname <> Sil.global_init_name then
         Printf.printf "%-24s %s\n" fname
-          (match Query.classify_purity g ci fname with
+          (match Query.classify_purity a.Engine.graph a.Engine.ci fname with
           | Query.Pure -> "pure"
           | Query.Impure_writes -> "writes memory"
           | Query.Impure_calls ext -> "calls extern '" ^ ext ^ "'"))
-    prog.Sil.p_functions
+    a.Engine.prog.Sil.p_functions
 
 let purity_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c") in
@@ -169,9 +186,15 @@ let purity_cmd =
 
 (* ---- tables ------------------------------------------------------------------- *)
 
-let run_tables names =
+let run_tables names jobs metrics cache_dir no_cache =
+  if jobs < 1 then (
+    prerr_endline "alias-analyze: --jobs must be at least 1";
+    exit 2);
   let names = match names with [] -> None | l -> Some l in
-  let results = Figures.analyze_suite ?names () in
+  let cache =
+    if no_cache then None else Some (Engine_cache.create ~dir:cache_dir ())
+  in
+  let results = Figures.analyze_suite ?names ~jobs ?cache () in
   let section title table =
     Printf.printf "== %s ==\n" title;
     Table.print table
@@ -189,13 +212,39 @@ let run_tables names =
     (Figures.headline results);
   section "Section 4.2: analysis cost" (Figures.cost_table results);
   section "Section 4.2: CI-based pruning applicability" (Figures.pruning_table results);
-  section "Section 5.1.2: call-graph sparsity" (Figures.callgraph_table results)
+  section "Section 5.1.2: call-graph sparsity" (Figures.callgraph_table results);
+  let cache_stats =
+    match cache with
+    | None -> []
+    | Some c ->
+      Printf.printf "cache (%s): %s\n" cache_dir (Engine_cache.stats_summary c);
+      Engine_cache.stats_json c
+  in
+  Option.iter
+    (fun path -> write_metrics path (Figures.suite_metrics ~cache_stats results))
+    metrics
 
 let tables_cmd =
   let names = Arg.(value & pos_all string [] & info [] ~docv:"BENCHMARK") in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Analyze up to $(docv) benchmarks in parallel (OCaml domains).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string "_alias_cache"
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Directory for the on-disk result cache.")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the result cache.")
+  in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run_tables $ names)
+    Term.(const run_tables $ names $ jobs $ metrics_arg $ cache_dir $ no_cache)
 
 (* ---- gen ----------------------------------------------------------------------- *)
 
@@ -218,7 +267,7 @@ let gen_cmd =
 
 let run_interp file fuel trace =
   with_frontend_errors @@ fun () ->
-  let prog = Norm.compile ~file (read_file file) in
+  let prog = Engine.compile (Engine.load_file file) in
   let res = Interp.run ~fuel prog in
   print_string res.Interp.output;
   (match res.Interp.outcome with

@@ -41,9 +41,8 @@ int main(void) {
 |}
 
 let () =
-  let prog = Norm.compile ~file:"events.c" program in
-  let g = Vdg_build.build prog in
-  let ci = Ci_solver.solve g in
+  let a = Engine.run (Engine.load_string ~file:"events.c" program) in
+  let prog = a.Engine.prog and g = a.Engine.graph and ci = a.Engine.ci in
 
   print_endline "resolved call graph (direct and indirect edges):";
   let edges = Hashtbl.create 32 in

@@ -52,10 +52,9 @@ int main(int argc, char **argv) {
 |}
 
 let compare_on name src =
-  let prog = Norm.compile ~file:(name ^ ".c") src in
-  let g = Vdg_build.build prog in
-  let ci = Ci_solver.solve g in
-  let cs = Cs_solver.solve g ~ci in
+  let a = Engine.run (Engine.load_string ~file:(name ^ ".c") src) in
+  let g = a.Engine.graph and ci = a.Engine.ci in
+  let cs = Engine.cs a in
   Printf.printf "== %s ==\n" name;
   let refined = ref 0 and same = ref 0 in
   List.iter
@@ -96,10 +95,9 @@ let per_callsite_projection () =
      void set(int *p, int v) { *p = v; }\n\
      int main(void) { set(&a, 1); set(&b, 2); return a + b; }"
   in
-  let prog = Norm.compile ~file:"proj.c" src in
-  let g = Vdg_build.build prog in
-  let ci = Ci_solver.solve g in
-  let cs = Cs_solver.solve g ~ci in
+  let a = Engine.run (Engine.load_string ~file:"proj.c" src) in
+  let g = a.Engine.graph and ci = a.Engine.ci in
+  let cs = Engine.cs a in
   print_endline "== qualified pairs used directly (per-callsite mod sets) ==";
   let write_node =
     List.find_map

@@ -28,9 +28,8 @@ int main(void) {
 |}
 
 let () =
-  let prog = Norm.compile ~file:"deadstore.c" program in
-  let g = Vdg_build.build prog in
-  let ci = Ci_solver.solve g in
+  let a = Engine.run (Engine.load_string ~file:"deadstore.c" program) in
+  let g = a.Engine.graph and ci = a.Engine.ci in
   let modref = Modref.of_ci ci in
 
   (* union of everything the program ever reads through pointers or

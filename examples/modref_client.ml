@@ -64,9 +64,8 @@ int main(void) {
 |}
 
 let () =
-  let prog = Norm.compile ~file:"driver.c" program in
-  let graph = Vdg_build.build prog in
-  let ci = Ci_solver.solve graph in
+  let a = Engine.run (Engine.load_string ~file:"driver.c" program) in
+  let prog = a.Engine.prog and ci = a.Engine.ci in
   let modref = Modref.of_ci ci in
 
   let show title paths =

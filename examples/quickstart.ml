@@ -34,18 +34,16 @@ int main(int argc, char **argv) {
 |}
 
 let () =
-  (* 1. frontend: preprocess, parse, type check, lower to SIL *)
-  let prog = Norm.compile ~file:"quickstart.c" program in
-
-  (* 2. build the value dependence graph (SSA + threaded store) *)
-  let graph = Vdg_build.build prog in
+  (* 1. one call runs the pipeline: preprocess/parse/typecheck/lower,
+     build the value dependence graph (SSA + threaded store), and solve
+     the context-insensitive analysis (paper, Figure 1).  The
+     context-sensitive solve is lazy — untouched here, never run. *)
+  let a = Engine.run (Engine.load_string ~file:"quickstart.c" program) in
+  let graph = a.Engine.graph and ci = a.Engine.ci in
   Printf.printf "VDG: %d nodes, %d alias-related outputs\n\n" (Vdg.n_nodes graph)
     (Stats.alias_related_outputs graph);
 
-  (* 3. run the context-insensitive points-to analysis (paper, Figure 1) *)
-  let ci = Ci_solver.solve graph in
-
-  (* 4. query: what may each indirect memory operation touch? *)
+  (* 2. query: what may each indirect memory operation touch? *)
   print_endline "indirect memory operations:";
   List.iter
     (fun ((n : Vdg.node), rw) ->
@@ -59,8 +57,18 @@ let () =
         (String.concat ", " (List.map Apath.to_string targets)))
     (Vdg.indirect_memops graph);
 
-  (* 5. sanity-check the program actually runs (concrete interpreter) *)
-  let res = Interp.run prog in
+  (* 3. the engine timed each phase *)
+  Printf.printf "\nphases:";
+  List.iter
+    (fun name ->
+      match Telemetry.phase_seconds a.Engine.telemetry name with
+      | Some s -> Printf.printf " %s %.1fms" name (1000. *. s)
+      | None -> ())
+    Telemetry.phase_names;
+  print_newline ();
+
+  (* 4. sanity-check the program actually runs (concrete interpreter) *)
+  let res = Interp.run a.Engine.prog in
   (match res.Interp.outcome with
   | Interp.Exit code -> Printf.printf "\nconcrete run: exit %Ld (sum 0+1+2+3 = 6)\n" code
   | Interp.Out_of_fuel -> print_endline "\nconcrete run: out of fuel"

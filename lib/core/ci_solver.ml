@@ -19,6 +19,8 @@ module Workbag = struct
     policy : schedule;
     rng : Srng.t;
     mutable head : int;  (* Fifo read cursor *)
+    mutable pushed : int;  (* lifetime add count *)
+    mutable popped : int;  (* lifetime pop count *)
   }
 
   let create policy =
@@ -28,6 +30,8 @@ module Workbag = struct
       policy;
       rng = Srng.create (match policy with Random_order seed -> Int64.of_int seed | _ -> 0L);
       head = 0;
+      pushed = 0;
+      popped = 0;
     }
 
   let is_empty t = t.count = t.head
@@ -43,7 +47,8 @@ module Workbag = struct
       t.head <- 0
     end;
     t.items.(t.count) <- Some x;
-    t.count <- t.count + 1
+    t.count <- t.count + 1;
+    t.pushed <- t.pushed + 1
 
   let pop t =
     if is_empty t then invalid_arg "Workbag.pop: empty";
@@ -66,6 +71,7 @@ module Workbag = struct
       t.items.(idx) <- t.items.(t.head);
       t.items.(t.head) <- None;
       t.head <- t.head + 1);
+    t.popped <- t.popped + 1;
     x
 end
 
@@ -93,6 +99,8 @@ let graph t = t.g
 let pairs t nid = t.pts.(nid)
 let flow_in_count t = t.flow_in_count
 let flow_out_count t = t.flow_out_count
+let worklist_pushes t = t.worklist.Workbag.pushed
+let worklist_pops t = t.worklist.Workbag.popped
 
 let callees t call =
   match Hashtbl.find_opt t.call_callees call with

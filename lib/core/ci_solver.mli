@@ -39,6 +39,13 @@ val pairs : t -> Vdg.node_id -> Ptpair.Set.t
 val flow_in_count : t -> int
 val flow_out_count : t -> int
 
+val worklist_pushes : t -> int
+(** Lifetime worklist additions (work-item granularity, one per
+    (consumer, input, pair) notification). *)
+
+val worklist_pops : t -> int
+(** Lifetime worklist removals; equals [worklist_pushes] at fixpoint. *)
+
 val callees : t -> Vdg.node_id -> string list
 (** Resolved callees of a call node (defined functions only). *)
 

@@ -24,6 +24,8 @@ type t = {
   worklist : (Vdg.node_id * int * Ptpair.t * Assumption.t) Queue.t;
   mutable flow_in_count : int;
   mutable flow_out_count : int;
+  mutable worklist_pushed : int;
+  mutable worklist_popped : int;
   (* CI-derived pruning info, per lookup/update node *)
   single_loc : (Vdg.node_id, bool) Hashtbl.t;
   ci_locs : (Vdg.node_id, Apath.t list) Hashtbl.t;
@@ -60,7 +62,9 @@ let rec flow_out t output pair aset =
   in
   if Assumption.Antichain.insert e.e_chain aset then begin
     List.iter
-      (fun (consumer, idx) -> Queue.add (consumer, idx, pair, aset) t.worklist)
+      (fun (consumer, idx) ->
+        Queue.add (consumer, idx, pair, aset) t.worklist;
+        t.worklist_pushed <- t.worklist_pushed + 1)
       (Vdg.consumers t.g output);
     match (Vdg.node t.g output).Vdg.nkind with
     | Vdg.Nret_value fname ->
@@ -394,6 +398,8 @@ let solve ?(config = default_config) (g : Vdg.t) ~(ci : Ci_solver.t) : t =
       worklist = Queue.create ();
       flow_in_count = 0;
       flow_out_count = 0;
+      worklist_pushed = 0;
+      worklist_popped = 0;
       single_loc = Hashtbl.create 64;
       ci_locs = Hashtbl.create 64;
     }
@@ -402,6 +408,7 @@ let solve ?(config = default_config) (g : Vdg.t) ~(ci : Ci_solver.t) : t =
   seed t;
   while not (Queue.is_empty t.worklist) do
     let nid, idx, pair, aset = Queue.pop t.worklist in
+    t.worklist_popped <- t.worklist_popped + 1;
     flow_in t nid idx pair aset
   done;
   t
@@ -415,6 +422,8 @@ let qualified t output =
 
 let flow_in_count t = t.flow_in_count
 let flow_out_count t = t.flow_out_count
+let worklist_pushes t = t.worklist_pushed
+let worklist_pops t = t.worklist_popped
 
 let referenced_locations t nid =
   let n = Vdg.node t.g nid in

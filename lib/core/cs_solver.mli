@@ -50,6 +50,12 @@ val qualified : t -> Vdg.node_id -> (Ptpair.t * Assumption.t list) list
 val flow_in_count : t -> int
 val flow_out_count : t -> int
 
+val worklist_pushes : t -> int
+(** Lifetime worklist additions of qualified work items. *)
+
+val worklist_pops : t -> int
+(** Lifetime worklist removals; equals [worklist_pushes] at fixpoint. *)
+
 val referenced_locations : t -> Vdg.node_id -> Apath.t list
 (** As {!Ci_solver.referenced_locations}, from the CS solution. *)
 

@@ -1,0 +1,242 @@
+(* A minimal JSON tree, printer, and parser.  The repository has no JSON
+   dependency; the engine's telemetry needs to emit machine-readable
+   metrics files and the test suite needs to read them back.  Only the
+   subset of JSON we produce is supported (no unicode escapes beyond
+   \uXXXX pass-through, no exotic number forms). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+(* ---- printing ----------------------------------------------------------------- *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_literal f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let rec write buf indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_literal f)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape_string s);
+    Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        write buf (indent + 2) item)
+      items;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf ']'
+  | Assoc [] -> Buffer.add_string buf "{}"
+  | Assoc fields ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string k);
+        Buffer.add_string buf "\": ";
+        write buf (indent + 2) item)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  write buf 0 v;
+  Buffer.contents buf
+
+(* ---- parsing ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek ps = if ps.pos < String.length ps.src then Some ps.src.[ps.pos] else None
+
+let advance ps = ps.pos <- ps.pos + 1
+
+let fail ps msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg ps.pos))
+
+let rec skip_ws ps =
+  match peek ps with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance ps;
+    skip_ws ps
+  | _ -> ()
+
+let expect ps c =
+  match peek ps with
+  | Some c' when c' = c -> advance ps
+  | _ -> fail ps (Printf.sprintf "expected '%c'" c)
+
+let literal ps word v =
+  if
+    ps.pos + String.length word <= String.length ps.src
+    && String.sub ps.src ps.pos (String.length word) = word
+  then begin
+    ps.pos <- ps.pos + String.length word;
+    v
+  end
+  else fail ps (Printf.sprintf "expected '%s'" word)
+
+let parse_string_body ps =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek ps with
+    | None -> fail ps "unterminated string"
+    | Some '"' -> advance ps
+    | Some '\\' ->
+      advance ps;
+      (match peek ps with
+      | Some 'n' -> Buffer.add_char buf '\n'; advance ps
+      | Some 't' -> Buffer.add_char buf '\t'; advance ps
+      | Some 'r' -> Buffer.add_char buf '\r'; advance ps
+      | Some 'b' -> Buffer.add_char buf '\b'; advance ps
+      | Some 'f' -> Buffer.add_char buf '\012'; advance ps
+      | Some 'u' ->
+        advance ps;
+        if ps.pos + 4 > String.length ps.src then fail ps "bad \\u escape";
+        let code = int_of_string ("0x" ^ String.sub ps.src ps.pos 4) in
+        ps.pos <- ps.pos + 4;
+        (* produce raw bytes for the BMP code point; enough for our output *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else Buffer.add_char buf '?'
+      | Some c -> Buffer.add_char buf c; advance ps
+      | None -> fail ps "unterminated escape");
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance ps;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number ps =
+  let start = ps.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek ps with Some c -> is_num_char c | None -> false) do
+    advance ps
+  done;
+  let text = String.sub ps.src start (ps.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None ->
+    (match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail ps "malformed number")
+
+let rec parse_value ps =
+  skip_ws ps;
+  match peek ps with
+  | None -> fail ps "unexpected end of input"
+  | Some 'n' -> literal ps "null" Null
+  | Some 't' -> literal ps "true" (Bool true)
+  | Some 'f' -> literal ps "false" (Bool false)
+  | Some '"' ->
+    advance ps;
+    String (parse_string_body ps)
+  | Some '[' ->
+    advance ps;
+    skip_ws ps;
+    if peek ps = Some ']' then begin
+      advance ps;
+      List []
+    end
+    else begin
+      let items = ref [ parse_value ps ] in
+      skip_ws ps;
+      while peek ps = Some ',' do
+        advance ps;
+        items := parse_value ps :: !items;
+        skip_ws ps
+      done;
+      expect ps ']';
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    advance ps;
+    skip_ws ps;
+    if peek ps = Some '}' then begin
+      advance ps;
+      Assoc []
+    end
+    else begin
+      let field () =
+        skip_ws ps;
+        expect ps '"';
+        let k = parse_string_body ps in
+        skip_ws ps;
+        expect ps ':';
+        let v = parse_value ps in
+        (k, v)
+      in
+      let fields = ref [ field () ] in
+      skip_ws ps;
+      while peek ps = Some ',' do
+        advance ps;
+        fields := field () :: !fields;
+        skip_ws ps
+      done;
+      expect ps '}';
+      Assoc (List.rev !fields)
+    end
+  | Some _ -> parse_number ps
+
+let of_string s =
+  let ps = { src = s; pos = 0 } in
+  let v = parse_value ps in
+  skip_ws ps;
+  if ps.pos <> String.length s then fail ps "trailing garbage";
+  v
+
+(* ---- accessors ----------------------------------------------------------------- *)
+
+let member key = function
+  | Assoc fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function List l -> Some l | _ -> None
+
+let keys = function Assoc fields -> List.map fst fields | _ -> []

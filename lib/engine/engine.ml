@@ -1,0 +1,295 @@
+(* The single front door to the analysis pipeline.
+
+   Every client (CLI, examples, bench harness, figure generator) used to
+   hand-roll  read_file -> Norm.compile -> Vdg_build.build ->
+   Ci_solver.solve -> Cs_solver.solve.  The engine owns that sequence:
+
+     let a = Engine.run (Engine.load_file "prog.c") in
+     ... a.ci ...                       (* context-insensitive solution *)
+     ... Engine.cs a ...               (* CS solution, solved on demand *)
+     ... a.telemetry ...               (* per-phase times + counters *)
+
+   Phases: load -> frontend (preproc/parse/sema/SIL) -> vdg (SSA) ->
+   ci (Figure 1) -> cs (Figure 5, lazily forced).  Each phase is timed
+   into the analysis' Telemetry.t; solver cost counters are captured so
+   the paper's Section 4.2 cost story can be emitted as JSON.
+
+   [run] optionally consults an Engine_cache.t keyed by a digest of the
+   source text and the configuration fingerprint: in-memory within a
+   process, on disk (Marshal, version-guarded) across processes. *)
+
+type input = {
+  in_file : string;    (* display name, used in diagnostics and telemetry *)
+  in_source : string;
+  in_load_seconds : float;
+}
+
+type config = {
+  ci_config : Ci_solver.config;
+  cs_config : Cs_solver.config;
+  vdg_mode : Vdg_build.mode;
+}
+
+let default_config =
+  {
+    ci_config = Ci_solver.default_config;
+    cs_config = Cs_solver.default_config;
+    vdg_mode = Vdg_build.Sparse;
+  }
+
+(* The context-sensitive half is demand-driven: many clients (mod/ref,
+   call graphs, purity) only need CI.  The cell is shared between the
+   original run and any cache-hit copies so the solve happens once. *)
+type cs_cell = {
+  mutable cc_cs : Cs_solver.t option;
+  mutable cc_seconds : float;
+  mutable cc_counters : Telemetry.solver_counters option;
+  cc_lock : Mutex.t;
+  cc_solve : unit -> Cs_solver.t;
+  cc_on_solved : Cs_solver.t -> unit;  (* e.g. refresh the disk cache entry *)
+}
+
+type analysis = {
+  a_input : input;
+  a_config : config;
+  prog : Sil.program;
+  graph : Vdg.t;
+  ci : Ci_solver.t;
+  cs_cell : cs_cell;
+  telemetry : Telemetry.t;
+}
+
+(* ---- loading ------------------------------------------------------------------- *)
+
+(* Reads the whole file; the channel is closed even if reading raises
+   (the old clients leaked it on a short read). *)
+let load_file path =
+  let t0 = Unix.gettimeofday () in
+  let ic = open_in_bin path in
+  let source =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  { in_file = path; in_source = source; in_load_seconds = Unix.gettimeofday () -. t0 }
+
+let load_string ?(file = "<memory>.c") source =
+  { in_file = file; in_source = source; in_load_seconds = 0. }
+
+(* ---- staged phase API ----------------------------------------------------------- *)
+
+(* For clients that need a single phase (the bench harness times them
+   individually; the interpreter only needs the SIL program). *)
+let compile input = Norm.compile ~file:input.in_file input.in_source
+
+let build_graph ?(config = default_config) prog =
+  Vdg_build.build ~mode:config.vdg_mode prog
+
+let solve_ci ?(config = default_config) graph =
+  Ci_solver.solve ~config:config.ci_config graph
+
+let solve_cs ?(config = default_config) graph ~ci =
+  Cs_solver.solve ~config:config.cs_config graph ~ci
+
+(* ---- cache plumbing ------------------------------------------------------------- *)
+
+let fingerprint (c : config) ~file =
+  let schedule =
+    match c.ci_config.Ci_solver.schedule with
+    | Ci_solver.Fifo -> "fifo"
+    | Ci_solver.Lifo -> "lifo"
+    | Ci_solver.Random_order seed -> "rand:" ^ string_of_int seed
+  in
+  Printf.sprintf "file=%s;su=%b;sched=%s;prune=%b;budget=%d;mode=%s" file
+    c.ci_config.Ci_solver.strong_updates schedule
+    c.cs_config.Cs_solver.ci_pruning c.cs_config.Cs_solver.max_meets
+    (match c.vdg_mode with Vdg_build.Sparse -> "sparse" | Vdg_build.Dense -> "dense")
+
+let cache_key config input =
+  Engine_cache.key ~source:input.in_source
+    ~fingerprint:(fingerprint config ~file:input.in_file)
+
+(* the on-disk payload: everything needed to rebuild an analysis without
+   re-solving.  No closures — all solver state is plain data. *)
+type stored = {
+  s_prog : Sil.program;
+  s_graph : Vdg.t;
+  s_ci : Ci_solver.t;
+  s_cs : Cs_solver.t option;
+  s_telemetry : Telemetry.t;
+}
+
+(* ---- counters -------------------------------------------------------------------- *)
+
+let ci_counters ci : Telemetry.solver_counters =
+  {
+    Telemetry.sc_flow_in = Ci_solver.flow_in_count ci;
+    sc_flow_out = Ci_solver.flow_out_count ci;
+    sc_worklist_pushes = Ci_solver.worklist_pushes ci;
+    sc_worklist_pops = Ci_solver.worklist_pops ci;
+    sc_pairs = (Stats.ci_pair_counts ci).Stats.pc_total;
+  }
+
+let cs_counters graph cs : Telemetry.solver_counters =
+  {
+    Telemetry.sc_flow_in = Cs_solver.flow_in_count cs;
+    sc_flow_out = Cs_solver.flow_out_count cs;
+    sc_worklist_pushes = Cs_solver.worklist_pushes cs;
+    sc_worklist_pops = Cs_solver.worklist_pops cs;
+    sc_pairs = (Stats.cs_pair_counts cs graph).Stats.pc_total;
+  }
+
+(* ---- the pipeline ----------------------------------------------------------------- *)
+
+let make_cs_cell ?(seconds = 0.) ?counters ?(on_solved = fun _ -> ()) ~solve
+    prior =
+  {
+    cc_cs = prior;
+    cc_seconds = seconds;
+    cc_counters = counters;
+    cc_lock = Mutex.create ();
+    cc_solve = solve;
+    cc_on_solved = on_solved;
+  }
+
+(* Force the context-sensitive solve; idempotent, safe under domains. *)
+let cs a =
+  let cell = a.cs_cell in
+  Mutex.lock cell.cc_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cell.cc_lock)
+    (fun () ->
+      let result =
+        match cell.cc_cs with
+        | Some cs -> cs
+        | None ->
+          let t0 = Unix.gettimeofday () in
+          let cs = cell.cc_solve () in
+          cell.cc_seconds <- Unix.gettimeofday () -. t0;
+          cell.cc_counters <- Some (cs_counters a.graph cs);
+          cell.cc_cs <- Some cs;
+          cell.cc_on_solved cs;
+          cs
+      in
+      (* reflect the (possibly shared) solve into this record's telemetry *)
+      if Telemetry.phase_seconds a.telemetry "cs" = None then
+        Telemetry.record_phase a.telemetry "cs" cell.cc_seconds;
+      if a.telemetry.Telemetry.t_cs = None then
+        a.telemetry.Telemetry.t_cs <- cell.cc_counters;
+      result)
+
+let cs_forced a = a.cs_cell.cc_cs <> None
+
+let populate_shape_counters telemetry prog graph =
+  telemetry.Telemetry.t_functions <- List.length prog.Sil.p_functions;
+  telemetry.Telemetry.t_vdg_nodes <- Vdg.n_nodes graph;
+  telemetry.Telemetry.t_alias_outputs <- Stats.alias_related_outputs graph
+
+let store_payload cache key a =
+  let telemetry = Telemetry.copy a.telemetry in
+  (* the CS back-fill into [a.telemetry] happens only when a client reads
+     the solve through [cs]; when storing from on_solved the cell already
+     holds the time/counters, so fold them in here *)
+  (if a.cs_cell.cc_cs <> None then begin
+     if Telemetry.phase_seconds telemetry "cs" = None then
+       Telemetry.record_phase telemetry "cs" a.cs_cell.cc_seconds;
+     if telemetry.Telemetry.t_cs = None then
+       telemetry.Telemetry.t_cs <- a.cs_cell.cc_counters
+   end);
+  Engine_cache.store_disk cache key
+    {
+      s_prog = a.prog;
+      s_graph = a.graph;
+      s_ci = a.ci;
+      s_cs = a.cs_cell.cc_cs;
+      s_telemetry = telemetry;
+    }
+
+let fresh_run ?cache ~key config input =
+  let telemetry =
+    Telemetry.create ~file:input.in_file
+      ~source_bytes:(String.length input.in_source)
+  in
+  Telemetry.record_phase telemetry "load" input.in_load_seconds;
+  let prog = Telemetry.time telemetry "frontend" (fun () -> compile input) in
+  let graph = Telemetry.time telemetry "vdg" (fun () -> build_graph ~config prog) in
+  let ci = Telemetry.time telemetry "ci" (fun () -> solve_ci ~config graph) in
+  populate_shape_counters telemetry prog graph;
+  telemetry.Telemetry.t_ci <- Some (ci_counters ci);
+  let rec analysis =
+    lazy
+      {
+        a_input = input;
+        a_config = config;
+        prog;
+        graph;
+        ci;
+        cs_cell =
+          make_cs_cell ~solve:(fun () -> solve_cs ~config graph ~ci)
+            ~on_solved:(fun _ ->
+              match cache with
+              | Some c -> store_payload c key (Lazy.force analysis)
+              | None -> ())
+            None;
+        telemetry;
+      }
+  in
+  let a = Lazy.force analysis in
+  (match cache with
+  | Some c ->
+    Engine_cache.add_memory c key a;
+    store_payload c key a
+  | None -> ());
+  a
+
+let of_stored ?cache ~key config input (s : stored) =
+  let telemetry = Telemetry.copy s.s_telemetry in
+  telemetry.Telemetry.t_cache <- Telemetry.Disk_hit;
+  let rec analysis =
+    lazy
+      {
+        a_input = input;
+        a_config = config;
+        prog = s.s_prog;
+        graph = s.s_graph;
+        ci = s.s_ci;
+        cs_cell =
+          make_cs_cell
+            ~seconds:
+              (Option.value ~default:0.
+                 (Telemetry.phase_seconds s.s_telemetry "cs"))
+            ?counters:s.s_telemetry.Telemetry.t_cs
+            ~solve:(fun () -> solve_cs ~config s.s_graph ~ci:s.s_ci)
+            ~on_solved:(fun _ ->
+              match cache with
+              | Some c -> store_payload c key (Lazy.force analysis)
+              | None -> ())
+            s.s_cs;
+        telemetry;
+      }
+  in
+  Lazy.force analysis
+
+(* A cache-hit view: same heavyweight results, private telemetry so the
+   hit can be reported without rewriting the original run's record. *)
+let hit_view status a =
+  let telemetry = Telemetry.copy a.telemetry in
+  telemetry.Telemetry.t_cache <- status;
+  { a with telemetry }
+
+let run ?(config = default_config) ?cache input =
+  match cache with
+  | None -> fresh_run ~key:"" config input
+  | Some c -> (
+    let key = cache_key config input in
+    match Engine_cache.find_memory c key with
+    | Some a -> hit_view Telemetry.Memory_hit a
+    | None -> (
+      match (Engine_cache.find_disk c key : stored option) with
+      | Some s ->
+        let a = of_stored ~cache:c ~key config input s in
+        Engine_cache.add_memory c key a;
+        a
+      | None ->
+        Engine_cache.record_miss c;
+        fresh_run ~cache:c ~key config input))

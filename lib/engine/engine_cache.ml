@@ -1,0 +1,118 @@
+(* Content-hash-keyed result cache with two layers:
+
+   - an in-memory table (any value type), shared across the whole process
+     and safe to use from parallel Par_runner workers;
+   - an optional on-disk layer keyed by the same digest, so a later
+     *process* (e.g. a second `alias-analyze tables` run) can skip
+     re-solving unchanged sources.  Disk entries are Marshal payloads
+     guarded by a format-version header; anything unreadable is treated
+     as a miss, never an error.
+
+   Keys are digests of (cache format version, source text, config
+   fingerprint) — computed by the caller via [key]. *)
+
+type stats = {
+  mutable memory_hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+type 'v t = {
+  dir : string option;
+  mem : (string, 'v) Hashtbl.t;
+  lock : Mutex.t;
+  st : stats;
+}
+
+(* bump when the marshaled payload shape or any solver data structure
+   changes; stale files then simply miss *)
+let format_version = "alias-engine-cache/1"
+
+let create ?dir () =
+  (match dir with
+  | Some d when not (Sys.file_exists d) ->
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  | _ -> ());
+  { dir; mem = Hashtbl.create 16; lock = Mutex.create (); st = { memory_hits = 0; disk_hits = 0; misses = 0; stores = 0 } }
+
+let stats t = t.st
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let key ~source ~fingerprint =
+  Digest.to_hex (Digest.string (format_version ^ "\x00" ^ fingerprint ^ "\x00" ^ source))
+
+let entry_path t k =
+  match t.dir with None -> None | Some d -> Some (Filename.concat d (k ^ ".bin"))
+
+(* ---- memory layer ------------------------------------------------------------- *)
+
+let find_memory t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.mem k with
+      | Some v ->
+        t.st.memory_hits <- t.st.memory_hits + 1;
+        Some v
+      | None -> None)
+
+let add_memory t k v = locked t (fun () -> Hashtbl.replace t.mem k v)
+
+(* ---- disk layer ---------------------------------------------------------------- *)
+
+(* The payload type is chosen by the caller and must match between store
+   and find — the usual Marshal contract.  The version header catches
+   cross-format reads; within one build the caller guarantees the type. *)
+let find_disk (type d) t k : d option =
+  match entry_path t k with
+  | None -> None
+  | Some path ->
+    if not (Sys.file_exists path) then None
+    else begin
+      match
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let header = really_input_string ic (String.length format_version) in
+            if header <> format_version then None
+            else Some (Marshal.from_channel ic : d))
+      with
+      | Some v ->
+        locked t (fun () -> t.st.disk_hits <- t.st.disk_hits + 1);
+        Some v
+      | None -> None
+      | exception _ -> None
+    end
+
+let store_disk (type d) t k (v : d) =
+  match entry_path t k with
+  | None -> ()
+  | Some path ->
+    (try
+       let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+       let oc = open_out_bin tmp in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           output_string oc format_version;
+           Marshal.to_channel oc v []);
+       Sys.rename tmp path;
+       locked t (fun () -> t.st.stores <- t.st.stores + 1)
+     with Sys_error _ | Unix.Unix_error _ -> ())
+
+let record_miss t = locked t (fun () -> t.st.misses <- t.st.misses + 1)
+
+let stats_summary t =
+  Printf.sprintf "%d memory hit(s), %d disk hit(s), %d miss(es), %d store(s)"
+    t.st.memory_hits t.st.disk_hits t.st.misses t.st.stores
+
+let stats_json t =
+  [
+    ("cache_stats_memory_hits", Ejson.Int t.st.memory_hits);
+    ("cache_stats_disk_hits", Ejson.Int t.st.disk_hits);
+    ("cache_stats_misses", Ejson.Int t.st.misses);
+    ("cache_stats_stores", Ejson.Int t.st.stores);
+  ]

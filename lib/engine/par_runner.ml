@@ -1,0 +1,47 @@
+(* A small fixed-size worker pool over OCaml 5 domains: order-preserving
+   parallel map used by the suite runner.  The analysis pipeline has no
+   global mutable state (interners, solvers, and tables are all created
+   per run), so independent inputs can be solved on independent domains;
+   shared structures (Engine_cache) carry their own locks.
+
+   Work is distributed by an atomic cursor rather than pre-chunking, so
+   a few slow benchmarks (bc, simulator) don't strand the other workers. *)
+
+let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+exception Worker_failure of exn
+
+let map ?jobs f items =
+  let jobs = match jobs with Some n -> n | None -> 1 in
+  if jobs < 1 then invalid_arg "Par_runner.map: jobs must be >= 1";
+  match items with
+  | [] -> []
+  | items when jobs = 1 || List.length items = 1 -> List.map f items
+  | items ->
+    let input = Array.of_list items in
+    let n = Array.length input in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else
+          match f input.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+            (* first failure wins; the rest of the pool drains *)
+            ignore (Atomic.compare_and_set failure None (Some e))
+      done
+    in
+    let spawned =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    (match Atomic.get failure with
+    | Some e -> raise (Worker_failure e)
+    | None -> ());
+    Array.to_list (Array.map Option.get results)

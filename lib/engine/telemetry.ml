@@ -1,0 +1,147 @@
+(* Per-run instrumentation: wall-clock time per pipeline phase plus the
+   solver cost counters the paper's Section 4.2 is framed around
+   (transfer-function applications = flow_in, meet operations = flow_out,
+   worklist traffic, and result sizes).  A telemetry record is carried by
+   every Engine.analysis and serializes to JSON for --metrics. *)
+
+type cache_status = Cold | Memory_hit | Disk_hit
+
+let string_of_cache_status = function
+  | Cold -> "miss"
+  | Memory_hit -> "memory-hit"
+  | Disk_hit -> "disk-hit"
+
+type solver_counters = {
+  sc_flow_in : int;          (* transfer-function applications *)
+  sc_flow_out : int;         (* meet operations *)
+  sc_worklist_pushes : int;
+  sc_worklist_pops : int;
+  sc_pairs : int;            (* total points-to pairs in the solution *)
+}
+
+type t = {
+  t_file : string;
+  t_source_bytes : int;
+  mutable t_phases : (string * float) list;  (* in completion order *)
+  mutable t_cache : cache_status;
+  mutable t_functions : int;
+  mutable t_vdg_nodes : int;
+  mutable t_alias_outputs : int;
+  mutable t_ci : solver_counters option;
+  mutable t_cs : solver_counters option;
+}
+
+(* Phases recorded by Engine.run, in pipeline order.  "cs" only appears
+   once the lazily-forced context-sensitive solve has actually run. *)
+let phase_names = [ "load"; "frontend"; "vdg"; "ci"; "cs" ]
+
+let create ~file ~source_bytes =
+  {
+    t_file = file;
+    t_source_bytes = source_bytes;
+    t_phases = [];
+    t_cache = Cold;
+    t_functions = 0;
+    t_vdg_nodes = 0;
+    t_alias_outputs = 0;
+    t_ci = None;
+    t_cs = None;
+  }
+
+let record_phase t name seconds =
+  t.t_phases <- t.t_phases @ [ (name, seconds) ]
+
+let time t name f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  record_phase t name (Unix.gettimeofday () -. t0);
+  result
+
+let phase_seconds t name = List.assoc_opt name t.t_phases
+
+let total_seconds t = List.fold_left (fun acc (_, s) -> acc +. s) 0. t.t_phases
+
+(* A detached copy, so that cache hits can report their own status
+   without mutating the record of the run that populated the cache. *)
+let copy t =
+  {
+    t_file = t.t_file;
+    t_source_bytes = t.t_source_bytes;
+    t_phases = t.t_phases;
+    t_cache = t.t_cache;
+    t_functions = t.t_functions;
+    t_vdg_nodes = t.t_vdg_nodes;
+    t_alias_outputs = t.t_alias_outputs;
+    t_ci = t.t_ci;
+    t_cs = t.t_cs;
+  }
+
+(* ---- JSON --------------------------------------------------------------------- *)
+
+let counters_json prefix (c : solver_counters) =
+  [
+    (prefix ^ "_flow_in", Ejson.Int c.sc_flow_in);
+    (prefix ^ "_flow_out", Ejson.Int c.sc_flow_out);
+    (prefix ^ "_worklist_pushes", Ejson.Int c.sc_worklist_pushes);
+    (prefix ^ "_worklist_pops", Ejson.Int c.sc_worklist_pops);
+    (prefix ^ "_pairs", Ejson.Int c.sc_pairs);
+  ]
+
+let to_json t =
+  let phases =
+    Ejson.Assoc (List.map (fun (name, s) -> (name, Ejson.Float s)) t.t_phases)
+  in
+  let counters =
+    [
+      ("functions", Ejson.Int t.t_functions);
+      ("vdg_nodes", Ejson.Int t.t_vdg_nodes);
+      ("alias_outputs", Ejson.Int t.t_alias_outputs);
+    ]
+    @ (match t.t_ci with Some c -> counters_json "ci" c | None -> [])
+    @ (match t.t_cs with Some c -> counters_json "cs" c | None -> [])
+  in
+  Ejson.Assoc
+    [
+      ("file", Ejson.String t.t_file);
+      ("source_bytes", Ejson.Int t.t_source_bytes);
+      ("cache", Ejson.String (string_of_cache_status t.t_cache));
+      ("total_seconds", Ejson.Float (total_seconds t));
+      ("phases", phases);
+      ("counters", Ejson.Assoc counters);
+    ]
+
+(* A suite-level report: one entry per run plus aggregate totals, the
+   shape `alias-analyze tables --metrics FILE` writes. *)
+let suite_to_json ?(cache_stats = []) ts =
+  let sum f = List.fold_left (fun acc t -> acc + f t) 0 ts in
+  let sumf f = List.fold_left (fun acc t -> acc +. f t) 0. ts in
+  let count_cache st =
+    List.length (List.filter (fun t -> t.t_cache = st) ts)
+  in
+  let opt_sum proj field =
+    sum (fun t -> match proj t with Some c -> field c | None -> 0)
+  in
+  let totals =
+    Ejson.Assoc
+      ([
+         ("runs", Ejson.Int (List.length ts));
+         ("total_seconds", Ejson.Float (sumf total_seconds));
+         ("cache_misses", Ejson.Int (count_cache Cold));
+         ("cache_memory_hits", Ejson.Int (count_cache Memory_hit));
+         ("cache_disk_hits", Ejson.Int (count_cache Disk_hit));
+         ("vdg_nodes", Ejson.Int (sum (fun t -> t.t_vdg_nodes)));
+         ("ci_flow_in", Ejson.Int (opt_sum (fun t -> t.t_ci) (fun c -> c.sc_flow_in)));
+         ("ci_flow_out", Ejson.Int (opt_sum (fun t -> t.t_ci) (fun c -> c.sc_flow_out)));
+         ("ci_pairs", Ejson.Int (opt_sum (fun t -> t.t_ci) (fun c -> c.sc_pairs)));
+         ("cs_flow_in", Ejson.Int (opt_sum (fun t -> t.t_cs) (fun c -> c.sc_flow_in)));
+         ("cs_flow_out", Ejson.Int (opt_sum (fun t -> t.t_cs) (fun c -> c.sc_flow_out)));
+         ("cs_pairs", Ejson.Int (opt_sum (fun t -> t.t_cs) (fun c -> c.sc_pairs)));
+       ]
+      @ cache_stats)
+  in
+  Ejson.Assoc
+    [
+      ("schema", Ejson.String "alias-engine-metrics/1");
+      ("benchmarks", Ejson.List (List.map to_json ts));
+      ("totals", totals);
+    ]

@@ -1,6 +1,7 @@
 type bench_result = {
   entry : Suite.entry;
   src_lines : int;
+  analysis : Engine.analysis;
   prog : Sil.program;
   graph : Vdg.t;
   ci : Ci_solver.t;
@@ -9,31 +10,30 @@ type bench_result = {
   cs_seconds : float;
 }
 
-let now () = Unix.gettimeofday ()
-
-let analyze_benchmark (entry : Suite.entry) : bench_result =
+let analyze_benchmark ?cache (entry : Suite.entry) : bench_result =
   let src = Suite.source entry in
-  let prog =
-    Norm.compile ~file:(entry.Suite.profile.Profile.name ^ ".c") src
+  let input =
+    Engine.load_string ~file:(entry.Suite.profile.Profile.name ^ ".c") src
   in
-  let graph = Vdg_build.build prog in
-  let t0 = now () in
-  let ci = Ci_solver.solve graph in
-  let t1 = now () in
-  let cs = Cs_solver.solve graph ~ci in
-  let t2 = now () in
+  let analysis = Engine.run ?cache input in
+  let cs = Engine.cs analysis in
+  let phase name =
+    Option.value ~default:0.
+      (Telemetry.phase_seconds analysis.Engine.telemetry name)
+  in
   {
     entry;
     src_lines = Genc.line_count src;
-    prog;
-    graph;
-    ci;
+    analysis;
+    prog = analysis.Engine.prog;
+    graph = analysis.Engine.graph;
+    ci = analysis.Engine.ci;
     cs;
-    ci_seconds = t1 -. t0;
-    cs_seconds = t2 -. t1;
+    ci_seconds = phase "ci";
+    cs_seconds = phase "cs";
   }
 
-let analyze_suite ?names () =
+let analyze_suite ?names ?jobs ?cache () =
   let selected =
     match names with
     | None -> Suite.benchmarks
@@ -42,7 +42,11 @@ let analyze_suite ?names () =
         (fun e -> List.mem e.Suite.profile.Profile.name names)
         Suite.benchmarks
   in
-  List.map analyze_benchmark selected
+  Par_runner.map ?jobs (analyze_benchmark ?cache) selected
+
+let suite_metrics ?cache_stats results =
+  Telemetry.suite_to_json ?cache_stats
+    (List.map (fun r -> r.analysis.Engine.telemetry) results)
 
 let name_of r = r.entry.Suite.profile.Profile.name
 

@@ -8,6 +8,7 @@
 type bench_result = {
   entry : Suite.entry;
   src_lines : int;
+  analysis : Engine.analysis;  (** pipeline results + phase telemetry *)
   prog : Sil.program;
   graph : Vdg.t;
   ci : Ci_solver.t;
@@ -16,10 +17,23 @@ type bench_result = {
   cs_seconds : float;
 }
 
-val analyze_benchmark : Suite.entry -> bench_result
+val analyze_benchmark :
+  ?cache:Engine.analysis Engine_cache.t -> Suite.entry -> bench_result
+(** Thin wrapper over {!Engine.run} (the CS solve is forced, since every
+    figure needs it). *)
 
-val analyze_suite : ?names:string list -> unit -> bench_result list
-(** All benchmarks (or the named subset), in the paper's order. *)
+val analyze_suite :
+  ?names:string list ->
+  ?jobs:int ->
+  ?cache:Engine.analysis Engine_cache.t ->
+  unit ->
+  bench_result list
+(** All benchmarks (or the named subset), in the paper's order.
+    [jobs > 1] distributes benchmarks over that many domains
+    ({!Par_runner.map}); results are order- and schedule-independent. *)
+
+val suite_metrics : ?cache_stats:(string * Ejson.t) list -> bench_result list -> Ejson.t
+(** The --metrics JSON payload: per-benchmark telemetry plus totals. *)
 
 val figure2 : bench_result list -> Table.t
 (** Benchmark programs and their sizes in source and VDG form. *)

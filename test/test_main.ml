@@ -20,4 +20,5 @@ let () =
       ("query", Test_query.tests);
       ("misc", Test_misc.tests);
       ("integration", Test_integration.tests);
+      ("engine", Test_engine.tests);
     ]
