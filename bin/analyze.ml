@@ -8,6 +8,7 @@
      bench-list         list the benchmark suite
      conflicts <file.c> report operation pairs that may conflict
      purity <file.c>    classify each function's memory purity
+     lint <file.c>      run the checker suite (text/json/SARIF output)
 
    All analysis goes through the Engine facade: phases are timed, solver
    counters captured, and `--metrics FILE` dumps them as JSON.  `tables`
@@ -162,6 +163,58 @@ let conflicts_cmd =
        ~doc:"Report operation pairs that may touch the same storage")
     Term.(const run_conflicts $ file)
 
+(* ---- lint ---------------------------------------------------------------------- *)
+
+let run_lint file format checkers compare_cs metrics =
+  (match Registry.select checkers with
+  | Ok _ -> ()
+  | Error msg ->
+    Printf.eprintf "alias-analyze: %s\n" msg;
+    exit 2);
+  with_frontend_errors @@ fun () ->
+  let a = Engine.run (Engine.load_file file) in
+  let report = Lint.run ~checkers ~compare_cs a in
+  (match format with
+  | `Text -> print_string (Lint.to_text report)
+  | `Json -> print_endline (Ejson.to_string (Lint.to_json report))
+  | `Sarif -> print_endline (Ejson.to_string (Lint.to_sarif report)));
+  Option.iter
+    (fun path -> write_metrics path (Telemetry.to_json a.Engine.telemetry))
+    metrics
+
+let lint_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c") in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: $(b,text), $(b,json), or $(b,sarif) (2.1.0).")
+  in
+  let checkers =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "checkers" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated checker selection (default: all).  Known \
+             checkers: dangling-pointer, null-deref, uninit-read, conflict, \
+             dead-store.")
+  in
+  let cs =
+    Arg.(
+      value & flag
+      & info [ "cs" ]
+          ~doc:
+            "Also run every checker against the context-sensitive solution \
+             and mark diagnostics whose verdict differs (the paper predicts \
+             no differences).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the points-to-driven checker suite over a C file")
+    Term.(const run_lint $ file $ format $ checkers $ cs $ metrics_arg)
+
 (* ---- purity -------------------------------------------------------------------- *)
 
 let run_purity file =
@@ -213,6 +266,8 @@ let run_tables names jobs metrics cache_dir no_cache =
   section "Section 4.2: analysis cost" (Figures.cost_table results);
   section "Section 4.2: CI-based pruning applicability" (Figures.pruning_table results);
   section "Section 5.1.2: call-graph sparsity" (Figures.callgraph_table results);
+  section "Checker suite: diagnostics per benchmark (CI, with CS verdict delta)"
+    (Figures.checkers_table results);
   let cache_stats =
     match cache with
     | None -> []
@@ -312,4 +367,4 @@ let () =
        (Cmd.group
           (Cmd.info "alias-analyze" ~doc)
           [ analyze_cmd; tables_cmd; gen_cmd; interp_cmd; bench_list_cmd;
-            conflicts_cmd; purity_cmd ]))
+            conflicts_cmd; purity_cmd; lint_cmd ]))

@@ -1,0 +1,24 @@
+/* clean fixture: a small linked-list program every checker should
+   pass without a diagnostic. */
+
+typedef struct node { int val; struct node *next; } node_t;
+
+node_t *push(node_t *head, int v) {
+  node_t *n = (node_t *)malloc(sizeof(node_t));
+  n->val = v;
+  n->next = head;
+  return n;
+}
+
+int total(node_t *l) {
+  int s = 0;
+  while (l) { s += l->val; l = l->next; }
+  return s;
+}
+
+int main(void) {
+  node_t *stack = 0;
+  int i;
+  for (i = 0; i < 4; i++) stack = push(stack, i);
+  return total(stack);
+}

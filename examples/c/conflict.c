@@ -1,0 +1,13 @@
+/* conflict fixture: both formals of work() may point to the same
+   global, so its writes and read collide. */
+
+int shared;
+
+int work(int *p, int *q, int n) {
+  *p = n;                 /* conflict: write-write with the later *p, */
+  n += *q;                /* ... and read-write with this read        */
+  *p = n + 1;
+  return n;
+}
+
+int main(void) { return work(&shared, &shared, 1); }

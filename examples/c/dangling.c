@@ -1,0 +1,22 @@
+/* dangling-pointer fixture: two escape routes for a frame-local
+   address — returned to the caller, and stored into a global. */
+
+int *hold;
+
+int *escape_by_return(void) {
+  int x;
+  x = 42;
+  return &x;              /* dangling: &x outlives x */
+}
+
+void escape_by_store(void) {
+  int y;
+  y = 7;
+  hold = &y;              /* dangling: global keeps &y past the frame */
+}
+
+int main(void) {
+  int *p = escape_by_return();
+  escape_by_store();
+  return *p + *hold;      /* derefs of both dangling pointers */
+}

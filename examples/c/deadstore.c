@@ -1,0 +1,19 @@
+/* dead-store fixture: three pointer writes, two of which modify
+   storage the program never reads. */
+
+int config; int debug_level; int stats_writes;
+int *cfg_p; int *dbg_p; int *stats_p;
+
+void set_all(int v) {
+  *cfg_p = v;             /* read later via `return config`: live */
+  *dbg_p = v + 1;         /* dead-store */
+  *stats_p = v + 2;       /* dead-store */
+}
+
+int main(void) {
+  cfg_p = &config;
+  dbg_p = &debug_level;
+  stats_p = &stats_writes;
+  set_all(7);
+  return config;
+}

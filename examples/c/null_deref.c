@@ -1,0 +1,11 @@
+/* null-deref fixture: stores through a constant-null pointer and
+   through a pointer variable nothing ever aims at storage. */
+
+int *never_assigned;
+
+int main(void) {
+  int *p = 0;
+  *p = 1;                 /* null-deref: p is always null */
+  *never_assigned = 2;    /* null-deref: zero-initialized global pointer */
+  return 0;
+}

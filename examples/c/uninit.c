@@ -1,0 +1,12 @@
+/* uninit-read fixture: a local read through a pointer before any
+   initialization, and an uninitialized heap cell. */
+
+int main(void) {
+  int x;
+  int *p = &x;
+  int y = *p;             /* uninit-read: x has no dominating store */
+  int *h = (int *)malloc(sizeof(int));
+  int z = *h;             /* uninit-read: fresh heap cell never written */
+  x = y + z;
+  return x;
+}

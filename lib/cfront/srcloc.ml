@@ -6,6 +6,16 @@ let make ~file ~line ~col = { file; line; col }
 
 let to_string t = Printf.sprintf "%s:%d:%d" t.file t.line t.col
 
+let equal a b =
+  a.line = b.line && a.col = b.col && String.equal a.file b.file
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else Int.compare a.col b.col
+
 exception Error of t * string
 
 let error loc fmt = Format.kasprintf (fun msg -> raise (Error (loc, msg))) fmt

@@ -14,6 +14,11 @@ val make : file:string -> line:int -> col:int -> t
 val to_string : t -> string
 (** ["file:line:col"]. *)
 
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Order by file, then line, then column. *)
+
 exception Error of t * string
 (** Frontend error carrying its source position.  All lexer, preprocessor,
     parser and type errors are reported through this exception. *)

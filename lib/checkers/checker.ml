@@ -1,0 +1,48 @@
+type solution = {
+  sol_label : string;
+  sol_pairs : Vdg.node_id -> Ptpair.t list;
+  sol_locations : Vdg.node_id -> Apath.t list;
+}
+
+type ctx = {
+  cx_prog : Sil.program;
+  cx_graph : Vdg.t;
+  cx_ci : Ci_solver.t;
+  cx_sol : solution;
+  cx_modref : Modref.t;
+}
+
+type info = {
+  ck_name : string;
+  ck_doc : string;
+  ck_run : ctx -> Diag.t list;
+}
+
+let ci_solution ci =
+  {
+    sol_label = "ci";
+    sol_pairs = (fun nid -> Ptpair.Set.elements (Ci_solver.pairs ci nid));
+    sol_locations = Ci_solver.referenced_locations ci;
+  }
+
+let cs_solution _g cs =
+  {
+    sol_label = "cs";
+    sol_pairs = Cs_solver.pairs cs;
+    sol_locations = Cs_solver.referenced_locations cs;
+  }
+
+let in_frame fname (b : Apath.base) =
+  match b.Apath.bkind with
+  | Apath.Bvar v -> (
+    match v.Sil.vkind with
+    | Sil.Local f | Sil.Temp f -> String.equal f fname
+    | Sil.Param (f, _) -> String.equal f fname
+    | Sil.Global -> false)
+  | Apath.Bheap _ | Apath.Bstr _ | Apath.Bfun _ | Apath.Bext _ -> false
+
+let root_base (p : Apath.t) = p.Apath.proot
+
+let where = function Some l -> Srcloc.to_string l | None -> "<entry>"
+
+let string_of_rw = function `Read -> "read" | `Write -> "write"

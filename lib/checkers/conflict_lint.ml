@@ -1,0 +1,58 @@
+(* conflict: Query.conflicts_in promoted to located diagnostics.  Two
+   indirect operations in the same function, at least one a write, whose
+   target sets may overlap: the pair cannot be reordered, vectorized, or
+   parallelized.  The second operation and the witness paths ride along
+   as a related location and message detail. *)
+
+let checker_name = "conflict"
+
+let run cx =
+  List.concat_map
+    (fun (fd : Sil.fundec) ->
+      let fname = fd.Sil.fd_name in
+      if String.equal fname Sil.global_init_name then []
+      else
+        List.map
+          (fun (c : Query.conflict) ->
+            let kind =
+              match c.Query.cf_kind with
+              | `Write_write -> "write-write"
+              | `Read_write -> "read-write"
+            in
+            let a = c.Query.cf_a and b = c.Query.cf_b in
+            let related =
+              match b.Modref.op_loc with
+              | Some l ->
+                [
+                  ( l,
+                    Printf.sprintf "conflicts with this %s"
+                      (Checker.string_of_rw b.Modref.op_rw) );
+                ]
+              | None -> []
+            in
+            Diag.make ~checker:checker_name ~severity:Diag.Warning
+              ?loc:a.Modref.op_loc ~related
+              ~fingerprint:
+                (Printf.sprintf "%s|%s|%s|%s|%s" checker_name fname
+                   (Checker.where a.Modref.op_loc)
+                   (Checker.where b.Modref.op_loc)
+                   kind)
+              (Printf.sprintf
+                 "%s conflict in '%s': %s at %s and %s at %s may touch { %s }"
+                 kind fname
+                 (Checker.string_of_rw a.Modref.op_rw)
+                 (Checker.where a.Modref.op_loc)
+                 (Checker.string_of_rw b.Modref.op_rw)
+                 (Checker.where b.Modref.op_loc)
+                 (String.concat ", " (List.map Apath.to_string c.Query.cf_common))))
+          (Query.conflicts_in cx.Checker.cx_modref fname))
+    cx.Checker.cx_prog.Sil.p_functions
+
+let checker =
+  {
+    Checker.ck_name = checker_name;
+    ck_doc =
+      "Two indirect operations in one function, at least one a write, may \
+       touch the same storage and cannot be reordered.";
+    ck_run = run;
+  }

@@ -1,0 +1,120 @@
+(* dangling-pointer: the address of frame-local storage escaping the
+   frame that owns it.  Two escape routes are checked, both read straight
+   off the points-to solution:
+
+   - return: the pairs on a function's return-value merge node contain a
+     referent rooted in the function's own frame ("return &local");
+   - store: an update writes a value that may contain the address of a
+     local of the enclosing function into storage that outlives the
+     frame (a global, the heap, or another frame's storage).
+
+   Either way the stored address outlives the storage it names. *)
+
+let checker_name = "dangling-pointer"
+
+let return_blocks (fd : Sil.fundec) =
+  Array.to_list fd.Sil.fd_blocks
+  |> List.filter_map (fun (b : Sil.block) ->
+         match b.Sil.bterm with
+         | Sil.Return (Some _) -> Some b.Sil.bterm_loc
+         | _ -> None)
+
+let escaping_referents cx fname nid =
+  List.filter_map
+    (fun (p : Ptpair.t) ->
+      match Checker.root_base p.Ptpair.referent with
+      | Some b when Checker.in_frame fname b -> Some b
+      | _ -> None)
+    (cx.Checker.cx_sol.Checker.sol_pairs nid)
+  |> List.sort_uniq (fun a b -> compare a.Apath.bid b.Apath.bid)
+
+let check_returns cx (fd : Sil.fundec) =
+  let fname = fd.Sil.fd_name in
+  match Hashtbl.find_opt cx.Checker.cx_graph.Vdg.funs fname with
+  | Some meta -> (
+    match meta.Vdg.fm_ret_value with
+    | Some rv ->
+      List.map
+        (fun (b : Apath.base) ->
+          let loc, related =
+            match return_blocks fd with
+            | [] -> (fd.Sil.fd_loc, [])
+            | first :: rest ->
+              (first, List.map (fun l -> (l, "may also return it here")) rest)
+          in
+          Diag.make ~checker:checker_name ~severity:Diag.Warning ~loc ~related
+            ~fingerprint:
+              (Printf.sprintf "%s|return|%s|%s" checker_name fname
+                 (Apath.base_to_string b))
+            (Printf.sprintf
+               "'%s' may return the address of '%s', which does not outlive \
+                its frame"
+               fname (Apath.base_to_string b)))
+        (escaping_referents cx fname rv)
+    | None -> [])
+  | None -> []
+
+(* updates whose written storage outlives the writing frame but whose
+   stored value may be an address inside it *)
+let check_stores cx =
+  let g = cx.Checker.cx_graph in
+  let diags = ref [] in
+  Vdg.iter_nodes g (fun n ->
+      if n.Vdg.nkind = Vdg.Nupdate && n.Vdg.nfun <> "" then begin
+        let fname = n.Vdg.nfun in
+        let targets = cx.Checker.cx_sol.Checker.sol_locations n.Vdg.nid in
+        let outliving =
+          List.filter
+            (fun t ->
+              match Checker.root_base t with
+              | Some b -> not (Checker.in_frame fname b)
+              | None -> false)
+            targets
+        in
+        if outliving <> [] then begin
+          let value =
+            match (Vdg.node g n.Vdg.nid).Vdg.ninputs with
+            | [ _; _; v ] -> Some v
+            | _ -> None
+          in
+          match value with
+          | None -> ()
+          | Some v ->
+            List.iter
+              (fun (b : Apath.base) ->
+                let loc = Vdg.loc_of g n.Vdg.nid in
+                let d =
+                  Diag.make ~checker:checker_name ~severity:Diag.Warning
+                    ?loc
+                    ~fingerprint:
+                      (Printf.sprintf "%s|store|%s|%s" checker_name
+                         (Checker.where loc) (Apath.base_to_string b))
+                    (Printf.sprintf
+                       "address of '%s' (local to '%s') may be stored in { %s \
+                        }, which outlives the frame"
+                       (Apath.base_to_string b) fname
+                       (String.concat ", "
+                          (List.map Apath.to_string outliving)))
+                in
+                diags := d :: !diags)
+              (escaping_referents cx fname v)
+        end
+      end);
+  List.rev !diags
+
+let run cx =
+  List.concat_map
+    (fun (fd : Sil.fundec) ->
+      if String.equal fd.Sil.fd_name Sil.global_init_name then []
+      else check_returns cx fd)
+    cx.Checker.cx_prog.Sil.p_functions
+  @ check_stores cx
+
+let checker =
+  {
+    Checker.ck_name = checker_name;
+    ck_doc =
+      "The address of a local escapes its frame, via a return value or a \
+       store into longer-lived storage.";
+    ck_run = run;
+  }

@@ -1,0 +1,62 @@
+(* dead-store: an update none of whose possible targets is ever looked
+   up anywhere in the program.  Flow order is deliberately ignored — a
+   whole-program may-read set keeps the checker sound against loops and
+   calls; what it trades away is stores that are only read *earlier*,
+   which would need per-path liveness.
+
+   Storage owned by the outside world (external bases, string literals)
+   counts as observed, and the synthetic global-initializer function is
+   skipped: flagging every unread global initializer is noise, not
+   signal. *)
+
+let checker_name = "dead-store"
+
+let observable (t : Apath.t) =
+  match Checker.root_base t with
+  | Some b -> (
+    match b.Apath.bkind with
+    | Apath.Bext _ | Apath.Bstr _ -> true
+    | _ -> false)
+  | None -> false
+
+let run cx =
+  let g = cx.Checker.cx_graph in
+  let read_paths =
+    List.concat_map
+      (fun ((n : Vdg.node), rw) ->
+        if rw = `Read then cx.Checker.cx_sol.Checker.sol_locations n.Vdg.nid
+        else [])
+      (Vdg.memops g)
+    |> List.sort_uniq Apath.compare
+  in
+  let ever_read t =
+    List.exists (fun r -> Apath.dom r t || Apath.dom t r) read_paths
+  in
+  List.filter_map
+    (fun ((n : Vdg.node), rw) ->
+      if rw <> `Write || String.equal n.Vdg.nfun Sil.global_init_name then None
+      else
+        let targets = cx.Checker.cx_sol.Checker.sol_locations n.Vdg.nid in
+        if targets = [] then None
+        else if List.exists (fun t -> observable t || ever_read t) targets then
+          None
+        else
+          let loc = Vdg.loc_of g n.Vdg.nid in
+          Some
+            (Diag.make ~checker:checker_name ~severity:Diag.Warning ?loc
+               ~fingerprint:
+                 (Printf.sprintf "%s|%s" checker_name (Checker.where loc))
+               (Printf.sprintf
+                  "store in '%s' writes only { %s }, which nothing ever reads"
+                  n.Vdg.nfun
+                  (String.concat ", " (List.map Apath.to_string targets)))))
+    (Vdg.memops g)
+
+let checker =
+  {
+    Checker.ck_name = checker_name;
+    ck_doc =
+      "An update whose possible targets are never looked up anywhere in the \
+       program.";
+    ck_run = run;
+  }

@@ -1,0 +1,281 @@
+type severity = Error | Warning | Note
+
+type t = {
+  d_checker : string;
+  d_severity : severity;
+  d_message : string;
+  d_loc : Srcloc.t option;
+  d_related : (Srcloc.t * string) list;
+  d_fingerprint : string;
+}
+
+let make ~checker ~severity ?loc ?(related = []) ~fingerprint message =
+  {
+    d_checker = checker;
+    d_severity = severity;
+    d_message = message;
+    d_loc = loc;
+    d_related = related;
+    d_fingerprint = fingerprint;
+  }
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let compare a b =
+  let loc_cmp =
+    match (a.d_loc, b.d_loc) with
+    | None, None -> 0
+    | None, Some _ -> -1
+    | Some _, None -> 1
+    | Some la, Some lb -> Srcloc.compare la lb
+  in
+  if loc_cmp <> 0 then loc_cmp
+  else
+    let c = String.compare a.d_checker b.d_checker in
+    if c <> 0 then c else String.compare a.d_fingerprint b.d_fingerprint
+
+let to_string d =
+  let where =
+    match d.d_loc with Some l -> Srcloc.to_string l | None -> "<program>"
+  in
+  Printf.sprintf "%s: %s: [%s] %s" where
+    (severity_string d.d_severity)
+    d.d_checker d.d_message
+
+(* ---- JSON ---------------------------------------------------------------------- *)
+
+let loc_json (l : Srcloc.t) =
+  Ejson.Assoc
+    [
+      ("file", Ejson.String l.Srcloc.file);
+      ("line", Ejson.Int l.Srcloc.line);
+      ("col", Ejson.Int l.Srcloc.col);
+    ]
+
+let to_json ?verdict d =
+  Ejson.Assoc
+    ([
+       ("checker", Ejson.String d.d_checker);
+       ("severity", Ejson.String (severity_string d.d_severity));
+       ("message", Ejson.String d.d_message);
+       ("loc", match d.d_loc with Some l -> loc_json l | None -> Ejson.Null);
+       ( "related",
+         Ejson.List
+           (List.map
+              (fun (l, msg) ->
+                Ejson.Assoc [ ("loc", loc_json l); ("message", Ejson.String msg) ])
+              d.d_related) );
+       ("fingerprint", Ejson.String d.d_fingerprint);
+     ]
+    @ match verdict with
+      | Some v -> [ ("verdict", Ejson.String v) ]
+      | None -> [])
+
+(* ---- SARIF 2.1.0 --------------------------------------------------------------- *)
+
+let sarif_schema_uri =
+  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+(* SARIF regions are 1-based; synthesized constructs carry line/col 0,
+   which we clamp rather than emit an invalid region. *)
+let sarif_location ~default_uri ?message (l : Srcloc.t option) =
+  let uri, line, col =
+    match l with
+    | Some l -> (l.Srcloc.file, max 1 l.Srcloc.line, max 1 l.Srcloc.col)
+    | None -> (default_uri, 1, 1)
+  in
+  Ejson.Assoc
+    (( "physicalLocation",
+       Ejson.Assoc
+         [
+           ("artifactLocation", Ejson.Assoc [ ("uri", Ejson.String uri) ]);
+           ( "region",
+             Ejson.Assoc
+               [ ("startLine", Ejson.Int line); ("startColumn", Ejson.Int col) ]
+           );
+         ] )
+    ::
+    (match message with
+    | Some text ->
+      [ ("message", Ejson.Assoc [ ("text", Ejson.String text) ]) ]
+    | None -> []))
+
+let sarif_result ~rules ~file (d, verdict) =
+  let rule_index =
+    let rec find i = function
+      | [] -> -1
+      | (id, _) :: rest -> if String.equal id d.d_checker then i else find (i + 1) rest
+    in
+    find 0 rules
+  in
+  Ejson.Assoc
+    ([
+       ("ruleId", Ejson.String d.d_checker);
+       ("ruleIndex", Ejson.Int rule_index);
+       ("level", Ejson.String (severity_string d.d_severity));
+       ("message", Ejson.Assoc [ ("text", Ejson.String d.d_message) ]);
+       ("locations", Ejson.List [ sarif_location ~default_uri:file d.d_loc ]);
+       ( "partialFingerprints",
+         Ejson.Assoc [ ("aliasCheckers/v1", Ejson.String d.d_fingerprint) ] );
+     ]
+    @ (match d.d_related with
+      | [] -> []
+      | related ->
+        [
+          ( "relatedLocations",
+            Ejson.List
+              (List.map
+                 (fun (l, msg) ->
+                   sarif_location ~default_uri:file ~message:msg (Some l))
+                 related) );
+        ])
+    @ match verdict with
+      | Some v ->
+        [ ("properties", Ejson.Assoc [ ("verdict", Ejson.String v) ]) ]
+      | None -> [])
+
+let sarif_report ~rules ~file diags =
+  let rule_json (id, doc) =
+    Ejson.Assoc
+      [
+        ("id", Ejson.String id);
+        ("shortDescription", Ejson.Assoc [ ("text", Ejson.String doc) ]);
+      ]
+  in
+  Ejson.Assoc
+    [
+      ("$schema", Ejson.String sarif_schema_uri);
+      ("version", Ejson.String "2.1.0");
+      ( "runs",
+        Ejson.List
+          [
+            Ejson.Assoc
+              [
+                ( "tool",
+                  Ejson.Assoc
+                    [
+                      ( "driver",
+                        Ejson.Assoc
+                          [
+                            ("name", Ejson.String "alias-analyze");
+                            ( "informationUri",
+                              Ejson.String
+                                "https://dl.acm.org/doi/10.1145/207110.207137" );
+                            ("rules", Ejson.List (List.map rule_json rules));
+                          ] );
+                    ] );
+                ("results", Ejson.List (List.map (sarif_result ~rules ~file) diags));
+              ];
+          ] );
+    ]
+
+(* ---- validation ----------------------------------------------------------------- *)
+
+let validate_sarif json =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let str_member key j =
+    match Ejson.member key j with Some (Ejson.String s) -> Some s | _ -> None
+  in
+  let check_region where j =
+    match Ejson.member "region" j with
+    | Some region ->
+      let coord key =
+        match Ejson.member key region with
+        | Some (Ejson.Int n) ->
+          if n < 1 then err "%s: %s must be >= 1 (got %d)" where key n
+        | Some _ -> err "%s: %s is not an integer" where key
+        | None -> if key = "startLine" then err "%s: region lacks startLine" where
+      in
+      coord "startLine";
+      coord "startColumn"
+    | None -> err "%s: physicalLocation lacks a region" where
+  in
+  let check_location where j =
+    match Ejson.member "physicalLocation" j with
+    | None -> err "%s: location lacks physicalLocation" where
+    | Some phys ->
+      (match Ejson.member "artifactLocation" phys with
+      | Some art ->
+        if str_member "uri" art = None then
+          err "%s: artifactLocation lacks a uri" where
+      | None -> err "%s: physicalLocation lacks artifactLocation" where);
+      check_region where phys
+  in
+  let levels = [ "none"; "note"; "warning"; "error" ] in
+  let check_result rule_ids i j =
+    let where = Printf.sprintf "results[%d]" i in
+    (match str_member "ruleId" j with
+    | Some id ->
+      if not (List.mem id rule_ids) then
+        err "%s: ruleId '%s' is not declared in tool.driver.rules" where id
+    | None -> err "%s: missing ruleId" where);
+    (match str_member "level" j with
+    | Some l -> if not (List.mem l levels) then err "%s: bad level '%s'" where l
+    | None -> err "%s: missing level" where);
+    (match Ejson.member "message" j with
+    | Some m when str_member "text" m <> None -> ()
+    | _ -> err "%s: missing message.text" where);
+    (match Ejson.member "locations" j with
+    | Some (Ejson.List (_ :: _ as locs)) ->
+      List.iteri (fun k l -> check_location (Printf.sprintf "%s.locations[%d]" where k) l) locs
+    | _ -> err "%s: missing or empty locations" where);
+    match Ejson.member "relatedLocations" j with
+    | Some (Ejson.List rels) ->
+      List.iteri
+        (fun k l ->
+          check_location (Printf.sprintf "%s.relatedLocations[%d]" where k) l)
+        rels
+    | Some _ -> err "%s: relatedLocations is not a list" where
+    | None -> ()
+  in
+  let check_run i j =
+    let where = Printf.sprintf "runs[%d]" i in
+    let rule_ids =
+      match Ejson.member "tool" j with
+      | None ->
+        err "%s: missing tool" where;
+        []
+      | Some tool -> (
+        match Ejson.member "driver" tool with
+        | None ->
+          err "%s: tool lacks driver" where;
+          []
+        | Some driver ->
+          if str_member "name" driver = None then
+            err "%s: tool.driver lacks a name" where;
+          (match Ejson.member "rules" driver with
+          | Some (Ejson.List rules) ->
+            List.concat_map
+              (fun r ->
+                match str_member "id" r with
+                | Some id ->
+                  (match Ejson.member "shortDescription" r with
+                  | Some d when str_member "text" d <> None -> ()
+                  | _ ->
+                    err "%s: rule '%s' lacks shortDescription.text" where id);
+                  [ id ]
+                | None ->
+                  err "%s: rule lacks an id" where;
+                  [])
+              rules
+          | _ ->
+            err "%s: tool.driver lacks a rules list" where;
+            []))
+    in
+    match Ejson.member "results" j with
+    | Some (Ejson.List results) -> List.iteri (check_result rule_ids) results
+    | _ -> err "%s: missing results list" where
+  in
+  (match str_member "version" json with
+  | Some "2.1.0" -> ()
+  | Some v -> err "version is '%s', expected '2.1.0'" v
+  | None -> err "missing version");
+  if str_member "$schema" json = None then err "missing $schema";
+  (match Ejson.member "runs" json with
+  | Some (Ejson.List (_ :: _ as runs)) -> List.iteri check_run runs
+  | _ -> err "missing or empty runs list");
+  List.rev !errors

@@ -1,0 +1,65 @@
+(** Diagnostics produced by the checker suite.
+
+    A diagnostic ties a checker verdict to a source span: severity,
+    originating checker id, human message, primary position, and any
+    number of related positions (the other half of a conflict, the
+    escaping return, ...).  The [d_fingerprint] field is the stable
+    identity used to match a diagnostic across the context-insensitive
+    and context-sensitive solutions: it excludes solution-dependent
+    detail (target-set spellings) so that "same verdict, different
+    points-to sets" compares equal.
+
+    Renderers: one-line human text, JSON ({!Ejson}), and SARIF 2.1.0
+    ({!sarif_report}), plus a small structural validator used by the test
+    suite and the example runner to keep the SARIF output honest. *)
+
+type severity = Error | Warning | Note
+
+type t = {
+  d_checker : string;  (** registry id, e.g. ["null-deref"] *)
+  d_severity : severity;
+  d_message : string;
+  d_loc : Srcloc.t option;  (** primary position; [None] = whole file *)
+  d_related : (Srcloc.t * string) list;
+  d_fingerprint : string;
+}
+
+val make :
+  checker:string ->
+  severity:severity ->
+  ?loc:Srcloc.t ->
+  ?related:(Srcloc.t * string) list ->
+  fingerprint:string ->
+  string ->
+  t
+
+val severity_string : severity -> string
+(** ["error"], ["warning"], ["note"] — also the SARIF level values. *)
+
+val compare : t -> t -> int
+(** Order by position (absent positions first), then checker, then
+    fingerprint: the rendering order of every report. *)
+
+val to_string : t -> string
+(** ["file:line:col: severity: [checker] message"], without related
+    positions. *)
+
+val to_json : ?verdict:string -> t -> Ejson.t
+
+val sarif_report :
+  rules:(string * string) list ->
+  file:string ->
+  (t * string option) list ->
+  Ejson.t
+(** A complete SARIF 2.1.0 log for one analyzed file.  [rules] lists the
+    checkers that ran (id, description) — all of them, including those
+    with no results, so a consumer can distinguish "clean" from "not
+    run".  The optional string per diagnostic becomes a
+    [properties.verdict] entry (the CI-vs-CS comparison). *)
+
+val validate_sarif : Ejson.t -> string list
+(** Structural schema check over the subset of SARIF 2.1.0 we emit:
+    version/runs shape, tool driver name, rule declarations, and for
+    every result a known [ruleId], a legal [level], a message, and
+    physical locations with a uri and 1-based region coordinates.
+    Returns diagnostics; empty means well-formed. *)

@@ -1,0 +1,162 @@
+type verdict = Agree | Ci_only | Cs_only
+
+type report = {
+  rp_file : string;
+  rp_compared : bool;
+  rp_diags : (Diag.t * verdict) list;
+  rp_rules : (string * string) list;
+  rp_stats : Telemetry.checker_stat list;
+}
+
+let verdict_string = function
+  | Agree -> "agree"
+  | Ci_only -> "ci-only"
+  | Cs_only -> "cs-only"
+
+let run ?(checkers = []) ?(compare_cs = false) (a : Engine.analysis) =
+  let infos =
+    match Registry.select checkers with
+    | Ok infos -> infos
+    | Error msg -> invalid_arg ("Lint.run: " ^ msg)
+  in
+  let prog = a.Engine.prog and g = a.Engine.graph and ci = a.Engine.ci in
+  let stats = ref [] in
+  let run_pass sol modref prefix =
+    let ctx =
+      {
+        Checker.cx_prog = prog;
+        cx_graph = g;
+        cx_ci = ci;
+        cx_sol = sol;
+        cx_modref = modref;
+      }
+    in
+    List.concat_map
+      (fun (info : Checker.info) ->
+        let t0 = Unix.gettimeofday () in
+        let diags = info.Checker.ck_run ctx in
+        let seconds = Unix.gettimeofday () -. t0 in
+        let name = prefix ^ info.Checker.ck_name in
+        Telemetry.record_checker a.Engine.telemetry name ~seconds
+          ~diagnostics:(List.length diags);
+        stats :=
+          {
+            Telemetry.ck_checker = name;
+            ck_seconds = seconds;
+            ck_diagnostics = List.length diags;
+          }
+          :: !stats;
+        diags)
+      infos
+  in
+  let ci_diags = run_pass (Checker.ci_solution ci) (Modref.of_ci ci) "" in
+  let diags =
+    if not compare_cs then List.map (fun d -> (d, Agree)) ci_diags
+    else begin
+      let cs = Engine.cs a in
+      let cs_diags =
+        run_pass (Checker.cs_solution g cs) (Modref.of_cs g cs) "cs:"
+      in
+      let fingerprints ds =
+        let tbl = Hashtbl.create 64 in
+        List.iter (fun d -> Hashtbl.replace tbl d.Diag.d_fingerprint ()) ds;
+        tbl
+      in
+      let ci_fps = fingerprints ci_diags and cs_fps = fingerprints cs_diags in
+      List.map
+        (fun d ->
+          ( d,
+            if Hashtbl.mem cs_fps d.Diag.d_fingerprint then Agree else Ci_only
+          ))
+        ci_diags
+      @ List.filter_map
+          (fun d ->
+            if Hashtbl.mem ci_fps d.Diag.d_fingerprint then None
+            else Some (d, Cs_only))
+          cs_diags
+    end
+  in
+  {
+    rp_file = a.Engine.a_input.Engine.in_file;
+    rp_compared = compare_cs;
+    rp_diags = List.sort (fun (d, _) (d', _) -> Diag.compare d d') diags;
+    rp_rules =
+      List.map (fun (i : Checker.info) -> (i.Checker.ck_name, i.Checker.ck_doc)) infos;
+    rp_stats = List.rev !stats;
+  }
+
+let delta_count r =
+  List.length (List.filter (fun (_, v) -> v <> Agree) r.rp_diags)
+
+let count_for r name =
+  List.length
+    (List.filter
+       (fun (d, v) -> String.equal d.Diag.d_checker name && v <> Cs_only)
+       r.rp_diags)
+
+(* ---- rendering ----------------------------------------------------------------- *)
+
+let to_text r =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (d, v) ->
+      Buffer.add_string buf (Diag.to_string d);
+      if r.rp_compared && v <> Agree then
+        Buffer.add_string buf (Printf.sprintf " [%s]" (verdict_string v));
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun (l, msg) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    %s: note: %s\n" (Srcloc.to_string l) msg))
+        d.Diag.d_related)
+    r.rp_diags;
+  let by_sev sev =
+    List.length
+      (List.filter (fun (d, _) -> d.Diag.d_severity = sev) r.rp_diags)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %d diagnostic(s) (%d error, %d warning, %d note)\n"
+       r.rp_file
+       (List.length r.rp_diags)
+       (by_sev Diag.Error) (by_sev Diag.Warning) (by_sev Diag.Note));
+  if r.rp_compared then
+    Buffer.add_string buf
+      (match delta_count r with
+      | 0 -> "CI and CS verdicts agree on every diagnostic\n"
+      | n -> Printf.sprintf "CI-vs-CS verdict delta: %d diagnostic(s)\n" n);
+  Buffer.contents buf
+
+let to_json r =
+  Ejson.Assoc
+    [
+      ("schema", Ejson.String "alias-lint/1");
+      ("file", Ejson.String r.rp_file);
+      ("compared_cs", Ejson.Bool r.rp_compared);
+      ( "diagnostics",
+        Ejson.List
+          (List.map
+             (fun (d, v) ->
+               Diag.to_json
+                 ?verdict:(if r.rp_compared then Some (verdict_string v) else None)
+                 d)
+             r.rp_diags) );
+      ("delta", Ejson.Int (if r.rp_compared then delta_count r else 0));
+      ( "checkers",
+        Ejson.Assoc
+          (List.map
+             (fun (s : Telemetry.checker_stat) ->
+               ( s.Telemetry.ck_checker,
+                 Ejson.Assoc
+                   [
+                     ("seconds", Ejson.Float s.Telemetry.ck_seconds);
+                     ("diagnostics", Ejson.Int s.Telemetry.ck_diagnostics);
+                   ] ))
+             r.rp_stats) );
+    ]
+
+let to_sarif r =
+  Diag.sarif_report ~rules:r.rp_rules ~file:r.rp_file
+    (List.map
+       (fun (d, v) ->
+         (d, if r.rp_compared then Some (verdict_string v) else None))
+       r.rp_diags)

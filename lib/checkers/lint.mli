@@ -1,0 +1,45 @@
+(** The lint driver: run a checker selection over a solved analysis,
+    optionally against both solutions, and render the result.
+
+    The CI-vs-CS comparison is the repository's client-level restatement
+    of the paper's headline: each checker runs once against the
+    context-insensitive solution and once against the maximally
+    context-sensitive one, and diagnostics are matched by fingerprint.
+    A diagnostic present under exactly one solution is a *verdict delta*
+    — the paper predicts the delta is empty ({!delta_count} = 0) on
+    realistic programs. *)
+
+type verdict =
+  | Agree  (** present under both solutions (or CS not run) *)
+  | Ci_only  (** CS precision removed it: a spurious-pair artifact *)
+  | Cs_only  (** CS precision exposed it (e.g. a points-to set CI padded
+                 with spurious targets shrank to empty) *)
+
+type report = {
+  rp_file : string;
+  rp_compared : bool;  (** did the CS pass run? *)
+  rp_diags : (Diag.t * verdict) list;  (** sorted by {!Diag.compare} *)
+  rp_rules : (string * string) list;  (** (id, doc) of the checkers run *)
+  rp_stats : Telemetry.checker_stat list;
+      (** per-checker wall time and counts; CS passes under ["cs:"] names *)
+}
+
+val run :
+  ?checkers:string list -> ?compare_cs:bool -> Engine.analysis -> report
+(** Run the selection (default: every registered checker) against the CI
+    solution; with [compare_cs] also against the CS solution (forcing it
+    through {!Engine.cs}).  Per-checker wall time and diagnostic counts
+    are recorded into the analysis' {!Telemetry}.
+
+    @raise Invalid_argument on an unknown checker name — CLI callers
+    should validate via {!Registry.select} first. *)
+
+val delta_count : report -> int
+(** Diagnostics whose verdict differs between CI and CS. *)
+
+val count_for : report -> string -> int
+(** Diagnostics a given checker produced (CI side). *)
+
+val to_text : report -> string
+val to_json : report -> Ejson.t
+val to_sarif : report -> Ejson.t

@@ -1,0 +1,40 @@
+(* null-deref: a memory operation whose location input has no location
+   referents at all under the solution in force.  A pointer the analysis
+   can give no targets is a constant (null), an uninitialized value, or
+   arithmetic on one — every execution reaching the operation
+   dereferences a pointer that names no storage.  Direct accesses are
+   harmless here by construction: their location input is an [Nbase]
+   node, whose own base is always seeded as a referent.
+
+   Caveat (documented in README): the analysis is whole-program, so a
+   function never called from main has empty formals and its dereferences
+   flag here.  The benchmarks and examples are closed programs. *)
+
+let checker_name = "null-deref"
+
+let run cx =
+  let g = cx.Checker.cx_graph in
+  List.filter_map
+    (fun ((n : Vdg.node), rw) ->
+      if cx.Checker.cx_sol.Checker.sol_locations n.Vdg.nid <> [] then None
+      else
+        let loc = Vdg.loc_of g n.Vdg.nid in
+        Some
+          (Diag.make ~checker:checker_name ~severity:Diag.Error ?loc
+             ~fingerprint:
+               (Printf.sprintf "%s|%s|%s" checker_name (Checker.where loc)
+                  (Checker.string_of_rw rw))
+             (Printf.sprintf
+                "%s in '%s' dereferences a pointer with no possible target \
+                 (null or uninitialized)"
+                (Checker.string_of_rw rw) n.Vdg.nfun)))
+    (Vdg.memops g)
+
+let checker =
+  {
+    Checker.ck_name = checker_name;
+    ck_doc =
+      "An indirect memory operation dereferences a pointer whose points-to \
+       set is empty: always null or uninitialized.";
+    ck_run = run;
+  }

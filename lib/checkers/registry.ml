@@ -1,0 +1,35 @@
+(* The checker registry: every shipped checker, in report order.  Adding
+   a checker = write the module, append it here (see DESIGN.md). *)
+
+let all : Checker.info list =
+  [
+    Dangling.checker;
+    Null_deref.checker;
+    Uninit_read.checker;
+    Conflict_lint.checker;
+    Dead_store.checker;
+  ]
+
+let names () = List.map (fun c -> c.Checker.ck_name) all
+
+let find name =
+  List.find_opt (fun c -> String.equal c.Checker.ck_name name) all
+
+(* Resolve a user-supplied selection, preserving registry order so the
+   report layout does not depend on command-line spelling. *)
+let select = function
+  | [] -> Ok all
+  | requested -> (
+    match
+      List.filter (fun name -> find name = None) requested
+    with
+    | [] ->
+      Ok
+        (List.filter
+           (fun c -> List.mem c.Checker.ck_name requested)
+           all)
+    | unknown ->
+      Error
+        (Printf.sprintf "unknown checker(s): %s (available: %s)"
+           (String.concat ", " unknown)
+           (String.concat ", " (names ()))))

@@ -1,0 +1,11 @@
+(** All shipped checkers, in report order. *)
+
+val all : Checker.info list
+
+val names : unit -> string list
+
+val find : string -> Checker.info option
+
+val select : string list -> (Checker.info list, string) result
+(** Resolve a user-facing selection ([[]] = everything) to checker infos
+    in registry order; [Error] names the unknown checkers. *)

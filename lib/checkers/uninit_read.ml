@@ -1,0 +1,159 @@
+(* uninit-read: a lookup may reach storage with no dominating
+   initialization.  Candidate storage is what starts life undefined:
+   locals of the enclosing function (globals are zero-initialized,
+   formals are the caller's problem) and heap allocation sites.
+
+   The dominance test runs on the function's CFG ({!Cfg}/{!Dom}, the same
+   machinery SSA construction uses): an initializer suppresses the
+   diagnostic only if its position strictly dominates every position of
+   the lookup, so `x = x + 1` does not initialize its own read and an
+   update inside a loop body does not cover the first iteration.
+
+   Initializers of a target [t]:
+   - an update node whose written location set may overlap [t];
+   - a call whose (transitive, CI call graph) mod set may overlap [t];
+     calls to externals or through function pointers conservatively count
+     as initializing everything.
+
+   Intraprocedural by construction: a local of f read by f is only
+   credited with initializers syntactically inside f or behind a
+   dominating call.  Reads of *another* frame's locals through a pointer
+   are not checked, and a heap site is only checked inside the function
+   that contains its allocation — elsewhere the initialization points are
+   invisible to a per-function dominance test. *)
+
+let checker_name = "uninit-read"
+
+type position = int * int  (* block id, instruction index; terminator = length *)
+
+let instr_loc = function
+  | Sil.Set (_, _, l) | Sil.Call (_, _, _, l) | Sil.Alloc (_, _, _, l) -> l
+
+let may_overlap a b = Apath.dom a b || Apath.dom b a
+
+let check_function cx (fd : Sil.fundec) =
+  let g = cx.Checker.cx_graph in
+  let fname = fd.Sil.fd_name in
+  let cfg = Cfg.of_fundec fd in
+  let dom = Dom.compute cfg in
+  (* source position -> CFG positions (a position per occurrence; column
+     information makes collisions rare, but we keep the list) *)
+  let pos_tbl : (string, position list) Hashtbl.t = Hashtbl.create 64 in
+  let add_pos loc p =
+    let k = Srcloc.to_string loc in
+    Hashtbl.replace pos_tbl k
+      (p :: Option.value ~default:[] (Hashtbl.find_opt pos_tbl k))
+  in
+  (* calls that may initialize storage, with their coverage predicate *)
+  let init_calls = ref [] in
+  Array.iteri
+    (fun bid (b : Sil.block) ->
+      List.iteri
+        (fun i instr ->
+          add_pos (instr_loc instr) (bid, i);
+          match instr with
+          | Sil.Call (_, target, _, _) ->
+            let covers =
+              match target with
+              | Sil.Direct name -> (
+                match Sil.find_function cx.Checker.cx_prog name with
+                | Some _ ->
+                  let mods =
+                    Modref.transitive_mod_set cx.Checker.cx_modref
+                      cx.Checker.cx_ci name
+                  in
+                  fun t -> List.exists (may_overlap t) mods
+                | None -> fun _ -> true (* extern: may write anything *))
+              | Sil.Indirect _ -> fun _ -> true
+            in
+            init_calls := ((bid, i), covers) :: !init_calls
+          | _ -> ())
+        b.Sil.binstrs;
+      add_pos b.Sil.bterm_loc (bid, List.length b.Sil.binstrs))
+    fd.Sil.fd_blocks;
+  let positions loc =
+    Option.value ~default:[] (Hashtbl.find_opt pos_tbl (Srcloc.to_string loc))
+  in
+  let strictly_before (b2, i2) (b1, i1) =
+    if b2 = b1 then i2 < i1 else Dom.dominates dom b2 b1
+  in
+  (* updates in this function, with positions and written locations *)
+  let updates = ref [] in
+  Vdg.iter_nodes g (fun n ->
+      if n.Vdg.nkind = Vdg.Nupdate && String.equal n.Vdg.nfun fname then
+        match Vdg.loc_of g n.Vdg.nid with
+        | Some loc ->
+          updates :=
+            (positions loc, cx.Checker.cx_sol.Checker.sol_locations n.Vdg.nid)
+            :: !updates
+        | None -> ());
+  let updates = !updates and init_calls = !init_calls in
+  (* heap sites allocated in this function: the only ones whose
+     initialization history is visible to this dominance test *)
+  let local_heap = Hashtbl.create 8 in
+  Vdg.iter_nodes g (fun n ->
+      match n.Vdg.nkind with
+      | Vdg.Nalloc b when String.equal n.Vdg.nfun fname ->
+        Hashtbl.replace local_heap b.Apath.bid ()
+      | _ -> ());
+  let candidate (t : Apath.t) =
+    (not t.Apath.ptruncated)
+    &&
+    match Checker.root_base t with
+    | Some b -> (
+      match b.Apath.bkind with
+      | Apath.Bvar v -> (
+        match v.Sil.vkind with
+        | Sil.Local f -> String.equal f fname
+        | _ -> false)
+      | Apath.Bheap _ -> Hashtbl.mem local_heap b.Apath.bid
+      | _ -> false)
+    | None -> false
+  in
+  let initialized_before t lookup_positions =
+    let dominates_all up = List.for_all (strictly_before up) lookup_positions in
+    List.exists
+      (fun (ups, targets) ->
+        List.exists (may_overlap t) targets && List.exists dominates_all ups)
+      updates
+    || List.exists (fun (up, covers) -> covers t && dominates_all up) init_calls
+  in
+  let diags = ref [] in
+  Vdg.iter_nodes g (fun n ->
+      if n.Vdg.nkind = Vdg.Nlookup && String.equal n.Vdg.nfun fname then
+        match Vdg.loc_of g n.Vdg.nid with
+        | None -> ()
+        | Some loc ->
+          let lps = positions loc in
+          if lps <> [] then
+            List.iter
+              (fun t ->
+                if candidate t && not (initialized_before t lps) then
+                  let d =
+                    Diag.make ~checker:checker_name ~severity:Diag.Warning ~loc
+                      ~fingerprint:
+                        (Printf.sprintf "%s|%s|%s" checker_name
+                           (Srcloc.to_string loc) (Apath.to_string t))
+                      (Printf.sprintf
+                         "'%s' may be read before any initialization in '%s'"
+                         (Apath.to_string t) fname)
+                  in
+                  diags := d :: !diags)
+              (cx.Checker.cx_sol.Checker.sol_locations n.Vdg.nid));
+  List.rev !diags
+
+let run cx =
+  List.concat_map
+    (fun (fd : Sil.fundec) ->
+      if String.equal fd.Sil.fd_name Sil.global_init_name then []
+      else check_function cx fd)
+    cx.Checker.cx_prog.Sil.p_functions
+
+let checker =
+  {
+    Checker.ck_name = checker_name;
+    ck_doc =
+      "A lookup may reach a local or heap allocation with no dominating \
+       initialization.";
+    ck_run = run;
+  }

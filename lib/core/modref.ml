@@ -59,4 +59,8 @@ let transitive_mod_set t ci fname =
   visit fname;
   List.sort_uniq Apath.compare !acc
 
-let at_loc t loc = List.filter (fun op -> op.op_loc = Some loc) t.all_ops
+let at_loc t loc =
+  List.filter
+    (fun op ->
+      match op.op_loc with Some l -> Srcloc.equal l loc | None -> false)
+    t.all_ops

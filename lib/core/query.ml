@@ -1,17 +1,27 @@
 let paths_may_overlap a b =
   List.exists (fun p -> List.exists (fun q -> Apath.dom p q || Apath.dom q p) b) a
 
-let may_alias ci a b =
+(* The locations a node's output concerns: for memory operations the
+   storage they touch; for value outputs (allocation sites, formals,
+   address-of nodes, ...) the storage the value may denote.  The latter
+   case reads the pairs directly — [referenced_locations] only answers
+   for lookup/update nodes, which used to make [may_alias] silently
+   return false for perfectly good location queries on e.g. an [Nalloc]
+   or a pointer formal. *)
+let locations_denoted ci nid =
   let g = Ci_solver.graph ci in
-  let is_memop nid =
-    match (Vdg.node g nid).Vdg.nkind with
-    | Vdg.Nlookup | Vdg.Nupdate -> true
-    | _ -> false
-  in
-  is_memop a && is_memop b
-  && paths_may_overlap
-       (Ci_solver.referenced_locations ci a)
-       (Ci_solver.referenced_locations ci b)
+  match (Vdg.node g nid).Vdg.nkind with
+  | Vdg.Nlookup | Vdg.Nupdate -> Ci_solver.referenced_locations ci nid
+  | _ ->
+    Ptpair.Set.fold
+      (fun p acc ->
+        if Apath.is_location p.Ptpair.referent then p.Ptpair.referent :: acc
+        else acc)
+      (Ci_solver.pairs ci nid) []
+    |> List.sort_uniq Apath.compare
+
+let may_alias ci a b =
+  paths_may_overlap (locations_denoted ci a) (locations_denoted ci b)
 
 type conflict = {
   cf_a : Modref.op;
@@ -48,13 +58,23 @@ let conflicts_in modref fname =
                     `Write_write
                   else `Read_write
                 in
-                { cf_a = op; cf_b = other; cf_kind = kind; cf_common = common } :: acc
+                (* canonical orientation: the node created first is cf_a,
+                   so {a,b} and {b,a} are the same conflict *)
+                let a, b =
+                  if op.Modref.op_node <= other.Modref.op_node then (op, other)
+                  else (other, op)
+                in
+                { cf_a = a; cf_b = b; cf_kind = kind; cf_common = common } :: acc
             end)
           acc rest
       in
       pairs acc rest
   in
-  List.rev (pairs [] ops)
+  pairs [] ops
+  |> List.sort_uniq (fun c c' ->
+         compare
+           (c.cf_a.Modref.op_node, c.cf_b.Modref.op_node, c.cf_kind)
+           (c'.cf_a.Modref.op_node, c'.cf_b.Modref.op_node, c'.cf_kind))
 
 type purity =
   | Pure

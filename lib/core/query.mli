@@ -9,9 +9,16 @@ val paths_may_overlap : Apath.t list -> Apath.t list -> bool
 (** Two target sets may denote common storage: some pair is related by
     the may-alias relation [dom] in either direction. *)
 
+val locations_denoted : Ci_solver.t -> Vdg.node_id -> Apath.t list
+(** The storage a node's output concerns: the referenced locations for
+    lookup/update nodes, and the locations the value may denote for any
+    other output (allocation sites, formals, address nodes, ...). *)
+
 val may_alias : Ci_solver.t -> Vdg.node_id -> Vdg.node_id -> bool
-(** May the two memory operations (lookup/update nodes) touch common
-    storage?  False for non-memory nodes. *)
+(** May the two nodes concern common storage?  Memory operations are
+    compared by the locations they touch; value outputs (e.g. [Nalloc]
+    or a pointer formal) by the locations they denote.  False when either
+    side has no associated locations. *)
 
 type conflict = {
   cf_a : Modref.op;
@@ -23,7 +30,8 @@ type conflict = {
 val conflicts_in : Modref.t -> string -> conflict list
 (** All pairs of indirect operations within one function that cannot be
     reordered: at least one writes, and their target sets may overlap.
-    Each unordered pair is reported once. *)
+    Each unordered pair is reported exactly once, oriented so that
+    [cf_a.op_node <= cf_b.op_node], in that (node, node, kind) order. *)
 
 type purity =
   | Pure                      (** no stores, no impure callees *)

@@ -27,7 +27,9 @@ type 'v t = {
 
 (* bump when the marshaled payload shape or any solver data structure
    changes; stale files then simply miss *)
-let format_version = "alias-engine-cache/1"
+(* /2: Telemetry.t gained the per-checker stats field, which changes the
+   Marshal layout of stored payloads. *)
+let format_version = "alias-engine-cache/2"
 
 let create ?dir () =
   (match dir with

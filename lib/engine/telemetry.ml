@@ -19,6 +19,15 @@ type solver_counters = {
   sc_pairs : int;            (* total points-to pairs in the solution *)
 }
 
+(* One checker execution inside `analyze lint`: wall time and how many
+   diagnostics it produced.  Runs against the CS solution are recorded
+   under a "cs:" prefixed checker name. *)
+type checker_stat = {
+  ck_checker : string;
+  ck_seconds : float;
+  ck_diagnostics : int;
+}
+
 type t = {
   t_file : string;
   t_source_bytes : int;
@@ -29,6 +38,7 @@ type t = {
   mutable t_alias_outputs : int;
   mutable t_ci : solver_counters option;
   mutable t_cs : solver_counters option;
+  mutable t_checkers : checker_stat list;    (* in execution order *)
 }
 
 (* Phases recorded by Engine.run, in pipeline order.  "cs" only appears
@@ -46,10 +56,16 @@ let create ~file ~source_bytes =
     t_alias_outputs = 0;
     t_ci = None;
     t_cs = None;
+    t_checkers = [];
   }
 
 let record_phase t name seconds =
   t.t_phases <- t.t_phases @ [ (name, seconds) ]
+
+let record_checker t name ~seconds ~diagnostics =
+  t.t_checkers <-
+    t.t_checkers
+    @ [ { ck_checker = name; ck_seconds = seconds; ck_diagnostics = diagnostics } ]
 
 let time t name f =
   let t0 = Unix.gettimeofday () in
@@ -74,6 +90,7 @@ let copy t =
     t_alias_outputs = t.t_alias_outputs;
     t_ci = t.t_ci;
     t_cs = t.t_cs;
+    t_checkers = t.t_checkers;
   }
 
 (* ---- JSON --------------------------------------------------------------------- *)
@@ -100,15 +117,34 @@ let to_json t =
     @ (match t.t_ci with Some c -> counters_json "ci" c | None -> [])
     @ (match t.t_cs with Some c -> counters_json "cs" c | None -> [])
   in
+  let checkers =
+    match t.t_checkers with
+    | [] -> []
+    | stats ->
+      [
+        ( "checkers",
+          Ejson.Assoc
+            (List.map
+               (fun s ->
+                 ( s.ck_checker,
+                   Ejson.Assoc
+                     [
+                       ("seconds", Ejson.Float s.ck_seconds);
+                       ("diagnostics", Ejson.Int s.ck_diagnostics);
+                     ] ))
+               stats) );
+      ]
+  in
   Ejson.Assoc
-    [
-      ("file", Ejson.String t.t_file);
-      ("source_bytes", Ejson.Int t.t_source_bytes);
-      ("cache", Ejson.String (string_of_cache_status t.t_cache));
-      ("total_seconds", Ejson.Float (total_seconds t));
-      ("phases", phases);
-      ("counters", Ejson.Assoc counters);
-    ]
+    ([
+       ("file", Ejson.String t.t_file);
+       ("source_bytes", Ejson.Int t.t_source_bytes);
+       ("cache", Ejson.String (string_of_cache_status t.t_cache));
+       ("total_seconds", Ejson.Float (total_seconds t));
+       ("phases", phases);
+       ("counters", Ejson.Assoc counters);
+     ]
+    @ checkers)
 
 (* A suite-level report: one entry per run plus aggregate totals, the
    shape `alias-analyze tables --metrics FILE` writes. *)

@@ -401,3 +401,46 @@ let callgraph_table results =
         ])
     results;
   t
+
+(* ---- checker suite -------------------------------------------------------------- *)
+
+let lint_report r = Lint.run ~compare_cs:true r.analysis
+
+let checkers_table results =
+  let checker_names = Registry.names () in
+  let t =
+    Table.create
+      ~headers:
+        (("name", Table.Left)
+        :: List.map (fun n -> (n, Table.Right)) checker_names
+        @ [ ("total", Table.Right); ("CI-vs-CS delta", Table.Right) ])
+  in
+  let totals = Hashtbl.create 8 in
+  let grand = ref 0 and grand_delta = ref 0 in
+  List.iter
+    (fun r ->
+      let report = lint_report r in
+      let counts =
+        List.map (fun n -> Lint.count_for report n) checker_names
+      in
+      let total = List.fold_left ( + ) 0 counts in
+      let delta = Lint.delta_count report in
+      List.iter2
+        (fun n c ->
+          Hashtbl.replace totals n
+            (c + Option.value ~default:0 (Hashtbl.find_opt totals n)))
+        checker_names counts;
+      grand := !grand + total;
+      grand_delta := !grand_delta + delta;
+      Table.add_row t
+        (name_of r
+         :: List.map Table.cell_int counts
+        @ [ Table.cell_int total; Table.cell_int delta ]))
+    results;
+  Table.add_row t
+    ("TOTAL"
+     :: List.map
+          (fun n -> Table.cell_int (Option.value ~default:0 (Hashtbl.find_opt totals n)))
+          checker_names
+    @ [ Table.cell_int !grand; Table.cell_int !grand_delta ]);
+  t

@@ -67,3 +67,10 @@ val callgraph_table : bench_result list -> Table.t
 val indirect_delta_count : bench_result -> int
 (** Number of indirect operations where CS refines CI (0 reproduces the
     paper). *)
+
+val lint_report : bench_result -> Lint.report
+(** The full checker suite over one benchmark, CI and CS compared. *)
+
+val checkers_table : bench_result list -> Table.t
+(** Diagnostics per benchmark and per checker, plus the CI-vs-CS verdict
+    delta (an empty delta column is the paper's client-level claim). *)

@@ -21,4 +21,5 @@ let () =
       ("misc", Test_misc.tests);
       ("integration", Test_integration.tests);
       ("engine", Test_engine.tests);
+      ("checkers", Test_checkers.tests);
     ]

@@ -141,6 +141,117 @@ let purity_through_function_pointers () =
   Alcotest.(check bool) "apply impure" true
     (Query.classify_purity g ci "apply" = Query.Impure_writes)
 
+let may_alias_value_nodes () =
+  (* may-alias must also answer for nodes that are not lookups/updates:
+     allocation sites and formals denote locations through their
+     points-to pairs (regression: these used to come back as "never
+     aliases" because only referenced_locations was consulted) *)
+  let _, g, ci =
+    analyze
+      {|int g1;
+        void set(int *p) { *p = 1; }
+        int main(void) {
+          int *h;
+          h = (int *)malloc(4);
+          *h = 2;
+          set(&g1);
+          return g1;
+        }|}
+  in
+  let find_node pred =
+    let r = ref None in
+    Vdg.iter_nodes g (fun n -> if !r = None && pred n then r := Some n.Vdg.nid);
+    match !r with Some nid -> nid | None -> Alcotest.fail "node not found"
+  in
+  let alloc =
+    find_node (fun n -> match n.Vdg.nkind with Vdg.Nalloc _ -> true | _ -> false)
+  in
+  let formal =
+    find_node (fun n -> n.Vdg.nkind = Vdg.Nformal ("set", 0))
+  in
+  let is_heap_root (p : Apath.t) =
+    match p.Apath.proot with
+    | Some b -> ( match b.Apath.bkind with Apath.Bheap _ -> true | _ -> false)
+    | None -> false
+  in
+  let heap_write =
+    find_node (fun n ->
+        n.Vdg.nkind = Vdg.Nupdate
+        && String.equal n.Vdg.nfun "main"
+        && List.exists is_heap_root (Ci_solver.referenced_locations ci n.Vdg.nid))
+  in
+  let g1_write =
+    find_node (fun n ->
+        n.Vdg.nkind = Vdg.Nupdate && String.equal n.Vdg.nfun "set")
+  in
+  Alcotest.(check bool) "alloc vs heap write" true
+    (Query.may_alias ci alloc heap_write);
+  Alcotest.(check bool) "formal vs g1 write" true
+    (Query.may_alias ci formal g1_write);
+  Alcotest.(check bool) "alloc vs g1 write" false
+    (Query.may_alias ci alloc g1_write);
+  Alcotest.(check bool) "formal vs heap write" false
+    (Query.may_alias ci formal heap_write)
+
+let conflicts_deduplicated () =
+  let _, _, ci =
+    analyze
+      {|int shared;
+        int work(int *p, int *q, int n) {
+          *p = n;
+          n += *q;
+          *p = n + 1;
+          return n;
+        }
+        int main(void) { return work(&shared, &shared, 1); }|}
+  in
+  let m = Modref.of_ci ci in
+  let conflicts = Query.conflicts_in m "work" in
+  (* each unordered pair reported exactly once, canonically oriented *)
+  let keys =
+    List.map
+      (fun c -> (c.Query.cf_a.Modref.op_node, c.Query.cf_b.Modref.op_node))
+      conflicts
+  in
+  Alcotest.(check int) "no symmetric duplicates"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) "oriented a <= b" true (a <= b))
+    keys;
+  (* stable: a second query returns the identical list *)
+  Alcotest.(check bool) "deterministic" true
+    (Query.conflicts_in m "work" = conflicts)
+
+let at_loc_matches_by_position () =
+  let _, _, ci =
+    analyze
+      {|int g1;
+        void set(int *p) { *p = 7; }
+        int main(void) { set(&g1); return g1; }|}
+  in
+  let m = Modref.of_ci ci in
+  let write =
+    List.find (fun (op : Modref.op) -> op.Modref.op_rw = `Write) (Modref.ops m)
+  in
+  match write.Modref.op_loc with
+  | None -> Alcotest.fail "write without location"
+  | Some loc ->
+    (* a freshly built, equal-but-not-identical Srcloc must still match
+       (regression: matching used structural [=] on the option) *)
+    let copy = Srcloc.make ~file:loc.Srcloc.file ~line:loc.Srcloc.line
+        ~col:loc.Srcloc.col
+    in
+    Alcotest.(check bool) "copy is equal" true (Srcloc.equal loc copy);
+    Alcotest.(check bool) "at_loc finds the write" true
+      (List.exists
+         (fun (op : Modref.op) -> op.Modref.op_node = write.Modref.op_node)
+         (Modref.at_loc m copy));
+    let elsewhere = { copy with Srcloc.line = copy.Srcloc.line + 1000 } in
+    Alcotest.(check int) "no ops at a foreign line" 0
+      (List.length (Modref.at_loc m elsewhere))
+
 let overlap_helper () =
   let tbl = Apath.create_table () in
   let v name =
@@ -160,6 +271,9 @@ let tests =
   [
     Alcotest.test_case "may-alias basics" `Quick may_alias_basics;
     Alcotest.test_case "may-alias prefixes" `Quick may_alias_prefix_paths;
+    Alcotest.test_case "may-alias value nodes" `Quick may_alias_value_nodes;
+    Alcotest.test_case "conflicts deduplicated" `Quick conflicts_deduplicated;
+    Alcotest.test_case "at-loc by position" `Quick at_loc_matches_by_position;
     Alcotest.test_case "conflict detection" `Quick conflict_detection;
     Alcotest.test_case "disjoint no-conflict" `Quick no_conflicts_when_disjoint;
     Alcotest.test_case "purity classes" `Quick purity_classes;
