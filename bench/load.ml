@@ -1,0 +1,238 @@
+(* Load driver for the alias-query daemon: replays a synthetic mixed
+   workload (benchmark programs from lib/workload) against a server over
+   its Unix-domain socket and prints client-observed latency per method,
+   in the same total/p50/p95/max shape as the server's own stats method
+   and the batch bench's phase table.
+
+     dune exec bench/load.exe                  # self-hosted server
+     dune exec bench/load.exe -- -c 8 -n 200   # 8 clients, 200 requests each
+     dune exec bench/load.exe -- --socket /tmp/alias.sock   # external daemon
+
+   Unless --socket names a running daemon, the driver hosts the server
+   in-process on a private socket and shuts it down at the end. *)
+
+let benchmark_names = [ "allroots"; "backprop"; "anagram"; "part"; "span" ]
+
+let temp_dir () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "alias_load_%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let write_sources dir =
+  List.map
+    (fun name ->
+      let entry = Option.get (Suite.find name) in
+      let path = Filename.concat dir (name ^ ".c") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Suite.source entry));
+      path)
+    benchmark_names
+
+(* ---- one client ----------------------------------------------------------------- *)
+
+type client_result = {
+  cr_samples : (string * float) list;  (* (method, wall seconds) *)
+  cr_errors : int;
+}
+
+let run_client ~socket ~files ~requests ~seed =
+  let rng = Srng.of_string seed in
+  let client = Client.connect ~retry_for:10. socket in
+  let samples = ref [] and errors = ref 0 in
+  let timed meth params =
+    let t0 = Unix.gettimeofday () in
+    let r = Client.call client ~meth ~params in
+    samples := (meth, Unix.gettimeofday () -. t0) :: !samples;
+    match r with
+    | Ok v -> v
+    | Error (_, msg) ->
+      incr errors;
+      failwith (meth ^ ": " ^ msg)
+  in
+  let member_string name json =
+    match Ejson.member name json with
+    | Some (Ejson.String s) -> s
+    | _ -> failwith ("missing string field " ^ name)
+  in
+  (* open every program once and learn its queryable surface *)
+  let sessions =
+    List.map
+      (fun file ->
+        let opened = timed "open" (Ejson.Assoc [ ("file", Ejson.String file) ]) in
+        let session = member_string "session" opened in
+        let with_session extra =
+          Ejson.Assoc (("session", Ejson.String session) :: extra)
+        in
+        let ops = timed "modref" (with_session []) in
+        let nodes, functions =
+          match Ejson.member "ops" ops with
+          | Some (Ejson.List ops) ->
+            ( List.filter_map
+                (fun o ->
+                  match Ejson.member "node" o with
+                  | Some (Ejson.Int n) -> Some n
+                  | _ -> None)
+                ops,
+              List.sort_uniq compare
+                (List.filter_map
+                   (fun o ->
+                     match Ejson.member "function" o with
+                     | Some (Ejson.String f) -> Some f
+                     | _ -> None)
+                   ops) )
+          | _ -> ([], [])
+        in
+        (file, session, Array.of_list nodes, Array.of_list functions))
+      files
+  in
+  let sessions = Array.of_list sessions in
+  for _ = 1 to requests do
+    let file, session, nodes, functions = Srng.pick rng sessions in
+    let with_session extra =
+      Ejson.Assoc (("session", Ejson.String session) :: extra)
+    in
+    let ignored meth params = try ignore (timed meth params) with Failure _ -> () in
+    let die = Srng.int rng 100 in
+    if die < 45 && Array.length nodes >= 2 then
+      ignored "may_alias"
+        (with_session
+           [
+             ("a", Ejson.Int (Srng.pick rng nodes));
+             ("b", Ejson.Int (Srng.pick rng nodes));
+           ])
+    else if die < 60 && Array.length nodes > 0 then
+      ignored "points_to"
+        (with_session [ ("node", Ejson.Int (Srng.pick rng nodes)) ])
+    else if die < 72 && Array.length functions > 0 then
+      ignored "modref"
+        (with_session [ ("function", Ejson.String (Srng.pick rng functions)) ])
+    else if die < 82 then ignored "conflicts" (with_session [])
+    else if die < 88 then ignored "purity" (with_session [])
+    else if die < 93 then ignored "lint" (with_session [])
+    else if die < 97 then
+      (* re-open of an unchanged file: must be a session hit *)
+      ignored "open" (Ejson.Assoc [ ("file", Ejson.String file) ])
+    else ignored "stats" Ejson.Null
+  done;
+  Client.close client;
+  { cr_samples = !samples; cr_errors = !errors }
+
+(* ---- report --------------------------------------------------------------------- *)
+
+let latency_table results =
+  let by_method = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (meth, dt) ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt by_method meth) in
+          Hashtbl.replace by_method meth (dt :: cur))
+        r.cr_samples)
+    results;
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("method", Table.Left); ("count", Table.Right);
+          ("total (ms)", Table.Right); ("p50 (ms)", Table.Right);
+          ("p95 (ms)", Table.Right); ("max (ms)", Table.Right);
+        ]
+  in
+  let ms s = Table.cell_float ~decimals:3 (1000. *. s) in
+  Hashtbl.fold (fun meth samples acc -> (meth, samples) :: acc) by_method []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (meth, samples) ->
+         let l = Telemetry.summarize samples in
+         Table.add_row t
+           [
+             meth; Table.cell_int l.Telemetry.l_count; ms l.Telemetry.l_total;
+             ms l.Telemetry.l_p50; ms l.Telemetry.l_p95; ms l.Telemetry.l_max;
+           ]);
+  t
+
+(* ---- driver --------------------------------------------------------------------- *)
+
+let () =
+  let clients = ref 4 and requests = ref 100 and ext_socket = ref None in
+  let rec parse i =
+    if i < Array.length Sys.argv then
+      match Sys.argv.(i) with
+      | "-c" when i + 1 < Array.length Sys.argv ->
+        clients := max 1 (int_of_string Sys.argv.(i + 1));
+        parse (i + 2)
+      | "-n" when i + 1 < Array.length Sys.argv ->
+        requests := max 0 (int_of_string Sys.argv.(i + 1));
+        parse (i + 2)
+      | "--socket" when i + 1 < Array.length Sys.argv ->
+        ext_socket := Some Sys.argv.(i + 1);
+        parse (i + 2)
+      | arg ->
+        Printf.eprintf
+          "usage: load [-c CLIENTS] [-n REQUESTS] [--socket PATH] (got %S)\n"
+          arg;
+        exit 2
+  in
+  parse 1;
+  let dir = temp_dir () in
+  let files = write_sources dir in
+  let socket, server =
+    match !ext_socket with
+    | Some path -> (path, None)
+    | None ->
+      let path = Filename.concat dir "alias.sock" in
+      let sessions = Session.create ~cache:(Engine_cache.create ()) () in
+      let handler = Handler.create sessions in
+      let jobs = !clients in
+      (path, Some (Domain.spawn (fun () -> Server.serve_unix ~jobs handler path)))
+  in
+  Printf.printf
+    "Replaying a mixed workload: %d client(s) x %d request(s) over %d program(s)%s\n\n"
+    !clients !requests (List.length files)
+    (match server with Some _ -> " (self-hosted server)" | None -> "");
+  let t0 = Unix.gettimeofday () in
+  let results =
+    List.init !clients (fun c ->
+        Domain.spawn (fun () ->
+            run_client ~socket ~files ~requests:!requests
+              ~seed:(Printf.sprintf "load-client-%d" c)))
+    |> List.map Domain.join
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  print_endline "== Client-observed latency per method ==";
+  Table.print (latency_table results);
+  let n_samples =
+    List.fold_left (fun acc r -> acc + List.length r.cr_samples) 0 results
+  in
+  let n_errors = List.fold_left (fun acc r -> acc + r.cr_errors) 0 results in
+  Printf.printf "\n%d request(s) in %.3f s (%.0f req/s), %d error(s)\n" n_samples
+    wall
+    (float_of_int n_samples /. Float.max 1e-9 wall)
+    n_errors;
+  (* the server's own view of the same traffic *)
+  let reporter = Client.connect ~retry_for:5. socket in
+  (match Client.call reporter ~meth:"stats" ~params:Ejson.Null with
+  | Ok stats ->
+    (match Ejson.member "sessions" stats with
+    | Some sessions ->
+      Printf.printf "server sessions: %s\n" (Ejson.to_compact_string sessions)
+    | None -> ());
+    (match (Ejson.member "requests" stats, Ejson.member "errors" stats) with
+    | Some (Ejson.Int rq), Some (Ejson.Int er) ->
+      Printf.printf "server processed %d request(s), %d error response(s)\n" rq er
+    | _ -> ())
+  | Error (_, msg) -> Printf.printf "stats failed: %s\n" msg);
+  (match server with
+  | Some d ->
+    (match Client.call reporter ~meth:"shutdown" ~params:Ejson.Null with
+    | Ok _ | Error _ -> ());
+    Domain.join d
+  | None -> ());
+  Client.close reporter;
+  List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) files;
+  if n_errors > 0 then exit 1

@@ -10,6 +10,42 @@ let section title table =
   Printf.printf "== %s ==\n" title;
   Table.print table
 
+(* ---- phase latency distribution --------------------------------------------------- *)
+
+(* Total plus p50/p95/max per pipeline phase across the suite, in the
+   same shape as the query server's per-method stats table, so the batch
+   bench and the server latency report read the same way. *)
+let phase_latency_table results =
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("phase", Table.Left); ("runs", Table.Right);
+          ("total (ms)", Table.Right); ("p50 (ms)", Table.Right);
+          ("p95 (ms)", Table.Right); ("max (ms)", Table.Right);
+        ]
+  in
+  let ms s = Table.cell_float ~decimals:3 (1000. *. s) in
+  List.iter
+    (fun phase ->
+      let samples =
+        List.filter_map
+          (fun (r : Figures.bench_result) ->
+            Telemetry.phase_seconds r.Figures.analysis.Engine.telemetry phase)
+          results
+      in
+      if samples <> [] then begin
+        let l = Telemetry.summarize samples in
+        Table.add_row t
+          [
+            phase; Table.cell_int l.Telemetry.l_count;
+            ms l.Telemetry.l_total; ms l.Telemetry.l_p50;
+            ms l.Telemetry.l_p95; ms l.Telemetry.l_max;
+          ]
+      end)
+    Telemetry.phase_names;
+  t
+
 (* ---- ablation 1: strong updates ------------------------------------------------- *)
 
 let strong_update_ablation results =
@@ -302,6 +338,8 @@ let () =
     (Figures.headline results);
   section "Section 4.2: analysis cost (transfer functions, meets, time)"
     (Figures.cost_table results);
+  section "Analysis phases: total and tail latency across the suite"
+    (phase_latency_table results);
   section "Section 4.2: applicability of the CI-derived pruning optimizations"
     (Figures.pruning_table results);
   section "Section 5.1.2: call-graph sparsity" (Figures.callgraph_table results);

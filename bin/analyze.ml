@@ -9,6 +9,8 @@
      conflicts <file.c> report operation pairs that may conflict
      purity <file.c>    classify each function's memory purity
      lint <file.c>      run the checker suite (text/json/SARIF output)
+     serve              run the persistent alias-query daemon
+     query              script a JSON-RPC session against a running daemon
 
    All analysis goes through the Engine facade: phases are timed, solver
    counters captured, and `--metrics FILE` dumps them as JSON.  `tables`
@@ -301,6 +303,253 @@ let tables_cmd =
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables and figures")
     Term.(const run_tables $ names $ jobs $ metrics_arg $ cache_dir $ no_cache)
 
+(* ---- serve --------------------------------------------------------------------- *)
+
+let run_serve socket stdio jobs cache_dir no_cache max_sessions max_bytes
+    disk_budget =
+  if jobs < 1 then (
+    prerr_endline "alias-analyze: --jobs must be at least 1";
+    exit 2);
+  let cache =
+    if no_cache then None else Some (Engine_cache.create ~dir:cache_dir ())
+  in
+  let sessions =
+    Session.create ~max_entries:max_sessions ~max_bytes ?cache
+      ?disk_budget:(if disk_budget > 0 then Some disk_budget else None)
+      ()
+  in
+  let handler = Handler.create sessions in
+  if stdio then Server.serve_stdio handler
+  else
+    match socket with
+    | Some path ->
+      Printf.eprintf "alias-analyze: serving on %s (%d worker domain(s))\n%!"
+        path jobs;
+      Server.serve_unix ~jobs handler path;
+      prerr_endline "alias-analyze: server shut down"
+    | None ->
+      prerr_endline "alias-analyze: serve needs --socket PATH or --stdio";
+      exit 2
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Serve on a Unix-domain socket bound at $(docv).")
+  in
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:"Serve a single client over stdin/stdout instead of a socket.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 4
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Serve up to $(docv) connections in parallel (OCaml domains).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string "_alias_cache"
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Directory for the engine's on-disk result cache.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the engine's result cache.")
+  in
+  let max_sessions =
+    Arg.(
+      value & opt int 16
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Keep at most $(docv) solved programs resident (LRU).")
+  in
+  let max_bytes =
+    Arg.(
+      value
+      & opt int (1 lsl 30)
+      & info [ "max-session-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Approximate byte budget for resident sessions (LRU; 0 = \
+             unbounded).")
+  in
+  let disk_budget =
+    Arg.(
+      value & opt int 0
+      & info [ "cache-max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Prune the on-disk result cache to $(docv) after each open (0 = \
+             never prune).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent alias-query daemon (line-delimited JSON-RPC)")
+    Term.(
+      const run_serve $ socket $ stdio $ jobs $ cache_dir $ no_cache
+      $ max_sessions $ max_bytes $ disk_budget)
+
+(* ---- query --------------------------------------------------------------------- *)
+
+(* A script line is either a full request object, e.g.
+     {"method":"open","params":{"file":"prog.c"}}
+   or the shorthand  METHOD [PARAMS-OBJECT], e.g.
+     open {"file":"prog.c"}
+     stats
+   Blank lines and #-comments are skipped.  Ids are assigned
+   automatically when missing. *)
+let query_line_to_request line =
+  let line = String.trim line in
+  if String.length line > 0 && line.[0] = '{' then
+    match Ejson.of_string line with
+    | exception Ejson.Parse_error msg -> Error msg
+    | json -> (
+      match Protocol.request_of_json json with
+      | Ok rq -> Ok rq
+      | Error (_, msg) -> Error msg)
+  else
+    let meth, params_text =
+      match String.index_opt line ' ' with
+      | None -> (line, "")
+      | Some i ->
+        ( String.sub line 0 i,
+          String.trim (String.sub line i (String.length line - i)) )
+    in
+    if params_text = "" then
+      Ok
+        {
+          Protocol.rq_id = Ejson.Null;
+          rq_method = meth;
+          rq_params = Ejson.Null;
+        }
+    else
+      match Ejson.of_string params_text with
+      | exception Ejson.Parse_error msg -> Error msg
+      | Ejson.Assoc _ as params ->
+        Ok
+          { Protocol.rq_id = Ejson.Null; rq_method = meth; rq_params = params }
+      | _ -> Error "shorthand parameters must be a JSON object"
+
+let run_query socket wait script exprs =
+  let lines =
+    (match script with
+    | Some "-" ->
+      let rec slurp acc =
+        match input_line stdin with
+        | line -> slurp (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      slurp []
+    | Some path -> (
+      match open_in path with
+      | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let rec slurp acc =
+              match input_line ic with
+              | line -> slurp (line :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            slurp [])
+      | exception Sys_error msg ->
+        Printf.eprintf "alias-analyze: %s\n" msg;
+        exit 1)
+    | None -> [])
+    @ exprs
+  in
+  let lines =
+    List.filter
+      (fun l ->
+        let l = String.trim l in
+        l <> "" && l.[0] <> '#')
+      lines
+  in
+  if lines = [] then begin
+    prerr_endline
+      "alias-analyze: query needs a script file, '-' for stdin, or -e LINES";
+    exit 2
+  end;
+  let client =
+    match Client.connect ~retry_for:wait socket with
+    | c -> c
+    | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "alias-analyze: cannot connect to %s: %s\n" socket
+        (Unix.error_message err);
+      exit 1
+  in
+  let errors = ref 0 in
+  let next_id = ref 0 in
+  (try
+     List.iter
+       (fun line ->
+         match query_line_to_request line with
+         | Error msg ->
+           Printf.eprintf "alias-analyze: bad script line %S: %s\n" line msg;
+           incr errors
+         | Ok rq ->
+           let rq =
+             match rq.Protocol.rq_id with
+             | Ejson.Null ->
+               incr next_id;
+               { rq with Protocol.rq_id = Ejson.Int !next_id }
+             | _ -> rq
+           in
+           let reply =
+             Client.exchange_line client
+               (Ejson.to_compact_string (Protocol.request_to_json rq))
+           in
+           print_endline reply;
+           (match Protocol.response_of_line reply with
+           | Ok { Protocol.rs_result = Ok _; _ } -> ()
+           | Ok { Protocol.rs_result = Error _; _ } | Error _ -> incr errors))
+       lines
+   with Client.Connection_closed ->
+     (* normal after "shutdown": the daemon answers, then closes *)
+     ());
+  Client.close client;
+  if !errors > 0 then exit 1
+
+let query_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's Unix-domain socket.")
+  in
+  let wait =
+    Arg.(
+      value & opt float 0.
+      & info [ "wait" ] ~docv:"SECONDS"
+          ~doc:
+            "Retry the connection for up to $(docv) — for scripts that race \
+             the daemon's startup.")
+  in
+  let script =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SCRIPT"
+          ~doc:
+            "Request script: one request per line, '-' for stdin.  A line is \
+             a JSON-RPC object or the shorthand 'METHOD PARAMS-OBJECT'.")
+  in
+  let exprs =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "e" ] ~docv:"LINE" ~doc:"Append a script line (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Script a JSON-RPC session against a running alias daemon")
+    Term.(const run_query $ socket $ wait $ script $ exprs)
+
 (* ---- gen ----------------------------------------------------------------------- *)
 
 let run_gen name =
@@ -367,4 +616,4 @@ let () =
        (Cmd.group
           (Cmd.info "alias-analyze" ~doc)
           [ analyze_cmd; tables_cmd; gen_cmd; interp_cmd; bench_list_cmd;
-            conflicts_cmd; purity_cmd; lint_cmd ]))
+            conflicts_cmd; purity_cmd; lint_cmd; serve_cmd; query_cmd ]))

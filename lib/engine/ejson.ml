@@ -81,6 +81,43 @@ let to_string v =
   write buf 0 v;
   Buffer.contents buf
 
+(* Single-line form for line-delimited protocols: escaping guarantees the
+   result contains no newline, so one value = one line on the wire. *)
+let rec write_compact buf v =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_literal f)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape_string s);
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        write_compact buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Assoc fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string k);
+        Buffer.add_string buf "\":";
+        write_compact buf item)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_compact_string v =
+  let buf = Buffer.create 256 in
+  write_compact buf v;
+  Buffer.contents buf
+
 (* ---- parsing ------------------------------------------------------------------ *)
 
 exception Parse_error of string

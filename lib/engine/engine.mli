@@ -1,0 +1,86 @@
+(** The single front door to the analysis pipeline.
+
+    Every client (CLI, examples, bench harness, figure generator, query
+    server) goes through the engine instead of hand-rolling
+    read_file -> Norm.compile -> Vdg_build.build -> Ci_solver.solve ->
+    Cs_solver.solve:
+
+    {[
+      let a = Engine.run (Engine.load_file "prog.c") in
+      ... a.ci ...                 (* context-insensitive solution *)
+      ... Engine.cs a ...          (* CS solution, solved on demand *)
+      ... a.telemetry ...          (* per-phase times + counters *)
+    ]}
+
+    Phases: load -> frontend (preproc/parse/sema/SIL) -> vdg (SSA) ->
+    ci (Figure 1) -> cs (Figure 5, lazily forced).  Each phase is timed
+    into the analysis' {!Telemetry.t}.
+
+    {!run} optionally consults an {!Engine_cache.t} keyed by a digest of
+    the source text and the configuration fingerprint: in-memory within a
+    process, on disk (Marshal, version-guarded) across processes. *)
+
+type input = {
+  in_file : string;  (** display name, used in diagnostics and telemetry *)
+  in_source : string;
+  in_load_seconds : float;
+}
+
+type config = {
+  ci_config : Ci_solver.config;
+  cs_config : Cs_solver.config;
+  vdg_mode : Vdg_build.mode;
+}
+
+val default_config : config
+
+type cs_cell
+(** The demand-driven context-sensitive half; shared between the original
+    run and any cache-hit copies so the solve happens once. *)
+
+type analysis = {
+  a_input : input;
+  a_config : config;
+  prog : Sil.program;
+  graph : Vdg.t;
+  ci : Ci_solver.t;
+  cs_cell : cs_cell;
+  telemetry : Telemetry.t;
+}
+
+(** {2 Loading} *)
+
+val load_file : string -> input
+(** Reads the whole file; the channel is closed even if reading raises.
+    @raise Sys_error on an unreadable path. *)
+
+val load_string : ?file:string -> string -> input
+
+(** {2 Staged phase API}
+
+    For clients that need a single phase (the bench harness times them
+    individually; the interpreter only needs the SIL program). *)
+
+val compile : input -> Sil.program
+val build_graph : ?config:config -> Sil.program -> Vdg.t
+val solve_ci : ?config:config -> Vdg.t -> Ci_solver.t
+val solve_cs : ?config:config -> Vdg.t -> ci:Ci_solver.t -> Cs_solver.t
+
+(** {2 The pipeline} *)
+
+val cache_key : config -> input -> string
+(** The content-hash key {!run} files results under: a digest of the
+    source text and the configuration fingerprint.  The query server
+    uses it as the session identity. *)
+
+val run : ?config:config -> ?cache:analysis Engine_cache.t -> input -> analysis
+(** Compile, build the VDG, and solve CI (the CS solve is left on
+    demand).  With [cache], consult the memory layer, then the disk
+    layer, before solving; the returned analysis on a hit is a view with
+    private telemetry reporting the hit. *)
+
+val cs : analysis -> Cs_solver.t
+(** Force the context-sensitive solve; idempotent, safe under domains. *)
+
+val cs_forced : analysis -> bool
+(** Has {!cs} (or a cached CS solution) already been materialized? *)

@@ -16,6 +16,7 @@ type stats = {
   mutable disk_hits : int;
   mutable misses : int;
   mutable stores : int;
+  mutable purged : int;  (* stale/corrupt entries deleted, + prune victims *)
 }
 
 type 'v t = {
@@ -36,7 +37,7 @@ let create ?dir () =
   | Some d when not (Sys.file_exists d) ->
     (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
   | _ -> ());
-  { dir; mem = Hashtbl.create 16; lock = Mutex.create (); st = { memory_hits = 0; disk_hits = 0; misses = 0; stores = 0 } }
+  { dir; mem = Hashtbl.create 16; lock = Mutex.create (); st = { memory_hits = 0; disk_hits = 0; misses = 0; stores = 0; purged = 0 } }
 
 let stats t = t.st
 
@@ -73,20 +74,31 @@ let find_disk (type d) t k : d option =
   | Some path ->
     if not (Sys.file_exists path) then None
     else begin
-      match
-        let ic = open_in_bin path in
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () ->
-            let header = really_input_string ic (String.length format_version) in
-            if header <> format_version then None
-            else Some (Marshal.from_channel ic : d))
-      with
+      let payload =
+        match
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              let header = really_input_string ic (String.length format_version) in
+              if header <> format_version then None
+              else Some (Marshal.from_channel ic : d))
+        with
+        | v -> v
+        | exception _ -> None
+      in
+      match payload with
       | Some v ->
         locked t (fun () -> t.st.disk_hits <- t.st.disk_hits + 1);
         Some v
-      | None -> None
-      | exception _ -> None
+      | None ->
+        (* stale format or corrupt payload: reclaim the disk space now,
+           rather than re-reading and skipping the entry forever *)
+        (try
+           Sys.remove path;
+           locked t (fun () -> t.st.purged <- t.st.purged + 1)
+         with Sys_error _ -> ());
+        None
     end
 
 let store_disk (type d) t k (v : d) =
@@ -107,9 +119,52 @@ let store_disk (type d) t k (v : d) =
 
 let record_miss t = locked t (fun () -> t.st.misses <- t.st.misses + 1)
 
+(* Bound the disk layer: delete entries, least-recently-modified first,
+   until the total size of the *.bin files is at or below [max_bytes].
+   Returns the number of files deleted.  The server's session manager
+   calls this after each store to keep a long-lived daemon's cache
+   directory within its configured budget. *)
+let prune t ~max_bytes =
+  match t.dir with
+  | None -> 0
+  | Some dir -> (
+    match Sys.readdir dir with
+    | exception Sys_error _ -> 0
+    | names ->
+      let entries =
+        Array.to_list names
+        |> List.filter (fun f -> Filename.check_suffix f ".bin")
+        |> List.filter_map (fun f ->
+               let path = Filename.concat dir f in
+               match Unix.stat path with
+               | st -> Some (path, st.Unix.st_mtime, st.Unix.st_size)
+               | exception Unix.Unix_error _ -> None)
+      in
+      let total = List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 entries in
+      if total <= max_bytes then 0
+      else begin
+        let by_age =
+          List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) entries
+        in
+        let deleted = ref 0 and remaining = ref total in
+        List.iter
+          (fun (path, _, sz) ->
+            if !remaining > max_bytes then
+              match Sys.remove path with
+              | () ->
+                incr deleted;
+                remaining := !remaining - sz
+              | exception Sys_error _ -> ())
+          by_age;
+        if !deleted > 0 then
+          locked t (fun () -> t.st.purged <- t.st.purged + !deleted);
+        !deleted
+      end)
+
 let stats_summary t =
-  Printf.sprintf "%d memory hit(s), %d disk hit(s), %d miss(es), %d store(s)"
-    t.st.memory_hits t.st.disk_hits t.st.misses t.st.stores
+  Printf.sprintf
+    "%d memory hit(s), %d disk hit(s), %d miss(es), %d store(s), %d purged"
+    t.st.memory_hits t.st.disk_hits t.st.misses t.st.stores t.st.purged
 
 let stats_json t =
   [
@@ -117,4 +172,5 @@ let stats_json t =
     ("cache_stats_disk_hits", Ejson.Int t.st.disk_hits);
     ("cache_stats_misses", Ejson.Int t.st.misses);
     ("cache_stats_stores", Ejson.Int t.st.stores);
+    ("cache_stats_purged", Ejson.Int t.st.purged);
   ]

@@ -45,3 +45,72 @@ let map ?jobs f items =
     | Some e -> raise (Worker_failure e)
     | None -> ());
     Array.to_list (Array.map Option.get results)
+
+(* ---- persistent worker pool ----------------------------------------------------- *)
+
+(* [map] spins domains up and down per call, which is right for the batch
+   suite runner but wrong for a long-lived server: the alias-query daemon
+   keeps a fixed set of worker domains alive and feeds them connections
+   as they arrive.  Jobs are responsible for their own error reporting —
+   an escaping exception is swallowed so one bad connection cannot take a
+   worker down. *)
+module Pool = struct
+  type t = {
+    q : (unit -> unit) Queue.t;
+    lock : Mutex.t;
+    work : Condition.t;
+    mutable stopping : bool;
+    mutable workers : unit Domain.t list;
+  }
+
+  let rec worker p () =
+    Mutex.lock p.lock;
+    while Queue.is_empty p.q && not p.stopping do
+      Condition.wait p.work p.lock
+    done;
+    if Queue.is_empty p.q then Mutex.unlock p.lock (* stopping, queue drained *)
+    else begin
+      let job = Queue.pop p.q in
+      Mutex.unlock p.lock;
+      (try job () with _ -> ());
+      worker p ()
+    end
+
+  let create ?jobs () =
+    let jobs =
+      match jobs with Some n -> max 1 n | None -> default_jobs ()
+    in
+    let p =
+      {
+        q = Queue.create ();
+        lock = Mutex.create ();
+        work = Condition.create ();
+        stopping = false;
+        workers = [];
+      }
+    in
+    p.workers <- List.init jobs (fun _ -> Domain.spawn (worker p));
+    p
+
+  let size p = List.length p.workers
+
+  let submit p job =
+    Mutex.lock p.lock;
+    if p.stopping then begin
+      Mutex.unlock p.lock;
+      invalid_arg "Par_runner.Pool.submit: pool is shut down"
+    end
+    else begin
+      Queue.push job p.q;
+      Condition.signal p.work;
+      Mutex.unlock p.lock
+    end
+
+  let shutdown p =
+    Mutex.lock p.lock;
+    p.stopping <- true;
+    Condition.broadcast p.work;
+    Mutex.unlock p.lock;
+    List.iter Domain.join p.workers;
+    p.workers <- []
+end

@@ -1,0 +1,44 @@
+(** A small worker layer over OCaml 5 domains.
+
+    The analysis pipeline has no global mutable state (interners, solvers
+    and tables are all created per run), so independent inputs can be
+    solved on independent domains; shared structures ({!Engine_cache})
+    carry their own locks. *)
+
+val default_jobs : unit -> int
+(** [min 8 (Domain.recommended_domain_count ())], at least 1. *)
+
+exception Worker_failure of exn
+(** Raised by {!map} when a worker's [f] raised; carries the first
+    failure (the rest of the pool drains before the raise). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map on up to [jobs] domains (default 1).
+    Work is distributed by an atomic cursor rather than pre-chunking, so
+    a few slow items don't strand the other workers.
+
+    @raise Invalid_argument if [jobs < 1]. *)
+
+(** A persistent fixed-size pool: {!map} spins domains up and down per
+    call, which is right for the batch suite runner but wrong for a
+    long-lived server.  The alias-query daemon keeps the pool's worker
+    domains alive and feeds them connections as they arrive. *)
+module Pool : sig
+  type t
+
+  val create : ?jobs:int -> unit -> t
+  (** Spawn [jobs] worker domains (default {!default_jobs}, minimum 1). *)
+
+  val size : t -> int
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Enqueue a job for the next free worker.  Jobs are responsible for
+      their own error reporting: an escaping exception is swallowed so
+      one bad job cannot take a worker down.
+
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val shutdown : t -> unit
+  (** Drain the queue, then join every worker.  Blocks until running and
+      queued jobs finish. *)
+end

@@ -77,6 +77,54 @@ let phase_seconds t name = List.assoc_opt name t.t_phases
 
 let total_seconds t = List.fold_left (fun acc (_, s) -> acc +. s) 0. t.t_phases
 
+(* ---- latency distributions ----------------------------------------------------- *)
+
+(* Shared between the batch bench (per-phase tail latency across the
+   suite) and the query server (per-method tail latency across requests),
+   so the two latency tables read the same way. *)
+
+type latency = {
+  l_count : int;
+  l_total : float;
+  l_p50 : float;
+  l_p95 : float;
+  l_max : float;
+}
+
+(* Linear interpolation between closest ranks; [sorted] must be ascending. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    let rank = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize samples =
+  let arr = Array.of_list samples in
+  Array.sort Float.compare arr;
+  let n = Array.length arr in
+  {
+    l_count = n;
+    l_total = Array.fold_left ( +. ) 0. arr;
+    l_p50 = percentile arr 0.5;
+    l_p95 = percentile arr 0.95;
+    l_max = (if n = 0 then 0. else arr.(n - 1));
+  }
+
+let latency_json l =
+  [
+    ("count", Ejson.Int l.l_count);
+    ("total_seconds", Ejson.Float l.l_total);
+    ("p50_seconds", Ejson.Float l.l_p50);
+    ("p95_seconds", Ejson.Float l.l_p95);
+    ("max_seconds", Ejson.Float l.l_max);
+  ]
+
 (* A detached copy, so that cache hits can report their own status
    without mutating the record of the run that populated the cache. *)
 let copy t =

@@ -1,0 +1,92 @@
+(** Per-run instrumentation: wall-clock time per pipeline phase plus the
+    solver cost counters the paper's Section 4.2 is framed around
+    (transfer-function applications = flow_in, meet operations =
+    flow_out, worklist traffic, and result sizes).  A telemetry record is
+    carried by every [Engine.analysis] and serializes to JSON for
+    [--metrics]. *)
+
+type cache_status = Cold | Memory_hit | Disk_hit
+
+val string_of_cache_status : cache_status -> string
+(** ["miss"], ["memory-hit"], ["disk-hit"]. *)
+
+type solver_counters = {
+  sc_flow_in : int;  (** transfer-function applications *)
+  sc_flow_out : int;  (** meet operations *)
+  sc_worklist_pushes : int;
+  sc_worklist_pops : int;
+  sc_pairs : int;  (** total points-to pairs in the solution *)
+}
+
+(** One checker execution inside [analyze lint]: wall time and how many
+    diagnostics it produced.  Runs against the CS solution are recorded
+    under a ["cs:"]-prefixed checker name. *)
+type checker_stat = {
+  ck_checker : string;
+  ck_seconds : float;
+  ck_diagnostics : int;
+}
+
+type t = {
+  t_file : string;
+  t_source_bytes : int;
+  mutable t_phases : (string * float) list;  (** in completion order *)
+  mutable t_cache : cache_status;
+  mutable t_functions : int;
+  mutable t_vdg_nodes : int;
+  mutable t_alias_outputs : int;
+  mutable t_ci : solver_counters option;
+  mutable t_cs : solver_counters option;
+  mutable t_checkers : checker_stat list;  (** in execution order *)
+}
+
+val phase_names : string list
+(** Phases recorded by [Engine.run], in pipeline order.  ["cs"] only
+    appears once the lazily-forced context-sensitive solve has run. *)
+
+val create : file:string -> source_bytes:int -> t
+
+val record_phase : t -> string -> float -> unit
+
+val record_checker : t -> string -> seconds:float -> diagnostics:int -> unit
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk and record its wall time under the given phase name. *)
+
+val phase_seconds : t -> string -> float option
+
+val total_seconds : t -> float
+
+val copy : t -> t
+(** A detached copy, so that cache hits can report their own status
+    without mutating the record of the run that populated the cache. *)
+
+(** {2 Latency distributions}
+
+    Shared between the batch bench (per-phase tail latency across the
+    suite) and the query server (per-method tail latency across
+    requests), so the two latency tables read the same way. *)
+
+type latency = {
+  l_count : int;
+  l_total : float;
+  l_p50 : float;
+  l_p95 : float;
+  l_max : float;
+}
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] for [q] in [0,1], by linear interpolation
+    between closest ranks; [sorted] must be ascending.  0 when empty. *)
+
+val summarize : float list -> latency
+
+val latency_json : latency -> (string * Ejson.t) list
+
+(** {2 JSON} *)
+
+val to_json : t -> Ejson.t
+
+val suite_to_json : ?cache_stats:(string * Ejson.t) list -> t list -> Ejson.t
+(** A suite-level report: one entry per run plus aggregate totals, the
+    shape [alias-analyze tables --metrics FILE] writes. *)

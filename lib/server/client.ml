@@ -1,0 +1,61 @@
+(* A small synchronous client for the alias-query server: one request on
+   the wire at a time, used by `analyze query`, the bench load driver,
+   and the test suite. *)
+
+type t = {
+  cl_fd : Unix.file_descr;
+  cl_ic : in_channel;
+  cl_oc : out_channel;
+  mutable cl_next_id : int;
+}
+
+exception Connection_closed
+
+let connect ?(retry_for = 0.) path =
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec attempt () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () ->
+      {
+        cl_fd = fd;
+        cl_ic = Unix.in_channel_of_descr fd;
+        cl_oc = Unix.out_channel_of_descr fd;
+        cl_next_id = 1;
+      }
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when Unix.gettimeofday () < deadline ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (* the daemon may still be binding its socket: back off and retry *)
+      Unix.sleepf 0.05;
+      attempt ()
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  attempt ()
+
+let close t =
+  (try flush t.cl_oc with Sys_error _ -> ());
+  try Unix.close t.cl_fd with Unix.Unix_error _ -> ()
+
+(* Ship one raw line, read one raw line.  The scripted `analyze query`
+   client uses this directly so a transcript shows exactly what the
+   server said. *)
+let exchange_line t line =
+  (try
+     output_string t.cl_oc line;
+     output_char t.cl_oc '\n';
+     flush t.cl_oc
+   with Sys_error _ -> raise Connection_closed);
+  match input_line t.cl_ic with
+  | line -> line
+  | exception (End_of_file | Sys_error _) -> raise Connection_closed
+
+let call t ~meth ~params =
+  let id = t.cl_next_id in
+  t.cl_next_id <- id + 1;
+  let reply = exchange_line t (Protocol.request_line ~id ~meth ~params ()) in
+  match Protocol.response_of_line reply with
+  | Ok r -> r.Protocol.rs_result
+  | Error msg -> Error (Protocol.Internal_error, msg)

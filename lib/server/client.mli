@@ -1,0 +1,25 @@
+(** A small synchronous client for the alias-query server: one request on
+    the wire at a time, used by [analyze query], the bench load driver,
+    and the test suite. *)
+
+type t
+
+exception Connection_closed
+(** The server closed the connection (or the write hit a broken pipe). *)
+
+val connect : ?retry_for:float -> string -> t
+(** Connect to the Unix-domain socket at the given path.  With
+    [retry_for] (seconds), retries on [ECONNREFUSED]/[ENOENT] until the
+    deadline — for scripts that race the daemon's startup. *)
+
+val close : t -> unit
+
+val exchange_line : t -> string -> string
+(** Ship one raw request line, read one raw response line.
+    @raise Connection_closed when the transport drops. *)
+
+val call :
+  t -> meth:string -> params:Ejson.t -> (Ejson.t, Protocol.error_code * string) result
+(** Send a request (ids are assigned automatically) and wait for its
+    response.
+    @raise Connection_closed when the transport drops. *)

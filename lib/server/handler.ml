@@ -1,0 +1,419 @@
+(* Method dispatch for the alias-query server.
+
+   Every query method resolves a session three ways, in order: an
+   explicit "session" id, a "file" path (implicitly opened — an unchanged
+   file lands on the live session without re-solving), or the
+   connection's default session (the last one opened on this
+   connection, which is what scripted `analyze query` transcripts use).
+   Query evaluation holds the session's lock, so requests on different
+   sessions run in parallel across worker domains while same-session
+   requests serialize.
+
+   The handler is shared by every connection; the per-method latency
+   tallies behind the "stats" method carry their own lock. *)
+
+(* Per-connection state: the default session for requests that name
+   neither a session nor a file. *)
+type conn = { mutable cn_session : string option }
+
+let new_conn () = { cn_session = None }
+
+type method_stat = {
+  mutable ms_samples : float list;  (* wall seconds, newest first *)
+  mutable ms_errors : int;
+}
+
+type t = {
+  h_sessions : Session.t;
+  h_started : float;
+  h_lock : Mutex.t;
+  h_methods : (string, method_stat) Hashtbl.t;
+  mutable h_requests : int;
+  mutable h_errors : int;
+}
+
+type outcome =
+  | Reply of string
+  | Reply_shutdown of string
+      (* the response to write before the transport shuts down *)
+
+let create sessions =
+  {
+    h_sessions = sessions;
+    h_started = Unix.gettimeofday ();
+    h_lock = Mutex.create ();
+    h_methods = Hashtbl.create 16;
+    h_requests = 0;
+    h_errors = 0;
+  }
+
+let sessions t = t.h_sessions
+
+(* ---- session resolution --------------------------------------------------------- *)
+
+exception Session_error of string
+
+let resolve t conn params =
+  match Protocol.opt_string_param params "session" with
+  | Some id -> (
+    match Session.find t.h_sessions id with
+    | Some e -> e
+    | None -> raise (Session_error (Printf.sprintf "unknown session %S" id)))
+  | None -> (
+    match Protocol.opt_string_param params "file" with
+    | Some path ->
+      let r = Session.open_path t.h_sessions path in
+      conn.cn_session <- Some r.Session.or_entry.Session.ses_id;
+      r.Session.or_entry
+    | None -> (
+      match conn.cn_session with
+      | Some id -> (
+        match Session.find t.h_sessions id with
+        | Some e -> e
+        | None ->
+          raise
+            (Session_error
+               "the connection's default session was closed or evicted"))
+      | None ->
+        raise
+          (Session_error
+             "no session: pass \"session\" or \"file\", or call \"open\" first")))
+
+(* ---- JSON helpers --------------------------------------------------------------- *)
+
+let paths_json paths =
+  Ejson.List (List.map (fun p -> Ejson.String (Apath.to_string p)) paths)
+
+let op_json (o : Modref.op) =
+  Ejson.Assoc
+    [
+      ("node", Ejson.Int o.Modref.op_node);
+      ("rw", Ejson.String (Checker.string_of_rw o.Modref.op_rw));
+      ("function", Ejson.String o.Modref.op_fun);
+      ("loc", Ejson.String (Checker.where o.Modref.op_loc));
+      ("targets", paths_json o.Modref.op_targets);
+    ]
+
+let defined_functions (e : Session.entry) =
+  List.filter_map
+    (fun fd ->
+      let name = fd.Sil.fd_name in
+      if name = Sil.global_init_name then None else Some name)
+    e.Session.ses_analysis.Engine.prog.Sil.p_functions
+
+let check_function e params =
+  match Protocol.opt_string_param params "function" with
+  | None -> None
+  | Some f ->
+    if List.mem f (defined_functions e) then Some f
+    else Protocol.bad_params "unknown function %S" f
+
+(* ---- methods -------------------------------------------------------------------- *)
+
+let do_open t conn params =
+  let path = Protocol.string_param params "file" in
+  let r = Session.open_path t.h_sessions path in
+  let e = r.Session.or_entry in
+  conn.cn_session <- Some e.Session.ses_id;
+  let tele = e.Session.ses_analysis.Engine.telemetry in
+  Ejson.Assoc
+    [
+      ("session", Ejson.String e.Session.ses_id);
+      ("file", Ejson.String path);
+      ( "status",
+        Ejson.String
+          (match r.Session.or_status with
+          | `Session_hit -> "session-hit"
+          | `Solved st -> Telemetry.string_of_cache_status st) );
+      ("functions", Ejson.Int tele.Telemetry.t_functions);
+      ("vdg_nodes", Ejson.Int tele.Telemetry.t_vdg_nodes);
+      ("alias_outputs", Ejson.Int tele.Telemetry.t_alias_outputs);
+      ("bytes", Ejson.Int e.Session.ses_bytes);
+      ("pipeline_seconds", Ejson.Float (Telemetry.total_seconds tele));
+    ]
+
+let do_close t conn params =
+  let id =
+    match Protocol.opt_string_param params "session" with
+    | Some id -> id
+    | None -> (
+      match conn.cn_session with
+      | Some id -> id
+      | None -> raise (Session_error "no session to close"))
+  in
+  let closed = Session.close t.h_sessions id in
+  if conn.cn_session = Some id then conn.cn_session <- None;
+  Ejson.Assoc
+    [ ("session", Ejson.String id); ("closed", Ejson.Bool closed) ]
+
+(* The two sides of a may_alias question: either VDG node ids ("a"/"b",
+   discoverable via the modref method) or source lines ("a_line"/
+   "b_line": every indirect operation on that line). *)
+let nodes_for (e : Session.entry) params side =
+  let graph = e.Session.ses_analysis.Engine.graph in
+  match Protocol.opt_int_param params side with
+  | Some n ->
+    if n < 0 || n >= Vdg.n_nodes graph then
+      Protocol.bad_params "%S: no VDG node %d" side n
+    else [ n ]
+  | None -> (
+    let line_key = side ^ "_line" in
+    match Protocol.opt_int_param params line_key with
+    | Some line -> (
+      let ops = Modref.ops (Lazy.force e.Session.ses_modref) in
+      match
+        List.filter_map
+          (fun (o : Modref.op) ->
+            match o.Modref.op_loc with
+            | Some l when l.Srcloc.line = line -> Some o.Modref.op_node
+            | _ -> None)
+          ops
+      with
+      | [] ->
+        Protocol.bad_params "%S: no indirect memory operation on line %d"
+          line_key line
+      | nodes -> nodes)
+    | None -> Protocol.bad_params "missing parameter %S (or %S)" side line_key)
+
+let do_may_alias (e : Session.entry) params =
+  let a_nodes = nodes_for e params "a" in
+  let b_nodes = nodes_for e params "b" in
+  let ci = e.Session.ses_analysis.Engine.ci in
+  let verdict =
+    List.exists
+      (fun a -> List.exists (fun b -> Query.may_alias ci a b) b_nodes)
+      a_nodes
+  in
+  Ejson.Assoc
+    [
+      ("may_alias", Ejson.Bool verdict);
+      ("a_nodes", Ejson.List (List.map (fun n -> Ejson.Int n) a_nodes));
+      ("b_nodes", Ejson.List (List.map (fun n -> Ejson.Int n) b_nodes));
+    ]
+
+let do_points_to (e : Session.entry) params =
+  let node = Protocol.int_param params "node" in
+  let a = e.Session.ses_analysis in
+  if node < 0 || node >= Vdg.n_nodes a.Engine.graph then
+    Protocol.bad_params "\"node\": no VDG node %d" node;
+  let pairs = Ptpair.Set.elements (Ci_solver.pairs a.Engine.ci node) in
+  Ejson.Assoc
+    [
+      ("node", Ejson.Int node);
+      ("locations", paths_json (Query.locations_denoted a.Engine.ci node));
+      ( "pairs",
+        Ejson.List
+          (List.map (fun p -> Ejson.String (Ptpair.to_string p)) pairs) );
+    ]
+
+let do_modref (e : Session.entry) params =
+  let modref = Lazy.force e.Session.ses_modref in
+  let fn = check_function e params in
+  let ops =
+    List.filter
+      (fun (o : Modref.op) ->
+        match fn with None -> true | Some f -> o.Modref.op_fun = f)
+      (Modref.ops modref)
+  in
+  Ejson.Assoc
+    ((match fn with
+     | None -> []
+     | Some f ->
+       [
+         ("function", Ejson.String f);
+         ("mod", paths_json (Modref.mod_set modref f));
+         ("ref", paths_json (Modref.ref_set modref f));
+       ])
+    @ [ ("ops", Ejson.List (List.map op_json ops)) ])
+
+let do_purity (e : Session.entry) _params =
+  let a = e.Session.ses_analysis in
+  Ejson.Assoc
+    [
+      ( "functions",
+        Ejson.Assoc
+          (List.map
+             (fun f ->
+               ( f,
+                 Ejson.String
+                   (match
+                      Query.classify_purity a.Engine.graph a.Engine.ci f
+                    with
+                   | Query.Pure -> "pure"
+                   | Query.Impure_writes -> "impure-writes"
+                   | Query.Impure_calls ext -> "impure-calls:" ^ ext) ))
+             (defined_functions e)) );
+    ]
+
+let conflict_json (c : Query.conflict) =
+  let side (o : Modref.op) =
+    Ejson.Assoc
+      [
+        ("node", Ejson.Int o.Modref.op_node);
+        ("rw", Ejson.String (Checker.string_of_rw o.Modref.op_rw));
+        ("loc", Ejson.String (Checker.where o.Modref.op_loc));
+      ]
+  in
+  Ejson.Assoc
+    [
+      ("a", side c.Query.cf_a);
+      ("b", side c.Query.cf_b);
+      ( "kind",
+        Ejson.String
+          (match c.Query.cf_kind with
+          | `Write_write -> "write-write"
+          | `Read_write -> "read-write") );
+      ("common", paths_json c.Query.cf_common);
+    ]
+
+let do_conflicts (e : Session.entry) params =
+  let modref = Lazy.force e.Session.ses_modref in
+  let fns =
+    match check_function e params with
+    | Some f -> [ f ]
+    | None -> defined_functions e
+  in
+  let per_function =
+    List.filter_map
+      (fun f ->
+        match Query.conflicts_in modref f with
+        | [] -> None
+        | cs ->
+          Some
+            (Ejson.Assoc
+               [
+                 ("function", Ejson.String f);
+                 ("conflicts", Ejson.List (List.map conflict_json cs));
+               ]))
+      fns
+  in
+  let total =
+    List.fold_left
+      (fun acc f -> acc + List.length (Query.conflicts_in modref f))
+      0 fns
+  in
+  Ejson.Assoc
+    [ ("count", Ejson.Int total); ("functions", Ejson.List per_function) ]
+
+let do_lint (e : Session.entry) params =
+  let checkers = Protocol.string_list_param params "checkers" in
+  (match Registry.select checkers with
+  | Ok _ -> ()
+  | Error msg -> raise (Protocol.Bad_params msg));
+  let compare_cs = Protocol.bool_param ~default:false params "cs" in
+  Lint.to_json (Lint.run ~checkers ~compare_cs e.Session.ses_analysis)
+
+let do_stats t _params =
+  let methods =
+    Mutex.lock t.h_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.h_lock)
+      (fun () ->
+        Hashtbl.fold
+          (fun name ms acc -> (name, ms.ms_errors, ms.ms_samples) :: acc)
+          t.h_methods [])
+  in
+  let methods =
+    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) methods
+  in
+  Ejson.Assoc
+    ([
+       ("uptime_seconds", Ejson.Float (Unix.gettimeofday () -. t.h_started));
+       ("requests", Ejson.Int t.h_requests);
+       ("errors", Ejson.Int t.h_errors);
+       ("sessions", Ejson.Assoc (Session.stats_json t.h_sessions));
+       ( "methods",
+         Ejson.Assoc
+           (List.map
+              (fun (name, errors, samples) ->
+                ( name,
+                  Ejson.Assoc
+                    (Telemetry.latency_json (Telemetry.summarize samples)
+                    @ [ ("errors", Ejson.Int errors) ]) ))
+              methods) );
+     ]
+    @
+    match Session.engine_cache_stats_json t.h_sessions with
+    | Some stats -> [ ("engine_cache", Ejson.Assoc stats) ]
+    | None -> [])
+
+(* ---- dispatch ------------------------------------------------------------------- *)
+
+exception Unknown_method of string
+
+let method_names =
+  [
+    "ping"; "open"; "close"; "may_alias"; "points_to"; "modref"; "purity";
+    "conflicts"; "lint"; "stats"; "shutdown";
+  ]
+
+(* Methods that read a solved session run under the session lock. *)
+let with_session t conn params f =
+  let e = resolve t conn params in
+  Session.with_entry e (fun () -> f e)
+
+let dispatch t conn meth params =
+  match meth with
+  | "ping" -> Ejson.Assoc [ ("pong", Ejson.Bool true) ]
+  | "open" -> do_open t conn params
+  | "close" -> do_close t conn params
+  | "may_alias" -> with_session t conn params (fun e -> do_may_alias e params)
+  | "points_to" -> with_session t conn params (fun e -> do_points_to e params)
+  | "modref" -> with_session t conn params (fun e -> do_modref e params)
+  | "purity" -> with_session t conn params (fun e -> do_purity e params)
+  | "conflicts" -> with_session t conn params (fun e -> do_conflicts e params)
+  | "lint" -> with_session t conn params (fun e -> do_lint e params)
+  | "stats" -> do_stats t params
+  | "shutdown" -> Ejson.Assoc [ ("stopping", Ejson.Bool true) ]
+  | m -> raise (Unknown_method m)
+
+let record t meth seconds ~ok =
+  Mutex.lock t.h_lock;
+  t.h_requests <- t.h_requests + 1;
+  if not ok then t.h_errors <- t.h_errors + 1;
+  let ms =
+    match Hashtbl.find_opt t.h_methods meth with
+    | Some ms -> ms
+    | None ->
+      let ms = { ms_samples = []; ms_errors = 0 } in
+      Hashtbl.add t.h_methods meth ms;
+      ms
+  in
+  ms.ms_samples <- seconds :: ms.ms_samples;
+  if not ok then ms.ms_errors <- ms.ms_errors + 1;
+  Mutex.unlock t.h_lock
+
+let handle t conn (rq : Protocol.request) =
+  let t0 = Unix.gettimeofday () in
+  let reply =
+    match dispatch t conn rq.Protocol.rq_method rq.Protocol.rq_params with
+    | result -> Ok result
+    | exception Protocol.Bad_params msg -> Error (Protocol.Invalid_params, msg)
+    | exception Session_error msg -> Error (Protocol.Session_not_found, msg)
+    | exception Unknown_method m ->
+      Error (Protocol.Method_not_found, Printf.sprintf "unknown method %S" m)
+    | exception Srcloc.Error (loc, msg) ->
+      Error (Protocol.Frontend_error, Srcloc.to_string loc ^ ": " ^ msg)
+    | exception Sys_error msg -> Error (Protocol.Frontend_error, msg)
+    | exception Unix.Unix_error (err, fn, arg) ->
+      Error
+        ( Protocol.Frontend_error,
+          Printf.sprintf "%s: %s: %s" fn arg (Unix.error_message err) )
+    | exception e -> Error (Protocol.Internal_error, Printexc.to_string e)
+  in
+  record t rq.Protocol.rq_method
+    (Unix.gettimeofday () -. t0)
+    ~ok:(Result.is_ok reply);
+  let id = rq.Protocol.rq_id in
+  match reply with
+  | Ok result when rq.Protocol.rq_method = "shutdown" ->
+    Reply_shutdown (Protocol.ok_response ~id result)
+  | Ok result -> Reply (Protocol.ok_response ~id result)
+  | Error (code, msg) -> Reply (Protocol.error_response ~id code msg)
+
+let handle_line t conn line =
+  match Protocol.request_of_line line with
+  | Ok rq -> handle t conn rq
+  | Error (code, msg) ->
+    record t "<invalid>" 0. ~ok:false;
+    Reply (Protocol.error_response ~id:Ejson.Null code msg)

@@ -1,0 +1,37 @@
+(** Method dispatch for the alias-query server.
+
+    Methods: [ping], [open], [close], [may_alias], [points_to], [modref],
+    [purity], [conflicts], [lint], [stats], [shutdown].
+
+    Every query method resolves a session three ways, in order: an
+    explicit ["session"] id, a ["file"] path (implicitly opened — an
+    unchanged file lands on the live session without re-solving), or the
+    connection's default session (the last one opened on this
+    connection).  Query evaluation holds the session's lock, so requests
+    on different sessions run in parallel across worker domains while
+    same-session requests serialize. *)
+
+type conn
+(** Per-connection state (the default session). *)
+
+val new_conn : unit -> conn
+
+type t
+
+val create : Session.t -> t
+(** The handler is shared by every connection of a server. *)
+
+val sessions : t -> Session.t
+
+val method_names : string list
+
+type outcome =
+  | Reply of string  (** one response line, without the newline *)
+  | Reply_shutdown of string
+      (** the response to write before the transport shuts down *)
+
+val handle : t -> conn -> Protocol.request -> outcome
+
+val handle_line : t -> conn -> string -> outcome
+(** Parse one request line and dispatch; never raises — every failure
+    (unparsable line included) becomes an error response. *)

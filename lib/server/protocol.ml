@@ -1,0 +1,187 @@
+(* The wire format of the alias-query server: line-delimited JSON-RPC.
+
+   One request per line, one response per line, in request order per
+   connection.  The shape follows JSON-RPC 2.0 (id / method / params on
+   the way in, id / result-or-error on the way out) without the
+   "jsonrpc" version field — the transport is a private Unix-domain
+   socket or stdio pipe, not the open internet.  Ejson's compact printer
+   guarantees a serialized value never contains a newline, so framing is
+   just [input_line]. *)
+
+(* JSON-RPC reserves -32768..-32000; the server-defined codes sit just
+   above the reserved block. *)
+type error_code =
+  | Parse_error  (* -32700: the line is not JSON *)
+  | Invalid_request  (* -32600: JSON, but not a request object *)
+  | Method_not_found  (* -32601 *)
+  | Invalid_params  (* -32602 *)
+  | Internal_error  (* -32603: a bug, reported with the exception text *)
+  | Session_not_found  (* -32001: no such (or no default) session *)
+  | Frontend_error  (* -32002: unreadable file or a C frontend error *)
+  | Shutting_down  (* -32003: request raced a server shutdown *)
+
+let int_of_error_code = function
+  | Parse_error -> -32700
+  | Invalid_request -> -32600
+  | Method_not_found -> -32601
+  | Invalid_params -> -32602
+  | Internal_error -> -32603
+  | Session_not_found -> -32001
+  | Frontend_error -> -32002
+  | Shutting_down -> -32003
+
+let error_code_of_int = function
+  | -32700 -> Some Parse_error
+  | -32600 -> Some Invalid_request
+  | -32601 -> Some Method_not_found
+  | -32602 -> Some Invalid_params
+  | -32603 -> Some Internal_error
+  | -32001 -> Some Session_not_found
+  | -32002 -> Some Frontend_error
+  | -32003 -> Some Shutting_down
+  | _ -> None
+
+let string_of_error_code = function
+  | Parse_error -> "parse-error"
+  | Invalid_request -> "invalid-request"
+  | Method_not_found -> "method-not-found"
+  | Invalid_params -> "invalid-params"
+  | Internal_error -> "internal-error"
+  | Session_not_found -> "session-not-found"
+  | Frontend_error -> "frontend-error"
+  | Shutting_down -> "shutting-down"
+
+(* ---- requests ------------------------------------------------------------------- *)
+
+type request = {
+  rq_id : Ejson.t;  (* Int or String; Null when the client sent none *)
+  rq_method : string;
+  rq_params : Ejson.t;  (* Assoc; Null when absent *)
+}
+
+let request_of_json json =
+  match json with
+  | Ejson.Assoc _ -> (
+    let id = Option.value ~default:Ejson.Null (Ejson.member "id" json) in
+    match Ejson.member "method" json with
+    | Some (Ejson.String m) when m <> "" -> (
+      match Ejson.member "params" json with
+      | None | Some Ejson.Null ->
+        Ok { rq_id = id; rq_method = m; rq_params = Ejson.Null }
+      | Some (Ejson.Assoc _ as params) ->
+        Ok { rq_id = id; rq_method = m; rq_params = params }
+      | Some _ -> Error (Invalid_request, "\"params\" must be an object"))
+    | Some _ -> Error (Invalid_request, "\"method\" must be a non-empty string")
+    | None -> Error (Invalid_request, "missing \"method\""))
+  | _ -> Error (Invalid_request, "a request must be a JSON object")
+
+let request_of_line line =
+  match Ejson.of_string line with
+  | json -> request_of_json json
+  | exception Ejson.Parse_error msg -> Error (Parse_error, msg)
+
+let request_to_json rq =
+  Ejson.Assoc
+    ((match rq.rq_id with Ejson.Null -> [] | id -> [ ("id", id) ])
+    @ [ ("method", Ejson.String rq.rq_method) ]
+    @ (match rq.rq_params with Ejson.Null -> [] | p -> [ ("params", p) ]))
+
+let request_line ?id ~meth ~params () =
+  let rq_id = match id with Some i -> Ejson.Int i | None -> Ejson.Null in
+  Ejson.to_compact_string
+    (request_to_json { rq_id; rq_method = meth; rq_params = params })
+
+(* ---- responses ------------------------------------------------------------------ *)
+
+let ok_response ~id result =
+  Ejson.to_compact_string (Ejson.Assoc [ ("id", id); ("result", result) ])
+
+let error_response ~id code message =
+  Ejson.to_compact_string
+    (Ejson.Assoc
+       [
+         ("id", id);
+         ( "error",
+           Ejson.Assoc
+             [
+               ("code", Ejson.Int (int_of_error_code code));
+               ("name", Ejson.String (string_of_error_code code));
+               ("message", Ejson.String message);
+             ] );
+       ])
+
+type response = {
+  rs_id : Ejson.t;
+  rs_result : (Ejson.t, error_code * string) result;
+}
+
+let response_of_line line =
+  match Ejson.of_string line with
+  | exception Ejson.Parse_error msg -> Error ("unparsable response: " ^ msg)
+  | json -> (
+    let id = Option.value ~default:Ejson.Null (Ejson.member "id" json) in
+    match Ejson.member "error" json with
+    | Some err ->
+      let code =
+        match Ejson.member "code" err with
+        | Some (Ejson.Int c) ->
+          Option.value ~default:Internal_error (error_code_of_int c)
+        | _ -> Internal_error
+      in
+      let message =
+        match Ejson.member "message" err with
+        | Some (Ejson.String m) -> m
+        | _ -> "unknown error"
+      in
+      Ok { rs_id = id; rs_result = Error (code, message) }
+    | None -> (
+      match Ejson.member "result" json with
+      | Some result -> Ok { rs_id = id; rs_result = Ok result }
+      | None -> Error "response has neither \"result\" nor \"error\""))
+
+(* ---- parameter accessors -------------------------------------------------------- *)
+
+(* Raised by handlers on malformed parameters; the dispatcher maps it to
+   an [Invalid_params] response. *)
+exception Bad_params of string
+
+let bad_params fmt = Printf.ksprintf (fun msg -> raise (Bad_params msg)) fmt
+
+let opt_string_param params name =
+  match Ejson.member name params with
+  | None | Some Ejson.Null -> None
+  | Some (Ejson.String s) -> Some s
+  | Some _ -> bad_params "parameter %S must be a string" name
+
+let string_param params name =
+  match opt_string_param params name with
+  | Some s -> s
+  | None -> bad_params "missing parameter %S" name
+
+let opt_int_param params name =
+  match Ejson.member name params with
+  | None | Some Ejson.Null -> None
+  | Some (Ejson.Int i) -> Some i
+  | Some _ -> bad_params "parameter %S must be an integer" name
+
+let int_param params name =
+  match opt_int_param params name with
+  | Some i -> i
+  | None -> bad_params "missing parameter %S" name
+
+let bool_param ~default params name =
+  match Ejson.member name params with
+  | None | Some Ejson.Null -> default
+  | Some (Ejson.Bool b) -> b
+  | Some _ -> bad_params "parameter %S must be a boolean" name
+
+let string_list_param params name =
+  match Ejson.member name params with
+  | None | Some Ejson.Null -> []
+  | Some (Ejson.List items) ->
+    List.map
+      (function
+        | Ejson.String s -> s
+        | _ -> bad_params "parameter %S must be a list of strings" name)
+      items
+  | Some _ -> bad_params "parameter %S must be a list of strings" name

@@ -1,0 +1,64 @@
+(** The wire format of the alias-query server: line-delimited JSON-RPC.
+
+    One request per line, one response per line, in request order per
+    connection.  The shape follows JSON-RPC 2.0 (id / method / params in,
+    id / result-or-error out) without the "jsonrpc" version field.
+    {!Ejson.to_compact_string} guarantees a serialized value never
+    contains a newline, so framing is just [input_line]. *)
+
+type error_code =
+  | Parse_error  (** -32700: the line is not JSON *)
+  | Invalid_request  (** -32600: JSON, but not a request object *)
+  | Method_not_found  (** -32601 *)
+  | Invalid_params  (** -32602 *)
+  | Internal_error  (** -32603: a bug, reported with the exception text *)
+  | Session_not_found  (** -32001: no such (or no default) session *)
+  | Frontend_error  (** -32002: unreadable file or a C frontend error *)
+  | Shutting_down  (** -32003: request raced a server shutdown *)
+
+val int_of_error_code : error_code -> int
+val error_code_of_int : int -> error_code option
+val string_of_error_code : error_code -> string
+
+type request = {
+  rq_id : Ejson.t;  (** Int or String; Null when the client sent none *)
+  rq_method : string;
+  rq_params : Ejson.t;  (** Assoc; Null when absent *)
+}
+
+val request_of_line : string -> (request, error_code * string) result
+val request_of_json : Ejson.t -> (request, error_code * string) result
+val request_to_json : request -> Ejson.t
+
+val request_line : ?id:int -> meth:string -> params:Ejson.t -> unit -> string
+(** One serialized request line (no trailing newline), for clients. *)
+
+val ok_response : id:Ejson.t -> Ejson.t -> string
+val error_response : id:Ejson.t -> error_code -> string -> string
+
+type response = {
+  rs_id : Ejson.t;
+  rs_result : (Ejson.t, error_code * string) result;
+}
+
+val response_of_line : string -> (response, string) result
+(** Client-side parse; [Error] only when the line itself is not a
+    well-formed response envelope. *)
+
+(** {2 Parameter accessors}
+
+    All raise {!Bad_params} on a type mismatch; the dispatcher maps it to
+    an [Invalid_params] response. *)
+
+exception Bad_params of string
+
+val bad_params : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Bad_params} with a formatted message. *)
+
+val string_param : Ejson.t -> string -> string
+val opt_string_param : Ejson.t -> string -> string option
+val int_param : Ejson.t -> string -> int
+val opt_int_param : Ejson.t -> string -> int option
+val bool_param : default:bool -> Ejson.t -> string -> bool
+val string_list_param : Ejson.t -> string -> string list
+(** Missing parameter means [[]]. *)

@@ -1,0 +1,151 @@
+(* Transports for the alias-query daemon.
+
+   Stdio mode serves one client on the calling domain: the shape used by
+   editor integrations that spawn the daemon as a child process.
+
+   Unix-socket mode is the multi-client deployment: an accept loop on
+   the calling domain hands each connection to a persistent
+   Par_runner.Pool worker, so up to [jobs] clients are served
+   concurrently (queries on different sessions genuinely in parallel;
+   same-session queries serialized by the session lock).  A "shutdown"
+   request closes the listening socket and every live connection, the
+   accept loop winds down, and the pool is joined — the CI smoke test
+   asserts this exits cleanly. *)
+
+let ignore_sigpipe () =
+  (* a client that disconnects mid-reply must not kill the daemon *)
+  match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ()
+
+(* One client on an established channel pair.  Returns when the peer
+   closes, on a transport error, or after a shutdown request (having
+   written its response first). *)
+let serve_channel handler conn ic oc ~on_shutdown =
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+      match Handler.handle_line handler conn line with
+      | Handler.Reply reply -> (
+        match
+          output_string oc reply;
+          output_char oc '\n';
+          flush oc
+        with
+        | () -> loop ()
+        | exception Sys_error _ -> ())
+      | Handler.Reply_shutdown reply ->
+        (try
+           output_string oc reply;
+           output_char oc '\n';
+           flush oc
+         with Sys_error _ -> ());
+        on_shutdown ())
+  in
+  loop ()
+
+let serve_stdio handler =
+  ignore_sigpipe ();
+  serve_channel handler (Handler.new_conn ()) stdin stdout
+    ~on_shutdown:(fun () -> ())
+
+(* ---- Unix-domain socket --------------------------------------------------------- *)
+
+type listener = {
+  ls_handler : Handler.t;
+  ls_socket : Unix.file_descr;
+  ls_stop : bool Atomic.t;
+  ls_lock : Mutex.t;  (* guards ls_conns *)
+  ls_conns : (Unix.file_descr, unit) Hashtbl.t;
+}
+
+let register ls fd =
+  Mutex.lock ls.ls_lock;
+  Hashtbl.replace ls.ls_conns fd ();
+  Mutex.unlock ls.ls_lock
+
+let unregister ls fd =
+  Mutex.lock ls.ls_lock;
+  Hashtbl.remove ls.ls_conns fd;
+  Mutex.unlock ls.ls_lock
+
+(* Runs on the worker that received the shutdown request.  The accept
+   loop polls the stop flag (closing the listening fd from another domain
+   would not wake a blocked accept); shutting down live connections makes
+   their readers see EOF, which drains the pool. *)
+let initiate_shutdown ls =
+  if not (Atomic.exchange ls.ls_stop true) then begin
+    Mutex.lock ls.ls_lock;
+    let conns = Hashtbl.fold (fun fd () acc -> fd :: acc) ls.ls_conns [] in
+    Mutex.unlock ls.ls_lock;
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns
+  end
+
+let serve_connection ls fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () ->
+      unregister ls fd;
+      (try flush oc with Sys_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      serve_channel ls.ls_handler (Handler.new_conn ()) ic oc
+        ~on_shutdown:(fun () -> initiate_shutdown ls))
+
+let serve_unix ?jobs handler path =
+  ignore_sigpipe ();
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let socket = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind socket (Unix.ADDR_UNIX path);
+     Unix.listen socket 64
+   with e ->
+     (try Unix.close socket with Unix.Unix_error _ -> ());
+     raise e);
+  let ls =
+    {
+      ls_handler = handler;
+      ls_socket = socket;
+      ls_stop = Atomic.make false;
+      ls_lock = Mutex.create ();
+      ls_conns = Hashtbl.create 8;
+    }
+  in
+  let pool = Par_runner.Pool.create ?jobs () in
+  (* Poll with a short select so a shutdown initiated on a worker domain
+     is noticed promptly: closing the listening fd from another domain
+     would not wake a blocked accept. *)
+  let rec accept_loop () =
+    if not (Atomic.get ls.ls_stop) then begin
+      (match Unix.select [ socket ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept socket with
+        | fd, _ ->
+          register ls fd;
+          (try Par_runner.Pool.submit pool (fun () -> serve_connection ls fd)
+           with Invalid_argument _ ->
+             (* pool already shut down: the accept raced the stop *)
+             unregister ls fd;
+             (try Unix.close fd with Unix.Unix_error _ -> ()))
+        | exception
+            Unix.Unix_error
+              ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      initiate_shutdown ls;
+      (try Unix.close socket with Unix.Unix_error _ -> ());
+      Par_runner.Pool.shutdown pool;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    accept_loop

@@ -1,0 +1,21 @@
+(** Transports for the alias-query daemon.
+
+    Both serve the line-delimited JSON-RPC protocol in {!Protocol} and
+    return only when the client side ends (stdio) or a [shutdown]
+    request arrives. *)
+
+val serve_stdio : Handler.t -> unit
+(** Serve one client over stdin/stdout on the calling domain — the shape
+    used by editor integrations that spawn the daemon as a child
+    process.  Returns on EOF or after answering a [shutdown] request. *)
+
+val serve_unix : ?jobs:int -> Handler.t -> string -> unit
+(** [serve_unix ~jobs handler path] binds a Unix-domain socket at [path]
+    (replacing any stale socket file) and serves clients until a
+    [shutdown] request.  Each connection is handed to a persistent
+    {!Par_runner.Pool} worker, so up to [jobs] (default
+    {!Par_runner.default_jobs}) clients are served concurrently: queries
+    on different sessions run genuinely in parallel, while same-session
+    queries serialize on the session lock.  On shutdown the listening
+    socket and every live connection are closed, the worker pool is
+    joined, and the socket file is removed. *)

@@ -1,0 +1,238 @@
+(* The daemon's working set: solved Engine.analysis values, alive across
+   requests, keyed by Engine.cache_key (a digest of the source text and
+   the configuration fingerprint).
+
+   Identity is content, not path: re-opening an unchanged file re-digests
+   it and lands on the live session (a "session hit" — no re-solve);
+   re-opening a file whose content changed produces a new key, solves
+   fresh, and drops the stale session for that path.  The working set is
+   bounded by an entry count and an approximate byte budget, evicted LRU;
+   the engine's own cache (when configured) still holds evicted results
+   on disk, so re-opening an evicted session is a disk hit, not a
+   re-solve. *)
+
+type entry = {
+  ses_id : string;  (* the Engine.cache_key digest, exposed to clients *)
+  ses_path : string;
+  ses_analysis : Engine.analysis;
+  ses_modref : Modref.t Lazy.t;  (* CI mod/ref sets, built on first query *)
+  ses_bytes : int;  (* approximate retained size *)
+  ses_lock : Mutex.t;  (* serializes queries on this session *)
+  mutable ses_stamp : int;  (* LRU clock value of the last touch *)
+  mutable ses_queries : int;
+}
+
+type stats = {
+  mutable st_solved : int;  (* opens that went through Engine.run *)
+  mutable st_session_hits : int;  (* opens answered by a live session *)
+  mutable st_invalidated : int;  (* sessions dropped because content changed *)
+  mutable st_evicted : int;  (* sessions dropped by the LRU budget *)
+  mutable st_closed : int;
+}
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;  (* by session id *)
+  by_path : (string, string) Hashtbl.t;  (* path -> current session id *)
+  lock : Mutex.t;
+  mutable clock : int;
+  mutable live_bytes : int;
+  max_entries : int;
+  max_bytes : int;
+  config : Engine.config;
+  cache : Engine.analysis Engine_cache.t option;
+  disk_budget : int option;  (* Engine_cache.prune target, if any *)
+  st : stats;
+}
+
+let create ?(max_entries = 16) ?(max_bytes = 1 lsl 30) ?config ?cache
+    ?disk_budget () =
+  {
+    tbl = Hashtbl.create 16;
+    by_path = Hashtbl.create 16;
+    lock = Mutex.create ();
+    clock = 0;
+    live_bytes = 0;
+    max_entries = max 1 max_entries;
+    max_bytes = max 0 max_bytes;
+    config = Option.value ~default:Engine.default_config config;
+    cache;
+    disk_budget;
+    st =
+      {
+        st_solved = 0;
+        st_session_hits = 0;
+        st_invalidated = 0;
+        st_evicted = 0;
+        st_closed = 0;
+      };
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Callers hold t.lock. *)
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.ses_stamp <- t.clock
+
+let drop t e =
+  Hashtbl.remove t.tbl e.ses_id;
+  t.live_bytes <- t.live_bytes - e.ses_bytes;
+  match Hashtbl.find_opt t.by_path e.ses_path with
+  | Some id when id = e.ses_id -> Hashtbl.remove t.by_path e.ses_path
+  | _ -> ()
+
+(* Evict least-recently-used sessions until within budget; [keep] (the
+   entry just inserted) is never a victim, so a single oversized program
+   still gets exactly one resident session. *)
+let evict_over_budget t ~keep =
+  let over () =
+    Hashtbl.length t.tbl > t.max_entries
+    || (t.max_bytes > 0 && t.live_bytes > t.max_bytes)
+  in
+  let next_victim () =
+    Hashtbl.fold
+      (fun _ e acc ->
+        if e.ses_id = keep then acc
+        else
+          match acc with
+          | Some best when best.ses_stamp <= e.ses_stamp -> acc
+          | _ -> Some e)
+      t.tbl None
+  in
+  let rec loop () =
+    if over () then
+      match next_victim () with
+      | Some victim ->
+        drop t victim;
+        t.st.st_evicted <- t.st.st_evicted + 1;
+        loop ()
+      | None -> ()
+  in
+  loop ()
+
+(* Retained size of an analysis, for the byte budget.  [reachable_words]
+   walks the value's heap graph; the fallback is a crude multiple of the
+   source size in case a future payload defeats the walk. *)
+let approx_bytes (a : Engine.analysis) =
+  match Obj.reachable_words (Obj.repr a) with
+  | words -> words * (Sys.word_size / 8)
+  | exception _ -> String.length a.Engine.a_input.Engine.in_source * 64
+
+type open_status = [ `Session_hit | `Solved of Telemetry.cache_status ]
+
+type open_result = { or_entry : entry; or_status : open_status }
+
+let open_path t path =
+  let input = Engine.load_file path in
+  let key = Engine.cache_key t.config input in
+  let live =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some e ->
+          t.st.st_session_hits <- t.st.st_session_hits + 1;
+          touch t e;
+          Some e
+        | None -> None)
+  in
+  match live with
+  | Some e -> { or_entry = e; or_status = `Session_hit }
+  | None ->
+    (* Solve outside the manager lock: other sessions stay responsive
+       while this one compiles.  Two racing opens of the same new file
+       may both solve; the second insert below defers to the first. *)
+    let a = Engine.run ~config:t.config ?cache:t.cache input in
+    let entry =
+      {
+        ses_id = key;
+        ses_path = path;
+        ses_analysis = a;
+        ses_modref = lazy (Modref.of_ci a.Engine.ci);
+        ses_bytes = approx_bytes a;
+        ses_lock = Mutex.create ();
+        ses_stamp = 0;
+        ses_queries = 0;
+      }
+    in
+    let result =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.tbl key with
+          | Some e ->
+            t.st.st_session_hits <- t.st.st_session_hits + 1;
+            touch t e;
+            { or_entry = e; or_status = `Session_hit }
+          | None ->
+            (match Hashtbl.find_opt t.by_path path with
+            | Some stale_id when stale_id <> key -> (
+              match Hashtbl.find_opt t.tbl stale_id with
+              | Some stale ->
+                drop t stale;
+                t.st.st_invalidated <- t.st.st_invalidated + 1
+              | None -> ())
+            | _ -> ());
+            Hashtbl.replace t.tbl key entry;
+            Hashtbl.replace t.by_path path key;
+            t.live_bytes <- t.live_bytes + entry.ses_bytes;
+            touch t entry;
+            t.st.st_solved <- t.st.st_solved + 1;
+            evict_over_budget t ~keep:key;
+            {
+              or_entry = entry;
+              or_status =
+                `Solved a.Engine.telemetry.Telemetry.t_cache;
+            })
+    in
+    (* keep the disk layer within its budget as the daemon accumulates
+       programs; outside the lock, it's pure file-system work *)
+    (match (t.cache, t.disk_budget) with
+    | Some c, Some budget -> ignore (Engine_cache.prune c ~max_bytes:budget)
+    | _ -> ());
+    result
+
+let find t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl id with
+      | Some e ->
+        touch t e;
+        Some e
+      | None -> None)
+
+let close t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl id with
+      | Some e ->
+        drop t e;
+        t.st.st_closed <- t.st.st_closed + 1;
+        true
+      | None -> false)
+
+(* Serialize work on one session: queries against different sessions run
+   on different worker domains; two clients of the same session take
+   turns. *)
+let with_entry e f =
+  Mutex.lock e.ses_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock e.ses_lock)
+    (fun () ->
+      e.ses_queries <- e.ses_queries + 1;
+      f ())
+
+let live t = locked t (fun () -> Hashtbl.length t.tbl)
+
+let stats_json t =
+  locked t (fun () ->
+      [
+        ("live", Ejson.Int (Hashtbl.length t.tbl));
+        ("live_bytes", Ejson.Int t.live_bytes);
+        ("max_entries", Ejson.Int t.max_entries);
+        ("max_bytes", Ejson.Int t.max_bytes);
+        ("solved", Ejson.Int t.st.st_solved);
+        ("session_hits", Ejson.Int t.st.st_session_hits);
+        ("invalidated", Ejson.Int t.st.st_invalidated);
+        ("evicted", Ejson.Int t.st.st_evicted);
+        ("closed", Ejson.Int t.st.st_closed);
+      ])
+
+let engine_cache_stats_json t =
+  match t.cache with None -> None | Some c -> Some (Engine_cache.stats_json c)

@@ -1,0 +1,69 @@
+(** The daemon's working set: solved {!Engine.analysis} values, alive
+    across requests, keyed by {!Engine.cache_key} (a digest of the source
+    text and the configuration fingerprint).
+
+    Identity is content, not path: re-opening an unchanged file
+    re-digests it and lands on the live session (a "session hit" — no
+    re-solve); re-opening a file whose content changed produces a new
+    key, solves fresh, and drops the stale session for that path.  The
+    working set is bounded by an entry count and an approximate byte
+    budget, evicted LRU; the engine's own cache (when configured) still
+    holds evicted results on disk, so re-opening an evicted session is a
+    disk hit, not a re-solve. *)
+
+type entry = {
+  ses_id : string;  (** the {!Engine.cache_key} digest, exposed to clients *)
+  ses_path : string;
+  ses_analysis : Engine.analysis;
+  ses_modref : Modref.t Lazy.t;  (** CI mod/ref sets, built on first query *)
+  ses_bytes : int;  (** approximate retained size *)
+  ses_lock : Mutex.t;  (** serializes queries on this session *)
+  mutable ses_stamp : int;  (** LRU clock value of the last touch *)
+  mutable ses_queries : int;
+}
+
+type t
+
+val create :
+  ?max_entries:int ->
+  ?max_bytes:int ->
+  ?config:Engine.config ->
+  ?cache:Engine.analysis Engine_cache.t ->
+  ?disk_budget:int ->
+  unit ->
+  t
+(** [max_entries] (default 16, minimum 1) and [max_bytes] (default 1 GiB;
+    0 disables the byte budget) bound the in-memory working set.  With
+    [cache], solves go through the engine cache's memory and disk layers;
+    with [disk_budget], {!Engine_cache.prune} runs after each open. *)
+
+type open_status =
+  [ `Session_hit  (** answered by a live session, nothing re-solved *)
+  | `Solved of Telemetry.cache_status
+    (** went through {!Engine.run}; the status tells whether the engine
+        cache answered from memory, disk, or solved cold *) ]
+
+type open_result = { or_entry : entry; or_status : open_status }
+
+val open_path : t -> string -> open_result
+(** Load (re-stat and re-digest) the file and return its session.
+    @raise Sys_error on an unreadable path.
+    @raise Srcloc.Error on a frontend failure. *)
+
+val find : t -> string -> entry option
+(** Look up a live session by id; touches its LRU stamp. *)
+
+val close : t -> string -> bool
+(** Drop a session; false when the id names no live session. *)
+
+val with_entry : entry -> (unit -> 'a) -> 'a
+(** Serialize work on one session: queries against different sessions run
+    on different worker domains; two clients of the same session take
+    turns. *)
+
+val live : t -> int
+
+val stats_json : t -> (string * Ejson.t) list
+
+val engine_cache_stats_json : t -> (string * Ejson.t) list option
+(** The engine cache's hit/miss/store counters, when a cache is wired. *)

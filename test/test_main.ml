@@ -22,4 +22,5 @@ let () =
       ("integration", Test_integration.tests);
       ("engine", Test_engine.tests);
       ("checkers", Test_checkers.tests);
+      ("server", Test_server.tests);
     ]

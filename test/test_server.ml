@@ -1,0 +1,563 @@
+(* The alias-query server: protocol codecs and validation, method
+   dispatch (including every structured error path), session identity
+   and invalidation under content change, LRU eviction, verdict
+   equivalence with direct Query/Lint invocation, the engine cache's
+   purge/prune maintenance, and a two-client exchange over a real
+   Unix-domain socket with a clean shutdown. *)
+
+let conflict_src =
+  {|int shared;
+int other;
+
+void bump(int *p, int *q) {
+  *p = *p + 1;
+  *q = *q + 1;
+}
+
+int main(void) {
+  bump(&shared, &shared);
+  bump(&shared, &other);
+  return shared;
+}
+|}
+
+let disjoint_src =
+  {|int a;
+int b;
+
+int main(void) {
+  int *p = &a;
+  int *q = &b;
+  *p = 1;
+  *q = 2;
+  return *p + *q;
+}
+|}
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "alias_server_test_%d_%d" (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let write_file path src =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc src)
+
+let temp_c dir name src =
+  let path = Filename.concat dir name in
+  write_file path src;
+  path
+
+(* ---- helpers over the handler ---------------------------------------------------- *)
+
+let rpc h conn meth params =
+  let line = Protocol.request_line ~meth ~params () in
+  match Handler.handle_line h conn line with
+  | Handler.Reply r | Handler.Reply_shutdown r -> (
+    match Protocol.response_of_line r with
+    | Ok rs -> rs.Protocol.rs_result
+    | Error msg -> Alcotest.failf "unparsable response line %S: %s" r msg)
+
+let expect_ok what = function
+  | Ok v -> v
+  | Error (code, msg) ->
+    Alcotest.failf "%s: unexpected error %s: %s" what
+      (Protocol.string_of_error_code code)
+      msg
+
+let expect_error what code = function
+  | Ok v ->
+    Alcotest.failf "%s: expected %s, got result %s" what
+      (Protocol.string_of_error_code code)
+      (Ejson.to_compact_string v)
+  | Error (got, _) ->
+    Alcotest.(check string)
+      what
+      (Protocol.string_of_error_code code)
+      (Protocol.string_of_error_code got)
+
+let member_exn what name json =
+  match Ejson.member name json with
+  | Some v -> v
+  | None -> Alcotest.failf "%s: missing field %S" what name
+
+let string_field what name json =
+  match member_exn what name json with
+  | Ejson.String s -> s
+  | v -> Alcotest.failf "%s: %S is not a string: %s" what name (Ejson.to_compact_string v)
+
+let int_field what name json =
+  match member_exn what name json with
+  | Ejson.Int n -> n
+  | v -> Alcotest.failf "%s: %S is not an int: %s" what name (Ejson.to_compact_string v)
+
+let bool_field what name json =
+  match member_exn what name json with
+  | Ejson.Bool b -> b
+  | v -> Alcotest.failf "%s: %S is not a bool: %s" what name (Ejson.to_compact_string v)
+
+let session_stat sessions name =
+  match List.assoc_opt name (Session.stats_json sessions) with
+  | Some (Ejson.Int n) -> n
+  | _ -> Alcotest.failf "session stats: missing counter %S" name
+
+(* ---- (a) protocol codecs --------------------------------------------------------- *)
+
+let test_protocol_roundtrip () =
+  let params = Ejson.Assoc [ ("file", Ejson.String "x.c"); ("a", Ejson.Int 3) ] in
+  let line = Protocol.request_line ~id:7 ~meth:"may_alias" ~params () in
+  (match Protocol.request_of_line line with
+  | Ok rq ->
+    Alcotest.(check string) "method survives" "may_alias" rq.Protocol.rq_method;
+    Alcotest.(check string)
+      "id survives" "7"
+      (Ejson.to_compact_string rq.Protocol.rq_id);
+    Alcotest.(check string)
+      "params survive"
+      (Ejson.to_compact_string params)
+      (Ejson.to_compact_string rq.Protocol.rq_params)
+  | Error (_, msg) -> Alcotest.failf "request_line did not round-trip: %s" msg);
+  (* request_to_json / request_of_json *)
+  let rq =
+    { Protocol.rq_id = Ejson.String "q-1"; rq_method = "ping"; rq_params = Ejson.Null }
+  in
+  (match Protocol.request_of_json (Protocol.request_to_json rq) with
+  | Ok rq' ->
+    Alcotest.(check string) "json round-trip method" "ping" rq'.Protocol.rq_method
+  | Error (_, msg) -> Alcotest.failf "request json round-trip: %s" msg);
+  (* responses *)
+  let ok_line = Protocol.ok_response ~id:(Ejson.Int 3) (Ejson.Bool true) in
+  (match Protocol.response_of_line ok_line with
+  | Ok { Protocol.rs_id = Ejson.Int 3; rs_result = Ok (Ejson.Bool true) } -> ()
+  | Ok _ -> Alcotest.fail "ok response decoded to the wrong shape"
+  | Error msg -> Alcotest.failf "ok response did not parse: %s" msg);
+  let err_line =
+    Protocol.error_response ~id:Ejson.Null Protocol.Session_not_found "gone"
+  in
+  (match Protocol.response_of_line err_line with
+  | Ok { Protocol.rs_result = Error (Protocol.Session_not_found, "gone"); _ } -> ()
+  | Ok _ -> Alcotest.fail "error response decoded to the wrong shape"
+  | Error msg -> Alcotest.failf "error response did not parse: %s" msg);
+  (* every error code survives the int round-trip *)
+  List.iter
+    (fun code ->
+      match Protocol.error_code_of_int (Protocol.int_of_error_code code) with
+      | Some code' ->
+        Alcotest.(check string)
+          "error code int round-trip"
+          (Protocol.string_of_error_code code)
+          (Protocol.string_of_error_code code')
+      | None ->
+        Alcotest.failf "error code %s lost by int round-trip"
+          (Protocol.string_of_error_code code))
+    [
+      Protocol.Parse_error; Protocol.Invalid_request; Protocol.Method_not_found;
+      Protocol.Invalid_params; Protocol.Internal_error; Protocol.Session_not_found;
+      Protocol.Frontend_error; Protocol.Shutting_down;
+    ];
+  (* compact serialization never contains a newline: the framing invariant *)
+  let tricky =
+    Ejson.Assoc [ ("s", Ejson.String "line\nbreak\ttab \"quote\" \\ slash") ]
+  in
+  Alcotest.(check bool)
+    "compact JSON is newline-free" false
+    (String.contains (Ejson.to_compact_string tricky) '\n')
+
+let test_protocol_validation () =
+  (match Protocol.request_of_line "this is not json" with
+  | Error (Protocol.Parse_error, _) -> ()
+  | _ -> Alcotest.fail "non-JSON line must be a parse error");
+  (match Protocol.request_of_line "[1,2,3]" with
+  | Error (Protocol.Invalid_request, _) -> ()
+  | _ -> Alcotest.fail "a JSON array is not a request");
+  (match Protocol.request_of_line {|{"id":1,"method":"ping","params":[1]}|} with
+  | Error (Protocol.Invalid_request, _) -> ()
+  | _ -> Alcotest.fail "non-object params must be rejected");
+  (match Protocol.request_of_line {|{"id":1,"params":{}}|} with
+  | Error (Protocol.Invalid_request, _) -> ()
+  | _ -> Alcotest.fail "a request without a method must be rejected");
+  (* parameter accessors *)
+  let params = Ejson.Assoc [ ("s", Ejson.String "x"); ("n", Ejson.Int 3) ] in
+  Alcotest.(check string) "string_param" "x" (Protocol.string_param params "s");
+  Alcotest.(check int) "int_param" 3 (Protocol.int_param params "n");
+  Alcotest.(check bool)
+    "bool_param default" true
+    (Protocol.bool_param ~default:true params "absent");
+  (match Protocol.string_param params "absent" with
+  | exception Protocol.Bad_params _ -> ()
+  | _ -> Alcotest.fail "missing string parameter must raise Bad_params");
+  match Protocol.int_param params "s" with
+  | exception Protocol.Bad_params _ -> ()
+  | _ -> Alcotest.fail "wrong-typed parameter must raise Bad_params"
+
+(* ---- (b) dispatch error paths ---------------------------------------------------- *)
+
+let test_handler_errors () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "conflict.c" conflict_src in
+  let h = Handler.create (Session.create ()) in
+  let conn = Handler.new_conn () in
+  expect_error "unknown method" Protocol.Method_not_found
+    (rpc h conn "no_such_method" Ejson.Null);
+  expect_error "query before any open" Protocol.Session_not_found
+    (rpc h conn "may_alias" (Ejson.Assoc [ ("a", Ejson.Int 0); ("b", Ejson.Int 0) ]));
+  expect_error "open without file" Protocol.Invalid_params
+    (rpc h conn "open" Ejson.Null);
+  expect_error "open of a missing path" Protocol.Frontend_error
+    (rpc h conn "open"
+       (Ejson.Assoc [ ("file", Ejson.String (Filename.concat dir "absent.c")) ]));
+  expect_error "unknown explicit session" Protocol.Session_not_found
+    (rpc h conn "purity" (Ejson.Assoc [ ("session", Ejson.String "deadbeef") ]));
+  ignore
+    (expect_ok "open" (rpc h conn "open" (Ejson.Assoc [ ("file", Ejson.String file) ])));
+  expect_error "may_alias without sides" Protocol.Invalid_params
+    (rpc h conn "may_alias" Ejson.Null);
+  expect_error "out-of-range node" Protocol.Invalid_params
+    (rpc h conn "may_alias"
+       (Ejson.Assoc [ ("a", Ejson.Int 999999); ("b", Ejson.Int 0) ]));
+  expect_error "unknown function filter" Protocol.Invalid_params
+    (rpc h conn "modref" (Ejson.Assoc [ ("function", Ejson.String "nope") ]));
+  (* an unparsable line still yields a well-formed error response *)
+  (match Handler.handle_line h conn "garbage {" with
+  | Handler.Reply r -> (
+    match Protocol.response_of_line r with
+    | Ok { Protocol.rs_result = Error (Protocol.Parse_error, _); _ } -> ()
+    | _ -> Alcotest.fail "garbage line must answer with a parse error")
+  | Handler.Reply_shutdown _ -> Alcotest.fail "garbage must not shut the server down")
+
+(* ---- (c) session identity: hits, invalidation, eviction, close ------------------- *)
+
+let test_session_hit_and_stats () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "conflict.c" conflict_src in
+  let sessions = Session.create () in
+  let h = Handler.create sessions in
+  let conn = Handler.new_conn () in
+  let params = Ejson.Assoc [ ("file", Ejson.String file) ] in
+  let first = expect_ok "first open" (rpc h conn "open" params) in
+  Alcotest.(check string)
+    "a cold open solves" "miss"
+    (string_field "open" "status" first);
+  let second = expect_ok "second open" (rpc h conn "open" params) in
+  Alcotest.(check string)
+    "re-open of an unchanged file is a session hit" "session-hit"
+    (string_field "open" "status" second);
+  Alcotest.(check string)
+    "both opens name the same session"
+    (string_field "open" "session" first)
+    (string_field "open" "session" second);
+  Alcotest.(check int) "one solve" 1 (session_stat sessions "solved");
+  Alcotest.(check int) "one session hit" 1 (session_stat sessions "session_hits");
+  (* the stats method reflects the traffic *)
+  let stats = expect_ok "stats" (rpc h conn "stats" Ejson.Null) in
+  Alcotest.(check bool)
+    "requests counted" true
+    (int_field "stats" "requests" stats >= 2);
+  let opens = member_exn "stats" "open" (member_exn "stats" "methods" stats) in
+  Alcotest.(check int) "open latency samples" 2 (int_field "stats" "count" opens)
+
+let test_invalidation_on_change () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "prog.c" conflict_src in
+  let sessions = Session.create () in
+  let h = Handler.create sessions in
+  let conn = Handler.new_conn () in
+  let params = Ejson.Assoc [ ("file", Ejson.String file) ] in
+  let first = expect_ok "open v1" (rpc h conn "open" params) in
+  let id1 = string_field "open" "session" first in
+  write_file file disjoint_src;
+  let second = expect_ok "open v2" (rpc h conn "open" params) in
+  let id2 = string_field "open" "session" second in
+  Alcotest.(check bool) "changed content gets a new session" true (id1 <> id2);
+  Alcotest.(check string)
+    "changed content re-solves" "miss"
+    (string_field "open" "status" second);
+  Alcotest.(check bool)
+    "the stale session is dropped" true
+    (Session.find sessions id1 = None);
+  Alcotest.(check int) "invalidation counted" 1
+    (session_stat sessions "invalidated");
+  expect_error "querying the stale id" Protocol.Session_not_found
+    (rpc h conn "purity" (Ejson.Assoc [ ("session", Ejson.String id1) ]))
+
+let test_lru_eviction () =
+  let dir = fresh_dir () in
+  let f1 = temp_c dir "one.c" conflict_src in
+  let f2 = temp_c dir "two.c" disjoint_src in
+  let sessions = Session.create ~max_entries:1 () in
+  let h = Handler.create sessions in
+  let conn = Handler.new_conn () in
+  let open1 =
+    expect_ok "open one" (rpc h conn "open" (Ejson.Assoc [ ("file", Ejson.String f1) ]))
+  in
+  let id1 = string_field "open" "session" open1 in
+  ignore
+    (expect_ok "open two"
+       (rpc h conn "open" (Ejson.Assoc [ ("file", Ejson.String f2) ])));
+  Alcotest.(check int) "working set bounded" 1 (Session.live sessions);
+  Alcotest.(check bool)
+    "the older session was evicted" true
+    (Session.find sessions id1 = None);
+  Alcotest.(check int) "eviction counted" 1 (session_stat sessions "evicted")
+
+let test_close () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "prog.c" conflict_src in
+  let h = Handler.create (Session.create ()) in
+  let conn = Handler.new_conn () in
+  let opened =
+    expect_ok "open" (rpc h conn "open" (Ejson.Assoc [ ("file", Ejson.String file) ]))
+  in
+  let id = string_field "open" "session" opened in
+  let closed = expect_ok "close" (rpc h conn "close" Ejson.Null) in
+  Alcotest.(check bool) "close drops the default session" true
+    (bool_field "close" "closed" closed);
+  let again =
+    expect_ok "close again"
+      (rpc h conn "close" (Ejson.Assoc [ ("session", Ejson.String id) ]))
+  in
+  Alcotest.(check bool) "second close is a no-op" false
+    (bool_field "close" "closed" again);
+  expect_error "query after close" Protocol.Session_not_found
+    (rpc h conn "purity" Ejson.Null)
+
+(* ---- (d) verdicts match direct library invocation -------------------------------- *)
+
+let test_verdicts_match_direct () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "conflict.c" conflict_src in
+  let h = Handler.create (Session.create ()) in
+  let conn = Handler.new_conn () in
+  ignore
+    (expect_ok "open" (rpc h conn "open" (Ejson.Assoc [ ("file", Ejson.String file) ])));
+  let a = Engine.run (Engine.load_file file) in
+  let nodes =
+    List.map (fun ((n : Vdg.node), _) -> n.Vdg.nid)
+      (Vdg.indirect_memops a.Engine.graph)
+  in
+  Alcotest.(check bool) "the program has indirect ops" true (nodes <> []);
+  (* every pair answers exactly as Query.may_alias *)
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          let reply =
+            expect_ok "may_alias"
+              (rpc h conn "may_alias"
+                 (Ejson.Assoc [ ("a", Ejson.Int x); ("b", Ejson.Int y) ]))
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "may_alias(%d,%d)" x y)
+            (Query.may_alias a.Engine.ci x y)
+            (bool_field "may_alias" "may_alias" reply))
+        nodes)
+    nodes;
+  (* conflicts: same total as Query.conflicts_in over every function *)
+  let modref = Modref.of_ci a.Engine.ci in
+  let direct_conflicts =
+    List.fold_left
+      (fun acc fd ->
+        let f = fd.Sil.fd_name in
+        if f = Sil.global_init_name then acc
+        else acc + List.length (Query.conflicts_in modref f))
+      0 a.Engine.prog.Sil.p_functions
+  in
+  let conflicts = expect_ok "conflicts" (rpc h conn "conflicts" Ejson.Null) in
+  Alcotest.(check int)
+    "conflict count matches Query.conflicts_in" direct_conflicts
+    (int_field "conflicts" "count" conflicts);
+  Alcotest.(check bool)
+    "the aliased writes are reported" true
+    (direct_conflicts > 0);
+  (* lint: delta and diagnostic count match a direct Lint.run *)
+  let report = Lint.run ~compare_cs:true a in
+  let lint =
+    expect_ok "lint" (rpc h conn "lint" (Ejson.Assoc [ ("cs", Ejson.Bool true) ]))
+  in
+  Alcotest.(check int)
+    "lint delta matches" (Lint.delta_count report)
+    (int_field "lint" "delta" lint);
+  (match member_exn "lint" "diagnostics" lint with
+  | Ejson.List ds ->
+    Alcotest.(check int)
+      "lint diagnostic count matches"
+      (List.length report.Lint.rp_diags)
+      (List.length ds)
+  | _ -> Alcotest.fail "lint diagnostics must be a list");
+  (* purity: same classification per function *)
+  let purity = expect_ok "purity" (rpc h conn "purity" Ejson.Null) in
+  match member_exn "purity" "functions" purity with
+  | Ejson.Assoc fns ->
+    List.iter
+      (fun (f, v) ->
+        let direct =
+          match Query.classify_purity a.Engine.graph a.Engine.ci f with
+          | Query.Pure -> "pure"
+          | Query.Impure_writes -> "impure-writes"
+          | Query.Impure_calls ext -> "impure-calls:" ^ ext
+        in
+        match v with
+        | Ejson.String s ->
+          Alcotest.(check string) (Printf.sprintf "purity of %s" f) direct s
+        | _ -> Alcotest.fail "purity verdict must be a string")
+      fns
+  | _ -> Alcotest.fail "purity functions must be an object"
+
+let test_may_alias_by_line () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "conflict.c" conflict_src in
+  let h = Handler.create (Session.create ()) in
+  let conn = Handler.new_conn () in
+  ignore
+    (expect_ok "open" (rpc h conn "open" (Ejson.Assoc [ ("file", Ejson.String file) ])));
+  (* lines 5 and 6 are *p and *q inside bump: both may point to shared *)
+  let reply =
+    expect_ok "may_alias by line"
+      (rpc h conn "may_alias"
+         (Ejson.Assoc [ ("a_line", Ejson.Int 5); ("b_line", Ejson.Int 6) ]))
+  in
+  Alcotest.(check bool)
+    "*p and *q may alias" true
+    (bool_field "may_alias" "may_alias" reply);
+  expect_error "a line with no indirect operation" Protocol.Invalid_params
+    (rpc h conn "may_alias"
+       (Ejson.Assoc [ ("a_line", Ejson.Int 1); ("b_line", Ejson.Int 6) ]))
+
+(* ---- (e) engine cache maintenance ------------------------------------------------ *)
+
+let bin_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".bin")
+
+let test_cache_purges_corrupt_entries () =
+  let dir = fresh_dir () in
+  let c1 : string Engine_cache.t = Engine_cache.create ~dir () in
+  let key = Engine_cache.key ~source:"int x;" ~fingerprint:"cfg" in
+  Engine_cache.store_disk c1 key "payload";
+  Alcotest.(check int) "one entry on disk" 1 (List.length (bin_files dir));
+  (match Engine_cache.find_disk c1 key with
+  | Some "payload" -> ()
+  | _ -> Alcotest.fail "a healthy entry must read back");
+  (* corrupt the entry on disk; a fresh cache must purge it *)
+  (match bin_files dir with
+  | [ f ] -> write_file (Filename.concat dir f) "not a marshal payload"
+  | _ -> Alcotest.fail "expected exactly one cache file");
+  let c2 : string Engine_cache.t = Engine_cache.create ~dir () in
+  (match (Engine_cache.find_disk c2 key : string option) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "a corrupt entry must be a miss");
+  Alcotest.(check int) "the corrupt file was deleted" 0
+    (List.length (bin_files dir));
+  Alcotest.(check int) "purge counted" 1 (Engine_cache.stats c2).Engine_cache.purged
+
+let test_cache_prune () =
+  let dir = fresh_dir () in
+  let c : string Engine_cache.t = Engine_cache.create ~dir () in
+  List.iter
+    (fun i ->
+      Engine_cache.store_disk c
+        (Engine_cache.key ~source:(string_of_int i) ~fingerprint:"cfg")
+        (String.make 256 'x'))
+    [ 1; 2; 3 ];
+  Alcotest.(check int) "three entries stored" 3 (List.length (bin_files dir));
+  let deleted = Engine_cache.prune c ~max_bytes:0 in
+  Alcotest.(check int) "prune deletes everything over the budget" 3 deleted;
+  Alcotest.(check int) "disk is empty" 0 (List.length (bin_files dir));
+  let mem : string Engine_cache.t = Engine_cache.create () in
+  Alcotest.(check int)
+    "memory-only prune is a no-op" 0
+    (Engine_cache.prune mem ~max_bytes:0)
+
+let test_latency_summary () =
+  Alcotest.(check (float 1e-9))
+    "median of four" 2.5
+    (Telemetry.percentile [| 1.; 2.; 3.; 4. |] 0.5);
+  Alcotest.(check (float 1e-9))
+    "p0 is the minimum" 1.
+    (Telemetry.percentile [| 1.; 2.; 3.; 4. |] 0.);
+  Alcotest.(check (float 1e-9))
+    "p100 is the maximum" 4.
+    (Telemetry.percentile [| 1.; 2.; 3.; 4. |] 1.);
+  Alcotest.(check (float 1e-9)) "empty is zero" 0. (Telemetry.percentile [||] 0.5);
+  let l = Telemetry.summarize [ 3.; 1.; 2. ] in
+  Alcotest.(check int) "count" 3 l.Telemetry.l_count;
+  Alcotest.(check (float 1e-9)) "total" 6. l.Telemetry.l_total;
+  Alcotest.(check (float 1e-9)) "p50" 2. l.Telemetry.l_p50;
+  Alcotest.(check (float 1e-9)) "max" 3. l.Telemetry.l_max
+
+(* ---- (f) two clients over a real socket ------------------------------------------ *)
+
+let test_socket_two_clients () =
+  let dir = fresh_dir () in
+  let f1 = temp_c dir "one.c" conflict_src in
+  let f2 = temp_c dir "two.c" disjoint_src in
+  let socket = Filename.concat dir "alias.sock" in
+  let handler = Handler.create (Session.create ()) in
+  let server = Domain.spawn (fun () -> Server.serve_unix ~jobs:2 handler socket) in
+  let client file rounds =
+    Domain.spawn (fun () ->
+        let c = Client.connect ~retry_for:10. socket in
+        let ok = ref 0 in
+        (match
+           Client.call c ~meth:"open"
+             ~params:(Ejson.Assoc [ ("file", Ejson.String file) ])
+         with
+        | Ok _ -> incr ok
+        | Error _ -> ());
+        for _ = 1 to rounds do
+          (* no session parameter: exercises the per-connection default *)
+          match Client.call c ~meth:"conflicts" ~params:Ejson.Null with
+          | Ok _ -> incr ok
+          | Error _ -> ()
+        done;
+        Client.close c;
+        !ok)
+  in
+  let a = client f1 10 and b = client f2 10 in
+  Alcotest.(check int) "client A: all calls answered" 11 (Domain.join a);
+  Alcotest.(check int) "client B: all calls answered" 11 (Domain.join b);
+  Alcotest.(check int) "both programs stayed live" 2
+    (Session.live (Handler.sessions handler));
+  (* a third client asks the daemon to stop; the accept loop must wind down *)
+  let stopper = Client.connect ~retry_for:5. socket in
+  (match Client.call stopper ~meth:"shutdown" ~params:Ejson.Null with
+  | Ok reply ->
+    Alcotest.(check bool) "shutdown acknowledged" true
+      (bool_field "shutdown" "stopping" reply)
+  | Error (_, msg) -> Alcotest.failf "shutdown failed: %s" msg);
+  Domain.join server;
+  Client.close stopper;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
+
+let tests =
+  [
+    Alcotest.test_case "protocol: codec round-trips" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "protocol: validation and accessors" `Quick
+      test_protocol_validation;
+    Alcotest.test_case "handler: structured error paths" `Quick test_handler_errors;
+    Alcotest.test_case "session: hit on unchanged re-open" `Quick
+      test_session_hit_and_stats;
+    Alcotest.test_case "session: invalidation on content change" `Quick
+      test_invalidation_on_change;
+    Alcotest.test_case "session: LRU eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "session: close semantics" `Quick test_close;
+    Alcotest.test_case "verdicts match direct invocation" `Quick
+      test_verdicts_match_direct;
+    Alcotest.test_case "may_alias by source line" `Quick test_may_alias_by_line;
+    Alcotest.test_case "engine cache: corrupt entries purged" `Quick
+      test_cache_purges_corrupt_entries;
+    Alcotest.test_case "engine cache: prune to a byte budget" `Quick
+      test_cache_prune;
+    Alcotest.test_case "telemetry: latency summaries" `Quick test_latency_summary;
+    Alcotest.test_case "socket: two concurrent clients, clean shutdown" `Quick
+      test_socket_two_clients;
+  ]
