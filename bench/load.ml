@@ -7,6 +7,16 @@
      dune exec bench/load.exe                  # self-hosted server
      dune exec bench/load.exe -- -c 8 -n 200   # 8 clients, 200 requests each
      dune exec bench/load.exe -- --socket /tmp/alias.sock   # external daemon
+     dune exec bench/load.exe -- --deadline-ms 50 --assert-degraded
+
+   With --deadline-ms, a slice of the traffic is budget-governed: opens
+   and context-sensitive may_alias queries carry that deadline, so the
+   server degrades down the precision ladder instead of failing.
+   Governance-class error responses (budget-exhausted, cancelled,
+   overloaded, tier-unavailable) are expected under pressure and are NOT
+   counted as failures; anything else still is.  --assert-degraded makes
+   the run fail unless the server actually reported degradations —
+   the CI workflow uses it to prove the ladder engages under load.
 
    Unless --socket names a running daemon, the driver hosts the server
    in-process on a private socket and shuts it down at the end. *)
@@ -34,25 +44,62 @@ let write_sources dir =
       path)
     benchmark_names
 
+(* Budget-governed traffic targets separate copies of the sources (the
+   session key is a content digest, so a trailing comment gives them
+   their own sessions): a 50ms open that degrades to a baseline tier
+   must not replace the full-precision session the rest of the mix
+   queries by node id. *)
+let write_governed_sources dir =
+  List.map
+    (fun name ->
+      let entry = Option.get (Suite.find name) in
+      let path = Filename.concat dir (name ^ ".governed.c") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Suite.source entry);
+          output_string oc "\n/* governed-budget variant */\n");
+      path)
+    benchmark_names
+
 (* ---- one client ----------------------------------------------------------------- *)
 
 type client_result = {
   cr_samples : (string * float) list;  (* (method, wall seconds) *)
   cr_errors : int;
+  cr_degraded : int;  (* responses that reported a ladder descent *)
 }
 
-let run_client ~socket ~files ~requests ~seed =
+(* Expected under budget pressure; everything else is a real failure. *)
+let governance_error = function
+  | Protocol.Budget_exhausted | Protocol.Cancelled | Protocol.Overloaded
+  | Protocol.Tier_unavailable ->
+    true
+  | _ -> false
+
+let count_degradations json =
+  match Ejson.member "degradations" json with
+  | Some (Ejson.List (_ :: _ as ds)) -> List.length ds
+  | _ -> (
+    match Ejson.member "degraded" json with
+    | Some (Ejson.Bool true) -> 1
+    | _ -> 0)
+
+let run_client ~socket ~files ~governed ~deadline_ms ~requests ~seed =
   let rng = Srng.of_string seed in
-  let client = Client.connect ~retry_for:10. socket in
-  let samples = ref [] and errors = ref 0 in
+  let client = Client.connect ~retry_for:10. ~timeout:120. socket in
+  let samples = ref [] and errors = ref 0 and degraded = ref 0 in
   let timed meth params =
     let t0 = Unix.gettimeofday () in
     let r = Client.call client ~meth ~params in
     samples := (meth, Unix.gettimeofday () -. t0) :: !samples;
     match r with
-    | Ok v -> v
-    | Error (_, msg) ->
-      incr errors;
+    | Ok v ->
+      degraded := !degraded + count_degradations v;
+      v
+    | Error (code, msg) ->
+      if not (governance_error code) then incr errors;
       failwith (meth ^ ": " ^ msg)
   in
   let member_string name json =
@@ -92,6 +139,12 @@ let run_client ~socket ~files ~requests ~seed =
       files
   in
   let sessions = Array.of_list sessions in
+  let governed_arr = Array.of_list governed in
+  let deadline_params extra =
+    match deadline_ms with
+    | Some ms -> ("deadline_ms", Ejson.Int ms) :: extra
+    | None -> extra
+  in
   for _ = 1 to requests do
     let file, session, nodes, functions = Srng.pick rng sessions in
     let with_session extra =
@@ -100,12 +153,19 @@ let run_client ~socket ~files ~requests ~seed =
     let ignored meth params = try ignore (timed meth params) with Failure _ -> () in
     let die = Srng.int rng 100 in
     if die < 45 && Array.length nodes >= 2 then
+      (* under governance, a slice of these forces the context-sensitive
+         tier against the deadline, so the server may hand back a
+         CI-tier verdict with a degradation notice *)
+      let extra =
+        if deadline_ms <> None && die < 10 then
+          deadline_params [ ("tier", Ejson.String "cs") ]
+        else []
+      in
       ignored "may_alias"
         (with_session
-           [
-             ("a", Ejson.Int (Srng.pick rng nodes));
-             ("b", Ejson.Int (Srng.pick rng nodes));
-           ])
+           (("a", Ejson.Int (Srng.pick rng nodes))
+           :: ("b", Ejson.Int (Srng.pick rng nodes))
+           :: extra))
     else if die < 60 && Array.length nodes > 0 then
       ignored "points_to"
         (with_session [ ("node", Ejson.Int (Srng.pick rng nodes)) ])
@@ -114,14 +174,22 @@ let run_client ~socket ~files ~requests ~seed =
         (with_session [ ("function", Ejson.String (Srng.pick rng functions)) ])
     else if die < 82 then ignored "conflicts" (with_session [])
     else if die < 88 then ignored "purity" (with_session [])
-    else if die < 93 then ignored "lint" (with_session [])
+    else if die < 91 then ignored "lint" (with_session (deadline_params []))
+    else if die < 94 && deadline_ms <> None && Array.length governed_arr > 0 then begin
+      (* governed open: evict the variant session (cancelling any
+         in-flight solve on it), then re-solve under the deadline *)
+      let gfile = Srng.pick rng governed_arr in
+      ignored "close" (Ejson.Assoc [ ("file", Ejson.String gfile) ]);
+      ignored "open"
+        (Ejson.Assoc (deadline_params [ ("file", Ejson.String gfile) ]))
+    end
     else if die < 97 then
       (* re-open of an unchanged file: must be a session hit *)
       ignored "open" (Ejson.Assoc [ ("file", Ejson.String file) ])
     else ignored "stats" Ejson.Null
   done;
   Client.close client;
-  { cr_samples = !samples; cr_errors = !errors }
+  { cr_samples = !samples; cr_errors = !errors; cr_degraded = !degraded }
 
 (* ---- report --------------------------------------------------------------------- *)
 
@@ -160,6 +228,7 @@ let latency_table results =
 
 let () =
   let clients = ref 4 and requests = ref 100 and ext_socket = ref None in
+  let deadline_ms = ref None and assert_degraded = ref false in
   let rec parse i =
     if i < Array.length Sys.argv then
       match Sys.argv.(i) with
@@ -172,15 +241,27 @@ let () =
       | "--socket" when i + 1 < Array.length Sys.argv ->
         ext_socket := Some Sys.argv.(i + 1);
         parse (i + 2)
+      | "--deadline-ms" when i + 1 < Array.length Sys.argv ->
+        deadline_ms := Some (max 1 (int_of_string Sys.argv.(i + 1)));
+        parse (i + 2)
+      | "--assert-degraded" ->
+        assert_degraded := true;
+        parse (i + 1)
       | arg ->
         Printf.eprintf
-          "usage: load [-c CLIENTS] [-n REQUESTS] [--socket PATH] (got %S)\n"
+          "usage: load [-c CLIENTS] [-n REQUESTS] [--socket PATH] \
+           [--deadline-ms MS] [--assert-degraded] (got %S)\n"
           arg;
         exit 2
   in
   parse 1;
   let dir = temp_dir () in
   let files = write_sources dir in
+  let governed =
+    match !deadline_ms with
+    | Some _ -> write_governed_sources dir
+    | None -> []
+  in
   let socket, server =
     match !ext_socket with
     | Some path -> (path, None)
@@ -192,14 +273,18 @@ let () =
       (path, Some (Domain.spawn (fun () -> Server.serve_unix ~jobs handler path)))
   in
   Printf.printf
-    "Replaying a mixed workload: %d client(s) x %d request(s) over %d program(s)%s\n\n"
+    "Replaying a mixed workload: %d client(s) x %d request(s) over %d program(s)%s%s\n\n"
     !clients !requests (List.length files)
+    (match !deadline_ms with
+    | Some ms -> Printf.sprintf " with a %dms deadline mix" ms
+    | None -> "")
     (match server with Some _ -> " (self-hosted server)" | None -> "");
   let t0 = Unix.gettimeofday () in
   let results =
     List.init !clients (fun c ->
         Domain.spawn (fun () ->
-            run_client ~socket ~files ~requests:!requests
+            run_client ~socket ~files ~governed ~deadline_ms:!deadline_ms
+              ~requests:!requests
               ~seed:(Printf.sprintf "load-client-%d" c)))
     |> List.map Domain.join
   in
@@ -210,21 +295,31 @@ let () =
     List.fold_left (fun acc r -> acc + List.length r.cr_samples) 0 results
   in
   let n_errors = List.fold_left (fun acc r -> acc + r.cr_errors) 0 results in
-  Printf.printf "\n%d request(s) in %.3f s (%.0f req/s), %d error(s)\n" n_samples
-    wall
+  let n_degraded = List.fold_left (fun acc r -> acc + r.cr_degraded) 0 results in
+  Printf.printf
+    "\n%d request(s) in %.3f s (%.0f req/s), %d error(s), %d degraded \
+     response(s)\n"
+    n_samples wall
     (float_of_int n_samples /. Float.max 1e-9 wall)
-    n_errors;
+    n_errors n_degraded;
   (* the server's own view of the same traffic *)
-  let reporter = Client.connect ~retry_for:5. socket in
+  let server_degradations = ref 0 in
+  let reporter = Client.connect ~retry_for:5. ~timeout:60. socket in
   (match Client.call reporter ~meth:"stats" ~params:Ejson.Null with
   | Ok stats ->
     (match Ejson.member "sessions" stats with
     | Some sessions ->
       Printf.printf "server sessions: %s\n" (Ejson.to_compact_string sessions)
     | None -> ());
+    (match Ejson.member "degradations" stats with
+    | Some (Ejson.Int n) -> server_degradations := n
+    | _ -> ());
     (match (Ejson.member "requests" stats, Ejson.member "errors" stats) with
     | Some (Ejson.Int rq), Some (Ejson.Int er) ->
-      Printf.printf "server processed %d request(s), %d error response(s)\n" rq er
+      Printf.printf
+        "server processed %d request(s), %d error response(s), %d \
+         degradation(s)\n"
+        rq er !server_degradations
     | _ -> ())
   | Error (_, msg) -> Printf.printf "stats failed: %s\n" msg);
   (match server with
@@ -234,5 +329,13 @@ let () =
     Domain.join d
   | None -> ());
   Client.close reporter;
-  List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) files;
+  List.iter
+    (fun f -> try Sys.remove f with Sys_error _ -> ())
+    (files @ governed);
+  if !assert_degraded && !server_degradations = 0 && n_degraded = 0 then begin
+    prerr_endline
+      "--assert-degraded: no degradation was observed — the ladder never \
+       engaged";
+    exit 1
+  end;
   if n_errors > 0 then exit 1

@@ -25,6 +25,56 @@ let with_frontend_errors f =
     Printf.eprintf "%s: error: %s\n" (Srcloc.to_string loc) msg;
     exit 1
 
+(* Unwrap an engine result; analysis failures are exit-code-1 diagnoses,
+   not tracebacks. *)
+let engine_errors r =
+  match r with
+  | Ok v -> v
+  | Error e ->
+    Printf.eprintf "alias-analyze: error: %s\n" (Engine.error_message e);
+    exit 1
+
+let budget_of_deadline deadline_ms =
+  match deadline_ms with
+  | None -> None
+  | Some ms when ms <= 0 ->
+    prerr_endline "alias-analyze: --deadline-ms must be positive";
+    exit 2
+  | Some ms ->
+    Some (Budget.start (Budget.limits_with_deadline (float_of_int ms /. 1000.)))
+
+let tier_conv =
+  let parse s =
+    match Engine.tier_of_string s with
+    | Some t -> Ok t
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown tier %S (expected steensgaard, andersen, ci, or cs)" s))
+  in
+  Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (Engine.string_of_tier t))
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget for the solve.  On exhaustion the analysis \
+           degrades down the precision ladder (cs, ci, andersen, \
+           steensgaard) instead of failing; the output reports the tier \
+           that answered.")
+
+let min_tier_arg =
+  Arg.(
+    value
+    & opt (some tier_conv) None
+    & info [ "min-tier" ] ~docv:"TIER"
+        ~doc:
+          "Lowest acceptable precision tier; the run fails (exit 1) rather \
+           than degrade below it.")
+
 let write_metrics path json =
   match open_out path with
   | oc ->
@@ -46,9 +96,18 @@ let metrics_arg =
 
 (* ---- analyze ----------------------------------------------------------------- *)
 
-let run_analyze file dump_sil dump_dot context_sensitive show_pairs metrics =
-  with_frontend_errors @@ fun () ->
-  let a = Engine.run (Engine.load_file file) in
+let print_degradations degradations =
+  List.iter
+    (fun (d : Engine.degradation) ->
+      Printf.printf "degraded: %s -> %s (%s)\n"
+        (Engine.string_of_tier d.Engine.d_from)
+        (Engine.string_of_tier d.Engine.d_to)
+        (Budget.string_of_reason d.Engine.d_reason))
+    degradations
+
+(* The full-precision report, shared by the governed and ungoverned
+   paths. *)
+let report_analysis a ~context_sensitive ~dump_sil ~dump_dot ~show_pairs =
   let prog = a.Engine.prog and g = a.Engine.graph and ci = a.Engine.ci in
   if dump_sil then Format.printf "%a@." Sil.pp_program prog;
   if dump_dot then print_string (Vdg.to_dot g);
@@ -102,9 +161,59 @@ let run_analyze file dump_sil dump_dot context_sensitive show_pairs metrics =
             (fun p -> Printf.printf "    %s\n" (Ptpair.to_string p))
             set
         end)
-  end;
+  end
+
+(* At a baseline tier there is no VDG: report by source line instead. *)
+let report_baseline (td : Engine.tiered) =
+  Printf.printf "functions: %d\n"
+    (List.length td.Engine.td_prog.Sil.p_functions);
+  Printf.printf "mode: %s (flow-insensitive baseline; queries by line)\n"
+    (Engine.string_of_tier td.Engine.td_tier);
+  let n_lines =
+    String.fold_left
+      (fun n c -> if c = '\n' then n + 1 else n)
+      1 td.Engine.td_input.Engine.in_source
+  in
+  let t =
+    Table.create ~headers:[ ("line", Table.Right); ("may touch", Table.Left) ]
+  in
+  for line = 1 to n_lines do
+    match Engine.line_locations td line with
+    | Some ((_ :: _) as locs) ->
+      Table.add_row t
+        [
+          string_of_int line;
+          String.concat ", " (List.map Absloc.to_string locs);
+        ]
+    | _ -> ()
+  done;
+  print_endline "indirect memory operations:";
+  Table.print t
+
+let run_analyze file dump_sil dump_dot context_sensitive show_pairs deadline_ms
+    min_tier metrics =
+  with_frontend_errors @@ fun () ->
+  let input = Engine.load_file file in
+  let budget = budget_of_deadline deadline_ms in
+  let td =
+    engine_errors
+      (Engine.run_tiered ?budget ?min_tier
+         ~want:(if context_sensitive then Engine.Cs else Engine.Ci)
+         input)
+  in
+  if deadline_ms <> None || td.Engine.td_degradations <> [] then
+    Printf.printf "tier: %s\n" (Engine.string_of_tier td.Engine.td_tier);
+  print_degradations td.Engine.td_degradations;
+  (match td.Engine.td_analysis with
+  | Some a ->
+    let context_sensitive =
+      context_sensitive && td.Engine.td_tier = Engine.Cs
+    in
+    report_analysis a ~context_sensitive ~dump_sil ~dump_dot ~show_pairs
+  | None -> report_baseline td);
   Option.iter
-    (fun path -> write_metrics path (Telemetry.to_json a.Engine.telemetry))
+    (fun path ->
+      write_metrics path (Telemetry.to_json td.Engine.td_telemetry))
     metrics
 
 let analyze_cmd =
@@ -124,13 +233,15 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the points-to analysis on a C file")
-    Term.(const run_analyze $ file $ dump_sil $ dot $ cs $ pairs $ metrics_arg)
+    Term.(
+      const run_analyze $ file $ dump_sil $ dot $ cs $ pairs $ deadline_arg
+      $ min_tier_arg $ metrics_arg)
 
 (* ---- conflicts ----------------------------------------------------------------- *)
 
 let run_conflicts file =
   with_frontend_errors @@ fun () ->
-  let a = Engine.run (Engine.load_file file) in
+  let a = engine_errors (Engine.run (Engine.load_file file)) in
   let modref = Modref.of_ci a.Engine.ci in
   List.iter
     (fun fd ->
@@ -167,15 +278,16 @@ let conflicts_cmd =
 
 (* ---- lint ---------------------------------------------------------------------- *)
 
-let run_lint file format checkers compare_cs metrics =
+let run_lint file format checkers compare_cs deadline_ms metrics =
   (match Registry.select checkers with
   | Ok _ -> ()
   | Error msg ->
     Printf.eprintf "alias-analyze: %s\n" msg;
     exit 2);
   with_frontend_errors @@ fun () ->
-  let a = Engine.run (Engine.load_file file) in
-  let report = Lint.run ~checkers ~compare_cs a in
+  let a = engine_errors (Engine.run (Engine.load_file file)) in
+  let budget = budget_of_deadline deadline_ms in
+  let report = Lint.run ~checkers ~compare_cs ?budget a in
   (match format with
   | `Text -> print_string (Lint.to_text report)
   | `Json -> print_endline (Ejson.to_string (Lint.to_json report))
@@ -215,13 +327,15 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Run the points-to-driven checker suite over a C file")
-    Term.(const run_lint $ file $ format $ checkers $ cs $ metrics_arg)
+    Term.(
+      const run_lint $ file $ format $ checkers $ cs $ deadline_arg
+      $ metrics_arg)
 
 (* ---- purity -------------------------------------------------------------------- *)
 
 let run_purity file =
   with_frontend_errors @@ fun () ->
-  let a = Engine.run (Engine.load_file file) in
+  let a = engine_errors (Engine.run (Engine.load_file file)) in
   List.iter
     (fun fd ->
       let fname = fd.Sil.fd_name in
@@ -270,6 +384,8 @@ let run_tables names jobs metrics cache_dir no_cache =
   section "Section 5.1.2: call-graph sparsity" (Figures.callgraph_table results);
   section "Checker suite: diagnostics per benchmark (CI, with CS verdict delta)"
     (Figures.checkers_table results);
+  section "Degradation ladder: may-alias rate per tier"
+    (Figures.ladder_table results);
   let cache_stats =
     match cache with
     | None -> []
@@ -306,17 +422,25 @@ let tables_cmd =
 (* ---- serve --------------------------------------------------------------------- *)
 
 let run_serve socket stdio jobs cache_dir no_cache max_sessions max_bytes
-    disk_budget =
+    disk_budget default_deadline_ms max_backlog =
   if jobs < 1 then (
     prerr_endline "alias-analyze: --jobs must be at least 1";
     exit 2);
   let cache =
     if no_cache then None else Some (Engine_cache.create ~dir:cache_dir ())
   in
+  let default_deadline_s =
+    match default_deadline_ms with
+    | Some ms when ms <= 0 ->
+      prerr_endline "alias-analyze: --default-deadline-ms must be positive";
+      exit 2
+    | Some ms -> Some (float_of_int ms /. 1000.)
+    | None -> None
+  in
   let sessions =
     Session.create ~max_entries:max_sessions ~max_bytes ?cache
       ?disk_budget:(if disk_budget > 0 then Some disk_budget else None)
-      ()
+      ?default_deadline_s ()
   in
   let handler = Handler.create sessions in
   if stdio then Server.serve_stdio handler
@@ -325,7 +449,7 @@ let run_serve socket stdio jobs cache_dir no_cache max_sessions max_bytes
     | Some path ->
       Printf.eprintf "alias-analyze: serving on %s (%d worker domain(s))\n%!"
         path jobs;
-      Server.serve_unix ~jobs handler path;
+      Server.serve_unix ~jobs ?max_backlog handler path;
       prerr_endline "alias-analyze: server shut down"
     | None ->
       prerr_endline "alias-analyze: serve needs --socket PATH or --stdio";
@@ -386,13 +510,34 @@ let serve_cmd =
             "Prune the on-disk result cache to $(docv) after each open (0 = \
              never prune).")
   in
+  let default_deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "default-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Server-wide solve budget applied to opens that name no \
+             deadline of their own; exhausted solves degrade down the \
+             precision ladder.")
+  in
+  let max_backlog =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-backlog" ] ~docv:"N"
+          ~doc:
+            "Refuse new connections (one 'overloaded' error line, then \
+             close) once more than $(docv) are queued behind busy workers \
+             (default: 2 * jobs).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the persistent alias-query daemon (line-delimited JSON-RPC)")
     Term.(
       const run_serve $ socket $ stdio $ jobs $ cache_dir $ no_cache
-      $ max_sessions $ max_bytes $ disk_budget)
+      $ max_sessions $ max_bytes $ disk_budget $ default_deadline
+      $ max_backlog)
 
 (* ---- query --------------------------------------------------------------------- *)
 
@@ -435,7 +580,7 @@ let query_line_to_request line =
           { Protocol.rq_id = Ejson.Null; rq_method = meth; rq_params = params }
       | _ -> Error "shorthand parameters must be a JSON object"
 
-let run_query socket wait script exprs =
+let run_query socket wait timeout script exprs =
   let lines =
     (match script with
     | Some "-" ->
@@ -476,7 +621,7 @@ let run_query socket wait script exprs =
     exit 2
   end;
   let client =
-    match Client.connect ~retry_for:wait socket with
+    match Client.connect ~retry_for:wait ?timeout socket with
     | c -> c
     | exception Unix.Unix_error (err, _, _) ->
       Printf.eprintf "alias-analyze: cannot connect to %s: %s\n" socket
@@ -485,6 +630,7 @@ let run_query socket wait script exprs =
   in
   let errors = ref 0 in
   let next_id = ref 0 in
+  let sent_shutdown = ref false in
   (try
      List.iter
        (fun line ->
@@ -500,6 +646,7 @@ let run_query socket wait script exprs =
                { rq with Protocol.rq_id = Ejson.Int !next_id }
              | _ -> rq
            in
+           if rq.Protocol.rq_method = "shutdown" then sent_shutdown := true;
            let reply =
              Client.exchange_line client
                (Ejson.to_compact_string (Protocol.request_to_json rq))
@@ -509,9 +656,18 @@ let run_query socket wait script exprs =
            | Ok { Protocol.rs_result = Ok _; _ } -> ()
            | Ok { Protocol.rs_result = Error _; _ } | Error _ -> incr errors))
        lines
-   with Client.Connection_closed ->
-     (* normal after "shutdown": the daemon answers, then closes *)
-     ());
+   with
+  | Client.Connection_closed ->
+    (* normal after "shutdown": the daemon answers, then closes; a close
+       at any other moment means the daemon died mid-session *)
+    if not !sent_shutdown then begin
+      Printf.eprintf
+        "alias-analyze: the daemon closed the connection mid-session\n";
+      incr errors
+    end
+  | Client.Connection_lost msg ->
+    Printf.eprintf "alias-analyze: %s\n" msg;
+    incr errors);
   Client.close client;
   if !errors > 0 then exit 1
 
@@ -529,6 +685,15 @@ let query_cmd =
           ~doc:
             "Retry the connection for up to $(docv) — for scripts that race \
              the daemon's startup.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Give up (exit 1) when a response takes longer than $(docv) — \
+             so a hung or dead daemon cannot wedge a script.")
   in
   let script =
     Arg.(
@@ -548,7 +713,7 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Script a JSON-RPC session against a running alias daemon")
-    Term.(const run_query $ socket $ wait $ script $ exprs)
+    Term.(const run_query $ socket $ wait $ timeout $ script $ exprs)
 
 (* ---- gen ----------------------------------------------------------------------- *)
 

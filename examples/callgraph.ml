@@ -41,7 +41,7 @@ int main(void) {
 |}
 
 let () =
-  let a = Engine.run (Engine.load_string ~file:"events.c" program) in
+  let a = Engine.run_exn (Engine.load_string ~file:"events.c" program) in
   let prog = a.Engine.prog and g = a.Engine.graph and ci = a.Engine.ci in
 
   print_endline "resolved call graph (direct and indirect edges):";

@@ -52,7 +52,7 @@ int main(int argc, char **argv) {
 |}
 
 let compare_on name src =
-  let a = Engine.run (Engine.load_string ~file:(name ^ ".c") src) in
+  let a = Engine.run_exn (Engine.load_string ~file:(name ^ ".c") src) in
   let g = a.Engine.graph and ci = a.Engine.ci in
   let cs = Engine.cs a in
   Printf.printf "== %s ==\n" name;
@@ -95,7 +95,7 @@ let per_callsite_projection () =
      void set(int *p, int v) { *p = v; }\n\
      int main(void) { set(&a, 1); set(&b, 2); return a + b; }"
   in
-  let a = Engine.run (Engine.load_string ~file:"proj.c" src) in
+  let a = Engine.run_exn (Engine.load_string ~file:"proj.c" src) in
   let g = a.Engine.graph and ci = a.Engine.ci in
   let cs = Engine.cs a in
   print_endline "== qualified pairs used directly (per-callsite mod sets) ==";

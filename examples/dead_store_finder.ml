@@ -28,7 +28,7 @@ int main(void) {
 |}
 
 let () =
-  let a = Engine.run (Engine.load_string ~file:"deadstore.c" program) in
+  let a = Engine.run_exn (Engine.load_string ~file:"deadstore.c" program) in
   let g = a.Engine.graph and ci = a.Engine.ci in
   let modref = Modref.of_ci ci in
 

@@ -38,7 +38,7 @@ let () =
     exit 1);
   List.iter
     (fun file ->
-      let a = Engine.run (Engine.load_file file) in
+      let a = Engine.run_exn (Engine.load_file file) in
       let r = Lint.run ~compare_cs:true a in
       (* 1. SARIF output must satisfy the structural schema check *)
       let sarif = Lint.to_sarif r in

@@ -64,7 +64,7 @@ int main(void) {
 |}
 
 let () =
-  let a = Engine.run (Engine.load_string ~file:"driver.c" program) in
+  let a = Engine.run_exn (Engine.load_string ~file:"driver.c" program) in
   let prog = a.Engine.prog and ci = a.Engine.ci in
   let modref = Modref.of_ci ci in
 

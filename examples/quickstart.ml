@@ -37,8 +37,16 @@ let () =
   (* 1. one call runs the pipeline: preprocess/parse/typecheck/lower,
      build the value dependence graph (SSA + threaded store), and solve
      the context-insensitive analysis (paper, Figure 1).  The
-     context-sensitive solve is lazy — untouched here, never run. *)
-  let a = Engine.run (Engine.load_string ~file:"quickstart.c" program) in
+     context-sensitive solve is lazy — untouched here, never run.
+     Failure is a value: [Engine.run] returns a result whose error side
+     covers frontend failures, exhausted budgets, and cancellation. *)
+  let a =
+    match Engine.run (Engine.load_string ~file:"quickstart.c" program) with
+    | Ok a -> a
+    | Error e ->
+      prerr_endline (Engine.error_message e);
+      exit 1
+  in
   let graph = a.Engine.graph and ci = a.Engine.ci in
   Printf.printf "VDG: %d nodes, %d alias-related outputs\n\n" (Vdg.n_nodes graph)
     (Stats.alias_related_outputs graph);

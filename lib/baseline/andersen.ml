@@ -39,7 +39,8 @@ let wire_call s formals retnode args ret =
   | Some r, Some rn -> add_edge s rn r
   | _ -> ()
 
-let analyze (p : Sil.program) : t =
+let analyze ?budget (p : Sil.program) : t =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let cs = Fi_constraints.generate p in
   let n = cs.Fi_constraints.n_nodes in
   let nlocs = Absloc.Table.count cs.Fi_constraints.locs in
@@ -77,6 +78,7 @@ let analyze (p : Sil.program) : t =
     (Fi_constraints.constraints cs);
   (* propagation *)
   while not (Queue.is_empty s.queue) do
+    Budget.tick_transfer budget;
     let node, loc = Queue.pop s.queue in
     List.iter (fun dst -> add_fact s dst loc) !(s.edges.(node));
     (* loads: contents of [loc] flow to each load destination *)
@@ -119,5 +121,11 @@ let memops t =
 let memop_locations t loc rw =
   List.concat_map
     (fun (l, r, locs) -> if l = loc && r = rw then locs else [])
+    (memops t)
+  |> List.sort_uniq Absloc.compare
+
+let memops_on_line t line =
+  List.concat_map
+    (fun (l, _rw, locs) -> if l.Srcloc.line = line then locs else [])
     (memops t)
   |> List.sort_uniq Absloc.compare

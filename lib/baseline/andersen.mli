@@ -8,7 +8,9 @@
 
 type t
 
-val analyze : Sil.program -> t
+val analyze : ?budget:Budget.t -> Sil.program -> t
+(** When [budget] is given, each propagation step ticks it as a transfer
+    application; a tripped limit raises {!Budget.Exhausted}. *)
 
 val points_to_var : t -> Sil.var -> Absloc.t list
 (** Locations the variable's value may point to. *)
@@ -18,3 +20,8 @@ val memops : t -> (Srcloc.t * [ `Read | `Write ] * Absloc.t list) list
 
 val memop_locations : t -> Srcloc.t -> [ `Read | `Write ] -> Absloc.t list
 (** Union over all dereferences recorded at one source position. *)
+
+val memops_on_line : t -> int -> Absloc.t list
+(** Union over all dereferences (reads and writes) on one source line —
+    the query surface available at degraded ladder tiers, where clients
+    identify operations by line rather than by VDG node. *)

@@ -160,3 +160,9 @@ let memop_locations t loc rw =
     (fun (l, r, locs) -> if l = loc && r = rw then locs else [])
     (memops t)
   |> List.sort_uniq Absloc.compare
+
+let memops_on_line t line =
+  List.concat_map
+    (fun (l, _rw, locs) -> if l.Srcloc.line = line then locs else [])
+    (memops t)
+  |> List.sort_uniq Absloc.compare

@@ -15,3 +15,7 @@ val analyze : Sil.program -> t
 val points_to_var : t -> Sil.var -> Absloc.t list
 val memops : t -> (Srcloc.t * [ `Read | `Write ] * Absloc.t list) list
 val memop_locations : t -> Srcloc.t -> [ `Read | `Write ] -> Absloc.t list
+
+val memops_on_line : t -> int -> Absloc.t list
+(** As {!Andersen.memops_on_line}: union over all dereferences on one
+    source line, for line-keyed queries at the terminal ladder tier. *)

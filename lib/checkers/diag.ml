@@ -137,13 +137,20 @@ let sarif_result ~rules ~file (d, verdict) =
         [ ("properties", Ejson.Assoc [ ("verdict", Ejson.String v) ]) ]
       | None -> [])
 
-let sarif_report ~rules ~file diags =
+let sarif_report ?(properties = []) ~rules ~file diags =
   let rule_json (id, doc) =
     Ejson.Assoc
       [
         ("id", Ejson.String id);
         ("shortDescription", Ejson.Assoc [ ("text", Ejson.String doc) ]);
       ]
+  in
+  let run_properties =
+    (* SARIF run-level property bag: the achieved analysis tier and any
+       budget degradations ride along with the results *)
+    match properties with
+    | [] -> []
+    | fields -> [ ("properties", Ejson.Assoc fields) ]
   in
   Ejson.Assoc
     [
@@ -153,22 +160,24 @@ let sarif_report ~rules ~file diags =
         Ejson.List
           [
             Ejson.Assoc
-              [
-                ( "tool",
-                  Ejson.Assoc
-                    [
-                      ( "driver",
-                        Ejson.Assoc
-                          [
-                            ("name", Ejson.String "alias-analyze");
-                            ( "informationUri",
-                              Ejson.String
-                                "https://dl.acm.org/doi/10.1145/207110.207137" );
-                            ("rules", Ejson.List (List.map rule_json rules));
-                          ] );
-                    ] );
-                ("results", Ejson.List (List.map (sarif_result ~rules ~file) diags));
-              ];
+              ([
+                 ( "tool",
+                   Ejson.Assoc
+                     [
+                       ( "driver",
+                         Ejson.Assoc
+                           [
+                             ("name", Ejson.String "alias-analyze");
+                             ( "informationUri",
+                               Ejson.String
+                                 "https://dl.acm.org/doi/10.1145/207110.207137" );
+                             ("rules", Ejson.List (List.map rule_json rules));
+                           ] );
+                     ] );
+                 ( "results",
+                   Ejson.List (List.map (sarif_result ~rules ~file) diags) );
+               ]
+              @ run_properties);
           ] );
     ]
 

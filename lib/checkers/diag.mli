@@ -47,6 +47,7 @@ val to_string : t -> string
 val to_json : ?verdict:string -> t -> Ejson.t
 
 val sarif_report :
+  ?properties:(string * Ejson.t) list ->
   rules:(string * string) list ->
   file:string ->
   (t * string option) list ->
@@ -55,7 +56,9 @@ val sarif_report :
     checkers that ran (id, description) — all of them, including those
     with no results, so a consumer can distinguish "clean" from "not
     run".  The optional string per diagnostic becomes a
-    [properties.verdict] entry (the CI-vs-CS comparison). *)
+    [properties.verdict] entry (the CI-vs-CS comparison).  [properties]
+    becomes the run-level property bag — the lint driver records the
+    analysis tier achieved and any budget degradations there. *)
 
 val validate_sarif : Ejson.t -> string list
 (** Structural schema check over the subset of SARIF 2.1.0 we emit:

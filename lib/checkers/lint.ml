@@ -3,6 +3,8 @@ type verdict = Agree | Ci_only | Cs_only
 type report = {
   rp_file : string;
   rp_compared : bool;
+  rp_tier : string;
+  rp_degradations : Engine.degradation list;
   rp_diags : (Diag.t * verdict) list;
   rp_rules : (string * string) list;
   rp_stats : Telemetry.checker_stat list;
@@ -13,7 +15,7 @@ let verdict_string = function
   | Ci_only -> "ci-only"
   | Cs_only -> "cs-only"
 
-let run ?(checkers = []) ?(compare_cs = false) (a : Engine.analysis) =
+let run ?(checkers = []) ?(compare_cs = false) ?budget (a : Engine.analysis) =
   let infos =
     match Registry.select checkers with
     | Ok infos -> infos
@@ -50,10 +52,22 @@ let run ?(checkers = []) ?(compare_cs = false) (a : Engine.analysis) =
       infos
   in
   let ci_diags = run_pass (Checker.ci_solution ci) (Modref.of_ci ci) "" in
+  (* The CS pass degrades, not fails: an exhausted budget means the
+     comparison half is skipped and the report says so.  Only
+     cancellation escapes. *)
+  let cs_solution, degradations =
+    if not compare_cs then (None, [])
+    else
+      match Engine.cs_tiered ?budget a with
+      | Ok { Engine.co_cs = Some cs; _ } -> (Some cs, [])
+      | Ok { Engine.co_degradation; _ } ->
+        (None, Option.to_list co_degradation)
+      | Error _ -> raise (Budget.Exhausted Budget.Cancelled)
+  in
   let diags =
-    if not compare_cs then List.map (fun d -> (d, Agree)) ci_diags
-    else begin
-      let cs = Engine.cs a in
+    match cs_solution with
+    | None -> List.map (fun d -> (d, Agree)) ci_diags
+    | Some cs ->
       let cs_diags =
         run_pass (Checker.cs_solution g cs) (Modref.of_cs g cs) "cs:"
       in
@@ -74,11 +88,13 @@ let run ?(checkers = []) ?(compare_cs = false) (a : Engine.analysis) =
             if Hashtbl.mem ci_fps d.Diag.d_fingerprint then None
             else Some (d, Cs_only))
           cs_diags
-    end
   in
+  let compared = cs_solution <> None in
   {
     rp_file = a.Engine.a_input.Engine.in_file;
-    rp_compared = compare_cs;
+    rp_compared = compared;
+    rp_tier = (if compared then "cs" else "ci");
+    rp_degradations = degradations;
     rp_diags = List.sort (fun (d, _) (d', _) -> Diag.compare d d') diags;
     rp_rules =
       List.map (fun (i : Checker.info) -> (i.Checker.ck_name, i.Checker.ck_doc)) infos;
@@ -124,6 +140,13 @@ let to_text r =
       (match delta_count r with
       | 0 -> "CI and CS verdicts agree on every diagnostic\n"
       | n -> Printf.sprintf "CI-vs-CS verdict delta: %d diagnostic(s)\n" n);
+  List.iter
+    (fun (d : Engine.degradation) ->
+      Buffer.add_string buf
+        (Printf.sprintf "CS comparison abandoned (%s): verdicts are %s-tier only\n"
+           (Budget.string_of_reason d.Engine.d_reason)
+           (Engine.string_of_tier d.Engine.d_to)))
+    r.rp_degradations;
   Buffer.contents buf
 
 let to_json r =
@@ -132,6 +155,9 @@ let to_json r =
       ("schema", Ejson.String "alias-lint/1");
       ("file", Ejson.String r.rp_file);
       ("compared_cs", Ejson.Bool r.rp_compared);
+      ("tier", Ejson.String r.rp_tier);
+      ( "degradations",
+        Ejson.List (List.map Engine.degradation_json r.rp_degradations) );
       ( "diagnostics",
         Ejson.List
           (List.map
@@ -155,7 +181,15 @@ let to_json r =
     ]
 
 let to_sarif r =
-  Diag.sarif_report ~rules:r.rp_rules ~file:r.rp_file
+  let properties =
+    ("tier", Ejson.String r.rp_tier)
+    ::
+    (match r.rp_degradations with
+    | [] -> []
+    | ds ->
+      [ ("degradations", Ejson.List (List.map Engine.degradation_json ds)) ])
+  in
+  Diag.sarif_report ~properties ~rules:r.rp_rules ~file:r.rp_file
     (List.map
        (fun (d, v) ->
          (d, if r.rp_compared then Some (verdict_string v) else None))

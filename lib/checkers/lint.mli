@@ -17,7 +17,13 @@ type verdict =
 
 type report = {
   rp_file : string;
-  rp_compared : bool;  (** did the CS pass run? *)
+  rp_compared : bool;  (** did the CS pass actually run? *)
+  rp_tier : string;
+      (** the solution tier the verdicts reflect: ["cs"] when the
+          comparison ran, ["ci"] otherwise (not requested, or degraded) *)
+  rp_degradations : Engine.degradation list;
+      (** nonempty iff a requested CS pass was abandoned on budget
+          exhaustion and the report fell back to CI verdicts *)
   rp_diags : (Diag.t * verdict) list;  (** sorted by {!Diag.compare} *)
   rp_rules : (string * string) list;  (** (id, doc) of the checkers run *)
   rp_stats : Telemetry.checker_stat list;
@@ -25,14 +31,26 @@ type report = {
 }
 
 val run :
-  ?checkers:string list -> ?compare_cs:bool -> Engine.analysis -> report
+  ?checkers:string list ->
+  ?compare_cs:bool ->
+  ?budget:Budget.t ->
+  Engine.analysis ->
+  report
 (** Run the selection (default: every registered checker) against the CI
     solution; with [compare_cs] also against the CS solution (forcing it
-    through {!Engine.cs}).  Per-checker wall time and diagnostic counts
-    are recorded into the analysis' {!Telemetry}.
+    through {!Engine.cs_tiered}).  Per-checker wall time and diagnostic
+    counts are recorded into the analysis' {!Telemetry}.
+
+    With [budget], the CS force is governed: on exhaustion the comparison
+    is skipped rather than failed — [rp_compared] is [false], the
+    descent is recorded in [rp_degradations], and every diagnostic
+    carries the [Agree] verdict (the CI pass is complete and authoritative
+    at its tier).
 
     @raise Invalid_argument on an unknown checker name — CLI callers
-    should validate via {!Registry.select} first. *)
+    should validate via {!Registry.select} first.
+    @raise Budget.Exhausted if the budget was {!Budget.cancel}ed
+    mid-comparison (cancellation never degrades). *)
 
 val delta_count : report -> int
 (** Diagnostics whose verdict differs between CI and CS. *)

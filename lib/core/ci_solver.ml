@@ -86,6 +86,7 @@ type callee_edge = {
 type t = {
   g : Vdg.t;
   config : config;
+  budget : Budget.t;
   pts : Ptpair.Set.t array;
   worklist : (Vdg.node_id * int * Ptpair.t) Workbag.t;
   mutable flow_in_count : int;
@@ -122,6 +123,7 @@ let extern_callees t call =
 
 let rec flow_out t output pair =
   t.flow_out_count <- t.flow_out_count + 1;
+  Budget.tick_meet t.budget;
   if Ptpair.Set.add t.pts.(output) pair then begin
     List.iter
       (fun (consumer, idx) -> Workbag.add t.worklist (consumer, idx, pair))
@@ -252,6 +254,7 @@ and handle_function_value t call via (pair : Ptpair.t) =
 
 let flow_in t (nid : Vdg.node_id) (idx : int) (pair : Ptpair.t) =
   t.flow_in_count <- t.flow_in_count + 1;
+  Budget.tick_transfer t.budget;
   let n = Vdg.node t.g nid in
   let tbl = t.g.Vdg.tbl in
   let input k = List.nth n.Vdg.ninputs k in
@@ -446,11 +449,15 @@ let seed t =
     flow_out t t.g.Vdg.entry_store (Ptpair.make slot (Apath.of_base tbl argv_str))
   end
 
-let solve ?(config = default_config) (g : Vdg.t) : t =
+let solve ?(config = default_config) ?budget (g : Vdg.t) : t =
+  let budget =
+    match budget with Some b -> b | None -> Budget.unlimited ()
+  in
   let t =
     {
       g;
       config;
+      budget;
       pts = Array.init (Vdg.n_nodes g) (fun _ -> Ptpair.Set.create ());
       worklist = Workbag.create config.schedule;
       flow_in_count = 0;

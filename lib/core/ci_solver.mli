@@ -29,8 +29,10 @@ type config = {
 
 val default_config : config
 
-val solve : ?config:config -> Vdg.t -> t
-(** Run to fixpoint. *)
+val solve : ?config:config -> ?budget:Budget.t -> Vdg.t -> t
+(** Run to fixpoint.  When [budget] is given, every transfer-function and
+    meet application ticks it; a tripped limit raises {!Budget.Exhausted}
+    and the partial solver state is discarded by the caller. *)
 
 val graph : t -> Vdg.t
 val pairs : t -> Vdg.node_id -> Ptpair.Set.t

@@ -18,6 +18,7 @@ type t = {
   g : Vdg.t;
   ci : Ci_solver.t;
   config : config;
+  budget : Budget.t;
   actx : Assumption.ctx;
   pts : (int * int, entry) Hashtbl.t array;  (* per output, keyed by pair *)
   order : Ptpair.t list ref array;           (* insertion order of pairs per output *)
@@ -51,6 +52,7 @@ let iter_qualified t output f =
 let rec flow_out t output pair aset =
   t.flow_out_count <- t.flow_out_count + 1;
   if t.flow_out_count > t.config.max_meets then raise Budget_exceeded;
+  Budget.tick_meet t.budget;
   let e =
     match Hashtbl.find_opt t.pts.(output) (pair_key pair) with
     | Some e -> e
@@ -175,6 +177,7 @@ let loc_assumptions t nid al =
 
 let flow_in t nid idx pair aset =
   t.flow_in_count <- t.flow_in_count + 1;
+  Budget.tick_transfer t.budget;
   let n = Vdg.node t.g nid in
   let tbl = t.g.Vdg.tbl in
   let input k = List.nth n.Vdg.ninputs k in
@@ -386,12 +389,16 @@ let precompute_pruning t =
         Hashtbl.replace t.single_loc n.Vdg.nid (List.length locs <= 1)
       | _ -> ())
 
-let solve ?(config = default_config) (g : Vdg.t) ~(ci : Ci_solver.t) : t =
+let solve ?(config = default_config) ?budget (g : Vdg.t) ~(ci : Ci_solver.t) : t =
+  let budget =
+    match budget with Some b -> b | None -> Budget.unlimited ()
+  in
   let t =
     {
       g;
       ci;
       config;
+      budget;
       actx = Assumption.create_ctx ();
       pts = Array.init (Vdg.n_nodes g) (fun _ -> Hashtbl.create 4);
       order = Array.init (Vdg.n_nodes g) (fun _ -> ref []);

@@ -36,9 +36,12 @@ exception Budget_exceeded
 
 val default_config : config
 
-val solve : ?config:config -> Vdg.t -> ci:Ci_solver.t -> t
+val solve : ?config:config -> ?budget:Budget.t -> Vdg.t -> ci:Ci_solver.t -> t
 (** Run to fixpoint.  The CI solution supplies the call graph and the
-    pruning information. *)
+    pruning information.  When [budget] is given, every transfer-function
+    and meet application ticks it; a tripped limit raises
+    {!Budget.Exhausted} (the legacy [max_meets] fuel still raises
+    {!Budget_exceeded}). *)
 
 val pairs : t -> Vdg.node_id -> Ptpair.t list
 (** Unqualified projection: pairs on an output with assumptions stripped

@@ -23,6 +23,23 @@ let locations_denoted ci nid =
 let may_alias ci a b =
   paths_may_overlap (locations_denoted ci a) (locations_denoted ci b)
 
+(* Same question against the context-sensitive solution (assumptions
+   stripped); the graph comes from the underlying CI solver. *)
+let locations_denoted_cs ci cs nid =
+  let g = Ci_solver.graph ci in
+  match (Vdg.node g nid).Vdg.nkind with
+  | Vdg.Nlookup | Vdg.Nupdate -> Cs_solver.referenced_locations cs nid
+  | _ ->
+    List.filter_map
+      (fun (p : Ptpair.t) ->
+        if Apath.is_location p.Ptpair.referent then Some p.Ptpair.referent
+        else None)
+      (Cs_solver.pairs cs nid)
+    |> List.sort_uniq Apath.compare
+
+let may_alias_cs ci cs a b =
+  paths_may_overlap (locations_denoted_cs ci cs a) (locations_denoted_cs ci cs b)
+
 type conflict = {
   cf_a : Modref.op;
   cf_b : Modref.op;

@@ -20,6 +20,15 @@ val may_alias : Ci_solver.t -> Vdg.node_id -> Vdg.node_id -> bool
     or a pointer formal) by the locations they denote.  False when either
     side has no associated locations. *)
 
+val locations_denoted_cs :
+  Ci_solver.t -> Cs_solver.t -> Vdg.node_id -> Apath.t list
+(** As {!locations_denoted}, read from the context-sensitive solution
+    (assumption sets stripped).  The CI solver supplies the graph. *)
+
+val may_alias_cs :
+  Ci_solver.t -> Cs_solver.t -> Vdg.node_id -> Vdg.node_id -> bool
+(** As {!may_alias}, against the context-sensitive solution. *)
+
 type conflict = {
   cf_a : Modref.op;
   cf_b : Modref.op;

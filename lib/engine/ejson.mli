@@ -1,0 +1,35 @@
+(** A dependency-free JSON value type with a pretty printer, a compact
+    (single-line) printer, and a strict parser — shared by the metrics
+    emitters, the SARIF writer, and the line-delimited JSON-RPC server. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed, 2-space indent, trailing newline-free. *)
+
+val to_compact_string : t -> string
+(** Single line, no insignificant whitespace — the wire format used by
+    the JSON-RPC server. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Strict parse of one JSON document.
+    @raise Parse_error on malformed input or trailing garbage. *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] for missing fields and non-objects. *)
+
+val to_list : t -> t list option
+
+val keys : t -> string list
+(** Field names of an object, in order; [[]] for non-objects. *)

@@ -4,7 +4,7 @@
    hand-roll  read_file -> Norm.compile -> Vdg_build.build ->
    Ci_solver.solve -> Cs_solver.solve.  The engine owns that sequence:
 
-     let a = Engine.run (Engine.load_file "prog.c") in
+     let a = Result.get_ok (Engine.run (Engine.load_file "prog.c")) in
      ... a.ci ...                       (* context-insensitive solution *)
      ... Engine.cs a ...               (* CS solution, solved on demand *)
      ... a.telemetry ...               (* per-phase times + counters *)
@@ -16,7 +16,14 @@
 
    [run] optionally consults an Engine_cache.t keyed by a digest of the
    source text and the configuration fingerprint: in-memory within a
-   process, on disk (Marshal, version-guarded) across processes. *)
+   process, on disk (Marshal, version-guarded) across processes.
+
+   Failure is a value, not an exception: [run]/[run_tiered] return
+   ('a, error) result, and a Budget threaded into the solvers powers a
+   precision-degradation ladder Cs -> Ci -> Andersen -> Steensgaard —
+   the paper's headline (~2% extra precision for orders of magnitude of
+   cost) read as an engineering lever: under resource pressure, trade
+   precision for latency instead of failing. *)
 
 type input = {
   in_file : string;    (* display name, used in diagnostics and telemetry *)
@@ -37,6 +44,84 @@ let default_config =
     vdg_mode = Vdg_build.Sparse;
   }
 
+(* ---- the precision ladder -------------------------------------------------------- *)
+
+type tier = Steensgaard | Andersen | Ci | Cs
+
+let tier_rank = function Steensgaard -> 0 | Andersen -> 1 | Ci -> 2 | Cs -> 3
+
+let string_of_tier = function
+  | Steensgaard -> "steensgaard"
+  | Andersen -> "andersen"
+  | Ci -> "ci"
+  | Cs -> "cs"
+
+let tier_of_string = function
+  | "steensgaard" -> Some Steensgaard
+  | "andersen" -> Some Andersen
+  | "ci" -> Some Ci
+  | "cs" -> Some Cs
+  | _ -> None
+
+let all_tiers = [ Steensgaard; Andersen; Ci; Cs ]
+
+type degradation = { d_from : tier; d_to : tier; d_reason : Budget.reason }
+
+let degradation_json d =
+  Ejson.Assoc
+    [
+      ("from", Ejson.String (string_of_tier d.d_from));
+      ("to", Ejson.String (string_of_tier d.d_to));
+      ("reason", Ejson.String (Budget.string_of_reason d.d_reason));
+    ]
+
+(* ---- the error taxonomy ---------------------------------------------------------- *)
+
+type error =
+  | Frontend_error of { fe_loc : Srcloc.t; fe_message : string }
+  | Budget_exhausted of { be_tier : tier; be_reason : Budget.reason }
+  | Cancelled
+  | Cache_corrupt of string
+
+let error_message = function
+  | Frontend_error { fe_loc; fe_message } ->
+    Printf.sprintf "%s: %s" (Srcloc.to_string fe_loc) fe_message
+  | Budget_exhausted { be_tier; be_reason } ->
+    Printf.sprintf "budget exhausted (%s) at tier %s"
+      (Budget.string_of_reason be_reason) (string_of_tier be_tier)
+  | Cancelled -> "cancelled"
+  | Cache_corrupt msg -> "corrupt cache entry: " ^ msg
+
+let error_json e =
+  let kind, fields =
+    match e with
+    | Frontend_error { fe_loc; fe_message } ->
+      ( "frontend-error",
+        [
+          ("loc", Ejson.String (Srcloc.to_string fe_loc));
+          ("message", Ejson.String fe_message);
+        ] )
+    | Budget_exhausted { be_tier; be_reason } ->
+      ( "budget-exhausted",
+        [
+          ("tier", Ejson.String (string_of_tier be_tier));
+          ("reason", Ejson.String (Budget.string_of_reason be_reason));
+        ] )
+    | Cancelled -> ("cancelled", [])
+    | Cache_corrupt msg -> ("cache-corrupt", [ ("message", Ejson.String msg) ])
+  in
+  Ejson.Assoc (("error", Ejson.String kind) :: fields)
+
+(* internal carrier for strict-cache corruption through the old
+   exception-shaped pipeline internals *)
+exception Corrupt_entry of string
+
+let budget_fields b =
+  List.map
+    (fun (k, v) ->
+      (k, match v with `Int i -> Ejson.Int i | `Float f -> Ejson.Float f))
+    (Budget.consumption b)
+
 (* The context-sensitive half is demand-driven: many clients (mod/ref,
    call graphs, purity) only need CI.  The cell is shared between the
    original run and any cache-hit copies so the solve happens once. *)
@@ -45,7 +130,7 @@ type cs_cell = {
   mutable cc_seconds : float;
   mutable cc_counters : Telemetry.solver_counters option;
   cc_lock : Mutex.t;
-  cc_solve : unit -> Cs_solver.t;
+  cc_solve : ?budget:Budget.t -> unit -> Cs_solver.t;
   cc_on_solved : Cs_solver.t -> unit;  (* e.g. refresh the disk cache entry *)
 }
 
@@ -85,11 +170,11 @@ let compile input = Norm.compile ~file:input.in_file input.in_source
 let build_graph ?(config = default_config) prog =
   Vdg_build.build ~mode:config.vdg_mode prog
 
-let solve_ci ?(config = default_config) graph =
-  Ci_solver.solve ~config:config.ci_config graph
+let solve_ci ?(config = default_config) ?budget graph =
+  Ci_solver.solve ~config:config.ci_config ?budget graph
 
-let solve_cs ?(config = default_config) graph ~ci =
-  Cs_solver.solve ~config:config.cs_config graph ~ci
+let solve_cs ?(config = default_config) ?budget graph ~ci =
+  Cs_solver.solve ~config:config.cs_config ?budget graph ~ci
 
 (* ---- cache plumbing ------------------------------------------------------------- *)
 
@@ -176,7 +261,61 @@ let cs a =
         Telemetry.record_phase a.telemetry "cs" cell.cc_seconds;
       if a.telemetry.Telemetry.t_cs = None then
         a.telemetry.Telemetry.t_cs <- cell.cc_counters;
+      a.telemetry.Telemetry.t_tier <- Some (string_of_tier Cs);
       result)
+
+(* Budget-governed variant: force the CS solve under a budget, degrading
+   to the already-solved CI tier instead of raising when the budget
+   trips.  This is the acceptance-critical path — an exhausted CS solve
+   returns [Ok] with [co_tier = Ci], never an exception. *)
+type cs_outcome = {
+  co_tier : tier;  (* [Cs], or [Ci] when the solve was abandoned *)
+  co_cs : Cs_solver.t option;
+  co_degradation : degradation option;
+}
+
+let cs_tiered ?budget a =
+  let cell = a.cs_cell in
+  Mutex.lock cell.cc_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cell.cc_lock)
+    (fun () ->
+      match cell.cc_cs with
+      | Some cs -> Ok { co_tier = Cs; co_cs = Some cs; co_degradation = None }
+      | None -> (
+        let budget =
+          match budget with Some b -> b | None -> Budget.unlimited ()
+        in
+        let t0 = Unix.gettimeofday () in
+        match cell.cc_solve ~budget () with
+        | cs ->
+          cell.cc_seconds <- Unix.gettimeofday () -. t0;
+          cell.cc_counters <- Some (cs_counters a.graph cs);
+          cell.cc_cs <- Some cs;
+          cell.cc_on_solved cs;
+          if Telemetry.phase_seconds a.telemetry "cs" = None then
+            Telemetry.record_phase a.telemetry "cs" cell.cc_seconds;
+          if a.telemetry.Telemetry.t_cs = None then
+            a.telemetry.Telemetry.t_cs <- cell.cc_counters;
+          a.telemetry.Telemetry.t_tier <- Some (string_of_tier Cs);
+          Ok { co_tier = Cs; co_cs = Some cs; co_degradation = None }
+        | exception Budget.Exhausted Budget.Cancelled -> Error Cancelled
+        | exception Budget.Exhausted r ->
+          Ok
+            {
+              co_tier = Ci;
+              co_cs = None;
+              co_degradation = Some { d_from = Cs; d_to = Ci; d_reason = r };
+            }
+        | exception Cs_solver.Budget_exceeded ->
+          (* the legacy max_meets fuel in the CS config *)
+          Ok
+            {
+              co_tier = Ci;
+              co_cs = None;
+              co_degradation =
+                Some { d_from = Cs; d_to = Ci; d_reason = Budget.Meet_limit };
+            }))
 
 let cs_forced a = a.cs_cell.cc_cs <> None
 
@@ -194,7 +333,8 @@ let store_payload cache key a =
      if Telemetry.phase_seconds telemetry "cs" = None then
        Telemetry.record_phase telemetry "cs" a.cs_cell.cc_seconds;
      if telemetry.Telemetry.t_cs = None then
-       telemetry.Telemetry.t_cs <- a.cs_cell.cc_counters
+       telemetry.Telemetry.t_cs <- a.cs_cell.cc_counters;
+     telemetry.Telemetry.t_tier <- Some (string_of_tier Cs)
    end);
   Engine_cache.store_disk cache key
     {
@@ -205,17 +345,19 @@ let store_payload cache key a =
       s_telemetry = telemetry;
     }
 
-let fresh_run ?cache ~key config input =
+let fresh_run ?cache ?budget ~key config input =
   let telemetry =
     Telemetry.create ~file:input.in_file
       ~source_bytes:(String.length input.in_source)
   in
   Telemetry.record_phase telemetry "load" input.in_load_seconds;
   let prog = Telemetry.time telemetry "frontend" (fun () -> compile input) in
+  (match budget with Some b -> Budget.check_now b | None -> ());
   let graph = Telemetry.time telemetry "vdg" (fun () -> build_graph ~config prog) in
-  let ci = Telemetry.time telemetry "ci" (fun () -> solve_ci ~config graph) in
+  let ci = Telemetry.time telemetry "ci" (fun () -> solve_ci ~config ?budget graph) in
   populate_shape_counters telemetry prog graph;
   telemetry.Telemetry.t_ci <- Some (ci_counters ci);
+  telemetry.Telemetry.t_tier <- Some (string_of_tier Ci);
   let rec analysis =
     lazy
       {
@@ -225,7 +367,8 @@ let fresh_run ?cache ~key config input =
         graph;
         ci;
         cs_cell =
-          make_cs_cell ~solve:(fun () -> solve_cs ~config graph ~ci)
+          make_cs_cell
+            ~solve:(fun ?budget () -> solve_cs ~config ?budget graph ~ci)
             ~on_solved:(fun _ ->
               match cache with
               | Some c -> store_payload c key (Lazy.force analysis)
@@ -259,7 +402,7 @@ let of_stored ?cache ~key config input (s : stored) =
               (Option.value ~default:0.
                  (Telemetry.phase_seconds s.s_telemetry "cs"))
             ?counters:s.s_telemetry.Telemetry.t_cs
-            ~solve:(fun () -> solve_cs ~config s.s_graph ~ci:s.s_ci)
+            ~solve:(fun ?budget () -> solve_cs ~config ?budget s.s_graph ~ci:s.s_ci)
             ~on_solved:(fun _ ->
               match cache with
               | Some c -> store_payload c key (Lazy.force analysis)
@@ -277,19 +420,192 @@ let hit_view status a =
   telemetry.Telemetry.t_cache <- status;
   { a with telemetry }
 
-let run ?(config = default_config) ?cache input =
+(* Exception-shaped pipeline core; the public result-typed surface wraps
+   it.  Raises Srcloc.Error (frontend), Budget.Exhausted (budget), and —
+   in strict-cache mode — Corrupt_entry. *)
+let run_raw ?(config = default_config) ?cache ?(strict_cache = false) ?budget
+    input =
   match cache with
-  | None -> fresh_run ~key:"" config input
+  | None -> fresh_run ?budget ~key:"" config input
   | Some c -> (
     let key = cache_key config input in
     match Engine_cache.find_memory c key with
     | Some a -> hit_view Telemetry.Memory_hit a
     | None -> (
-      match (Engine_cache.find_disk c key : stored option) with
-      | Some s ->
+      match
+        (Engine_cache.read_disk c key
+          : [ `Hit of stored | `Miss | `Corrupt of string ])
+      with
+      | `Hit s ->
         let a = of_stored ~cache:c ~key config input s in
         Engine_cache.add_memory c key a;
         a
-      | None ->
+      | `Corrupt msg when strict_cache -> raise (Corrupt_entry msg)
+      | `Corrupt _ | `Miss ->
         Engine_cache.record_miss c;
-        fresh_run ~cache:c ~key config input))
+        fresh_run ~cache:c ?budget ~key config input))
+
+let run_exn ?config ?cache input = run_raw ?config ?cache input
+
+let run ?config ?cache ?strict_cache ?budget input =
+  match run_raw ?config ?cache ?strict_cache ?budget input with
+  | a -> Ok a
+  | exception Srcloc.Error (loc, msg) ->
+    Error (Frontend_error { fe_loc = loc; fe_message = msg })
+  | exception Budget.Exhausted Budget.Cancelled -> Error Cancelled
+  | exception Budget.Exhausted r ->
+    Error (Budget_exhausted { be_tier = Ci; be_reason = r })
+  | exception Corrupt_entry msg -> Error (Cache_corrupt msg)
+
+(* ---- the degradation ladder -------------------------------------------------------- *)
+
+type baseline = Base_andersen of Andersen.t | Base_steensgaard of Steensgaard.t
+
+type tiered = {
+  td_input : input;
+  td_tier : tier;
+  td_analysis : analysis option;  (* present iff td_tier >= Ci *)
+  td_baseline : baseline option;  (* present iff td_tier < Ci *)
+  td_prog : Sil.program;
+  td_telemetry : Telemetry.t;
+  td_degradations : degradation list;
+}
+
+(* A tiered view's telemetry is a private copy annotated with the tier
+   achieved, the ladder descents, and the budget consumed — the record
+   inside [td_analysis] keeps its own unannotated history. *)
+let annotate_telemetry base ~tier ~degradations ~budget =
+  let telemetry = Telemetry.copy base in
+  telemetry.Telemetry.t_tier <- Some (string_of_tier tier);
+  List.iter
+    (fun d ->
+      Telemetry.record_degradation telemetry
+        ~from_tier:(string_of_tier d.d_from) ~to_tier:(string_of_tier d.d_to)
+        ~reason:(Budget.string_of_reason d.d_reason))
+    degradations;
+  telemetry.Telemetry.t_budget <- budget_fields budget;
+  telemetry
+
+(* Fall back below Ci: recompile (cheap next to any solve) and run the
+   flow-insensitive baselines.  Andersen gets a restarted budget (fresh
+   operation counters, same absolute deadline and cancel flag);
+   Steensgaard is the terminal tier and runs unbudgeted apart from a
+   cancellation check — it is near-linear and must always produce an
+   answer for the ladder to bottom out on. *)
+let baseline_descent ~budget ~min_tier ~degradations input =
+  let telemetry =
+    Telemetry.create ~file:input.in_file
+      ~source_bytes:(String.length input.in_source)
+  in
+  Telemetry.record_phase telemetry "load" input.in_load_seconds;
+  match Telemetry.time telemetry "frontend" (fun () -> compile input) with
+  | exception Srcloc.Error (loc, msg) ->
+    Error (Frontend_error { fe_loc = loc; fe_message = msg })
+  | prog ->
+    (* no VDG at these tiers, so only the function count is known *)
+    telemetry.Telemetry.t_functions <- List.length prog.Sil.p_functions;
+    let finish tier baseline degradations =
+      let telemetry =
+        annotate_telemetry telemetry ~tier ~degradations ~budget
+      in
+      Ok
+        {
+          td_input = input;
+          td_tier = tier;
+          td_analysis = None;
+          td_baseline = Some baseline;
+          td_prog = prog;
+          td_telemetry = telemetry;
+          td_degradations = degradations;
+        }
+    in
+    let steensgaard degradations =
+      if Budget.is_cancelled budget then Error Cancelled
+      else
+        finish Steensgaard
+          (Base_steensgaard
+             (Telemetry.time telemetry "steensgaard" (fun () ->
+                  Steensgaard.analyze prog)))
+          degradations
+    in
+    if tier_rank min_tier > tier_rank Andersen then
+      (* caller guarantees this is unreachable: the ladder only descends
+         below Ci when min_tier allows it *)
+      assert false
+    else begin
+      match
+        Telemetry.time telemetry "andersen" (fun () ->
+            Andersen.analyze ~budget:(Budget.restart budget) prog)
+      with
+      | t -> finish Andersen (Base_andersen t) degradations
+      | exception Budget.Exhausted Budget.Cancelled -> Error Cancelled
+      | exception Budget.Exhausted r ->
+        if tier_rank min_tier >= tier_rank Andersen then
+          Error (Budget_exhausted { be_tier = Andersen; be_reason = r })
+        else
+          steensgaard
+            (degradations
+            @ [ { d_from = Andersen; d_to = Steensgaard; d_reason = r } ])
+    end
+
+let run_tiered ?(config = default_config) ?cache ?strict_cache ?budget
+    ?(want = Ci) ?(min_tier = Steensgaard) input =
+  if tier_rank want < tier_rank min_tier then
+    invalid_arg "Engine.run_tiered: want is below min_tier";
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let finish_analysis a tier degradations =
+    Ok
+      {
+        td_input = input;
+        td_tier = tier;
+        td_analysis = Some a;
+        td_baseline = None;
+        td_prog = a.prog;
+        td_telemetry =
+          annotate_telemetry a.telemetry ~tier ~degradations ~budget;
+        td_degradations = degradations;
+      }
+  in
+  match run_raw ~config ?cache ?strict_cache ~budget input with
+  | a ->
+    if tier_rank want >= tier_rank Cs then begin
+      match cs_tiered ~budget a with
+      | Error e -> Error e
+      | Ok { co_tier = Cs; _ } -> finish_analysis a Cs []
+      | Ok { co_degradation = Some d; _ } ->
+        if tier_rank min_tier >= tier_rank Cs then
+          Error (Budget_exhausted { be_tier = Cs; be_reason = d.d_reason })
+        else finish_analysis a Ci [ d ]
+      | Ok { co_degradation = None; _ } ->
+        (* cs_tiered yields either Cs or a degradation *)
+        assert false
+    end
+    else finish_analysis a (if cs_forced a then Cs else Ci) []
+  | exception Srcloc.Error (loc, msg) ->
+    Error (Frontend_error { fe_loc = loc; fe_message = msg })
+  | exception Corrupt_entry msg -> Error (Cache_corrupt msg)
+  | exception Budget.Exhausted Budget.Cancelled -> Error Cancelled
+  | exception Budget.Exhausted r ->
+    if tier_rank min_tier >= tier_rank Ci then
+      Error (Budget_exhausted { be_tier = Ci; be_reason = r })
+    else
+      baseline_descent ~budget ~min_tier
+        ~degradations:[ { d_from = Ci; d_to = Andersen; d_reason = r } ]
+        input
+
+(* ---- queries at degraded tiers ------------------------------------------------------ *)
+
+(* Below Ci there is no VDG, so operations are identified by source line;
+   both baselines are field-insensitive, so two line-level target sets
+   overlap iff they share an abstract location. *)
+let line_locations td line =
+  match td.td_baseline with
+  | Some (Base_andersen t) -> Some (Andersen.memops_on_line t line)
+  | Some (Base_steensgaard t) -> Some (Steensgaard.memops_on_line t line)
+  | None -> None
+
+let line_may_alias td la lb =
+  match (line_locations td la, line_locations td lb) with
+  | Some a, Some b ->
+    Some (List.exists (fun l -> List.exists (fun l' -> Absloc.compare l l' = 0) b) a)
+  | _ -> None

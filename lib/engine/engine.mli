@@ -6,10 +6,12 @@
     Cs_solver.solve:
 
     {[
-      let a = Engine.run (Engine.load_file "prog.c") in
-      ... a.ci ...                 (* context-insensitive solution *)
-      ... Engine.cs a ...          (* CS solution, solved on demand *)
-      ... a.telemetry ...          (* per-phase times + counters *)
+      match Engine.run (Engine.load_file "prog.c") with
+      | Error e -> prerr_endline (Engine.error_message e)
+      | Ok a ->
+        ... a.ci ...                 (* context-insensitive solution *)
+        ... Engine.cs a ...          (* CS solution, solved on demand *)
+        ... a.telemetry ...          (* per-phase times + counters *)
     ]}
 
     Phases: load -> frontend (preproc/parse/sema/SIL) -> vdg (SSA) ->
@@ -18,7 +20,20 @@
 
     {!run} optionally consults an {!Engine_cache.t} keyed by a digest of
     the source text and the configuration fingerprint: in-memory within a
-    process, on disk (Marshal, version-guarded) across processes. *)
+    process, on disk (Marshal, version-guarded) across processes.
+
+    {2 Resource governance}
+
+    Failure is a value: {!run} and {!run_tiered} return
+    [('a, error) result].  A {!Budget.t} threaded into the solvers turns
+    unbounded solves into governed ones, and {!run_tiered} adds the
+    precision-degradation ladder [Cs -> Ci -> Andersen -> Steensgaard]:
+    when a solve exhausts its budget, the engine falls back to the next
+    coarser tier (recompiling is cheap next to any solve) and tags the
+    result with the {!tier} actually achieved.  This operationalizes the
+    paper's headline — context-sensitivity buys ~2% precision for orders
+    of magnitude of cost — as a latency lever: under resource pressure,
+    trade precision instead of failing. *)
 
 type input = {
   in_file : string;  (** display name, used in diagnostics and telemetry *)
@@ -33,6 +48,43 @@ type config = {
 }
 
 val default_config : config
+
+(** {2 The precision ladder} *)
+
+(** Analysis tiers in increasing precision (and cost) order. *)
+type tier = Steensgaard | Andersen | Ci | Cs
+
+val tier_rank : tier -> int
+(** 0 (Steensgaard) .. 3 (Cs); monotone in precision. *)
+
+val string_of_tier : tier -> string
+val tier_of_string : string -> tier option
+val all_tiers : tier list
+(** In ascending rank order. *)
+
+(** One step down the ladder: the tier abandoned, the tier that answered
+    instead, and the budget axis that tripped. *)
+type degradation = { d_from : tier; d_to : tier; d_reason : Budget.reason }
+
+val degradation_json : degradation -> Ejson.t
+(** [{"from": ..., "to": ..., "reason": ...}]. *)
+
+(** {2 The error taxonomy} *)
+
+type error =
+  | Frontend_error of { fe_loc : Srcloc.t; fe_message : string }
+      (** lexer/preprocessor/parser/type error in the source *)
+  | Budget_exhausted of { be_tier : tier; be_reason : Budget.reason }
+      (** the budget tripped at [be_tier] and the floor ([min_tier])
+          forbade degrading further *)
+  | Cancelled  (** {!Budget.cancel} was called; no coarser tier is tried *)
+  | Cache_corrupt of string
+      (** strict-cache mode only: a damaged on-disk entry *)
+
+val error_message : error -> string
+val error_json : error -> Ejson.t
+(** [{"error": kind, ...}] with kind one of ["frontend-error"],
+    ["budget-exhausted"], ["cancelled"], ["cache-corrupt"]. *)
 
 type cs_cell
 (** The demand-driven context-sensitive half; shared between the original
@@ -63,8 +115,9 @@ val load_string : ?file:string -> string -> input
 
 val compile : input -> Sil.program
 val build_graph : ?config:config -> Sil.program -> Vdg.t
-val solve_ci : ?config:config -> Vdg.t -> Ci_solver.t
-val solve_cs : ?config:config -> Vdg.t -> ci:Ci_solver.t -> Cs_solver.t
+val solve_ci : ?config:config -> ?budget:Budget.t -> Vdg.t -> Ci_solver.t
+val solve_cs :
+  ?config:config -> ?budget:Budget.t -> Vdg.t -> ci:Ci_solver.t -> Cs_solver.t
 
 (** {2 The pipeline} *)
 
@@ -73,14 +126,101 @@ val cache_key : config -> input -> string
     source text and the configuration fingerprint.  The query server
     uses it as the session identity. *)
 
-val run : ?config:config -> ?cache:analysis Engine_cache.t -> input -> analysis
+val run :
+  ?config:config ->
+  ?cache:analysis Engine_cache.t ->
+  ?strict_cache:bool ->
+  ?budget:Budget.t ->
+  input ->
+  (analysis, error) result
 (** Compile, build the VDG, and solve CI (the CS solve is left on
     demand).  With [cache], consult the memory layer, then the disk
     layer, before solving; the returned analysis on a hit is a view with
-    private telemetry reporting the hit. *)
+    private telemetry reporting the hit.  A corrupt disk entry is purged
+    and re-solved by default; with [strict_cache:true] it returns
+    [Error (Cache_corrupt _)] instead.  With [budget], the CI solve is
+    governed: exhaustion returns [Error (Budget_exhausted {be_tier = Ci})]
+    (no ladder — use {!run_tiered} for graceful degradation). *)
+
+val run_exn :
+  ?config:config -> ?cache:analysis Engine_cache.t -> input -> analysis
+(** Exception-shaped compatibility wrapper over {!run} without a budget:
+    raises [Srcloc.Error] on frontend failure, exactly like the pre-result
+    API.  Prefer {!run} in new code. *)
 
 val cs : analysis -> Cs_solver.t
-(** Force the context-sensitive solve; idempotent, safe under domains. *)
+(** Force the context-sensitive solve; idempotent, safe under domains.
+    Unbudgeted: may raise [Cs_solver.Budget_exceeded] if the config's
+    [max_meets] fuel runs out. *)
 
 val cs_forced : analysis -> bool
 (** Has {!cs} (or a cached CS solution) already been materialized? *)
+
+(** Outcome of a budget-governed CS force: either the CS solution, or a
+    degradation back to the already-solved CI tier. *)
+type cs_outcome = {
+  co_tier : tier;  (** [Cs], or [Ci] when the solve was abandoned *)
+  co_cs : Cs_solver.t option;
+  co_degradation : degradation option;
+}
+
+val cs_tiered : ?budget:Budget.t -> analysis -> (cs_outcome, error) result
+(** Budget-governed {!cs}.  An exhausted budget is NOT an error: the
+    result is [Ok {co_tier = Ci; co_cs = None; co_degradation = Some _}]
+    and the caller answers queries from [a.ci] — identical verdicts to a
+    direct CI run, since the CI solution is already complete.  Only
+    cancellation surfaces as [Error Cancelled]. *)
+
+(** {2 The degradation ladder} *)
+
+(** A flow-insensitive fallback solution, for tiers below [Ci]. *)
+type baseline = Base_andersen of Andersen.t | Base_steensgaard of Steensgaard.t
+
+type tiered = {
+  td_input : input;
+  td_tier : tier;  (** the tier actually achieved *)
+  td_analysis : analysis option;  (** present iff [td_tier >= Ci] *)
+  td_baseline : baseline option;  (** present iff [td_tier < Ci] *)
+  td_prog : Sil.program;
+  td_telemetry : Telemetry.t;
+      (** a private copy annotated with tier, degradations, and budget
+          consumption *)
+  td_degradations : degradation list;  (** ladder descents, in order *)
+}
+
+val run_tiered :
+  ?config:config ->
+  ?cache:analysis Engine_cache.t ->
+  ?strict_cache:bool ->
+  ?budget:Budget.t ->
+  ?want:tier ->
+  ?min_tier:tier ->
+  input ->
+  (tiered, error) result
+(** Run the pipeline at the highest affordable tier.  [want] (default
+    [Ci]) is the tier aimed for; [min_tier] (default [Steensgaard]) is
+    the precision floor.  On budget exhaustion the engine descends
+    [Cs -> Ci -> Andersen -> Steensgaard] until a tier completes; ladder
+    steps are reported in [td_degradations].  Errors:
+    [Budget_exhausted] when the floor forbids descending past the tier
+    that trips, [Cancelled] on cancellation (never degraded),
+    [Frontend_error] / [Cache_corrupt] as in {!run}.
+
+    The wall-clock deadline is shared across the whole descent;
+    operation ceilings restart per tier.  Steensgaard never exhausts: it
+    is near-linear and terminal, so with the default floor the ladder
+    always bottoms out on an answer. *)
+
+(** {2 Queries at degraded tiers}
+
+    Below [Ci] there is no VDG, so memory operations are identified by
+    source line; both baselines are field-insensitive, so target sets
+    overlap iff they share an abstract location. *)
+
+val line_locations : tiered -> int -> Absloc.t list option
+(** Locations touched by dereferences on one source line; [None] when
+    [td_tier >= Ci] (use the node-level {!Query} API instead). *)
+
+val line_may_alias : tiered -> int -> int -> bool option
+(** May dereferences on the two lines touch common storage?  [None] when
+    [td_tier >= Ci]. *)

@@ -30,7 +30,9 @@ type 'v t = {
    changes; stale files then simply miss *)
 (* /2: Telemetry.t gained the per-checker stats field, which changes the
    Marshal layout of stored payloads. *)
-let format_version = "alias-engine-cache/2"
+(* /3: Telemetry.t gained tier/degradation/budget fields for the
+   resource-governance ladder. *)
+let format_version = "alias-engine-cache/3"
 
 let create ?dir () =
   (match dir with
@@ -67,12 +69,17 @@ let add_memory t k v = locked t (fun () -> Hashtbl.replace t.mem k v)
 
 (* The payload type is chosen by the caller and must match between store
    and find — the usual Marshal contract.  The version header catches
-   cross-format reads; within one build the caller guarantees the type. *)
-let find_disk (type d) t k : d option =
+   cross-format reads; within one build the caller guarantees the type.
+
+   [read_disk] distinguishes a stale-but-well-formed entry (a different
+   format version: `Miss) from a damaged one (truncated header, failed
+   unmarshal: `Corrupt) so that strict callers can surface corruption as
+   a typed error.  Both kinds are purged from disk either way. *)
+let read_disk (type d) t k : [ `Hit of d | `Miss | `Corrupt of string ] =
   match entry_path t k with
-  | None -> None
+  | None -> `Miss
   | Some path ->
-    if not (Sys.file_exists path) then None
+    if not (Sys.file_exists path) then `Miss
     else begin
       let payload =
         match
@@ -81,25 +88,33 @@ let find_disk (type d) t k : d option =
             ~finally:(fun () -> close_in_noerr ic)
             (fun () ->
               let header = really_input_string ic (String.length format_version) in
-              if header <> format_version then None
-              else Some (Marshal.from_channel ic : d))
+              if header <> format_version then `Miss
+              else `Hit (Marshal.from_channel ic : d))
         with
         | v -> v
-        | exception _ -> None
+        | exception e ->
+          `Corrupt
+            (Printf.sprintf "unreadable cache entry %s: %s"
+               (Filename.basename path) (Printexc.to_string e))
       in
       match payload with
-      | Some v ->
+      | `Hit v ->
         locked t (fun () -> t.st.disk_hits <- t.st.disk_hits + 1);
-        Some v
-      | None ->
+        `Hit v
+      | (`Miss | `Corrupt _) as r ->
         (* stale format or corrupt payload: reclaim the disk space now,
            rather than re-reading and skipping the entry forever *)
         (try
            Sys.remove path;
            locked t (fun () -> t.st.purged <- t.st.purged + 1)
          with Sys_error _ -> ());
-        None
+        r
     end
+
+let find_disk (type d) t k : d option =
+  match (read_disk t k : [ `Hit of d | `Miss | `Corrupt of string ]) with
+  | `Hit v -> Some v
+  | `Miss | `Corrupt _ -> None
 
 let store_disk (type d) t k (v : d) =
   match entry_path t k with

@@ -94,6 +94,12 @@ module Pool = struct
 
   let size p = List.length p.workers
 
+  let pending p =
+    Mutex.lock p.lock;
+    let n = Queue.length p.q in
+    Mutex.unlock p.lock;
+    n
+
   let submit p job =
     Mutex.lock p.lock;
     if p.stopping then begin

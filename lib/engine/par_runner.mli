@@ -31,6 +31,10 @@ module Pool : sig
 
   val size : t -> int
 
+  val pending : t -> int
+  (** Jobs submitted but not yet picked up by a worker.  The server's
+      accept loop uses this as its saturation signal for backpressure. *)
+
   val submit : t -> (unit -> unit) -> unit
   (** Enqueue a job for the next free worker.  Jobs are responsible for
       their own error reporting: an escaping exception is swallowed so

@@ -28,6 +28,14 @@ type checker_stat = {
   ck_diagnostics : int;
 }
 
+(* One step down the precision ladder: which tier was abandoned, which
+   tier answered instead, and which budget axis tripped. *)
+type degradation_event = {
+  dg_from : string;
+  dg_to : string;
+  dg_reason : string;
+}
+
 type t = {
   t_file : string;
   t_source_bytes : int;
@@ -39,6 +47,9 @@ type t = {
   mutable t_ci : solver_counters option;
   mutable t_cs : solver_counters option;
   mutable t_checkers : checker_stat list;    (* in execution order *)
+  mutable t_tier : string option;            (* ladder tier actually achieved *)
+  mutable t_degradations : degradation_event list;  (* in occurrence order *)
+  mutable t_budget : (string * Ejson.t) list;  (* budget consumption *)
 }
 
 (* Phases recorded by Engine.run, in pipeline order.  "cs" only appears
@@ -57,7 +68,22 @@ let create ~file ~source_bytes =
     t_ci = None;
     t_cs = None;
     t_checkers = [];
+    t_tier = None;
+    t_degradations = [];
+    t_budget = [];
   }
+
+let record_degradation t ~from_tier ~to_tier ~reason =
+  t.t_degradations <-
+    t.t_degradations @ [ { dg_from = from_tier; dg_to = to_tier; dg_reason = reason } ]
+
+let degradation_json d =
+  Ejson.Assoc
+    [
+      ("from", Ejson.String d.dg_from);
+      ("to", Ejson.String d.dg_to);
+      ("reason", Ejson.String d.dg_reason);
+    ]
 
 let record_phase t name seconds =
   t.t_phases <- t.t_phases @ [ (name, seconds) ]
@@ -139,6 +165,9 @@ let copy t =
     t_ci = t.t_ci;
     t_cs = t.t_cs;
     t_checkers = t.t_checkers;
+    t_tier = t.t_tier;
+    t_degradations = t.t_degradations;
+    t_budget = t.t_budget;
   }
 
 (* ---- JSON --------------------------------------------------------------------- *)
@@ -183,6 +212,21 @@ let to_json t =
                stats) );
       ]
   in
+  let tier =
+    match t.t_tier with
+    | Some tier -> [ ("tier", Ejson.String tier) ]
+    | None -> []
+  in
+  let degradations =
+    match t.t_degradations with
+    | [] -> []
+    | ds -> [ ("degradations", Ejson.List (List.map degradation_json ds)) ]
+  in
+  let budget =
+    match t.t_budget with
+    | [] -> []
+    | fields -> [ ("budget", Ejson.Assoc fields) ]
+  in
   Ejson.Assoc
     ([
        ("file", Ejson.String t.t_file);
@@ -192,7 +236,7 @@ let to_json t =
        ("phases", phases);
        ("counters", Ejson.Assoc counters);
      ]
-    @ checkers)
+    @ tier @ degradations @ budget @ checkers)
 
 (* A suite-level report: one entry per run plus aggregate totals, the
    shape `alias-analyze tables --metrics FILE` writes. *)
@@ -220,6 +264,7 @@ let suite_to_json ?(cache_stats = []) ts =
          ("cs_flow_in", Ejson.Int (opt_sum (fun t -> t.t_cs) (fun c -> c.sc_flow_in)));
          ("cs_flow_out", Ejson.Int (opt_sum (fun t -> t.t_cs) (fun c -> c.sc_flow_out)));
          ("cs_pairs", Ejson.Int (opt_sum (fun t -> t.t_cs) (fun c -> c.sc_pairs)));
+         ("degradations", Ejson.Int (sum (fun t -> List.length t.t_degradations)));
        ]
       @ cache_stats)
   in

@@ -27,6 +27,15 @@ type checker_stat = {
   ck_diagnostics : int;
 }
 
+(** One step down the precision ladder: which tier was abandoned, which
+    tier answered instead, and which budget axis tripped (a
+    {!Budget.reason} rendered as a string). *)
+type degradation_event = {
+  dg_from : string;
+  dg_to : string;
+  dg_reason : string;
+}
+
 type t = {
   t_file : string;
   t_source_bytes : int;
@@ -38,6 +47,9 @@ type t = {
   mutable t_ci : solver_counters option;
   mutable t_cs : solver_counters option;
   mutable t_checkers : checker_stat list;  (** in execution order *)
+  mutable t_tier : string option;  (** ladder tier actually achieved *)
+  mutable t_degradations : degradation_event list;  (** in occurrence order *)
+  mutable t_budget : (string * Ejson.t) list;  (** budget consumption *)
 }
 
 val phase_names : string list
@@ -49,6 +61,13 @@ val create : file:string -> source_bytes:int -> t
 val record_phase : t -> string -> float -> unit
 
 val record_checker : t -> string -> seconds:float -> diagnostics:int -> unit
+
+val record_degradation :
+  t -> from_tier:string -> to_tier:string -> reason:string -> unit
+
+val degradation_json : degradation_event -> Ejson.t
+(** [{"from": ..., "to": ..., "reason": ...}] — the shape used in
+    [--metrics] output, server responses and SARIF run properties. *)
 
 val time : t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk and record its wall time under the given phase name. *)

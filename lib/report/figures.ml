@@ -15,7 +15,7 @@ let analyze_benchmark ?cache (entry : Suite.entry) : bench_result =
   let input =
     Engine.load_string ~file:(entry.Suite.profile.Profile.name ^ ".c") src
   in
-  let analysis = Engine.run ?cache input in
+  let analysis = Engine.run_exn ?cache input in
   let cs = Engine.cs analysis in
   let phase name =
     Option.value ~default:0.
@@ -400,6 +400,96 @@ let callgraph_table results =
           Printf.sprintf "%.0f%%" cg.Stats.cg_single_caller_pct;
         ])
     results;
+  t
+
+(* ---- the precision ladder --------------------------------------------------------- *)
+
+(* How much precision each rung of the degradation ladder gives up:
+   the fraction of indirect-operation pairs judged may-alias at every
+   tier, per benchmark.  CS and CI answer at VDG nodes; the baselines
+   are line-keyed and field-insensitive, so their verdict for a pair is
+   whether the two lines' abstract-location sets intersect (the same
+   rule {!Engine.line_may_alias} applies at degraded tiers). *)
+let ladder_table results =
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("name", Table.Left); ("node pairs", Table.Right); ("cs", Table.Right);
+          ("ci", Table.Right); ("andersen", Table.Right);
+          ("steensgaard", Table.Right);
+        ]
+  in
+  let rate hits pairs = float_of_int hits /. float_of_int (max 1 pairs) in
+  let pairs_over items verdict =
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    let count = ref 0 and hits = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i to n - 1 do
+        incr count;
+        if verdict arr.(i) arr.(j) then incr hits
+      done
+    done;
+    (!count, !hits)
+  in
+  let totals = Array.make 4 0 and universes = Array.make 2 0 in
+  List.iter
+    (fun r ->
+      let ops = Vdg.indirect_memops r.graph in
+      let nodes = List.map (fun ((n : Vdg.node), _) -> n.Vdg.nid) ops in
+      let lines =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun ((n : Vdg.node), _) ->
+               Option.map
+                 (fun (l : Srcloc.t) -> l.Srcloc.line)
+                 (Vdg.loc_of r.graph n.Vdg.nid))
+             ops)
+      in
+      let anders = Andersen.analyze r.prog in
+      let steens = Steensgaard.analyze r.prog in
+      (* resolve each op/line to its target set once; pairwise checks
+         then stay cheap even on the quadratically many pairs *)
+      let cs_locs =
+        List.map (fun n -> Query.locations_denoted_cs r.ci r.cs n) nodes
+      in
+      let ci_locs = List.map (Query.locations_denoted r.ci) nodes in
+      let path_verdict a b = a <> [] && b <> [] && Query.paths_may_overlap a b in
+      let overlap xs ys =
+        List.exists (fun x -> List.exists (Absloc.equal x) ys) xs
+      in
+      let node_pairs, cs_hits = pairs_over cs_locs path_verdict in
+      let _, ci_hits = pairs_over ci_locs path_verdict in
+      let line_pairs, and_hits =
+        pairs_over (List.map (Andersen.memops_on_line anders) lines) overlap
+      in
+      let _, st_hits =
+        pairs_over (List.map (Steensgaard.memops_on_line steens) lines) overlap
+      in
+      List.iteri
+        (fun i h -> totals.(i) <- totals.(i) + h)
+        [ cs_hits; ci_hits; and_hits; st_hits ];
+      universes.(0) <- universes.(0) + node_pairs;
+      universes.(1) <- universes.(1) + line_pairs;
+      Table.add_row t
+        [
+          name_of r; Table.cell_int node_pairs;
+          Table.cell_pct (rate cs_hits node_pairs);
+          Table.cell_pct (rate ci_hits node_pairs);
+          Table.cell_pct (rate and_hits line_pairs);
+          Table.cell_pct (rate st_hits line_pairs);
+        ])
+    results;
+  Table.add_rule t;
+  Table.add_row t
+    [
+      "TOTAL"; Table.cell_int universes.(0);
+      Table.cell_pct (rate totals.(0) universes.(0));
+      Table.cell_pct (rate totals.(1) universes.(0));
+      Table.cell_pct (rate totals.(2) universes.(1));
+      Table.cell_pct (rate totals.(3) universes.(1));
+    ];
   t
 
 (* ---- checker suite -------------------------------------------------------------- *)

@@ -1,17 +1,25 @@
 (* A small synchronous client for the alias-query server: one request on
    the wire at a time, used by `analyze query`, the bench load driver,
-   and the test suite. *)
+   and the test suite.
+
+   Reads go through a hand-rolled line buffer over Unix.read + select
+   rather than an in_channel: input_line on a channel blocks forever if
+   the daemon dies mid-session without closing the socket (or simply
+   stops answering), and a scripted `analyze query` must exit non-zero,
+   not hang.  A response that does not arrive within the read timeout
+   raises Connection_lost. *)
 
 type t = {
   cl_fd : Unix.file_descr;
-  cl_ic : in_channel;
-  cl_oc : out_channel;
+  cl_buf : Buffer.t;  (* bytes received but not yet consumed as lines *)
   mutable cl_next_id : int;
+  mutable cl_timeout : float option;  (* max seconds to wait for a reply *)
 }
 
 exception Connection_closed
+exception Connection_lost of string
 
-let connect ?(retry_for = 0.) path =
+let connect ?(retry_for = 0.) ?timeout path =
   let deadline = Unix.gettimeofday () +. retry_for in
   let rec attempt () =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -19,9 +27,9 @@ let connect ?(retry_for = 0.) path =
     | () ->
       {
         cl_fd = fd;
-        cl_ic = Unix.in_channel_of_descr fd;
-        cl_oc = Unix.out_channel_of_descr fd;
+        cl_buf = Buffer.create 512;
         cl_next_id = 1;
+        cl_timeout = timeout;
       }
     | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
       when Unix.gettimeofday () < deadline ->
@@ -35,22 +43,82 @@ let connect ?(retry_for = 0.) path =
   in
   attempt ()
 
-let close t =
-  (try flush t.cl_oc with Sys_error _ -> ());
-  try Unix.close t.cl_fd with Unix.Unix_error _ -> ()
+let set_timeout t timeout = t.cl_timeout <- timeout
+
+let close t = try Unix.close t.cl_fd with Unix.Unix_error _ -> ()
+
+(* ---- framing -------------------------------------------------------------------- *)
+
+(* Take one complete line out of the buffer, if there is one. *)
+let take_line t =
+  let s = Buffer.contents t.cl_buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+    let line = String.sub s 0 i in
+    Buffer.clear t.cl_buf;
+    Buffer.add_substring t.cl_buf s (i + 1) (String.length s - i - 1);
+    Some line
+
+let read_line t =
+  let deadline =
+    Option.map (fun s -> Unix.gettimeofday () +. s) t.cl_timeout
+  in
+  let chunk = Bytes.create 4096 in
+  let rec fill () =
+    match take_line t with
+    | Some line -> line
+    | None ->
+      (* wait (bounded by the remaining timeout) for more bytes *)
+      let wait =
+        match deadline with
+        | None -> -1.  (* block until readable *)
+        | Some d ->
+          let left = d -. Unix.gettimeofday () in
+          if left <= 0. then
+            raise
+              (Connection_lost
+                 (Printf.sprintf
+                    "no response within %gs (daemon hung or unreachable)"
+                    (Option.get t.cl_timeout)))
+          else left
+      in
+      (match Unix.select [ t.cl_fd ] [] [] wait with
+      | [], _, _ ->
+        (* only reachable with a finite wait; loop to re-check the
+           deadline, which has now expired *)
+        ()
+      | _ :: _, _, _ -> (
+        match Unix.read t.cl_fd chunk 0 (Bytes.length chunk) with
+        | 0 -> raise Connection_closed  (* orderly EOF from the peer *)
+        | n -> Buffer.add_subbytes t.cl_buf chunk 0 n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          raise Connection_closed)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      fill ()
+  in
+  fill ()
+
+let write_all t line =
+  let payload = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length payload in
+  let rec go off =
+    if off < len then
+      match Unix.write t.cl_fd payload off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        raise Connection_closed
+  in
+  go 0
 
 (* Ship one raw line, read one raw line.  The scripted `analyze query`
    client uses this directly so a transcript shows exactly what the
    server said. *)
 let exchange_line t line =
-  (try
-     output_string t.cl_oc line;
-     output_char t.cl_oc '\n';
-     flush t.cl_oc
-   with Sys_error _ -> raise Connection_closed);
-  match input_line t.cl_ic with
-  | line -> line
-  | exception (End_of_file | Sys_error _) -> raise Connection_closed
+  write_all t line;
+  read_line t
 
 let call t ~meth ~params =
   let id = t.cl_next_id in

@@ -1,25 +1,40 @@
 (** A small synchronous client for the alias-query server: one request on
     the wire at a time, used by [analyze query], the bench load driver,
-    and the test suite. *)
+    and the test suite.
+
+    Reads are select-bounded: with a timeout configured, a daemon that
+    dies (or hangs) mid-session surfaces as {!Connection_lost} instead of
+    blocking the caller forever. *)
 
 type t
 
 exception Connection_closed
-(** The server closed the connection (or the write hit a broken pipe). *)
+(** The server closed the connection (EOF or a broken pipe on write). *)
 
-val connect : ?retry_for:float -> string -> t
+exception Connection_lost of string
+(** No response arrived within the read timeout: the daemon is hung,
+    wedged, or the network is gone.  Carries a human-readable reason. *)
+
+val connect : ?retry_for:float -> ?timeout:float -> string -> t
 (** Connect to the Unix-domain socket at the given path.  With
     [retry_for] (seconds), retries on [ECONNREFUSED]/[ENOENT] until the
-    deadline — for scripts that race the daemon's startup. *)
+    deadline — for scripts that race the daemon's startup.  [timeout]
+    (seconds) bounds every subsequent response wait; absent means block
+    indefinitely (the pre-governance behavior). *)
+
+val set_timeout : t -> float option -> unit
+(** Change the per-response read timeout; [None] disables it. *)
 
 val close : t -> unit
 
 val exchange_line : t -> string -> string
 (** Ship one raw request line, read one raw response line.
-    @raise Connection_closed when the transport drops. *)
+    @raise Connection_closed when the transport drops.
+    @raise Connection_lost when the response exceeds the read timeout. *)
 
 val call :
   t -> meth:string -> params:Ejson.t -> (Ejson.t, Protocol.error_code * string) result
 (** Send a request (ids are assigned automatically) and wait for its
     response.
-    @raise Connection_closed when the transport drops. *)
+    @raise Connection_closed when the transport drops.
+    @raise Connection_lost when the response exceeds the read timeout. *)

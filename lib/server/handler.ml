@@ -9,6 +9,13 @@
    sessions run in parallel across worker domains while same-session
    requests serialize.
 
+   Governance (protocol v2): "open", "may_alias" and "lint" accept
+   "deadline_ms" / "min_tier" parameters; a deadline-bounded solve that
+   exhausts its budget degrades down the precision ladder instead of
+   failing, and responses carry the tier that actually answered.  Every
+   request may carry a "protocol" version; versions newer than ours are
+   rejected with a structured unsupported-version error.
+
    The handler is shared by every connection; the per-method latency
    tallies behind the "stats" method carry their own lock. *)
 
@@ -30,6 +37,7 @@ type t = {
   h_methods : (string, method_stat) Hashtbl.t;
   mutable h_requests : int;
   mutable h_errors : int;
+  mutable h_degraded : int;  (* responses that answered below the asked tier *)
 }
 
 type outcome =
@@ -45,9 +53,41 @@ let create sessions =
     h_methods = Hashtbl.create 16;
     h_requests = 0;
     h_errors = 0;
+    h_degraded = 0;
   }
 
 let sessions t = t.h_sessions
+
+let note_degraded t n =
+  if n > 0 then begin
+    Mutex.lock t.h_lock;
+    t.h_degraded <- t.h_degraded + n;
+    Mutex.unlock t.h_lock
+  end
+
+(* ---- governed parameters -------------------------------------------------------- *)
+
+let deadline_of_params params =
+  match Protocol.opt_int_param params "deadline_ms" with
+  | None -> None
+  | Some ms when ms <= 0 ->
+    Protocol.bad_params "parameter \"deadline_ms\" must be positive"
+  | Some ms -> Some (float_of_int ms /. 1000.)
+
+let min_tier_of_params params =
+  match Protocol.opt_string_param params "min_tier" with
+  | None -> None
+  | Some s -> (
+    match Engine.tier_of_string s with
+    | Some tier -> Some tier
+    | None ->
+      Protocol.bad_params
+        "parameter \"min_tier\" must be one of steensgaard, andersen, ci, cs")
+
+let budget_of_params params =
+  match deadline_of_params params with
+  | None -> None
+  | Some s -> Some (Budget.start (Budget.limits_with_deadline s))
 
 (* ---- session resolution --------------------------------------------------------- *)
 
@@ -94,12 +134,15 @@ let op_json (o : Modref.op) =
       ("targets", paths_json o.Modref.op_targets);
     ]
 
+let degradations_json ds =
+  Ejson.List (List.map Engine.degradation_json ds)
+
 let defined_functions (e : Session.entry) =
   List.filter_map
     (fun fd ->
       let name = fd.Sil.fd_name in
       if name = Sil.global_init_name then None else Some name)
-    e.Session.ses_analysis.Engine.prog.Sil.p_functions
+    e.Session.ses_tiered.Engine.td_prog.Sil.p_functions
 
 let check_function e params =
   match Protocol.opt_string_param params "function" with
@@ -110,12 +153,26 @@ let check_function e params =
 
 (* ---- methods -------------------------------------------------------------------- *)
 
+let do_ping _t _params =
+  Ejson.Assoc
+    [
+      ("pong", Ejson.Bool true);
+      ("protocol_version", Ejson.Int Protocol.protocol_version);
+      ( "capabilities",
+        Ejson.List
+          (List.map (fun c -> Ejson.String c) Protocol.capabilities) );
+    ]
+
 let do_open t conn params =
   let path = Protocol.string_param params "file" in
-  let r = Session.open_path t.h_sessions path in
+  let deadline_s = deadline_of_params params in
+  let min_tier = min_tier_of_params params in
+  let r = Session.open_path ?deadline_s ?min_tier t.h_sessions path in
   let e = r.Session.or_entry in
   conn.cn_session <- Some e.Session.ses_id;
-  let tele = e.Session.ses_analysis.Engine.telemetry in
+  let td = e.Session.ses_tiered in
+  note_degraded t (List.length td.Engine.td_degradations);
+  let tele = td.Engine.td_telemetry in
   Ejson.Assoc
     [
       ("session", Ejson.String e.Session.ses_id);
@@ -125,6 +182,8 @@ let do_open t conn params =
           (match r.Session.or_status with
           | `Session_hit -> "session-hit"
           | `Solved st -> Telemetry.string_of_cache_status st) );
+      ("tier", Ejson.String (Engine.string_of_tier td.Engine.td_tier));
+      ("degradations", degradations_json td.Engine.td_degradations);
       ("functions", Ejson.Int tele.Telemetry.t_functions);
       ("vdg_nodes", Ejson.Int tele.Telemetry.t_vdg_nodes);
       ("alias_outputs", Ejson.Int tele.Telemetry.t_alias_outputs);
@@ -133,24 +192,30 @@ let do_open t conn params =
     ]
 
 let do_close t conn params =
-  let id =
-    match Protocol.opt_string_param params "session" with
-    | Some id -> id
-    | None -> (
-      match conn.cn_session with
+  match Protocol.opt_string_param params "file" with
+  | Some path ->
+    (* close-by-path also cancels any solve still in flight for it *)
+    let closed = Session.close_path t.h_sessions path in
+    Ejson.Assoc [ ("file", Ejson.String path); ("closed", Ejson.Bool closed) ]
+  | None ->
+    let id =
+      match Protocol.opt_string_param params "session" with
       | Some id -> id
-      | None -> raise (Session_error "no session to close"))
-  in
-  let closed = Session.close t.h_sessions id in
-  if conn.cn_session = Some id then conn.cn_session <- None;
-  Ejson.Assoc
-    [ ("session", Ejson.String id); ("closed", Ejson.Bool closed) ]
+      | None -> (
+        match conn.cn_session with
+        | Some id -> id
+        | None -> raise (Session_error "no session to close"))
+    in
+    let closed = Session.close t.h_sessions id in
+    if conn.cn_session = Some id then conn.cn_session <- None;
+    Ejson.Assoc
+      [ ("session", Ejson.String id); ("closed", Ejson.Bool closed) ]
 
 (* The two sides of a may_alias question: either VDG node ids ("a"/"b",
    discoverable via the modref method) or source lines ("a_line"/
    "b_line": every indirect operation on that line). *)
 let nodes_for (e : Session.entry) params side =
-  let graph = e.Session.ses_analysis.Engine.graph in
+  let graph = (Session.require_analysis e).Engine.graph in
   match Protocol.opt_int_param params side with
   | Some n ->
     if n < 0 || n >= Vdg.n_nodes graph then
@@ -160,7 +225,7 @@ let nodes_for (e : Session.entry) params side =
     let line_key = side ^ "_line" in
     match Protocol.opt_int_param params line_key with
     | Some line -> (
-      let ops = Modref.ops (Lazy.force e.Session.ses_modref) in
+      let ops = Modref.ops (Session.require_modref e) in
       match
         List.filter_map
           (fun (o : Modref.op) ->
@@ -175,25 +240,99 @@ let nodes_for (e : Session.entry) params side =
       | nodes -> nodes)
     | None -> Protocol.bad_params "missing parameter %S (or %S)" side line_key)
 
-let do_may_alias (e : Session.entry) params =
-  let a_nodes = nodes_for e params "a" in
-  let b_nodes = nodes_for e params "b" in
-  let ci = e.Session.ses_analysis.Engine.ci in
-  let verdict =
-    List.exists
-      (fun a -> List.exists (fun b -> Query.may_alias ci a b) b_nodes)
-      a_nodes
-  in
-  Ejson.Assoc
-    [
-      ("may_alias", Ejson.Bool verdict);
-      ("a_nodes", Ejson.List (List.map (fun n -> Ejson.Int n) a_nodes));
-      ("b_nodes", Ejson.List (List.map (fun n -> Ejson.Int n) b_nodes));
-    ]
+(* A baseline-tier session has no VDG, so only line-keyed queries can be
+   answered; node ids name a solution component that does not exist. *)
+let line_for (e : Session.entry) params side =
+  let line_key = side ^ "_line" in
+  (match Protocol.opt_int_param params side with
+  | Some _ ->
+    raise
+      (Session.Tier_unavailable
+         (Printf.sprintf
+            "session %s holds a %s-tier solution: VDG node ids are \
+             unavailable, query by %S instead"
+            e.Session.ses_id
+            (Engine.string_of_tier (Session.tier e))
+            line_key))
+  | None -> ());
+  match Protocol.opt_int_param params line_key with
+  | Some line -> line
+  | None -> Protocol.bad_params "missing parameter %S" line_key
+
+let do_may_alias t (e : Session.entry) params =
+  let td = e.Session.ses_tiered in
+  match Session.analysis e with
+  | None ->
+    (* degraded session: answer at its baseline tier, by source line *)
+    let la = line_for e params "a" and lb = line_for e params "b" in
+    let check side line =
+      match Engine.line_locations td line with
+      | Some [] ->
+        Protocol.bad_params "%S: no indirect memory operation on line %d"
+          (side ^ "_line") line
+      | _ -> ()
+    in
+    check "a" la;
+    check "b" lb;
+    let verdict = Option.value ~default:false (Engine.line_may_alias td la lb) in
+    Ejson.Assoc
+      [
+        ("may_alias", Ejson.Bool verdict);
+        ("a_line", Ejson.Int la);
+        ("b_line", Ejson.Int lb);
+        ("tier", Ejson.String (Engine.string_of_tier td.Engine.td_tier));
+      ]
+  | Some a ->
+    let a_nodes = nodes_for e params "a" in
+    let b_nodes = nodes_for e params "b" in
+    let want_cs =
+      match Protocol.opt_string_param params "tier" with
+      | None | Some "ci" -> false
+      | Some "cs" -> true
+      | Some s -> Protocol.bad_params "parameter \"tier\" must be \"ci\" or \"cs\" (got %S)" s
+    in
+    let ci = a.Engine.ci in
+    let answer_ci () =
+      ( (fun x y -> Query.may_alias ci x y),
+        Engine.string_of_tier Engine.Ci,
+        [] )
+    in
+    let oracle, tier, degradations =
+      if not want_cs then answer_ci ()
+      else
+        match Engine.cs_tiered ?budget:(budget_of_params params) a with
+        | Ok { Engine.co_cs = Some cs; _ } ->
+          ( (fun x y -> Query.may_alias_cs ci cs x y),
+            Engine.string_of_tier Engine.Cs,
+            [] )
+        | Ok { Engine.co_degradation = d; _ } ->
+          (* the budget ran out mid-CS: the complete CI solution answers *)
+          let oracle, tier, _ = answer_ci () in
+          (oracle, tier, Option.to_list d)
+        | Error err -> raise (Session.Engine_error err)
+    in
+    note_degraded t (List.length degradations);
+    let verdict =
+      List.exists
+        (fun x -> List.exists (fun y -> oracle x y) b_nodes)
+        a_nodes
+    in
+    Ejson.Assoc
+      ([
+         ("may_alias", Ejson.Bool verdict);
+         ("a_nodes", Ejson.List (List.map (fun n -> Ejson.Int n) a_nodes));
+         ("b_nodes", Ejson.List (List.map (fun n -> Ejson.Int n) b_nodes));
+         ("tier", Ejson.String tier);
+       ]
+      @
+      match degradations with
+      | [] -> []
+      | ds ->
+        [ ("degraded", Ejson.Bool true); ("degradations", degradations_json ds) ])
 
 let do_points_to (e : Session.entry) params =
   let node = Protocol.int_param params "node" in
-  let a = e.Session.ses_analysis in
+  let a = Session.require_analysis e in
   if node < 0 || node >= Vdg.n_nodes a.Engine.graph then
     Protocol.bad_params "\"node\": no VDG node %d" node;
   let pairs = Ptpair.Set.elements (Ci_solver.pairs a.Engine.ci node) in
@@ -207,7 +346,7 @@ let do_points_to (e : Session.entry) params =
     ]
 
 let do_modref (e : Session.entry) params =
-  let modref = Lazy.force e.Session.ses_modref in
+  let modref = Session.require_modref e in
   let fn = check_function e params in
   let ops =
     List.filter
@@ -227,7 +366,7 @@ let do_modref (e : Session.entry) params =
     @ [ ("ops", Ejson.List (List.map op_json ops)) ])
 
 let do_purity (e : Session.entry) _params =
-  let a = e.Session.ses_analysis in
+  let a = Session.require_analysis e in
   Ejson.Assoc
     [
       ( "functions",
@@ -267,7 +406,7 @@ let conflict_json (c : Query.conflict) =
     ]
 
 let do_conflicts (e : Session.entry) params =
-  let modref = Lazy.force e.Session.ses_modref in
+  let modref = Session.require_modref e in
   let fns =
     match check_function e params with
     | Some f -> [ f ]
@@ -295,23 +434,29 @@ let do_conflicts (e : Session.entry) params =
   Ejson.Assoc
     [ ("count", Ejson.Int total); ("functions", Ejson.List per_function) ]
 
-let do_lint (e : Session.entry) params =
+let do_lint t (e : Session.entry) params =
   let checkers = Protocol.string_list_param params "checkers" in
   (match Registry.select checkers with
   | Ok _ -> ()
   | Error msg -> raise (Protocol.Bad_params msg));
   let compare_cs = Protocol.bool_param ~default:false params "cs" in
-  Lint.to_json (Lint.run ~checkers ~compare_cs e.Session.ses_analysis)
+  let budget = budget_of_params params in
+  let report =
+    Lint.run ~checkers ~compare_cs ?budget (Session.require_analysis e)
+  in
+  note_degraded t (List.length report.Lint.rp_degradations);
+  Lint.to_json report
 
 let do_stats t _params =
-  let methods =
+  let methods, degraded =
     Mutex.lock t.h_lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.h_lock)
       (fun () ->
-        Hashtbl.fold
-          (fun name ms acc -> (name, ms.ms_errors, ms.ms_samples) :: acc)
-          t.h_methods [])
+        ( Hashtbl.fold
+            (fun name ms acc -> (name, ms.ms_errors, ms.ms_samples) :: acc)
+            t.h_methods [],
+          t.h_degraded ))
   in
   let methods =
     List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) methods
@@ -319,8 +464,10 @@ let do_stats t _params =
   Ejson.Assoc
     ([
        ("uptime_seconds", Ejson.Float (Unix.gettimeofday () -. t.h_started));
+       ("protocol_version", Ejson.Int Protocol.protocol_version);
        ("requests", Ejson.Int t.h_requests);
        ("errors", Ejson.Int t.h_errors);
+       ("degradations", Ejson.Int degraded);
        ("sessions", Ejson.Assoc (Session.stats_json t.h_sessions));
        ( "methods",
          Ejson.Assoc
@@ -354,17 +501,25 @@ let with_session t conn params f =
 
 let dispatch t conn meth params =
   match meth with
-  | "ping" -> Ejson.Assoc [ ("pong", Ejson.Bool true) ]
+  | "ping" -> do_ping t params
   | "open" -> do_open t conn params
   | "close" -> do_close t conn params
-  | "may_alias" -> with_session t conn params (fun e -> do_may_alias e params)
+  | "may_alias" ->
+    with_session t conn params (fun e -> do_may_alias t e params)
   | "points_to" -> with_session t conn params (fun e -> do_points_to e params)
   | "modref" -> with_session t conn params (fun e -> do_modref e params)
   | "purity" -> with_session t conn params (fun e -> do_purity e params)
   | "conflicts" -> with_session t conn params (fun e -> do_conflicts e params)
-  | "lint" -> with_session t conn params (fun e -> do_lint e params)
+  | "lint" -> with_session t conn params (fun e -> do_lint t e params)
   | "stats" -> do_stats t params
-  | "shutdown" -> Ejson.Assoc [ ("stopping", Ejson.Bool true) ]
+  | "shutdown" ->
+    (* stop burning cycles on solves nobody will wait for *)
+    let cancelled = Session.cancel_all_inflight t.h_sessions in
+    Ejson.Assoc
+      [
+        ("stopping", Ejson.Bool true);
+        ("cancelled_inflight", Ejson.Int cancelled);
+      ]
   | m -> raise (Unknown_method m)
 
 let record t meth seconds ~ok =
@@ -383,23 +538,54 @@ let record t meth seconds ~ok =
   if not ok then ms.ms_errors <- ms.ms_errors + 1;
   Mutex.unlock t.h_lock
 
+(* Map an engine error to the wire taxonomy, with the structured payload
+   as the error's "data" member. *)
+let engine_error_reply (err : Engine.error) =
+  let data = Engine.error_json err in
+  match err with
+  | Engine.Frontend_error _ ->
+    (Protocol.Frontend_error, Engine.error_message err, Some data)
+  | Engine.Budget_exhausted _ ->
+    (Protocol.Budget_exhausted, Engine.error_message err, Some data)
+  | Engine.Cancelled -> (Protocol.Cancelled, Engine.error_message err, Some data)
+  | Engine.Cache_corrupt _ ->
+    (Protocol.Internal_error, Engine.error_message err, Some data)
+
 let handle t conn (rq : Protocol.request) =
   let t0 = Unix.gettimeofday () in
   let reply =
-    match dispatch t conn rq.Protocol.rq_method rq.Protocol.rq_params with
+    match
+      Protocol.check_version rq.Protocol.rq_params;
+      dispatch t conn rq.Protocol.rq_method rq.Protocol.rq_params
+    with
     | result -> Ok result
-    | exception Protocol.Bad_params msg -> Error (Protocol.Invalid_params, msg)
-    | exception Session_error msg -> Error (Protocol.Session_not_found, msg)
+    | exception Protocol.Version_mismatch v ->
+      Error
+        ( Protocol.Unsupported_version,
+          Printf.sprintf "protocol version %d not supported (this server speaks %d)"
+            v Protocol.protocol_version,
+          Some (Protocol.version_error_data ~requested:v) )
+    | exception Protocol.Bad_params msg ->
+      Error (Protocol.Invalid_params, msg, None)
+    | exception Session_error msg ->
+      Error (Protocol.Session_not_found, msg, None)
+    | exception Session.Tier_unavailable msg ->
+      Error (Protocol.Tier_unavailable, msg, None)
+    | exception Session.Engine_error err -> Error (engine_error_reply err)
+    | exception Budget.Exhausted Budget.Cancelled ->
+      Error (engine_error_reply Engine.Cancelled)
     | exception Unknown_method m ->
-      Error (Protocol.Method_not_found, Printf.sprintf "unknown method %S" m)
+      Error
+        (Protocol.Method_not_found, Printf.sprintf "unknown method %S" m, None)
     | exception Srcloc.Error (loc, msg) ->
-      Error (Protocol.Frontend_error, Srcloc.to_string loc ^ ": " ^ msg)
-    | exception Sys_error msg -> Error (Protocol.Frontend_error, msg)
+      Error (Protocol.Frontend_error, Srcloc.to_string loc ^ ": " ^ msg, None)
+    | exception Sys_error msg -> Error (Protocol.Frontend_error, msg, None)
     | exception Unix.Unix_error (err, fn, arg) ->
       Error
         ( Protocol.Frontend_error,
-          Printf.sprintf "%s: %s: %s" fn arg (Unix.error_message err) )
-    | exception e -> Error (Protocol.Internal_error, Printexc.to_string e)
+          Printf.sprintf "%s: %s: %s" fn arg (Unix.error_message err),
+          None )
+    | exception e -> Error (Protocol.Internal_error, Printexc.to_string e, None)
   in
   record t rq.Protocol.rq_method
     (Unix.gettimeofday () -. t0)
@@ -409,7 +595,8 @@ let handle t conn (rq : Protocol.request) =
   | Ok result when rq.Protocol.rq_method = "shutdown" ->
     Reply_shutdown (Protocol.ok_response ~id result)
   | Ok result -> Reply (Protocol.ok_response ~id result)
-  | Error (code, msg) -> Reply (Protocol.error_response ~id code msg)
+  | Error (code, msg, data) ->
+    Reply (Protocol.error_response ?data ~id code msg)
 
 let handle_line t conn line =
   match Protocol.request_of_line line with

@@ -9,7 +9,17 @@
     connection's default session (the last one opened on this
     connection).  Query evaluation holds the session's lock, so requests
     on different sessions run in parallel across worker domains while
-    same-session requests serialize. *)
+    same-session requests serialize.
+
+    Governance (protocol v2): [open], [may_alias] and [lint] accept
+    ["deadline_ms"] / ["min_tier"] parameters; a deadline-bounded solve
+    that exhausts its budget degrades down the precision ladder instead
+    of failing, and the response carries the tier that actually answered
+    (plus the degradation trail).  [close] accepts a ["file"] parameter
+    that also cancels any in-flight solve for that path; [shutdown]
+    cancels every in-flight solve.  Requests may carry a ["protocol"]
+    version — versions newer than {!Protocol.protocol_version} are
+    rejected with a structured unsupported-version error. *)
 
 type conn
 (** Per-connection state (the default session). *)

@@ -8,6 +8,18 @@
    guarantees a serialized value never contains a newline, so framing is
    just [input_line]. *)
 
+(* The protocol version this server speaks.  Version 1 is the original
+   surface (no budgets); version 2 adds deadline_ms/min_tier/tier
+   parameters, tier-tagged responses, and the resource-governance error
+   codes.  Requests may carry a "protocol" param: absent, 1 and 2 are
+   accepted (v1 clients never send governed parameters, so v2 behavior
+   is a strict superset); anything else is rejected with
+   [Unsupported_version]. *)
+let protocol_version = 2
+
+let capabilities =
+  [ "budgets"; "deadlines"; "tiers"; "cancellation"; "backpressure" ]
+
 (* JSON-RPC reserves -32768..-32000; the server-defined codes sit just
    above the reserved block. *)
 type error_code =
@@ -19,6 +31,11 @@ type error_code =
   | Session_not_found  (* -32001: no such (or no default) session *)
   | Frontend_error  (* -32002: unreadable file or a C frontend error *)
   | Shutting_down  (* -32003: request raced a server shutdown *)
+  | Unsupported_version  (* -32004: a "protocol" value we don't speak *)
+  | Budget_exhausted  (* -32005: deadline/ceiling tripped above the floor *)
+  | Cancelled  (* -32006: the in-flight solve was cancelled *)
+  | Overloaded  (* -32007: accept-time backpressure, try again later *)
+  | Tier_unavailable  (* -32008: query needs a tier the session lacks *)
 
 let int_of_error_code = function
   | Parse_error -> -32700
@@ -29,6 +46,11 @@ let int_of_error_code = function
   | Session_not_found -> -32001
   | Frontend_error -> -32002
   | Shutting_down -> -32003
+  | Unsupported_version -> -32004
+  | Budget_exhausted -> -32005
+  | Cancelled -> -32006
+  | Overloaded -> -32007
+  | Tier_unavailable -> -32008
 
 let error_code_of_int = function
   | -32700 -> Some Parse_error
@@ -39,6 +61,11 @@ let error_code_of_int = function
   | -32001 -> Some Session_not_found
   | -32002 -> Some Frontend_error
   | -32003 -> Some Shutting_down
+  | -32004 -> Some Unsupported_version
+  | -32005 -> Some Budget_exhausted
+  | -32006 -> Some Cancelled
+  | -32007 -> Some Overloaded
+  | -32008 -> Some Tier_unavailable
   | _ -> None
 
 let string_of_error_code = function
@@ -50,6 +77,11 @@ let string_of_error_code = function
   | Session_not_found -> "session-not-found"
   | Frontend_error -> "frontend-error"
   | Shutting_down -> "shutting-down"
+  | Unsupported_version -> "unsupported-version"
+  | Budget_exhausted -> "budget-exhausted"
+  | Cancelled -> "cancelled"
+  | Overloaded -> "overloaded"
+  | Tier_unavailable -> "tier-unavailable"
 
 (* ---- requests ------------------------------------------------------------------- *)
 
@@ -96,23 +128,26 @@ let request_line ?id ~meth ~params () =
 let ok_response ~id result =
   Ejson.to_compact_string (Ejson.Assoc [ ("id", id); ("result", result) ])
 
-let error_response ~id code message =
+let error_response ?data ~id code message =
   Ejson.to_compact_string
     (Ejson.Assoc
        [
          ("id", id);
          ( "error",
            Ejson.Assoc
-             [
-               ("code", Ejson.Int (int_of_error_code code));
-               ("name", Ejson.String (string_of_error_code code));
-               ("message", Ejson.String message);
-             ] );
+             ([
+                ("code", Ejson.Int (int_of_error_code code));
+                ("name", Ejson.String (string_of_error_code code));
+                ("message", Ejson.String message);
+              ]
+             @ match data with Some d -> [ ("data", d) ] | None -> []) );
        ])
 
 type response = {
   rs_id : Ejson.t;
   rs_result : (Ejson.t, error_code * string) result;
+  rs_error_data : Ejson.t option;
+      (* the structured "data" payload of an error response, if any *)
 }
 
 let response_of_line line =
@@ -133,10 +168,16 @@ let response_of_line line =
         | Some (Ejson.String m) -> m
         | _ -> "unknown error"
       in
-      Ok { rs_id = id; rs_result = Error (code, message) }
+      Ok
+        {
+          rs_id = id;
+          rs_result = Error (code, message);
+          rs_error_data = Ejson.member "data" err;
+        }
     | None -> (
       match Ejson.member "result" json with
-      | Some result -> Ok { rs_id = id; rs_result = Ok result }
+      | Some result ->
+        Ok { rs_id = id; rs_result = Ok result; rs_error_data = None }
       | None -> Error "response has neither \"result\" nor \"error\""))
 
 (* ---- parameter accessors -------------------------------------------------------- *)
@@ -185,3 +226,25 @@ let string_list_param params name =
         | _ -> bad_params "parameter %S must be a list of strings" name)
       items
   | Some _ -> bad_params "parameter %S must be a list of strings" name
+
+(* ---- versioning ----------------------------------------------------------------- *)
+
+exception Version_mismatch of int
+
+(* Accept an absent "protocol" param (legacy v1 clients) and every
+   version up to ours: v2 behavior without governed parameters is
+   exactly v1 behavior. *)
+let check_version params =
+  match opt_int_param params "protocol" with
+  | None -> ()
+  | Some v when v >= 1 && v <= protocol_version -> ()
+  | Some v -> raise (Version_mismatch v)
+
+let version_error_data ~requested =
+  Ejson.Assoc
+    [
+      ("requested", Ejson.Int requested);
+      ("supported", Ejson.Int protocol_version);
+      ( "capabilities",
+        Ejson.List (List.map (fun c -> Ejson.String c) capabilities) );
+    ]

@@ -6,6 +6,17 @@
     {!Ejson.to_compact_string} guarantees a serialized value never
     contains a newline, so framing is just [input_line]. *)
 
+val protocol_version : int
+(** The version this implementation speaks (2).  Requests may carry a
+    ["protocol"] parameter: absent and every version up to
+    [protocol_version] are accepted — governed parameters are a strict
+    superset of the v1 surface — anything newer is rejected with
+    {!Unsupported_version}. *)
+
+val capabilities : string list
+(** Feature tags advertised by [ping]:
+    ["budgets"; "deadlines"; "tiers"; "cancellation"; "backpressure"]. *)
+
 type error_code =
   | Parse_error  (** -32700: the line is not JSON *)
   | Invalid_request  (** -32600: JSON, but not a request object *)
@@ -15,6 +26,18 @@ type error_code =
   | Session_not_found  (** -32001: no such (or no default) session *)
   | Frontend_error  (** -32002: unreadable file or a C frontend error *)
   | Shutting_down  (** -32003: request raced a server shutdown *)
+  | Unsupported_version  (** -32004: a ["protocol"] value we don't speak *)
+  | Budget_exhausted
+      (** -32005: the request's deadline or ceiling tripped and the
+          requested [min_tier] forbade degrading further *)
+  | Cancelled  (** -32006: the in-flight solve was cancelled *)
+  | Overloaded
+      (** -32007: accept-time backpressure — every worker busy and the
+          backlog full; retry later *)
+  | Tier_unavailable
+      (** -32008: the query needs a precision tier the session's
+          (degraded) solution cannot answer, e.g. VDG node ids below
+          [ci] *)
 
 val int_of_error_code : error_code -> int
 val error_code_of_int : int -> error_code option
@@ -34,11 +57,17 @@ val request_line : ?id:int -> meth:string -> params:Ejson.t -> unit -> string
 (** One serialized request line (no trailing newline), for clients. *)
 
 val ok_response : id:Ejson.t -> Ejson.t -> string
-val error_response : id:Ejson.t -> error_code -> string -> string
+
+val error_response :
+  ?data:Ejson.t -> id:Ejson.t -> error_code -> string -> string
+(** [data], when given, becomes the structured ["data"] member of the
+    error object (e.g. the achieved tier of a budget-exhausted solve). *)
 
 type response = {
   rs_id : Ejson.t;
   rs_result : (Ejson.t, error_code * string) result;
+  rs_error_data : Ejson.t option;
+      (** the structured ["data"] payload of an error response, if any *)
 }
 
 val response_of_line : string -> (response, string) result
@@ -62,3 +91,17 @@ val opt_int_param : Ejson.t -> string -> int option
 val bool_param : default:bool -> Ejson.t -> string -> bool
 val string_list_param : Ejson.t -> string -> string list
 (** Missing parameter means [[]]. *)
+
+(** {2 Versioning} *)
+
+exception Version_mismatch of int
+
+val check_version : Ejson.t -> unit
+(** Validate a request's optional ["protocol"] parameter.
+    @raise Version_mismatch on a version newer than ours (the dispatcher
+    maps it to an {!Unsupported_version} response).
+    @raise Bad_params when the parameter is not an integer. *)
+
+val version_error_data : requested:int -> Ejson.t
+(** The structured payload of an {!Unsupported_version} response:
+    requested and supported versions plus {!capabilities}. *)

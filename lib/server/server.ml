@@ -98,7 +98,23 @@ let serve_connection ls fd =
       serve_channel ls.ls_handler (Handler.new_conn ()) ic oc
         ~on_shutdown:(fun () -> initiate_shutdown ls))
 
-let serve_unix ?jobs handler path =
+(* Accept-time backpressure: when every worker is busy and the pool's
+   backlog has grown past the threshold, a new connection would only sit
+   in the queue adding latency — tell the client to come back instead of
+   silently queueing it.  One error line, then close. *)
+let refuse_overloaded fd ~backlog =
+  let line =
+    Protocol.error_response ~id:Ejson.Null Protocol.Overloaded
+      (Printf.sprintf "server saturated: %d connection(s) already queued"
+         backlog)
+    ^ "\n"
+  in
+  let bytes = Bytes.of_string line in
+  (try ignore (Unix.write fd bytes 0 (Bytes.length bytes) : int)
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve_unix ?jobs ?max_backlog handler path =
   ignore_sigpipe ();
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let socket = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -118,6 +134,11 @@ let serve_unix ?jobs handler path =
     }
   in
   let pool = Par_runner.Pool.create ?jobs () in
+  let max_backlog =
+    match max_backlog with
+    | Some n -> max 0 n
+    | None -> 2 * Par_runner.Pool.size pool
+  in
   (* Poll with a short select so a shutdown initiated on a worker domain
      is noticed promptly: closing the listening fd from another domain
      would not wake a blocked accept. *)
@@ -128,12 +149,16 @@ let serve_unix ?jobs handler path =
       | _ :: _, _, _ -> (
         match Unix.accept socket with
         | fd, _ ->
-          register ls fd;
-          (try Par_runner.Pool.submit pool (fun () -> serve_connection ls fd)
-           with Invalid_argument _ ->
-             (* pool already shut down: the accept raced the stop *)
-             unregister ls fd;
-             (try Unix.close fd with Unix.Unix_error _ -> ()))
+          let backlog = Par_runner.Pool.pending pool in
+          if backlog > max_backlog then refuse_overloaded fd ~backlog
+          else begin
+            register ls fd;
+            try Par_runner.Pool.submit pool (fun () -> serve_connection ls fd)
+            with Invalid_argument _ ->
+              (* pool already shut down: the accept raced the stop *)
+              unregister ls fd;
+              (try Unix.close fd with Unix.Unix_error _ -> ())
+          end
         | exception
             Unix.Unix_error
               ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)

@@ -9,13 +9,19 @@ val serve_stdio : Handler.t -> unit
     used by editor integrations that spawn the daemon as a child
     process.  Returns on EOF or after answering a [shutdown] request. *)
 
-val serve_unix : ?jobs:int -> Handler.t -> string -> unit
+val serve_unix : ?jobs:int -> ?max_backlog:int -> Handler.t -> string -> unit
 (** [serve_unix ~jobs handler path] binds a Unix-domain socket at [path]
     (replacing any stale socket file) and serves clients until a
     [shutdown] request.  Each connection is handed to a persistent
     {!Par_runner.Pool} worker, so up to [jobs] (default
     {!Par_runner.default_jobs}) clients are served concurrently: queries
     on different sessions run genuinely in parallel, while same-session
-    queries serialize on the session lock.  On shutdown the listening
-    socket and every live connection are closed, the worker pool is
-    joined, and the socket file is removed. *)
+    queries serialize on the session lock.
+
+    Backpressure: when every worker is busy and more than [max_backlog]
+    (default [2 * jobs]) connections are already queued, a new connection
+    is answered with a single [overloaded] error line and closed instead
+    of queueing — clients should retry after a backoff.
+
+    On shutdown the listening socket and every live connection are
+    closed, the worker pool is joined, and the socket file is removed. *)

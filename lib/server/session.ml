@@ -1,4 +1,4 @@
-(* The daemon's working set: solved Engine.analysis values, alive across
+(* The daemon's working set: solved analysis results, alive across
    requests, keyed by Engine.cache_key (a digest of the source text and
    the configuration fingerprint).
 
@@ -9,25 +9,61 @@
    bounded by an entry count and an approximate byte budget, evicted LRU;
    the engine's own cache (when configured) still holds evicted results
    on disk, so re-opening an evicted session is a disk hit, not a
-   re-solve. *)
+   re-solve.
+
+   Governance: an open may carry a deadline, in which case the solve runs
+   under a Budget and may come back at a degraded tier (the entry then
+   holds a baseline solution instead of a full Engine.analysis).  A
+   session hit is only a hit when the live entry's tier satisfies the
+   request's floor; a too-coarse entry is dropped and re-solved — the
+   upgrade path.  Budgets of in-flight solves are registered by path so
+   close/shutdown can cancel them mid-solve. *)
 
 type entry = {
   ses_id : string;  (* the Engine.cache_key digest, exposed to clients *)
   ses_path : string;
-  ses_analysis : Engine.analysis;
-  ses_modref : Modref.t Lazy.t;  (* CI mod/ref sets, built on first query *)
+  ses_tiered : Engine.tiered;  (* the solution, at whatever tier survived *)
+  ses_modref : Modref.t Lazy.t option;
+      (* CI mod/ref sets, built on first query; None below the Ci tier *)
   ses_bytes : int;  (* approximate retained size *)
   ses_lock : Mutex.t;  (* serializes queries on this session *)
   mutable ses_stamp : int;  (* LRU clock value of the last touch *)
   mutable ses_queries : int;
 }
 
+exception Engine_error of Engine.error
+exception Tier_unavailable of string
+
+let tier e = e.ses_tiered.Engine.td_tier
+
+let analysis e = e.ses_tiered.Engine.td_analysis
+
+let require_analysis e =
+  match analysis e with
+  | Some a -> a
+  | None ->
+    raise
+      (Tier_unavailable
+         (Printf.sprintf
+            "session %s holds a %s-tier solution; this query needs at least \
+             the ci tier (re-open with a larger deadline or min_tier)"
+            e.ses_id
+            (Engine.string_of_tier (tier e))))
+
+let require_modref e =
+  match e.ses_modref with
+  | Some m -> Lazy.force m
+  | None -> ignore (require_analysis e : Engine.analysis); assert false
+
 type stats = {
-  mutable st_solved : int;  (* opens that went through Engine.run *)
+  mutable st_solved : int;  (* opens that went through the engine *)
   mutable st_session_hits : int;  (* opens answered by a live session *)
   mutable st_invalidated : int;  (* sessions dropped because content changed *)
   mutable st_evicted : int;  (* sessions dropped by the LRU budget *)
   mutable st_closed : int;
+  mutable st_degraded : int;  (* ladder descents across all solves *)
+  mutable st_upgraded : int;  (* re-solves because a hit's tier was too low *)
+  mutable st_cancelled : int;  (* in-flight budgets cancelled *)
 }
 
 type t = {
@@ -36,27 +72,31 @@ type t = {
   lock : Mutex.t;
   mutable clock : int;
   mutable live_bytes : int;
+  mutable inflight : (string * Budget.t) list;  (* path, budget of a solve *)
   max_entries : int;
   max_bytes : int;
   config : Engine.config;
   cache : Engine.analysis Engine_cache.t option;
   disk_budget : int option;  (* Engine_cache.prune target, if any *)
+  default_deadline_s : float option;  (* applied when an open names none *)
   st : stats;
 }
 
 let create ?(max_entries = 16) ?(max_bytes = 1 lsl 30) ?config ?cache
-    ?disk_budget () =
+    ?disk_budget ?default_deadline_s () =
   {
     tbl = Hashtbl.create 16;
     by_path = Hashtbl.create 16;
     lock = Mutex.create ();
     clock = 0;
     live_bytes = 0;
+    inflight = [];
     max_entries = max 1 max_entries;
     max_bytes = max 0 max_bytes;
     config = Option.value ~default:Engine.default_config config;
     cache;
     disk_budget;
+    default_deadline_s;
     st =
       {
         st_solved = 0;
@@ -64,6 +104,9 @@ let create ?(max_entries = 16) ?(max_bytes = 1 lsl 30) ?config ?cache
         st_invalidated = 0;
         st_evicted = 0;
         st_closed = 0;
+        st_degraded = 0;
+        st_upgraded = 0;
+        st_cancelled = 0;
       };
   }
 
@@ -112,28 +155,79 @@ let evict_over_budget t ~keep =
   in
   loop ()
 
-(* Retained size of an analysis, for the byte budget.  [reachable_words]
+(* Retained size of a result, for the byte budget.  [reachable_words]
    walks the value's heap graph; the fallback is a crude multiple of the
    source size in case a future payload defeats the walk. *)
-let approx_bytes (a : Engine.analysis) =
-  match Obj.reachable_words (Obj.repr a) with
+let approx_bytes (td : Engine.tiered) =
+  match Obj.reachable_words (Obj.repr td) with
   | words -> words * (Sys.word_size / 8)
-  | exception _ -> String.length a.Engine.a_input.Engine.in_source * 64
+  | exception _ ->
+    String.length td.Engine.td_input.Engine.in_source * 64
+
+(* ---- in-flight budgets ---------------------------------------------------------- *)
+
+let register_inflight t path budget =
+  locked t (fun () -> t.inflight <- (path, budget) :: t.inflight)
+
+let unregister_inflight t budget =
+  locked t (fun () ->
+      t.inflight <- List.filter (fun (_, b) -> b != budget) t.inflight)
+
+let cancel_inflight t path =
+  locked t (fun () ->
+      let n =
+        List.fold_left
+          (fun n (p, b) ->
+            if String.equal p path then begin
+              Budget.cancel b;
+              n + 1
+            end
+            else n)
+          0 t.inflight
+      in
+      t.st.st_cancelled <- t.st.st_cancelled + n;
+      n)
+
+let cancel_all_inflight t =
+  locked t (fun () ->
+      let n = List.length t.inflight in
+      List.iter (fun (_, b) -> Budget.cancel b) t.inflight;
+      t.st.st_cancelled <- t.st.st_cancelled + n;
+      n)
+
+(* ---- opening -------------------------------------------------------------------- *)
 
 type open_status = [ `Session_hit | `Solved of Telemetry.cache_status ]
 
 type open_result = { or_entry : entry; or_status : open_status }
 
-let open_path t path =
+let open_path ?deadline_s ?min_tier t path =
   let input = Engine.load_file path in
   let key = Engine.cache_key t.config input in
+  let deadline_s =
+    match deadline_s with Some _ as d -> d | None -> t.default_deadline_s
+  in
+  (* Without a deadline nothing can degrade, so an undeadlined open
+     demands (and a hit must already have) the full Ci tier — which is
+     also the upgrade path for a previously degraded session. *)
+  let floor =
+    match min_tier with
+    | Some m -> m
+    | None -> ( match deadline_s with Some _ -> Engine.Steensgaard | None -> Engine.Ci)
+  in
+  let satisfies e = Engine.tier_rank (tier e) >= Engine.tier_rank floor in
   let live =
     locked t (fun () ->
         match Hashtbl.find_opt t.tbl key with
-        | Some e ->
+        | Some e when satisfies e ->
           t.st.st_session_hits <- t.st.st_session_hits + 1;
           touch t e;
           Some e
+        | Some e ->
+          (* live but too coarse: drop and re-solve at a higher tier *)
+          drop t e;
+          t.st.st_upgraded <- t.st.st_upgraded + 1;
+          None
         | None -> None)
   in
   match live with
@@ -142,14 +236,36 @@ let open_path t path =
     (* Solve outside the manager lock: other sessions stay responsive
        while this one compiles.  Two racing opens of the same new file
        may both solve; the second insert below defers to the first. *)
-    let a = Engine.run ~config:t.config ?cache:t.cache input in
+    let limits =
+      match deadline_s with
+      | Some s -> Budget.limits_with_deadline s
+      | None -> Budget.no_limits
+    in
+    let budget = Budget.start limits in
+    register_inflight t path budget;
+    let solved =
+      Fun.protect
+        ~finally:(fun () -> unregister_inflight t budget)
+        (fun () ->
+          let want =
+            (* a floor above Ci (min_tier=cs) demands that tier outright *)
+            if Engine.tier_rank floor > Engine.tier_rank Engine.Ci then floor
+            else Engine.Ci
+          in
+          Engine.run_tiered ~config:t.config ?cache:t.cache ~budget ~want
+            ~min_tier:floor input)
+    in
+    let td = match solved with Ok td -> td | Error e -> raise (Engine_error e) in
     let entry =
       {
         ses_id = key;
         ses_path = path;
-        ses_analysis = a;
-        ses_modref = lazy (Modref.of_ci a.Engine.ci);
-        ses_bytes = approx_bytes a;
+        ses_tiered = td;
+        ses_modref =
+          Option.map
+            (fun (a : Engine.analysis) -> lazy (Modref.of_ci a.Engine.ci))
+            td.Engine.td_analysis;
+        ses_bytes = approx_bytes td;
         ses_lock = Mutex.create ();
         ses_stamp = 0;
         ses_queries = 0;
@@ -157,12 +273,19 @@ let open_path t path =
     in
     let result =
       locked t (fun () ->
+          t.st.st_degraded <-
+            t.st.st_degraded + List.length td.Engine.td_degradations;
           match Hashtbl.find_opt t.tbl key with
-          | Some e ->
+          | Some e when satisfies e ->
             t.st.st_session_hits <- t.st.st_session_hits + 1;
             touch t e;
             { or_entry = e; or_status = `Session_hit }
-          | None ->
+          | maybe_stale ->
+            (match maybe_stale with
+            | Some coarse ->
+              drop t coarse;
+              t.st.st_upgraded <- t.st.st_upgraded + 1
+            | None -> ());
             (match Hashtbl.find_opt t.by_path path with
             | Some stale_id when stale_id <> key -> (
               match Hashtbl.find_opt t.tbl stale_id with
@@ -180,7 +303,7 @@ let open_path t path =
             {
               or_entry = entry;
               or_status =
-                `Solved a.Engine.telemetry.Telemetry.t_cache;
+                `Solved td.Engine.td_telemetry.Telemetry.t_cache;
             })
     in
     (* keep the disk layer within its budget as the daemon accumulates
@@ -199,13 +322,37 @@ let find t id =
       | None -> None)
 
 let close t id =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.tbl id with
-      | Some e ->
-        drop t e;
-        t.st.st_closed <- t.st.st_closed + 1;
-        true
-      | None -> false)
+  let path =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl id with
+        | Some e ->
+          drop t e;
+          t.st.st_closed <- t.st.st_closed + 1;
+          Some e.ses_path
+        | None -> None)
+  in
+  match path with
+  | Some p ->
+    (* also cancel any solve racing this close on the same file *)
+    ignore (cancel_inflight t p : int);
+    true
+  | None -> false
+
+let close_path t path =
+  let dropped =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.by_path path with
+        | Some id -> (
+          match Hashtbl.find_opt t.tbl id with
+          | Some e ->
+            drop t e;
+            t.st.st_closed <- t.st.st_closed + 1;
+            true
+          | None -> false)
+        | None -> false)
+  in
+  let cancelled = cancel_inflight t path in
+  dropped || cancelled > 0
 
 (* Serialize work on one session: queries against different sessions run
    on different worker domains; two clients of the same session take
@@ -227,11 +374,15 @@ let stats_json t =
         ("live_bytes", Ejson.Int t.live_bytes);
         ("max_entries", Ejson.Int t.max_entries);
         ("max_bytes", Ejson.Int t.max_bytes);
+        ("inflight", Ejson.Int (List.length t.inflight));
         ("solved", Ejson.Int t.st.st_solved);
         ("session_hits", Ejson.Int t.st.st_session_hits);
         ("invalidated", Ejson.Int t.st.st_invalidated);
         ("evicted", Ejson.Int t.st.st_evicted);
         ("closed", Ejson.Int t.st.st_closed);
+        ("degradations", Ejson.Int t.st.st_degraded);
+        ("upgraded", Ejson.Int t.st.st_upgraded);
+        ("cancelled", Ejson.Int t.st.st_cancelled);
       ])
 
 let engine_cache_stats_json t =

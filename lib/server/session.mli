@@ -1,6 +1,6 @@
-(** The daemon's working set: solved {!Engine.analysis} values, alive
-    across requests, keyed by {!Engine.cache_key} (a digest of the source
-    text and the configuration fingerprint).
+(** The daemon's working set: solved analysis results, alive across
+    requests, keyed by {!Engine.cache_key} (a digest of the source text
+    and the configuration fingerprint).
 
     Identity is content, not path: re-opening an unchanged file
     re-digests it and lands on the live session (a "session hit" — no
@@ -9,18 +9,47 @@
     working set is bounded by an entry count and an approximate byte
     budget, evicted LRU; the engine's own cache (when configured) still
     holds evicted results on disk, so re-opening an evicted session is a
-    disk hit, not a re-solve. *)
+    disk hit, not a re-solve.
+
+    Governance: an open may carry a deadline, in which case the solve
+    runs under a {!Budget.t} and may land at a degraded tier — the entry
+    then holds a baseline solution instead of a full {!Engine.analysis}.
+    A session hit requires the live entry's tier to satisfy the
+    request's floor; a too-coarse entry is dropped and re-solved (the
+    upgrade path).  Budgets of in-flight solves are registered by path
+    so close/shutdown can cancel them mid-solve. *)
 
 type entry = {
   ses_id : string;  (** the {!Engine.cache_key} digest, exposed to clients *)
   ses_path : string;
-  ses_analysis : Engine.analysis;
-  ses_modref : Modref.t Lazy.t;  (** CI mod/ref sets, built on first query *)
+  ses_tiered : Engine.tiered;
+      (** the solution, at whatever tier survived the budget *)
+  ses_modref : Modref.t Lazy.t option;
+      (** CI mod/ref sets, built on first query; [None] below [Ci] *)
   ses_bytes : int;  (** approximate retained size *)
   ses_lock : Mutex.t;  (** serializes queries on this session *)
   mutable ses_stamp : int;  (** LRU clock value of the last touch *)
   mutable ses_queries : int;
 }
+
+exception Engine_error of Engine.error
+(** An open's solve came back [Error]; the handler maps the payload to
+    the protocol's error taxonomy. *)
+
+exception Tier_unavailable of string
+(** A query needed a solution component (VDG, CI points-to sets, mod/ref)
+    the entry's degraded tier does not have. *)
+
+val tier : entry -> Engine.tier
+
+val analysis : entry -> Engine.analysis option
+(** [Some] iff the entry holds a full [>= Ci] solution. *)
+
+val require_analysis : entry -> Engine.analysis
+(** @raise Tier_unavailable below the [Ci] tier. *)
+
+val require_modref : entry -> Modref.t
+(** @raise Tier_unavailable below the [Ci] tier. *)
 
 type t
 
@@ -30,31 +59,54 @@ val create :
   ?config:Engine.config ->
   ?cache:Engine.analysis Engine_cache.t ->
   ?disk_budget:int ->
+  ?default_deadline_s:float ->
   unit ->
   t
 (** [max_entries] (default 16, minimum 1) and [max_bytes] (default 1 GiB;
     0 disables the byte budget) bound the in-memory working set.  With
     [cache], solves go through the engine cache's memory and disk layers;
-    with [disk_budget], {!Engine_cache.prune} runs after each open. *)
+    with [disk_budget], {!Engine_cache.prune} runs after each open.
+    [default_deadline_s] is applied to opens that do not name their own
+    deadline — the server-wide budget default. *)
 
 type open_status =
   [ `Session_hit  (** answered by a live session, nothing re-solved *)
   | `Solved of Telemetry.cache_status
-    (** went through {!Engine.run}; the status tells whether the engine
+    (** went through the engine; the status tells whether the engine
         cache answered from memory, disk, or solved cold *) ]
 
 type open_result = { or_entry : entry; or_status : open_status }
 
-val open_path : t -> string -> open_result
-(** Load (re-stat and re-digest) the file and return its session.
+val open_path :
+  ?deadline_s:float -> ?min_tier:Engine.tier -> t -> string -> open_result
+(** Load (re-stat and re-digest) the file and return its session.  With
+    [deadline_s], the solve runs under a wall-clock budget and may land
+    at a degraded tier no lower than [min_tier].  [min_tier] defaults to
+    [Steensgaard] when a deadline (explicit or server default) is in
+    force, else [Ci] — so an undeadlined open never accepts, and will
+    upgrade, a degraded live session.
     @raise Sys_error on an unreadable path.
-    @raise Srcloc.Error on a frontend failure. *)
+    @raise Engine_error when the solve returns [Error] (frontend error,
+    floor violation, cancellation, strict-cache corruption). *)
 
 val find : t -> string -> entry option
 (** Look up a live session by id; touches its LRU stamp. *)
 
 val close : t -> string -> bool
-(** Drop a session; false when the id names no live session. *)
+(** Drop a session by id and cancel any in-flight solve for its path;
+    false when the id names no live session. *)
+
+val close_path : t -> string -> bool
+(** Drop the live session for a path (if any) and cancel any in-flight
+    solves for it; false when there was nothing to drop or cancel. *)
+
+val cancel_inflight : t -> string -> int
+(** Cancel every in-flight solve registered for a path; returns how many
+    budgets were cancelled.  The cancelled opens fail with
+    [Engine_error Cancelled]. *)
+
+val cancel_all_inflight : t -> int
+(** Shutdown path: cancel every in-flight solve. *)
 
 val with_entry : entry -> (unit -> 'a) -> 'a
 (** Serialize work on one session: queries against different sessions run
@@ -64,6 +116,8 @@ val with_entry : entry -> (unit -> 'a) -> 'a
 val live : t -> int
 
 val stats_json : t -> (string * Ejson.t) list
+(** Includes the governance counters: [inflight], [degradations],
+    [upgraded], [cancelled]. *)
 
 val engine_cache_stats_json : t -> (string * Ejson.t) list option
 (** The engine cache's hit/miss/store counters, when a cache is wired. *)

@@ -47,7 +47,7 @@ let fresh_cache_dir =
 (* ---- (a) engine results = direct solver invocation ------------------------------- *)
 
 let test_matches_direct () =
-  let a = Engine.run (Engine.load_string ~file:"quickstart.c" quickstart_src) in
+  let a = Engine.run_exn (Engine.load_string ~file:"quickstart.c" quickstart_src) in
   let cs = Engine.cs a in
   (* direct, hand-rolled pipeline *)
   let prog = Norm.compile ~file:"quickstart.c" quickstart_src in
@@ -89,14 +89,14 @@ let test_cache_roundtrip () =
   let dir = fresh_cache_dir () in
   let input = Engine.load_string ~file:"quickstart.c" quickstart_src in
   let cache = Engine_cache.create ~dir () in
-  let cold = Engine.run ~cache input in
+  let cold = Engine.run_exn ~cache input in
   let cold_cs = Engine.cs cold in
   Alcotest.(check bool)
     "first run is a miss"
     true
     (cold.Engine.telemetry.Telemetry.t_cache = Telemetry.Cold);
   (* same cache object: memory hit *)
-  let warm = Engine.run ~cache input in
+  let warm = Engine.run_exn ~cache input in
   Alcotest.(check bool)
     "second run is a memory hit"
     true
@@ -108,7 +108,7 @@ let test_cache_roundtrip () =
   (* fresh cache object over the same directory: disk hit, as a second
      process would see it *)
   let cache2 = Engine_cache.create ~dir () in
-  let disk = Engine.run ~cache:cache2 input in
+  let disk = Engine.run_exn ~cache:cache2 input in
   Alcotest.(check bool)
     "fresh cache over same dir is a disk hit"
     true
@@ -133,7 +133,7 @@ let test_cache_roundtrip () =
         { Ci_solver.default_config with Ci_solver.strong_updates = false };
     }
   in
-  let other = Engine.run ~config:weak ~cache:cache2 input in
+  let other = Engine.run_exn ~config:weak ~cache:cache2 input in
   Alcotest.(check bool)
     "different config misses"
     true

@@ -21,6 +21,7 @@ let () =
       ("misc", Test_misc.tests);
       ("integration", Test_integration.tests);
       ("engine", Test_engine.tests);
+      ("budget", Test_budget.tests);
       ("checkers", Test_checkers.tests);
       ("server", Test_server.tests);
     ]

@@ -137,7 +137,7 @@ let test_protocol_roundtrip () =
   (* responses *)
   let ok_line = Protocol.ok_response ~id:(Ejson.Int 3) (Ejson.Bool true) in
   (match Protocol.response_of_line ok_line with
-  | Ok { Protocol.rs_id = Ejson.Int 3; rs_result = Ok (Ejson.Bool true) } -> ()
+  | Ok { Protocol.rs_id = Ejson.Int 3; rs_result = Ok (Ejson.Bool true); _ } -> ()
   | Ok _ -> Alcotest.fail "ok response decoded to the wrong shape"
   | Error msg -> Alcotest.failf "ok response did not parse: %s" msg);
   let err_line =
@@ -163,6 +163,8 @@ let test_protocol_roundtrip () =
       Protocol.Parse_error; Protocol.Invalid_request; Protocol.Method_not_found;
       Protocol.Invalid_params; Protocol.Internal_error; Protocol.Session_not_found;
       Protocol.Frontend_error; Protocol.Shutting_down;
+      Protocol.Unsupported_version; Protocol.Budget_exhausted; Protocol.Cancelled;
+      Protocol.Overloaded; Protocol.Tier_unavailable;
     ];
   (* compact serialization never contains a newline: the framing invariant *)
   let tricky =
@@ -339,7 +341,7 @@ let test_verdicts_match_direct () =
   let conn = Handler.new_conn () in
   ignore
     (expect_ok "open" (rpc h conn "open" (Ejson.Assoc [ ("file", Ejson.String file) ])));
-  let a = Engine.run (Engine.load_file file) in
+  let a = Engine.run_exn (Engine.load_file file) in
   let nodes =
     List.map (fun ((n : Vdg.node), _) -> n.Vdg.nid)
       (Vdg.indirect_memops a.Engine.graph)
@@ -538,6 +540,287 @@ let test_socket_two_clients () =
   Client.close stopper;
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
 
+(* ---- (g) resource governance: versioning, deadlines, cancellation ---------------- *)
+
+let rpc_full h conn meth params =
+  let line = Protocol.request_line ~meth ~params () in
+  match Handler.handle_line h conn line with
+  | Handler.Reply r | Handler.Reply_shutdown r -> (
+    match Protocol.response_of_line r with
+    | Ok rs -> rs
+    | Error msg -> Alcotest.failf "unparsable response line %S: %s" r msg)
+
+let test_protocol_versioning () =
+  let h = Handler.create (Session.create ()) in
+  let conn = Handler.new_conn () in
+  (* ping advertises the protocol version and its capabilities *)
+  let pong = expect_ok "ping" (rpc h conn "ping" Ejson.Null) in
+  Alcotest.(check int)
+    "version advertised" Protocol.protocol_version
+    (int_field "ping" "protocol_version" pong);
+  (match member_exn "ping" "capabilities" pong with
+  | Ejson.List caps ->
+    Alcotest.(check bool)
+      "budgets capability listed" true
+      (List.mem (Ejson.String "budgets") caps)
+  | _ -> Alcotest.fail "capabilities must be a list");
+  (* explicit v1 and v2 are both accepted *)
+  List.iter
+    (fun v ->
+      ignore
+        (expect_ok
+           (Printf.sprintf "ping v%d" v)
+           (rpc h conn "ping" (Ejson.Assoc [ ("protocol", Ejson.Int v) ]))))
+    [ 1; Protocol.protocol_version ];
+  (* a future version is refused with a structured error *)
+  let rs =
+    rpc_full h conn "ping" (Ejson.Assoc [ ("protocol", Ejson.Int 99) ])
+  in
+  (match rs.Protocol.rs_result with
+  | Error (Protocol.Unsupported_version, _) -> ()
+  | Error (code, _) ->
+    Alcotest.failf "wrong code: %s" (Protocol.string_of_error_code code)
+  | Ok _ -> Alcotest.fail "version 99 must be refused");
+  match rs.Protocol.rs_error_data with
+  | Some data ->
+    Alcotest.(check int) "requested echoed" 99 (int_field "data" "requested" data);
+    Alcotest.(check int)
+      "supported version named" Protocol.protocol_version
+      (int_field "data" "supported" data)
+  | None -> Alcotest.fail "version refusal must carry structured data"
+
+(* A program large enough that its solves cannot finish inside a 1ms
+   deadline (and take long enough to cancel mid-flight): a deep chain of
+   functions threading pointers to distinct globals. *)
+let slow_src n =
+  let b = Buffer.create (n * 120) in
+  for i = 0 to n - 1 do
+    Buffer.add_string b (Printf.sprintf "int cell%d; int *slot%d;\n" i i)
+  done;
+  Buffer.add_string b (Printf.sprintf "int f%d(int i) { return i; }\n" n);
+  for i = n - 1 downto 0 do
+    Buffer.add_string b
+      (Printf.sprintf
+         "int f%d(int i) { slot%d = &cell%d; *slot%d = f%d(i) + 1; return \
+          *slot%d + i; }\n"
+         i i i i (i + 1) i)
+  done;
+  Buffer.add_string b "int main(void) { return f0(1); }\n";
+  Buffer.contents b
+
+let test_deadline_degrades_and_upgrades () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "slow.c" (slow_src 150) in
+  let sessions = Session.create () in
+  let h = Handler.create sessions in
+  let conn = Handler.new_conn () in
+  let t0 = Unix.gettimeofday () in
+  let opened =
+    expect_ok "governed open"
+      (rpc h conn "open"
+         (Ejson.Assoc
+            [ ("file", Ejson.String file); ("deadline_ms", Ejson.Int 1) ]))
+  in
+  let answered_in = Unix.gettimeofday () -. t0 in
+  let tier = string_field "open" "tier" opened in
+  Alcotest.(check bool)
+    (Printf.sprintf "1ms deadline lands below ci (got %s)" tier)
+    true
+    (tier = "steensgaard" || tier = "andersen");
+  (match member_exn "open" "degradations" opened with
+  | Ejson.List (_ :: _) -> ()
+  | _ -> Alcotest.fail "a degraded open must report its ladder descents");
+  Alcotest.(check bool)
+    (Printf.sprintf "deadline-bounded open answered promptly (%.3fs)" answered_in)
+    true (answered_in < 10.);
+  Alcotest.(check bool)
+    "degradations counted" true
+    (session_stat sessions "degradations" > 0);
+  (* line-keyed queries still answer at the degraded tier: f0's body
+     (stores and reads *slot0) sits on line n_globals + 1 + n_functions *)
+  let f0_line = 150 + 1 + 150 in
+  let reply =
+    expect_ok "baseline may_alias"
+      (rpc h conn "may_alias"
+         (Ejson.Assoc
+            [ ("a_line", Ejson.Int f0_line); ("b_line", Ejson.Int f0_line) ]))
+  in
+  Alcotest.(check bool)
+    "self-alias at baseline tier" true
+    (bool_field "may_alias" "may_alias" reply);
+  (* node-keyed queries need the VDG: structured tier-unavailable *)
+  expect_error "node query below ci" Protocol.Tier_unavailable
+    (rpc h conn "points_to" (Ejson.Assoc [ ("node", Ejson.Int 0) ]));
+  (* an undeadlined re-open refuses the coarse session and upgrades it *)
+  let reopened =
+    expect_ok "upgrade open"
+      (rpc h conn "open" (Ejson.Assoc [ ("file", Ejson.String file) ]))
+  in
+  Alcotest.(check string)
+    "upgraded to full precision" "ci"
+    (string_field "open" "tier" reopened);
+  Alcotest.(check int) "upgrade counted" 1 (session_stat sessions "upgraded");
+  (* now that the session is full-tier, a deadlined re-open is a hit:
+     the floor (steensgaard under a deadline) is already satisfied *)
+  let third =
+    expect_ok "deadlined re-open"
+      (rpc h conn "open"
+         (Ejson.Assoc
+            [ ("file", Ejson.String file); ("deadline_ms", Ejson.Int 1) ]))
+  in
+  Alcotest.(check string)
+    "full session satisfies the floor" "session-hit"
+    (string_field "open" "status" third)
+
+let test_deadline_floor_error_keeps_server_healthy () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "slow.c" (slow_src 150) in
+  let h = Handler.create (Session.create ()) in
+  let conn = Handler.new_conn () in
+  (* floor ci + 1ms deadline: the solve cannot fit and may not degrade *)
+  let rs =
+    rpc_full h conn "open"
+      (Ejson.Assoc
+         [
+           ("file", Ejson.String file); ("deadline_ms", Ejson.Int 1);
+           ("min_tier", Ejson.String "ci");
+         ])
+  in
+  (match rs.Protocol.rs_result with
+  | Error (Protocol.Budget_exhausted, _) -> ()
+  | Error (code, _) ->
+    Alcotest.failf "wrong code: %s" (Protocol.string_of_error_code code)
+  | Ok _ -> Alcotest.fail "a 1ms ci-floor open must exhaust its budget");
+  (match rs.Protocol.rs_error_data with
+  | Some data ->
+    Alcotest.(check string)
+      "error data kind" "budget-exhausted"
+      (string_field "data" "error" data)
+  | None -> Alcotest.fail "budget exhaustion must carry structured data");
+  (* the server survives: the same connection keeps answering *)
+  ignore (expect_ok "ping after failure" (rpc h conn "ping" Ejson.Null))
+
+let test_may_alias_cs_deadline_falls_back () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "slow.c" (slow_src 150) in
+  let h = Handler.create (Session.create ()) in
+  let conn = Handler.new_conn () in
+  ignore
+    (expect_ok "open"
+       (rpc h conn "open" (Ejson.Assoc [ ("file", Ejson.String file) ])));
+  let a = Engine.run_exn (Engine.load_file file) in
+  let nodes =
+    List.map (fun ((n : Vdg.node), _) -> n.Vdg.nid)
+      (Vdg.indirect_memops a.Engine.graph)
+  in
+  let x = List.nth nodes 0 and y = List.nth nodes 1 in
+  let reply =
+    expect_ok "cs may_alias under deadline"
+      (rpc h conn "may_alias"
+         (Ejson.Assoc
+            [
+              ("a", Ejson.Int x); ("b", Ejson.Int y);
+              ("tier", Ejson.String "cs"); ("deadline_ms", Ejson.Int 1);
+            ]))
+  in
+  Alcotest.(check string)
+    "fell back to the ci tier" "ci"
+    (string_field "may_alias" "tier" reply);
+  Alcotest.(check bool)
+    "marked degraded" true
+    (bool_field "may_alias" "degraded" reply);
+  Alcotest.(check bool)
+    "fallback verdict is the ci verdict"
+    (Query.may_alias a.Engine.ci x y)
+    (bool_field "may_alias" "may_alias" reply);
+  (* without a deadline the cs verdict is computed for real *)
+  let full =
+    expect_ok "cs may_alias unbudgeted"
+      (rpc h conn "may_alias"
+         (Ejson.Assoc
+            [ ("a", Ejson.Int x); ("b", Ejson.Int y); ("tier", Ejson.String "cs") ]))
+  in
+  Alcotest.(check string)
+    "cs tier achieved" "cs"
+    (string_field "may_alias" "tier" full)
+
+let test_close_cancels_inflight () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "slow.c" (slow_src 400) in
+  let sessions = Session.create () in
+  let solver =
+    Domain.spawn (fun () ->
+        match Session.open_path ~deadline_s:300. sessions file with
+        | _ -> `Completed
+        | exception Session.Engine_error Engine.Cancelled -> `Cancelled
+        | exception _ -> `Other)
+  in
+  (* wait for the solve to register its budget, then close it by path *)
+  let rec wait_inflight n =
+    if n = 0 then false
+    else if session_stat sessions "inflight" > 0 then true
+    else begin
+      Unix.sleepf 0.0002;
+      wait_inflight (n - 1)
+    end
+  in
+  let seen = wait_inflight 50_000 in
+  Alcotest.(check bool) "in-flight solve observed" true seen;
+  Alcotest.(check bool)
+    "close cancels the in-flight solve" true
+    (Session.close_path sessions file);
+  (match Domain.join solver with
+  | `Cancelled -> ()
+  | `Completed -> Alcotest.fail "the open completed despite cancellation"
+  | `Other -> Alcotest.fail "the open failed with the wrong exception");
+  Alcotest.(check bool)
+    "cancellation counted" true
+    (session_stat sessions "cancelled" > 0);
+  Alcotest.(check int) "nothing left in flight" 0
+    (session_stat sessions "inflight")
+
+let test_client_timeout_on_dead_daemon () =
+  let dir = fresh_dir () in
+  (* a daemon that accepts and then hangs: reads must time out *)
+  let hung = Filename.concat dir "hung.sock" in
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX hung);
+  Unix.listen srv 1;
+  let accepter =
+    Domain.spawn (fun () ->
+        let fd, _ = Unix.accept srv in
+        Unix.sleepf 2.;
+        Unix.close fd)
+  in
+  let c = Client.connect ~retry_for:5. ~timeout:0.2 hung in
+  (match Client.call c ~meth:"ping" ~params:Ejson.Null with
+  | exception Client.Connection_lost _ -> ()
+  | exception e ->
+    Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "a hung daemon must time the read out");
+  Client.close c;
+  Domain.join accepter;
+  Unix.close srv;
+  (* a daemon that dies mid-session: reads must fail fast, not hang *)
+  let dead = Filename.concat dir "dead.sock" in
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX dead);
+  Unix.listen srv 1;
+  let killer =
+    Domain.spawn (fun () ->
+        let fd, _ = Unix.accept srv in
+        Unix.close fd)
+  in
+  let c = Client.connect ~retry_for:5. ~timeout:5. dead in
+  Domain.join killer;
+  (match Client.call c ~meth:"ping" ~params:Ejson.Null with
+  | exception Client.Connection_closed -> ()
+  | exception e ->
+    Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "a dead daemon must surface as a closed connection");
+  Client.close c;
+  Unix.close srv
+
 let tests =
   [
     Alcotest.test_case "protocol: codec round-trips" `Quick test_protocol_roundtrip;
@@ -560,4 +843,16 @@ let tests =
     Alcotest.test_case "telemetry: latency summaries" `Quick test_latency_summary;
     Alcotest.test_case "socket: two concurrent clients, clean shutdown" `Quick
       test_socket_two_clients;
+    Alcotest.test_case "governance: protocol versioning" `Quick
+      test_protocol_versioning;
+    Alcotest.test_case "governance: deadline degrades, re-open upgrades" `Quick
+      test_deadline_degrades_and_upgrades;
+    Alcotest.test_case "governance: floor violation is structured" `Quick
+      test_deadline_floor_error_keeps_server_healthy;
+    Alcotest.test_case "governance: cs query falls back under deadline" `Quick
+      test_may_alias_cs_deadline_falls_back;
+    Alcotest.test_case "governance: close cancels an in-flight solve" `Quick
+      test_close_cancels_inflight;
+    Alcotest.test_case "governance: client timeouts on dead daemons" `Quick
+      test_client_timeout_on_dead_daemon;
   ]
