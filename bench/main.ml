@@ -340,6 +340,8 @@ let () =
     (Figures.cost_table results);
   section "Analysis phases: total and tail latency across the suite"
     (phase_latency_table results);
+  section "Hash-consed set layer: meet-cache effectiveness and footprint"
+    (Figures.memo_table results);
   section "Section 4.2: applicability of the CI-derived pruning optimizations"
     (Figures.pruning_table results);
   section "Section 5.1.2: call-graph sparsity" (Figures.callgraph_table results);

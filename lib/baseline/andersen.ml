@@ -1,11 +1,14 @@
+(* Points-to sets are hash-consed Ptset values over absloc ids: change
+   detection on add is an O(1) id compare, and repeated propagation of
+   the same set along copy edges hits the shared memo cache. *)
 type t = {
   cs : Fi_constraints.t;
-  pts : (int, unit) Hashtbl.t array;   (* node -> absloc-id set *)
+  pts : Ptset.t array;                 (* node -> absloc-id set *)
 }
 
 type solver = {
   scs : Fi_constraints.t;
-  spts : (int, unit) Hashtbl.t array;
+  spts : Ptset.t array;
   edges : int list ref array;          (* copy edges: src -> dsts *)
   loads_on : (int * int) list ref array;   (* src -> (dst) loads *)
   stores_on : int list ref array;      (* dst-ptr -> srcs *)
@@ -15,15 +18,16 @@ type solver = {
 }
 
 let add_fact s node loc =
-  if not (Hashtbl.mem s.spts.(node) loc) then begin
-    Hashtbl.replace s.spts.(node) loc ();
+  let v = Ptset.add s.spts.(node) loc in
+  if not (Ptset.equal v s.spts.(node)) then begin
+    s.spts.(node) <- v;
     Queue.add (node, loc) s.queue
   end
 
 let add_edge s src dst =
   if not (List.mem dst !(s.edges.(src))) then begin
     s.edges.(src) := dst :: !(s.edges.(src));
-    Hashtbl.iter (fun loc () -> add_fact s dst loc) s.spts.(src)
+    Ptset.iter (fun loc -> add_fact s dst loc) s.spts.(src)
   end
 
 let wire_call s formals retnode args ret =
@@ -47,7 +51,7 @@ let analyze ?budget (p : Sil.program) : t =
   let s =
     {
       scs = cs;
-      spts = Array.init n (fun _ -> Hashtbl.create 4);
+      spts = Array.make n Ptset.empty;
       edges = Array.init n (fun _ -> ref []);
       loads_on = Array.init n (fun _ -> ref []);
       stores_on = Array.init n (fun _ -> ref []);
@@ -103,8 +107,8 @@ let analyze ?budget (p : Sil.program) : t =
   { cs; pts = s.spts }
 
 let locs_of t node =
-  Hashtbl.fold
-    (fun loc () acc -> Absloc.Table.get t.cs.Fi_constraints.locs loc :: acc)
+  Ptset.fold
+    (fun loc acc -> Absloc.Table.get t.cs.Fi_constraints.locs loc :: acc)
     t.pts.(node) []
   |> List.sort Absloc.compare
 

@@ -1,15 +1,15 @@
 type ctx = {
-  ids : (int * int * int, int) Hashtbl.t;  (* (formal node, path, referent) -> id *)
+  ids : (int * int, int) Hashtbl.t;  (* (formal node, Ptpair.key pair) -> id *)
   mutable rev : (Vdg.node_id * Ptpair.t) array;
   mutable count : int;
 }
 
-type t = int list
+type t = Ptset.t
 
 let create_ctx () = { ids = Hashtbl.create 256; rev = [||]; count = 0 }
 
 let intern ctx node (pair : Ptpair.t) =
-  let key = (node, Apath.hash pair.Ptpair.path, Apath.hash pair.Ptpair.referent) in
+  let key = (node, Ptpair.key pair) in
   match Hashtbl.find_opt ctx.ids key with
   | Some id -> id
   | None ->
@@ -31,49 +31,50 @@ let describe ctx id =
 
 let count ctx = ctx.count
 
-let empty : t = []
+let empty : t = Ptset.empty
 
-let singleton ctx node pair = [ intern ctx node pair ]
+let singleton ctx node pair = Ptset.singleton (intern ctx node pair)
 
-let rec union a b =
-  match a, b with
-  | [], l | l, [] -> l
-  | x :: xs, y :: ys ->
-    if x < y then x :: union xs b
-    else if x > y then y :: union a ys
-    else x :: union xs ys
-
-let rec subset a b =
-  match a, b with
-  | [], _ -> true
-  | _, [] -> false
-  | x :: xs, y :: ys ->
-    if x < y then false
-    else if x > y then subset a ys
-    else subset xs ys
-
-let cardinal = List.length
+let union = Ptset.union
+let subset = Ptset.subset
+let cardinal = Ptset.cardinal
+let is_empty = Ptset.is_empty
+let elements = Ptset.elements
+let equal = Ptset.equal
 
 let to_string ctx s =
   let item id =
     let node, pair = describe ctx id in
     Printf.sprintf "(n%d, %s)" node (Ptpair.to_string pair)
   in
-  "{" ^ String.concat ", " (List.map item s) ^ "}"
+  "{" ^ String.concat ", " (List.map item (elements s)) ^ "}"
 
 module Antichain = struct
   type set = t
-  type nonrec t = { mutable sets : set list }
 
-  let create () = { sets = [] }
+  (* [seen] indexes current members by hash-consed set id, making the
+     most common insert outcome — an exact re-derivation of an existing
+     member — an O(1) rejection, and giving the solver an O(1) liveness
+     check for worklist entries whose member has since been evicted. *)
+  type nonrec t = {
+    mutable sets : set list;
+    seen : (int, unit) Hashtbl.t;
+  }
+
+  let create () = { sets = []; seen = Hashtbl.create 4 }
 
   let insert ac s =
-    if List.exists (fun member -> subset member s) ac.sets then false
+    if Hashtbl.mem ac.seen (Ptset.id s) then false
+    else if List.exists (fun member -> Ptset.subset member s) ac.sets then false
     else begin
-      ac.sets <- s :: List.filter (fun member -> not (subset s member)) ac.sets;
+      let keep, evicted = List.partition (fun member -> not (Ptset.subset s member)) ac.sets in
+      List.iter (fun member -> Hashtbl.remove ac.seen (Ptset.id member)) evicted;
+      ac.sets <- s :: keep;
+      Hashtbl.replace ac.seen (Ptset.id s) ();
       true
     end
 
+  let mem_member ac s = Hashtbl.mem ac.seen (Ptset.id s)
   let members ac = ac.sets
   let is_empty ac = ac.sets = []
 end

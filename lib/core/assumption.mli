@@ -5,15 +5,20 @@
     points-to pair carries a set of assumptions; the pair holds on its
     output only under calling contexts satisfying all of them.
 
-    Assumptions are interned to dense ids inside a {!ctx}; sets are sorted
-    id lists, and per-(output, pair) collections are kept as antichains
-    under inclusion, implementing the paper's subsumption rule: a pair
-    already holding under [A] need not be recorded under any [B ⊇ A]. *)
+    Assumptions are interned to dense ids inside a {!ctx} (keyed by the
+    formal node and the explicit {!Ptpair.key} pair identity); sets are
+    hash-consed {!Ptset.t} values over those ids, so the unions and
+    subset tests the CS solver performs per meet are memoized and
+    equality is an O(1) id compare.  Per-(output, pair) collections are
+    kept as antichains under inclusion, implementing the paper's
+    subsumption rule: a pair already holding under [A] need not be
+    recorded under any [B ⊇ A]. *)
 
 type ctx
 
-type t = int list
-(** A set: strictly increasing assumption ids. *)
+type t = Ptset.t
+(** A set of assumption ids (hash-consed; see {!Ptset} for the
+    same-universe and read-only-after-marshal invariants). *)
 
 val create_ctx : unit -> ctx
 
@@ -29,6 +34,14 @@ val singleton : ctx -> Vdg.node_id -> Ptpair.t -> t
 val union : t -> t -> t
 val subset : t -> t -> bool
 val cardinal : t -> int
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+(** O(1) on same-universe handles. *)
+
+val elements : t -> int list
+(** Strictly increasing assumption ids. *)
+
 val to_string : ctx -> t -> string
 
 (** Antichains of assumption sets under inclusion. *)
@@ -41,7 +54,13 @@ module Antichain : sig
   val insert : t -> set -> bool
   (** [insert ac s]: add [s] unless some member is a subset of [s];
       removes members that are supersets of [s].  Returns [true] iff [s]
-      was added. *)
+      was added.  Exact duplicates are rejected in O(1) via the
+      hash-consed set id. *)
+
+  val mem_member : t -> set -> bool
+  (** Is [s] currently a member (O(1) id lookup)?  False once a weaker
+      set has evicted it — the CS solver uses this to drop worklist
+      entries whose originating member is gone. *)
 
   val members : t -> set list
   val is_empty : t -> bool

@@ -89,8 +89,15 @@ type t = {
   budget : Budget.t;
   pts : Ptpair.Set.t array;
   worklist : (Vdg.node_id * int * Ptpair.t) Workbag.t;
+  (* membership guard: items currently enqueued, keyed by
+     (consumer, input index, packed pair key).  An already-pending item
+     is never pushed again, so [worklist_pushes] counts distinct pending
+     work and the queue carries no duplicates. *)
+  pending : (int * int * int, unit) Hashtbl.t;
+  mutable dup_skips : int;
   mutable flow_in_count : int;
   mutable flow_out_count : int;
+  mutable ptset_stats : Ptset.stats option;  (* per-solve delta, set at fixpoint *)
   call_callees : (Vdg.node_id, callee_edge list ref) Hashtbl.t;
   fun_callers : (string, Vdg.node_id list ref) Hashtbl.t;
   ext_callees : (Vdg.node_id, string list ref) Hashtbl.t;
@@ -102,6 +109,12 @@ let flow_in_count t = t.flow_in_count
 let flow_out_count t = t.flow_out_count
 let worklist_pushes t = t.worklist.Workbag.pushed
 let worklist_pops t = t.worklist.Workbag.popped
+let worklist_dup_skips t = t.dup_skips
+
+let ptset_stats t =
+  match t.ptset_stats with
+  | Some s -> s
+  | None -> Ptset.delta ~before:(Ptset.stats ()) ~after:(Ptset.stats ())
 
 let callees t call =
   match Hashtbl.find_opt t.call_callees call with
@@ -125,8 +138,15 @@ let rec flow_out t output pair =
   t.flow_out_count <- t.flow_out_count + 1;
   Budget.tick_meet t.budget;
   if Ptpair.Set.add t.pts.(output) pair then begin
+    let pkey = Ptpair.key pair in
     List.iter
-      (fun (consumer, idx) -> Workbag.add t.worklist (consumer, idx, pair))
+      (fun (consumer, idx) ->
+        let wkey = (consumer, idx, pkey) in
+        if Hashtbl.mem t.pending wkey then t.dup_skips <- t.dup_skips + 1
+        else begin
+          Hashtbl.replace t.pending wkey ();
+          Workbag.add t.worklist (consumer, idx, pair)
+        end)
       (Vdg.consumers t.g output);
     (* return values/stores flow to every discovered call site *)
     match (Vdg.node t.g output).Vdg.nkind with
@@ -453,6 +473,7 @@ let solve ?(config = default_config) ?budget (g : Vdg.t) : t =
   let budget =
     match budget with Some b -> b | None -> Budget.unlimited ()
   in
+  let before = Ptset.stats () in
   let t =
     {
       g;
@@ -460,8 +481,11 @@ let solve ?(config = default_config) ?budget (g : Vdg.t) : t =
       budget;
       pts = Array.init (Vdg.n_nodes g) (fun _ -> Ptpair.Set.create ());
       worklist = Workbag.create config.schedule;
+      pending = Hashtbl.create 1024;
+      dup_skips = 0;
       flow_in_count = 0;
       flow_out_count = 0;
+      ptset_stats = None;
       call_callees = Hashtbl.create 64;
       fun_callers = Hashtbl.create 64;
       ext_callees = Hashtbl.create 64;
@@ -470,8 +494,10 @@ let solve ?(config = default_config) ?budget (g : Vdg.t) : t =
   seed t;
   while not (Workbag.is_empty t.worklist) do
     let nid, idx, pair = Workbag.pop t.worklist in
+    Hashtbl.remove t.pending (nid, idx, Ptpair.key pair);
     flow_in t nid idx pair
   done;
+  t.ptset_stats <- Some (Ptset.delta ~before ~after:(Ptset.stats ()));
   t
 
 let referenced_locations t nid =
@@ -482,8 +508,8 @@ let referenced_locations t nid =
     Ptpair.Set.fold
       (fun p acc ->
         let r = p.Ptpair.referent in
-        if Apath.is_location r && not (Hashtbl.mem seen (Apath.hash r)) then begin
-          Hashtbl.replace seen (Apath.hash r) ();
+        if Apath.is_location r && not (Hashtbl.mem seen r.Apath.pid) then begin
+          Hashtbl.replace seen r.Apath.pid ();
           r :: acc
         end
         else acc)

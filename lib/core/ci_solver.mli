@@ -43,10 +43,23 @@ val flow_out_count : t -> int
 
 val worklist_pushes : t -> int
 (** Lifetime worklist additions (work-item granularity, one per
-    (consumer, input, pair) notification). *)
+    (consumer, input, pair) notification).  A membership guard keeps
+    already-pending items from being pushed twice, so this counts
+    distinct pending work, never double-counted re-pushes. *)
 
 val worklist_pops : t -> int
 (** Lifetime worklist removals; equals [worklist_pushes] at fixpoint. *)
+
+val worklist_dup_skips : t -> int
+(** Pushes suppressed by the pending-membership guard.  Measured zero on
+    the whole suite — each (consumer, input) has a unique producing
+    output and [Ptpair.Set.add] fires once per (output, pair) — so the
+    counter doubles as a cheap runtime verification of that property. *)
+
+val ptset_stats : t -> Ptset.stats
+(** Hash-consing work attributed to this solve ({!Ptset.delta} around
+    the fixpoint loop): interned sets, meet-cache hits/misses, table
+    bytes. *)
 
 val callees : t -> Vdg.node_id -> string list
 (** Resolved callees of a call node (defined functions only). *)

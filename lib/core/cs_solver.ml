@@ -1,17 +1,21 @@
 type config = {
   ci_pruning : bool;
   max_meets : int;
+  stale_skip : bool;
 }
 
 exception Budget_exceeded
 
-let default_config = { ci_pruning = true; max_meets = 50_000_000 }
+let default_config = { ci_pruning = true; max_meets = 50_000_000; stale_skip = true }
 
 (* Per-(output, pair) state: the antichain of assumption sets under which
    the pair holds. *)
 type entry = {
   e_pair : Ptpair.t;
   e_chain : Assumption.Antichain.t;
+  (* bumped on every successful antichain insert; lets return propagation
+     prove "this chain is unchanged since I last looked" in O(1) *)
+  mutable e_ver : int;
 }
 
 type t = {
@@ -20,32 +24,52 @@ type t = {
   config : config;
   budget : Budget.t;
   actx : Assumption.ctx;
-  pts : (int * int, entry) Hashtbl.t array;  (* per output, keyed by pair *)
-  order : Ptpair.t list ref array;           (* insertion order of pairs per output *)
-  worklist : (Vdg.node_id * int * Ptpair.t * Assumption.t) Queue.t;
+  pts : (int, entry) Hashtbl.t array;  (* per output, keyed by Ptpair.key *)
+  order : entry list ref array;        (* reversed insertion order per output *)
+  (* each item remembers the output whose antichain gained [aset]; if
+     that member has been evicted by a weaker set before the item is
+     popped, the item is stale and skipped (the evictor pushed subsuming
+     items of its own) *)
+  worklist : (Vdg.node_id * Vdg.node_id * int * Ptpair.t * Assumption.t) Queue.t;
   mutable flow_in_count : int;
   mutable flow_out_count : int;
   mutable worklist_pushed : int;
   mutable worklist_popped : int;
+  mutable stale_skips : int;
+  mutable ptset_stats : Ptset.stats option;  (* per-solve delta, set at fixpoint *)
+  (* (call, edge_idx*2+which, pair key, aset id) -> sum of satisfier-entry
+     versions at the last propagate-return for that tuple.  Versions are
+     monotone, so an equal sum means every satisfier chain is unchanged
+     and the identical Cartesian product was already flowed. *)
+  pr_memo : (int * int * int * int, int) Hashtbl.t;
+  mutable pr_memo_skips : int;
+  (* (satisfier output, pair key) -> return-propagation instances whose
+     Cartesian product reads that chain; fired on successful inserts so
+     re-propagation work is proportional to chain changes, not to call
+     input churn *)
+  subs :
+    ( int * int,
+      (Vdg.node_id * string * [ `Value | `Store ] * Ptpair.t * Assumption.t)
+      list
+      ref )
+    Hashtbl.t;
   (* CI-derived pruning info, per lookup/update node *)
   single_loc : (Vdg.node_id, bool) Hashtbl.t;
   ci_locs : (Vdg.node_id, Apath.t list) Hashtbl.t;
 }
 
-let pair_key (p : Ptpair.t) = (Apath.hash p.Ptpair.path, Apath.hash p.Ptpair.referent)
-
 let entries t output = !(t.order.(output))
 
 let entry_chain t output pair =
-  match Hashtbl.find_opt t.pts.(output) (pair_key pair) with
+  match Hashtbl.find_opt t.pts.(output) (Ptpair.key pair) with
   | Some e -> Assumption.Antichain.members e.e_chain
   | None -> []
 
 let iter_qualified t output f =
   List.iter
-    (fun pair ->
-      List.iter (fun aset -> f pair aset) (entry_chain t output pair))
-    (entries t output)
+    (fun e ->
+      List.iter (fun aset -> f e.e_pair aset) (Assumption.Antichain.members e.e_chain))
+    (List.rev (entries t output))
 
 (* ---- flow-out -------------------------------------------------------------------- *)
 
@@ -54,21 +78,22 @@ let rec flow_out t output pair aset =
   if t.flow_out_count > t.config.max_meets then raise Budget_exceeded;
   Budget.tick_meet t.budget;
   let e =
-    match Hashtbl.find_opt t.pts.(output) (pair_key pair) with
+    match Hashtbl.find_opt t.pts.(output) (Ptpair.key pair) with
     | Some e -> e
     | None ->
-      let e = { e_pair = pair; e_chain = Assumption.Antichain.create () } in
-      Hashtbl.add t.pts.(output) (pair_key pair) e;
-      t.order.(output) := pair :: !(t.order.(output));
+      let e = { e_pair = pair; e_chain = Assumption.Antichain.create (); e_ver = 0 } in
+      Hashtbl.add t.pts.(output) (Ptpair.key pair) e;
+      t.order.(output) := e :: !(t.order.(output));
       e
   in
   if Assumption.Antichain.insert e.e_chain aset then begin
+    e.e_ver <- e.e_ver + 1;
     List.iter
       (fun (consumer, idx) ->
-        Queue.add (consumer, idx, pair, aset) t.worklist;
+        Queue.add (output, consumer, idx, pair, aset) t.worklist;
         t.worklist_pushed <- t.worklist_pushed + 1)
       (Vdg.consumers t.g output);
-    match (Vdg.node t.g output).Vdg.nkind with
+    (match (Vdg.node t.g output).Vdg.nkind with
     | Vdg.Nret_value fname ->
       List.iter
         (fun call -> propagate_return t call fname `Value pair aset)
@@ -77,7 +102,15 @@ let rec flow_out t output pair aset =
       List.iter
         (fun call -> propagate_return t call fname `Store pair aset)
         (Ci_solver.callers t.ci fname)
-    | _ -> ()
+    | _ -> ());
+    (* this chain grew: re-run every return propagation that reads it
+       (the version memo inside makes duplicate firings cheap) *)
+    match Hashtbl.find_opt t.subs (output, Ptpair.key pair) with
+    | None -> ()
+    | Some lst ->
+      List.iter
+        (fun (call, fname, which, p, a) -> propagate_return t call fname which p a)
+        !lst
   end
 
 (* ---- return propagation (Figure 5, propagate-return) ------------------------------- *)
@@ -109,54 +142,104 @@ and propagate_return t call fname which pair aset =
   match target with
   | None -> ()
   | Some target ->
+    let whichbit = match which with `Value -> 0 | `Store -> 1 in
+    let pkey = Ptpair.key pair in
+    let aelems = Assumption.elements aset in
     (* once per (callee-name, argmap) edge at this call *)
-    List.iter
-      (fun (edge_name, argmap) ->
+    List.iteri
+      (fun edge_idx (edge_name, argmap) ->
         if String.equal edge_name fname then begin
+          (* Resolve each assumed formal pair to its satisfier entry on the
+             matching actual.  If no satisfier version changed since the
+             last visit of this exact (call, edge, which, pair, aset), the
+             Cartesian product below is identical to last time and every
+             flow it produces was already attempted: skip it wholesale. *)
+          let sat_refs =
+            List.map
+              (fun aid ->
+                let formal_node, fpair = Assumption.describe t.actx aid in
+                match actual_of_formal t call argmap formal_node with
+                | None -> None
+                | Some actual -> Some (actual, Ptpair.key fpair))
+              aelems
+          in
+          let sat_entries =
+            List.map
+              (function
+                | None -> None
+                | Some (actual, fkey) -> Hashtbl.find_opt t.pts.(actual) fkey)
+              sat_refs
+          in
+          let vsum =
+            List.fold_left
+              (fun acc -> function None -> acc | Some e -> acc + e.e_ver)
+              0 sat_entries
+          in
+          let mkey = (call, (edge_idx lsl 1) lor whichbit, pkey, Ptset.id aset) in
+          let prev = Hashtbl.find_opt t.pr_memo mkey in
+          if prev = None then
+            (* first visit: subscribe this instance to every satisfier
+               chain it reads, so future inserts there re-run it *)
+            List.iter
+              (function
+                | None -> ()
+                | Some key ->
+                  let lst =
+                    match Hashtbl.find_opt t.subs key with
+                    | Some l -> l
+                    | None ->
+                      let l = ref [] in
+                      Hashtbl.add t.subs key l;
+                      l
+                  in
+                  lst := (call, fname, which, pair, aset) :: !lst)
+              sat_refs;
+          if prev = Some vsum then t.pr_memo_skips <- t.pr_memo_skips + 1
+          else begin
+          Hashtbl.replace t.pr_memo mkey vsum;
           (* For each assumption, the set of caller assumption-sets that
              satisfy it; the Cartesian product over assumptions gives all
              sufficient caller contexts. *)
           let satisfier_sets =
             List.map
-              (fun aid ->
-                let formal_node, fpair = Assumption.describe t.actx aid in
-                match actual_of_formal t call argmap formal_node with
+              (function
                 | None -> []
-                | Some actual -> entry_chain t actual fpair)
-              aset
+                | Some e -> Assumption.Antichain.members e.e_chain)
+              sat_entries
           in
           if List.for_all (fun s -> s <> []) satisfier_sets then begin
+            (* hash-consing makes duplicate partial products visible as
+               equal ids; dropping them (first occurrence kept) prunes
+               the Cartesian product without changing the flowed sets *)
+            let dedup = function
+              | ([] | [ _ ]) as sets -> sets
+              | sets ->
+                let seen = Hashtbl.create 8 in
+                List.filter
+                  (fun s ->
+                    let id = Ptset.id s in
+                    if Hashtbl.mem seen id then false
+                    else begin
+                      Hashtbl.add seen id ();
+                      true
+                    end)
+                  sets
+            in
             let products =
               List.fold_left
                 (fun acc sats ->
-                  List.concat_map
-                    (fun partial ->
-                      List.map (fun s -> Assumption.union partial s) sats)
-                    acc)
+                  dedup
+                    (List.concat_map
+                       (fun partial ->
+                         List.map (fun s -> Assumption.union partial s) sats)
+                       acc))
                 [ Assumption.empty ] satisfier_sets
             in
             List.iter (fun caller_aset -> flow_out t target pair caller_aset) products
           end
+          end
         end)
       (Ci_solver.callee_edges t.ci call)
-
-(* When any input of a call gains a fact, previously returned pairs may
-   become satisfiable at this site: re-run propagate-return for all of the
-   call's callees.  The antichain makes this idempotent. *)
-and repropagate_returns t call =
-  List.iter
-    (fun (name, _argmap) ->
-      match Hashtbl.find_opt t.g.Vdg.funs name with
-      | None -> ()
-      | Some meta ->
-        (match meta.Vdg.fm_ret_value with
-        | Some rv ->
-          iter_qualified t rv (fun pair aset ->
-              propagate_return t call name `Value pair aset)
-        | None -> ());
-        iter_qualified t meta.Vdg.fm_ret_store (fun pair aset ->
-            propagate_return t call name `Store pair aset))
-    (Ci_solver.callee_edges t.ci call)
 
 (* ---- CI pruning helpers -------------------------------------------------------------- *)
 
@@ -311,8 +394,7 @@ let flow_in t nid idx pair aset =
         (Ci_solver.callee_edges t.ci nid);
       List.iter
         (fun _ext -> flow_out t cm.Vdg.cm_cstore pair aset)
-        (Ci_solver.extern_callees t.ci nid);
-      repropagate_returns t nid
+        (Ci_solver.extern_callees t.ci nid)
     | k ->
       let arg_idx = k - 2 in
       List.iter
@@ -340,8 +422,7 @@ let flow_in t nid idx pair aset =
           | Some res, Extern_summary.Ret_arg k' when k' = arg_idx ->
             flow_out t res pair aset
           | _ -> ())
-        (Ci_solver.extern_callees t.ci nid);
-      repropagate_returns t nid)
+        (Ci_solver.extern_callees t.ci nid))
   | Vdg.Ncall_result _ | Vdg.Ncall_store _ -> ()
 
 (* ---- driver ------------------------------------------------------------------------------ *)
@@ -393,6 +474,7 @@ let solve ?(config = default_config) ?budget (g : Vdg.t) ~(ci : Ci_solver.t) : t
   let budget =
     match budget with Some b -> b | None -> Budget.unlimited ()
   in
+  let before = Ptset.stats () in
   let t =
     {
       g;
@@ -407,30 +489,54 @@ let solve ?(config = default_config) ?budget (g : Vdg.t) ~(ci : Ci_solver.t) : t
       flow_out_count = 0;
       worklist_pushed = 0;
       worklist_popped = 0;
+      stale_skips = 0;
+      ptset_stats = None;
+      pr_memo = Hashtbl.create 1024;
+      pr_memo_skips = 0;
+      subs = Hashtbl.create 256;
       single_loc = Hashtbl.create 64;
       ci_locs = Hashtbl.create 64;
     }
   in
   precompute_pruning t;
   seed t;
+  (* the item's aset was an antichain member of (src, pair) when pushed;
+     if a weaker set evicted it in the meantime, every flow this item
+     would produce is subsumed by the evictor's own (pending or already
+     processed) items, so the item can be dropped *)
+  let live src pair aset =
+    match Hashtbl.find_opt t.pts.(src) (Ptpair.key pair) with
+    | Some e -> Assumption.Antichain.mem_member e.e_chain aset
+    | None -> false
+  in
   while not (Queue.is_empty t.worklist) do
-    let nid, idx, pair, aset = Queue.pop t.worklist in
+    let src, nid, idx, pair, aset = Queue.pop t.worklist in
     t.worklist_popped <- t.worklist_popped + 1;
-    flow_in t nid idx pair aset
+    if (not t.config.stale_skip) || live src pair aset then flow_in t nid idx pair aset
+    else t.stale_skips <- t.stale_skips + 1
   done;
+  t.ptset_stats <- Some (Ptset.delta ~before ~after:(Ptset.stats ()));
   t
 
 (* ---- accessors ---------------------------------------------------------------------------- *)
 
-let pairs t output = List.rev !(t.order.(output))
+let pairs t output = List.rev_map (fun e -> e.e_pair) !(t.order.(output))
 
 let qualified t output =
-  List.rev_map (fun pair -> (pair, entry_chain t output pair)) !(t.order.(output))
+  List.rev_map
+    (fun e -> (e.e_pair, Assumption.Antichain.members e.e_chain))
+    !(t.order.(output))
 
 let flow_in_count t = t.flow_in_count
 let flow_out_count t = t.flow_out_count
 let worklist_pushes t = t.worklist_pushed
 let worklist_pops t = t.worklist_popped
+let worklist_stale_skips t = t.stale_skips
+
+let ptset_stats t =
+  match t.ptset_stats with
+  | Some s -> s
+  | None -> Ptset.delta ~before:(Ptset.stats ()) ~after:(Ptset.stats ())
 
 let referenced_locations t nid =
   let n = Vdg.node t.g nid in
@@ -440,8 +546,8 @@ let referenced_locations t nid =
     List.fold_left
       (fun acc (p : Ptpair.t) ->
         let r = p.Ptpair.referent in
-        if Apath.is_location r && not (Hashtbl.mem seen (Apath.hash r)) then begin
-          Hashtbl.replace seen (Apath.hash r) ();
+        if Apath.is_location r && not (Hashtbl.mem seen r.Apath.pid) then begin
+          Hashtbl.replace seen r.Apath.pid ();
           r :: acc
         end
         else acc)
@@ -454,7 +560,7 @@ let referenced_locations t nid =
 (* an assumption set holds via [call] when, for some callee edge, every
    assumed formal pair is present on the matching actual *)
 let satisfiable_at t ~call aset =
-  aset = []
+  Assumption.is_empty aset
   || List.exists
        (fun (_name, argmap) ->
          List.for_all
@@ -463,7 +569,7 @@ let satisfiable_at t ~call aset =
              match actual_of_formal t call argmap formal_node with
              | Some actual -> entry_chain t actual fpair <> []
              | None -> false)
-           aset)
+           (Assumption.elements aset))
        (Ci_solver.callee_edges t.ci call)
 
 let locations_at_callsite t ~call nid =
@@ -479,12 +585,12 @@ let locations_at_callsite t ~call nid =
           let r = pair.Ptpair.referent in
           if
             Apath.is_location r
-            && (not (Hashtbl.mem seen (Apath.hash r)))
+            && (not (Hashtbl.mem seen r.Apath.pid))
             && List.exists
                  (fun aset -> satisfiable_at t ~call aset)
                  (entry_chain t loc pair)
           then begin
-            Hashtbl.replace seen (Apath.hash r) ();
+            Hashtbl.replace seen r.Apath.pid ();
             r :: acc
           end
           else acc)

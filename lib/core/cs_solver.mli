@@ -30,6 +30,15 @@ type t
 type config = {
   ci_pruning : bool;    (** use the CI solution to prune assumptions *)
   max_meets : int;      (** safety fuel; raises {!Budget_exceeded} at 0. *)
+  stale_skip : bool;
+      (** drop worklist items whose assumption set was evicted from its
+          antichain (by a weaker set) before the item was popped.  Sound
+          and fixpoint-preserving: the evicting set pushed subsuming
+          items of its own, so every flow the stale item would produce
+          is derived (with a ⊆ assumption set) from those; only the
+          per-output insertion order of first arrivals can shift.  The
+          regression suite checks canonical solution digests against the
+          pre-hash-consing seed. *)
 }
 
 exception Budget_exceeded
@@ -58,6 +67,15 @@ val worklist_pushes : t -> int
 
 val worklist_pops : t -> int
 (** Lifetime worklist removals; equals [worklist_pushes] at fixpoint. *)
+
+val worklist_stale_skips : t -> int
+(** Popped items dropped by the stale-member check (counted within
+    [worklist_pops]); each one saves a full transfer-function cascade. *)
+
+val ptset_stats : t -> Ptset.stats
+(** Hash-consing work attributed to this solve ({!Ptset.delta} around
+    the fixpoint loop): interned sets, meet-cache hits/misses, table
+    bytes. *)
 
 val referenced_locations : t -> Vdg.node_id -> Apath.t list
 (** As {!Ci_solver.referenced_locations}, from the CS solution. *)

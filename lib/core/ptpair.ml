@@ -11,7 +11,14 @@ let compare a b =
   let c = Apath.compare a.path b.path in
   if c <> 0 then c else Apath.compare a.referent b.referent
 
-let hash p = (Apath.hash p.path * 1000003) + Apath.hash p.referent
+(* Explicitly pid-based: both components are dense interned ids below
+   2^31 (enforced by Apath.mk_path), so the pack is injective and fits a
+   63-bit OCaml int.  Deliberately NOT written via Apath.hash — the key
+   is an identity, not a hash, and must stay collision-free even if the
+   hash function changes. *)
+let key p = (p.path.Apath.pid lsl 31) lor p.referent.Apath.pid
+
+let hash = key
 
 let to_string p =
   Printf.sprintf "(%s -> %s)" (Apath.to_string p.path) (Apath.to_string p.referent)
@@ -19,28 +26,31 @@ let to_string p =
 module Set = struct
   type pair = t
 
+  (* Dual representation: the hash-consed version handle gives O(1)
+     membership/change-detection on packed keys; the item list preserves
+     insertion order, which the solvers' iteration order (and hence all
+     reported orderings) are defined by. *)
   type t = {
-    table : (int * int, unit) Hashtbl.t;
+    mutable ver : Ptset.t;
     mutable items : pair list;  (* reversed insertion order *)
-    mutable count : int;
   }
 
-  let create () = { table = Hashtbl.create 8; items = []; count = 0 }
+  let create () = { ver = Ptset.empty; items = [] }
 
-  let key p = (Apath.hash p.path, Apath.hash p.referent)
-
-  let mem s p = Hashtbl.mem s.table (key p)
+  let mem s p = Ptset.mem s.ver (key p)
 
   let add s p =
-    if mem s p then false
+    let v = Ptset.add s.ver (key p) in
+    if Ptset.equal v s.ver then false
     else begin
-      Hashtbl.replace s.table (key p) ();
+      s.ver <- v;
       s.items <- p :: s.items;
-      s.count <- s.count + 1;
       true
     end
 
-  let cardinal s = s.count
+  let cardinal s = Ptset.cardinal s.ver
+
+  let version s = s.ver
 
   let elements s = List.rev s.items
 

@@ -14,10 +14,30 @@ type t = {
 val make : Apath.t -> Apath.t -> t
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val key : t -> int
+(** Injective packing of the pair into one int:
+    [(path.pid lsl 31) lor referent.pid].
+
+    {b Invariant} (relied on by {!Set}, {!Cs_solver}'s entry tables, and
+    {!Ptset} element packing): [Apath.t] handles within one table carry
+    dense interned [pid]s strictly below [2^31] — equal paths have equal
+    pids and distinct paths have distinct pids ([Apath.mk_path] enforces
+    the bound).  The key is therefore an {e identity} for the pair, not
+    a hash: two pairs over the same table have equal keys iff they are
+    equal.  Do not substitute [Apath.hash] here — the key must remain
+    collision-free even if the hash function ever changes. *)
+
 val hash : t -> int
+(** Equals {!key} (collision-free, so it is also a perfect hash). *)
+
 val to_string : t -> string
 
-(** Mutable pair sets, used per output by the solvers. *)
+(** Mutable pair sets, used per output by the solvers.
+
+    Backed by a hash-consed {!Ptset.t} over {!key}-packed ints (O(1)
+    membership and change detection) plus an insertion-order item list —
+    [elements] order is the solvers' deterministic iteration order. *)
 module Set : sig
   type pair = t
   type t
@@ -28,6 +48,12 @@ module Set : sig
   (** [add s p] inserts and returns [true] iff [p] was new. *)
 
   val cardinal : t -> int
+
+  val version : t -> Ptset.t
+  (** The current hash-consed snapshot of the packed-key set: equal
+      versions (O(1), {!Ptset.equal}) imply equal sets.  Same-universe
+      caveats of {!Ptset} apply. *)
+
   val iter : (pair -> unit) -> t -> unit
   val fold : (pair -> 'a -> 'a) -> t -> 'a -> 'a
   val elements : t -> pair list

@@ -144,9 +144,9 @@ let spurious_pairs ci cs =
   Vdg.iter_nodes g (fun n ->
       let cs_set = Cs_solver.pairs cs n.Vdg.nid in
       let cs_tbl = Hashtbl.create (List.length cs_set) in
-      List.iter (fun p -> Hashtbl.replace cs_tbl (Ptpair.hash p) ()) cs_set;
+      List.iter (fun p -> Hashtbl.replace cs_tbl (Ptpair.key p) ()) cs_set;
       Ptpair.Set.iter
-        (fun p -> if not (Hashtbl.mem cs_tbl (Ptpair.hash p)) then acc := p :: !acc)
+        (fun p -> if not (Hashtbl.mem cs_tbl (Ptpair.key p)) then acc := p :: !acc)
         (Ci_solver.pairs ci n.Vdg.nid));
   !acc
 

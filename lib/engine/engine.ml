@@ -207,21 +207,33 @@ type stored = {
 (* ---- counters -------------------------------------------------------------------- *)
 
 let ci_counters ci : Telemetry.solver_counters =
+  let ps = Ci_solver.ptset_stats ci in
   {
     Telemetry.sc_flow_in = Ci_solver.flow_in_count ci;
     sc_flow_out = Ci_solver.flow_out_count ci;
     sc_worklist_pushes = Ci_solver.worklist_pushes ci;
     sc_worklist_pops = Ci_solver.worklist_pops ci;
+    sc_worklist_skips = Ci_solver.worklist_dup_skips ci;
     sc_pairs = (Stats.ci_pair_counts ci).Stats.pc_total;
+    sc_meet_cache_hits = ps.Ptset.st_cache_hits;
+    sc_meet_cache_misses = ps.Ptset.st_cache_misses;
+    sc_interned_sets = ps.Ptset.st_sets;
+    sc_peak_table_bytes = ps.Ptset.st_peak_bytes;
   }
 
 let cs_counters graph cs : Telemetry.solver_counters =
+  let ps = Cs_solver.ptset_stats cs in
   {
     Telemetry.sc_flow_in = Cs_solver.flow_in_count cs;
     sc_flow_out = Cs_solver.flow_out_count cs;
     sc_worklist_pushes = Cs_solver.worklist_pushes cs;
     sc_worklist_pops = Cs_solver.worklist_pops cs;
+    sc_worklist_skips = Cs_solver.worklist_stale_skips cs;
     sc_pairs = (Stats.cs_pair_counts cs graph).Stats.pc_total;
+    sc_meet_cache_hits = ps.Ptset.st_cache_hits;
+    sc_meet_cache_misses = ps.Ptset.st_cache_misses;
+    sc_interned_sets = ps.Ptset.st_sets;
+    sc_peak_table_bytes = ps.Ptset.st_peak_bytes;
   }
 
 (* ---- the pipeline ----------------------------------------------------------------- *)

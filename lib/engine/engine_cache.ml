@@ -32,7 +32,10 @@ type 'v t = {
    Marshal layout of stored payloads. *)
 (* /3: Telemetry.t gained tier/degradation/budget fields for the
    resource-governance ladder. *)
-let format_version = "alias-engine-cache/3"
+(* /4: hash-consed points-to sets — Ptpair.Set, Assumption.t and the CS
+   entry tables changed their marshaled shapes, and solver_counters
+   gained the meet-cache fields. *)
+let format_version = "alias-engine-cache/4"
 
 let create ?dir () =
   (match dir with

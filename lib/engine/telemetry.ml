@@ -16,7 +16,13 @@ type solver_counters = {
   sc_flow_out : int;         (* meet operations *)
   sc_worklist_pushes : int;
   sc_worklist_pops : int;
+  sc_worklist_skips : int;   (* popped items dropped (stale/duplicate) *)
   sc_pairs : int;            (* total points-to pairs in the solution *)
+  (* hash-consed set layer (Ptset), attributed to this solve *)
+  sc_meet_cache_hits : int;
+  sc_meet_cache_misses : int;
+  sc_interned_sets : int;
+  sc_peak_table_bytes : int;
 }
 
 (* One checker execution inside `analyze lint`: wall time and how many
@@ -178,7 +184,12 @@ let counters_json prefix (c : solver_counters) =
     (prefix ^ "_flow_out", Ejson.Int c.sc_flow_out);
     (prefix ^ "_worklist_pushes", Ejson.Int c.sc_worklist_pushes);
     (prefix ^ "_worklist_pops", Ejson.Int c.sc_worklist_pops);
+    (prefix ^ "_worklist_skips", Ejson.Int c.sc_worklist_skips);
     (prefix ^ "_pairs", Ejson.Int c.sc_pairs);
+    (prefix ^ "_meet_cache_hits", Ejson.Int c.sc_meet_cache_hits);
+    (prefix ^ "_meet_cache_misses", Ejson.Int c.sc_meet_cache_misses);
+    (prefix ^ "_interned_sets", Ejson.Int c.sc_interned_sets);
+    (prefix ^ "_peak_table_bytes", Ejson.Int c.sc_peak_table_bytes);
   ]
 
 let to_json t =

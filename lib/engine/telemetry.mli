@@ -15,7 +15,14 @@ type solver_counters = {
   sc_flow_out : int;  (** meet operations *)
   sc_worklist_pushes : int;
   sc_worklist_pops : int;
+  sc_worklist_skips : int;
+      (** popped items dropped without processing: CS stale-member
+          skips, CI duplicate-push suppressions *)
   sc_pairs : int;  (** total points-to pairs in the solution *)
+  sc_meet_cache_hits : int;  (** {!Ptset} memo-cache hits during the solve *)
+  sc_meet_cache_misses : int;
+  sc_interned_sets : int;  (** hash-consed sets created by the solve *)
+  sc_peak_table_bytes : int;  (** intern-table high-water mark (domain) *)
 }
 
 (** One checker execution inside [analyze lint]: wall time and how many

@@ -63,12 +63,19 @@ let path_count tbl = tbl.npaths
 
 let max_depth = 8
 
+(* Pids must stay below 2^31 so Ptpair.key can pack two of them into one
+   63-bit int.  Unreachable in practice (a table holds thousands of
+   paths, and paths are k-limited), but enforced so the packing can rely
+   on it. *)
+let max_paths = 1 lsl 31
+
 let intern tbl root accs truncated =
   let root_id = match root with None -> -1 | Some b -> b.bid in
   let key = (root_id, accs, truncated) in
   match Hashtbl.find_opt tbl.paths key with
   | Some p -> p
   | None ->
+    if tbl.npaths >= max_paths then failwith "Apath: path table overflow (2^31 paths)";
     let p = { pid = tbl.npaths; proot = root; paccs = accs; ptruncated = truncated } in
     tbl.npaths <- tbl.npaths + 1;
     Hashtbl.add tbl.paths key p;

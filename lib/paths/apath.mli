@@ -97,4 +97,10 @@ val base_to_string : base -> string
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
 val hash : t -> int
+(** Currently the [pid] itself.  Clients that need a {e collision-free}
+    identity (set membership keys, packed pair keys) must read [pid]
+    directly rather than call [hash] — see {!Ptpair.key}.  The interning
+    table keeps pids dense and strictly below [2^31] precisely so two of
+    them pack into one 63-bit int. *)

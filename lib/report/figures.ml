@@ -308,6 +308,39 @@ let headline results =
     results;
   t
 
+(* the hash-consed set layer behind both solvers: how much meet work the
+   memo caches absorbed, and what the interned universe cost in memory *)
+let memo_table results =
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("name", Table.Left);
+          ("CS meets", Table.Right); ("stale skips", Table.Right);
+          ("cache hits", Table.Right); ("cache misses", Table.Right);
+          ("hit rate", Table.Right);
+          ("interned sets", Table.Right); ("peak table (KB)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      let s = Cs_solver.ptset_stats r.cs in
+      let hits = s.Ptset.st_cache_hits and misses = s.Ptset.st_cache_misses in
+      Table.add_row t
+        [
+          name_of r;
+          Table.cell_int (Cs_solver.flow_out_count r.cs);
+          Table.cell_int (Cs_solver.worklist_stale_skips r.cs);
+          Table.cell_int hits;
+          Table.cell_int misses;
+          Table.cell_float ~decimals:1
+            (100. *. float_of_int hits /. float_of_int (max 1 (hits + misses)));
+          Table.cell_int s.Ptset.st_sets;
+          Table.cell_int (s.Ptset.st_peak_bytes / 1024);
+        ])
+    results;
+  t
+
 let cost_table results =
   let t =
     Table.create

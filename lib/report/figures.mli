@@ -58,6 +58,11 @@ val headline : bench_result list -> Table.t
 val cost_table : bench_result list -> Table.t
 (** Section 4.2's cost comparison: transfer functions, meets, time. *)
 
+val memo_table : bench_result list -> Table.t
+(** Hash-consed set layer effectiveness per benchmark: executed CS
+    meets, stale worklist skips, meet-cache hits/misses and hit rate,
+    interned-set count and peak interning-table bytes. *)
+
 val pruning_table : bench_result list -> Table.t
 (** Section 4.2's optimization statistics. *)
 

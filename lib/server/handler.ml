@@ -469,6 +469,19 @@ let do_stats t _params =
        ("errors", Ejson.Int t.h_errors);
        ("degradations", Ejson.Int degraded);
        ("sessions", Ejson.Assoc (Session.stats_json t.h_sessions));
+       (* hash-consed points-to set universe of the serving domain:
+          interning footprint plus meet-memo effectiveness *)
+       ( "ptset",
+         Ejson.Assoc
+           (let s = Ptset.stats () in
+            [
+              ("interned_sets", Ejson.Int s.Ptset.st_sets);
+              ("live_bytes", Ejson.Int s.Ptset.st_live_bytes);
+              ("peak_bytes", Ejson.Int s.Ptset.st_peak_bytes);
+              ("meet_cache_hits", Ejson.Int s.Ptset.st_cache_hits);
+              ("meet_cache_misses", Ejson.Int s.Ptset.st_cache_misses);
+              ("meet_cache_rotations", Ejson.Int s.Ptset.st_cache_rotations);
+            ]) );
        ( "methods",
          Ejson.Assoc
            (List.map

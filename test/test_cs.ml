@@ -269,7 +269,7 @@ let antichain_empty_set_is_bottom () =
   Alcotest.(check bool) "insert empty" true
     (Assumption.Antichain.insert ac Assumption.empty);
   Alcotest.(check bool) "everything else subsumed" false
-    (Assumption.Antichain.insert ac [ 1; 2 ])
+    (Assumption.Antichain.insert ac (Ptset.of_list [ 1; 2 ]))
 
 let tests =
   [

@@ -11,6 +11,7 @@ let () =
       ("apath", Test_apath.tests);
       ("cfg-dom", Test_cfg_dom.tests);
       ("vdg", Test_vdg.tests);
+      ("ptset", Test_ptset.tests);
       ("ci-solver", Test_ci.tests);
       ("cs-solver", Test_cs.tests);
       ("baseline", Test_baseline.tests);
