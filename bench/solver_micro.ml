@@ -2,8 +2,8 @@
 
      dune exec bench/solver_micro.exe                      # all benchmarks, JSON to stdout
      dune exec bench/solver_micro.exe -- allroots part     # a subset
-     dune exec bench/solver_micro.exe -- --out BENCH_5.json
-     dune exec bench/solver_micro.exe -- allroots part --check BENCH_5.json
+     dune exec bench/solver_micro.exe -- --out BENCH_6.json
+     dune exec bench/solver_micro.exe -- allroots part --check BENCH_6.json
 
    The "micro" section times set union and subset on sets shaped like the
    solver's (sizes drawn from the measured benchmark distribution, max
@@ -13,7 +13,10 @@
    where the memo wins) and uniform-random (the memo's worst case, where
    the naive lists win).  The "benchmarks" section times full CI and CS
    solves and records the deterministic outcome facts — executed meets,
-   pair counts, and the canonical solution digest.
+   pair counts, the canonical solution digest, and the demand resolver's
+   activation counts for a canonical first query and for the full memop
+   sweep (the activation set depends only on the graph and the query
+   order, both fixed here).
 
    --check FILE re-reads a previously written report and fails (exit 1)
    if any deterministic field drifted for a benchmark present in both:
@@ -145,11 +148,45 @@ let benchmark_json name =
     let cs = Engine.solve_cs g ~ci in
     let t2 = Unix.gettimeofday () in
     let cs_stats = Cs_solver.ptset_stats cs in
+    (* The demand tier's deterministic footprint: a fresh resolver, the
+       first indirect memop as the canonical first query, then the rest.
+       Activation counts depend only on the graph and the query order,
+       both fixed here, so they belong in the drift gate alongside the
+       meet counts and digests. *)
+    let demand = Demand_solver.create g in
+    let memops = Vdg.indirect_memops g in
+    (match memops with
+    | ((n : Vdg.node), _) :: _ ->
+      ignore (Demand_solver.referenced_locations demand n.Vdg.nid)
+    | [] -> ());
+    let demand_first_visited = Demand_solver.nodes_activated demand in
+    List.iter
+      (fun ((n : Vdg.node), _) ->
+        ignore (Demand_solver.referenced_locations demand n.Vdg.nid))
+      memops;
+    let demand_full_visited = Demand_solver.nodes_activated demand in
+    (* first-query latency distribution: each sample is a fresh resolver
+       (a cold session) answering the canonical first query *)
+    let first_samples =
+      match memops with
+      | [] -> [ 0. ]
+      | ((n : Vdg.node), _) :: _ ->
+        List.init 20 (fun _ ->
+            let d = Demand_solver.create g in
+            let t0 = Unix.gettimeofday () in
+            ignore (Demand_solver.referenced_locations d n.Vdg.nid);
+            Unix.gettimeofday () -. t0)
+    in
+    let fl = Telemetry.summarize first_samples in
     let digest = Solution_digest.digest (Result.get_ok (Engine.run input)) in
     Ejson.Assoc
       [
         ("name", Ejson.String name);
         ("nodes", Ejson.Int (Vdg.n_nodes g));
+        ("demand_first_visited", Ejson.Int demand_first_visited);
+        ("demand_full_visited", Ejson.Int demand_full_visited);
+        ("demand_first_p50_seconds", Ejson.Float fl.Telemetry.l_p50);
+        ("demand_first_p95_seconds", Ejson.Float fl.Telemetry.l_p95);
         ("ci_seconds", Ejson.Float (t1 -. t0));
         ("ci_meets", Ejson.Int (Ci_solver.flow_out_count ci));
         ("ci_dup_skips", Ejson.Int (Ci_solver.worklist_dup_skips ci));
@@ -168,7 +205,11 @@ let benchmark_json name =
 
 (* machine-independent fields: anything else (timings, cache hits,
    interning deltas) legitimately varies between hosts and run shapes *)
-let deterministic_fields = [ "nodes"; "ci_meets"; "cs_meets"; "cs_pairs"; "digest" ]
+let deterministic_fields =
+  [
+    "nodes"; "demand_first_visited"; "demand_full_visited"; "ci_meets";
+    "cs_meets"; "cs_pairs"; "digest";
+  ]
 
 let field_string name j =
   match Ejson.member name j with

@@ -51,7 +51,8 @@ let tier_conv =
       Error
         (`Msg
           (Printf.sprintf
-             "unknown tier %S (expected steensgaard, andersen, ci, or cs)" s))
+             "unknown tier %S (expected steensgaard, andersen, demand, ci, \
+              or cs)" s))
   in
   Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (Engine.string_of_tier t))
 
@@ -63,8 +64,10 @@ let deadline_arg =
         ~doc:
           "Wall-clock budget for the solve.  On exhaustion the analysis \
            degrades down the precision ladder (cs, ci, andersen, \
-           steensgaard) instead of failing; the output reports the tier \
-           that answered.")
+           steensgaard) instead of failing; with $(b,--min-tier demand) an \
+           exhausted ci solve lands on the demand tier (VDG built, pairs \
+           resolved lazily) instead of a baseline.  The output reports the \
+           tier that answered.")
 
 let min_tier_arg =
   Arg.(
@@ -163,6 +166,45 @@ let report_analysis a ~context_sensitive ~dump_sil ~dump_dot ~show_pairs =
         end)
   end
 
+(* At the demand tier the VDG exists but points-to pairs are materialized
+   per query: answer the report's own questions through the lazy resolver,
+   then show how much of the graph those questions activated. *)
+let report_demand (td : Engine.tiered) (d : Demand_solver.t) =
+  let view = Query.demand_view d in
+  let g = view.Query.nv_graph in
+  Printf.printf "functions: %d   VDG nodes: %d   alias-related outputs: %d\n"
+    (List.length td.Engine.td_prog.Sil.p_functions)
+    (Vdg.n_nodes g)
+    (Stats.alias_related_outputs g);
+  print_endline "mode: demand (lazy resolver; pairs materialized per query)";
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("function", Table.Left); ("op", Table.Left); ("where", Table.Left);
+          ("may touch", Table.Left);
+        ]
+  in
+  List.iter
+    (fun ((n : Vdg.node), rw) ->
+      Table.add_row t
+        [
+          n.Vdg.nfun;
+          (match rw with `Read -> "read" | `Write -> "write");
+          (match Vdg.loc_of g n.Vdg.nid with
+          | Some l -> Srcloc.to_string l
+          | None -> "-");
+          String.concat ", "
+            (List.map Apath.to_string (view.Query.nv_referenced n.Vdg.nid));
+        ])
+    (Vdg.indirect_memops g);
+  print_endline "indirect memory operations:";
+  Table.print t;
+  let c = Engine.demand_counters d in
+  Printf.printf "demand: activated %d of %d nodes for %d quer(y/ies)\n"
+    c.Telemetry.dc_nodes_activated c.Telemetry.dc_nodes_total
+    c.Telemetry.dc_queries
+
 (* At a baseline tier there is no VDG: report by source line instead. *)
 let report_baseline (td : Engine.tiered) =
   Printf.printf "functions: %d\n"
@@ -190,29 +232,35 @@ let report_baseline (td : Engine.tiered) =
   print_endline "indirect memory operations:";
   Table.print t
 
-let run_analyze file dump_sil dump_dot context_sensitive show_pairs deadline_ms
-    min_tier metrics =
+let run_analyze file dump_sil dump_dot context_sensitive demand show_pairs
+    deadline_ms min_tier metrics =
   with_frontend_errors @@ fun () ->
+  if context_sensitive && demand then begin
+    prerr_endline "alias-analyze: --demand and --context-sensitive conflict";
+    exit 2
+  end;
   let input = Engine.load_file file in
   let budget = budget_of_deadline deadline_ms in
-  let td =
-    engine_errors
-      (Engine.run_tiered ?budget ?min_tier
-         ~want:(if context_sensitive then Engine.Cs else Engine.Ci)
-         input)
+  let want =
+    if context_sensitive then Engine.Cs
+    else if demand then Engine.Demand
+    else Engine.Ci
   in
-  if deadline_ms <> None || td.Engine.td_degradations <> [] then
+  let td = engine_errors (Engine.run_tiered ?budget ?min_tier ~want input) in
+  if deadline_ms <> None || demand || td.Engine.td_degradations <> [] then
     Printf.printf "tier: %s\n" (Engine.string_of_tier td.Engine.td_tier);
   print_degradations td.Engine.td_degradations;
-  (match td.Engine.td_analysis with
-  | Some a ->
+  (match (td.Engine.td_analysis, td.Engine.td_demand) with
+  | Some a, _ ->
     let context_sensitive =
       context_sensitive && td.Engine.td_tier = Engine.Cs
     in
     report_analysis a ~context_sensitive ~dump_sil ~dump_dot ~show_pairs
-  | None -> report_baseline td);
+  | None, Some d -> report_demand td d
+  | None, None -> report_baseline td);
   Option.iter
     (fun path ->
+      Engine.refresh_demand_telemetry td;
       write_metrics path (Telemetry.to_json td.Engine.td_telemetry))
     metrics
 
@@ -225,6 +273,15 @@ let analyze_cmd =
     Arg.(value & flag & info [ "context-sensitive"; "s" ]
            ~doc:"Use the context-sensitive solver for the report.")
   in
+  let demand =
+    Arg.(
+      value & flag
+      & info [ "demand" ]
+          ~doc:
+            "Stop after the VDG build and answer the report through the \
+             lazy demand resolver; the footer reports how many nodes the \
+             queries activated.")
+  in
   let pairs =
     Arg.(value & flag & info [ "pairs" ] ~doc:"Dump all points-to pairs.")
   in
@@ -234,8 +291,8 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the points-to analysis on a C file")
     Term.(
-      const run_analyze $ file $ dump_sil $ dot $ cs $ pairs $ deadline_arg
-      $ min_tier_arg $ metrics_arg)
+      const run_analyze $ file $ dump_sil $ dot $ cs $ demand $ pairs
+      $ deadline_arg $ min_tier_arg $ metrics_arg)
 
 (* ---- conflicts ----------------------------------------------------------------- *)
 

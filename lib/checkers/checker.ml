@@ -1,14 +1,11 @@
-type solution = {
-  sol_label : string;
-  sol_pairs : Vdg.node_id -> Ptpair.t list;
-  sol_locations : Vdg.node_id -> Apath.t list;
-}
-
+(* Checkers consume the tier-agnostic Query.node_view: the same checker
+   body runs against the CI, CS or demand solution, whichever view the
+   lint driver hands it. *)
 type ctx = {
   cx_prog : Sil.program;
   cx_graph : Vdg.t;
   cx_ci : Ci_solver.t;
-  cx_sol : solution;
+  cx_sol : Query.node_view;
   cx_modref : Modref.t;
 }
 
@@ -17,20 +14,6 @@ type info = {
   ck_doc : string;
   ck_run : ctx -> Diag.t list;
 }
-
-let ci_solution ci =
-  {
-    sol_label = "ci";
-    sol_pairs = (fun nid -> Ptpair.Set.elements (Ci_solver.pairs ci nid));
-    sol_locations = Ci_solver.referenced_locations ci;
-  }
-
-let cs_solution _g cs =
-  {
-    sol_label = "cs";
-    sol_pairs = Cs_solver.pairs cs;
-    sol_locations = Cs_solver.referenced_locations cs;
-  }
 
 let in_frame fname (b : Apath.base) =
   match b.Apath.bkind with

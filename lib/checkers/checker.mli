@@ -1,19 +1,12 @@
 (** The interface every checker implements, and the context it runs in.
 
     A checker is a pure function from a solved analysis to diagnostics.
-    All points-to information is consumed through a {!solution} record so
-    the same checker body runs against the context-insensitive and the
-    maximally context-sensitive solutions — the CI-vs-CS verdict
-    comparison in {!Lint} is exactly "run twice, diff the fingerprints",
-    which is the paper's client-level claim restated as a diff. *)
-
-type solution = {
-  sol_label : string;  (** ["ci"] or ["cs"] *)
-  sol_pairs : Vdg.node_id -> Ptpair.t list;
-      (** unqualified points-to pairs on an output *)
-  sol_locations : Vdg.node_id -> Apath.t list;
-      (** locations referenced by a lookup/update's location input *)
-}
+    All points-to information is consumed through the tier-agnostic
+    {!Query.node_view} so the same checker body runs against the
+    context-insensitive and the maximally context-sensitive solutions —
+    the CI-vs-CS verdict comparison in {!Lint} is exactly "run twice,
+    diff the fingerprints", which is the paper's client-level claim
+    restated as a diff. *)
 
 type ctx = {
   cx_prog : Sil.program;
@@ -22,7 +15,7 @@ type ctx = {
       (** always the CI solution: supplies the call graph (the CS solver
           takes its call graph from CI too, so this is not a precision
           leak) *)
-  cx_sol : solution;  (** the solution under scrutiny *)
+  cx_sol : Query.node_view;  (** the solution under scrutiny *)
   cx_modref : Modref.t;  (** mod/ref sets built from [cx_sol] *)
 }
 
@@ -31,9 +24,6 @@ type info = {
   ck_doc : string;  (** one-line description (SARIF shortDescription) *)
   ck_run : ctx -> Diag.t list;
 }
-
-val ci_solution : Ci_solver.t -> solution
-val cs_solution : Vdg.t -> Cs_solver.t -> solution
 
 val in_frame : string -> Apath.base -> bool
 (** Is this base-location part of the given function's frame (a local,

@@ -25,7 +25,7 @@ let escaping_referents cx fname nid =
       match Checker.root_base p.Ptpair.referent with
       | Some b when Checker.in_frame fname b -> Some b
       | _ -> None)
-    (cx.Checker.cx_sol.Checker.sol_pairs nid)
+    (cx.Checker.cx_sol.Query.nv_pairs nid)
   |> List.sort_uniq (fun a b -> compare a.Apath.bid b.Apath.bid)
 
 let check_returns cx (fd : Sil.fundec) =
@@ -62,7 +62,7 @@ let check_stores cx =
   Vdg.iter_nodes g (fun n ->
       if n.Vdg.nkind = Vdg.Nupdate && n.Vdg.nfun <> "" then begin
         let fname = n.Vdg.nfun in
-        let targets = cx.Checker.cx_sol.Checker.sol_locations n.Vdg.nid in
+        let targets = cx.Checker.cx_sol.Query.nv_referenced n.Vdg.nid in
         let outliving =
           List.filter
             (fun t ->

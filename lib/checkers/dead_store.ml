@@ -24,7 +24,7 @@ let run cx =
   let read_paths =
     List.concat_map
       (fun ((n : Vdg.node), rw) ->
-        if rw = `Read then cx.Checker.cx_sol.Checker.sol_locations n.Vdg.nid
+        if rw = `Read then cx.Checker.cx_sol.Query.nv_referenced n.Vdg.nid
         else [])
       (Vdg.memops g)
     |> List.sort_uniq Apath.compare
@@ -36,7 +36,7 @@ let run cx =
     (fun ((n : Vdg.node), rw) ->
       if rw <> `Write || String.equal n.Vdg.nfun Sil.global_init_name then None
       else
-        let targets = cx.Checker.cx_sol.Checker.sol_locations n.Vdg.nid in
+        let targets = cx.Checker.cx_sol.Query.nv_referenced n.Vdg.nid in
         if targets = [] then None
         else if List.exists (fun t -> observable t || ever_read t) targets then
           None

@@ -51,7 +51,7 @@ let run ?(checkers = []) ?(compare_cs = false) ?budget (a : Engine.analysis) =
         diags)
       infos
   in
-  let ci_diags = run_pass (Checker.ci_solution ci) (Modref.of_ci ci) "" in
+  let ci_diags = run_pass (Query.ci_view ci) (Modref.of_ci ci) "" in
   (* The CS pass degrades, not fails: an exhausted budget means the
      comparison half is skipped and the report says so.  Only
      cancellation escapes. *)
@@ -69,7 +69,7 @@ let run ?(checkers = []) ?(compare_cs = false) ?budget (a : Engine.analysis) =
     | None -> List.map (fun d -> (d, Agree)) ci_diags
     | Some cs ->
       let cs_diags =
-        run_pass (Checker.cs_solution g cs) (Modref.of_cs g cs) "cs:"
+        run_pass (Query.cs_view ci cs) (Modref.of_cs g cs) "cs:"
       in
       let fingerprints ds =
         let tbl = Hashtbl.create 64 in

@@ -16,7 +16,7 @@ let run cx =
   let g = cx.Checker.cx_graph in
   List.filter_map
     (fun ((n : Vdg.node), rw) ->
-      if cx.Checker.cx_sol.Checker.sol_locations n.Vdg.nid <> [] then None
+      if cx.Checker.cx_sol.Query.nv_referenced n.Vdg.nid <> [] then None
       else
         let loc = Vdg.loc_of g n.Vdg.nid in
         Some

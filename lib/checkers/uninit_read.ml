@@ -84,7 +84,7 @@ let check_function cx (fd : Sil.fundec) =
         match Vdg.loc_of g n.Vdg.nid with
         | Some loc ->
           updates :=
-            (positions loc, cx.Checker.cx_sol.Checker.sol_locations n.Vdg.nid)
+            (positions loc, cx.Checker.cx_sol.Query.nv_referenced n.Vdg.nid)
             :: !updates
         | None -> ());
   let updates = !updates and init_calls = !init_calls in
@@ -139,7 +139,7 @@ let check_function cx (fd : Sil.fundec) =
                          (Apath.to_string t) fname)
                   in
                   diags := d :: !diags)
-              (cx.Checker.cx_sol.Checker.sol_locations n.Vdg.nid));
+              (cx.Checker.cx_sol.Query.nv_referenced n.Vdg.nid));
   List.rev !diags
 
 let run cx =

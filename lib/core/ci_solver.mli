@@ -18,7 +18,8 @@
 
 type t
 
-type schedule = Fifo | Lifo | Random_order of int  (** seed *)
+type schedule = Workbag.schedule = Fifo | Lifo | Random_order of int
+(** Worklist removal order (the seed parameterizes [Random_order]). *)
 
 type config = {
   strong_updates : bool;  (** disable for the ablation bench *)

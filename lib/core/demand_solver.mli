@@ -1,0 +1,65 @@
+(** Demand-driven points-to resolution (lazy counterpart of {!Ci_solver}).
+
+    Instead of solving the whole program before the first answer, a
+    resolver starts with every node inactive and, per query, walks the
+    VDG *backward* from the query node, activating exactly the slice of
+    nodes whose points-to sets the answer transitively depends on.  The
+    restricted fixpoint then runs only over that slice: [flow_out] is a
+    no-op on inactive outputs and consumers are only notified while
+    active, so work is proportional to the slice, not the program.
+
+    Activation is the demand analogue of the key map in a demand-driven
+    lookup engine: [active] records which (node, points-to set) keys have
+    been demanded, the activation queue plays the role of the per-query
+    worklist seeding, and the ordinary pair worklist runs the monotone
+    transfer functions restricted to the demanded world.  Because the
+    active set is closed under the reads the transfer functions perform
+    (including dynamically discovered call edges: demanding any formal
+    activates every call anchor so call-graph discovery is complete for
+    the demanded region), the fixpoint on active nodes equals the
+    exhaustive context-insensitive solution there — the differential
+    test suite checks this node by node.
+
+    Resolved slices persist inside the resolver, so repeated queries
+    amortize toward the exhaustive solution: a query whose node is
+    already active is a cache hit and costs one array read. *)
+
+type t
+
+val create : ?config:Ci_solver.config -> ?budget:Budget.t -> Vdg.t -> t
+(** A resolver with every node inactive; no solving happens here.  When
+    [budget] is given, transfer and meet applications during later
+    {!resolve} calls tick it; a tripped limit raises {!Budget.Exhausted}
+    mid-query (the partial state remains monotone and later queries
+    resume it). *)
+
+val graph : t -> Vdg.t
+
+val resolve : t -> Vdg.node_id -> Ptpair.Set.t
+(** Demand the node's points-to set: activate its backward slice, run
+    the restricted fixpoint to quiescence, and return the pairs — equal
+    to [Ci_solver.pairs] on the same graph. *)
+
+val referenced_locations : t -> Vdg.node_id -> Apath.t list
+(** As {!Ci_solver.referenced_locations}, resolving only the location
+    input's slice (a may-alias query between two memory operations never
+    pays for the store chain). *)
+
+(* ---- counters (Telemetry / server stats) ---- *)
+
+val queries : t -> int
+(** Lifetime {!resolve}/{!referenced_locations} demands. *)
+
+val cache_hits : t -> int
+(** Demands whose node was already active — answered without new work. *)
+
+val nodes_activated : t -> int
+(** Size of the union of all demanded slices; compare {!nodes_total}. *)
+
+val nodes_total : t -> int
+(** [Vdg.n_nodes] of the underlying graph. *)
+
+val flow_in_count : t -> int
+val flow_out_count : t -> int
+val worklist_pushes : t -> int
+val worklist_pops : t -> int

@@ -1,44 +1,112 @@
 let paths_may_overlap a b =
   List.exists (fun p -> List.exists (fun q -> Apath.dom p q || Apath.dom q p) b) a
 
+(* ---- the tier-agnostic view ---------------------------------------------------- *)
+
+(* One record of closures abstracts over which solver produced the
+   points-to facts; every question below is phrased against it once
+   instead of per solver.  The three constructors are thin: each tier
+   already exposes [pairs] and [referenced_locations], so a view is just
+   those two functions plus the graph they index into. *)
+type node_view = {
+  nv_tier : string;
+  nv_graph : Vdg.t;
+  nv_pairs : Vdg.node_id -> Ptpair.t list;
+  nv_referenced : Vdg.node_id -> Apath.t list;
+}
+
+let ci_view ci =
+  {
+    nv_tier = "ci";
+    nv_graph = Ci_solver.graph ci;
+    nv_pairs = (fun nid -> Ptpair.Set.elements (Ci_solver.pairs ci nid));
+    nv_referenced = Ci_solver.referenced_locations ci;
+  }
+
+(* Assumptions stripped; the CI solver supplies the graph. *)
+let cs_view ci cs =
+  {
+    nv_tier = "cs";
+    nv_graph = Ci_solver.graph ci;
+    nv_pairs = Cs_solver.pairs cs;
+    nv_referenced = Cs_solver.referenced_locations cs;
+  }
+
+let demand_view d =
+  {
+    nv_tier = "demand";
+    nv_graph = Demand_solver.graph d;
+    nv_pairs = (fun nid -> Ptpair.Set.elements (Demand_solver.resolve d nid));
+    nv_referenced = Demand_solver.referenced_locations d;
+  }
+
 (* The locations a node's output concerns: for memory operations the
    storage they touch; for value outputs (allocation sites, formals,
    address-of nodes, ...) the storage the value may denote.  The latter
-   case reads the pairs directly — [referenced_locations] only answers
-   for lookup/update nodes, which used to make [may_alias] silently
-   return false for perfectly good location queries on e.g. an [Nalloc]
-   or a pointer formal. *)
-let locations_denoted ci nid =
-  let g = Ci_solver.graph ci in
-  match (Vdg.node g nid).Vdg.nkind with
-  | Vdg.Nlookup | Vdg.Nupdate -> Ci_solver.referenced_locations ci nid
-  | _ ->
-    Ptpair.Set.fold
-      (fun p acc ->
-        if Apath.is_location p.Ptpair.referent then p.Ptpair.referent :: acc
-        else acc)
-      (Ci_solver.pairs ci nid) []
-    |> List.sort_uniq Apath.compare
-
-let may_alias ci a b =
-  paths_may_overlap (locations_denoted ci a) (locations_denoted ci b)
-
-(* Same question against the context-sensitive solution (assumptions
-   stripped); the graph comes from the underlying CI solver. *)
-let locations_denoted_cs ci cs nid =
-  let g = Ci_solver.graph ci in
-  match (Vdg.node g nid).Vdg.nkind with
-  | Vdg.Nlookup | Vdg.Nupdate -> Cs_solver.referenced_locations cs nid
+   case reads the pairs directly — [nv_referenced] only answers for
+   lookup/update nodes, which used to make [alias] silently return false
+   for perfectly good location queries on e.g. an [Nalloc] or a pointer
+   formal. *)
+let locations v nid =
+  match (Vdg.node v.nv_graph nid).Vdg.nkind with
+  | Vdg.Nlookup | Vdg.Nupdate -> v.nv_referenced nid
   | _ ->
     List.filter_map
       (fun (p : Ptpair.t) ->
         if Apath.is_location p.Ptpair.referent then Some p.Ptpair.referent
         else None)
-      (Cs_solver.pairs cs nid)
+      (v.nv_pairs nid)
     |> List.sort_uniq Apath.compare
 
-let may_alias_cs ci cs a b =
-  paths_may_overlap (locations_denoted_cs ci cs a) (locations_denoted_cs ci cs b)
+let alias v a b = paths_may_overlap (locations v a) (locations v b)
+
+(* CI shorthands, kept because the context-insensitive tier is the
+   default answer surface everywhere. *)
+let locations_denoted ci nid = locations (ci_view ci) nid
+let may_alias ci a b = alias (ci_view ci) a b
+
+(* ---- the provider --------------------------------------------------------------- *)
+
+type provider = {
+  pv_tier : string;
+  pv_nodes : node_view option;
+  pv_line_locations : int -> string list option;
+  pv_line_may_alias : int -> int -> bool option;
+}
+
+(* Indirect memory operations anchored on a source line — the line-keyed
+   question baselines answer natively, answered here from a node view so
+   every tier exposes the same surface. *)
+let memops_on_line v line =
+  List.filter_map
+    (fun (n, _rw) ->
+      match Vdg.loc_of v.nv_graph n.Vdg.nid with
+      | Some loc when loc.Srcloc.line = line -> Some n.Vdg.nid
+      | _ -> None)
+    (Vdg.indirect_memops v.nv_graph)
+
+let node_provider v =
+  let line_locations line =
+    match memops_on_line v line with
+    | [] -> None
+    | nodes ->
+      Some
+        (List.concat_map (locations v) nodes
+        |> List.sort_uniq Apath.compare
+        |> List.map Apath.to_string)
+  in
+  let line_may_alias la lb =
+    match (memops_on_line v la, memops_on_line v lb) with
+    | [], _ | _, [] -> None
+    | ns_a, ns_b ->
+      Some (List.exists (fun a -> List.exists (alias v a) ns_b) ns_a)
+  in
+  {
+    pv_tier = v.nv_tier;
+    pv_nodes = Some v;
+    pv_line_locations = line_locations;
+    pv_line_may_alias = line_may_alias;
+  }
 
 type conflict = {
   cf_a : Modref.op;

@@ -9,25 +9,66 @@ val paths_may_overlap : Apath.t list -> Apath.t list -> bool
 (** Two target sets may denote common storage: some pair is related by
     the may-alias relation [dom] in either direction. *)
 
-val locations_denoted : Ci_solver.t -> Vdg.node_id -> Apath.t list
+(** {1 The tier-agnostic view}
+
+    Every solver tier answers the same two node-keyed questions: which
+    points-to pairs sit on an output, and which locations a memory
+    operation references.  A [node_view] packages one tier's answers so
+    the questions below (and every downstream consumer: checkers, the
+    server, figures) are written once instead of per solver. *)
+
+type node_view = {
+  nv_tier : string;  (** tier label as clients see it *)
+  nv_graph : Vdg.t;
+  nv_pairs : Vdg.node_id -> Ptpair.t list;
+  nv_referenced : Vdg.node_id -> Apath.t list;
+}
+
+val ci_view : Ci_solver.t -> node_view
+val cs_view : Ci_solver.t -> Cs_solver.t -> node_view
+(** Assumption sets stripped; the CI solver supplies the graph. *)
+
+val demand_view : Demand_solver.t -> node_view
+(** Queries through this view demand slices lazily; answers equal
+    {!ci_view} answers on the same graph. *)
+
+val locations : node_view -> Vdg.node_id -> Apath.t list
 (** The storage a node's output concerns: the referenced locations for
     lookup/update nodes, and the locations the value may denote for any
     other output (allocation sites, formals, address nodes, ...). *)
 
-val may_alias : Ci_solver.t -> Vdg.node_id -> Vdg.node_id -> bool
+val alias : node_view -> Vdg.node_id -> Vdg.node_id -> bool
 (** May the two nodes concern common storage?  Memory operations are
     compared by the locations they touch; value outputs (e.g. [Nalloc]
     or a pointer formal) by the locations they denote.  False when either
     side has no associated locations. *)
 
-val locations_denoted_cs :
-  Ci_solver.t -> Cs_solver.t -> Vdg.node_id -> Apath.t list
-(** As {!locations_denoted}, read from the context-sensitive solution
-    (assumption sets stripped).  The CI solver supplies the graph. *)
+val locations_denoted : Ci_solver.t -> Vdg.node_id -> Apath.t list
+(** [locations (ci_view ci)] — shorthand for the default tier. *)
 
-val may_alias_cs :
-  Ci_solver.t -> Cs_solver.t -> Vdg.node_id -> Vdg.node_id -> bool
-(** As {!may_alias}, against the context-sensitive solution. *)
+val may_alias : Ci_solver.t -> Vdg.node_id -> Vdg.node_id -> bool
+(** [alias (ci_view ci)] — shorthand for the default tier. *)
+
+(** {1 The provider}
+
+    The full query surface one resolved program exposes, uniform across
+    all five tiers.  Node-keyed questions are available when [pv_nodes]
+    is [Some] (ci, cs, demand); line-keyed questions are total — node
+    tiers derive them from the VDG here, baseline tiers (which have no
+    VDG) implement them over their own representations.  [None] from a
+    line closure means no indirect memory operation anchors on that
+    line. *)
+
+type provider = {
+  pv_tier : string;
+  pv_nodes : node_view option;
+  pv_line_locations : int -> string list option;
+  pv_line_may_alias : int -> int -> bool option;
+}
+
+val node_provider : node_view -> provider
+(** Wrap a node view as a provider, deriving the line-keyed closures
+    from the graph's indirect memory operations. *)
 
 type conflict = {
   cf_a : Modref.op;

@@ -46,24 +46,34 @@ let default_config =
 
 (* ---- the precision ladder -------------------------------------------------------- *)
 
-type tier = Steensgaard | Andersen | Ci | Cs
+(* Demand sits between the baselines and Ci: it has full node-level
+   precision (its answers equal Ci's) but only resolves the slices that
+   queries demand, so a workload that asks little pays little. *)
+type tier = Steensgaard | Andersen | Demand | Ci | Cs
 
-let tier_rank = function Steensgaard -> 0 | Andersen -> 1 | Ci -> 2 | Cs -> 3
+let tier_rank = function
+  | Steensgaard -> 0
+  | Andersen -> 1
+  | Demand -> 2
+  | Ci -> 3
+  | Cs -> 4
 
 let string_of_tier = function
   | Steensgaard -> "steensgaard"
   | Andersen -> "andersen"
+  | Demand -> "demand"
   | Ci -> "ci"
   | Cs -> "cs"
 
 let tier_of_string = function
   | "steensgaard" -> Some Steensgaard
   | "andersen" -> Some Andersen
+  | "demand" -> Some Demand
   | "ci" -> Some Ci
   | "cs" -> Some Cs
   | _ -> None
 
-let all_tiers = [ Steensgaard; Andersen; Ci; Cs ]
+let all_tiers = [ Steensgaard; Andersen; Demand; Ci; Cs ]
 
 type degradation = { d_from : tier; d_to : tier; d_reason : Budget.reason }
 
@@ -475,9 +485,11 @@ type baseline = Base_andersen of Andersen.t | Base_steensgaard of Steensgaard.t
 
 type tiered = {
   td_input : input;
+  td_config : config;
   td_tier : tier;
   td_analysis : analysis option;  (* present iff td_tier >= Ci *)
-  td_baseline : baseline option;  (* present iff td_tier < Ci *)
+  td_demand : Demand_solver.t option;  (* present iff the run went demand-first *)
+  td_baseline : baseline option;  (* present iff td_tier < Demand *)
   td_prog : Sil.program;
   td_telemetry : Telemetry.t;
   td_degradations : degradation list;
@@ -504,7 +516,7 @@ let annotate_telemetry base ~tier ~degradations ~budget =
    Steensgaard is the terminal tier and runs unbudgeted apart from a
    cancellation check — it is near-linear and must always produce an
    answer for the ladder to bottom out on. *)
-let baseline_descent ~budget ~min_tier ~degradations input =
+let baseline_descent ~config ~budget ~min_tier ~degradations input =
   let telemetry =
     Telemetry.create ~file:input.in_file
       ~source_bytes:(String.length input.in_source)
@@ -523,8 +535,10 @@ let baseline_descent ~budget ~min_tier ~degradations input =
       Ok
         {
           td_input = input;
+          td_config = config;
           td_tier = tier;
           td_analysis = None;
+          td_demand = None;
           td_baseline = Some baseline;
           td_prog = prog;
           td_telemetry = telemetry;
@@ -560,6 +574,57 @@ let baseline_descent ~budget ~min_tier ~degradations input =
             @ [ { d_from = Andersen; d_to = Steensgaard; d_reason = r } ])
     end
 
+(* The demand-first pipeline: compile and build the VDG (both budgeted —
+   a deadline can still trip here and descend), then hand back a lazy
+   resolver with NO solving done.  The resolver itself is deliberately
+   unbudgeted: the open's deadline governs the open, and must not trip
+   queries issued long after the open returned. *)
+let demand_fresh ~config ~budget ~min_tier ~degradations input =
+  let telemetry =
+    Telemetry.create ~file:input.in_file
+      ~source_bytes:(String.length input.in_source)
+  in
+  Telemetry.record_phase telemetry "load" input.in_load_seconds;
+  match
+    let prog = Telemetry.time telemetry "frontend" (fun () -> compile input) in
+    Budget.check_now budget;
+    let graph =
+      Telemetry.time telemetry "vdg" (fun () -> build_graph ~config prog)
+    in
+    Budget.check_now budget;
+    (prog, graph)
+  with
+  | exception Srcloc.Error (loc, msg) ->
+    Error (Frontend_error { fe_loc = loc; fe_message = msg })
+  | exception Budget.Exhausted Budget.Cancelled -> Error Cancelled
+  | exception Budget.Exhausted r ->
+    if tier_rank min_tier >= tier_rank Demand then
+      Error (Budget_exhausted { be_tier = Demand; be_reason = r })
+    else
+      baseline_descent ~config ~budget ~min_tier
+        ~degradations:
+          (degradations @ [ { d_from = Demand; d_to = Andersen; d_reason = r } ])
+        input
+  | prog, graph ->
+    let demand =
+      Telemetry.time telemetry "demand" (fun () ->
+          Demand_solver.create ~config:config.ci_config graph)
+    in
+    populate_shape_counters telemetry prog graph;
+    Ok
+      {
+        td_input = input;
+        td_config = config;
+        td_tier = Demand;
+        td_analysis = None;
+        td_demand = Some demand;
+        td_baseline = None;
+        td_prog = prog;
+        td_telemetry =
+          annotate_telemetry telemetry ~tier:Demand ~degradations ~budget;
+        td_degradations = degradations;
+      }
+
 let run_tiered ?(config = default_config) ?cache ?strict_cache ?budget
     ?(want = Ci) ?(min_tier = Steensgaard) input =
   if tier_rank want < tier_rank min_tier then
@@ -569,8 +634,10 @@ let run_tiered ?(config = default_config) ?cache ?strict_cache ?budget
     Ok
       {
         td_input = input;
+        td_config = config;
         td_tier = tier;
         td_analysis = Some a;
+        td_demand = None;
         td_baseline = None;
         td_prog = a.prog;
         td_telemetry =
@@ -578,32 +645,72 @@ let run_tiered ?(config = default_config) ?cache ?strict_cache ?budget
         td_degradations = degradations;
       }
   in
-  match run_raw ~config ?cache ?strict_cache ~budget input with
-  | a ->
-    if tier_rank want >= tier_rank Cs then begin
-      match cs_tiered ~budget a with
-      | Error e -> Error e
-      | Ok { co_tier = Cs; _ } -> finish_analysis a Cs []
-      | Ok { co_degradation = Some d; _ } ->
-        if tier_rank min_tier >= tier_rank Cs then
-          Error (Budget_exhausted { be_tier = Cs; be_reason = d.d_reason })
-        else finish_analysis a Ci [ d ]
-      | Ok { co_degradation = None; _ } ->
-        (* cs_tiered yields either Cs or a degradation *)
-        assert false
-    end
-    else finish_analysis a (if cs_forced a then Cs else Ci) []
-  | exception Srcloc.Error (loc, msg) ->
-    Error (Frontend_error { fe_loc = loc; fe_message = msg })
-  | exception Corrupt_entry msg -> Error (Cache_corrupt msg)
-  | exception Budget.Exhausted Budget.Cancelled -> Error Cancelled
-  | exception Budget.Exhausted r ->
-    if tier_rank min_tier >= tier_rank Ci then
-      Error (Budget_exhausted { be_tier = Ci; be_reason = r })
-    else
-      baseline_descent ~budget ~min_tier
-        ~degradations:[ { d_from = Ci; d_to = Andersen; d_reason = r } ]
-        input
+  if want = Demand then begin
+    (* A warm full solution outranks the demand tier; peek the cache
+       without recording a miss (a demand run is not a solve the cache
+       failed to serve). *)
+    let cached =
+      match cache with
+      | None -> Ok None
+      | Some c -> (
+        let key = cache_key config input in
+        match Engine_cache.find_memory c key with
+        | Some a -> Ok (Some (hit_view Telemetry.Memory_hit a))
+        | None -> (
+          match
+            (Engine_cache.read_disk c key
+              : [ `Hit of stored | `Miss | `Corrupt of string ])
+          with
+          | `Hit s ->
+            let a = of_stored ~cache:c ~key config input s in
+            Engine_cache.add_memory c key a;
+            Ok (Some a)
+          | `Corrupt msg when strict_cache = Some true ->
+            Error (Cache_corrupt msg)
+          | `Corrupt _ | `Miss -> Ok None))
+    in
+    match cached with
+    | Error e -> Error e
+    | Ok (Some a) -> finish_analysis a (if cs_forced a then Cs else Ci) []
+    | Ok None -> demand_fresh ~config ~budget ~min_tier ~degradations:[] input
+  end
+  else
+    match run_raw ~config ?cache ?strict_cache ~budget input with
+    | a ->
+      if tier_rank want >= tier_rank Cs then begin
+        match cs_tiered ~budget a with
+        | Error e -> Error e
+        | Ok { co_tier = Cs; _ } -> finish_analysis a Cs []
+        | Ok { co_degradation = Some d; _ } ->
+          if tier_rank min_tier >= tier_rank Cs then
+            Error (Budget_exhausted { be_tier = Cs; be_reason = d.d_reason })
+          else finish_analysis a Ci [ d ]
+        | Ok { co_degradation = None; _ } ->
+          (* cs_tiered yields either Cs or a degradation *)
+          assert false
+      end
+      else finish_analysis a (if cs_forced a then Cs else Ci) []
+    | exception Srcloc.Error (loc, msg) ->
+      Error (Frontend_error { fe_loc = loc; fe_message = msg })
+    | exception Corrupt_entry msg -> Error (Cache_corrupt msg)
+    | exception Budget.Exhausted Budget.Cancelled -> Error Cancelled
+    | exception Budget.Exhausted r ->
+      if tier_rank min_tier >= tier_rank Ci then
+        Error (Budget_exhausted { be_tier = Ci; be_reason = r })
+      else if min_tier = Demand then
+        (* an explicit demand floor recovers at the demand tier: fresh
+           operation counters, same absolute deadline (a dead deadline
+           trips the re-check inside and errors at the floor) *)
+        demand_fresh ~config ~budget:(Budget.restart budget) ~min_tier
+          ~degradations:[ { d_from = Ci; d_to = Demand; d_reason = r } ]
+          input
+      else
+        (* the default descent skips the demand rung: a batch client that
+           wanted an exhaustive solve gains nothing from a lazy resolver
+           it would immediately have to drain *)
+        baseline_descent ~config ~budget ~min_tier
+          ~degradations:[ { d_from = Ci; d_to = Andersen; d_reason = r } ]
+          input
 
 (* ---- queries at degraded tiers ------------------------------------------------------ *)
 
@@ -621,3 +728,102 @@ let line_may_alias td la lb =
   | Some a, Some b ->
     Some (List.exists (fun l -> List.exists (fun l' -> Absloc.compare l l' = 0) b) a)
   | _ -> None
+
+(* ---- the demand tier ---------------------------------------------------------------- *)
+
+let demand_counters (d : Demand_solver.t) : Telemetry.demand_counters =
+  {
+    Telemetry.dc_queries = Demand_solver.queries d;
+    dc_cache_hits = Demand_solver.cache_hits d;
+    dc_nodes_activated = Demand_solver.nodes_activated d;
+    dc_nodes_total = Demand_solver.nodes_total d;
+    dc_flow_in = Demand_solver.flow_in_count d;
+    dc_flow_out = Demand_solver.flow_out_count d;
+    dc_worklist_pushes = Demand_solver.worklist_pushes d;
+    dc_worklist_pops = Demand_solver.worklist_pops d;
+  }
+
+(* The resolver accumulates work as queries arrive, so its counters are
+   snapshotted into the telemetry at read time, not at build time. *)
+let refresh_demand_telemetry td =
+  match td.td_demand with
+  | Some d -> td.td_telemetry.Telemetry.t_demand <- Some (demand_counters d)
+  | None -> ()
+
+(* Upgrade a demand-tier result to a full exhaustive analysis in place of
+   the record: the graph is reused, only the CI fixpoint runs.  Identity
+   on any result that already has (or can never have) an analysis. *)
+let promote ?budget td =
+  match (td.td_analysis, td.td_demand) with
+  | Some _, _ | None, None -> Ok td
+  | None, Some d -> (
+    let graph = Demand_solver.graph d in
+    let config = td.td_config in
+    match
+      Telemetry.time td.td_telemetry "ci" (fun () ->
+          solve_ci ~config ?budget graph)
+    with
+    | exception Budget.Exhausted Budget.Cancelled -> Error Cancelled
+    | exception Budget.Exhausted r ->
+      Error (Budget_exhausted { be_tier = Ci; be_reason = r })
+    | ci ->
+      let telemetry = td.td_telemetry in
+      refresh_demand_telemetry td;
+      telemetry.Telemetry.t_ci <- Some (ci_counters ci);
+      telemetry.Telemetry.t_tier <- Some (string_of_tier Ci);
+      let analysis =
+        {
+          a_input = td.td_input;
+          a_config = config;
+          prog = td.td_prog;
+          graph;
+          ci;
+          cs_cell =
+            make_cs_cell
+              ~solve:(fun ?budget () -> solve_cs ~config ?budget graph ~ci)
+              None;
+          telemetry;
+        }
+      in
+      Ok { td with td_tier = Ci; td_analysis = Some analysis })
+
+(* ---- the unified provider ----------------------------------------------------------- *)
+
+(* One query surface per tiered result.  Node tiers derive line-keyed
+   answers from the VDG inside Query; the baselines (no VDG) answer from
+   their own line-keyed representations here — Query cannot see them,
+   the baseline library sits above the core one. *)
+let provider_of_tiered td =
+  match (td.td_analysis, td.td_demand, td.td_baseline) with
+  | Some a, _, _ ->
+    let view =
+      if cs_forced a then Query.cs_view a.ci (cs a) else Query.ci_view a.ci
+    in
+    Query.node_provider view
+  | None, Some d, _ -> Query.node_provider (Query.demand_view d)
+  | None, None, _ ->
+    let tier = string_of_tier td.td_tier in
+    let locs line =
+      match line_locations td line with
+      | Some (_ :: _ as ls) -> Some ls
+      | _ -> None
+    in
+    {
+      Query.pv_tier = tier;
+      pv_nodes = None;
+      pv_line_locations =
+        (fun line ->
+          Option.map
+            (fun ls ->
+              List.sort_uniq compare (List.map Absloc.to_string ls))
+            (locs line));
+      pv_line_may_alias =
+        (fun la lb ->
+          match (locs la, locs lb) with
+          | Some a, Some b ->
+            Some
+              (List.exists
+                 (fun l -> List.exists (fun l' -> Absloc.compare l l' = 0) b)
+                 a)
+          | _ -> None);
+    }

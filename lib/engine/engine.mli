@@ -51,11 +51,14 @@ val default_config : config
 
 (** {2 The precision ladder} *)
 
-(** Analysis tiers in increasing precision (and cost) order. *)
-type tier = Steensgaard | Andersen | Ci | Cs
+(** Analysis tiers in increasing precision (and cost) order.  [Demand]
+    sits between the baselines and [Ci]: node-level answers identical to
+    [Ci]'s, computed lazily over the backward slices queries demand, so
+    a workload that asks little pays little. *)
+type tier = Steensgaard | Andersen | Demand | Ci | Cs
 
 val tier_rank : tier -> int
-(** 0 (Steensgaard) .. 3 (Cs); monotone in precision. *)
+(** 0 (Steensgaard) .. 4 (Cs); monotone in precision. *)
 
 val string_of_tier : tier -> string
 val tier_of_string : string -> tier option
@@ -178,9 +181,13 @@ type baseline = Base_andersen of Andersen.t | Base_steensgaard of Steensgaard.t
 
 type tiered = {
   td_input : input;
+  td_config : config;  (** the config the run used; {!promote} reuses it *)
   td_tier : tier;  (** the tier actually achieved *)
   td_analysis : analysis option;  (** present iff [td_tier >= Ci] *)
-  td_baseline : baseline option;  (** present iff [td_tier < Ci] *)
+  td_demand : Demand_solver.t option;
+      (** present iff the run went demand-first; survives {!promote} so
+          the resolver's counters stay readable *)
+  td_baseline : baseline option;  (** present iff [td_tier < Demand] *)
   td_prog : Sil.program;
   td_telemetry : Telemetry.t;
       (** a private copy annotated with tier, degradations, and budget
@@ -206,10 +213,39 @@ val run_tiered :
     that trips, [Cancelled] on cancellation (never degraded),
     [Frontend_error] / [Cache_corrupt] as in {!run}.
 
+    [want = Demand] takes the demand-first pipeline instead: compile and
+    build the VDG under the budget, then return a lazy
+    {!Demand_solver.t} with no solving done (the resolver itself is
+    unbudgeted — an open's deadline must not trip queries issued long
+    after the open returned).  A warm cached full solution outranks it:
+    with [cache], a hit answers at [Ci]/[Cs] directly.  The default
+    exhaustion descent skips the demand rung — a batch client that
+    wanted an exhaustive solve gains nothing from a lazy resolver — but
+    an explicit [min_tier = Demand] floor recovers there.
+
     The wall-clock deadline is shared across the whole descent;
     operation ceilings restart per tier.  Steensgaard never exhausts: it
     is near-linear and terminal, so with the default floor the ladder
     always bottoms out on an answer. *)
+
+val promote : ?budget:Budget.t -> tiered -> (tiered, error) result
+(** Upgrade a demand-tier result to a full [Ci] analysis in place of the
+    record: the graph is reused, only the CI fixpoint runs (budgeted
+    when [budget] is given; exhaustion is an error, never a descent —
+    the caller already holds a usable demand result).  Identity on any
+    result that already has, or can never have, an analysis. *)
+
+val demand_counters : Demand_solver.t -> Telemetry.demand_counters
+
+val refresh_demand_telemetry : tiered -> unit
+(** Snapshot the live resolver's counters into [td_telemetry]; no-op
+    without one.  Call before serializing telemetry — the resolver
+    accumulates work as queries arrive. *)
+
+val provider_of_tiered : tiered -> Query.provider
+(** The unified query surface for whatever tier the run achieved:
+    node-keyed views for [ci]/[cs]/[demand], line-keyed closures for
+    every tier (the baselines answer from their own representations). *)
 
 (** {2 Queries at degraded tiers}
 

@@ -34,6 +34,20 @@ type checker_stat = {
   ck_diagnostics : int;
 }
 
+(* Counters of the demand-driven tier: how much of the program a query
+   workload actually touched.  The slice/total ratio is the tier's whole
+   value proposition, so it travels with every metrics payload. *)
+type demand_counters = {
+  dc_queries : int;
+  dc_cache_hits : int;        (* queries answered without new activation *)
+  dc_nodes_activated : int;   (* union of all demanded slices *)
+  dc_nodes_total : int;       (* VDG size, the exhaustive denominator *)
+  dc_flow_in : int;
+  dc_flow_out : int;
+  dc_worklist_pushes : int;
+  dc_worklist_pops : int;
+}
+
 (* One step down the precision ladder: which tier was abandoned, which
    tier answered instead, and which budget axis tripped. *)
 type degradation_event = {
@@ -52,6 +66,7 @@ type t = {
   mutable t_alias_outputs : int;
   mutable t_ci : solver_counters option;
   mutable t_cs : solver_counters option;
+  mutable t_demand : demand_counters option;
   mutable t_checkers : checker_stat list;    (* in execution order *)
   mutable t_tier : string option;            (* ladder tier actually achieved *)
   mutable t_degradations : degradation_event list;  (* in occurrence order *)
@@ -59,8 +74,10 @@ type t = {
 }
 
 (* Phases recorded by Engine.run, in pipeline order.  "cs" only appears
-   once the lazily-forced context-sensitive solve has actually run. *)
-let phase_names = [ "load"; "frontend"; "vdg"; "ci"; "cs" ]
+   once the lazily-forced context-sensitive solve has actually run;
+   "demand" replaces "ci"/"cs" on the demand-driven tier, where solving
+   is folded into the queries themselves. *)
+let phase_names = [ "load"; "frontend"; "vdg"; "demand"; "ci"; "cs" ]
 
 let create ~file ~source_bytes =
   {
@@ -73,6 +90,7 @@ let create ~file ~source_bytes =
     t_alias_outputs = 0;
     t_ci = None;
     t_cs = None;
+    t_demand = None;
     t_checkers = [];
     t_tier = None;
     t_degradations = [];
@@ -170,6 +188,7 @@ let copy t =
     t_alias_outputs = t.t_alias_outputs;
     t_ci = t.t_ci;
     t_cs = t.t_cs;
+    t_demand = t.t_demand;
     t_checkers = t.t_checkers;
     t_tier = t.t_tier;
     t_degradations = t.t_degradations;
@@ -192,6 +211,18 @@ let counters_json prefix (c : solver_counters) =
     (prefix ^ "_peak_table_bytes", Ejson.Int c.sc_peak_table_bytes);
   ]
 
+let demand_json (d : demand_counters) =
+  [
+    ("demand_queries", Ejson.Int d.dc_queries);
+    ("demand_cache_hits", Ejson.Int d.dc_cache_hits);
+    ("demand_nodes_activated", Ejson.Int d.dc_nodes_activated);
+    ("demand_nodes_total", Ejson.Int d.dc_nodes_total);
+    ("demand_flow_in", Ejson.Int d.dc_flow_in);
+    ("demand_flow_out", Ejson.Int d.dc_flow_out);
+    ("demand_worklist_pushes", Ejson.Int d.dc_worklist_pushes);
+    ("demand_worklist_pops", Ejson.Int d.dc_worklist_pops);
+  ]
+
 let to_json t =
   let phases =
     Ejson.Assoc (List.map (fun (name, s) -> (name, Ejson.Float s)) t.t_phases)
@@ -204,6 +235,7 @@ let to_json t =
     ]
     @ (match t.t_ci with Some c -> counters_json "ci" c | None -> [])
     @ (match t.t_cs with Some c -> counters_json "cs" c | None -> [])
+    @ (match t.t_demand with Some d -> demand_json d | None -> [])
   in
   let checkers =
     match t.t_checkers with

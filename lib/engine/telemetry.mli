@@ -34,6 +34,21 @@ type checker_stat = {
   ck_diagnostics : int;
 }
 
+(** Counters of the demand-driven tier: how much of the program a query
+    workload actually touched.  The activated/total node ratio is the
+    tier's whole value proposition, so it travels with every metrics
+    payload. *)
+type demand_counters = {
+  dc_queries : int;
+  dc_cache_hits : int;  (** queries answered without new activation *)
+  dc_nodes_activated : int;  (** union of all demanded slices *)
+  dc_nodes_total : int;  (** VDG size, the exhaustive denominator *)
+  dc_flow_in : int;
+  dc_flow_out : int;
+  dc_worklist_pushes : int;
+  dc_worklist_pops : int;
+}
+
 (** One step down the precision ladder: which tier was abandoned, which
     tier answered instead, and which budget axis tripped (a
     {!Budget.reason} rendered as a string). *)
@@ -53,6 +68,8 @@ type t = {
   mutable t_alias_outputs : int;
   mutable t_ci : solver_counters option;
   mutable t_cs : solver_counters option;
+  mutable t_demand : demand_counters option;
+      (** refreshed from the live resolver as queries accumulate *)
   mutable t_checkers : checker_stat list;  (** in execution order *)
   mutable t_tier : string option;  (** ladder tier actually achieved *)
   mutable t_degradations : degradation_event list;  (** in occurrence order *)
@@ -110,6 +127,10 @@ val summarize : float list -> latency
 val latency_json : latency -> (string * Ejson.t) list
 
 (** {2 JSON} *)
+
+val demand_json : demand_counters -> (string * Ejson.t) list
+(** The ["demand_*"] counter fields, as embedded in {!to_json} and the
+    server's [stats] reply. *)
 
 val to_json : t -> Ejson.t
 

@@ -449,8 +449,8 @@ let ladder_table results =
       ~headers:
         [
           ("name", Table.Left); ("node pairs", Table.Right); ("cs", Table.Right);
-          ("ci", Table.Right); ("andersen", Table.Right);
-          ("steensgaard", Table.Right);
+          ("ci", Table.Right); ("demand", Table.Right);
+          ("andersen", Table.Right); ("steensgaard", Table.Right);
         ]
   in
   let rate hits pairs = float_of_int hits /. float_of_int (max 1 pairs) in
@@ -466,7 +466,7 @@ let ladder_table results =
     done;
     (!count, !hits)
   in
-  let totals = Array.make 4 0 and universes = Array.make 2 0 in
+  let totals = Array.make 5 0 and universes = Array.make 2 0 in
   List.iter
     (fun r ->
       let ops = Vdg.indirect_memops r.graph in
@@ -484,16 +484,20 @@ let ladder_table results =
       let steens = Steensgaard.analyze r.prog in
       (* resolve each op/line to its target set once; pairwise checks
          then stay cheap even on the quadratically many pairs *)
-      let cs_locs =
-        List.map (fun n -> Query.locations_denoted_cs r.ci r.cs n) nodes
-      in
-      let ci_locs = List.map (Query.locations_denoted r.ci) nodes in
+      let cs_locs = List.map (Query.locations (Query.cs_view r.ci r.cs)) nodes in
+      let ci_locs = List.map (Query.locations (Query.ci_view r.ci)) nodes in
+      (* a fresh demand resolver per benchmark: its lazily resolved
+         answers over the same node universe must reproduce the ci
+         column exactly *)
+      let demand = Demand_solver.create r.graph in
+      let dem_locs = List.map (Query.locations (Query.demand_view demand)) nodes in
       let path_verdict a b = a <> [] && b <> [] && Query.paths_may_overlap a b in
       let overlap xs ys =
         List.exists (fun x -> List.exists (Absloc.equal x) ys) xs
       in
       let node_pairs, cs_hits = pairs_over cs_locs path_verdict in
       let _, ci_hits = pairs_over ci_locs path_verdict in
+      let _, dem_hits = pairs_over dem_locs path_verdict in
       let line_pairs, and_hits =
         pairs_over (List.map (Andersen.memops_on_line anders) lines) overlap
       in
@@ -502,7 +506,7 @@ let ladder_table results =
       in
       List.iteri
         (fun i h -> totals.(i) <- totals.(i) + h)
-        [ cs_hits; ci_hits; and_hits; st_hits ];
+        [ cs_hits; ci_hits; dem_hits; and_hits; st_hits ];
       universes.(0) <- universes.(0) + node_pairs;
       universes.(1) <- universes.(1) + line_pairs;
       Table.add_row t
@@ -510,6 +514,7 @@ let ladder_table results =
           name_of r; Table.cell_int node_pairs;
           Table.cell_pct (rate cs_hits node_pairs);
           Table.cell_pct (rate ci_hits node_pairs);
+          Table.cell_pct (rate dem_hits node_pairs);
           Table.cell_pct (rate and_hits line_pairs);
           Table.cell_pct (rate st_hits line_pairs);
         ])
@@ -520,8 +525,9 @@ let ladder_table results =
       "TOTAL"; Table.cell_int universes.(0);
       Table.cell_pct (rate totals.(0) universes.(0));
       Table.cell_pct (rate totals.(1) universes.(0));
-      Table.cell_pct (rate totals.(2) universes.(1));
+      Table.cell_pct (rate totals.(2) universes.(0));
       Table.cell_pct (rate totals.(3) universes.(1));
+      Table.cell_pct (rate totals.(4) universes.(1));
     ];
   t
 

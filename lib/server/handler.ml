@@ -35,6 +35,8 @@ type t = {
   h_started : float;
   h_lock : Mutex.t;
   h_methods : (string, method_stat) Hashtbl.t;
+  h_tier_answers : (string, int) Hashtbl.t;
+      (* answers per tier label, across may_alias/points_to (v3 stats) *)
   mutable h_requests : int;
   mutable h_errors : int;
   mutable h_degraded : int;  (* responses that answered below the asked tier *)
@@ -51,6 +53,7 @@ let create sessions =
     h_started = Unix.gettimeofday ();
     h_lock = Mutex.create ();
     h_methods = Hashtbl.create 16;
+    h_tier_answers = Hashtbl.create 8;
     h_requests = 0;
     h_errors = 0;
     h_degraded = 0;
@@ -64,6 +67,12 @@ let note_degraded t n =
     t.h_degraded <- t.h_degraded + n;
     Mutex.unlock t.h_lock
   end
+
+let note_tier_answer t tier =
+  Mutex.lock t.h_lock;
+  Hashtbl.replace t.h_tier_answers tier
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.h_tier_answers tier));
+  Mutex.unlock t.h_lock
 
 (* ---- governed parameters -------------------------------------------------------- *)
 
@@ -82,7 +91,8 @@ let min_tier_of_params params =
     | Some tier -> Some tier
     | None ->
       Protocol.bad_params
-        "parameter \"min_tier\" must be one of steensgaard, andersen, ci, cs")
+        "parameter \"min_tier\" must be one of steensgaard, andersen, \
+         demand, ci, cs")
 
 let budget_of_params params =
   match deadline_of_params params with
@@ -163,11 +173,24 @@ let do_ping _t _params =
           (List.map (fun c -> Ejson.String c) Protocol.capabilities) );
     ]
 
+(* v3: demand-first opens.  Absent means exhaustive — the v2 wire
+   behavior — so older clients are unaffected; v3 clients opening cold
+   sessions for pointwise queries send "demand". *)
+let mode_of_params params =
+  match Protocol.opt_string_param params "mode" with
+  | None -> None
+  | Some "demand" -> Some `Demand
+  | Some "exhaustive" -> Some `Exhaustive
+  | Some s ->
+    Protocol.bad_params
+      "parameter \"mode\" must be \"demand\" or \"exhaustive\" (got %S)" s
+
 let do_open t conn params =
   let path = Protocol.string_param params "file" in
   let deadline_s = deadline_of_params params in
   let min_tier = min_tier_of_params params in
-  let r = Session.open_path ?deadline_s ?min_tier t.h_sessions path in
+  let mode = mode_of_params params in
+  let r = Session.open_path ?deadline_s ?min_tier ?mode t.h_sessions path in
   let e = r.Session.or_entry in
   conn.cn_session <- Some e.Session.ses_id;
   let td = e.Session.ses_tiered in
@@ -211,11 +234,22 @@ let do_close t conn params =
     Ejson.Assoc
       [ ("session", Ejson.String id); ("closed", Ejson.Bool closed) ]
 
+(* The node-tier view a session answers from without forcing anything:
+   the exhaustive CI solution when present, else the lazy resolver.
+   Baseline tiers have neither; callers route them to line_for first. *)
+let session_view (e : Session.entry) =
+  let td = e.Session.ses_tiered in
+  match (td.Engine.td_analysis, td.Engine.td_demand) with
+  | Some a, _ -> Some (Query.ci_view a.Engine.ci)
+  | None, Some d -> Some (Query.demand_view d)
+  | None, None -> None
+
 (* The two sides of a may_alias question: either VDG node ids ("a"/"b",
    discoverable via the modref method) or source lines ("a_line"/
-   "b_line": every indirect operation on that line). *)
-let nodes_for (e : Session.entry) params side =
-  let graph = (Session.require_analysis e).Engine.graph in
+   "b_line": every indirect operation on that line).  Line resolution
+   reads only the graph — on a demand session it must not force the
+   mod/ref sets, which would drain the whole resolver. *)
+let nodes_for (graph : Vdg.t) params side =
   match Protocol.opt_int_param params side with
   | Some n ->
     if n < 0 || n >= Vdg.n_nodes graph then
@@ -225,14 +259,13 @@ let nodes_for (e : Session.entry) params side =
     let line_key = side ^ "_line" in
     match Protocol.opt_int_param params line_key with
     | Some line -> (
-      let ops = Modref.ops (Session.require_modref e) in
       match
         List.filter_map
-          (fun (o : Modref.op) ->
-            match o.Modref.op_loc with
-            | Some l when l.Srcloc.line = line -> Some o.Modref.op_node
+          (fun ((n : Vdg.node), _rw) ->
+            match Vdg.loc_of graph n.Vdg.nid with
+            | Some l when l.Srcloc.line = line -> Some n.Vdg.nid
             | _ -> None)
-          ops
+          (Vdg.indirect_memops graph)
       with
       | [] ->
         Protocol.bad_params "%S: no indirect memory operation on line %d"
@@ -260,10 +293,17 @@ let line_for (e : Session.entry) params side =
   | None -> Protocol.bad_params "missing parameter %S" line_key
 
 let do_may_alias t (e : Session.entry) params =
-  let td = e.Session.ses_tiered in
-  match Session.analysis e with
+  let tier_param =
+    match Protocol.opt_string_param params "tier" with
+    | (None | Some ("ci" | "cs" | "demand")) as p -> p
+    | Some s ->
+      Protocol.bad_params
+        "parameter \"tier\" must be \"ci\", \"cs\" or \"demand\" (got %S)" s
+  in
+  match session_view e with
   | None ->
     (* degraded session: answer at its baseline tier, by source line *)
+    let td = e.Session.ses_tiered in
     let la = line_for e params "a" and lb = line_for e params "b" in
     let check side line =
       match Engine.line_locations td line with
@@ -275,54 +315,51 @@ let do_may_alias t (e : Session.entry) params =
     check "a" la;
     check "b" lb;
     let verdict = Option.value ~default:false (Engine.line_may_alias td la lb) in
+    let tier = Engine.string_of_tier td.Engine.td_tier in
+    note_tier_answer t tier;
     Ejson.Assoc
       [
         ("may_alias", Ejson.Bool verdict);
         ("a_line", Ejson.Int la);
         ("b_line", Ejson.Int lb);
-        ("tier", Ejson.String (Engine.string_of_tier td.Engine.td_tier));
+        ("tier", Ejson.String tier);
       ]
-  | Some a ->
-    let a_nodes = nodes_for e params "a" in
-    let b_nodes = nodes_for e params "b" in
-    let want_cs =
-      match Protocol.opt_string_param params "tier" with
-      | None | Some "ci" -> false
-      | Some "cs" -> true
-      | Some s -> Protocol.bad_params "parameter \"tier\" must be \"ci\" or \"cs\" (got %S)" s
-    in
-    let ci = a.Engine.ci in
-    let answer_ci () =
-      ( (fun x y -> Query.may_alias ci x y),
-        Engine.string_of_tier Engine.Ci,
-        [] )
-    in
-    let oracle, tier, degradations =
-      if not want_cs then answer_ci ()
-      else
+  | Some natural ->
+    let a_nodes = nodes_for natural.Query.nv_graph params "a" in
+    let b_nodes = nodes_for natural.Query.nv_graph params "b" in
+    let view, degradations =
+      match tier_param with
+      | None | Some "demand" ->
+        (* the session's natural node tier; an exhaustive session also
+           answers "demand" requests (identical verdicts, finer tier) *)
+        (natural, [])
+      | Some "ci" ->
+        (* an explicit exhaustive request promotes a demand session *)
+        let a = Session.require_analysis t.h_sessions e in
+        (Query.ci_view a.Engine.ci, [])
+      | Some "cs" -> (
+        let a = Session.require_analysis t.h_sessions e in
         match Engine.cs_tiered ?budget:(budget_of_params params) a with
-        | Ok { Engine.co_cs = Some cs; _ } ->
-          ( (fun x y -> Query.may_alias_cs ci cs x y),
-            Engine.string_of_tier Engine.Cs,
-            [] )
+        | Ok { Engine.co_cs = Some cs; _ } -> (Query.cs_view a.Engine.ci cs, [])
         | Ok { Engine.co_degradation = d; _ } ->
           (* the budget ran out mid-CS: the complete CI solution answers *)
-          let oracle, tier, _ = answer_ci () in
-          (oracle, tier, Option.to_list d)
-        | Error err -> raise (Session.Engine_error err)
+          (Query.ci_view a.Engine.ci, Option.to_list d)
+        | Error err -> raise (Session.Engine_error err))
+      | Some _ -> assert false (* validated above *)
     in
     note_degraded t (List.length degradations);
     let verdict =
       List.exists
-        (fun x -> List.exists (fun y -> oracle x y) b_nodes)
+        (fun x -> List.exists (fun y -> Query.alias view x y) b_nodes)
         a_nodes
     in
+    note_tier_answer t view.Query.nv_tier;
     Ejson.Assoc
       ([
          ("may_alias", Ejson.Bool verdict);
          ("a_nodes", Ejson.List (List.map (fun n -> Ejson.Int n) a_nodes));
          ("b_nodes", Ejson.List (List.map (fun n -> Ejson.Int n) b_nodes));
-         ("tier", Ejson.String tier);
+         ("tier", Ejson.String view.Query.nv_tier);
        ]
       @
       match degradations with
@@ -330,23 +367,32 @@ let do_may_alias t (e : Session.entry) params =
       | ds ->
         [ ("degraded", Ejson.Bool true); ("degradations", degradations_json ds) ])
 
-let do_points_to (e : Session.entry) params =
+let do_points_to t (e : Session.entry) params =
   let node = Protocol.int_param params "node" in
-  let a = Session.require_analysis e in
-  if node < 0 || node >= Vdg.n_nodes a.Engine.graph then
+  let view =
+    match session_view e with
+    | Some v -> v
+    | None ->
+      (* raises Tier_unavailable with the standard wording *)
+      ignore (Session.require_analysis t.h_sessions e : Engine.analysis);
+      assert false
+  in
+  if node < 0 || node >= Vdg.n_nodes view.Query.nv_graph then
     Protocol.bad_params "\"node\": no VDG node %d" node;
-  let pairs = Ptpair.Set.elements (Ci_solver.pairs a.Engine.ci node) in
+  let pairs = view.Query.nv_pairs node in
+  note_tier_answer t view.Query.nv_tier;
   Ejson.Assoc
     [
       ("node", Ejson.Int node);
-      ("locations", paths_json (Query.locations_denoted a.Engine.ci node));
+      ("tier", Ejson.String view.Query.nv_tier);
+      ("locations", paths_json (Query.locations view node));
       ( "pairs",
         Ejson.List
           (List.map (fun p -> Ejson.String (Ptpair.to_string p)) pairs) );
     ]
 
-let do_modref (e : Session.entry) params =
-  let modref = Session.require_modref e in
+let do_modref t (e : Session.entry) params =
+  let modref = Session.require_modref t.h_sessions e in
   let fn = check_function e params in
   let ops =
     List.filter
@@ -365,8 +411,8 @@ let do_modref (e : Session.entry) params =
        ])
     @ [ ("ops", Ejson.List (List.map op_json ops)) ])
 
-let do_purity (e : Session.entry) _params =
-  let a = Session.require_analysis e in
+let do_purity t (e : Session.entry) _params =
+  let a = Session.require_analysis t.h_sessions e in
   Ejson.Assoc
     [
       ( "functions",
@@ -405,8 +451,8 @@ let conflict_json (c : Query.conflict) =
       ("common", paths_json c.Query.cf_common);
     ]
 
-let do_conflicts (e : Session.entry) params =
-  let modref = Session.require_modref e in
+let do_conflicts t (e : Session.entry) params =
+  let modref = Session.require_modref t.h_sessions e in
   let fns =
     match check_function e params with
     | Some f -> [ f ]
@@ -442,13 +488,14 @@ let do_lint t (e : Session.entry) params =
   let compare_cs = Protocol.bool_param ~default:false params "cs" in
   let budget = budget_of_params params in
   let report =
-    Lint.run ~checkers ~compare_cs ?budget (Session.require_analysis e)
+    Lint.run ~checkers ~compare_cs ?budget
+      (Session.require_analysis t.h_sessions e)
   in
   note_degraded t (List.length report.Lint.rp_degradations);
   Lint.to_json report
 
 let do_stats t _params =
-  let methods, degraded =
+  let methods, degraded, tier_answers =
     Mutex.lock t.h_lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.h_lock)
@@ -456,10 +503,16 @@ let do_stats t _params =
         ( Hashtbl.fold
             (fun name ms acc -> (name, ms.ms_errors, ms.ms_samples) :: acc)
             t.h_methods [],
-          t.h_degraded ))
+          t.h_degraded,
+          Hashtbl.fold
+            (fun tier n acc -> (tier, Ejson.Int n) :: acc)
+            t.h_tier_answers [] ))
   in
   let methods =
     List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) methods
+  in
+  let tier_answers =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) tier_answers
   in
   Ejson.Assoc
     ([
@@ -468,6 +521,8 @@ let do_stats t _params =
        ("requests", Ejson.Int t.h_requests);
        ("errors", Ejson.Int t.h_errors);
        ("degradations", Ejson.Int degraded);
+       ("answers_by_tier", Ejson.Assoc tier_answers);
+       ("demand", Ejson.Assoc (Session.demand_stats_json t.h_sessions));
        ("sessions", Ejson.Assoc (Session.stats_json t.h_sessions));
        (* hash-consed points-to set universe of the serving domain:
           interning footprint plus meet-memo effectiveness *)
@@ -519,10 +574,12 @@ let dispatch t conn meth params =
   | "close" -> do_close t conn params
   | "may_alias" ->
     with_session t conn params (fun e -> do_may_alias t e params)
-  | "points_to" -> with_session t conn params (fun e -> do_points_to e params)
-  | "modref" -> with_session t conn params (fun e -> do_modref e params)
-  | "purity" -> with_session t conn params (fun e -> do_purity e params)
-  | "conflicts" -> with_session t conn params (fun e -> do_conflicts e params)
+  | "points_to" ->
+    with_session t conn params (fun e -> do_points_to t e params)
+  | "modref" -> with_session t conn params (fun e -> do_modref t e params)
+  | "purity" -> with_session t conn params (fun e -> do_purity t e params)
+  | "conflicts" ->
+    with_session t conn params (fun e -> do_conflicts t e params)
   | "lint" -> with_session t conn params (fun e -> do_lint t e params)
   | "stats" -> do_stats t params
   | "shutdown" ->

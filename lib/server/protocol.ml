@@ -11,14 +11,16 @@
 (* The protocol version this server speaks.  Version 1 is the original
    surface (no budgets); version 2 adds deadline_ms/min_tier/tier
    parameters, tier-tagged responses, and the resource-governance error
-   codes.  Requests may carry a "protocol" param: absent, 1 and 2 are
-   accepted (v1 clients never send governed parameters, so v2 behavior
-   is a strict superset); anything else is rejected with
-   [Unsupported_version]. *)
-let protocol_version = 2
+   codes; version 3 adds the demand tier: mode=demand|exhaustive on
+   "open", tier=demand on "may_alias", and per-tier answer counts in
+   "stats".  Requests may carry a "protocol" param: absent and 1..3 are
+   accepted (older clients never send the newer parameters, so each
+   version's behavior is a strict superset); anything else is rejected
+   with [Unsupported_version]. *)
+let protocol_version = 3
 
 let capabilities =
-  [ "budgets"; "deadlines"; "tiers"; "cancellation"; "backpressure" ]
+  [ "budgets"; "deadlines"; "tiers"; "cancellation"; "backpressure"; "demand" ]
 
 (* JSON-RPC reserves -32768..-32000; the server-defined codes sit just
    above the reserved block. *)

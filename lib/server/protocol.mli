@@ -7,15 +7,16 @@
     contains a newline, so framing is just [input_line]. *)
 
 val protocol_version : int
-(** The version this implementation speaks (2).  Requests may carry a
-    ["protocol"] parameter: absent and every version up to
-    [protocol_version] are accepted — governed parameters are a strict
-    superset of the v1 surface — anything newer is rejected with
-    {!Unsupported_version}. *)
+(** The version this implementation speaks (3: the demand tier —
+    [mode] on "open", [tier=demand] on "may_alias", per-tier answer
+    counts in "stats").  Requests may carry a ["protocol"] parameter:
+    absent and every version up to [protocol_version] are accepted —
+    each version's parameters are a strict superset of the previous
+    surface — anything newer is rejected with {!Unsupported_version}. *)
 
 val capabilities : string list
-(** Feature tags advertised by [ping]:
-    ["budgets"; "deadlines"; "tiers"; "cancellation"; "backpressure"]. *)
+(** Feature tags advertised by [ping]: ["budgets"; "deadlines"; "tiers";
+    "cancellation"; "backpressure"; "demand"]. *)
 
 type error_code =
   | Parse_error  (** -32700: the line is not JSON *)

@@ -22,9 +22,13 @@
 type entry = {
   ses_id : string;  (* the Engine.cache_key digest, exposed to clients *)
   ses_path : string;
-  ses_tiered : Engine.tiered;  (* the solution, at whatever tier survived *)
-  ses_modref : Modref.t Lazy.t option;
-      (* CI mod/ref sets, built on first query; None below the Ci tier *)
+  mutable ses_tiered : Engine.tiered;
+      (* the solution, at whatever tier survived; a demand-tier entry is
+         promoted in place (under ses_lock) when a query needs the
+         exhaustive solution *)
+  mutable ses_modref : Modref.t Lazy.t option;
+      (* CI mod/ref sets, built on first query; None below the Ci tier,
+         filled in by promotion *)
   ses_bytes : int;  (* approximate retained size *)
   ses_lock : Mutex.t;  (* serializes queries on this session *)
   mutable ses_stamp : int;  (* LRU clock value of the last touch *)
@@ -38,22 +42,7 @@ let tier e = e.ses_tiered.Engine.td_tier
 
 let analysis e = e.ses_tiered.Engine.td_analysis
 
-let require_analysis e =
-  match analysis e with
-  | Some a -> a
-  | None ->
-    raise
-      (Tier_unavailable
-         (Printf.sprintf
-            "session %s holds a %s-tier solution; this query needs at least \
-             the ci tier (re-open with a larger deadline or min_tier)"
-            e.ses_id
-            (Engine.string_of_tier (tier e))))
-
-let require_modref e =
-  match e.ses_modref with
-  | Some m -> Lazy.force m
-  | None -> ignore (require_analysis e : Engine.analysis); assert false
+let demand e = e.ses_tiered.Engine.td_demand
 
 type stats = {
   mutable st_solved : int;  (* opens that went through the engine *)
@@ -113,6 +102,50 @@ let create ?(max_entries = 16) ?(max_bytes = 1 lsl 30) ?config ?cache
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Ensure the entry holds a full >= Ci solution.  A demand-tier entry is
+   promoted in place — the VDG is reused, only the CI fixpoint runs —
+   under the session lock the caller already holds (queries on one
+   session serialize), so racing queries see either tier, never a torn
+   record.  Baseline tiers have nothing to promote from and raise. *)
+let require_analysis t e =
+  match analysis e with
+  | Some a -> a
+  | None -> (
+    match demand e with
+    | Some _ -> (
+      match Engine.promote e.ses_tiered with
+      | Ok td ->
+        e.ses_tiered <- td;
+        e.ses_modref <-
+          Option.map
+            (fun (a : Engine.analysis) -> lazy (Modref.of_ci a.Engine.ci))
+            td.Engine.td_analysis;
+        locked t (fun () -> t.st.st_upgraded <- t.st.st_upgraded + 1);
+        (match td.Engine.td_analysis with
+        | Some a -> a
+        | None -> assert false (* promote on a demand entry yields Ci *))
+      | Error err -> raise (Engine_error err))
+    | None ->
+      raise
+        (Tier_unavailable
+           (Printf.sprintf
+              "session %s holds a %s-tier solution; this query needs at \
+               least the ci tier (re-open with a larger deadline or \
+               min_tier)"
+              e.ses_id
+              (Engine.string_of_tier (tier e)))))
+
+let require_modref t e =
+  match e.ses_modref with
+  | Some m -> Lazy.force m
+  | None -> (
+    let a = require_analysis t e in
+    (* promotion installs the lazy cell; the fallback covers a future
+       tier that has an analysis but no prefilled cell *)
+    match e.ses_modref with
+    | Some m -> Lazy.force m
+    | None -> Modref.of_ci a.Engine.ci)
 
 (* Callers hold t.lock. *)
 let touch t e =
@@ -201,19 +234,25 @@ type open_status = [ `Session_hit | `Solved of Telemetry.cache_status ]
 
 type open_result = { or_entry : entry; or_status : open_status }
 
-let open_path ?deadline_s ?min_tier t path =
+let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) t path =
   let input = Engine.load_file path in
   let key = Engine.cache_key t.config input in
   let deadline_s =
     match deadline_s with Some _ as d -> d | None -> t.default_deadline_s
   in
   (* Without a deadline nothing can degrade, so an undeadlined open
-     demands (and a hit must already have) the full Ci tier — which is
-     also the upgrade path for a previously degraded session. *)
+     demands (and a hit must already have) the tier the mode aims for —
+     the full Ci tier for exhaustive opens (also the upgrade path for a
+     previously degraded session), the demand tier for demand opens
+     (which any node tier satisfies). *)
   let floor =
     match min_tier with
     | Some m -> m
-    | None -> ( match deadline_s with Some _ -> Engine.Steensgaard | None -> Engine.Ci)
+    | None -> (
+      match (deadline_s, mode) with
+      | Some _, _ -> Engine.Steensgaard
+      | None, `Demand -> Engine.Demand
+      | None, `Exhaustive -> Engine.Ci)
   in
   let satisfies e = Engine.tier_rank (tier e) >= Engine.tier_rank floor in
   let live =
@@ -222,17 +261,32 @@ let open_path ?deadline_s ?min_tier t path =
         | Some e when satisfies e ->
           t.st.st_session_hits <- t.st.st_session_hits + 1;
           touch t e;
-          Some e
+          `Hit e
+        | Some e
+          when demand e <> None
+               && Engine.tier_rank floor <= Engine.tier_rank Engine.Ci ->
+          (* a live demand session asked for exhaustively: promote in
+             place (outside this lock) instead of re-solving from
+             scratch — the VDG is already built *)
+          t.st.st_session_hits <- t.st.st_session_hits + 1;
+          touch t e;
+          `Promote e
         | Some e ->
           (* live but too coarse: drop and re-solve at a higher tier *)
           drop t e;
           t.st.st_upgraded <- t.st.st_upgraded + 1;
-          None
-        | None -> None)
+          `Miss
+        | None -> `Miss)
   in
   match live with
-  | Some e -> { or_entry = e; or_status = `Session_hit }
-  | None ->
+  | `Hit e -> { or_entry = e; or_status = `Session_hit }
+  | `Promote e ->
+    Mutex.lock e.ses_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock e.ses_lock)
+      (fun () -> ignore (require_analysis t e : Engine.analysis));
+    { or_entry = e; or_status = `Session_hit }
+  | `Miss ->
     (* Solve outside the manager lock: other sessions stay responsive
        while this one compiles.  Two racing opens of the same new file
        may both solve; the second insert below defers to the first. *)
@@ -247,10 +301,14 @@ let open_path ?deadline_s ?min_tier t path =
       Fun.protect
         ~finally:(fun () -> unregister_inflight t budget)
         (fun () ->
+          let aim =
+            match mode with `Demand -> Engine.Demand | `Exhaustive -> Engine.Ci
+          in
           let want =
-            (* a floor above Ci (min_tier=cs) demands that tier outright *)
-            if Engine.tier_rank floor > Engine.tier_rank Engine.Ci then floor
-            else Engine.Ci
+            (* a floor above the mode's aim (e.g. min_tier=cs) demands
+               that tier outright *)
+            if Engine.tier_rank floor > Engine.tier_rank aim then floor
+            else aim
           in
           Engine.run_tiered ~config:t.config ?cache:t.cache ~budget ~want
             ~min_tier:floor input)
@@ -387,3 +445,38 @@ let stats_json t =
 
 let engine_cache_stats_json t =
   match t.cache with None -> None | Some c -> Some (Engine_cache.stats_json c)
+
+(* Aggregate demand-resolver counters across the live working set: how
+   many sessions hold a lazy resolver, how often queries hit already
+   resolved slices, and how much of the node universe was ever
+   activated.  Read without the per-session locks — the counters are
+   monotone ints and a stats reply tolerates a torn snapshot. *)
+let demand_stats_json t =
+  locked t (fun () ->
+      let sessions = ref 0
+      and queries = ref 0
+      and hits = ref 0
+      and activated = ref 0
+      and total = ref 0 in
+      Hashtbl.iter
+        (fun _ e ->
+          match e.ses_tiered.Engine.td_demand with
+          | Some d ->
+            incr sessions;
+            queries := !queries + Demand_solver.queries d;
+            hits := !hits + Demand_solver.cache_hits d;
+            activated := !activated + Demand_solver.nodes_activated d;
+            total := !total + Demand_solver.nodes_total d
+          | None -> ())
+        t.tbl;
+      [
+        ("sessions", Ejson.Int !sessions);
+        ("queries", Ejson.Int !queries);
+        ("cache_hits", Ejson.Int !hits);
+        ( "cache_hit_rate",
+          Ejson.Float
+            (if !queries = 0 then 0.
+             else float_of_int !hits /. float_of_int !queries) );
+        ("nodes_activated", Ejson.Int !activated);
+        ("nodes_total", Ejson.Int !total);
+      ])

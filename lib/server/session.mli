@@ -22,10 +22,13 @@
 type entry = {
   ses_id : string;  (** the {!Engine.cache_key} digest, exposed to clients *)
   ses_path : string;
-  ses_tiered : Engine.tiered;
-      (** the solution, at whatever tier survived the budget *)
-  ses_modref : Modref.t Lazy.t option;
-      (** CI mod/ref sets, built on first query; [None] below [Ci] *)
+  mutable ses_tiered : Engine.tiered;
+      (** the solution, at whatever tier survived the budget; a
+          demand-tier entry is promoted in place (under [ses_lock]) when
+          a query needs the exhaustive solution *)
+  mutable ses_modref : Modref.t Lazy.t option;
+      (** CI mod/ref sets, built on first query; [None] below [Ci],
+          filled in by promotion *)
   ses_bytes : int;  (** approximate retained size *)
   ses_lock : Mutex.t;  (** serializes queries on this session *)
   mutable ses_stamp : int;  (** LRU clock value of the last touch *)
@@ -45,13 +48,22 @@ val tier : entry -> Engine.tier
 val analysis : entry -> Engine.analysis option
 (** [Some] iff the entry holds a full [>= Ci] solution. *)
 
-val require_analysis : entry -> Engine.analysis
-(** @raise Tier_unavailable below the [Ci] tier. *)
-
-val require_modref : entry -> Modref.t
-(** @raise Tier_unavailable below the [Ci] tier. *)
+val demand : entry -> Demand_solver.t option
+(** The entry's lazy resolver, when the session was opened demand-first
+    (survives promotion, so its counters stay readable). *)
 
 type t
+
+val require_analysis : t -> entry -> Engine.analysis
+(** Ensure the entry holds a full [>= Ci] solution, promoting a
+    demand-tier entry in place (the VDG is reused, only the CI fixpoint
+    runs; counted under the [upgraded] stat).  Callers must hold the
+    entry's lock ({!with_entry}).
+    @raise Tier_unavailable at the baseline tiers.
+    @raise Engine_error when promotion itself fails. *)
+
+val require_modref : t -> entry -> Modref.t
+(** As {!require_analysis}, then the CI mod/ref sets. *)
 
 val create :
   ?max_entries:int ->
@@ -78,13 +90,26 @@ type open_status =
 type open_result = { or_entry : entry; or_status : open_status }
 
 val open_path :
-  ?deadline_s:float -> ?min_tier:Engine.tier -> t -> string -> open_result
+  ?deadline_s:float ->
+  ?min_tier:Engine.tier ->
+  ?mode:[ `Demand | `Exhaustive ] ->
+  t ->
+  string ->
+  open_result
 (** Load (re-stat and re-digest) the file and return its session.  With
     [deadline_s], the solve runs under a wall-clock budget and may land
     at a degraded tier no lower than [min_tier].  [min_tier] defaults to
     [Steensgaard] when a deadline (explicit or server default) is in
-    force, else [Ci] — so an undeadlined open never accepts, and will
-    upgrade, a degraded live session.
+    force, else the mode's aim — so an undeadlined open never accepts,
+    and will upgrade, a degraded live session.
+
+    [mode] (default [`Exhaustive], the v2 wire behavior) picks the
+    pipeline: [`Exhaustive] solves CI before returning; [`Demand]
+    returns after the VDG build with a lazy resolver, so a cold open is
+    cheap and each query pays only for its backward slice.  A demand
+    open is satisfied by any live node-tier session; an exhaustive open
+    landing on a live demand session promotes it in place (the VDG is
+    reused) and reports a session hit.
     @raise Sys_error on an unreadable path.
     @raise Engine_error when the solve returns [Error] (frontend error,
     floor violation, cancellation, strict-cache corruption). *)
@@ -121,3 +146,8 @@ val stats_json : t -> (string * Ejson.t) list
 
 val engine_cache_stats_json : t -> (string * Ejson.t) list option
 (** The engine cache's hit/miss/store counters, when a cache is wired. *)
+
+val demand_stats_json : t -> (string * Ejson.t) list
+(** Aggregate demand-resolver counters across the live working set:
+    resolver-holding session count, query and cache-hit totals (with the
+    hit rate), and activated vs total node counts. *)

@@ -1,0 +1,195 @@
+(* Demand solver tests: the lazy resolver must agree with the exhaustive
+   CI solution on every node it is asked about, under any query order and
+   any worklist schedule, while activating strictly less than the whole
+   graph for single queries. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let example_files () =
+  let dir = "../examples/c" in
+  let dir = if Sys.file_exists dir then dir else "examples/c" in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".c")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let build_graph ~file src = Vdg_build.build (Norm.compile ~file src)
+
+let pair_strings set =
+  List.sort compare (List.map Ptpair.to_string (Ptpair.Set.elements set))
+
+let loc_strings locs = List.sort compare (List.map Apath.to_string locs)
+
+(* ---- differential: every node, every example ------------------------------------- *)
+
+(* Resolve every node of every example program through a fresh resolver
+   and compare pair-for-pair with the exhaustive CI solution; same for
+   the referenced-locations surface at every memop.  This is the "zero
+   demand-vs-Ci answer mismatches" acceptance gate. *)
+let test_differential_examples () =
+  List.iter
+    (fun path ->
+      let g = build_graph ~file:path (read_file path) in
+      let ci = Ci_solver.solve g in
+      let d = Demand_solver.create g in
+      Vdg.iter_nodes g (fun (n : Vdg.node) ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s node %d pairs" path n.Vdg.nid)
+            (pair_strings (Ci_solver.pairs ci n.Vdg.nid))
+            (pair_strings (Demand_solver.resolve d n.Vdg.nid)));
+      List.iter
+        (fun ((n : Vdg.node), _) ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s memop %d locations" path n.Vdg.nid)
+            (loc_strings (Ci_solver.referenced_locations ci n.Vdg.nid))
+            (loc_strings (Demand_solver.referenced_locations d n.Vdg.nid)))
+        (Vdg.memops g))
+    (example_files ())
+
+(* the same equality must hold through the tier-agnostic Query views *)
+let test_views_agree () =
+  List.iter
+    (fun path ->
+      let g = build_graph ~file:path (read_file path) in
+      let ci = Ci_solver.solve g in
+      let d = Demand_solver.create g in
+      let civ = Query.ci_view ci and dv = Query.demand_view d in
+      let nodes =
+        List.map (fun ((n : Vdg.node), _) -> n.Vdg.nid) (Vdg.indirect_memops g)
+      in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s alias %d %d" path a b)
+                (Query.alias civ a b) (Query.alias dv a b))
+            nodes)
+        nodes)
+    (example_files ())
+
+(* ---- query-order invariance ------------------------------------------------------- *)
+
+(* A benchmark big enough to have interesting slices but cheap enough to
+   resolve from scratch a handful of times. *)
+let workload_graph name =
+  let entry = Option.get (Suite.find name) in
+  build_graph ~file:(name ^ ".c") (Suite.source entry)
+
+let shuffle st arr =
+  let arr = Array.copy arr in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  arr
+
+let test_query_order_invariance () =
+  let g = workload_graph "part" in
+  let ci = Ci_solver.solve g in
+  let memops =
+    Array.of_list
+      (List.map (fun ((n : Vdg.node), _) -> n.Vdg.nid) (Vdg.indirect_memops g))
+  in
+  let expected =
+    Array.map
+      (fun nid -> (nid, pair_strings (Ci_solver.pairs ci nid)))
+      memops
+  in
+  List.iter
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let order = shuffle st memops in
+      let d = Demand_solver.create g in
+      (* resolve in a random order, then check every answer (including
+         re-reads of slices resolved first, which later queries may have
+         grown) against the exhaustive solution *)
+      Array.iter (fun nid -> ignore (Demand_solver.resolve d nid)) order;
+      Array.iter
+        (fun (nid, want) ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "seed %d node %d" seed nid)
+            want
+            (pair_strings (Demand_solver.resolve d nid)))
+        expected)
+    [ 1; 7; 42; 1995 ]
+
+(* the answers must also be schedule-independent: FIFO, LIFO, and a
+   randomized work bag all reach the same fixpoint *)
+let test_schedule_invariance () =
+  let g = workload_graph "anagram" in
+  let ci = Ci_solver.solve g in
+  let memops =
+    List.map (fun ((n : Vdg.node), _) -> n.Vdg.nid) (Vdg.indirect_memops g)
+  in
+  List.iter
+    (fun schedule ->
+      let config = { Ci_solver.default_config with Ci_solver.schedule } in
+      let d = Demand_solver.create ~config g in
+      List.iter
+        (fun nid ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "node %d" nid)
+            (pair_strings (Ci_solver.pairs ci nid))
+            (pair_strings (Demand_solver.resolve d nid)))
+        memops)
+    [ Workbag.Fifo; Workbag.Lifo; Workbag.Random_order 3; Workbag.Random_order 99 ]
+
+(* ---- laziness: slices, caching, counters ------------------------------------------ *)
+
+let test_first_query_is_a_strict_slice () =
+  let g = workload_graph "part" in
+  let d = Demand_solver.create g in
+  Alcotest.(check int) "nothing active before a query" 0
+    (Demand_solver.nodes_activated d);
+  (match Vdg.indirect_memops g with
+  | ((n : Vdg.node), _) :: _ ->
+    ignore (Demand_solver.referenced_locations d n.Vdg.nid)
+  | [] -> Alcotest.fail "no indirect memops");
+  let activated = Demand_solver.nodes_activated d in
+  let total = Demand_solver.nodes_total d in
+  Alcotest.(check bool) "first query activates something" true (activated > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "first slice (%d) strictly under the program (%d)"
+       activated total)
+    true (activated < total)
+
+let test_repeat_query_is_a_cache_hit () =
+  let g = workload_graph "allroots" in
+  let d = Demand_solver.create g in
+  let nid =
+    match Vdg.indirect_memops g with
+    | ((n : Vdg.node), _) :: _ -> n.Vdg.nid
+    | [] -> Alcotest.fail "no indirect memops"
+  in
+  let first = pair_strings (Demand_solver.resolve d nid) in
+  let activated = Demand_solver.nodes_activated d in
+  let hits = Demand_solver.cache_hits d in
+  let second = pair_strings (Demand_solver.resolve d nid) in
+  Alcotest.(check (list string)) "same answer" first second;
+  Alcotest.(check int) "no new activation" activated
+    (Demand_solver.nodes_activated d);
+  Alcotest.(check int) "counted as a cache hit" (hits + 1)
+    (Demand_solver.cache_hits d)
+
+let tests =
+  [
+    Alcotest.test_case "differential vs CI on every example node" `Quick
+      test_differential_examples;
+    Alcotest.test_case "Query views agree (ci vs demand)" `Quick
+      test_views_agree;
+    Alcotest.test_case "query-order invariance (randomized)" `Quick
+      test_query_order_invariance;
+    Alcotest.test_case "schedule invariance (fifo/lifo/random)" `Quick
+      test_schedule_invariance;
+    Alcotest.test_case "first query activates a strict slice" `Quick
+      test_first_query_is_a_strict_slice;
+    Alcotest.test_case "repeated query is a cache hit" `Quick
+      test_repeat_query_is_a_cache_hit;
+  ]

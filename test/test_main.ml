@@ -25,4 +25,5 @@ let () =
       ("budget", Test_budget.tests);
       ("checkers", Test_checkers.tests);
       ("server", Test_server.tests);
+      ("demand", Test_demand.tests);
     ]

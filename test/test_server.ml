@@ -779,6 +779,147 @@ let test_close_cancels_inflight () =
   Alcotest.(check int) "nothing left in flight" 0
     (session_stat sessions "inflight")
 
+(* ---- (h) v3: demand-mode sessions ------------------------------------------------ *)
+
+let test_demand_mode_session () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "conflict.c" conflict_src in
+  let sessions = Session.create () in
+  let h = Handler.create sessions in
+  let conn = Handler.new_conn () in
+  (* v3 advertises the demand capability *)
+  let pong = expect_ok "ping" (rpc h conn "ping" Ejson.Null) in
+  (match member_exn "ping" "capabilities" pong with
+  | Ejson.List caps ->
+    Alcotest.(check bool)
+      "demand capability listed" true
+      (List.mem (Ejson.String "demand") caps)
+  | _ -> Alcotest.fail "capabilities must be a list");
+  (* a cold demand open builds the graph but skips the exhaustive solve *)
+  let opened =
+    expect_ok "demand open"
+      (rpc h conn "open"
+         (Ejson.Assoc
+            [ ("file", Ejson.String file); ("mode", Ejson.String "demand") ]))
+  in
+  Alcotest.(check string)
+    "cold open is a miss" "miss"
+    (string_field "open" "status" opened);
+  Alcotest.(check string)
+    "session sits at the demand tier" "demand"
+    (string_field "open" "tier" opened);
+  let id = string_field "open" "session" opened in
+  (* every demand verdict equals the exhaustive CI verdict *)
+  let a = Engine.run_exn (Engine.load_file file) in
+  let nodes =
+    List.map (fun ((n : Vdg.node), _) -> n.Vdg.nid)
+      (Vdg.indirect_memops a.Engine.graph)
+  in
+  Alcotest.(check bool) "the program has indirect ops" true (nodes <> []);
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          let reply =
+            expect_ok "demand may_alias"
+              (rpc h conn "may_alias"
+                 (Ejson.Assoc [ ("a", Ejson.Int x); ("b", Ejson.Int y) ]))
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "may_alias(%d,%d) matches exhaustive" x y)
+            (Query.may_alias a.Engine.ci x y)
+            (bool_field "may_alias" "may_alias" reply);
+          Alcotest.(check string)
+            "answered at the demand tier" "demand"
+            (string_field "may_alias" "tier" reply))
+        nodes)
+    nodes;
+  (* stats expose per-tier answer counts and the resolver's economics *)
+  let n_answers = List.length nodes * List.length nodes in
+  let stats = expect_ok "stats" (rpc h conn "stats" Ejson.Null) in
+  let by_tier = member_exn "stats" "answers_by_tier" stats in
+  Alcotest.(check int)
+    "demand answers counted" n_answers
+    (int_field "answers_by_tier" "demand" by_tier);
+  let d = member_exn "stats" "demand" stats in
+  Alcotest.(check int) "one live resolver" 1 (int_field "demand" "sessions" d);
+  Alcotest.(check bool)
+    "queries counted" true
+    (int_field "demand" "queries" d >= n_answers);
+  Alcotest.(check bool)
+    "repeat queries hit the cache" true
+    (int_field "demand" "cache_hits" d > 0);
+  let activated = int_field "demand" "nodes_activated" d in
+  let total = int_field "demand" "nodes_total" d in
+  Alcotest.(check bool)
+    (Printf.sprintf "activation bounded by the graph (%d/%d)" activated total)
+    true
+    (activated > 0 && activated <= total);
+  (* an explicit ci-tier query promotes the session in place *)
+  let x = List.hd nodes in
+  let promoted =
+    expect_ok "ci may_alias on a demand session"
+      (rpc h conn "may_alias"
+         (Ejson.Assoc
+            [ ("a", Ejson.Int x); ("b", Ejson.Int x); ("tier", Ejson.String "ci") ]))
+  in
+  Alcotest.(check string)
+    "promoted answer carries the ci tier" "ci"
+    (string_field "may_alias" "tier" promoted);
+  (* the promoted session satisfies an exhaustive re-open without re-solving *)
+  let reopened =
+    expect_ok "exhaustive re-open"
+      (rpc h conn "open" (Ejson.Assoc [ ("file", Ejson.String file) ]))
+  in
+  Alcotest.(check string)
+    "same session survives" id
+    (string_field "open" "session" reopened);
+  Alcotest.(check string)
+    "now at the ci tier" "ci"
+    (string_field "open" "tier" reopened);
+  Alcotest.(check string)
+    "promotion reused the session" "session-hit"
+    (string_field "open" "status" reopened)
+
+let test_demand_open_promotes_on_exhaustive_reopen () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "disjoint.c" disjoint_src in
+  let sessions = Session.create () in
+  let h = Handler.create sessions in
+  let conn = Handler.new_conn () in
+  let opened =
+    expect_ok "demand open"
+      (rpc h conn "open"
+         (Ejson.Assoc
+            [ ("file", Ejson.String file); ("mode", Ejson.String "demand") ]))
+  in
+  let id = string_field "open" "session" opened in
+  (* the exhaustive re-open itself forces the promotion: the VDG is
+     reused, only the fixpoint runs, and the session identity holds *)
+  let reopened =
+    expect_ok "exhaustive re-open"
+      (rpc h conn "open" (Ejson.Assoc [ ("file", Ejson.String file) ]))
+  in
+  Alcotest.(check string)
+    "same session" id
+    (string_field "open" "session" reopened);
+  Alcotest.(check string)
+    "promoted to ci" "ci"
+    (string_field "open" "tier" reopened);
+  Alcotest.(check string)
+    "no re-solve from scratch" "session-hit"
+    (string_field "open" "status" reopened);
+  (* a demand re-open of the now-exhaustive session is an ordinary hit *)
+  let third =
+    expect_ok "demand re-open"
+      (rpc h conn "open"
+         (Ejson.Assoc
+            [ ("file", Ejson.String file); ("mode", Ejson.String "demand") ]))
+  in
+  Alcotest.(check string)
+    "exhaustive session satisfies demand opens" "session-hit"
+    (string_field "open" "status" third)
+
 let test_client_timeout_on_dead_daemon () =
   let dir = fresh_dir () in
   (* a daemon that accepts and then hangs: reads must time out *)
@@ -855,4 +996,8 @@ let tests =
       test_close_cancels_inflight;
     Alcotest.test_case "governance: client timeouts on dead daemons" `Quick
       test_client_timeout_on_dead_daemon;
+    Alcotest.test_case "demand: mode=demand session answers lazily" `Quick
+      test_demand_mode_session;
+    Alcotest.test_case "demand: exhaustive re-open promotes in place" `Quick
+      test_demand_open_promotes_on_exhaustive_reopen;
   ]
