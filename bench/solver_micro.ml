@@ -2,8 +2,8 @@
 
      dune exec bench/solver_micro.exe                      # all benchmarks, JSON to stdout
      dune exec bench/solver_micro.exe -- allroots part     # a subset
-     dune exec bench/solver_micro.exe -- --out BENCH_6.json
-     dune exec bench/solver_micro.exe -- allroots part --check BENCH_6.json
+     dune exec bench/solver_micro.exe -- --out BENCH_7.json
+     dune exec bench/solver_micro.exe -- allroots part --check BENCH_7.json
 
    The "micro" section times set union and subset on sets shaped like the
    solver's (sizes drawn from the measured benchmark distribution, max
@@ -165,19 +165,46 @@ let benchmark_json name =
         ignore (Demand_solver.referenced_locations demand n.Vdg.nid))
       memops;
     let demand_full_visited = Demand_solver.nodes_activated demand in
+    (* the dyck tier's footprint, same shape: canonical first query,
+       then the full memop sweep — activation counts are deterministic
+       and join the drift gate *)
+    let dyck = Dyck_solver.create g in
+    (match memops with
+    | ((n : Vdg.node), _) :: _ ->
+      ignore (Dyck_solver.referenced_locations dyck n.Vdg.nid)
+    | [] -> ());
+    let dyck_first_visited = Dyck_solver.nodes_activated dyck in
+    List.iter
+      (fun ((n : Vdg.node), _) ->
+        ignore (Dyck_solver.referenced_locations dyck n.Vdg.nid))
+      memops;
+    let dyck_full_visited = Dyck_solver.nodes_activated dyck in
     (* first-query latency distribution: each sample is a fresh resolver
        (a cold session) answering the canonical first query *)
-    let first_samples =
+    let cold_samples create query =
       match memops with
       | [] -> [ 0. ]
       | ((n : Vdg.node), _) :: _ ->
         List.init 20 (fun _ ->
-            let d = Demand_solver.create g in
+            let d = create g in
             let t0 = Unix.gettimeofday () in
-            ignore (Demand_solver.referenced_locations d n.Vdg.nid);
+            ignore (query d n.Vdg.nid);
             Unix.gettimeofday () -. t0)
     in
-    let fl = Telemetry.summarize first_samples in
+    let fl =
+      Telemetry.summarize
+        (cold_samples
+           (fun g -> Demand_solver.create g)
+           Demand_solver.referenced_locations)
+    in
+    (* the server's tier="dyck" path: a cold per-session dyck resolver
+       answering one single-pair query *)
+    let dyfl =
+      Telemetry.summarize
+        (cold_samples
+           (fun g -> Dyck_solver.create g)
+           Dyck_solver.referenced_locations)
+    in
     let digest = Solution_digest.digest (Result.get_ok (Engine.run input)) in
     Ejson.Assoc
       [
@@ -187,6 +214,10 @@ let benchmark_json name =
         ("demand_full_visited", Ejson.Int demand_full_visited);
         ("demand_first_p50_seconds", Ejson.Float fl.Telemetry.l_p50);
         ("demand_first_p95_seconds", Ejson.Float fl.Telemetry.l_p95);
+        ("dyck_first_visited", Ejson.Int dyck_first_visited);
+        ("dyck_full_visited", Ejson.Int dyck_full_visited);
+        ("dyck_single_pair_p50_seconds", Ejson.Float dyfl.Telemetry.l_p50);
+        ("dyck_single_pair_p95_seconds", Ejson.Float dyfl.Telemetry.l_p95);
         ("ci_seconds", Ejson.Float (t1 -. t0));
         ("ci_meets", Ejson.Int (Ci_solver.flow_out_count ci));
         ("ci_dup_skips", Ejson.Int (Ci_solver.worklist_dup_skips ci));
@@ -207,8 +238,9 @@ let benchmark_json name =
    interning deltas) legitimately varies between hosts and run shapes *)
 let deterministic_fields =
   [
-    "nodes"; "demand_first_visited"; "demand_full_visited"; "ci_meets";
-    "cs_meets"; "cs_pairs"; "digest";
+    "nodes"; "demand_first_visited"; "demand_full_visited";
+    "dyck_first_visited"; "dyck_full_visited"; "ci_meets"; "cs_meets";
+    "cs_pairs"; "digest";
   ]
 
 let field_string name j =

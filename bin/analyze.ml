@@ -51,8 +51,8 @@ let tier_conv =
       Error
         (`Msg
           (Printf.sprintf
-             "unknown tier %S (expected steensgaard, andersen, demand, ci, \
-              or cs)" s))
+             "unknown tier %S (expected steensgaard, andersen, dyck, demand, \
+              ci, or cs)" s))
   in
   Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (Engine.string_of_tier t))
 
@@ -64,10 +64,10 @@ let deadline_arg =
         ~doc:
           "Wall-clock budget for the solve.  On exhaustion the analysis \
            degrades down the precision ladder (cs, ci, andersen, \
-           steensgaard) instead of failing; with $(b,--min-tier demand) an \
-           exhausted ci solve lands on the demand tier (VDG built, pairs \
-           resolved lazily) instead of a baseline.  The output reports the \
-           tier that answered.")
+           steensgaard) instead of failing; with $(b,--min-tier demand) or \
+           $(b,--min-tier dyck) an exhausted ci solve lands on that lazy \
+           tier (VDG built, pairs resolved per query) instead of a \
+           baseline.  The output reports the tier that answered.")
 
 let min_tier_arg =
   Arg.(
@@ -205,6 +205,46 @@ let report_demand (td : Engine.tiered) (d : Demand_solver.t) =
     c.Telemetry.dc_nodes_activated c.Telemetry.dc_nodes_total
     c.Telemetry.dc_queries
 
+(* The dyck tier reports through the same lazy-resolver shape; the
+   referenced-location sets may be wider than ci's (flow-insensitive,
+   no strong updates). *)
+let report_dyck (td : Engine.tiered) (d : Dyck_solver.t) =
+  let view = Query.dyck_view d in
+  let g = view.Query.nv_graph in
+  Printf.printf "functions: %d   VDG nodes: %d   alias-related outputs: %d\n"
+    (List.length td.Engine.td_prog.Sil.p_functions)
+    (Vdg.n_nodes g)
+    (Stats.alias_related_outputs g);
+  print_endline
+    "mode: dyck (flow-insensitive reachability; pairs materialized per query)";
+  let t =
+    Table.create
+      ~headers:
+        [
+          ("function", Table.Left); ("op", Table.Left); ("where", Table.Left);
+          ("may touch", Table.Left);
+        ]
+  in
+  List.iter
+    (fun ((n : Vdg.node), rw) ->
+      Table.add_row t
+        [
+          n.Vdg.nfun;
+          (match rw with `Read -> "read" | `Write -> "write");
+          (match Vdg.loc_of g n.Vdg.nid with
+          | Some l -> Srcloc.to_string l
+          | None -> "-");
+          String.concat ", "
+            (List.map Apath.to_string (view.Query.nv_referenced n.Vdg.nid));
+        ])
+    (Vdg.indirect_memops g);
+  print_endline "indirect memory operations:";
+  Table.print t;
+  let c = Engine.dyck_counters d in
+  Printf.printf "dyck: activated %d of %d nodes for %d quer(y/ies)\n"
+    c.Telemetry.dc_nodes_activated c.Telemetry.dc_nodes_total
+    c.Telemetry.dc_queries
+
 (* At a baseline tier there is no VDG: report by source line instead. *)
 let report_baseline (td : Engine.tiered) =
   Printf.printf "functions: %d\n"
@@ -232,11 +272,12 @@ let report_baseline (td : Engine.tiered) =
   print_endline "indirect memory operations:";
   Table.print t
 
-let run_analyze file dump_sil dump_dot context_sensitive demand show_pairs
+let run_analyze file dump_sil dump_dot context_sensitive demand dyck show_pairs
     deadline_ms min_tier metrics =
   with_frontend_errors @@ fun () ->
-  if context_sensitive && demand then begin
-    prerr_endline "alias-analyze: --demand and --context-sensitive conflict";
+  if (context_sensitive && (demand || dyck)) || (demand && dyck) then begin
+    prerr_endline
+      "alias-analyze: --demand, --dyck and --context-sensitive conflict";
     exit 2
   end;
   let input = Engine.load_file file in
@@ -244,23 +285,28 @@ let run_analyze file dump_sil dump_dot context_sensitive demand show_pairs
   let want =
     if context_sensitive then Engine.Cs
     else if demand then Engine.Demand
+    else if dyck then Engine.Dyck
     else Engine.Ci
   in
   let td = engine_errors (Engine.run_tiered ?budget ?min_tier ~want input) in
-  if deadline_ms <> None || demand || td.Engine.td_degradations <> [] then
-    Printf.printf "tier: %s\n" (Engine.string_of_tier td.Engine.td_tier);
+  if
+    deadline_ms <> None || demand || dyck
+    || td.Engine.td_degradations <> []
+  then Printf.printf "tier: %s\n" (Engine.string_of_tier td.Engine.td_tier);
   print_degradations td.Engine.td_degradations;
-  (match (td.Engine.td_analysis, td.Engine.td_demand) with
-  | Some a, _ ->
+  (match (td.Engine.td_analysis, td.Engine.td_demand, td.Engine.td_dyck) with
+  | Some a, _, _ ->
     let context_sensitive =
       context_sensitive && td.Engine.td_tier = Engine.Cs
     in
     report_analysis a ~context_sensitive ~dump_sil ~dump_dot ~show_pairs
-  | None, Some d -> report_demand td d
-  | None, None -> report_baseline td);
+  | None, Some d, _ -> report_demand td d
+  | None, None, Some d -> report_dyck td d
+  | None, None, None -> report_baseline td);
   Option.iter
     (fun path ->
       Engine.refresh_demand_telemetry td;
+      Engine.refresh_dyck_telemetry td;
       write_metrics path (Telemetry.to_json td.Engine.td_telemetry))
     metrics
 
@@ -282,6 +328,16 @@ let analyze_cmd =
              lazy demand resolver; the footer reports how many nodes the \
              queries activated.")
   in
+  let dyck =
+    Arg.(
+      value & flag
+      & info [ "dyck" ]
+          ~doc:
+            "Answer the report through the flow-insensitive Dyck-\
+             reachability tier: field-sensitive like ci but with one \
+             global store and no strong updates, resolved lazily per \
+             query.")
+  in
   let pairs =
     Arg.(value & flag & info [ "pairs" ] ~doc:"Dump all points-to pairs.")
   in
@@ -291,7 +347,7 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the points-to analysis on a C file")
     Term.(
-      const run_analyze $ file $ dump_sil $ dot $ cs $ demand $ pairs
+      const run_analyze $ file $ dump_sil $ dot $ cs $ demand $ dyck $ pairs
       $ deadline_arg $ min_tier_arg $ metrics_arg)
 
 (* ---- conflicts ----------------------------------------------------------------- *)
@@ -817,6 +873,82 @@ let interp_cmd =
     (Cmd.info "interp" ~doc:"Run a C file under the concrete interpreter")
     Term.(const run_interp $ file $ fuel $ trace)
 
+(* ---- fuzz ----------------------------------------------------------------------- *)
+
+(* Differential soundness fuzzing: a fixed-seed batch of generated
+   programs, each run under the interpreter and checked against every
+   analysis tier.  Exit status is the number of dirty programs (capped),
+   so CI can gate on it directly. *)
+let run_fuzz seed count fuel json verbose =
+  let dirty = ref 0 in
+  let observations = ref 0 in
+  let checked = ref 0 in
+  for i = 0 to count - 1 do
+    let r = Oracle.check_generated ~fuel ~seed i in
+    observations := !observations + r.Oracle.rp_observations;
+    checked := !checked + r.Oracle.rp_checked;
+    if not (Oracle.ok r) then begin
+      incr dirty;
+      if json then print_endline (Ejson.to_compact_string (Oracle.report_json r))
+      else begin
+        (match r.Oracle.rp_trap with
+        | Some m ->
+          Printf.printf "%s: interpreter trap: %s\n" r.Oracle.rp_program m
+        | None -> ());
+        List.iter
+          (fun v -> print_endline (Oracle.string_of_violation v))
+          r.Oracle.rp_violations
+      end
+    end
+    else if verbose then
+      Printf.printf "%s: ok (%d observation(s), %d checked)\n"
+        r.Oracle.rp_program r.Oracle.rp_observations r.Oracle.rp_checked
+  done;
+  if json then
+    print_endline
+      (Ejson.to_compact_string
+         (Ejson.Assoc
+            [
+              ("seed", Ejson.Int seed);
+              ("programs", Ejson.Int count);
+              ("tiers", Ejson.List (List.map (fun t -> Ejson.String t) Oracle.tier_names));
+              ("observations", Ejson.Int !observations);
+              ("checked", Ejson.Int !checked);
+              ("dirty", Ejson.Int !dirty);
+            ]))
+  else
+    Printf.printf
+      "fuzz: seed %d, %d program(s), %d tier(s), %d observation(s) (%d checked), %d dirty\n"
+      seed count
+      (List.length Oracle.tier_names)
+      !observations !checked !dirty;
+  exit (min !dirty 125)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 1995 & info [ "seed" ] ~doc:"Batch seed (deterministic).")
+  in
+  let count =
+    Arg.(value & opt int 500 & info [ "n"; "count" ] ~doc:"Number of generated programs.")
+  in
+  let fuel =
+    Arg.(value & opt int Oracle.default_fuel & info [ "fuel" ] ~doc:"Interpreter step budget per program.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit line-delimited JSON reports and a summary object.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Report clean programs too.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential soundness fuzzing: generate a fixed-seed program \
+          batch, run each under the interpreter, and check that no \
+          analysis tier refutes an observed access; exits nonzero on any \
+          violation or trap")
+    Term.(const run_fuzz $ seed $ count $ fuel $ json $ verbose)
+
 (* ---- bench-list ----------------------------------------------------------------- *)
 
 let run_bench_list () =
@@ -838,4 +970,5 @@ let () =
        (Cmd.group
           (Cmd.info "alias-analyze" ~doc)
           [ analyze_cmd; tables_cmd; gen_cmd; interp_cmd; bench_list_cmd;
-            conflicts_cmd; purity_cmd; lint_cmd; serve_cmd; query_cmd ]))
+            conflicts_cmd; purity_cmd; lint_cmd; serve_cmd; query_cmd;
+            fuzz_cmd ]))

@@ -1,0 +1,11 @@
+(** conflict checker: {!Query.conflicts_in} promoted to located
+    diagnostics — two indirect operations in the same function, at least
+    one a write, whose target sets may overlap, so the pair cannot be
+    reordered, vectorized, or parallelized.  The second operation and
+    the witness paths ride along as a related location and message
+    detail. *)
+
+val checker_name : string
+(** ["conflict"]. *)
+
+val checker : Checker.info

@@ -1,0 +1,11 @@
+(** dangling-pointer checker: the address of frame-local storage escaping
+    the frame that owns it, read straight off the points-to solution.
+    Two escape routes: a function's return-value merge node carrying a
+    referent rooted in its own frame ("return &local"), and an update
+    storing a value that may contain a local's address into storage that
+    outlives the frame (a global, the heap, another frame). *)
+
+val checker_name : string
+(** ["dangling-pointer"]. *)
+
+val checker : Checker.info

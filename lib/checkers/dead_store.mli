@@ -1,0 +1,10 @@
+(** dead-store checker: an update none of whose possible targets is ever
+    looked up anywhere in the program.  Flow order is deliberately
+    ignored — a whole-program may-read set keeps the checker sound
+    against loops and calls.  Externally-owned storage counts as
+    observed and the synthetic global-initializer function is skipped. *)
+
+val checker_name : string
+(** ["dead-store"]. *)
+
+val checker : Checker.info

@@ -55,7 +55,7 @@ let loc_json (l : Srcloc.t) =
       ("col", Ejson.Int l.Srcloc.col);
     ]
 
-let to_json ?verdict d =
+let to_json ?verdict ?tier d =
   Ejson.Assoc
     ([
        ("checker", Ejson.String d.d_checker);
@@ -70,6 +70,9 @@ let to_json ?verdict d =
               d.d_related) );
        ("fingerprint", Ejson.String d.d_fingerprint);
      ]
+    @ (match tier with
+      | Some t -> [ ("tier", Ejson.String t) ]
+      | None -> [])
     @ match verdict with
       | Some v -> [ ("verdict", Ejson.String v) ]
       | None -> [])
@@ -103,7 +106,7 @@ let sarif_location ~default_uri ?message (l : Srcloc.t option) =
       [ ("message", Ejson.Assoc [ ("text", Ejson.String text) ]) ]
     | None -> []))
 
-let sarif_result ~rules ~file (d, verdict) =
+let sarif_result ~rules ~file (d, verdict, tier) =
   let rule_index =
     let rec find i = function
       | [] -> -1
@@ -132,10 +135,17 @@ let sarif_result ~rules ~file (d, verdict) =
                    sarif_location ~default_uri:file ~message:msg (Some l))
                  related) );
         ])
-    @ match verdict with
-      | Some v ->
-        [ ("properties", Ejson.Assoc [ ("verdict", Ejson.String v) ]) ]
-      | None -> [])
+    @
+    (* per-result property bag: the tier that produced the finding, and
+       the CI-vs-CS verdict when the comparison ran *)
+    match
+      (match tier with Some t -> [ ("tier", Ejson.String t) ] | None -> [])
+      @ (match verdict with
+        | Some v -> [ ("verdict", Ejson.String v) ]
+        | None -> [])
+    with
+    | [] -> []
+    | fields -> [ ("properties", Ejson.Assoc fields) ])
 
 let sarif_report ?(properties = []) ~rules ~file diags =
   let rule_json (id, doc) =

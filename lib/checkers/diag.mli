@@ -44,19 +44,22 @@ val to_string : t -> string
 (** ["file:line:col: severity: [checker] message"], without related
     positions. *)
 
-val to_json : ?verdict:string -> t -> Ejson.t
+val to_json : ?verdict:string -> ?tier:string -> t -> Ejson.t
+(** [verdict] is the CI-vs-CS comparison verdict; [tier] is the analysis
+    tier whose solution produced the finding ("ci" or "cs"). *)
 
 val sarif_report :
   ?properties:(string * Ejson.t) list ->
   rules:(string * string) list ->
   file:string ->
-  (t * string option) list ->
+  (t * string option * string option) list ->
   Ejson.t
 (** A complete SARIF 2.1.0 log for one analyzed file.  [rules] lists the
     checkers that ran (id, description) — all of them, including those
     with no results, so a consumer can distinguish "clean" from "not
-    run".  The optional string per diagnostic becomes a
-    [properties.verdict] entry (the CI-vs-CS comparison).  [properties]
+    run".  Each diagnostic carries two optional per-result properties:
+    a [properties.verdict] entry (the CI-vs-CS comparison) and a
+    [properties.tier] entry (the tier that produced it).  [properties]
     becomes the run-level property bag — the lint driver records the
     analysis tier achieved and any budget degradations there. *)
 

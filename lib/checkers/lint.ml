@@ -15,6 +15,11 @@ let verdict_string = function
   | Ci_only -> "ci-only"
   | Cs_only -> "cs-only"
 
+(* The tier whose pass produced the finding's diagnostic object: only
+   CS-only findings come from the comparison pass; agreeing findings are
+   reported from the CI pass either way. *)
+let finding_tier = function Cs_only -> "cs" | Agree | Ci_only -> "ci"
+
 let run ?(checkers = []) ?(compare_cs = false) ?budget (a : Engine.analysis) =
   let infos =
     match Registry.select checkers with
@@ -164,7 +169,7 @@ let to_json r =
              (fun (d, v) ->
                Diag.to_json
                  ?verdict:(if r.rp_compared then Some (verdict_string v) else None)
-                 d)
+                 ~tier:(finding_tier v) d)
              r.rp_diags) );
       ("delta", Ejson.Int (if r.rp_compared then delta_count r else 0));
       ( "checkers",
@@ -192,5 +197,7 @@ let to_sarif r =
   Diag.sarif_report ~properties ~rules:r.rp_rules ~file:r.rp_file
     (List.map
        (fun (d, v) ->
-         (d, if r.rp_compared then Some (verdict_string v) else None))
+         ( d,
+           (if r.rp_compared then Some (verdict_string v) else None),
+           Some (finding_tier v) ))
        r.rp_diags)

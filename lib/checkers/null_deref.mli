@@ -1,0 +1,11 @@
+(** null-deref checker: a memory operation whose location input has no
+    location referents at all under the solution in force — the pointer
+    is a constant (null), an uninitialized value, or arithmetic on one.
+    Direct accesses are harmless by construction ([Nbase] inputs always
+    seed their own base).  Whole-program caveat: a function never called
+    from [main] has empty formals and flags here (see README). *)
+
+val checker_name : string
+(** ["null-deref"]. *)
+
+val checker : Checker.info

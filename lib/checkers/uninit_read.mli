@@ -1,0 +1,11 @@
+(** uninit-read checker: a lookup that may reach storage (a local of the
+    enclosing function or a heap site) with no dominating
+    initialization.  The dominance test runs on the function's CFG with
+    the same {!Cfg}/{!Dom} machinery SSA construction uses; updates and
+    calls whose (CI) mod sets may overlap the target count as
+    initializers.  Intraprocedural by construction. *)
+
+val checker_name : string
+(** ["uninit-read"]. *)
+
+val checker : Checker.info

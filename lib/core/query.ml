@@ -40,6 +40,14 @@ let demand_view d =
     nv_referenced = Demand_solver.referenced_locations d;
   }
 
+let dyck_view d =
+  {
+    nv_tier = "dyck";
+    nv_graph = Dyck_solver.graph d;
+    nv_pairs = (fun nid -> Ptpair.Set.elements (Dyck_solver.resolve d nid));
+    nv_referenced = Dyck_solver.referenced_locations d;
+  }
+
 (* The locations a node's output concerns: for memory operations the
    storage they touch; for value outputs (allocation sites, formals,
    address-of nodes, ...) the storage the value may denote.  The latter

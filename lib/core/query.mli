@@ -32,6 +32,12 @@ val demand_view : Demand_solver.t -> node_view
 (** Queries through this view demand slices lazily; answers equal
     {!ci_view} answers on the same graph. *)
 
+val dyck_view : Dyck_solver.t -> node_view
+(** The flow-insensitive Dyck-reachability tier.  Queries resolve
+    single-pair slices on demand; answers are a sound superset of
+    {!ci_view} answers on the same graph (no store threading, no strong
+    updates). *)
+
 val locations : node_view -> Vdg.node_id -> Apath.t list
 (** The storage a node's output concerns: the referenced locations for
     lookup/update nodes, and the locations the value may denote for any

@@ -46,21 +46,27 @@ let default_config =
 
 (* ---- the precision ladder -------------------------------------------------------- *)
 
-(* Demand sits between the baselines and Ci: it has full node-level
-   precision (its answers equal Ci's) but only resolves the slices that
-   queries demand, so a workload that asks little pays little. *)
-type tier = Steensgaard | Andersen | Demand | Ci | Cs
+(* Dyck sits between Andersen and Demand: field-sensitive like Ci (so
+   strictly above the field-insensitive baselines) but flow-insensitive —
+   one global store relation, no strong updates — so its answers are a
+   sound superset of Ci's.  Demand sits between Dyck and Ci: it has full
+   node-level precision (its answers equal Ci's) but only resolves the
+   slices that queries demand, so a workload that asks little pays
+   little. *)
+type tier = Steensgaard | Andersen | Dyck | Demand | Ci | Cs
 
 let tier_rank = function
   | Steensgaard -> 0
   | Andersen -> 1
-  | Demand -> 2
-  | Ci -> 3
-  | Cs -> 4
+  | Dyck -> 2
+  | Demand -> 3
+  | Ci -> 4
+  | Cs -> 5
 
 let string_of_tier = function
   | Steensgaard -> "steensgaard"
   | Andersen -> "andersen"
+  | Dyck -> "dyck"
   | Demand -> "demand"
   | Ci -> "ci"
   | Cs -> "cs"
@@ -68,12 +74,13 @@ let string_of_tier = function
 let tier_of_string = function
   | "steensgaard" -> Some Steensgaard
   | "andersen" -> Some Andersen
+  | "dyck" -> Some Dyck
   | "demand" -> Some Demand
   | "ci" -> Some Ci
   | "cs" -> Some Cs
   | _ -> None
 
-let all_tiers = [ Steensgaard; Andersen; Demand; Ci; Cs ]
+let all_tiers = [ Steensgaard; Andersen; Dyck; Demand; Ci; Cs ]
 
 type degradation = { d_from : tier; d_to : tier; d_reason : Budget.reason }
 
@@ -489,7 +496,8 @@ type tiered = {
   td_tier : tier;
   td_analysis : analysis option;  (* present iff td_tier >= Ci *)
   td_demand : Demand_solver.t option;  (* present iff the run went demand-first *)
-  td_baseline : baseline option;  (* present iff td_tier < Demand *)
+  td_dyck : Dyck_solver.t option;  (* present iff the run landed on the dyck rung *)
+  td_baseline : baseline option;  (* present iff td_tier < Dyck *)
   td_prog : Sil.program;
   td_telemetry : Telemetry.t;
   td_degradations : degradation list;
@@ -539,6 +547,7 @@ let baseline_descent ~config ~budget ~min_tier ~degradations input =
           td_tier = tier;
           td_analysis = None;
           td_demand = None;
+          td_dyck = None;
           td_baseline = Some baseline;
           td_prog = prog;
           td_telemetry = telemetry;
@@ -618,10 +627,63 @@ let demand_fresh ~config ~budget ~min_tier ~degradations input =
         td_tier = Demand;
         td_analysis = None;
         td_demand = Some demand;
+        td_dyck = None;
         td_baseline = None;
         td_prog = prog;
         td_telemetry =
           annotate_telemetry telemetry ~tier:Demand ~degradations ~budget;
+        td_degradations = degradations;
+      }
+
+(* The dyck-first pipeline mirrors the demand-first one: compile and
+   build the VDG under the budget, then hand back the lazy Dyck resolver
+   with no solving done.  Single-pair queries activate slices on demand;
+   [Dyck_solver.solve_all] turns the same object into the exhaustive
+   all-pairs mode. *)
+let dyck_fresh ~config ~budget ~min_tier ~degradations input =
+  let telemetry =
+    Telemetry.create ~file:input.in_file
+      ~source_bytes:(String.length input.in_source)
+  in
+  Telemetry.record_phase telemetry "load" input.in_load_seconds;
+  match
+    let prog = Telemetry.time telemetry "frontend" (fun () -> compile input) in
+    Budget.check_now budget;
+    let graph =
+      Telemetry.time telemetry "vdg" (fun () -> build_graph ~config prog)
+    in
+    Budget.check_now budget;
+    (prog, graph)
+  with
+  | exception Srcloc.Error (loc, msg) ->
+    Error (Frontend_error { fe_loc = loc; fe_message = msg })
+  | exception Budget.Exhausted Budget.Cancelled -> Error Cancelled
+  | exception Budget.Exhausted r ->
+    if tier_rank min_tier >= tier_rank Dyck then
+      Error (Budget_exhausted { be_tier = Dyck; be_reason = r })
+    else
+      baseline_descent ~config ~budget ~min_tier
+        ~degradations:
+          (degradations @ [ { d_from = Dyck; d_to = Andersen; d_reason = r } ])
+        input
+  | prog, graph ->
+    let dyck =
+      Telemetry.time telemetry "dyck" (fun () ->
+          Dyck_solver.create ~config:config.ci_config graph)
+    in
+    populate_shape_counters telemetry prog graph;
+    Ok
+      {
+        td_input = input;
+        td_config = config;
+        td_tier = Dyck;
+        td_analysis = None;
+        td_demand = None;
+        td_dyck = Some dyck;
+        td_baseline = None;
+        td_prog = prog;
+        td_telemetry =
+          annotate_telemetry telemetry ~tier:Dyck ~degradations ~budget;
         td_degradations = degradations;
       }
 
@@ -638,6 +700,7 @@ let run_tiered ?(config = default_config) ?cache ?strict_cache ?budget
         td_tier = tier;
         td_analysis = Some a;
         td_demand = None;
+        td_dyck = None;
         td_baseline = None;
         td_prog = a.prog;
         td_telemetry =
@@ -645,10 +708,10 @@ let run_tiered ?(config = default_config) ?cache ?strict_cache ?budget
         td_degradations = degradations;
       }
   in
-  if want = Demand then begin
-    (* A warm full solution outranks the demand tier; peek the cache
-       without recording a miss (a demand run is not a solve the cache
-       failed to serve). *)
+  if want = Demand || want = Dyck then begin
+    (* A warm full solution outranks the lazy tiers; peek the cache
+       without recording a miss (a demand/dyck run is not a solve the
+       cache failed to serve). *)
     let cached =
       match cache with
       | None -> Ok None
@@ -672,7 +735,10 @@ let run_tiered ?(config = default_config) ?cache ?strict_cache ?budget
     match cached with
     | Error e -> Error e
     | Ok (Some a) -> finish_analysis a (if cs_forced a then Cs else Ci) []
-    | Ok None -> demand_fresh ~config ~budget ~min_tier ~degradations:[] input
+    | Ok None ->
+      if want = Dyck then
+        dyck_fresh ~config ~budget ~min_tier ~degradations:[] input
+      else demand_fresh ~config ~budget ~min_tier ~degradations:[] input
   end
   else
     match run_raw ~config ?cache ?strict_cache ~budget input with
@@ -704,10 +770,15 @@ let run_tiered ?(config = default_config) ?cache ?strict_cache ?budget
         demand_fresh ~config ~budget:(Budget.restart budget) ~min_tier
           ~degradations:[ { d_from = Ci; d_to = Demand; d_reason = r } ]
           input
+      else if min_tier = Dyck then
+        (* likewise, an explicit dyck floor recovers at the dyck rung *)
+        dyck_fresh ~config ~budget:(Budget.restart budget) ~min_tier
+          ~degradations:[ { d_from = Ci; d_to = Dyck; d_reason = r } ]
+          input
       else
-        (* the default descent skips the demand rung: a batch client that
-           wanted an exhaustive solve gains nothing from a lazy resolver
-           it would immediately have to drain *)
+        (* the default descent skips the demand and dyck rungs: a batch
+           client that wanted an exhaustive solve gains nothing from a
+           lazy resolver it would immediately have to drain *)
         baseline_descent ~config ~budget ~min_tier
           ~degradations:[ { d_from = Ci; d_to = Andersen; d_reason = r } ]
           input
@@ -743,21 +814,38 @@ let demand_counters (d : Demand_solver.t) : Telemetry.demand_counters =
     dc_worklist_pops = Demand_solver.worklist_pops d;
   }
 
-(* The resolver accumulates work as queries arrive, so its counters are
+(* The dyck resolver has the same lazy-activation shape, so it reports
+   the same counter record under its own telemetry slot. *)
+let dyck_counters (d : Dyck_solver.t) : Telemetry.demand_counters =
+  {
+    Telemetry.dc_queries = Dyck_solver.queries d;
+    dc_cache_hits = Dyck_solver.cache_hits d;
+    dc_nodes_activated = Dyck_solver.nodes_activated d;
+    dc_nodes_total = Dyck_solver.nodes_total d;
+    dc_flow_in = Dyck_solver.flow_in_count d;
+    dc_flow_out = Dyck_solver.flow_out_count d;
+    dc_worklist_pushes = Dyck_solver.worklist_pushes d;
+    dc_worklist_pops = Dyck_solver.worklist_pops d;
+  }
+
+(* The resolvers accumulate work as queries arrive, so their counters are
    snapshotted into the telemetry at read time, not at build time. *)
 let refresh_demand_telemetry td =
   match td.td_demand with
   | Some d -> td.td_telemetry.Telemetry.t_demand <- Some (demand_counters d)
   | None -> ()
 
-(* Upgrade a demand-tier result to a full exhaustive analysis in place of
-   the record: the graph is reused, only the CI fixpoint runs.  Identity
-   on any result that already has (or can never have) an analysis. *)
+let refresh_dyck_telemetry td =
+  match td.td_dyck with
+  | Some d -> td.td_telemetry.Telemetry.t_dyck <- Some (dyck_counters d)
+  | None -> ()
+
+(* Upgrade a demand- or dyck-tier result to a full exhaustive analysis in
+   place of the record: the graph is reused, only the CI fixpoint runs.
+   Identity on any result that already has (or can never have) an
+   analysis. *)
 let promote ?budget td =
-  match (td.td_analysis, td.td_demand) with
-  | Some _, _ | None, None -> Ok td
-  | None, Some d -> (
-    let graph = Demand_solver.graph d in
+  let upgrade graph refresh =
     let config = td.td_config in
     match
       Telemetry.time td.td_telemetry "ci" (fun () ->
@@ -768,7 +856,7 @@ let promote ?budget td =
       Error (Budget_exhausted { be_tier = Ci; be_reason = r })
     | ci ->
       let telemetry = td.td_telemetry in
-      refresh_demand_telemetry td;
+      refresh ();
       telemetry.Telemetry.t_ci <- Some (ci_counters ci);
       telemetry.Telemetry.t_tier <- Some (string_of_tier Ci);
       let analysis =
@@ -785,7 +873,14 @@ let promote ?budget td =
           telemetry;
         }
       in
-      Ok { td with td_tier = Ci; td_analysis = Some analysis })
+      Ok { td with td_tier = Ci; td_analysis = Some analysis }
+  in
+  match (td.td_analysis, td.td_demand, td.td_dyck) with
+  | Some _, _, _ | None, None, None -> Ok td
+  | None, Some d, _ ->
+    upgrade (Demand_solver.graph d) (fun () -> refresh_demand_telemetry td)
+  | None, None, Some d ->
+    upgrade (Dyck_solver.graph d) (fun () -> refresh_dyck_telemetry td)
 
 (* ---- the unified provider ----------------------------------------------------------- *)
 
@@ -794,14 +889,15 @@ let promote ?budget td =
    their own line-keyed representations here — Query cannot see them,
    the baseline library sits above the core one. *)
 let provider_of_tiered td =
-  match (td.td_analysis, td.td_demand, td.td_baseline) with
-  | Some a, _, _ ->
+  match (td.td_analysis, td.td_demand, td.td_dyck, td.td_baseline) with
+  | Some a, _, _, _ ->
     let view =
       if cs_forced a then Query.cs_view a.ci (cs a) else Query.ci_view a.ci
     in
     Query.node_provider view
-  | None, Some d, _ -> Query.node_provider (Query.demand_view d)
-  | None, None, _ ->
+  | None, Some d, _, _ -> Query.node_provider (Query.demand_view d)
+  | None, None, Some d, _ -> Query.node_provider (Query.dyck_view d)
+  | None, None, None, _ ->
     let tier = string_of_tier td.td_tier in
     let locs line =
       match line_locations td line with

@@ -51,14 +51,18 @@ val default_config : config
 
 (** {2 The precision ladder} *)
 
-(** Analysis tiers in increasing precision (and cost) order.  [Demand]
-    sits between the baselines and [Ci]: node-level answers identical to
-    [Ci]'s, computed lazily over the backward slices queries demand, so
-    a workload that asks little pays little. *)
-type tier = Steensgaard | Andersen | Demand | Ci | Cs
+(** Analysis tiers in increasing precision (and cost) order.  [Dyck]
+    sits between [Andersen] and [Demand]: field-sensitive like [Ci]
+    (accessor chains are matched as Dyck parenthesis strings) but
+    flow-insensitive — one global store relation, no strong updates — so
+    its answers are a sound superset of [Ci]'s.  [Demand] sits between
+    [Dyck] and [Ci]: node-level answers identical to [Ci]'s, computed
+    lazily over the backward slices queries demand, so a workload that
+    asks little pays little. *)
+type tier = Steensgaard | Andersen | Dyck | Demand | Ci | Cs
 
 val tier_rank : tier -> int
-(** 0 (Steensgaard) .. 4 (Cs); monotone in precision. *)
+(** 0 (Steensgaard) .. 5 (Cs); monotone in precision. *)
 
 val string_of_tier : tier -> string
 val tier_of_string : string -> tier option
@@ -187,7 +191,10 @@ type tiered = {
   td_demand : Demand_solver.t option;
       (** present iff the run went demand-first; survives {!promote} so
           the resolver's counters stay readable *)
-  td_baseline : baseline option;  (** present iff [td_tier < Demand] *)
+  td_dyck : Dyck_solver.t option;
+      (** present iff the run landed on the dyck rung; survives
+          {!promote} like [td_demand] *)
+  td_baseline : baseline option;  (** present iff [td_tier < Dyck] *)
   td_prog : Sil.program;
   td_telemetry : Telemetry.t;
       (** a private copy annotated with tier, degradations, and budget
@@ -217,11 +224,15 @@ val run_tiered :
     build the VDG under the budget, then return a lazy
     {!Demand_solver.t} with no solving done (the resolver itself is
     unbudgeted — an open's deadline must not trip queries issued long
-    after the open returned).  A warm cached full solution outranks it:
-    with [cache], a hit answers at [Ci]/[Cs] directly.  The default
-    exhaustion descent skips the demand rung — a batch client that
-    wanted an exhaustive solve gains nothing from a lazy resolver — but
-    an explicit [min_tier = Demand] floor recovers there.
+    after the open returned).  [want = Dyck] is the same pipeline with a
+    lazy {!Dyck_solver.t}: single-pair queries activate slices on
+    demand, and {!Dyck_solver.solve_all} turns the same object into the
+    exhaustive all-pairs mode.  A warm cached full solution outranks
+    both: with [cache], a hit answers at [Ci]/[Cs] directly.  The
+    default exhaustion descent skips the demand and dyck rungs — a
+    batch client that wanted an exhaustive solve gains nothing from a
+    lazy resolver — but an explicit [min_tier = Demand] or
+    [min_tier = Dyck] floor recovers at that rung.
 
     The wall-clock deadline is shared across the whole descent;
     operation ceilings restart per tier.  Steensgaard never exhausts: it
@@ -229,23 +240,28 @@ val run_tiered :
     always bottoms out on an answer. *)
 
 val promote : ?budget:Budget.t -> tiered -> (tiered, error) result
-(** Upgrade a demand-tier result to a full [Ci] analysis in place of the
-    record: the graph is reused, only the CI fixpoint runs (budgeted
-    when [budget] is given; exhaustion is an error, never a descent —
-    the caller already holds a usable demand result).  Identity on any
-    result that already has, or can never have, an analysis. *)
+(** Upgrade a demand- or dyck-tier result to a full [Ci] analysis in
+    place of the record: the graph is reused, only the CI fixpoint runs
+    (budgeted when [budget] is given; exhaustion is an error, never a
+    descent — the caller already holds a usable lazy result).  Identity
+    on any result that already has, or can never have, an analysis. *)
 
 val demand_counters : Demand_solver.t -> Telemetry.demand_counters
+val dyck_counters : Dyck_solver.t -> Telemetry.demand_counters
 
 val refresh_demand_telemetry : tiered -> unit
 (** Snapshot the live resolver's counters into [td_telemetry]; no-op
     without one.  Call before serializing telemetry — the resolver
     accumulates work as queries arrive. *)
 
+val refresh_dyck_telemetry : tiered -> unit
+(** Same, for the dyck resolver (into [t_dyck]). *)
+
 val provider_of_tiered : tiered -> Query.provider
 (** The unified query surface for whatever tier the run achieved:
-    node-keyed views for [ci]/[cs]/[demand], line-keyed closures for
-    every tier (the baselines answer from their own representations). *)
+    node-keyed views for [ci]/[cs]/[demand]/[dyck], line-keyed closures
+    for every tier (the baselines answer from their own
+    representations). *)
 
 (** {2 Queries at degraded tiers}
 

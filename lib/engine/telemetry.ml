@@ -67,6 +67,9 @@ type t = {
   mutable t_ci : solver_counters option;
   mutable t_cs : solver_counters option;
   mutable t_demand : demand_counters option;
+  mutable t_dyck : demand_counters option;   (* same shape: the dyck tier is
+                                                also an activation-gated lazy
+                                                resolver *)
   mutable t_checkers : checker_stat list;    (* in execution order *)
   mutable t_tier : string option;            (* ladder tier actually achieved *)
   mutable t_degradations : degradation_event list;  (* in occurrence order *)
@@ -77,7 +80,7 @@ type t = {
    once the lazily-forced context-sensitive solve has actually run;
    "demand" replaces "ci"/"cs" on the demand-driven tier, where solving
    is folded into the queries themselves. *)
-let phase_names = [ "load"; "frontend"; "vdg"; "demand"; "ci"; "cs" ]
+let phase_names = [ "load"; "frontend"; "vdg"; "demand"; "dyck"; "ci"; "cs" ]
 
 let create ~file ~source_bytes =
   {
@@ -91,6 +94,7 @@ let create ~file ~source_bytes =
     t_ci = None;
     t_cs = None;
     t_demand = None;
+    t_dyck = None;
     t_checkers = [];
     t_tier = None;
     t_degradations = [];
@@ -189,6 +193,7 @@ let copy t =
     t_ci = t.t_ci;
     t_cs = t.t_cs;
     t_demand = t.t_demand;
+    t_dyck = t.t_dyck;
     t_checkers = t.t_checkers;
     t_tier = t.t_tier;
     t_degradations = t.t_degradations;
@@ -211,17 +216,19 @@ let counters_json prefix (c : solver_counters) =
     (prefix ^ "_peak_table_bytes", Ejson.Int c.sc_peak_table_bytes);
   ]
 
-let demand_json (d : demand_counters) =
+let lazy_counters_json prefix (d : demand_counters) =
   [
-    ("demand_queries", Ejson.Int d.dc_queries);
-    ("demand_cache_hits", Ejson.Int d.dc_cache_hits);
-    ("demand_nodes_activated", Ejson.Int d.dc_nodes_activated);
-    ("demand_nodes_total", Ejson.Int d.dc_nodes_total);
-    ("demand_flow_in", Ejson.Int d.dc_flow_in);
-    ("demand_flow_out", Ejson.Int d.dc_flow_out);
-    ("demand_worklist_pushes", Ejson.Int d.dc_worklist_pushes);
-    ("demand_worklist_pops", Ejson.Int d.dc_worklist_pops);
+    (prefix ^ "_queries", Ejson.Int d.dc_queries);
+    (prefix ^ "_cache_hits", Ejson.Int d.dc_cache_hits);
+    (prefix ^ "_nodes_activated", Ejson.Int d.dc_nodes_activated);
+    (prefix ^ "_nodes_total", Ejson.Int d.dc_nodes_total);
+    (prefix ^ "_flow_in", Ejson.Int d.dc_flow_in);
+    (prefix ^ "_flow_out", Ejson.Int d.dc_flow_out);
+    (prefix ^ "_worklist_pushes", Ejson.Int d.dc_worklist_pushes);
+    (prefix ^ "_worklist_pops", Ejson.Int d.dc_worklist_pops);
   ]
+
+let demand_json = lazy_counters_json "demand"
 
 let to_json t =
   let phases =
@@ -236,6 +243,7 @@ let to_json t =
     @ (match t.t_ci with Some c -> counters_json "ci" c | None -> [])
     @ (match t.t_cs with Some c -> counters_json "cs" c | None -> [])
     @ (match t.t_demand with Some d -> demand_json d | None -> [])
+    @ (match t.t_dyck with Some d -> lazy_counters_json "dyck" d | None -> [])
   in
   let checkers =
     match t.t_checkers with

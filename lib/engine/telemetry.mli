@@ -70,6 +70,9 @@ type t = {
   mutable t_cs : solver_counters option;
   mutable t_demand : demand_counters option;
       (** refreshed from the live resolver as queries accumulate *)
+  mutable t_dyck : demand_counters option;
+      (** the Dyck tier is also an activation-gated lazy resolver, so it
+          reports the same counter shape under a ["dyck_"] prefix *)
   mutable t_checkers : checker_stat list;  (** in execution order *)
   mutable t_tier : string option;  (** ladder tier actually achieved *)
   mutable t_degradations : degradation_event list;  (** in occurrence order *)
@@ -128,9 +131,13 @@ val latency_json : latency -> (string * Ejson.t) list
 
 (** {2 JSON} *)
 
+val lazy_counters_json : string -> demand_counters -> (string * Ejson.t) list
+(** [lazy_counters_json prefix d] renders the counter fields under
+    [prefix ^ "_..."] names; used for both the demand and dyck tiers. *)
+
 val demand_json : demand_counters -> (string * Ejson.t) list
-(** The ["demand_*"] counter fields, as embedded in {!to_json} and the
-    server's [stats] reply. *)
+(** [lazy_counters_json "demand"] — the ["demand_*"] counter fields, as
+    embedded in {!to_json} and the server's [stats] reply. *)
 
 val to_json : t -> Ejson.t
 

@@ -449,7 +449,7 @@ let ladder_table results =
       ~headers:
         [
           ("name", Table.Left); ("node pairs", Table.Right); ("cs", Table.Right);
-          ("ci", Table.Right); ("demand", Table.Right);
+          ("ci", Table.Right); ("demand", Table.Right); ("dyck", Table.Right);
           ("andersen", Table.Right); ("steensgaard", Table.Right);
         ]
   in
@@ -466,7 +466,7 @@ let ladder_table results =
     done;
     (!count, !hits)
   in
-  let totals = Array.make 5 0 and universes = Array.make 2 0 in
+  let totals = Array.make 6 0 and universes = Array.make 2 0 in
   List.iter
     (fun r ->
       let ops = Vdg.indirect_memops r.graph in
@@ -491,6 +491,10 @@ let ladder_table results =
          column exactly *)
       let demand = Demand_solver.create r.graph in
       let dem_locs = List.map (Query.locations (Query.demand_view demand)) nodes in
+      (* the dyck rung: field-sensitive like ci but flow-insensitive, so
+         its rate must land between the ci and andersen columns *)
+      let dyck = Dyck_solver.create r.graph in
+      let dy_locs = List.map (Query.locations (Query.dyck_view dyck)) nodes in
       let path_verdict a b = a <> [] && b <> [] && Query.paths_may_overlap a b in
       let overlap xs ys =
         List.exists (fun x -> List.exists (Absloc.equal x) ys) xs
@@ -498,6 +502,7 @@ let ladder_table results =
       let node_pairs, cs_hits = pairs_over cs_locs path_verdict in
       let _, ci_hits = pairs_over ci_locs path_verdict in
       let _, dem_hits = pairs_over dem_locs path_verdict in
+      let _, dy_hits = pairs_over dy_locs path_verdict in
       let line_pairs, and_hits =
         pairs_over (List.map (Andersen.memops_on_line anders) lines) overlap
       in
@@ -506,7 +511,7 @@ let ladder_table results =
       in
       List.iteri
         (fun i h -> totals.(i) <- totals.(i) + h)
-        [ cs_hits; ci_hits; dem_hits; and_hits; st_hits ];
+        [ cs_hits; ci_hits; dem_hits; dy_hits; and_hits; st_hits ];
       universes.(0) <- universes.(0) + node_pairs;
       universes.(1) <- universes.(1) + line_pairs;
       Table.add_row t
@@ -515,6 +520,7 @@ let ladder_table results =
           Table.cell_pct (rate cs_hits node_pairs);
           Table.cell_pct (rate ci_hits node_pairs);
           Table.cell_pct (rate dem_hits node_pairs);
+          Table.cell_pct (rate dy_hits node_pairs);
           Table.cell_pct (rate and_hits line_pairs);
           Table.cell_pct (rate st_hits line_pairs);
         ])
@@ -526,8 +532,9 @@ let ladder_table results =
       Table.cell_pct (rate totals.(0) universes.(0));
       Table.cell_pct (rate totals.(1) universes.(0));
       Table.cell_pct (rate totals.(2) universes.(0));
-      Table.cell_pct (rate totals.(3) universes.(1));
+      Table.cell_pct (rate totals.(3) universes.(0));
       Table.cell_pct (rate totals.(4) universes.(1));
+      Table.cell_pct (rate totals.(5) universes.(1));
     ];
   t
 

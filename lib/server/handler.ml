@@ -92,7 +92,7 @@ let min_tier_of_params params =
     | None ->
       Protocol.bad_params
         "parameter \"min_tier\" must be one of steensgaard, andersen, \
-         demand, ci, cs")
+         dyck, demand, ci, cs")
 
 let budget_of_params params =
   match deadline_of_params params with
@@ -173,17 +173,20 @@ let do_ping _t _params =
           (List.map (fun c -> Ejson.String c) Protocol.capabilities) );
     ]
 
-(* v3: demand-first opens.  Absent means exhaustive — the v2 wire
-   behavior — so older clients are unaffected; v3 clients opening cold
-   sessions for pointwise queries send "demand". *)
+(* v3: demand-first opens; v4 adds dyck-first.  Absent means exhaustive
+   — the v2 wire behavior — so older clients are unaffected; newer
+   clients opening cold sessions for pointwise queries send "demand" or
+   "dyck". *)
 let mode_of_params params =
   match Protocol.opt_string_param params "mode" with
   | None -> None
   | Some "demand" -> Some `Demand
+  | Some "dyck" -> Some `Dyck
   | Some "exhaustive" -> Some `Exhaustive
   | Some s ->
     Protocol.bad_params
-      "parameter \"mode\" must be \"demand\" or \"exhaustive\" (got %S)" s
+      "parameter \"mode\" must be \"demand\", \"dyck\" or \"exhaustive\" \
+       (got %S)" s
 
 let do_open t conn params =
   let path = Protocol.string_param params "file" in
@@ -239,10 +242,11 @@ let do_close t conn params =
    Baseline tiers have neither; callers route them to line_for first. *)
 let session_view (e : Session.entry) =
   let td = e.Session.ses_tiered in
-  match (td.Engine.td_analysis, td.Engine.td_demand) with
-  | Some a, _ -> Some (Query.ci_view a.Engine.ci)
-  | None, Some d -> Some (Query.demand_view d)
-  | None, None -> None
+  match (td.Engine.td_analysis, td.Engine.td_demand, td.Engine.td_dyck) with
+  | Some a, _, _ -> Some (Query.ci_view a.Engine.ci)
+  | None, Some d, _ -> Some (Query.demand_view d)
+  | None, None, Some d -> Some (Query.dyck_view d)
+  | None, None, None -> None
 
 (* The two sides of a may_alias question: either VDG node ids ("a"/"b",
    discoverable via the modref method) or source lines ("a_line"/
@@ -295,10 +299,11 @@ let line_for (e : Session.entry) params side =
 let do_may_alias t (e : Session.entry) params =
   let tier_param =
     match Protocol.opt_string_param params "tier" with
-    | (None | Some ("ci" | "cs" | "demand")) as p -> p
+    | (None | Some ("ci" | "cs" | "demand" | "dyck")) as p -> p
     | Some s ->
       Protocol.bad_params
-        "parameter \"tier\" must be \"ci\", \"cs\" or \"demand\" (got %S)" s
+        "parameter \"tier\" must be \"ci\", \"cs\", \"demand\" or \"dyck\" \
+         (got %S)" s
   in
   match session_view e with
   | None ->
@@ -334,9 +339,14 @@ let do_may_alias t (e : Session.entry) params =
            answers "demand" requests (identical verdicts, finer tier) *)
         (natural, [])
       | Some "ci" ->
-        (* an explicit exhaustive request promotes a demand session *)
+        (* an explicit exhaustive request promotes a lazy session *)
         let a = Session.require_analysis t.h_sessions e in
         (Query.ci_view a.Engine.ci, [])
+      | Some "dyck" ->
+        (* answered by the per-session dyck resolver on its single-pair
+           on-demand path — no exhaustive solve, whatever the session's
+           natural tier *)
+        (Query.dyck_view (Session.require_dyck t.h_sessions e), [])
       | Some "cs" -> (
         let a = Session.require_analysis t.h_sessions e in
         match Engine.cs_tiered ?budget:(budget_of_params params) a with
@@ -523,6 +533,7 @@ let do_stats t _params =
        ("degradations", Ejson.Int degraded);
        ("answers_by_tier", Ejson.Assoc tier_answers);
        ("demand", Ejson.Assoc (Session.demand_stats_json t.h_sessions));
+       ("dyck", Ejson.Assoc (Session.dyck_stats_json t.h_sessions));
        ("sessions", Ejson.Assoc (Session.stats_json t.h_sessions));
        (* hash-consed points-to set universe of the serving domain:
           interning footprint plus meet-memo effectiveness *)

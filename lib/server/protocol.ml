@@ -13,14 +13,20 @@
    parameters, tier-tagged responses, and the resource-governance error
    codes; version 3 adds the demand tier: mode=demand|exhaustive on
    "open", tier=demand on "may_alias", and per-tier answer counts in
-   "stats".  Requests may carry a "protocol" param: absent and 1..3 are
-   accepted (older clients never send the newer parameters, so each
-   version's behavior is a strict superset); anything else is rejected
-   with [Unsupported_version]. *)
-let protocol_version = 3
+   "stats"; version 4 adds the dyck tier: mode=dyck on "open",
+   tier=dyck on "may_alias" (answered by a per-session lazy
+   Dyck-reachability solver on its single-pair on-demand path), and
+   min_tier=dyck.  Requests may carry a "protocol" param: absent and
+   1..4 are accepted (older clients never send the newer parameters, so
+   each version's behavior is a strict superset); anything else is
+   rejected with [Unsupported_version]. *)
+let protocol_version = 4
 
 let capabilities =
-  [ "budgets"; "deadlines"; "tiers"; "cancellation"; "backpressure"; "demand" ]
+  [
+    "budgets"; "deadlines"; "tiers"; "cancellation"; "backpressure"; "demand";
+    "dyck";
+  ]
 
 (* JSON-RPC reserves -32768..-32000; the server-defined codes sit just
    above the reserved block. *)

@@ -29,6 +29,10 @@ type entry = {
   mutable ses_modref : Modref.t Lazy.t option;
       (* CI mod/ref sets, built on first query; None below the Ci tier,
          filled in by promotion *)
+  mutable ses_dyck : Dyck_solver.t option;
+      (* per-session dyck solver for tier="dyck" queries on a node-tier
+         session, built on first use over the session's own VDG;
+         dyck-tier sessions answer from td_dyck instead *)
   ses_bytes : int;  (* approximate retained size *)
   ses_lock : Mutex.t;  (* serializes queries on this session *)
   mutable ses_stamp : int;  (* LRU clock value of the last touch *)
@@ -43,6 +47,8 @@ let tier e = e.ses_tiered.Engine.td_tier
 let analysis e = e.ses_tiered.Engine.td_analysis
 
 let demand e = e.ses_tiered.Engine.td_demand
+
+let dyck e = e.ses_tiered.Engine.td_dyck
 
 type stats = {
   mutable st_solved : int;  (* opens that went through the engine *)
@@ -112,8 +118,8 @@ let require_analysis t e =
   match analysis e with
   | Some a -> a
   | None -> (
-    match demand e with
-    | Some _ -> (
+    match (demand e, dyck e) with
+    | Some _, _ | _, Some _ -> (
       match Engine.promote e.ses_tiered with
       | Ok td ->
         e.ses_tiered <- td;
@@ -124,9 +130,9 @@ let require_analysis t e =
         locked t (fun () -> t.st.st_upgraded <- t.st.st_upgraded + 1);
         (match td.Engine.td_analysis with
         | Some a -> a
-        | None -> assert false (* promote on a demand entry yields Ci *))
+        | None -> assert false (* promote on a lazy-tier entry yields Ci *))
       | Error err -> raise (Engine_error err))
-    | None ->
+    | None, None ->
       raise
         (Tier_unavailable
            (Printf.sprintf
@@ -146,6 +152,37 @@ let require_modref t e =
     match e.ses_modref with
     | Some m -> Lazy.force m
     | None -> Modref.of_ci a.Engine.ci)
+
+(* The solver behind tier="dyck" queries.  A dyck-tier session answers
+   from its own resolver; a node-tier session builds one lazily over its
+   already-built VDG (under the session lock the caller holds) — only
+   the demanded single-pair slices are ever solved.  Baseline tiers have
+   no VDG to build over. *)
+let require_dyck t e =
+  match dyck e with
+  | Some d -> d
+  | None -> (
+    match e.ses_dyck with
+    | Some d -> d
+    | None -> (
+      let graph =
+        match analysis e with
+        | Some a -> Some a.Engine.graph
+        | None -> Option.map Demand_solver.graph (demand e)
+      in
+      match graph with
+      | Some g ->
+        let d = Dyck_solver.create ~config:t.config.Engine.ci_config g in
+        e.ses_dyck <- Some d;
+        d
+      | None ->
+        raise
+          (Tier_unavailable
+             (Printf.sprintf
+                "session %s holds a %s-tier solution; tier=\"dyck\" needs a \
+                 VDG (re-open with a larger deadline or min_tier)"
+                e.ses_id
+                (Engine.string_of_tier (tier e))))))
 
 (* Callers hold t.lock. *)
 let touch t e =
@@ -252,6 +289,7 @@ let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) t path =
       match (deadline_s, mode) with
       | Some _, _ -> Engine.Steensgaard
       | None, `Demand -> Engine.Demand
+      | None, `Dyck -> Engine.Dyck
       | None, `Exhaustive -> Engine.Ci)
   in
   let satisfies e = Engine.tier_rank (tier e) >= Engine.tier_rank floor in
@@ -263,10 +301,10 @@ let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) t path =
           touch t e;
           `Hit e
         | Some e
-          when demand e <> None
+          when (demand e <> None || dyck e <> None)
                && Engine.tier_rank floor <= Engine.tier_rank Engine.Ci ->
-          (* a live demand session asked for exhaustively: promote in
-             place (outside this lock) instead of re-solving from
+          (* a live demand/dyck session asked for exhaustively: promote
+             in place (outside this lock) instead of re-solving from
              scratch — the VDG is already built *)
           t.st.st_session_hits <- t.st.st_session_hits + 1;
           touch t e;
@@ -302,7 +340,10 @@ let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) t path =
         ~finally:(fun () -> unregister_inflight t budget)
         (fun () ->
           let aim =
-            match mode with `Demand -> Engine.Demand | `Exhaustive -> Engine.Ci
+            match mode with
+            | `Demand -> Engine.Demand
+            | `Dyck -> Engine.Dyck
+            | `Exhaustive -> Engine.Ci
           in
           let want =
             (* a floor above the mode's aim (e.g. min_tier=cs) demands
@@ -323,6 +364,7 @@ let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) t path =
           Option.map
             (fun (a : Engine.analysis) -> lazy (Modref.of_ci a.Engine.ci))
             td.Engine.td_analysis;
+        ses_dyck = None;
         ses_bytes = approx_bytes td;
         ses_lock = Mutex.create ();
         ses_stamp = 0;
@@ -467,6 +509,43 @@ let demand_stats_json t =
             hits := !hits + Demand_solver.cache_hits d;
             activated := !activated + Demand_solver.nodes_activated d;
             total := !total + Demand_solver.nodes_total d
+          | None -> ())
+        t.tbl;
+      [
+        ("sessions", Ejson.Int !sessions);
+        ("queries", Ejson.Int !queries);
+        ("cache_hits", Ejson.Int !hits);
+        ( "cache_hit_rate",
+          Ejson.Float
+            (if !queries = 0 then 0.
+             else float_of_int !hits /. float_of_int !queries) );
+        ("nodes_activated", Ejson.Int !activated);
+        ("nodes_total", Ejson.Int !total);
+      ])
+
+(* Same aggregation for dyck resolvers, counting both dyck-tier sessions
+   and the per-session solvers built for tier="dyck" queries. *)
+let dyck_stats_json t =
+  locked t (fun () ->
+      let sessions = ref 0
+      and queries = ref 0
+      and hits = ref 0
+      and activated = ref 0
+      and total = ref 0 in
+      Hashtbl.iter
+        (fun _ e ->
+          let solver =
+            match e.ses_tiered.Engine.td_dyck with
+            | Some _ as d -> d
+            | None -> e.ses_dyck
+          in
+          match solver with
+          | Some d ->
+            incr sessions;
+            queries := !queries + Dyck_solver.queries d;
+            hits := !hits + Dyck_solver.cache_hits d;
+            activated := !activated + Dyck_solver.nodes_activated d;
+            total := !total + Dyck_solver.nodes_total d
           | None -> ())
         t.tbl;
       [

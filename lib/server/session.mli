@@ -29,6 +29,10 @@ type entry = {
   mutable ses_modref : Modref.t Lazy.t option;
       (** CI mod/ref sets, built on first query; [None] below [Ci],
           filled in by promotion *)
+  mutable ses_dyck : Dyck_solver.t option;
+      (** per-session dyck solver for [tier="dyck"] queries on a
+          node-tier session, built lazily by {!require_dyck}; dyck-tier
+          sessions answer from [td_dyck] instead *)
   ses_bytes : int;  (** approximate retained size *)
   ses_lock : Mutex.t;  (** serializes queries on this session *)
   mutable ses_stamp : int;  (** LRU clock value of the last touch *)
@@ -52,6 +56,10 @@ val demand : entry -> Demand_solver.t option
 (** The entry's lazy resolver, when the session was opened demand-first
     (survives promotion, so its counters stay readable). *)
 
+val dyck : entry -> Dyck_solver.t option
+(** The entry's dyck resolver, when the session was opened dyck-first
+    (survives promotion like the demand resolver). *)
+
 type t
 
 val require_analysis : t -> entry -> Engine.analysis
@@ -64,6 +72,13 @@ val require_analysis : t -> entry -> Engine.analysis
 
 val require_modref : t -> entry -> Modref.t
 (** As {!require_analysis}, then the CI mod/ref sets. *)
+
+val require_dyck : t -> entry -> Dyck_solver.t
+(** The solver behind [tier="dyck"] queries: a dyck-tier entry's own
+    resolver, else one built lazily over a node-tier entry's VDG (only
+    the demanded single-pair slices are ever solved).  Callers must hold
+    the entry's lock ({!with_entry}).
+    @raise Tier_unavailable at the baseline tiers (no VDG). *)
 
 val create :
   ?max_entries:int ->
@@ -92,7 +107,7 @@ type open_result = { or_entry : entry; or_status : open_status }
 val open_path :
   ?deadline_s:float ->
   ?min_tier:Engine.tier ->
-  ?mode:[ `Demand | `Exhaustive ] ->
+  ?mode:[ `Demand | `Dyck | `Exhaustive ] ->
   t ->
   string ->
   open_result
@@ -106,10 +121,12 @@ val open_path :
     [mode] (default [`Exhaustive], the v2 wire behavior) picks the
     pipeline: [`Exhaustive] solves CI before returning; [`Demand]
     returns after the VDG build with a lazy resolver, so a cold open is
-    cheap and each query pays only for its backward slice.  A demand
-    open is satisfied by any live node-tier session; an exhaustive open
-    landing on a live demand session promotes it in place (the VDG is
-    reused) and reports a session hit.
+    cheap and each query pays only for its backward slice; [`Dyck] is
+    the same shape with the flow-insensitive Dyck-reachability
+    resolver.  A demand or dyck open is satisfied by any live
+    sufficiently-precise session; an exhaustive open landing on a live
+    demand/dyck session promotes it in place (the VDG is reused) and
+    reports a session hit.
     @raise Sys_error on an unreadable path.
     @raise Engine_error when the solve returns [Error] (frontend error,
     floor violation, cancellation, strict-cache corruption). *)
@@ -151,3 +168,7 @@ val demand_stats_json : t -> (string * Ejson.t) list
 (** Aggregate demand-resolver counters across the live working set:
     resolver-holding session count, query and cache-hit totals (with the
     hit rate), and activated vs total node counts. *)
+
+val dyck_stats_json : t -> (string * Ejson.t) list
+(** Same aggregation for dyck resolvers, counting both dyck-tier
+    sessions and per-session solvers built for [tier="dyck"] queries. *)

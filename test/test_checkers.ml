@@ -196,7 +196,22 @@ let sarif_is_valid () =
   (* round-trip through the serialized form: still valid after reparsing *)
   let reparsed = Ejson.of_string (Ejson.to_string sarif) in
   Alcotest.(check (list string)) "valid after round-trip" []
-    (Diag.validate_sarif reparsed)
+    (Diag.validate_sarif reparsed);
+  (* every result's property bag names the tier that produced it *)
+  (match Option.bind (Ejson.member "runs" sarif) Ejson.to_list with
+  | Some (run :: _) -> (
+    match Option.bind (Ejson.member "results" run) Ejson.to_list with
+    | Some (_ :: _ as results) ->
+      List.iter
+        (fun res ->
+          match
+            Option.bind (Ejson.member "properties" res) (Ejson.member "tier")
+          with
+          | Some (Ejson.String ("ci" | "cs")) -> ()
+          | _ -> Alcotest.fail "result without properties.tier")
+        results
+    | _ -> Alcotest.fail "no results")
+  | _ -> Alcotest.fail "no runs")
 
 let sarif_validator_rejects_garbage () =
   let bad = Ejson.Assoc [ ("version", Ejson.String "2.1.0") ] in
@@ -217,9 +232,13 @@ let json_report_shape () =
       (List.length r.Lint.rp_diags) (List.length ds);
     List.iter
       (fun d ->
-        match Ejson.member "verdict" d with
+        (match Ejson.member "verdict" d with
         | Some (Ejson.String ("agree" | "ci-only" | "cs-only")) -> ()
-        | _ -> Alcotest.fail "diagnostic without verdict")
+        | _ -> Alcotest.fail "diagnostic without verdict");
+        (* every finding names the tier whose solution produced it *)
+        match Ejson.member "tier" d with
+        | Some (Ejson.String ("ci" | "cs")) -> ()
+        | _ -> Alcotest.fail "diagnostic without tier")
       ds
   | None -> Alcotest.fail "missing diagnostics array"
 

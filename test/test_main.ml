@@ -26,4 +26,6 @@ let () =
       ("checkers", Test_checkers.tests);
       ("server", Test_server.tests);
       ("demand", Test_demand.tests);
+      ("dyck", Test_dyck.tests);
+      ("oracle", Test_oracle.tests);
     ]

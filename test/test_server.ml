@@ -920,6 +920,156 @@ let test_demand_open_promotes_on_exhaustive_reopen () =
     "exhaustive session satisfies demand opens" "session-hit"
     (string_field "open" "status" third)
 
+(* ---- (i) v4: dyck-mode sessions -------------------------------------------------- *)
+
+let test_dyck_mode_session () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "conflict.c" conflict_src in
+  let sessions = Session.create () in
+  let h = Handler.create sessions in
+  let conn = Handler.new_conn () in
+  (* v4 advertises the dyck capability *)
+  let pong = expect_ok "ping" (rpc h conn "ping" Ejson.Null) in
+  Alcotest.(check int)
+    "protocol v4" 4
+    (int_field "ping" "protocol_version" pong);
+  (match member_exn "ping" "capabilities" pong with
+  | Ejson.List caps ->
+    Alcotest.(check bool)
+      "dyck capability listed" true
+      (List.mem (Ejson.String "dyck") caps)
+  | _ -> Alcotest.fail "capabilities must be a list");
+  (* a cold dyck open builds the graph but solves nothing *)
+  let opened =
+    expect_ok "dyck open"
+      (rpc h conn "open"
+         (Ejson.Assoc
+            [ ("file", Ejson.String file); ("mode", Ejson.String "dyck") ]))
+  in
+  Alcotest.(check string)
+    "cold open is a miss" "miss"
+    (string_field "open" "status" opened);
+  Alcotest.(check string)
+    "session sits at the dyck tier" "dyck"
+    (string_field "open" "tier" opened);
+  let id = string_field "open" "session" opened in
+  (* dyck is a sound superset of ci: a ci may-alias verdict is never
+     refuted on the single-pair on-demand path *)
+  let a = Engine.run_exn (Engine.load_file file) in
+  let nodes =
+    List.map (fun ((n : Vdg.node), _) -> n.Vdg.nid)
+      (Vdg.indirect_memops a.Engine.graph)
+  in
+  Alcotest.(check bool) "the program has indirect ops" true (nodes <> []);
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          let reply =
+            expect_ok "dyck may_alias"
+              (rpc h conn "may_alias"
+                 (Ejson.Assoc [ ("a", Ejson.Int x); ("b", Ejson.Int y) ]))
+          in
+          Alcotest.(check string)
+            "answered at the dyck tier" "dyck"
+            (string_field "may_alias" "tier" reply);
+          if Query.may_alias a.Engine.ci x y then
+            Alcotest.(check bool)
+              (Printf.sprintf "dyck never refutes ci alias (%d,%d)" x y)
+              true
+              (bool_field "may_alias" "may_alias" reply))
+        nodes)
+    nodes;
+  (* stats expose the dyck resolver's economics *)
+  let stats = expect_ok "stats" (rpc h conn "stats" Ejson.Null) in
+  let by_tier = member_exn "stats" "answers_by_tier" stats in
+  Alcotest.(check int)
+    "dyck answers counted"
+    (List.length nodes * List.length nodes)
+    (int_field "answers_by_tier" "dyck" by_tier);
+  let d = member_exn "stats" "dyck" stats in
+  Alcotest.(check int) "one live resolver" 1 (int_field "dyck" "sessions" d);
+  let activated = int_field "dyck" "nodes_activated" d in
+  let total = int_field "dyck" "nodes_total" d in
+  Alcotest.(check bool)
+    (Printf.sprintf "activation bounded by the graph (%d/%d)" activated total)
+    true
+    (activated > 0 && activated <= total);
+  (* an exhaustive re-open promotes the dyck session in place *)
+  let reopened =
+    expect_ok "exhaustive re-open"
+      (rpc h conn "open" (Ejson.Assoc [ ("file", Ejson.String file) ]))
+  in
+  Alcotest.(check string)
+    "same session survives" id
+    (string_field "open" "session" reopened);
+  Alcotest.(check string)
+    "now at the ci tier" "ci"
+    (string_field "open" "tier" reopened);
+  Alcotest.(check string)
+    "promotion reused the session" "session-hit"
+    (string_field "open" "status" reopened)
+
+(* tier="dyck" on an exhaustive session answers through a per-session
+   lazy resolver, without draining or disturbing the ci solution *)
+let test_dyck_tier_query_on_exhaustive_session () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "conflict.c" conflict_src in
+  let sessions = Session.create () in
+  let h = Handler.create sessions in
+  let conn = Handler.new_conn () in
+  let opened =
+    expect_ok "open"
+      (rpc h conn "open" (Ejson.Assoc [ ("file", Ejson.String file) ]))
+  in
+  Alcotest.(check string)
+    "exhaustive open" "ci"
+    (string_field "open" "tier" opened);
+  let a = Engine.run_exn (Engine.load_file file) in
+  let nodes =
+    List.map (fun ((n : Vdg.node), _) -> n.Vdg.nid)
+      (Vdg.indirect_memops a.Engine.graph)
+  in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          let reply =
+            expect_ok "dyck-tier may_alias"
+              (rpc h conn "may_alias"
+                 (Ejson.Assoc
+                    [
+                      ("a", Ejson.Int x); ("b", Ejson.Int y);
+                      ("tier", Ejson.String "dyck");
+                    ]))
+          in
+          Alcotest.(check string)
+            "answered at the dyck tier" "dyck"
+            (string_field "may_alias" "tier" reply);
+          if Query.may_alias a.Engine.ci x y then
+            Alcotest.(check bool)
+              (Printf.sprintf "dyck never refutes ci (%d,%d)" x y)
+              true
+              (bool_field "may_alias" "may_alias" reply))
+        nodes)
+    nodes;
+  (* the per-session solver shows up in the dyck stats *)
+  let stats = expect_ok "stats" (rpc h conn "stats" Ejson.Null) in
+  let d = member_exn "stats" "dyck" stats in
+  Alcotest.(check int)
+    "per-session resolver counted" 1
+    (int_field "dyck" "sessions" d);
+  (* the session still answers plain queries at ci *)
+  let x = List.hd nodes in
+  let plain =
+    expect_ok "plain may_alias"
+      (rpc h conn "may_alias"
+         (Ejson.Assoc [ ("a", Ejson.Int x); ("b", Ejson.Int x) ]))
+  in
+  Alcotest.(check string)
+    "natural tier still ci" "ci"
+    (string_field "may_alias" "tier" plain)
+
 let test_client_timeout_on_dead_daemon () =
   let dir = fresh_dir () in
   (* a daemon that accepts and then hangs: reads must time out *)
@@ -1000,4 +1150,8 @@ let tests =
       test_demand_mode_session;
     Alcotest.test_case "demand: exhaustive re-open promotes in place" `Quick
       test_demand_open_promotes_on_exhaustive_reopen;
+    Alcotest.test_case "dyck: mode=dyck session answers lazily" `Quick
+      test_dyck_mode_session;
+    Alcotest.test_case "dyck: tier=dyck on an exhaustive session" `Quick
+      test_dyck_tier_query_on_exhaustive_session;
   ]
