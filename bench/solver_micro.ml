@@ -205,7 +205,26 @@ let benchmark_json name =
            (fun g -> Dyck_solver.create g)
            Dyck_solver.referenced_locations)
     in
-    let digest = Solution_digest.digest (Result.get_ok (Engine.run input)) in
+    let base_a = Result.get_ok (Engine.run input) in
+    let digest = Solution_digest.digest base_a in
+    (* the incremental engine's deterministic footprint: append one probe
+       procedure (a single-procedure edit) and re-solve against the cold
+       solution — which procedures re-solve versus splice depends only on
+       the digest diff and the dependence graph, so the partition joins
+       the drift gate; the spliced solution must also keep the digest *)
+    let probe_source =
+      source ^ "\nint __bench_probe(int *p) { return p == 0; }\n"
+    in
+    let probe_input = Engine.load_string ~file:(name ^ ".c") probe_source in
+    let a_inc, outcome =
+      Result.get_ok
+        (Engine.run_incremental ~prev:(Engine.incr_snapshot base_a) probe_input)
+    in
+    let incr_stats = outcome.Incr_engine.o_stats in
+    let incr_digest_ok =
+      String.equal (Solution_digest.digest a_inc)
+        (Solution_digest.digest (Result.get_ok (Engine.run probe_input)))
+    in
     Ejson.Assoc
       [
         ("name", Ejson.String name);
@@ -230,6 +249,9 @@ let benchmark_json name =
         ("interned_sets", Ejson.Int cs_stats.Ptset.st_sets);
         ("peak_table_bytes", Ejson.Int cs_stats.Ptset.st_peak_bytes);
         ("digest", Ejson.String digest);
+        ("incr_probe_resolved", Ejson.Int incr_stats.Incr_engine.st_resolved);
+        ("incr_probe_reused", Ejson.Int incr_stats.Incr_engine.st_reused);
+        ("incr_probe_digest_ok", Ejson.Int (if incr_digest_ok then 1 else 0));
       ]
 
 (* ---- baseline comparison ------------------------------------------------------------ *)
@@ -240,7 +262,8 @@ let deterministic_fields =
   [
     "nodes"; "demand_first_visited"; "demand_full_visited";
     "dyck_first_visited"; "dyck_full_visited"; "ci_meets"; "cs_meets";
-    "cs_pairs"; "digest";
+    "cs_pairs"; "digest"; "incr_probe_resolved"; "incr_probe_reused";
+    "incr_probe_digest_ok";
   ]
 
 let field_string name j =

@@ -949,6 +949,255 @@ let fuzz_cmd =
           violation or trap")
     Term.(const run_fuzz $ seed $ count $ fuel $ json $ verbose)
 
+(* ---- edit-replay ----------------------------------------------------------------- *)
+
+(* Replay a scripted edit sequence through the incremental engine
+   (DESIGN.md §14): after a cold solve of the base program, each edit is
+   re-solved incrementally against the previous snapshot AND cold from
+   scratch, reporting per-edit latency (the "ci" phase of the cold solve
+   vs the "incr" phase of the splice), re-solved/reused procedure
+   counts, and whether the two solutions' canonical digests match.  Exit
+   status is the number of digest mismatches, so CI can gate on it
+   directly. *)
+
+let replace_first ~find ~replace s =
+  let flen = String.length find in
+  let n = String.length s in
+  if flen = 0 || flen > n then None
+  else
+    let rec scan i =
+      if i + flen > n then None
+      else if String.equal (String.sub s i flen) find then
+        Some
+          (String.sub s 0 i ^ replace
+          ^ String.sub s (i + flen) (n - i - flen))
+      else scan (i + 1)
+    in
+    scan 0
+
+type replay_edit = { re_name : string; re_source : string }
+
+(* A script is a JSON list of {"name", "find", "replace"} objects, each
+   rewriting the first occurrence of "find" in the previous step's
+   source — edits are cumulative, like a real editing session. *)
+let edits_of_script base path =
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt in
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  match Ejson.of_string text with
+  | exception Ejson.Parse_error msg -> fail "%s: %s" path msg
+  | Ejson.List items ->
+    let src = ref base in
+    List.mapi
+      (fun i item ->
+        let str field =
+          match Ejson.member field item with
+          | Some (Ejson.String s) -> s
+          | _ -> fail "%s: edit %d: missing string field %S" path i field
+        in
+        let name =
+          match Ejson.member "name" item with
+          | Some (Ejson.String s) -> s
+          | _ -> Printf.sprintf "edit-%d" (i + 1)
+        in
+        match replace_first ~find:(str "find") ~replace:(str "replace") !src with
+        | Some s' ->
+          src := s';
+          { re_name = name; re_source = s' }
+        | None -> fail "%s: edit %d (%s): pattern not found" path i name)
+      items
+  | _ -> fail "%s: an edit script is a JSON list" path
+
+(* Without a script: append [n] probe procedures one by one (the
+   minimal single-procedure edit), then revert to the base — the shape
+   of an explore-and-undo editing session. *)
+let synthetic_edits base n =
+  let src = ref base in
+  List.init n (fun i ->
+      src :=
+        Printf.sprintf "%s\nint __replay_probe_%d(int *p) { return p == 0; }\n"
+          !src i;
+      { re_name = Printf.sprintf "append-probe-%d" (i + 1); re_source = !src })
+  @ [ { re_name = "revert"; re_source = base } ]
+
+let run_edit_replay file bench script edits_n json no_verify min_speedup =
+  with_frontend_errors @@ fun () ->
+  let name, base =
+    match (file, bench) with
+    | Some f, None -> (f, In_channel.with_open_bin f In_channel.input_all)
+    | None, Some b -> (
+      match Suite.find b with
+      | Some e -> (b ^ ".c", Suite.source e)
+      | None ->
+        Printf.eprintf "unknown benchmark '%s'; try bench-list\n" b;
+        exit 2)
+    | _ ->
+      prerr_endline "edit-replay: name exactly one of FILE.c or --bench";
+      exit 2
+  in
+  let edits =
+    match script with
+    | Some path -> edits_of_script base path
+    | None -> synthetic_edits base edits_n
+  in
+  let phase tele ph =
+    Option.value ~default:0. (Telemetry.phase_seconds tele ph)
+  in
+  let base_a = engine_errors (Engine.run (Engine.load_string ~file:name base)) in
+  let prev = ref (Engine.incr_snapshot base_a) in
+  let mismatches = ref 0 in
+  let rows =
+    List.map
+      (fun e ->
+        (* level the playing field between edits: earlier solves leave a
+           large live heap (previous snapshot, intern universes) that
+           would otherwise tax later edits' major GCs — for both the
+           cold and the incremental timing, but unevenly *)
+        Gc.compact ();
+        let input = Engine.load_string ~file:name e.re_source in
+        let a_inc, outcome =
+          engine_errors (Engine.run_incremental ~prev:!prev input)
+        in
+        let a_cold = engine_errors (Engine.run input) in
+        let digest_match =
+          no_verify
+          || String.equal
+               (Solution_digest.digest a_inc)
+               (Solution_digest.digest a_cold)
+        in
+        if not digest_match then incr mismatches;
+        prev := Engine.incr_snapshot a_inc;
+        let cold_ci = phase a_cold.Engine.telemetry "ci" in
+        let incr_s = phase a_inc.Engine.telemetry "incr" in
+        let s = outcome.Incr_engine.o_stats in
+        (e.re_name, cold_ci, incr_s, s, digest_match))
+      edits
+  in
+  let speedup cold_ci incr_s = cold_ci /. Float.max incr_s 1e-9 in
+  if json then
+    print_endline
+      (Ejson.to_compact_string
+         (Ejson.Assoc
+            [
+              ("file", Ejson.String name);
+              ("edits", Ejson.Int (List.length rows));
+              ("verified", Ejson.Bool (not no_verify));
+              ("digest_mismatches", Ejson.Int !mismatches);
+              ( "min_solve_speedup",
+                Ejson.Float
+                  (List.fold_left
+                     (fun acc (_, c, i, _, _) -> Float.min acc (speedup c i))
+                     infinity rows
+                  |> fun v -> if Float.is_finite v then v else 0.) );
+              ( "per_edit",
+                Ejson.List
+                  (List.map
+                     (fun (nm, cold_ci, incr_s, (s : Incr_engine.stats), ok) ->
+                       Ejson.Assoc
+                         ([
+                            ("name", Ejson.String nm);
+                            ("cold_ci_seconds", Ejson.Float cold_ci);
+                            ("incr_seconds", Ejson.Float incr_s);
+                            ( "solve_speedup",
+                              Ejson.Float (speedup cold_ci incr_s) );
+                            ("digest_match", Ejson.Bool ok);
+                          ]
+                         @ Telemetry.incr_json
+                             {
+                               Telemetry.inc_procs_total = s.Incr_engine.st_procs_total;
+                               inc_dirty_initial = s.Incr_engine.st_dirty_initial;
+                               inc_resolved = s.Incr_engine.st_resolved;
+                               inc_reused = s.Incr_engine.st_reused;
+                               inc_summary_hits = s.Incr_engine.st_summary_hits;
+                               inc_rounds = s.Incr_engine.st_rounds;
+                               inc_full_fallback = s.Incr_engine.st_full_fallback;
+                             }))
+                     rows) );
+            ]))
+  else begin
+    Printf.printf "%-24s %10s %10s %8s %14s  %s\n" "edit" "cold-ci" "incr"
+      "speedup" "resolved/total" "digest";
+    List.iter
+      (fun (nm, cold_ci, incr_s, (s : Incr_engine.stats), ok) ->
+        Printf.printf "%-24s %9.2fms %8.2fms %7.1fx %8d/%-5d  %s\n" nm
+          (cold_ci *. 1e3) (incr_s *. 1e3)
+          (speedup cold_ci incr_s)
+          s.Incr_engine.st_resolved s.Incr_engine.st_procs_total
+          (if no_verify then "-" else if ok then "ok" else "MISMATCH"))
+      rows;
+    if not no_verify then
+      Printf.printf "%d edit(s), %d digest mismatch(es)\n" (List.length rows)
+        !mismatches
+  end;
+  let min_observed =
+    List.fold_left
+      (fun acc (_, c, i, _, _) -> Float.min acc (speedup c i))
+      infinity rows
+  in
+  (match min_speedup with
+  | Some want when min_observed < want ->
+    Printf.eprintf
+      "edit-replay: minimum solve speedup %.1fx below required %.1fx\n"
+      min_observed want;
+    exit 3
+  | _ -> ());
+  exit (min !mismatches 125)
+
+let edit_replay_cmd =
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.c") in
+  let bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench" ] ~docv:"BENCHMARK"
+          ~doc:"Replay over a generated benchmark instead of a file.")
+  in
+  let script =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"EDITS.json"
+          ~doc:
+            "Edit script: a JSON list of {\"name\", \"find\", \"replace\"} \
+             objects, each rewriting the first occurrence of \"find\" in \
+             the previous step's source.  Default: append probe \
+             procedures one by one, then revert.")
+  in
+  let edits_n =
+    Arg.(
+      value & opt int 3
+      & info [ "edits" ] ~docv:"N"
+          ~doc:"Number of synthetic probe edits (without --script).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON report.")
+  in
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:
+            "Skip the digest comparison (timing only; mismatches cannot \
+             be detected).")
+  in
+  let min_speedup =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:
+            "Fail (exit 3) unless every edit's incremental re-solve beat \
+             its cold solve by at least Xx (the CI smoke gate).")
+  in
+  Cmd.v
+    (Cmd.info "edit-replay"
+       ~doc:
+         "Replay scripted edits through the incremental engine, timing \
+          each re-solve against a cold solve and checking the solution \
+          digests match; exits nonzero on any mismatch")
+    Term.(
+      const run_edit_replay $ file $ bench $ script $ edits_n $ json
+      $ no_verify $ min_speedup)
+
 (* ---- bench-list ----------------------------------------------------------------- *)
 
 let run_bench_list () =
@@ -971,4 +1220,4 @@ let () =
           (Cmd.info "alias-analyze" ~doc)
           [ analyze_cmd; tables_cmd; gen_cmd; interp_cmd; bench_list_cmd;
             conflicts_cmd; purity_cmd; lint_cmd; serve_cmd; query_cmd;
-            fuzz_cmd ]))
+            fuzz_cmd; edit_replay_cmd ]))

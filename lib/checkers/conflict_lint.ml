@@ -44,7 +44,12 @@ let run cx =
                  (Checker.where a.Modref.op_loc)
                  (Checker.string_of_rw b.Modref.op_rw)
                  (Checker.where b.Modref.op_loc)
-                 (String.concat ", " (List.map Apath.to_string c.Query.cf_common))))
+                 (* sorted textually: cf_common arrives in path-interning
+                    order, which differs between a cold and an
+                    incremental solve of the same program *)
+                 (String.concat ", "
+                    (List.sort compare
+                       (List.map Apath.to_string c.Query.cf_common)))))
           (Query.conflicts_in cx.Checker.cx_modref fname))
     cx.Checker.cx_prog.Sil.p_functions
 

@@ -432,6 +432,149 @@ let solve ?(config = default_config) ?budget (g : Vdg.t) : t =
   t.ptset_stats <- Some (Ptset.delta ~before ~after:(Ptset.stats ()));
   t
 
+(* ---- warm (region-restricted) solve ------------------------------------------ *)
+
+(* Re-solve only a region of the graph, with everything outside it frozen
+   at a previous solution.  Frozen nodes get their pairs preset without
+   notifying consumers (the old fixpoint is already closed under the
+   transfer functions inside the frozen region); frozen call sites get
+   their discovered call edges preset without repropagation.  Work enters
+   the region in three ways:
+
+   - the normal seeding of the region's base/alloc nodes;
+   - frozen->region consumer edges (root wiring): every preset pair of a
+     frozen producer is enqueued at its region consumers;
+   - frozen caller -> region callee call edges: the caller's preset
+     actuals/store are injected into the callee's formal nodes, mirroring
+     [add_defined_callee]'s repropagation.
+
+   Region -> frozen flow happens through the ordinary mechanisms
+   (discovery, return propagation); a frozen node that would have to
+   *grow* marks the splice invalid — the caller re-runs with the node's
+   procedure dirtied.  Shrinkage cannot be observed here (sets only
+   grow); callers must compare interface summaries against the previous
+   solution to detect it. *)
+
+let enqueue t consumer idx pair =
+  let wkey = (consumer, idx, Ptpair.key pair) in
+  if Hashtbl.mem t.pending wkey then t.dup_skips <- t.dup_skips + 1
+  else begin
+    Hashtbl.replace t.pending wkey ();
+    Workbag.add t.worklist (consumer, idx, pair)
+  end
+
+let solve_warm ?(config = default_config) ?budget (g : Vdg.t)
+    ~(frozen : bool array)
+    ~(preset : (Vdg.node_id * Ptpair.t list) list)
+    ~(calls : (Vdg.node_id * (string * int array option) list) list)
+    ~(ext_calls : (Vdg.node_id * string list) list) : t * Vdg.node_id list =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let before = Ptset.stats () in
+  let t =
+    {
+      g;
+      config;
+      budget;
+      pts = Array.init (Vdg.n_nodes g) (fun _ -> Ptpair.Set.create ());
+      worklist = Workbag.create config.schedule;
+      pending = Hashtbl.create 1024;
+      dup_skips = 0;
+      flow_in_count = 0;
+      flow_out_count = 0;
+      ptset_stats = None;
+      call_callees = Hashtbl.create 64;
+      fun_callers = Hashtbl.create 64;
+      ext_callees = Hashtbl.create 64;
+    }
+  in
+  (* install frozen facts silently *)
+  List.iter
+    (fun (nid, pairs) ->
+      List.iter (fun p -> ignore (Ptpair.Set.add t.pts.(nid) p)) pairs)
+    preset;
+  let baseline = Array.make (Vdg.n_nodes g) 0 in
+  Array.iteri
+    (fun nid is_frozen ->
+      if is_frozen then baseline.(nid) <- Ptpair.Set.cardinal t.pts.(nid))
+    frozen;
+  (* install frozen call tables, without repropagation *)
+  List.iter
+    (fun (call, edges) ->
+      let cell = ref [] in
+      Hashtbl.replace t.call_callees call cell;
+      List.iter
+        (fun (name, argmap) ->
+          cell := { ce_name = name; ce_argmap = argmap } :: !cell;
+          let callers_cell =
+            match Hashtbl.find_opt t.fun_callers name with
+            | Some c -> c
+            | None ->
+              let c = ref [] in
+              Hashtbl.add t.fun_callers name c;
+              c
+          in
+          if not (List.mem call !callers_cell) then
+            callers_cell := call :: !callers_cell)
+        (List.rev edges))
+    calls;
+  List.iter
+    (fun (call, names) -> Hashtbl.replace t.ext_callees call (ref names))
+    ext_calls;
+  (* frozen -> region consumer edges *)
+  Array.iteri
+    (fun nid is_frozen ->
+      if is_frozen then
+        let consumers = Vdg.consumers g nid in
+        if
+          List.exists (fun (c, _) -> not frozen.(c)) consumers
+        then
+          Ptpair.Set.iter
+            (fun p ->
+              List.iter
+                (fun (c, i) -> if not frozen.(c) then enqueue t c i p)
+                consumers)
+            t.pts.(nid))
+    frozen;
+  (* frozen caller -> region callee injection *)
+  List.iter
+    (fun (call, edges) ->
+      let cm = Hashtbl.find g.Vdg.call_meta call in
+      List.iter
+        (fun (name, argmap) ->
+          match Hashtbl.find_opt g.Vdg.funs name with
+          | Some meta when not frozen.(meta.Vdg.fm_formal_store) ->
+            let edge = { ce_name = name; ce_argmap = argmap } in
+            Array.iteri
+              (fun formal_idx formal_out ->
+                match actual_for cm edge formal_idx with
+                | Some actual ->
+                  Ptpair.Set.iter (fun p -> flow_out t formal_out p)
+                    t.pts.(actual)
+                | None -> ())
+              meta.Vdg.fm_formals;
+            Ptpair.Set.iter
+              (fun p -> flow_out t meta.Vdg.fm_formal_store p)
+              t.pts.(cm.Vdg.cm_store)
+          | _ -> ())
+        edges)
+    calls;
+  (* ordinary seeding: frozen nodes' base pairs are already preset, so
+     only region nodes generate work *)
+  seed t;
+  while not (Workbag.is_empty t.worklist) do
+    let nid, idx, pair = Workbag.pop t.worklist in
+    Hashtbl.remove t.pending (nid, idx, Ptpair.key pair);
+    flow_in t nid idx pair
+  done;
+  t.ptset_stats <- Some (Ptset.delta ~before ~after:(Ptset.stats ()));
+  let violations = ref [] in
+  Array.iteri
+    (fun nid is_frozen ->
+      if is_frozen && Ptpair.Set.cardinal t.pts.(nid) > baseline.(nid) then
+        violations := nid :: !violations)
+    frozen;
+  (t, List.rev !violations)
+
 let referenced_locations t nid =
   let n = Vdg.node t.g nid in
   match n.Vdg.nkind, n.Vdg.ninputs with

@@ -35,6 +35,26 @@ val solve : ?config:config -> ?budget:Budget.t -> Vdg.t -> t
     meet application ticks it; a tripped limit raises {!Budget.Exhausted}
     and the partial solver state is discarded by the caller. *)
 
+val solve_warm :
+  ?config:config ->
+  ?budget:Budget.t ->
+  Vdg.t ->
+  frozen:bool array ->
+  preset:(Vdg.node_id * Ptpair.t list) list ->
+  calls:(Vdg.node_id * (string * int array option) list) list ->
+  ext_calls:(Vdg.node_id * string list) list ->
+  t * Vdg.node_id list
+(** Region-restricted re-solve for {!Incr_engine}: nodes with
+    [frozen.(nid)] keep their [preset] pairs (installed without consumer
+    notification) and [calls]/[ext_calls] preset their discovered call
+    edges without repropagation; only the un-frozen region iterates to
+    fixpoint, with boundary flows injected from the frozen facts.  The
+    second component lists frozen nodes whose pair sets {e grew} during
+    the solve — a non-empty list means the freeze was unsound for those
+    nodes' procedures and the caller must re-run with them dirtied.
+    Shrinkage is invisible to a monotone solver; the caller compares
+    interface summaries against the previous solution instead. *)
+
 val graph : t -> Vdg.t
 val pairs : t -> Vdg.node_id -> Ptpair.Set.t
 (** Points-to pairs on an output (empty set if none were derived). *)

@@ -159,6 +159,10 @@ type analysis = {
   ci : Ci_solver.t;
   cs_cell : cs_cell;
   telemetry : Telemetry.t;
+  a_digests : ((string * string) list * string) Lazy.t;
+      (* per-procedure canonical digests + program digest (Proc_summary),
+         the baseline identity a later incremental update diffs against;
+         lazy because only incremental clients force it *)
 }
 
 (* ---- loading ------------------------------------------------------------------- *)
@@ -219,6 +223,10 @@ type stored = {
   s_ci : Ci_solver.t;
   s_cs : Cs_solver.t option;
   s_telemetry : Telemetry.t;
+  s_digests : (string * string) list;  (* per-procedure summary digests *)
+  s_program_digest : string;
+      (* persisted so a restarted session resumes incrementality against
+         the exact identity of the solved snapshot *)
 }
 
 (* ---- counters -------------------------------------------------------------------- *)
@@ -365,6 +373,7 @@ let store_payload cache key a =
        telemetry.Telemetry.t_cs <- a.cs_cell.cc_counters;
      telemetry.Telemetry.t_tier <- Some (string_of_tier Cs)
    end);
+  let digests, program_digest = Lazy.force a.a_digests in
   Engine_cache.store_disk cache key
     {
       s_prog = a.prog;
@@ -372,6 +381,8 @@ let store_payload cache key a =
       s_ci = a.ci;
       s_cs = a.cs_cell.cc_cs;
       s_telemetry = telemetry;
+      s_digests = digests;
+      s_program_digest = program_digest;
     }
 
 let fresh_run ?cache ?budget ~key config input =
@@ -404,6 +415,8 @@ let fresh_run ?cache ?budget ~key config input =
               | None -> ())
             None;
         telemetry;
+        a_digests =
+          lazy (Proc_summary.digests prog, Proc_summary.program_digest prog);
       }
   in
   let a = Lazy.force analysis in
@@ -438,6 +451,7 @@ let of_stored ?cache ~key config input (s : stored) =
               | None -> ())
             s.s_cs;
         telemetry;
+        a_digests = lazy (s.s_digests, s.s_program_digest);
       }
   in
   Lazy.force analysis
@@ -486,6 +500,92 @@ let run ?config ?cache ?strict_cache ?budget input =
     Error (Budget_exhausted { be_tier = Ci; be_reason = r })
   | exception Corrupt_entry msg -> Error (Cache_corrupt msg)
 
+(* ---- incremental re-analysis ------------------------------------------------------- *)
+
+let incr_snapshot a : Incr_engine.prev =
+  let digests, program_digest = Lazy.force a.a_digests in
+  {
+    Incr_engine.pv_prog = a.prog;
+    pv_graph = a.graph;
+    pv_ci = a.ci;
+    pv_digests = digests;
+    pv_program_digest = program_digest;
+  }
+
+let incr_counters (s : Incr_engine.stats) : Telemetry.incr_counters =
+  {
+    Telemetry.inc_procs_total = s.Incr_engine.st_procs_total;
+    inc_dirty_initial = s.Incr_engine.st_dirty_initial;
+    inc_resolved = s.Incr_engine.st_resolved;
+    inc_reused = s.Incr_engine.st_reused;
+    inc_summary_hits = s.Incr_engine.st_summary_hits;
+    inc_rounds = s.Incr_engine.st_rounds;
+    inc_full_fallback = s.Incr_engine.st_full_fallback;
+  }
+
+(* The incremental pipeline: compile and rebuild the VDG as usual (both
+   are linear and cheap next to the fixpoint), then splice the previous
+   solution through Incr_engine instead of solving cold.  The result is
+   an ordinary analysis — same caching, same lazy CS — whose telemetry
+   additionally carries the incr_* counters. *)
+let run_incremental_raw ?(config = default_config) ?cache ?budget
+    ~(prev : Incr_engine.prev) input =
+  let telemetry =
+    Telemetry.create ~file:input.in_file
+      ~source_bytes:(String.length input.in_source)
+  in
+  Telemetry.record_phase telemetry "load" input.in_load_seconds;
+  let prog = Telemetry.time telemetry "frontend" (fun () -> compile input) in
+  (match budget with Some b -> Budget.check_now b | None -> ());
+  let graph = Telemetry.time telemetry "vdg" (fun () -> build_graph ~config prog) in
+  let outcome =
+    Telemetry.time telemetry "incr" (fun () ->
+        Incr_engine.update ~config:config.ci_config ?budget ~prev prog graph)
+  in
+  let ci = outcome.Incr_engine.o_ci in
+  populate_shape_counters telemetry prog graph;
+  telemetry.Telemetry.t_ci <- Some (ci_counters ci);
+  telemetry.Telemetry.t_incr <- Some (incr_counters outcome.Incr_engine.o_stats);
+  telemetry.Telemetry.t_tier <- Some (string_of_tier Ci);
+  let key = match cache with Some _ -> cache_key config input | None -> "" in
+  let rec analysis =
+    lazy
+      {
+        a_input = input;
+        a_config = config;
+        prog;
+        graph;
+        ci;
+        cs_cell =
+          make_cs_cell
+            ~solve:(fun ?budget () -> solve_cs ~config ?budget graph ~ci)
+            ~on_solved:(fun _ ->
+              match cache with
+              | Some c -> store_payload c key (Lazy.force analysis)
+              | None -> ())
+            None;
+        telemetry;
+        a_digests =
+          lazy (Proc_summary.digests prog, Proc_summary.program_digest prog);
+      }
+  in
+  let a = Lazy.force analysis in
+  (match cache with
+  | Some c ->
+    Engine_cache.add_memory c key a;
+    store_payload c key a
+  | None -> ());
+  (a, outcome)
+
+let run_incremental ?config ?cache ?budget ~prev input =
+  match run_incremental_raw ?config ?cache ?budget ~prev input with
+  | r -> Ok r
+  | exception Srcloc.Error (loc, msg) ->
+    Error (Frontend_error { fe_loc = loc; fe_message = msg })
+  | exception Budget.Exhausted Budget.Cancelled -> Error Cancelled
+  | exception Budget.Exhausted r ->
+    Error (Budget_exhausted { be_tier = Ci; be_reason = r })
+
 (* ---- the degradation ladder -------------------------------------------------------- *)
 
 type baseline = Base_andersen of Andersen.t | Base_steensgaard of Steensgaard.t
@@ -517,6 +617,32 @@ let annotate_telemetry base ~tier ~degradations ~budget =
     degradations;
   telemetry.Telemetry.t_budget <- budget_fields budget;
   telemetry
+
+(* The tiered view of an incremental re-solve, for callers that hold
+   tiered sessions (the server): the splice always lands at the full Ci
+   tier — the ladder never engages, there is nothing to degrade to that
+   would still be spliceable. *)
+let run_incremental_tiered ?(config = default_config) ?cache ?budget ~prev
+    input =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  match run_incremental ~config ?cache ~budget ~prev input with
+  | Error _ as e -> e
+  | Ok (a, outcome) ->
+    Ok
+      ( {
+          td_input = input;
+          td_config = config;
+          td_tier = Ci;
+          td_analysis = Some a;
+          td_demand = None;
+          td_dyck = None;
+          td_baseline = None;
+          td_prog = a.prog;
+          td_telemetry =
+            annotate_telemetry a.telemetry ~tier:Ci ~degradations:[] ~budget;
+          td_degradations = [];
+        },
+        outcome )
 
 (* Fall back below Ci: recompile (cheap next to any solve) and run the
    flow-insensitive baselines.  Andersen gets a restarted budget (fresh
@@ -871,6 +997,10 @@ let promote ?budget td =
               ~solve:(fun ?budget () -> solve_cs ~config ?budget graph ~ci)
               None;
           telemetry;
+          a_digests =
+            lazy
+              ( Proc_summary.digests td.td_prog,
+                Proc_summary.program_digest td.td_prog );
         }
       in
       Ok { td with td_tier = Ci; td_analysis = Some analysis }

@@ -105,6 +105,10 @@ type analysis = {
   ci : Ci_solver.t;
   cs_cell : cs_cell;
   telemetry : Telemetry.t;
+  a_digests : ((string * string) list * string) Lazy.t;
+      (** per-procedure canonical digests + program digest
+          ({!Proc_summary}), the identity baseline an incremental update
+          diffs against; forced lazily by incremental clients *)
 }
 
 (** {2 Loading} *)
@@ -154,6 +158,30 @@ val run_exn :
 (** Exception-shaped compatibility wrapper over {!run} without a budget:
     raises [Srcloc.Error] on frontend failure, exactly like the pre-result
     API.  Prefer {!run} in new code. *)
+
+(** {2 Incremental re-analysis} *)
+
+val incr_snapshot : analysis -> Incr_engine.prev
+(** Capture the analysis as the baseline a later {!run_incremental}
+    diffs against.  For an analysis rehydrated from the disk cache, the
+    digests are the persisted ones, so a restarted session resumes
+    incrementality against the exact identity of the solved snapshot. *)
+
+val run_incremental :
+  ?config:config ->
+  ?cache:analysis Engine_cache.t ->
+  ?budget:Budget.t ->
+  prev:Incr_engine.prev ->
+  input ->
+  (analysis * Incr_engine.outcome, error) result
+(** Compile and rebuild the VDG as usual, then splice the previous
+    solution through {!Incr_engine.update} instead of solving cold: only
+    procedures whose canonical digest changed (plus whatever the splice
+    checks force in) are re-solved.  The returned analysis is an
+    ordinary one — same caching, same lazy CS — whose telemetry
+    additionally carries [Telemetry.incr_counters]; the outcome reports
+    which procedures were re-solved.  The result is digest-identical to
+    a cold {!run} of the same input (test/test_incr.ml). *)
 
 val cs : analysis -> Cs_solver.t
 (** Force the context-sensitive solve; idempotent, safe under domains.
@@ -245,6 +273,18 @@ val promote : ?budget:Budget.t -> tiered -> (tiered, error) result
     (budgeted when [budget] is given; exhaustion is an error, never a
     descent — the caller already holds a usable lazy result).  Identity
     on any result that already has, or can never have, an analysis. *)
+
+val run_incremental_tiered :
+  ?config:config ->
+  ?cache:analysis Engine_cache.t ->
+  ?budget:Budget.t ->
+  prev:Incr_engine.prev ->
+  input ->
+  (tiered * Incr_engine.outcome, error) result
+(** {!run_incremental}, packaged as a [tiered] view for callers that
+    hold tiered sessions (the server's in-place update).  The splice
+    always lands at the full [Ci] tier: the degradation ladder never
+    engages, since there is no lower tier a splice could target. *)
 
 val demand_counters : Demand_solver.t -> Telemetry.demand_counters
 val dyck_counters : Dyck_solver.t -> Telemetry.demand_counters

@@ -35,7 +35,10 @@ type 'v t = {
 (* /4: hash-consed points-to sets — Ptpair.Set, Assumption.t and the CS
    entry tables changed their marshaled shapes, and solver_counters
    gained the meet-cache fields. *)
-let format_version = "alias-engine-cache/4"
+(* /5: Engine.stored carries per-procedure summary digests for
+   incremental re-analysis, and Telemetry.t gained the incr counters
+   field. *)
+let format_version = "alias-engine-cache/5"
 
 let create ?dir () =
   (match dir with

@@ -48,6 +48,19 @@ type demand_counters = {
   dc_worklist_pops : int;
 }
 
+(* Counters of an incremental re-solve (Incr_engine): how much of the
+   program the edit actually dirtied.  The reused/total ratio is the
+   incremental engine's whole value proposition. *)
+type incr_counters = {
+  inc_procs_total : int;
+  inc_dirty_initial : int;   (* procedures whose digest changed *)
+  inc_resolved : int;        (* procedures re-solved in the final region *)
+  inc_reused : int;          (* procedures whose facts were spliced *)
+  inc_summary_hits : int;    (* unchanged callee summaries sparing a caller *)
+  inc_rounds : int;          (* region-growth iterations *)
+  inc_full_fallback : bool;  (* program-level context changed: cold solve *)
+}
+
 (* One step down the precision ladder: which tier was abandoned, which
    tier answered instead, and which budget axis tripped. *)
 type degradation_event = {
@@ -70,6 +83,7 @@ type t = {
   mutable t_dyck : demand_counters option;   (* same shape: the dyck tier is
                                                 also an activation-gated lazy
                                                 resolver *)
+  mutable t_incr : incr_counters option;     (* set by Engine.run_incremental *)
   mutable t_checkers : checker_stat list;    (* in execution order *)
   mutable t_tier : string option;            (* ladder tier actually achieved *)
   mutable t_degradations : degradation_event list;  (* in occurrence order *)
@@ -80,7 +94,7 @@ type t = {
    once the lazily-forced context-sensitive solve has actually run;
    "demand" replaces "ci"/"cs" on the demand-driven tier, where solving
    is folded into the queries themselves. *)
-let phase_names = [ "load"; "frontend"; "vdg"; "demand"; "dyck"; "ci"; "cs" ]
+let phase_names = [ "load"; "frontend"; "vdg"; "demand"; "dyck"; "ci"; "incr"; "cs" ]
 
 let create ~file ~source_bytes =
   {
@@ -95,6 +109,7 @@ let create ~file ~source_bytes =
     t_cs = None;
     t_demand = None;
     t_dyck = None;
+    t_incr = None;
     t_checkers = [];
     t_tier = None;
     t_degradations = [];
@@ -194,6 +209,7 @@ let copy t =
     t_cs = t.t_cs;
     t_demand = t.t_demand;
     t_dyck = t.t_dyck;
+    t_incr = t.t_incr;
     t_checkers = t.t_checkers;
     t_tier = t.t_tier;
     t_degradations = t.t_degradations;
@@ -230,6 +246,17 @@ let lazy_counters_json prefix (d : demand_counters) =
 
 let demand_json = lazy_counters_json "demand"
 
+let incr_json (i : incr_counters) =
+  [
+    ("incr_procs_total", Ejson.Int i.inc_procs_total);
+    ("incr_dirty_initial", Ejson.Int i.inc_dirty_initial);
+    ("incr_resolved", Ejson.Int i.inc_resolved);
+    ("incr_reused", Ejson.Int i.inc_reused);
+    ("incr_summary_hits", Ejson.Int i.inc_summary_hits);
+    ("incr_rounds", Ejson.Int i.inc_rounds);
+    ("incr_full_fallback", Ejson.Bool i.inc_full_fallback);
+  ]
+
 let to_json t =
   let phases =
     Ejson.Assoc (List.map (fun (name, s) -> (name, Ejson.Float s)) t.t_phases)
@@ -244,6 +271,7 @@ let to_json t =
     @ (match t.t_cs with Some c -> counters_json "cs" c | None -> [])
     @ (match t.t_demand with Some d -> demand_json d | None -> [])
     @ (match t.t_dyck with Some d -> lazy_counters_json "dyck" d | None -> [])
+    @ (match t.t_incr with Some i -> incr_json i | None -> [])
   in
   let checkers =
     match t.t_checkers with

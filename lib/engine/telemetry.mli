@@ -49,6 +49,20 @@ type demand_counters = {
   dc_worklist_pops : int;
 }
 
+(** Counters of an incremental re-solve ([Incr_engine]): how much of the
+    program the edit actually dirtied.  The reused/total procedure ratio
+    is the incremental engine's whole value proposition, so it travels
+    with every metrics payload of an [Engine.run_incremental]. *)
+type incr_counters = {
+  inc_procs_total : int;
+  inc_dirty_initial : int;  (** procedures whose canonical digest changed *)
+  inc_resolved : int;  (** procedures re-solved in the final region *)
+  inc_reused : int;  (** procedures whose previous facts were spliced *)
+  inc_summary_hits : int;  (** unchanged callee summaries sparing a caller *)
+  inc_rounds : int;  (** region-growth iterations *)
+  inc_full_fallback : bool;  (** program-level context changed: cold solve *)
+}
+
 (** One step down the precision ladder: which tier was abandoned, which
     tier answered instead, and which budget axis tripped (a
     {!Budget.reason} rendered as a string). *)
@@ -73,6 +87,8 @@ type t = {
   mutable t_dyck : demand_counters option;
       (** the Dyck tier is also an activation-gated lazy resolver, so it
           reports the same counter shape under a ["dyck_"] prefix *)
+  mutable t_incr : incr_counters option;
+      (** set by [Engine.run_incremental] *)
   mutable t_checkers : checker_stat list;  (** in execution order *)
   mutable t_tier : string option;  (** ladder tier actually achieved *)
   mutable t_degradations : degradation_event list;  (** in occurrence order *)
@@ -138,6 +154,10 @@ val lazy_counters_json : string -> demand_counters -> (string * Ejson.t) list
 val demand_json : demand_counters -> (string * Ejson.t) list
 (** [lazy_counters_json "demand"] — the ["demand_*"] counter fields, as
     embedded in {!to_json} and the server's [stats] reply. *)
+
+val incr_json : incr_counters -> (string * Ejson.t) list
+(** The ["incr_*"] counter fields, as embedded in {!to_json} and the
+    server's [update] reply. *)
 
 val to_json : t -> Ejson.t
 

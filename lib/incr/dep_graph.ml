@@ -1,0 +1,245 @@
+(* The caller/callee dependency graph over defined procedures, with its
+   Tarjan SCC condensation.
+
+   Edges come from two sources: static direct calls read off the SIL
+   (cheap, always available) and the dynamically discovered call graph
+   of a previous solve (indirect calls, higher-order extern summaries).
+   The union is what "p's solution consumed q's summary" means for the
+   incremental engine: p depends on its callees' return/store summaries
+   and on its callers' argument/store summaries, so dirtiness closure
+   runs in both directions over the condensation when needed.
+
+   The SCC computation is an iterative Tarjan (workload programs have
+   deep call chains; no recursion on the call graph's depth). *)
+
+type t = {
+  procs : string array;
+  index : (string, int) Hashtbl.t;
+  succ : int list array;  (* caller -> callees *)
+  pred : int list array;  (* callee -> callers *)
+  scc_of : int array;
+  scc_members : int list array;
+  scc_succ : int list array;  (* condensation, caller-scc -> callee-scc *)
+  scc_pred : int list array;
+  topo : int array;  (* scc ids, callees before callers (bottom-up) *)
+}
+
+let procs t = Array.to_list t.procs
+let n_sccs t = Array.length t.scc_members
+
+let scc_of t name =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> Some t.scc_of.(i)
+  | None -> None
+
+let members t scc = List.map (fun i -> t.procs.(i)) t.scc_members.(scc)
+
+let callees t name =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> List.map (fun j -> t.procs.(j)) t.succ.(i)
+  | None -> []
+
+let callers t name =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> List.map (fun j -> t.procs.(j)) t.pred.(i)
+  | None -> []
+
+let consumed = callees
+
+let topo_sccs t = Array.to_list t.topo
+
+(* ---- construction ----------------------------------------------------------- *)
+
+let static_edges (prog : Sil.program) : (string * string) list =
+  let defined = Hashtbl.create 64 in
+  List.iter
+    (fun (fd : Sil.fundec) -> Hashtbl.replace defined fd.Sil.fd_name ())
+    prog.Sil.p_functions;
+  let acc = ref [] in
+  List.iter
+    (fun (fd : Sil.fundec) ->
+      Array.iter
+        (fun (b : Sil.block) ->
+          List.iter
+            (fun instr ->
+              match instr with
+              | Sil.Call (_, Sil.Direct name, _, _) when Hashtbl.mem defined name ->
+                acc := (fd.Sil.fd_name, name) :: !acc
+              | _ -> ())
+            b.Sil.binstrs)
+        fd.Sil.fd_blocks)
+    prog.Sil.p_functions;
+  !acc
+
+let discovered_edges (ci : Ci_solver.t) : (string * string) list =
+  let g = Ci_solver.graph ci in
+  let acc = ref [] in
+  List.iter
+    (fun call ->
+      let caller = (Vdg.node g call).Vdg.nfun in
+      if caller <> "" then
+        List.iter
+          (fun callee -> acc := (caller, callee) :: !acc)
+          (Ci_solver.callees ci call))
+    g.Vdg.calls;
+  !acc
+
+let build (prog : Sil.program) ~(extra : (string * string) list) : t =
+  let names =
+    Array.of_list (List.map (fun (fd : Sil.fundec) -> fd.Sil.fd_name) prog.Sil.p_functions)
+  in
+  let n = Array.length names in
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i name -> Hashtbl.replace index name i) names;
+  let succ = Array.make n [] in
+  let pred = Array.make n [] in
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun (a, b) ->
+      match (Hashtbl.find_opt index a, Hashtbl.find_opt index b) with
+      | Some i, Some j ->
+        if not (Hashtbl.mem seen (i, j)) then begin
+          Hashtbl.replace seen (i, j) ();
+          succ.(i) <- j :: succ.(i);
+          pred.(j) <- i :: pred.(j)
+        end
+      | _ -> ())
+    (static_edges prog @ extra);
+  (* iterative Tarjan *)
+  let indexv = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let scc_of = Array.make n (-1) in
+  let scc_members = ref [] in
+  let n_scc = ref 0 in
+  for root = 0 to n - 1 do
+    if indexv.(root) < 0 then begin
+      (* frame: (node, remaining successors) *)
+      let call_stack = ref [ (root, succ.(root)) ] in
+      indexv.(root) <- !counter;
+      lowlink.(root) <- !counter;
+      incr counter;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !call_stack <> [] do
+        match !call_stack with
+        | [] -> ()
+        | (v, rest) :: frames -> (
+          match rest with
+          | w :: rest' ->
+            call_stack := (v, rest') :: frames;
+            if indexv.(w) < 0 then begin
+              indexv.(w) <- !counter;
+              lowlink.(w) <- !counter;
+              incr counter;
+              stack := w :: !stack;
+              on_stack.(w) <- true;
+              call_stack := (w, succ.(w)) :: !call_stack
+            end
+            else if on_stack.(w) then
+              lowlink.(v) <- min lowlink.(v) indexv.(w)
+          | [] ->
+            (* post-visit of v *)
+            if lowlink.(v) = indexv.(v) then begin
+              let id = !n_scc in
+              incr n_scc;
+              let membs = ref [] in
+              let continue = ref true in
+              while !continue do
+                match !stack with
+                | w :: tl ->
+                  stack := tl;
+                  on_stack.(w) <- false;
+                  scc_of.(w) <- id;
+                  membs := w :: !membs;
+                  if w = v then continue := false
+                | [] -> continue := false
+              done;
+              scc_members := !membs :: !scc_members
+            end;
+            call_stack := frames;
+            (match frames with
+            | (u, _) :: _ -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
+            | [] -> ()))
+      done
+    end
+  done;
+  let scc_members = Array.of_list (List.rev !scc_members) in
+  let k = !n_scc in
+  let scc_succ = Array.make k [] in
+  let scc_pred = Array.make k [] in
+  let eseen = Hashtbl.create 256 in
+  Array.iteri
+    (fun i js ->
+      List.iter
+        (fun j ->
+          let a = scc_of.(i) and b = scc_of.(j) in
+          if a <> b && not (Hashtbl.mem eseen (a, b)) then begin
+            Hashtbl.replace eseen (a, b) ();
+            scc_succ.(a) <- b :: scc_succ.(a);
+            scc_pred.(b) <- a :: scc_pred.(b)
+          end)
+        js)
+    succ;
+  (* Tarjan emits SCCs in reverse topological order of the condensation
+     (a component is closed only after everything it reaches): scc id 0
+     is emitted first and depends only on earlier-emitted components, so
+     ascending id order is already callees-before-callers *)
+  let topo = Array.init k (fun i -> i) in
+  {
+    procs = names;
+    index;
+    succ;
+    pred;
+    scc_of;
+    scc_members;
+    scc_succ;
+    scc_pred;
+    topo;
+  }
+
+let of_solution prog ci = build prog ~extra:(discovered_edges ci)
+
+(* ---- closures over the condensation ------------------------------------------- *)
+
+let closure t ~(edges : int list array) (seed : string list) : string list =
+  let k = Array.length t.scc_members in
+  let marked = Array.make k false in
+  let work = ref [] in
+  List.iter
+    (fun name ->
+      match scc_of t name with
+      | Some s when not marked.(s) ->
+        marked.(s) <- true;
+        work := s :: !work
+      | _ -> ())
+    seed;
+  while !work <> [] do
+    match !work with
+    | [] -> ()
+    | s :: rest ->
+      work := rest;
+      List.iter
+        (fun s' ->
+          if not marked.(s') then begin
+            marked.(s') <- true;
+            work := s' :: !work
+          end)
+        edges.(s)
+  done;
+  let acc = ref [] in
+  for s = k - 1 downto 0 do
+    if marked.(s) then
+      acc := List.map (fun i -> t.procs.(i)) t.scc_members.(s) @ !acc
+  done;
+  !acc
+
+let dependents_closure t seed = closure t ~edges:t.scc_pred seed
+(* transitive callers: everything whose solution consumed a seed summary *)
+
+let dependees_closure t seed = closure t ~edges:t.scc_succ seed
+(* transitive callees *)
+
+let scc_sizes t = Array.map List.length t.scc_members

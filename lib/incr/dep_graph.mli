@@ -1,0 +1,41 @@
+(** Caller/callee dependency graph over defined procedures, with Tarjan
+    SCC condensation (DESIGN.md §14).
+
+    Edges are the union of static direct calls read off the SIL and the
+    dynamically discovered call graph of a previous solve (indirect
+    calls, higher-order extern summaries).  [p -> q] means p's solution
+    consumed q's return/store summary (and q's solution consumed p's
+    argument/store summary), so incremental dirtiness propagates over
+    the condensation in whichever direction a changed summary flows. *)
+
+type t
+
+val build : Sil.program -> extra:(string * string) list -> t
+(** Static direct-call edges plus [extra] (caller, callee) pairs; pairs
+    naming undefined functions are ignored. *)
+
+val of_solution : Sil.program -> Ci_solver.t -> t
+(** [build] with the previous solve's discovered call edges as [extra]. *)
+
+val procs : t -> string list
+val callees : t -> string -> string list
+val callers : t -> string -> string list
+
+val consumed : t -> string -> string list
+(** The summaries the procedure's solve consumed — its callee set. *)
+
+val n_sccs : t -> int
+val scc_of : t -> string -> int option
+val members : t -> int -> string list
+val scc_sizes : t -> int array
+
+val topo_sccs : t -> int list
+(** SCC ids bottom-up: callees before callers. *)
+
+val dependents_closure : t -> string list -> string list
+(** Every procedure whose solution transitively consumed a seed
+    procedure's summary (the seeds' SCCs and all transitive callers),
+    in bottom-up condensation order. *)
+
+val dependees_closure : t -> string list -> string list
+(** The dual: the seeds' SCCs and all transitive callees. *)

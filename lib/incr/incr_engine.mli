@@ -1,0 +1,58 @@
+(** Incremental re-solve of the CI points-to analysis (DESIGN.md §14).
+
+    Given a previous snapshot (program, VDG, CI solution, per-procedure
+    digests) and a freshly compiled edited program, [update] re-solves
+    only the procedures whose canonical digests changed — plus whatever
+    the splice checks force in — and splices the unchanged procedures'
+    translated facts back in.  The result is an ordinary
+    {!Ci_solver.t} over the {e new} graph; [Solution_digest] equality
+    against a cold solve is the correctness oracle (test/test_incr.ml).
+
+    Old facts are carried across compiles by stable identities
+    (variables by position among formals@locals or global name, heap
+    sites by per-procedure allocation ordinal, strings by content,
+    functions by name); anything that fails to translate dirties the
+    procedure whose facts mention it.  A region solve is accepted only
+    when (1) no frozen node's pair set grew, (2) every frozen
+    procedure's formal channels equal the union of their current
+    contributions, and (3) every re-solved summary a frozen caller
+    consumed is unchanged; otherwise the dirty region grows and the
+    solve re-runs — worst case a cold solve. *)
+
+type prev = {
+  pv_prog : Sil.program;
+  pv_graph : Vdg.t;
+  pv_ci : Ci_solver.t;
+  pv_digests : (string * string) list;
+  pv_program_digest : string;
+}
+
+val snapshot : Sil.program -> Vdg.t -> Ci_solver.t -> prev
+(** Capture a solved analysis as the baseline for a later [update]. *)
+
+type stats = {
+  st_procs_total : int;
+  st_dirty_initial : int;   (** procedures whose digest changed (or all, on fallback) *)
+  st_resolved : int;        (** procedures re-solved in the final region *)
+  st_reused : int;          (** procedures whose facts were spliced *)
+  st_summary_hits : int;    (** re-solved callee summaries that matched, sparing a caller *)
+  st_rounds : int;          (** region-growth iterations *)
+  st_violations : int;      (** frozen-node growths observed across rounds *)
+  st_full_fallback : bool;  (** program-level digest changed: everything dirtied *)
+}
+
+type outcome = {
+  o_ci : Ci_solver.t;   (** full solution over the new graph *)
+  o_stats : stats;
+  o_dirty : string list;  (** re-solved procedures, sorted *)
+}
+
+val update :
+  ?config:Ci_solver.config ->
+  ?budget:Budget.t ->
+  prev:prev ->
+  Sil.program ->
+  Vdg.t ->
+  outcome
+(** [update ~prev prog graph] incrementally re-solves [graph] (the VDG
+    of [prog], built with the same builder as [prev.pv_graph]). *)

@@ -1,0 +1,208 @@
+(* Per-procedure identity and interface summaries for incremental
+   re-analysis.
+
+   The canonical digest answers "did this procedure's text change?" in a
+   way that is insensitive to everything a *different* procedure's edit
+   can shift: source positions, program-wide variable ids, temp-variable
+   names (Norm numbers them globally), heap-allocation site ids and
+   string-pool indexes.  Variables print as their position among the
+   procedure's formals@locals, allocation sites as a per-procedure
+   ordinal, strings as their literal content.  Whether a direct callee is
+   defined in the program or external is part of the digest (adding a
+   definition for a previously-external name must dirty its callers), and
+   so is each external callee's declared signature.
+
+   The interface summary is the procedure-level points-to abstraction the
+   dirty-SCC algorithm compares: the hash-consed versions of the pair
+   sets on the procedure's formal / formal-store / return nodes.  Two
+   summaries built in the same process compare in O(1). *)
+
+let esc s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '\\' || c = '"' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let canonical_dump (prog : Sil.program) (fd : Sil.fundec) : string =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  let pos = Hashtbl.create 16 in
+  List.iteri
+    (fun i (v : Sil.var) -> Hashtbl.replace pos v.Sil.vid i)
+    (fd.Sil.fd_formals @ fd.Sil.fd_locals);
+  let var (v : Sil.var) =
+    match v.Sil.vkind with
+    | Sil.Global ->
+      Printf.sprintf "g:%s:%s:%b" v.Sil.vname
+        (Ctype.to_string v.Sil.vtype)
+        v.Sil.vaddr_taken
+    | _ -> (
+      match Hashtbl.find_opt pos v.Sil.vid with
+      | Some i -> Printf.sprintf "l:%d:%s" i (Ctype.to_string v.Sil.vtype)
+      | None -> Printf.sprintf "x:%s" v.Sil.vname (* foreign local: impossible *))
+  in
+  let alloc_ord = ref 0 in
+  let const = function
+    | Sil.Cint i -> Printf.sprintf "i%Ld" i
+    | Sil.Cstr idx ->
+      if idx >= 0 && idx < Array.length prog.Sil.p_strings then
+        Printf.sprintf "s\"%s\"" (esc prog.Sil.p_strings.(idx))
+      else Printf.sprintf "s?%d" idx
+  in
+  let rec lval (lv : Sil.lval) =
+    (match lv.Sil.lbase with
+    | Sil.Vbase v -> var v
+    | Sil.Mem e -> Printf.sprintf "*(%s)" (exp e))
+    ^ String.concat ""
+        (List.map
+           (function
+             | Sil.Ofield (k, tag, f) ->
+               Printf.sprintf ".%s%s.%s"
+                 (match k with Ctype.Struct -> "s" | Ctype.Union -> "u")
+                 tag f
+             | Sil.Oindex e -> Printf.sprintf "[%s]" (exp e))
+           lv.Sil.loffs)
+  and exp = function
+    | Sil.Const c -> const c
+    | Sil.Lval lv -> lval lv
+    | Sil.Addr_of lv -> "&" ^ lval lv
+    | Sil.Start_of lv -> "start(" ^ lval lv ^ ")"
+    | Sil.Fun_addr f -> "fun:" ^ f
+    | Sil.Unop (op, e, t) ->
+      Printf.sprintf "u%d(%s):%s"
+        (match op with Sil.Neg -> 0 | Sil.Bnot -> 1 | Sil.Lnot -> 2)
+        (exp e) (Ctype.to_string t)
+    | Sil.Binop (op, a, b, t) ->
+      Printf.sprintf "%s(%s,%s):%s" (Sil.string_of_binop op) (exp a) (exp b)
+        (Ctype.to_string t)
+    | Sil.Cast (t, e) -> Printf.sprintf "(%s)(%s)" (Ctype.to_string t) (exp e)
+  in
+  let defined name = Sil.find_function prog name <> None in
+  let instr = function
+    | Sil.Set (lv, e, _) -> Printf.sprintf "set %s = %s" (lval lv) (exp e)
+    | Sil.Call (lv, target, args, _) ->
+      let dest = match lv with Some lv -> lval lv ^ " = " | None -> "" in
+      let tgt =
+        match target with
+        | Sil.Direct name ->
+          if defined name then "call:" ^ name
+          else
+            let sg =
+              match List.assoc_opt name prog.Sil.p_externals with
+              | Some fs -> Ctype.to_string (Ctype.Func fs)
+              | None -> "?"
+            in
+            Printf.sprintf "ext:%s:%s" name sg
+        | Sil.Indirect e -> "ind:" ^ exp e
+      in
+      Printf.sprintf "%s%s(%s)" dest tgt (String.concat "," (List.map exp args))
+    | Sil.Alloc (lv, size, _site, _) ->
+      let ord = !alloc_ord in
+      incr alloc_ord;
+      Printf.sprintf "alloc#%d %s = malloc(%s)" ord (lval lv) (exp size)
+  in
+  add (Printf.sprintf "proc %s sig=%s\n" fd.Sil.fd_name
+         (Ctype.to_string (Ctype.Func fd.Sil.fd_sig)));
+  add
+    (Printf.sprintf "formals=%d locals=%d entry=%d\n"
+       (List.length fd.Sil.fd_formals)
+       (List.length fd.Sil.fd_locals)
+       fd.Sil.fd_entry);
+  List.iteri
+    (fun i (v : Sil.var) ->
+      add (Printf.sprintf "v%d %s addr=%b\n" i (Ctype.to_string v.Sil.vtype)
+             v.Sil.vaddr_taken))
+    (fd.Sil.fd_formals @ fd.Sil.fd_locals);
+  Array.iter
+    (fun (b : Sil.block) ->
+      add (Printf.sprintf "block %d\n" b.Sil.bid);
+      List.iter (fun i -> add ("  " ^ instr i ^ "\n")) b.Sil.binstrs;
+      add
+        ("  " ^
+         (match b.Sil.bterm with
+         | Sil.Goto k -> Printf.sprintf "goto %d" k
+         | Sil.If (c, a, b) -> Printf.sprintf "if %s then %d else %d" (exp c) a b
+         | Sil.Return None -> "return"
+         | Sil.Return (Some e) -> "return " ^ exp e
+         | Sil.Unreachable -> "unreachable")
+         ^ "\n"))
+    fd.Sil.fd_blocks;
+  Buffer.contents buf
+
+let digest prog fd = Digest.to_hex (Digest.string (canonical_dump prog fd))
+
+let digests (prog : Sil.program) : (string * string) list =
+  List.map (fun fd -> (fd.Sil.fd_name, digest prog fd)) prog.Sil.p_functions
+
+(* Program-level context a procedure digest cannot localize: composite
+   layouts (field accessors and pointer-containment classification),
+   the external-declaration table (extern summaries can be reached
+   indirectly, not just by direct calls), and which function is the
+   root.  A change here falls back to a whole-program re-solve. *)
+let program_dump (prog : Sil.program) : string =
+  let buf = Buffer.create 1024 in
+  let add = Buffer.add_string buf in
+  add (Printf.sprintf "main=%s\n"
+         (match prog.Sil.p_main with Some m -> m | None -> "<none>"));
+  let comps =
+    Hashtbl.fold (fun tag ci acc -> (tag, ci) :: acc) prog.Sil.p_comps []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (tag, (ci : Ctype.compinfo)) ->
+      add
+        (Printf.sprintf "comp %s %s defined=%b %s\n"
+           (match ci.Ctype.ckind with Ctype.Struct -> "struct" | Ctype.Union -> "union")
+           tag ci.Ctype.cdefined
+           (String.concat ";"
+              (List.map
+                 (fun (f : Ctype.field) ->
+                   f.Ctype.fname ^ ":" ^ Ctype.to_string f.Ctype.ftype)
+                 ci.Ctype.cfields))))
+    comps;
+  List.iter
+    (fun (name, fs) ->
+      add (Printf.sprintf "extern %s %s\n" name (Ctype.to_string (Ctype.Func fs))))
+    (List.sort compare prog.Sil.p_externals);
+  Buffer.contents buf
+
+let program_digest prog = Digest.to_hex (Digest.string (program_dump prog))
+
+(* ---- interface summaries ------------------------------------------------------ *)
+
+type iface = {
+  if_name : string;
+  if_formals : Ptset.t array;
+  if_formal_store : Ptset.t;
+  if_ret_value : Ptset.t option;
+  if_ret_store : Ptset.t;
+}
+
+let interface (ci : Ci_solver.t) (name : string) : iface option =
+  let g = Ci_solver.graph ci in
+  match Hashtbl.find_opt g.Vdg.funs name with
+  | None -> None
+  | Some meta ->
+    let version nid = Ptpair.Set.version (Ci_solver.pairs ci nid) in
+    Some
+      {
+        if_name = name;
+        if_formals = Array.map version meta.Vdg.fm_formals;
+        if_formal_store = version meta.Vdg.fm_formal_store;
+        if_ret_value = Option.map version meta.Vdg.fm_ret_value;
+        if_ret_store = version meta.Vdg.fm_ret_store;
+      }
+
+let interface_equal (a : iface) (b : iface) : bool =
+  a.if_name = b.if_name
+  && Array.length a.if_formals = Array.length b.if_formals
+  && Array.for_all2 (fun x y -> Ptset.equal x y) a.if_formals b.if_formals
+  && Ptset.equal a.if_formal_store b.if_formal_store
+  && (match (a.if_ret_value, b.if_ret_value) with
+     | None, None -> true
+     | Some x, Some y -> Ptset.equal x y
+     | _ -> false)
+  && Ptset.equal a.if_ret_store b.if_ret_store

@@ -1,0 +1,50 @@
+(** Per-procedure identity and interface summaries for incremental
+    re-analysis (DESIGN.md §14).
+
+    A procedure's {e canonical digest} identifies its body up to the
+    artifacts that edits elsewhere in the program can shift: source
+    positions, program-wide variable ids, globally-numbered temp names,
+    heap-site ids and string-pool indexes all print in procedure-local,
+    content-addressed form.  Equal digests mean the procedure's SIL is
+    the same computation; {!Incr_engine} then reuses its previous
+    points-to facts.
+
+    The {e interface summary} is the procedure-level points-to
+    abstraction the dirty-SCC algorithm compares across solves: the
+    hash-consed versions of the pair sets on the procedure's formal,
+    formal-store and return nodes (parameter/return/global transfer
+    facts — globals travel through the threaded store, so the store
+    channels subsume them). *)
+
+val canonical_dump : Sil.program -> Sil.fundec -> string
+(** The canonical text the digest hashes — exposed for tests and
+    debugging. *)
+
+val digest : Sil.program -> Sil.fundec -> string
+(** MD5 hex of {!canonical_dump}. *)
+
+val digests : Sil.program -> (string * string) list
+(** [(name, digest)] for every defined function, in program order. *)
+
+val program_digest : Sil.program -> string
+(** Digest of program-level context no procedure digest can localize:
+    composite layouts, external declarations, and the root function.  A
+    change here makes {!Incr_engine} fall back to a whole-program
+    re-solve. *)
+
+type iface = {
+  if_name : string;
+  if_formals : Ptset.t array;      (** pair-set version per formal *)
+  if_formal_store : Ptset.t;
+  if_ret_value : Ptset.t option;   (** [None] for void functions *)
+  if_ret_store : Ptset.t;
+}
+
+val interface : Ci_solver.t -> string -> iface option
+(** The procedure's interface summary in a solved solution; [None] when
+    the function is not defined in the solution's program. *)
+
+val interface_equal : iface -> iface -> bool
+(** O(per-formal) comparison via hash-consed set versions.  Only
+    meaningful for summaries built in the same process (same {!Ptset}
+    universe). *)

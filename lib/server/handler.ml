@@ -237,6 +237,63 @@ let do_close t conn params =
     Ejson.Assoc
       [ ("session", Ejson.String id); ("closed", Ejson.Bool closed) ]
 
+(* v5: incremental re-analysis of a live session.  The file (or the
+   supplied "source" buffer) is re-digested, diffed procedure by
+   procedure against the session's solved snapshot, and only the dirty
+   region is re-solved; the reply carries the incr_* counters so a
+   client can see how much work the edit cost.  The session's id
+   changes (identity is content), so the reply's "session" replaces the
+   one the client held. *)
+let do_update t conn params =
+  let path =
+    match Protocol.opt_string_param params "file" with
+    | Some p -> p
+    | None -> (
+      match conn.cn_session with
+      | Some id -> (
+        match Session.find t.h_sessions id with
+        | Some e -> e.Session.ses_path
+        | None -> raise (Session_error ("no live session " ^ id)))
+      | None -> Protocol.bad_params "missing parameter \"file\"")
+  in
+  let source = Protocol.opt_string_param params "source" in
+  match Session.update ?source t.h_sessions path with
+  | exception Not_found ->
+    raise
+      (Session_error
+         (Printf.sprintf "no live session for %S (open it first)" path))
+  | entry, outcome ->
+    if conn.cn_session <> None then
+      conn.cn_session <- Some entry.Session.ses_id;
+    let td = entry.Session.ses_tiered in
+    let s = outcome.Incr_engine.o_stats in
+    Ejson.Assoc
+      ([
+         ("session", Ejson.String entry.Session.ses_id);
+         ("file", Ejson.String path);
+         ("tier", Ejson.String (Engine.string_of_tier td.Engine.td_tier));
+       ]
+      @ Telemetry.incr_json
+          {
+            Telemetry.inc_procs_total = s.Incr_engine.st_procs_total;
+            inc_dirty_initial = s.Incr_engine.st_dirty_initial;
+            inc_resolved = s.Incr_engine.st_resolved;
+            inc_reused = s.Incr_engine.st_reused;
+            inc_summary_hits = s.Incr_engine.st_summary_hits;
+            inc_rounds = s.Incr_engine.st_rounds;
+            inc_full_fallback = s.Incr_engine.st_full_fallback;
+          }
+      @ [
+          ( "resolved_procedures",
+            Ejson.List
+              (List.map
+                 (fun f -> Ejson.String f)
+                 outcome.Incr_engine.o_dirty) );
+          ("bytes", Ejson.Int entry.Session.ses_bytes);
+          ( "pipeline_seconds",
+            Ejson.Float (Telemetry.total_seconds td.Engine.td_telemetry) );
+        ])
+
 (* The node-tier view a session answers from without forcing anything:
    the exhaustive CI solution when present, else the lazy resolver.
    Baseline tiers have neither; callers route them to line_for first. *)
@@ -569,8 +626,8 @@ exception Unknown_method of string
 
 let method_names =
   [
-    "ping"; "open"; "close"; "may_alias"; "points_to"; "modref"; "purity";
-    "conflicts"; "lint"; "stats"; "shutdown";
+    "ping"; "open"; "close"; "update"; "may_alias"; "points_to"; "modref";
+    "purity"; "conflicts"; "lint"; "stats"; "shutdown";
   ]
 
 (* Methods that read a solved session run under the session lock. *)
@@ -583,6 +640,7 @@ let dispatch t conn meth params =
   | "ping" -> do_ping t params
   | "open" -> do_open t conn params
   | "close" -> do_close t conn params
+  | "update" -> do_update t conn params
   | "may_alias" ->
     with_session t conn params (fun e -> do_may_alias t e params)
   | "points_to" ->

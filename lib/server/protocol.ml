@@ -16,16 +16,20 @@
    "stats"; version 4 adds the dyck tier: mode=dyck on "open",
    tier=dyck on "may_alias" (answered by a per-session lazy
    Dyck-reachability solver on its single-pair on-demand path), and
-   min_tier=dyck.  Requests may carry a "protocol" param: absent and
-   1..4 are accepted (older clients never send the newer parameters, so
-   each version's behavior is a strict superset); anything else is
-   rejected with [Unsupported_version]. *)
-let protocol_version = 4
+   min_tier=dyck; version 5 adds incremental re-analysis: the "update"
+   method re-solves a live exhaustive session in place against its
+   previous solution (only procedures whose canonical digest changed are
+   re-solved), replying with the incr_* counters and the new session id.
+   Requests may carry a "protocol" param: absent and 1..5 are accepted
+   (older clients never send the newer parameters, so each version's
+   behavior is a strict superset); anything else is rejected with
+   [Unsupported_version]. *)
+let protocol_version = 5
 
 let capabilities =
   [
     "budgets"; "deadlines"; "tiers"; "cancellation"; "backpressure"; "demand";
-    "dyck";
+    "dyck"; "incremental";
   ]
 
 (* JSON-RPC reserves -32768..-32000; the server-defined codes sit just

@@ -7,17 +7,18 @@
     contains a newline, so framing is just [input_line]. *)
 
 val protocol_version : int
-(** The version this implementation speaks (4: the dyck tier —
-    [mode=dyck] on "open", [tier=dyck] on "may_alias" answered by a
-    per-session lazy Dyck-reachability solver, [min_tier=dyck]).
-    Requests may carry a ["protocol"] parameter: absent and every
-    version up to [protocol_version] are accepted — each version's
-    parameters are a strict superset of the previous surface — anything
-    newer is rejected with {!Unsupported_version}. *)
+(** The version this implementation speaks (5: incremental update — the
+    "update" method re-solves a live exhaustive session in place against
+    its previous solution, replying with the [incr_*] counters and the
+    session's new content-keyed id).  Requests may carry a ["protocol"]
+    parameter: absent and every version up to [protocol_version] are
+    accepted — each version's parameters are a strict superset of the
+    previous surface — anything newer is rejected with
+    {!Unsupported_version}. *)
 
 val capabilities : string list
 (** Feature tags advertised by [ping]: ["budgets"; "deadlines"; "tiers";
-    "cancellation"; "backpressure"; "demand"; "dyck"]. *)
+    "cancellation"; "backpressure"; "demand"; "dyck"; "incremental"]. *)
 
 type error_code =
   | Parse_error  (** -32700: the line is not JSON *)

@@ -59,6 +59,7 @@ type stats = {
   mutable st_degraded : int;  (* ladder descents across all solves *)
   mutable st_upgraded : int;  (* re-solves because a hit's tier was too low *)
   mutable st_cancelled : int;  (* in-flight budgets cancelled *)
+  mutable st_updated : int;  (* sessions re-analyzed in place (protocol v5) *)
 }
 
 type t = {
@@ -102,6 +103,7 @@ let create ?(max_entries = 16) ?(max_bytes = 1 lsl 30) ?config ?cache
         st_degraded = 0;
         st_upgraded = 0;
         st_cancelled = 0;
+        st_updated = 0;
       };
   }
 
@@ -413,6 +415,97 @@ let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) t path =
     | _ -> ());
     result
 
+(* ---- in-place update (protocol v5) ---------------------------------------------- *)
+
+(* Re-analyze a live session incrementally: diff the new content's
+   per-procedure digests against the session's solved snapshot, re-solve
+   only the dirty region, splice the rest (Incr_engine).  The session
+   keeps its place in the working set but changes identity — ses_id is
+   the content digest, and the content changed — so callers must re-read
+   the entry's id.  [source] overrides the on-disk content (a client
+   editing a buffer); absent, the file is re-read.
+
+   Raises [Not_found] when no live session exists for [path] (the
+   client must open first — there is nothing to splice from), and
+   [Tier_unavailable] when the live session is not exhaustive: a
+   baseline or lazy tier has no CI solution to diff against. *)
+let update ?source t path =
+  let input =
+    match source with
+    | Some s -> Engine.load_string ~file:path s
+    | None -> Engine.load_file path
+  in
+  let key = Engine.cache_key t.config input in
+  let old =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.by_path path with
+        | Some id -> Hashtbl.find_opt t.tbl id
+        | None -> None)
+  in
+  match old with
+  | None -> raise Not_found
+  | Some e ->
+    let a =
+      match analysis e with
+      | Some a -> a
+      | None ->
+        raise
+          (Tier_unavailable
+             (Printf.sprintf
+                "session %s holds a %s-tier solution; incremental update \
+                 needs the exhaustive ci tier (re-open without a deadline \
+                 first)"
+                e.ses_id
+                (Engine.string_of_tier (tier e))))
+    in
+    let prev = Engine.incr_snapshot a in
+    (* Solve outside the manager lock, like open_path: the old entry
+       stays live and queryable until the swap below. *)
+    let solved =
+      Engine.run_incremental_tiered ~config:t.config ?cache:t.cache ~prev
+        input
+    in
+    let td =
+      match solved with Ok r -> r | Error err -> raise (Engine_error err)
+    in
+    let td, outcome = td in
+    let entry =
+      {
+        ses_id = key;
+        ses_path = path;
+        ses_tiered = td;
+        ses_modref =
+          Option.map
+            (fun (a : Engine.analysis) -> lazy (Modref.of_ci a.Engine.ci))
+            td.Engine.td_analysis;
+        ses_dyck = None;
+        ses_bytes = approx_bytes td;
+        ses_lock = Mutex.create ();
+        ses_stamp = 0;
+        ses_queries = 0;
+      }
+    in
+    locked t (fun () ->
+        (* drop whatever currently serves this path (it may have changed
+           since the snapshot above — last update wins), plus any entry
+           already holding the new key (two paths with equal content) *)
+        (match Hashtbl.find_opt t.by_path path with
+        | Some id -> (
+          match Hashtbl.find_opt t.tbl id with
+          | Some stale -> drop t stale
+          | None -> ())
+        | None -> ());
+        (match Hashtbl.find_opt t.tbl key with
+        | Some dup -> drop t dup
+        | None -> ());
+        Hashtbl.replace t.tbl key entry;
+        Hashtbl.replace t.by_path path key;
+        t.live_bytes <- t.live_bytes + entry.ses_bytes;
+        touch t entry;
+        t.st.st_updated <- t.st.st_updated + 1;
+        evict_over_budget t ~keep:key);
+    (entry, outcome)
+
 let find t id =
   locked t (fun () ->
       match Hashtbl.find_opt t.tbl id with
@@ -483,6 +576,7 @@ let stats_json t =
         ("degradations", Ejson.Int t.st.st_degraded);
         ("upgraded", Ejson.Int t.st.st_upgraded);
         ("cancelled", Ejson.Int t.st.st_cancelled);
+        ("updated", Ejson.Int t.st.st_updated);
       ])
 
 let engine_cache_stats_json t =

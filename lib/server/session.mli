@@ -131,6 +131,23 @@ val open_path :
     @raise Engine_error when the solve returns [Error] (frontend error,
     floor violation, cancellation, strict-cache corruption). *)
 
+val update : ?source:string -> t -> string -> entry * Incr_engine.outcome
+(** Re-analyze the live session for a path incrementally (protocol v5's
+    "update"): diff the new content's per-procedure digests against the
+    session's solved snapshot, re-solve only the dirty region, splice
+    the rest ({!Incr_engine}).  [source] overrides the on-disk content
+    (a client editing a buffer); absent, the file is re-read.
+
+    The session keeps its place in the working set but changes identity
+    — [ses_id] is the content digest — so callers must re-read the
+    returned entry's id.  The outcome reports which procedures were
+    re-solved; counted under the [updated] stat.
+    @raise Not_found when no live session exists for the path (open it
+    first — there is nothing to splice from).
+    @raise Tier_unavailable when the live session is not exhaustive: a
+    baseline or lazy tier has no CI solution to diff against.
+    @raise Engine_error when the incremental solve returns [Error]. *)
+
 val find : t -> string -> entry option
 (** Look up a live session by id; touches its LRU stamp. *)
 
@@ -159,7 +176,7 @@ val live : t -> int
 
 val stats_json : t -> (string * Ejson.t) list
 (** Includes the governance counters: [inflight], [degradations],
-    [upgraded], [cancelled]. *)
+    [upgraded], [cancelled], [updated]. *)
 
 val engine_cache_stats_json : t -> (string * Ejson.t) list option
 (** The engine cache's hit/miss/store counters, when a cache is wired. *)

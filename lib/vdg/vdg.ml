@@ -68,6 +68,7 @@ type t = {
   mutable entry_store : node_id;
   mutable root_fun : string option;
   node_locs : (node_id, Srcloc.t) Hashtbl.t;
+  node_tags : (node_id, int * int) Hashtbl.t;
 }
 
 let dummy_node = { nid = -1; nkind = Nundef; ninputs = []; ntype = Vscalar; nfun = "" }
@@ -85,6 +86,7 @@ let create tbl =
     entry_store = -1;
     root_fun = None;
     node_locs = Hashtbl.create 256;
+    node_tags = Hashtbl.create 64;
   }
 
 let grow g =
@@ -120,6 +122,10 @@ let add_input g nid producer =
 let set_loc g nid loc = Hashtbl.replace g.node_locs nid loc
 
 let loc_of g nid = Hashtbl.find_opt g.node_locs nid
+
+let set_tag g nid tag = Hashtbl.replace g.node_tags nid tag
+
+let tag_of g nid = Hashtbl.find_opt g.node_tags nid
 
 let node g nid = g.nodes.(nid)
 let n_nodes g = g.n_nodes

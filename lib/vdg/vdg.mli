@@ -86,6 +86,13 @@ type t = {
   mutable entry_store : node_id;            (** initial store fed to the root *)
   mutable root_fun : string option;         (** [main] if present *)
   node_locs : (node_id, Srcloc.t) Hashtbl.t;
+  node_tags : (node_id, int * int) Hashtbl.t;
+      (** stable per-function identity for nodes whose creation order is
+          not a function of the procedure text alone (gamma nodes, whose
+          placement iterates a hash table keyed by program-wide variable
+          ids): [(ssa key position, block id)], both function-local, so
+          {!Incr_engine} can match them across compiles of an edited
+          program *)
 }
 
 val create : Apath.table -> t
@@ -102,6 +109,10 @@ val loc_of : t -> node_id -> Srcloc.t option
 (** Source position of the SIL instruction a node was built from (set for
     lookup/update nodes; used to correlate analyses with the concrete
     interpreter and the baselines). *)
+
+val set_tag : t -> node_id -> int * int -> unit
+val tag_of : t -> node_id -> (int * int) option
+(** See {!t.node_tags}. *)
 
 val node : t -> node_id -> node
 val n_nodes : t -> int

@@ -521,6 +521,13 @@ let build_function (g : Vdg.t) prog mode recursive heap_counter (fd : Sil.fundec
         b.Sil.binstrs)
     fd.Sil.fd_blocks;
   (* phi placement via iterated dominance frontiers *)
+  (* stable per-function position of each SSA key, for gamma node tags:
+     vids are program-wide and shift under edits elsewhere, positions in
+     formals@locals do not *)
+  let key_pos = Hashtbl.create 16 in
+  List.iteri
+    (fun i v -> Hashtbl.replace key_pos v.Sil.vid i)
+    (fd.Sil.fd_formals @ fd.Sil.fd_locals);
   Hashtbl.iter
     (fun key blocks ->
       let phi_blocks = Dom.iterated_frontier dom !blocks in
@@ -530,6 +537,11 @@ let build_function (g : Vdg.t) prog mode recursive heap_counter (fd : Sil.fundec
             Vdg.add_node g Vdg.Ngamma (vtype_of_key ctx key)
               ~fun_name:fd.Sil.fd_name []
           in
+          let pos =
+            if key = store_key then -1
+            else match Hashtbl.find_opt key_pos key with Some p -> p | None -> -2
+          in
+          Vdg.set_tag g gamma (pos, blk);
           let cell =
             match Hashtbl.find_opt ctx.phis blk with
             | Some c -> c

@@ -131,12 +131,18 @@ let key_is_pid_injective () =
    hash-consing) implementation.  The optimized solvers must reproduce
    these byte for byte: the memoized meets, the return-propagation
    subscriptions, and the stale-item skip are all pure scheduling /
-   caching changes. *)
+   caching changes.
+
+   part/anagram were re-pinned when the conflict lint started sorting
+   its witness-path set: the old rendering leaked path-interning order,
+   which an incremental re-solve does not reproduce.  The underlying
+   CI/CS solutions are unchanged (the per-pair dump lines digested here
+   are sorted independently of that rendering). *)
 let seed_digests =
   [
     ("allroots", "a357fa1440bdb9a75348f3ee3f665045");
-    ("part", "56c0f22246de8a31b37857b0a27826e5");
-    ("anagram", "7edb8c6882b93772c30de755288f6cf9");
+    ("part", "69be60177c2735c5b4848bd4bde94659");
+    ("anagram", "0f3c2f0f8c3fd726cebf45b5d122920a");
     ("span", "603d8311df5295a7868403137ce124db");
   ]
 

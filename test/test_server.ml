@@ -928,11 +928,11 @@ let test_dyck_mode_session () =
   let sessions = Session.create () in
   let h = Handler.create sessions in
   let conn = Handler.new_conn () in
-  (* v4 advertises the dyck capability *)
+  (* the dyck capability shipped in v4 *)
   let pong = expect_ok "ping" (rpc h conn "ping" Ejson.Null) in
-  Alcotest.(check int)
-    "protocol v4" 4
-    (int_field "ping" "protocol_version" pong);
+  Alcotest.(check bool)
+    "protocol v4 or later" true
+    (int_field "ping" "protocol_version" pong >= 4);
   (match member_exn "ping" "capabilities" pong with
   | Ejson.List caps ->
     Alcotest.(check bool)
@@ -1070,6 +1070,209 @@ let test_dyck_tier_query_on_exhaustive_session () =
     "natural tier still ci" "ci"
     (string_field "may_alias" "tier" plain)
 
+(* ---- (j) incremental update (protocol v5) ---------------------------------------- *)
+
+let chain_src =
+  {|int g1;
+int g2;
+
+int *id(int *p) { return p; }
+
+int *pick(int *p, int *q) {
+  if (*p) return p;
+  return q;
+}
+
+int *spare(void) { return &g2; }
+
+int main(void) {
+  int *a = id(&g1);
+  int *b = pick(a, &g2);
+  int *s = spare();
+  *b = 1;
+  return *a + *s;
+}
+|}
+
+(* same interface, different body: spare's digest changes, its summary
+   (returns &g2) does not *)
+let chain_src_edited =
+  {|int g1;
+int g2;
+
+int *id(int *p) { return p; }
+
+int *pick(int *p, int *q) {
+  if (*p) return p;
+  return q;
+}
+
+int *spare(void) { int *t; t = &g2; return t; }
+
+int main(void) {
+  int *a = id(&g1);
+  int *b = pick(a, &g2);
+  int *s = spare();
+  *b = 1;
+  return *a + *s;
+}
+|}
+
+let test_update_in_place () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "chain.c" chain_src in
+  let sessions = Session.create () in
+  let h = Handler.create sessions in
+  let conn = Handler.new_conn () in
+  (* the capability rides on ping *)
+  let pong = expect_ok "ping" (rpc h conn "ping" Ejson.Null) in
+  (match member_exn "ping" "capabilities" pong with
+  | Ejson.List caps ->
+    Alcotest.(check bool)
+      "incremental capability advertised" true
+      (List.mem (Ejson.String "incremental") caps)
+  | _ -> Alcotest.fail "capabilities must be a list");
+  let params = Ejson.Assoc [ ("file", Ejson.String file) ] in
+  let opened = expect_ok "open" (rpc h conn "open" params) in
+  let id1 = string_field "open" "session" opened in
+  (* a no-op update re-solves nothing: every procedure's digest matches *)
+  let noop = expect_ok "noop update" (rpc h conn "update" params) in
+  Alcotest.(check string)
+    "unchanged content keeps the id" id1
+    (string_field "update" "session" noop);
+  Alcotest.(check int)
+    "nothing dirty" 0
+    (int_field "update" "incr_dirty_initial" noop);
+  Alcotest.(check int)
+    "nothing re-solved" 0
+    (int_field "update" "incr_resolved" noop);
+  Alcotest.(check int)
+    "everything reused"
+    (int_field "update" "incr_procs_total" noop)
+    (int_field "update" "incr_reused" noop);
+  (* edit one leaf on disk; only its region re-solves *)
+  write_file file chain_src_edited;
+  let upd = expect_ok "update" (rpc h conn "update" params) in
+  let id2 = string_field "update" "session" upd in
+  Alcotest.(check bool) "content change renames the session" true (id1 <> id2);
+  let total = int_field "update" "incr_procs_total" upd in
+  let resolved = int_field "update" "incr_resolved" upd in
+  let reused = int_field "update" "incr_reused" upd in
+  Alcotest.(check bool)
+    "one procedure dirtied" true
+    (int_field "update" "incr_dirty_initial" upd = 1);
+  Alcotest.(check bool) "something re-solved" true (resolved >= 1);
+  Alcotest.(check bool) "something reused" true (reused >= 1);
+  Alcotest.(check int) "region + splice covers the program" total
+    (resolved + reused);
+  Alcotest.(check bool)
+    "not a full fallback" false
+    (bool_field "update" "incr_full_fallback" upd);
+  (match member_exn "update" "resolved_procedures" upd with
+  | Ejson.List procs ->
+    Alcotest.(check bool)
+      "spare was re-solved" true
+      (List.mem (Ejson.String "spare") procs)
+  | _ -> Alcotest.fail "resolved_procedures must be a list");
+  (* the updated entry serves the working set under its new identity *)
+  let reopened = expect_ok "re-open" (rpc h conn "open" params) in
+  Alcotest.(check string)
+    "re-open lands on the updated session" id2
+    (string_field "open" "session" reopened);
+  Alcotest.(check string)
+    "as a session hit" "session-hit"
+    (string_field "open" "status" reopened);
+  (* and still answers queries *)
+  ignore (expect_ok "purity after update" (rpc h conn "purity" Ejson.Null));
+  Alcotest.(check int) "updates counted" 2 (session_stat sessions "updated")
+
+(* conflict_src with the aliasing call gone: *p and *q in bump (lines 5
+   and 6) target disjoint globals until an edit reintroduces it *)
+let separated_src =
+  {|int shared;
+int other;
+
+void bump(int *p, int *q) {
+  *p = *p + 1;
+  *q = *q + 1;
+}
+
+int main(void) {
+  bump(&shared, &other);
+  return shared;
+}
+|}
+
+let test_update_source_param () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "separated.c" separated_src in
+  let sessions = Session.create () in
+  let h = Handler.create sessions in
+  let conn = Handler.new_conn () in
+  let params = Ejson.Assoc [ ("file", Ejson.String file) ] in
+  ignore (expect_ok "open" (rpc h conn "open" params));
+  let alias_params =
+    Ejson.Assoc [ ("a_line", Ejson.Int 5); ("b_line", Ejson.Int 6) ]
+  in
+  let before = expect_ok "may_alias before" (rpc h conn "may_alias" alias_params) in
+  Alcotest.(check bool)
+    "p and q disjoint before the edit" false
+    (bool_field "may_alias" "may_alias" before);
+  (* a client editing a buffer: the "source" param overrides the disk *)
+  let edited =
+    let b = Buffer.create (String.length separated_src) in
+    String.split_on_char '\n' separated_src
+    |> List.iter (fun line ->
+           Buffer.add_string b
+             (if String.equal line "  bump(&shared, &other);" then
+                "  bump(&shared, &shared);"
+              else line);
+           Buffer.add_char b '\n');
+    Buffer.contents b
+  in
+  let upd =
+    expect_ok "update from buffer"
+      (rpc h conn "update"
+         (Ejson.Assoc
+            [ ("file", Ejson.String file); ("source", Ejson.String edited) ]))
+  in
+  Alcotest.(check bool)
+    "main was re-solved" true
+    (int_field "update" "incr_resolved" upd >= 1);
+  let after = expect_ok "may_alias after" (rpc h conn "may_alias" alias_params) in
+  Alcotest.(check bool)
+    "p and q alias after the edit" true
+    (bool_field "may_alias" "may_alias" after)
+
+let test_update_errors () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "conflict.c" conflict_src in
+  let sessions = Session.create () in
+  let h = Handler.create sessions in
+  let conn = Handler.new_conn () in
+  (* no session at all: nothing to name the file either *)
+  expect_error "update without a session" Protocol.Invalid_params
+    (rpc h conn "update" Ejson.Null);
+  (* a file that was never opened has nothing to splice from *)
+  expect_error "update before open" Protocol.Session_not_found
+    (rpc h conn "update" (Ejson.Assoc [ ("file", Ejson.String file) ]));
+  (* an unreadable path fails like any other load *)
+  expect_error "update of a missing file" Protocol.Frontend_error
+    (rpc h conn "update"
+       (Ejson.Assoc [ ("file", Ejson.String (Filename.concat dir "no.c")) ]));
+  (* a lazy-tier session has no ci solution to diff against *)
+  let lazy_file = temp_c dir "lazy.c" disjoint_src in
+  ignore
+    (expect_ok "demand open"
+       (rpc h conn "open"
+          (Ejson.Assoc
+             [
+               ("file", Ejson.String lazy_file);
+               ("mode", Ejson.String "demand");
+             ])));
+  expect_error "update of a demand session" Protocol.Tier_unavailable
+    (rpc h conn "update" (Ejson.Assoc [ ("file", Ejson.String lazy_file) ]))
+
 let test_client_timeout_on_dead_daemon () =
   let dir = fresh_dir () in
   (* a daemon that accepts and then hangs: reads must time out *)
@@ -1154,4 +1357,10 @@ let tests =
       test_dyck_mode_session;
     Alcotest.test_case "dyck: tier=dyck on an exhaustive session" `Quick
       test_dyck_tier_query_on_exhaustive_session;
+    Alcotest.test_case "update: in-place incremental re-analysis" `Quick
+      test_update_in_place;
+    Alcotest.test_case "update: source buffer overrides the disk" `Quick
+      test_update_source_param;
+    Alcotest.test_case "update: structured error paths" `Quick
+      test_update_errors;
   ]
