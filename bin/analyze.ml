@@ -556,6 +556,17 @@ let run_serve socket stdio jobs cache_dir no_cache max_sessions max_bytes
       ?default_deadline_s ()
   in
   let handler = Handler.create sessions in
+  (* warm-start report: opens whose key has a disk snapshot skip the
+     solve phase entirely on this (re)started daemon *)
+  (match cache with
+  | Some c -> (
+    match Engine_cache.keys_on_disk c with
+    | [] -> ()
+    | keys ->
+      Printf.eprintf
+        "alias-analyze: %d solved snapshot(s) on disk in %s (warm start)\n%!"
+        (List.length keys) cache_dir)
+  | None -> ());
   if stdio then Server.serve_stdio handler
   else
     match socket with
@@ -744,7 +755,13 @@ let run_query socket wait timeout script exprs =
   let errors = ref 0 in
   let next_id = ref 0 in
   let sent_shutdown = ref false in
+  (* Pipelined (v6): put every request on the wire first, then read the
+     replies back in order — the server answers each connection in
+     request order, so a long script pays one round trip, not one per
+     line.  The reactor buffers replies while it keeps reading, so
+     writing everything up front cannot deadlock. *)
   (try
+     let sent = ref 0 in
      List.iter
        (fun line ->
          match query_line_to_request line with
@@ -760,15 +777,17 @@ let run_query socket wait timeout script exprs =
              | _ -> rq
            in
            if rq.Protocol.rq_method = "shutdown" then sent_shutdown := true;
-           let reply =
-             Client.exchange_line client
-               (Ejson.to_compact_string (Protocol.request_to_json rq))
-           in
-           print_endline reply;
-           (match Protocol.response_of_line reply with
-           | Ok { Protocol.rs_result = Ok _; _ } -> ()
-           | Ok { Protocol.rs_result = Error _; _ } | Error _ -> incr errors))
-       lines
+           Client.send_line client
+             (Ejson.to_compact_string (Protocol.request_to_json rq));
+           incr sent)
+       lines;
+     for _ = 1 to !sent do
+       let reply = Client.recv_line client in
+       print_endline reply;
+       match Protocol.response_of_line reply with
+       | Ok { Protocol.rs_result = Ok _; _ } -> ()
+       | Ok { Protocol.rs_result = Error _; _ } | Error _ -> incr errors
+     done
    with
   | Client.Connection_closed ->
     (* normal after "shutdown": the daemon answers, then closes; a close

@@ -62,3 +62,26 @@ let dump (a : Engine.analysis) : string =
   Buffer.contents buf
 
 let digest a = Digest.to_hex (Digest.string (dump a))
+
+(* CI-only variant for identity, not regression pinning: the server's
+   shared solution store keys solved sessions by it on every open, so it
+   must not force the CS solve (which [Engine.cs] would memoize,
+   silently upgrading later budgeted cs queries to the cached solution)
+   nor pay for a lint run. *)
+let ci_dump (a : Engine.analysis) : string =
+  let buf = Buffer.create (1 lsl 16) in
+  let ci = a.Engine.ci in
+  Vdg.iter_nodes a.Engine.graph (fun n ->
+      let nid = n.Vdg.nid in
+      let ci_pairs =
+        Ptpair.Set.fold (fun p acc -> Ptpair.to_string p :: acc)
+          (Ci_solver.pairs ci nid) []
+        |> List.sort compare
+      in
+      if ci_pairs <> [] then begin
+        Buffer.add_string buf (Printf.sprintf "node %d\n" nid);
+        List.iter (fun s -> Buffer.add_string buf ("ci " ^ s ^ "\n")) ci_pairs
+      end);
+  Buffer.contents buf
+
+let ci_digest a = Digest.to_hex (Digest.string (ci_dump a))

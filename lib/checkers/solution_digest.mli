@@ -15,3 +15,12 @@ val dump : Engine.analysis -> string
 
 val digest : Engine.analysis -> string
 (** MD5 hex digest of {!dump}. *)
+
+val ci_dump : Engine.analysis -> string
+(** The CI-only canonical dump: per node, sorted CI pairs.  Unlike
+    {!dump} it never forces the CS solve or a lint run, so it is cheap
+    enough to compute on every exhaustive open — the server's shared
+    solution store keys solutions by its digest. *)
+
+val ci_digest : Engine.analysis -> string
+(** MD5 hex digest of {!ci_dump}. *)

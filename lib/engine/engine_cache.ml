@@ -140,6 +140,25 @@ let store_disk (type d) t k (v : d) =
 
 let record_miss t = locked t (fun () -> t.st.misses <- t.st.misses + 1)
 
+(* The cache keys with a snapshot on disk, for the server's startup
+   report: a restarted daemon answers opens of these from the disk layer
+   without a solve (a warm start).  Purely observational — nothing is
+   read or validated here; a stale-format entry still shows up until its
+   first read purges it. *)
+let keys_on_disk t =
+  match t.dir with
+  | None -> []
+  | Some dir -> (
+    match Sys.readdir dir with
+    | exception Sys_error _ -> []
+    | names ->
+      Array.to_list names
+      |> List.filter_map (fun f ->
+             if Filename.check_suffix f ".bin" then
+               Some (Filename.chop_suffix f ".bin")
+             else None)
+      |> List.sort compare)
+
 (* Bound the disk layer: delete entries, least-recently-modified first,
    until the total size of the *.bin files is at or below [max_bytes].
    Returns the number of files deleted.  The server's session manager

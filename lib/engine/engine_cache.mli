@@ -52,6 +52,12 @@ val store_disk : 'v t -> string -> 'd -> unit
 
 val record_miss : 'v t -> unit
 
+val keys_on_disk : 'v t -> string list
+(** The cache keys with a snapshot in the disk layer, sorted; [] for a
+    memory-only cache.  The server logs this at startup — a restarted
+    daemon warm-starts opens of these keys from disk instead of
+    re-solving. *)
+
 val prune : 'v t -> max_bytes:int -> int
 (** Bound the disk layer: delete entries, least-recently-modified first,
     until the total size of the on-disk entries is at or below

@@ -173,9 +173,38 @@ let percentile sorted q =
     (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
   end
 
-let summarize samples =
-  let arr = Array.of_list samples in
-  Array.sort Float.compare arr;
+(* In-place heapsort specialized to flat float arrays: [Array.sort
+   Float.compare] boxes both floats on every comparison, which makes the
+   per-"stats" window sorts allocation-bound.  Direct [<] on [float
+   array] elements stays unboxed. *)
+let sort_floats (a : float array) =
+  let n = Array.length a in
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec sift_down root last =
+    let child = (2 * root) + 1 in
+    if child <= last then begin
+      let child =
+        if child < last && a.(child) < a.(child + 1) then child + 1 else child
+      in
+      if a.(root) < a.(child) then begin
+        swap root child;
+        sift_down child last
+      end
+    end
+  in
+  for i = (n / 2) - 1 downto 0 do
+    sift_down i (n - 1)
+  done;
+  for last = n - 1 downto 1 do
+    swap 0 last;
+    sift_down 0 (last - 1)
+  done
+
+let summarize_sorted arr =
   let n = Array.length arr in
   {
     l_count = n;
@@ -184,6 +213,12 @@ let summarize samples =
     l_p95 = percentile arr 0.95;
     l_max = (if n = 0 then 0. else arr.(n - 1));
   }
+
+let summarize_array arr =
+  sort_floats arr;
+  summarize_sorted arr
+
+let summarize samples = summarize_array (Array.of_list samples)
 
 let latency_json l =
   [

@@ -143,6 +143,10 @@ val percentile : float array -> float -> float
 
 val summarize : float list -> latency
 
+val summarize_array : float array -> latency
+(** As {!summarize} but sorts the caller's array in place (no boxing, no
+    copy) — the shape the server's per-method ring buffers use. *)
+
 val latency_json : latency -> (string * Ejson.t) list
 
 (** {2 JSON} *)

@@ -1,6 +1,15 @@
-(* A small synchronous client for the alias-query server: one request on
-   the wire at a time, used by `analyze query`, the bench load driver,
-   and the test suite.
+(* A pipelined client for the alias-query server, used by `analyze
+   query`, the bench load driver, and the test suite.
+
+   The v6 API is submit/await: [submit] puts a request on the wire
+   immediately and returns a ticket, [await] reads replies (in wire
+   order — the server answers each connection in request order) until
+   the ticket's response arrives, parking out-of-order completions in a
+   map.  So a caller can keep many requests in flight on one connection
+   and the server's reactor fills the socket's bandwidth instead of
+   idling a round-trip per request.  [call] is the one-ticket wrapper,
+   [submit_batch]/[call_batch] put a whole v6 batch envelope on one
+   line.
 
    Reads go through a hand-rolled line buffer over Unix.read + select
    rather than an in_channel: input_line on a channel blocks forever if
@@ -9,11 +18,25 @@
    not hang.  A response that does not arrive within the read timeout
    raises Connection_lost. *)
 
+(* A wire slot: one reply line owed by the server, covering one request
+   id or a whole batch's worth. *)
+type slot = Sng of int | Bat of int list
+
 type t = {
   cl_fd : Unix.file_descr;
-  cl_buf : Buffer.t;  (* bytes received but not yet consumed as lines *)
+  (* Receive accumulator, hand-rolled rather than a Buffer: a batched
+     reply is one very long line arriving in socket-sized chunks, and
+     re-scanning (or copying) the whole accumulation per chunk would be
+     quadratic in the line length.  [cl_scan] remembers the newline-free
+     prefix so each chunk is scanned once. *)
+  mutable cl_acc : Bytes.t;
+  mutable cl_len : int;  (* valid bytes in [cl_acc] *)
+  mutable cl_scan : int;  (* no '\n' anywhere in [0, cl_scan) *)
   mutable cl_next_id : int;
   mutable cl_timeout : float option;  (* max seconds to wait for a reply *)
+  cl_wire : slot Queue.t;  (* submitted, reply line not yet read *)
+  cl_completed : (int, Protocol.response) Hashtbl.t;
+      (* replies read while waiting for an earlier ticket *)
 }
 
 exception Connection_closed
@@ -27,9 +50,13 @@ let connect ?(retry_for = 0.) ?timeout path =
     | () ->
       {
         cl_fd = fd;
-        cl_buf = Buffer.create 512;
+        cl_acc = Bytes.create 4096;
+        cl_len = 0;
+        cl_scan = 0;
         cl_next_id = 1;
         cl_timeout = timeout;
+        cl_wire = Queue.create ();
+        cl_completed = Hashtbl.create 16;
       }
     | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
       when Unix.gettimeofday () < deadline ->
@@ -49,22 +76,42 @@ let close t = try Unix.close t.cl_fd with Unix.Unix_error _ -> ()
 
 (* ---- framing -------------------------------------------------------------------- *)
 
-(* Take one complete line out of the buffer, if there is one. *)
+(* Take one complete line out of the accumulator, if there is one.  Only
+   the not-yet-scanned suffix is searched; consuming a line shifts the
+   remainder down (cheap: the remainder is whatever arrived past the
+   line, usually a fraction of one chunk). *)
 let take_line t =
-  let s = Buffer.contents t.cl_buf in
-  match String.index_opt s '\n' with
+  let rec find i =
+    if i >= t.cl_len then begin
+      t.cl_scan <- t.cl_len;
+      None
+    end
+    else if Bytes.get t.cl_acc i = '\n' then Some i
+    else find (i + 1)
+  in
+  match find t.cl_scan with
   | None -> None
   | Some i ->
-    let line = String.sub s 0 i in
-    Buffer.clear t.cl_buf;
-    Buffer.add_substring t.cl_buf s (i + 1) (String.length s - i - 1);
+    let line = Bytes.sub_string t.cl_acc 0 i in
+    let rest = t.cl_len - i - 1 in
+    Bytes.blit t.cl_acc (i + 1) t.cl_acc 0 rest;
+    t.cl_len <- rest;
+    t.cl_scan <- 0;
     Some line
+
+(* Make room for at least one socket read's worth of fresh bytes; reads
+   land directly in the accumulator tail, no intermediate chunk. *)
+let ensure_room t =
+  if Bytes.length t.cl_acc - t.cl_len < 4096 then begin
+    let bigger = Bytes.create (2 * (t.cl_len + 4096)) in
+    Bytes.blit t.cl_acc 0 bigger 0 t.cl_len;
+    t.cl_acc <- bigger
+  end
 
 let read_line t =
   let deadline =
     Option.map (fun s -> Unix.gettimeofday () +. s) t.cl_timeout
   in
-  let chunk = Bytes.create 4096 in
   let rec fill () =
     match take_line t with
     | Some line -> line
@@ -89,9 +136,13 @@ let read_line t =
            deadline, which has now expired *)
         ()
       | _ :: _, _, _ -> (
-        match Unix.read t.cl_fd chunk 0 (Bytes.length chunk) with
+        ensure_room t;
+        match
+          Unix.read t.cl_fd t.cl_acc t.cl_len
+            (Bytes.length t.cl_acc - t.cl_len)
+        with
         | 0 -> raise Connection_closed  (* orderly EOF from the peer *)
-        | n -> Buffer.add_subbytes t.cl_buf chunk 0 n
+        | n -> t.cl_len <- t.cl_len + n
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
         | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
           raise Connection_closed)
@@ -115,15 +166,109 @@ let write_all t line =
 
 (* Ship one raw line, read one raw line.  The scripted `analyze query`
    client uses this directly so a transcript shows exactly what the
-   server said. *)
+   server said.  Must not be interleaved with unawaited tickets — it
+   bypasses the wire-slot accounting. *)
+let send_line t line = write_all t line
+let recv_line t = read_line t
+
 let exchange_line t line =
   write_all t line;
   read_line t
 
-let call t ~meth ~params =
+(* ---- pipelining ----------------------------------------------------------------- *)
+
+type ticket = int
+
+let fresh_id t =
   let id = t.cl_next_id in
   t.cl_next_id <- id + 1;
-  let reply = exchange_line t (Protocol.request_line ~id ~meth ~params ()) in
-  match Protocol.response_of_line reply with
-  | Ok r -> r.Protocol.rs_result
-  | Error msg -> Error (Protocol.Internal_error, msg)
+  id
+
+let submit t ~meth ~params =
+  let id = fresh_id t in
+  write_all t (Protocol.request_line ~id ~meth ~params ());
+  Queue.add (Sng id) t.cl_wire;
+  id
+
+let submit_batch t reqs =
+  match reqs with
+  | [] -> []
+  | _ ->
+    let requests =
+      List.map
+        (fun (meth, params) ->
+          {
+            Protocol.rq_id = Ejson.Int (fresh_id t);
+            rq_method = meth;
+            rq_params = params;
+          })
+        reqs
+    in
+    let ids =
+      List.map
+        (fun rq ->
+          match rq.Protocol.rq_id with Ejson.Int id -> id | _ -> assert false)
+        requests
+    in
+    write_all t (Protocol.batch_line requests);
+    Queue.add (Bat ids) t.cl_wire;
+    ids
+
+(* A reply line that fails to parse still consumes its wire slot: the
+   ticket completes with an error instead of desynchronizing every
+   later reply. *)
+let garbled id msg =
+  {
+    Protocol.rs_id = Ejson.Int id;
+    rs_result = Error (Protocol.Internal_error, msg);
+    rs_error_data = None;
+  }
+
+(* Read one reply line and complete the wire slot it answers.  Replies
+   arrive in request order per connection, so the slot is always the
+   queue's front; ids are positional within a batch slot. *)
+let read_reply t =
+  let line = read_line t in
+  match Queue.take_opt t.cl_wire with
+  | None -> ()  (* unsolicited line: nothing awaits it, drop *)
+  | Some (Sng id) ->
+    let rs =
+      match Protocol.response_of_line line with
+      | Ok rs -> rs
+      | Error msg -> garbled id msg
+    in
+    Hashtbl.replace t.cl_completed id rs
+  | Some (Bat ids) -> (
+    match Protocol.batch_responses_of_line line with
+    | Ok rsps when List.length rsps = List.length ids ->
+      List.iter2 (fun id rs -> Hashtbl.replace t.cl_completed id rs) ids rsps
+    | Ok _ ->
+      List.iter
+        (fun id ->
+          Hashtbl.replace t.cl_completed id
+            (garbled id "batch reply element count mismatch"))
+        ids
+    | Error msg ->
+      List.iter (fun id -> Hashtbl.replace t.cl_completed id (garbled id msg)) ids)
+
+let await_response t ticket =
+  let rec wait () =
+    match Hashtbl.find_opt t.cl_completed ticket with
+    | Some rs ->
+      Hashtbl.remove t.cl_completed ticket;
+      rs
+    | None ->
+      if Queue.is_empty t.cl_wire then
+        invalid_arg "Client.await: unknown or already-awaited ticket"
+      else begin
+        read_reply t;
+        wait ()
+      end
+  in
+  wait ()
+
+let await t ticket = (await_response t ticket).Protocol.rs_result
+
+let call t ~meth ~params = await t (submit t ~meth ~params)
+
+let call_batch t reqs = List.map (await t) (submit_batch t reqs)

@@ -1,6 +1,14 @@
-(** A small synchronous client for the alias-query server: one request on
-    the wire at a time, used by [analyze query], the bench load driver,
-    and the test suite.
+(** A pipelined client for the alias-query server, used by [analyze
+    query], the bench load driver, and the test suite.
+
+    The v6 API is submit/await: {!submit} puts a request on the wire
+    immediately and returns a ticket; {!await} reads replies until that
+    ticket's response arrives, parking other completions.  Many requests
+    can be in flight on one connection — the server answers each
+    connection in request order, so throughput is bounded by the socket,
+    not by round trips.  {!call} is the one-ticket wrapper (the old
+    synchronous surface, unchanged); {!submit_batch}/{!call_batch} ship
+    a whole v6 batch envelope as one line.
 
     Reads are select-bounded: with a timeout configured, a daemon that
     dies (or hangs) mid-session surfaces as {!Connection_lost} instead of
@@ -28,13 +36,57 @@ val set_timeout : t -> float option -> unit
 val close : t -> unit
 
 val exchange_line : t -> string -> string
-(** Ship one raw request line, read one raw response line.
+(** Ship one raw request line, read one raw response line.  Must not be
+    interleaved with unawaited tickets — it bypasses the pipelining
+    accounting.
     @raise Connection_closed when the transport drops.
     @raise Connection_lost when the response exceeds the read timeout. *)
 
-val call :
-  t -> meth:string -> params:Ejson.t -> (Ejson.t, Protocol.error_code * string) result
-(** Send a request (ids are assigned automatically) and wait for its
-    response.
+val send_line : t -> string -> unit
+(** Raw-mode pipelining: ship one request line without waiting.  The
+    caller owns reply ordering ({!recv_line} once per sent line, in
+    order); like {!exchange_line}, not to be mixed with tickets. *)
+
+val recv_line : t -> string
+(** Read one raw response line.
     @raise Connection_closed when the transport drops.
     @raise Connection_lost when the response exceeds the read timeout. *)
+
+type ticket
+
+val submit : t -> meth:string -> params:Ejson.t -> ticket
+(** Write a request (ids are assigned automatically) and return without
+    waiting for the reply.
+    @raise Connection_closed when the transport drops on write. *)
+
+val submit_batch : t -> (string * Ejson.t) list -> ticket list
+(** Write one v6 batch envelope carrying every (method, params) pair,
+    returning one ticket per element in order.  An empty list writes
+    nothing and returns []. *)
+
+val await :
+  t -> ticket -> (Ejson.t, Protocol.error_code * string) result
+(** Wait for one ticket's response, reading (and parking) earlier
+    replies as needed.  Tickets may be awaited in any order; each at
+    most once.  A garbled reply line completes its ticket(s) with an
+    [Internal_error] result rather than desynchronizing the stream.
+    @raise Invalid_argument on an unknown or already-awaited ticket.
+    @raise Connection_closed when the transport drops.
+    @raise Connection_lost when the response exceeds the read timeout. *)
+
+val await_response : t -> ticket -> Protocol.response
+(** As {!await} but with the whole response envelope (id, structured
+    error data). *)
+
+val call :
+  t -> meth:string -> params:Ejson.t -> (Ejson.t, Protocol.error_code * string) result
+(** [submit] then [await]: send a request and wait for its response.
+    @raise Connection_closed when the transport drops.
+    @raise Connection_lost when the response exceeds the read timeout. *)
+
+val call_batch :
+  t ->
+  (string * Ejson.t) list ->
+  (Ejson.t, Protocol.error_code * string) result list
+(** One batch envelope out, one reply line in: results in request
+    order. *)

@@ -26,9 +26,26 @@ type conn = { mutable cn_session : string option }
 let new_conn () = { cn_session = None }
 
 type method_stat = {
-  mutable ms_samples : float list;  (* wall seconds, newest first *)
+  ms_samples : float array;
+      (* wall seconds, a ring buffer of the most recent [sample_window]
+         samples (slot [ms_count mod sample_window] is written next) —
+         a bounded recency window, so the per-"stats" percentile sort
+         stays O(window) however long the server has been up, and
+         recording stays allocation-free.  [ms_count] is the all-time
+         total. *)
+  mutable ms_count : int;
   mutable ms_errors : int;
 }
+
+(* "stats" percentiles cover the most recent [sample_window] samples per
+   method.  Kept small: every "stats" call copies and sorts each
+   method's window, and on the load-driver mix "stats" is ~3% of all
+   traffic. *)
+let sample_window = 512
+
+(* The valid window, as a fresh flat array safe to sort outside the
+   stats lock; ring order is irrelevant to percentiles. *)
+let stat_window ms = Array.sub ms.ms_samples 0 (min ms.ms_count sample_window)
 
 type t = {
   h_sessions : Session.t;
@@ -98,6 +115,58 @@ let budget_of_params params =
   match deadline_of_params params with
   | None -> None
   | Some s -> Some (Budget.start (Budget.limits_with_deadline s))
+
+(* The v6 query_opts record shared by may_alias/points_to/modref: one
+   "opts" object (or the v5 flat parameters) carrying tier, deadline_ms
+   and min_tier.  Validated here so every query method rejects the same
+   way. *)
+let query_opts_of params =
+  let o = Protocol.query_opts_of_params params in
+  (match o.Protocol.qo_tier with
+  | None | Some ("ci" | "cs" | "demand" | "dyck") -> ()
+  | Some s ->
+    Protocol.bad_params
+      "parameter \"tier\" must be \"ci\", \"cs\", \"demand\" or \"dyck\" \
+       (got %S)" s);
+  (match o.Protocol.qo_deadline_ms with
+  | Some ms when ms <= 0 ->
+    Protocol.bad_params "parameter \"deadline_ms\" must be positive"
+  | _ -> ());
+  (match o.Protocol.qo_min_tier with
+  | None -> ()
+  | Some s -> (
+    match Engine.tier_of_string s with
+    | Some _ -> ()
+    | None ->
+      Protocol.bad_params
+        "parameter \"min_tier\" must be one of steensgaard, andersen, \
+         dyck, demand, ci, cs"));
+  o
+
+let budget_of_opts (o : Protocol.query_opts) =
+  match o.Protocol.qo_deadline_ms with
+  | None -> None
+  | Some ms ->
+    Some (Budget.start (Budget.limits_with_deadline (float_of_int ms /. 1000.)))
+
+(* Enforce the opts floor on the tier that actually answered. *)
+let check_opts_floor (o : Protocol.query_opts) answered =
+  match o.Protocol.qo_min_tier with
+  | None -> ()
+  | Some floor_s -> (
+    let floor =
+      match Engine.tier_of_string floor_s with
+      | Some f -> f
+      | None -> assert false (* validated by query_opts_of *)
+    in
+    match Engine.tier_of_string answered with
+    | Some a when Engine.tier_rank a >= Engine.tier_rank floor -> ()
+    | _ ->
+      raise
+        (Session.Tier_unavailable
+           (Printf.sprintf
+              "answered at tier %s, below the requested min_tier %s" answered
+              floor_s)))
 
 (* ---- session resolution --------------------------------------------------------- *)
 
@@ -200,22 +269,27 @@ let do_open t conn params =
   note_degraded t (List.length td.Engine.td_degradations);
   let tele = td.Engine.td_telemetry in
   Ejson.Assoc
-    [
-      ("session", Ejson.String e.Session.ses_id);
-      ("file", Ejson.String path);
-      ( "status",
-        Ejson.String
-          (match r.Session.or_status with
-          | `Session_hit -> "session-hit"
-          | `Solved st -> Telemetry.string_of_cache_status st) );
-      ("tier", Ejson.String (Engine.string_of_tier td.Engine.td_tier));
-      ("degradations", degradations_json td.Engine.td_degradations);
-      ("functions", Ejson.Int tele.Telemetry.t_functions);
-      ("vdg_nodes", Ejson.Int tele.Telemetry.t_vdg_nodes);
-      ("alias_outputs", Ejson.Int tele.Telemetry.t_alias_outputs);
-      ("bytes", Ejson.Int e.Session.ses_bytes);
-      ("pipeline_seconds", Ejson.Float (Telemetry.total_seconds tele));
-    ]
+    ([
+       ("session", Ejson.String e.Session.ses_id);
+       ("file", Ejson.String path);
+       ( "status",
+         Ejson.String
+           (match r.Session.or_status with
+           | `Session_hit -> "session-hit"
+           | `Shared -> "solution-hit"
+           | `Solved st -> Telemetry.string_of_cache_status st) );
+       ("tier", Ejson.String (Engine.string_of_tier td.Engine.td_tier));
+       ("degradations", degradations_json td.Engine.td_degradations);
+       ("functions", Ejson.Int tele.Telemetry.t_functions);
+       ("vdg_nodes", Ejson.Int tele.Telemetry.t_vdg_nodes);
+       ("alias_outputs", Ejson.Int tele.Telemetry.t_alias_outputs);
+       ("bytes", Ejson.Int e.Session.ses_bytes);
+       ("pipeline_seconds", Ejson.Float (Telemetry.total_seconds tele));
+     ]
+    @
+    match Session.solution_digest t.h_sessions e with
+    | Some d -> [ ("solution_digest", Ejson.String d) ]
+    | None -> [])
 
 let do_close t conn params =
   match Protocol.opt_string_param params "file" with
@@ -292,7 +366,11 @@ let do_update t conn params =
           ("bytes", Ejson.Int entry.Session.ses_bytes);
           ( "pipeline_seconds",
             Ejson.Float (Telemetry.total_seconds td.Engine.td_telemetry) );
-        ])
+        ]
+      @
+      match Session.solution_digest t.h_sessions entry with
+      | Some d -> [ ("solution_digest", Ejson.String d) ]
+      | None -> [])
 
 (* The node-tier view a session answers from without forcing anything:
    the exhaustive CI solution when present, else the lazy resolver.
@@ -353,15 +431,36 @@ let line_for (e : Session.entry) params side =
   | Some line -> line
   | None -> Protocol.bad_params "missing parameter %S" line_key
 
+(* Tier selection shared by may_alias and points_to (v6 query_opts):
+   pick the view that answers at the requested tier, promoting or
+   running the CS solver as needed. *)
+let view_for t (e : Session.entry) (opts : Protocol.query_opts) natural =
+  match opts.Protocol.qo_tier with
+  | None | Some "demand" ->
+    (* the session's natural node tier; an exhaustive session also
+       answers "demand" requests (identical verdicts, finer tier) *)
+    (natural, [])
+  | Some "ci" ->
+    (* an explicit exhaustive request promotes a lazy session *)
+    let a = Session.require_analysis t.h_sessions e in
+    (Query.ci_view a.Engine.ci, [])
+  | Some "dyck" ->
+    (* answered by the per-session dyck resolver on its single-pair
+       on-demand path — no exhaustive solve, whatever the session's
+       natural tier *)
+    (Query.dyck_view (Session.require_dyck t.h_sessions e), [])
+  | Some "cs" -> (
+    let a = Session.require_analysis t.h_sessions e in
+    match Engine.cs_tiered ?budget:(budget_of_opts opts) a with
+    | Ok { Engine.co_cs = Some cs; _ } -> (Query.cs_view a.Engine.ci cs, [])
+    | Ok { Engine.co_degradation = d; _ } ->
+      (* the budget ran out mid-CS: the complete CI solution answers *)
+      (Query.ci_view a.Engine.ci, Option.to_list d)
+    | Error err -> raise (Session.Engine_error err))
+  | Some _ -> assert false (* validated by query_opts_of *)
+
 let do_may_alias t (e : Session.entry) params =
-  let tier_param =
-    match Protocol.opt_string_param params "tier" with
-    | (None | Some ("ci" | "cs" | "demand" | "dyck")) as p -> p
-    | Some s ->
-      Protocol.bad_params
-        "parameter \"tier\" must be \"ci\", \"cs\", \"demand\" or \"dyck\" \
-         (got %S)" s
-  in
+  let opts = query_opts_of params in
   match session_view e with
   | None ->
     (* degraded session: answer at its baseline tier, by source line *)
@@ -378,6 +477,7 @@ let do_may_alias t (e : Session.entry) params =
     check "b" lb;
     let verdict = Option.value ~default:false (Engine.line_may_alias td la lb) in
     let tier = Engine.string_of_tier td.Engine.td_tier in
+    check_opts_floor opts tier;
     note_tier_answer t tier;
     Ejson.Assoc
       [
@@ -389,31 +489,8 @@ let do_may_alias t (e : Session.entry) params =
   | Some natural ->
     let a_nodes = nodes_for natural.Query.nv_graph params "a" in
     let b_nodes = nodes_for natural.Query.nv_graph params "b" in
-    let view, degradations =
-      match tier_param with
-      | None | Some "demand" ->
-        (* the session's natural node tier; an exhaustive session also
-           answers "demand" requests (identical verdicts, finer tier) *)
-        (natural, [])
-      | Some "ci" ->
-        (* an explicit exhaustive request promotes a lazy session *)
-        let a = Session.require_analysis t.h_sessions e in
-        (Query.ci_view a.Engine.ci, [])
-      | Some "dyck" ->
-        (* answered by the per-session dyck resolver on its single-pair
-           on-demand path — no exhaustive solve, whatever the session's
-           natural tier *)
-        (Query.dyck_view (Session.require_dyck t.h_sessions e), [])
-      | Some "cs" -> (
-        let a = Session.require_analysis t.h_sessions e in
-        match Engine.cs_tiered ?budget:(budget_of_params params) a with
-        | Ok { Engine.co_cs = Some cs; _ } -> (Query.cs_view a.Engine.ci cs, [])
-        | Ok { Engine.co_degradation = d; _ } ->
-          (* the budget ran out mid-CS: the complete CI solution answers *)
-          (Query.ci_view a.Engine.ci, Option.to_list d)
-        | Error err -> raise (Session.Engine_error err))
-      | Some _ -> assert false (* validated above *)
-    in
+    let view, degradations = view_for t e opts natural in
+    check_opts_floor opts view.Query.nv_tier;
     note_degraded t (List.length degradations);
     let verdict =
       List.exists
@@ -435,8 +512,9 @@ let do_may_alias t (e : Session.entry) params =
         [ ("degraded", Ejson.Bool true); ("degradations", degradations_json ds) ])
 
 let do_points_to t (e : Session.entry) params =
+  let opts = query_opts_of params in
   let node = Protocol.int_param params "node" in
-  let view =
+  let natural =
     match session_view e with
     | Some v -> v
     | None ->
@@ -444,22 +522,54 @@ let do_points_to t (e : Session.entry) params =
       ignore (Session.require_analysis t.h_sessions e : Engine.analysis);
       assert false
   in
+  let view, degradations = view_for t e opts natural in
+  check_opts_floor opts view.Query.nv_tier;
+  note_degraded t (List.length degradations);
   if node < 0 || node >= Vdg.n_nodes view.Query.nv_graph then
     Protocol.bad_params "\"node\": no VDG node %d" node;
   let pairs = view.Query.nv_pairs node in
   note_tier_answer t view.Query.nv_tier;
   Ejson.Assoc
-    [
-      ("node", Ejson.Int node);
-      ("tier", Ejson.String view.Query.nv_tier);
-      ("locations", paths_json (Query.locations view node));
-      ( "pairs",
-        Ejson.List
-          (List.map (fun p -> Ejson.String (Ptpair.to_string p)) pairs) );
-    ]
+    ([
+       ("node", Ejson.Int node);
+       ("tier", Ejson.String view.Query.nv_tier);
+       ("locations", paths_json (Query.locations view node));
+       ( "pairs",
+         Ejson.List
+           (List.map (fun p -> Ejson.String (Ptpair.to_string p)) pairs) );
+     ]
+    @
+    match degradations with
+    | [] -> []
+    | ds ->
+      [ ("degraded", Ejson.Bool true); ("degradations", degradations_json ds) ])
+
+(* lint/purity/conflicts/modref answers are deterministic functions of
+   the session's solution and the request params, and — unlike the
+   per-node queries — cost milliseconds on big units, so repeats are
+   served from the per-session memo (which Session drops whenever the
+   solution changes).  The memoized value carries the answer's
+   degradation count so a hit replays the [note_degraded] bump the
+   compute did.  Runs under the session lock, like every do_*. *)
+let memoized e meth params compute =
+  let key = meth ^ "\x00" ^ Ejson.to_compact_string params in
+  match Session.memo_find e key with
+  | Some hit -> hit
+  | None ->
+    let v = compute () in
+    Session.memo_add e key v;
+    v
 
 let do_modref t (e : Session.entry) params =
+  fst
+  @@ memoized e "modref" params
+  @@ fun () ->
+  (* mod/ref sets are a CI-solution product: the opts record is accepted
+     for surface uniformity, the floor is checked against ci, and a tier
+     above ci is unanswerable here *)
+  let opts = query_opts_of params in
   let modref = Session.require_modref t.h_sessions e in
+  check_opts_floor opts (Engine.string_of_tier Engine.Ci);
   let fn = check_function e params in
   let ops =
     List.filter
@@ -467,35 +577,40 @@ let do_modref t (e : Session.entry) params =
         match fn with None -> true | Some f -> o.Modref.op_fun = f)
       (Modref.ops modref)
   in
-  Ejson.Assoc
-    ((match fn with
-     | None -> []
-     | Some f ->
-       [
-         ("function", Ejson.String f);
-         ("mod", paths_json (Modref.mod_set modref f));
-         ("ref", paths_json (Modref.ref_set modref f));
-       ])
-    @ [ ("ops", Ejson.List (List.map op_json ops)) ])
+  ( Ejson.Assoc
+      ((match fn with
+       | None -> []
+       | Some f ->
+         [
+           ("function", Ejson.String f);
+           ("mod", paths_json (Modref.mod_set modref f));
+           ("ref", paths_json (Modref.ref_set modref f));
+         ])
+      @ [ ("ops", Ejson.List (List.map op_json ops)) ]),
+    0 )
 
-let do_purity t (e : Session.entry) _params =
+let do_purity t (e : Session.entry) params =
+  fst
+  @@ memoized e "purity" params
+  @@ fun () ->
   let a = Session.require_analysis t.h_sessions e in
-  Ejson.Assoc
-    [
-      ( "functions",
-        Ejson.Assoc
-          (List.map
-             (fun f ->
-               ( f,
-                 Ejson.String
-                   (match
-                      Query.classify_purity a.Engine.graph a.Engine.ci f
-                    with
-                   | Query.Pure -> "pure"
-                   | Query.Impure_writes -> "impure-writes"
-                   | Query.Impure_calls ext -> "impure-calls:" ^ ext) ))
-             (defined_functions e)) );
-    ]
+  ( Ejson.Assoc
+      [
+        ( "functions",
+          Ejson.Assoc
+            (List.map
+               (fun f ->
+                 ( f,
+                   Ejson.String
+                     (match
+                        Query.classify_purity a.Engine.graph a.Engine.ci f
+                      with
+                     | Query.Pure -> "pure"
+                     | Query.Impure_writes -> "impure-writes"
+                     | Query.Impure_calls ext -> "impure-calls:" ^ ext) ))
+               (defined_functions e)) );
+      ],
+    0 )
 
 let conflict_json (c : Query.conflict) =
   let side (o : Modref.op) =
@@ -519,16 +634,21 @@ let conflict_json (c : Query.conflict) =
     ]
 
 let do_conflicts t (e : Session.entry) params =
+  fst
+  @@ memoized e "conflicts" params
+  @@ fun () ->
   let modref = Session.require_modref t.h_sessions e in
   let fns =
     match check_function e params with
     | Some f -> [ f ]
     | None -> defined_functions e
   in
+  let by_fn = List.map (fun f -> (f, Query.conflicts_in modref f)) fns in
+  let total = List.fold_left (fun acc (_, cs) -> acc + List.length cs) 0 by_fn in
   let per_function =
     List.filter_map
-      (fun f ->
-        match Query.conflicts_in modref f with
+      (fun (f, cs) ->
+        match cs with
         | [] -> None
         | cs ->
           Some
@@ -537,15 +657,11 @@ let do_conflicts t (e : Session.entry) params =
                  ("function", Ejson.String f);
                  ("conflicts", Ejson.List (List.map conflict_json cs));
                ]))
-      fns
+      by_fn
   in
-  let total =
-    List.fold_left
-      (fun acc f -> acc + List.length (Query.conflicts_in modref f))
-      0 fns
-  in
-  Ejson.Assoc
-    [ ("count", Ejson.Int total); ("functions", Ejson.List per_function) ]
+  ( Ejson.Assoc
+      [ ("count", Ejson.Int total); ("functions", Ejson.List per_function) ],
+    0 )
 
 let do_lint t (e : Session.entry) params =
   let checkers = Protocol.string_list_param params "checkers" in
@@ -554,12 +670,22 @@ let do_lint t (e : Session.entry) params =
   | Error msg -> raise (Protocol.Bad_params msg));
   let compare_cs = Protocol.bool_param ~default:false params "cs" in
   let budget = budget_of_params params in
-  let report =
-    Lint.run ~checkers ~compare_cs ?budget
-      (Session.require_analysis t.h_sessions e)
+  let run () =
+    let report =
+      Lint.run ~checkers ~compare_cs ?budget
+        (Session.require_analysis t.h_sessions e)
+    in
+    (Lint.to_json report, List.length report.Lint.rp_degradations)
   in
-  note_degraded t (List.length report.Lint.rp_degradations);
-  Lint.to_json report
+  let json, degraded =
+    match budget with
+    (* a deadline-bounded lint depends on wall time, not just inputs:
+       always computed fresh *)
+    | Some _ -> run ()
+    | None -> memoized e "lint" params run
+  in
+  note_degraded t degraded;
+  json
 
 let do_stats t _params =
   let methods, degraded, tier_answers =
@@ -568,7 +694,8 @@ let do_stats t _params =
       ~finally:(fun () -> Mutex.unlock t.h_lock)
       (fun () ->
         ( Hashtbl.fold
-            (fun name ms acc -> (name, ms.ms_errors, ms.ms_samples) :: acc)
+            (fun name ms acc ->
+              (name, ms.ms_errors, ms.ms_count, stat_window ms) :: acc)
             t.h_methods [],
           t.h_degraded,
           Hashtbl.fold
@@ -576,7 +703,7 @@ let do_stats t _params =
             t.h_tier_answers [] ))
   in
   let methods =
-    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) methods
+    List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b) methods
   in
   let tier_answers =
     List.sort (fun (a, _) (b, _) -> String.compare a b) tier_answers
@@ -608,10 +735,16 @@ let do_stats t _params =
        ( "methods",
          Ejson.Assoc
            (List.map
-              (fun (name, errors, samples) ->
+              (fun (name, errors, count, samples) ->
                 ( name,
+                  (* count is all-time; the percentiles cover the recency
+                     window [record] retains *)
                   Ejson.Assoc
-                    (Telemetry.latency_json (Telemetry.summarize samples)
+                    (("count", Ejson.Int count)
+                     :: List.filter
+                          (fun (k, _) -> k <> "count")
+                          (Telemetry.latency_json
+                             (Telemetry.summarize_array samples))
                     @ [ ("errors", Ejson.Int errors) ]) ))
               methods) );
      ]
@@ -630,12 +763,17 @@ let method_names =
     "purity"; "conflicts"; "lint"; "stats"; "shutdown";
   ]
 
-(* Methods that read a solved session run under the session lock. *)
-let with_session t conn params f =
+(* Methods that read a solved session run under the session lock.  The
+   non-blocking variant (the reactor's inline path) raises
+   {!Session.Busy} instead of parking the event loop behind a lock a
+   worker job is holding. *)
+let with_session ~blocking t conn params f =
   let e = resolve t conn params in
-  Session.with_entry e (fun () -> f e)
+  if blocking then Session.with_entry e (fun () -> f e)
+  else Session.try_with_entry e (fun () -> f e)
 
-let dispatch t conn meth params =
+let dispatch ~blocking t conn meth params =
+  let with_session = with_session ~blocking in
   match meth with
   | "ping" -> do_ping t params
   | "open" -> do_open t conn params
@@ -669,11 +807,14 @@ let record t meth seconds ~ok =
     match Hashtbl.find_opt t.h_methods meth with
     | Some ms -> ms
     | None ->
-      let ms = { ms_samples = []; ms_errors = 0 } in
+      let ms =
+        { ms_samples = Array.make sample_window 0.; ms_count = 0; ms_errors = 0 }
+      in
       Hashtbl.add t.h_methods meth ms;
       ms
   in
-  ms.ms_samples <- seconds :: ms.ms_samples;
+  ms.ms_samples.(ms.ms_count mod sample_window) <- seconds;
+  ms.ms_count <- ms.ms_count + 1;
   if not ok then ms.ms_errors <- ms.ms_errors + 1;
   Mutex.unlock t.h_lock
 
@@ -690,14 +831,20 @@ let engine_error_reply (err : Engine.error) =
   | Engine.Cache_corrupt _ ->
     (Protocol.Internal_error, Engine.error_message err, Some data)
 
-let handle t conn (rq : Protocol.request) =
+(* Evaluate one request to its un-serialized response object, plus
+   whether it was a granted shutdown.  The batch path assembles these
+   into one array reply; the single path serializes directly. *)
+let handle_json ?(blocking = true) t conn (rq : Protocol.request) =
   let t0 = Unix.gettimeofday () in
   let reply =
     match
       Protocol.check_version rq.Protocol.rq_params;
-      dispatch t conn rq.Protocol.rq_method rq.Protocol.rq_params
+      dispatch ~blocking t conn rq.Protocol.rq_method rq.Protocol.rq_params
     with
     | result -> Ok result
+    (* A Busy punt is not an outcome: re-raise before the catch-all and
+       record nothing — the blocking retry on a worker records it. *)
+    | exception Session.Busy -> raise Session.Busy
     | exception Protocol.Version_mismatch v ->
       Error
         ( Protocol.Unsupported_version,
@@ -731,15 +878,76 @@ let handle t conn (rq : Protocol.request) =
     ~ok:(Result.is_ok reply);
   let id = rq.Protocol.rq_id in
   match reply with
-  | Ok result when rq.Protocol.rq_method = "shutdown" ->
-    Reply_shutdown (Protocol.ok_response ~id result)
-  | Ok result -> Reply (Protocol.ok_response ~id result)
+  | Ok result ->
+    ( Protocol.ok_response_json ~id result,
+      rq.Protocol.rq_method = "shutdown" )
   | Error (code, msg, data) ->
-    Reply (Protocol.error_response ?data ~id code msg)
+    (Protocol.error_response_json ?data ~id code msg, false)
 
-let handle_line t conn line =
-  match Protocol.request_of_line line with
-  | Ok rq -> handle t conn rq
+let handle ?blocking t conn (rq : Protocol.request) =
+  let json, shutdown = handle_json ?blocking t conn rq in
+  let line = Ejson.to_compact_string json in
+  if shutdown then Reply_shutdown line else Reply line
+
+(* v6 batching: evaluate the sub-requests in order on this connection and
+   reply with one array line.  "shutdown" is refused inside a batch — its
+   reply must be the connection's last line, which an array of peers
+   cannot guarantee. *)
+let handle_item ?blocking t conn item =
+  match item with
+  | Error (code, msg) ->
+    record t "<invalid>" 0. ~ok:false;
+    Protocol.error_response_json ~id:Ejson.Null code msg
+  | Ok rq when rq.Protocol.rq_method = "shutdown" ->
+    record t "shutdown" 0. ~ok:false;
+    Protocol.error_response_json ~id:rq.Protocol.rq_id Protocol.Invalid_request
+      "\"shutdown\" is not allowed inside a batch"
+  | Ok rq ->
+    let json, _shutdown = handle_json ?blocking t conn rq in
+    json
+
+let handle_batch t conn items =
+  Reply (Protocol.batch_response (List.map (handle_item t conn) items))
+
+(* The transport parses each line once ([Protocol.envelope_of_line]) so
+   it can classify before dispatching; both entry points below accept
+   the parse result directly. *)
+let handle_envelope t conn = function
+  | Ok (Protocol.Single rq) -> handle t conn rq
+  | Ok (Protocol.Batch items) -> handle_batch t conn items
   | Error (code, msg) ->
     record t "<invalid>" 0. ~ok:false;
     Reply (Protocol.error_response ~id:Ejson.Null code msg)
+
+let handle_line t conn line = handle_envelope t conn (Protocol.envelope_of_line line)
+
+(* ---- reactor scheduling ---------------------------------------------------------- *)
+
+(* Whether a request can do solver-scale work (and so belongs on a
+   worker domain rather than inline on the reactor): the solving methods
+   themselves, any request that may implicitly open a file, and any
+   query whose opts can promote the session or run the CS solver. *)
+let heavy_request (rq : Protocol.request) =
+  match rq.Protocol.rq_method with
+  | "open" | "lint" | "update" -> true
+  | "may_alias" | "points_to" | "modref" | "purity" | "conflicts" -> (
+    Ejson.member "file" rq.Protocol.rq_params <> None
+    ||
+    match
+      (try Protocol.query_opts_of_params rq.Protocol.rq_params
+       with Protocol.Bad_params _ -> Protocol.no_query_opts)
+    with
+    | { Protocol.qo_tier = Some ("ci" | "cs"); _ } -> true
+    | { Protocol.qo_deadline_ms = Some _; _ }
+    | { Protocol.qo_min_tier = Some _; _ } ->
+      true
+    | _ -> false)
+  | _ -> false
+
+let heavy_envelope = function
+  | Ok (Protocol.Single rq) -> heavy_request rq
+  | Ok (Protocol.Batch items) ->
+    List.exists (function Ok rq -> heavy_request rq | Error _ -> false) items
+  | Error _ -> false
+
+let heavy_line line = heavy_envelope (Protocol.envelope_of_line line)

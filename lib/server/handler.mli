@@ -19,7 +19,13 @@
     that also cancels any in-flight solve for that path; [shutdown]
     cancels every in-flight solve.  Requests may carry a ["protocol"]
     version — versions newer than {!Protocol.protocol_version} are
-    rejected with a structured unsupported-version error. *)
+    rejected with a structured unsupported-version error.
+
+    Batching (protocol v6): one line may carry a JSON array of request
+    objects; the sub-requests are evaluated in order on the connection
+    and answered by one line carrying the array of responses.  The query
+    methods accept the {!Protocol.query_opts} surface — a nested
+    ["opts"] object or the v5 flat parameters. *)
 
 type conn
 (** Per-connection state (the default session). *)
@@ -40,8 +46,49 @@ type outcome =
   | Reply_shutdown of string
       (** the response to write before the transport shuts down *)
 
-val handle : t -> conn -> Protocol.request -> outcome
+val handle : ?blocking:bool -> t -> conn -> Protocol.request -> outcome
+(** With [~blocking:false] (the reactor's inline path), session-lock
+    acquisition raises {!Session.Busy} instead of waiting — nothing is
+    recorded for the punted attempt; the caller retries on a worker with
+    the default blocking mode. *)
+
+val handle_item :
+  ?blocking:bool ->
+  t ->
+  conn ->
+  (Protocol.request, Protocol.error_code * string) result ->
+  Ejson.t
+(** Evaluate one batch element to its un-serialized response object: a
+    parse failure becomes an error object, [shutdown] is refused with
+    [Invalid_request], anything else dispatches.  [~blocking:false] may
+    raise {!Session.Busy} — the reactor keeps the already-evaluated
+    prefix and hands the remainder to a worker. *)
+
+val handle_envelope :
+  t ->
+  conn ->
+  (Protocol.envelope, Protocol.error_code * string) result ->
+  outcome
+(** Dispatch a parsed line (the transport parses once, classifies with
+    {!heavy_envelope}, then dispatches); never raises — every failure
+    becomes an error response.  A batch answers with one array line;
+    [shutdown] inside a batch is refused with [Invalid_request]. *)
 
 val handle_line : t -> conn -> string -> outcome
-(** Parse one request line and dispatch; never raises — every failure
-    (unparsable line included) becomes an error response. *)
+(** [Protocol.envelope_of_line] then {!handle_envelope}. *)
+
+val heavy_request : Protocol.request -> bool
+(** Whether a request can do solver-scale work and so belongs on a
+    worker domain rather than inline on the reactor: [open], [lint] and
+    [update]; any request that may implicitly open a file (a ["file"]
+    parameter); and any query whose opts can promote the session or run
+    the CS solver ([tier=ci|cs], a deadline, or a floor). *)
+
+val heavy_envelope :
+  (Protocol.envelope, Protocol.error_code * string) result -> bool
+(** {!heavy_request} over a parsed line: true when the request (or, for
+    a batch, any element) is heavy; false for unparsable lines (their
+    error reply is cheap). *)
+
+val heavy_line : string -> bool
+(** [Protocol.envelope_of_line] then {!heavy_envelope}. *)

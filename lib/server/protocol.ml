@@ -19,17 +19,22 @@
    min_tier=dyck; version 5 adds incremental re-analysis: the "update"
    method re-solves a live exhaustive session in place against its
    previous solution (only procedures whose canonical digest changed are
-   re-solved), replying with the incr_* counters and the new session id.
-   Requests may carry a "protocol" param: absent and 1..5 are accepted
+   re-solved), replying with the incr_* counters and the new session id;
+   version 6 adds request batching (one line carrying a JSON array of
+   request objects, answered by one line carrying the array of responses
+   in the same order) and the nested "opts" query-options object shared
+   by may_alias/points_to/modref (the v5 flat tier/deadline_ms/min_tier
+   parameters remain accepted).
+   Requests may carry a "protocol" param: absent and 1..6 are accepted
    (older clients never send the newer parameters, so each version's
    behavior is a strict superset); anything else is rejected with
    [Unsupported_version]. *)
-let protocol_version = 5
+let protocol_version = 6
 
 let capabilities =
   [
     "budgets"; "deadlines"; "tiers"; "cancellation"; "backpressure"; "demand";
-    "dyck"; "incremental";
+    "dyck"; "incremental"; "batch";
   ]
 
 (* JSON-RPC reserves -32768..-32000; the server-defined codes sit just
@@ -135,25 +140,64 @@ let request_line ?id ~meth ~params () =
   Ejson.to_compact_string
     (request_to_json { rq_id; rq_method = meth; rq_params = params })
 
+(* ---- batch envelope (v6) -------------------------------------------------------- *)
+
+(* A line is either one request object or a JSON array of them.  The
+   array must be non-empty, element-count-bounded, and every element
+   must at least be an object — a malformed *object* element (say, a
+   missing method) degrades to a per-element error response, but a
+   structurally alien array ([1,2,3]) rejects the whole line, matching
+   the pre-v6 behavior for non-object lines. *)
+type envelope =
+  | Single of request
+  | Batch of (request, error_code * string) result list
+
+let max_batch = 512
+
+let envelope_of_line line =
+  match Ejson.of_string line with
+  | exception Ejson.Parse_error msg -> Error (Parse_error, msg)
+  | Ejson.List [] -> Error (Invalid_request, "a batch must not be empty")
+  | Ejson.List items ->
+    if List.exists (function Ejson.Assoc _ -> false | _ -> true) items then
+      Error (Invalid_request, "every batch element must be a request object")
+    else if List.length items > max_batch then
+      Error
+        ( Invalid_request,
+          Printf.sprintf "batch too large (max %d requests)" max_batch )
+    else Ok (Batch (List.map request_of_json items))
+  | json -> (
+    match request_of_json json with
+    | Ok rq -> Ok (Single rq)
+    | Error e -> Error e)
+
+let batch_line requests =
+  Ejson.to_compact_string (Ejson.List (List.map request_to_json requests))
+
 (* ---- responses ------------------------------------------------------------------ *)
 
-let ok_response ~id result =
-  Ejson.to_compact_string (Ejson.Assoc [ ("id", id); ("result", result) ])
+let ok_response_json ~id result = Ejson.Assoc [ ("id", id); ("result", result) ]
+
+let error_response_json ?data ~id code message =
+  Ejson.Assoc
+    [
+      ("id", id);
+      ( "error",
+        Ejson.Assoc
+          ([
+             ("code", Ejson.Int (int_of_error_code code));
+             ("name", Ejson.String (string_of_error_code code));
+             ("message", Ejson.String message);
+           ]
+          @ match data with Some d -> [ ("data", d) ] | None -> []) );
+    ]
+
+let ok_response ~id result = Ejson.to_compact_string (ok_response_json ~id result)
 
 let error_response ?data ~id code message =
-  Ejson.to_compact_string
-    (Ejson.Assoc
-       [
-         ("id", id);
-         ( "error",
-           Ejson.Assoc
-             ([
-                ("code", Ejson.Int (int_of_error_code code));
-                ("name", Ejson.String (string_of_error_code code));
-                ("message", Ejson.String message);
-              ]
-             @ match data with Some d -> [ ("data", d) ] | None -> []) );
-       ])
+  Ejson.to_compact_string (error_response_json ?data ~id code message)
+
+let batch_response replies = Ejson.to_compact_string (Ejson.List replies)
 
 type response = {
   rs_id : Ejson.t;
@@ -162,35 +206,52 @@ type response = {
       (* the structured "data" payload of an error response, if any *)
 }
 
+let response_of_json json =
+  let id = Option.value ~default:Ejson.Null (Ejson.member "id" json) in
+  match Ejson.member "error" json with
+  | Some err ->
+    let code =
+      match Ejson.member "code" err with
+      | Some (Ejson.Int c) ->
+        Option.value ~default:Internal_error (error_code_of_int c)
+      | _ -> Internal_error
+    in
+    let message =
+      match Ejson.member "message" err with
+      | Some (Ejson.String m) -> m
+      | _ -> "unknown error"
+    in
+    Ok
+      {
+        rs_id = id;
+        rs_result = Error (code, message);
+        rs_error_data = Ejson.member "data" err;
+      }
+  | None -> (
+    match Ejson.member "result" json with
+    | Some result -> Ok { rs_id = id; rs_result = Ok result; rs_error_data = None }
+    | None -> Error "response has neither \"result\" nor \"error\"")
+
 let response_of_line line =
   match Ejson.of_string line with
   | exception Ejson.Parse_error msg -> Error ("unparsable response: " ^ msg)
-  | json -> (
-    let id = Option.value ~default:Ejson.Null (Ejson.member "id" json) in
-    match Ejson.member "error" json with
-    | Some err ->
-      let code =
-        match Ejson.member "code" err with
-        | Some (Ejson.Int c) ->
-          Option.value ~default:Internal_error (error_code_of_int c)
-        | _ -> Internal_error
-      in
-      let message =
-        match Ejson.member "message" err with
-        | Some (Ejson.String m) -> m
-        | _ -> "unknown error"
-      in
-      Ok
-        {
-          rs_id = id;
-          rs_result = Error (code, message);
-          rs_error_data = Ejson.member "data" err;
-        }
-    | None -> (
-      match Ejson.member "result" json with
-      | Some result ->
-        Ok { rs_id = id; rs_result = Ok result; rs_error_data = None }
-      | None -> Error "response has neither \"result\" nor \"error\""))
+  | json -> response_of_json json
+
+(* A batched request is answered by one line holding the array of
+   responses in request order. *)
+let batch_responses_of_line line =
+  match Ejson.of_string line with
+  | exception Ejson.Parse_error msg -> Error ("unparsable batch response: " ^ msg)
+  | Ejson.List items ->
+    let rec parse acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest -> (
+        match response_of_json item with
+        | Ok r -> parse (r :: acc) rest
+        | Error e -> Error e)
+    in
+    parse [] items
+  | _ -> Error "a batch response must be a JSON array"
 
 (* ---- parameter accessors -------------------------------------------------------- *)
 
@@ -238,6 +299,53 @@ let string_list_param params name =
         | _ -> bad_params "parameter %S must be a list of strings" name)
       items
   | Some _ -> bad_params "parameter %S must be a list of strings" name
+
+(* ---- query options (v6) --------------------------------------------------------- *)
+
+(* The three governed knobs shared by may_alias/points_to/modref.  v6
+   clients send them nested under one "opts" object; v5 clients send
+   them as flat parameters.  Both spellings are accepted, with the
+   nested object winning field-by-field when both are present. *)
+type query_opts = {
+  qo_tier : string option;  (* ci | cs | demand | dyck *)
+  qo_deadline_ms : int option;
+  qo_min_tier : string option;
+}
+
+let no_query_opts = { qo_tier = None; qo_deadline_ms = None; qo_min_tier = None }
+
+let query_opts_of_params params =
+  let flat =
+    {
+      qo_tier = opt_string_param params "tier";
+      qo_deadline_ms = opt_int_param params "deadline_ms";
+      qo_min_tier = opt_string_param params "min_tier";
+    }
+  in
+  match Ejson.member "opts" params with
+  | None | Some Ejson.Null -> flat
+  | Some (Ejson.Assoc _ as opts) ->
+    let pick nested fallback = if Option.is_some nested then nested else fallback in
+    {
+      qo_tier = pick (opt_string_param opts "tier") flat.qo_tier;
+      qo_deadline_ms = pick (opt_int_param opts "deadline_ms") flat.qo_deadline_ms;
+      qo_min_tier = pick (opt_string_param opts "min_tier") flat.qo_min_tier;
+    }
+  | Some _ -> bad_params "parameter \"opts\" must be an object"
+
+let query_opts_to_json o =
+  let field name v f = match v with None -> [] | Some x -> [ (name, f x) ] in
+  Ejson.Assoc
+    (field "tier" o.qo_tier (fun s -> Ejson.String s)
+    @ field "deadline_ms" o.qo_deadline_ms (fun i -> Ejson.Int i)
+    @ field "min_tier" o.qo_min_tier (fun s -> Ejson.String s))
+
+let params_with_opts opts fields =
+  Ejson.Assoc
+    (fields
+    @
+    if opts = no_query_opts then []
+    else [ ("opts", query_opts_to_json opts) ])
 
 (* ---- versioning ----------------------------------------------------------------- *)
 

@@ -7,18 +7,19 @@
     contains a newline, so framing is just [input_line]. *)
 
 val protocol_version : int
-(** The version this implementation speaks (5: incremental update — the
-    "update" method re-solves a live exhaustive session in place against
-    its previous solution, replying with the [incr_*] counters and the
-    session's new content-keyed id).  Requests may carry a ["protocol"]
-    parameter: absent and every version up to [protocol_version] are
-    accepted — each version's parameters are a strict superset of the
-    previous surface — anything newer is rejected with
-    {!Unsupported_version}. *)
+(** The version this implementation speaks (6: batching — one line may
+    carry a JSON array of request objects, answered by one line carrying
+    the array of responses in request order — plus the nested ["opts"]
+    query-options object shared by the query methods).  Requests may
+    carry a ["protocol"] parameter: absent and every version up to
+    [protocol_version] are accepted — each version's parameters are a
+    strict superset of the previous surface — anything newer is rejected
+    with {!Unsupported_version}. *)
 
 val capabilities : string list
 (** Feature tags advertised by [ping]: ["budgets"; "deadlines"; "tiers";
-    "cancellation"; "backpressure"; "demand"; "dyck"; "incremental"]. *)
+    "cancellation"; "backpressure"; "demand"; "dyck"; "incremental";
+    "batch"]. *)
 
 type error_code =
   | Parse_error  (** -32700: the line is not JSON *)
@@ -35,8 +36,10 @@ type error_code =
           requested [min_tier] forbade degrading further *)
   | Cancelled  (** -32006: the in-flight solve was cancelled *)
   | Overloaded
-      (** -32007: accept-time backpressure — every worker busy and the
-          backlog full; retry later *)
+      (** -32007: per-request backpressure — the reactor's pool backlog
+          is full, so this heavy request was refused while the
+          connection stays open and cheap queries keep flowing; retry
+          after a backoff *)
   | Tier_unavailable
       (** -32008: the query needs a precision tier the session's
           (degraded) solution cannot answer, e.g. VDG node ids below
@@ -59,12 +62,44 @@ val request_to_json : request -> Ejson.t
 val request_line : ?id:int -> meth:string -> params:Ejson.t -> unit -> string
 (** One serialized request line (no trailing newline), for clients. *)
 
+(** {2 Batch envelope (v6)}
+
+    One line may carry a JSON array of request objects instead of a
+    single one.  The server answers with one line carrying the JSON
+    array of responses, in request order. *)
+
+(** A parsed inbound line: one request, or a batch of per-element parse
+    results (an object element that fails request validation degrades to
+    a per-element error response rather than rejecting the batch). *)
+type envelope =
+  | Single of request
+  | Batch of (request, error_code * string) result list
+
+val max_batch : int
+(** Largest accepted batch; longer arrays are rejected whole with
+    [Invalid_request]. *)
+
+val envelope_of_line : string -> (envelope, error_code * string) result
+(** Whole-line rejections: non-JSON, a non-object non-array value, an
+    empty array, an array over {!max_batch}, or an array containing a
+    non-object element. *)
+
+val batch_line : request list -> string
+(** One serialized batch line (no trailing newline), for clients. *)
+
 val ok_response : id:Ejson.t -> Ejson.t -> string
 
 val error_response :
   ?data:Ejson.t -> id:Ejson.t -> error_code -> string -> string
 (** [data], when given, becomes the structured ["data"] member of the
     error object (e.g. the achieved tier of a budget-exhausted solve). *)
+
+val ok_response_json : id:Ejson.t -> Ejson.t -> Ejson.t
+val error_response_json : ?data:Ejson.t -> id:Ejson.t -> error_code -> string -> Ejson.t
+(** The un-serialized response objects, for assembling batch replies. *)
+
+val batch_response : Ejson.t list -> string
+(** Serialize an ordered list of response objects as one reply line. *)
 
 type response = {
   rs_id : Ejson.t;
@@ -76,6 +111,10 @@ type response = {
 val response_of_line : string -> (response, string) result
 (** Client-side parse; [Error] only when the line itself is not a
     well-formed response envelope. *)
+
+val batch_responses_of_line : string -> (response list, string) result
+(** Client-side parse of a batch reply line (a JSON array of response
+    objects, in request order). *)
 
 (** {2 Parameter accessors}
 
@@ -94,6 +133,32 @@ val opt_int_param : Ejson.t -> string -> int option
 val bool_param : default:bool -> Ejson.t -> string -> bool
 val string_list_param : Ejson.t -> string -> string list
 (** Missing parameter means [[]]. *)
+
+(** {2 Query options (v6)}
+
+    The three governed knobs shared by [may_alias], [points_to] and
+    [modref], collapsed into one record.  v6 clients send them nested
+    under one ["opts"] object; v5 clients send them as flat
+    [tier]/[deadline_ms]/[min_tier] parameters.  {!query_opts_of_params}
+    accepts both, the nested object winning field-by-field. *)
+
+type query_opts = {
+  qo_tier : string option;  (** [ci | cs | demand | dyck] *)
+  qo_deadline_ms : int option;
+  qo_min_tier : string option;
+}
+
+val no_query_opts : query_opts
+
+val query_opts_of_params : Ejson.t -> query_opts
+(** @raise Bad_params on a type mismatch in either spelling. *)
+
+val query_opts_to_json : query_opts -> Ejson.t
+(** The nested ["opts"] object, omitting unset fields. *)
+
+val params_with_opts : query_opts -> (string * Ejson.t) list -> Ejson.t
+(** Build a params object carrying [fields] plus the ["opts"] object
+    (omitted entirely when [opts = no_query_opts]). *)
 
 (** {2 Versioning} *)
 

@@ -3,14 +3,28 @@
    Stdio mode serves one client on the calling domain: the shape used by
    editor integrations that spawn the daemon as a child process.
 
-   Unix-socket mode is the multi-client deployment: an accept loop on
-   the calling domain hands each connection to a persistent
-   Par_runner.Pool worker, so up to [jobs] clients are served
-   concurrently (queries on different sessions genuinely in parallel;
-   same-session queries serialized by the session lock).  A "shutdown"
-   request closes the listening socket and every live connection, the
-   accept loop winds down, and the pool is joined — the CI smoke test
-   asserts this exits cleanly. *)
+   Unix-socket mode is the multi-client deployment: an event-driven
+   reactor (v6).  One domain multiplexes every connection with
+   [Unix.select] over non-blocking sockets, holding per-connection read
+   and write buffers; cheap queries ([may_alias], [points_to], [modref],
+   [purity], [conflicts], [ping], [stats], [close], [shutdown]) are
+   answered inline on the reactor, while solver-scale requests ([open],
+   [lint], [update], implicit opens, tier-changing opts — see
+   {!Handler.heavy_request}) are dispatched to a persistent
+   [Par_runner.Pool].  At most one worker job runs per connection, so
+   responses keep request order; an inline query that would block on a
+   session lock held by a worker raises [Session.Busy] and is punted to
+   the pool instead of parking the event loop (for a batch, the
+   already-evaluated prefix is kept and only the remainder moves).
+
+   Backpressure is per request, not per connection: when the count of
+   in-flight pool jobs exceeds [max_backlog], further heavy requests are
+   refused with [Overloaded] (one error line — or an array of error
+   objects for a batch — the connection stays open and cheap queries
+   keep flowing).  Workers hand completed outcomes back through a
+   self-pipe, so the reactor sleeps in [select] with no polling
+   timeout; a "shutdown" request is always handled inline and stops the
+   loop immediately. *)
 
 let ignore_sigpipe () =
   (* a client that disconnects mid-reply must not kill the daemon *)
@@ -51,68 +65,409 @@ let serve_stdio handler =
   serve_channel handler (Handler.new_conn ()) stdin stdout
     ~on_shutdown:(fun () -> ())
 
-(* ---- Unix-domain socket --------------------------------------------------------- *)
+(* ---- Unix-domain socket: the reactor --------------------------------------------- *)
 
-type listener = {
-  ls_handler : Handler.t;
-  ls_socket : Unix.file_descr;
-  ls_stop : bool Atomic.t;
-  ls_lock : Mutex.t;  (* guards ls_conns *)
-  ls_conns : (Unix.file_descr, unit) Hashtbl.t;
+(* Cap on parsed-but-unprocessed envelopes per connection: past this the
+   reactor stops reading the socket, pushing backpressure into the
+   kernel buffer and from there to the client. *)
+let pending_cap = 1024
+
+type cx = {
+  cx_fd : Unix.file_descr;
+  cx_conn : Handler.conn;
+  cx_rx : Buffer.t;  (* inbound bytes of a not-yet-complete line *)
+  cx_tx : string Queue.t;
+      (* outbound reply lines ('\n' included) accepted, not yet fully
+         written.  A queue of strings rather than one flat buffer so a
+         partial write never forces re-copying the whole backlog — a
+         batched reply is one very long line, and the kernel takes it in
+         socket-buffer-sized bites. *)
+  mutable cx_tx_off : int;  (* written prefix of the queue's head *)
+  mutable cx_tx_bytes : int;  (* total unwritten bytes across the queue *)
+  cx_pending :
+    (Protocol.envelope, Protocol.error_code * string) result Queue.t;
+  mutable cx_busy : bool;  (* a pool job for this connection is in flight *)
+  mutable cx_eof : bool;  (* peer closed its write side *)
+  mutable cx_closing : bool;  (* close once [cx_tx] drains (shutdown reply) *)
+  mutable cx_dead : bool;  (* closed; drop late worker completions *)
 }
 
-let register ls fd =
-  Mutex.lock ls.ls_lock;
-  Hashtbl.replace ls.ls_conns fd ();
-  Mutex.unlock ls.ls_lock
+type reactor = {
+  r_handler : Handler.t;
+  r_socket : Unix.file_descr;
+  r_pool : Par_runner.Pool.t;
+  r_max_backlog : int;
+  r_conns : (Unix.file_descr, cx) Hashtbl.t;
+  r_done : (cx * Handler.outcome) Queue.t;  (* worker completions *)
+  r_done_lock : Mutex.t;
+  r_wake_r : Unix.file_descr;  (* self-pipe: workers wake the select *)
+  r_wake_w : Unix.file_descr;
+  r_rdbuf : Bytes.t;
+  mutable r_heavy : int;  (* pool jobs submitted, not yet drained *)
+  mutable r_stop : bool;
+}
 
-let unregister ls fd =
-  Mutex.lock ls.ls_lock;
-  Hashtbl.remove ls.ls_conns fd;
-  Mutex.unlock ls.ls_lock
+let wake r =
+  try ignore (Unix.write r.r_wake_w (Bytes.make 1 '!') 0 1 : int)
+  with Unix.Unix_error _ -> ()
+(* EAGAIN: the pipe already holds a wake-up; EBADF: shutdown raced *)
 
-(* Runs on the worker that received the shutdown request.  The accept
-   loop polls the stop flag (closing the listening fd from another domain
-   would not wake a blocked accept); shutting down live connections makes
-   their readers see EOF, which drains the pool. *)
-let initiate_shutdown ls =
-  if not (Atomic.exchange ls.ls_stop true) then begin
-    Mutex.lock ls.ls_lock;
-    let conns = Hashtbl.fold (fun fd () acc -> fd :: acc) ls.ls_conns [] in
-    Mutex.unlock ls.ls_lock;
-    List.iter
-      (fun fd ->
-        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-      conns
+let drain_wake r =
+  let rec go () =
+    match Unix.read r.r_wake_r r.r_rdbuf 0 (Bytes.length r.r_rdbuf) with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let tx_pending cx = cx.cx_tx_bytes > 0
+
+let kill r cx =
+  if not cx.cx_dead then begin
+    cx.cx_dead <- true;
+    Hashtbl.remove r.r_conns cx.cx_fd;
+    try Unix.close cx.cx_fd with Unix.Unix_error _ -> ()
   end
 
-let serve_connection ls fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  Fun.protect
-    ~finally:(fun () ->
-      unregister ls fd;
-      (try flush oc with Sys_error _ -> ());
-      try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      serve_channel ls.ls_handler (Handler.new_conn ()) ic oc
-        ~on_shutdown:(fun () -> initiate_shutdown ls))
+(* Write as much buffered output as the socket accepts right now. *)
+let try_flush r cx =
+  if not cx.cx_dead then begin
+    let rec go () =
+      match Queue.peek_opt cx.cx_tx with
+      | None -> ()
+      | Some line -> (
+        let len = String.length line in
+        match
+          Unix.write_substring cx.cx_fd line cx.cx_tx_off (len - cx.cx_tx_off)
+        with
+        | n ->
+          cx.cx_tx_off <- cx.cx_tx_off + n;
+          cx.cx_tx_bytes <- cx.cx_tx_bytes - n;
+          if cx.cx_tx_off >= len then begin
+            ignore (Queue.pop cx.cx_tx : string);
+            cx.cx_tx_off <- 0;
+            go ()
+          end
+          (* else: the kernel buffer is full mid-line; wait for writable *)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> kill r cx)
+    in
+    go ()
+  end
 
-(* Accept-time backpressure: when every worker is busy and the pool's
-   backlog has grown past the threshold, a new connection would only sit
-   in the queue adding latency — tell the client to come back instead of
-   silently queueing it.  One error line, then close. *)
-let refuse_overloaded fd ~backlog =
-  let line =
-    Protocol.error_response ~id:Ejson.Null Protocol.Overloaded
-      (Printf.sprintf "server saturated: %d connection(s) already queued"
-         backlog)
-    ^ "\n"
+(* Close once everything owed has been sent: the peer is gone (or we are
+   shutting the connection) and no reply is still queued, in flight on a
+   worker, or sitting unflushed. *)
+let maybe_close r cx =
+  if
+    (not cx.cx_dead)
+    && (cx.cx_eof || cx.cx_closing)
+    && Queue.is_empty cx.cx_pending
+    && (not cx.cx_busy)
+    && not (tx_pending cx)
+  then kill r cx
+
+let push_tx cx line =
+  Queue.add (line ^ "\n") cx.cx_tx;
+  cx.cx_tx_bytes <- cx.cx_tx_bytes + String.length line + 1
+
+let apply_outcome r cx outcome =
+  (match outcome with
+  | Handler.Reply line -> push_tx cx line
+  | Handler.Reply_shutdown line ->
+    push_tx cx line;
+    cx.cx_closing <- true;
+    r.r_stop <- true);
+  try_flush r cx
+
+let overload_refusal backlog env =
+  let msg =
+    Printf.sprintf "server saturated: %d request(s) already in flight"
+      backlog
   in
-  let bytes = Bytes.of_string line in
-  (try ignore (Unix.write fd bytes 0 (Bytes.length bytes) : int)
-   with Unix.Unix_error _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
+  match env with
+  | Ok (Protocol.Single rq) ->
+    Protocol.error_response ~id:rq.Protocol.rq_id Protocol.Overloaded msg
+  | Ok (Protocol.Batch items) ->
+    Protocol.batch_response
+      (List.map
+         (fun item ->
+           let id =
+             match item with
+             | Ok rq -> rq.Protocol.rq_id
+             | Error _ -> Ejson.Null
+           in
+           Protocol.error_response_json ~id Protocol.Overloaded msg)
+         items)
+  | Error _ ->
+    (* unparsable lines are never classified heavy *)
+    Protocol.error_response ~id:Ejson.Null Protocol.Overloaded msg
+
+(* Hand work to the pool: at most one job per connection, completions
+   come back through [r_done] + the wake pipe. *)
+let submit_job r cx job =
+  cx.cx_busy <- true;
+  r.r_heavy <- r.r_heavy + 1;
+  match
+    Par_runner.Pool.submit r.r_pool (fun () ->
+        let outcome =
+          try job ()
+          with e ->
+            Handler.Reply
+              (Protocol.error_response ~id:Ejson.Null Protocol.Internal_error
+                 (Printexc.to_string e))
+        in
+        Mutex.lock r.r_done_lock;
+        Queue.add (cx, outcome) r.r_done;
+        Mutex.unlock r.r_done_lock;
+        wake r)
+  with
+  | () -> ()
+  | exception Invalid_argument _ ->
+    (* pool already shut down: the dispatch raced the stop *)
+    cx.cx_busy <- false;
+    r.r_heavy <- r.r_heavy - 1;
+    apply_outcome r cx
+      (Handler.Reply
+         (Protocol.error_response ~id:Ejson.Null Protocol.Shutting_down
+            "server is shutting down"))
+
+(* Evaluate a batch inline, element by element.  Scheduling is
+   element-granular: hitting a heavy element (or a [Session.Busy] lock
+   punt) keeps the evaluated cheap prefix and moves only the remainder
+   to a worker — a batch mixing one open with 63 point queries doesn't
+   drag the whole envelope onto the pool. *)
+let eval_batch_inline r cx items =
+  let rec go acc = function
+    | [] -> `Done (List.rev acc)
+    | item :: rest -> (
+      let heavy =
+        match item with
+        | Ok rq -> Handler.heavy_request rq
+        | Error _ -> false
+      in
+      if heavy then `Punt (List.rev acc, item :: rest)
+      else
+        match
+          Handler.handle_item ~blocking:false r.r_handler cx.cx_conn item
+        with
+        | json -> go (json :: acc) rest
+        | exception Session.Busy -> `Punt (List.rev acc, item :: rest))
+  in
+  go [] items
+
+let eval_inline r cx env =
+  match env with
+  | Ok (Protocol.Single rq) -> (
+    match Handler.handle ~blocking:false r.r_handler cx.cx_conn rq with
+    | outcome -> apply_outcome r cx outcome
+    | exception Session.Busy ->
+      submit_job r cx (fun () -> Handler.handle r.r_handler cx.cx_conn rq))
+  | Ok (Protocol.Batch items) -> (
+    match eval_batch_inline r cx items with
+    | `Done replies ->
+      apply_outcome r cx (Handler.Reply (Protocol.batch_response replies))
+    | `Punt (prefix, rest) ->
+      submit_job r cx (fun () ->
+          let tail =
+            List.map (Handler.handle_item r.r_handler cx.cx_conn) rest
+          in
+          Handler.Reply (Protocol.batch_response (prefix @ tail))))
+  | Error _ -> apply_outcome r cx (Handler.handle_envelope r.r_handler cx.cx_conn env)
+
+(* Process a connection's queued envelopes until it blocks behind a
+   worker job, closes, or runs dry. *)
+let rec pump r cx =
+  if
+    (not cx.cx_dead) && (not cx.cx_busy) && (not cx.cx_closing)
+    && not (Queue.is_empty cx.cx_pending)
+  then begin
+    let env = Queue.pop cx.cx_pending in
+    if Handler.heavy_envelope env then
+      if r.r_heavy > r.r_max_backlog then
+        apply_outcome r cx (Handler.Reply (overload_refusal r.r_heavy env))
+      else begin
+        match env with
+        | Ok (Protocol.Batch _) ->
+          (* element-granular: the cheap prefix answers inline, only the
+             tail from the first heavy element goes to a worker *)
+          eval_inline r cx env
+        | _ ->
+          submit_job r cx (fun () ->
+              Handler.handle_envelope r.r_handler cx.cx_conn env)
+      end
+    else eval_inline r cx env;
+    pump r cx
+  end
+
+let drain_done r =
+  let rec next () =
+    Mutex.lock r.r_done_lock;
+    let item = Queue.take_opt r.r_done in
+    Mutex.unlock r.r_done_lock;
+    match item with
+    | None -> ()
+    | Some (cx, outcome) ->
+      r.r_heavy <- r.r_heavy - 1;
+      if not cx.cx_dead then begin
+        cx.cx_busy <- false;
+        apply_outcome r cx outcome;
+        pump r cx;
+        maybe_close r cx
+      end;
+      next ()
+  in
+  next ()
+
+(* Split freshly read bytes into complete lines (queueing their parsed
+   envelopes) and keep the unterminated tail buffered. *)
+let ingest cx data =
+  Buffer.add_string cx.cx_rx data;
+  let buffered = Buffer.contents cx.cx_rx in
+  match String.rindex_opt buffered '\n' with
+  | None -> ()
+  | Some i ->
+    Buffer.clear cx.cx_rx;
+    Buffer.add_substring cx.cx_rx buffered (i + 1)
+      (String.length buffered - i - 1);
+    String.split_on_char '\n' (String.sub buffered 0 i)
+    |> List.iter (fun line ->
+           if String.trim line <> "" then
+             Queue.add (Protocol.envelope_of_line line) cx.cx_pending)
+
+let do_read r cx =
+  match Unix.read cx.cx_fd r.r_rdbuf 0 (Bytes.length r.r_rdbuf) with
+  | 0 ->
+    cx.cx_eof <- true;
+    (* channel-transport parity: a final unterminated line still counts *)
+    let tail = Buffer.contents cx.cx_rx in
+    Buffer.clear cx.cx_rx;
+    if String.trim tail <> "" then
+      Queue.add (Protocol.envelope_of_line tail) cx.cx_pending;
+    pump r cx;
+    maybe_close r cx
+  | n ->
+    ingest cx (Bytes.sub_string r.r_rdbuf 0 n);
+    pump r cx
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+    ()
+  | exception Unix.Unix_error _ -> kill r cx
+
+let accept_ready r =
+  let rec go () =
+    if not r.r_stop then
+      match Unix.accept r.r_socket with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        Hashtbl.replace r.r_conns fd
+          {
+            cx_fd = fd;
+            cx_conn = Handler.new_conn ();
+            cx_rx = Buffer.create 256;
+            cx_tx = Queue.create ();
+            cx_tx_off = 0;
+            cx_tx_bytes = 0;
+            cx_pending = Queue.create ();
+            cx_busy = false;
+            cx_eof = false;
+            cx_closing = false;
+            cx_dead = false;
+          };
+        go ()
+      | exception
+          Unix.Unix_error
+            ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+              | Unix.ECONNABORTED ),
+              _,
+              _ ) ->
+        ()
+  in
+  go ()
+
+let reactor_loop r =
+  while not r.r_stop do
+    let reads =
+      Hashtbl.fold
+        (fun fd cx acc ->
+          if
+            (not cx.cx_dead) && (not cx.cx_eof)
+            && Queue.length cx.cx_pending < pending_cap
+          then fd :: acc
+          else acc)
+        r.r_conns
+        [ r.r_wake_r; r.r_socket ]
+    in
+    let writes =
+      Hashtbl.fold
+        (fun fd cx acc -> if tx_pending cx then fd :: acc else acc)
+        r.r_conns []
+    in
+    match Unix.select reads writes [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+      if List.memq r.r_wake_r readable then drain_wake r;
+      drain_done r;
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt r.r_conns fd with
+          | Some cx ->
+            try_flush r cx;
+            maybe_close r cx
+          | None -> ())
+        writable;
+      List.iter
+        (fun fd ->
+          if fd != r.r_wake_r && fd != r.r_socket then
+            match Hashtbl.find_opt r.r_conns fd with
+            | Some cx ->
+              do_read r cx;
+              maybe_close r cx
+            | None -> ())
+        readable;
+      if List.memq r.r_socket readable then accept_ready r
+  done
+
+(* Post-shutdown: give owed replies a short, bounded drain, then tear
+   everything down.  The pool is joined before the wake pipe closes so a
+   worker's final wake never hits a closed fd. *)
+let finale r path =
+  let all_conns () = Hashtbl.fold (fun _ cx acc -> cx :: acc) r.r_conns [] in
+  let deadline = Unix.gettimeofday () +. 1.0 in
+  let rec drain () =
+    let writers = List.filter (fun cx -> tx_pending cx) (all_conns ()) in
+    if writers <> [] && Unix.gettimeofday () < deadline then begin
+      (match
+         Unix.select [] (List.map (fun cx -> cx.cx_fd) writers) [] 0.05
+       with
+      | _, writable, _ ->
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt r.r_conns fd with
+            | Some cx -> try_flush r cx
+            | None -> ())
+          writable
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      drain ()
+    end
+  in
+  drain ();
+  List.iter
+    (fun cx ->
+      (try Unix.shutdown cx.cx_fd Unix.SHUTDOWN_ALL
+       with Unix.Unix_error _ -> ());
+      kill r cx)
+    (all_conns ());
+  (try Unix.close r.r_socket with Unix.Unix_error _ -> ());
+  Par_runner.Pool.shutdown r.r_pool;
+  (try Unix.close r.r_wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close r.r_wake_w with Unix.Unix_error _ -> ());
+  try Unix.unlink path with Unix.Unix_error _ -> ()
 
 let serve_unix ?jobs ?max_backlog handler path =
   ignore_sigpipe ();
@@ -120,57 +475,39 @@ let serve_unix ?jobs ?max_backlog handler path =
   let socket = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
      Unix.bind socket (Unix.ADDR_UNIX path);
-     Unix.listen socket 64
+     Unix.listen socket 64;
+     Unix.set_nonblock socket
    with e ->
      (try Unix.close socket with Unix.Unix_error _ -> ());
      raise e);
-  let ls =
-    {
-      ls_handler = handler;
-      ls_socket = socket;
-      ls_stop = Atomic.make false;
-      ls_lock = Mutex.create ();
-      ls_conns = Hashtbl.create 8;
-    }
-  in
   let pool = Par_runner.Pool.create ?jobs () in
   let max_backlog =
     match max_backlog with
     | Some n -> max 0 n
-    | None -> 2 * Par_runner.Pool.size pool
+    | None ->
+      (* the floor matters on small machines: a 1-worker pool must still
+         absorb a handful of concurrent cold opens (each connection holds
+         at most one in-flight job, so this only sheds load once many
+         connections pile up at once) *)
+      max 8 (2 * Par_runner.Pool.size pool)
   in
-  (* Poll with a short select so a shutdown initiated on a worker domain
-     is noticed promptly: closing the listening fd from another domain
-     would not wake a blocked accept. *)
-  let rec accept_loop () =
-    if not (Atomic.get ls.ls_stop) then begin
-      (match Unix.select [ socket ] [] [] 0.2 with
-      | [], _, _ -> ()
-      | _ :: _, _, _ -> (
-        match Unix.accept socket with
-        | fd, _ ->
-          let backlog = Par_runner.Pool.pending pool in
-          if backlog > max_backlog then refuse_overloaded fd ~backlog
-          else begin
-            register ls fd;
-            try Par_runner.Pool.submit pool (fun () -> serve_connection ls fd)
-            with Invalid_argument _ ->
-              (* pool already shut down: the accept raced the stop *)
-              unregister ls fd;
-              (try Unix.close fd with Unix.Unix_error _ -> ())
-          end
-        | exception
-            Unix.Unix_error
-              ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-          -> ())
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      accept_loop ()
-    end
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let r =
+    {
+      r_handler = handler;
+      r_socket = socket;
+      r_pool = pool;
+      r_max_backlog = max_backlog;
+      r_conns = Hashtbl.create 16;
+      r_done = Queue.create ();
+      r_done_lock = Mutex.create ();
+      r_wake_r = wake_r;
+      r_wake_w = wake_w;
+      r_rdbuf = Bytes.create 65536;
+      r_heavy = 0;
+      r_stop = false;
+    }
   in
-  Fun.protect
-    ~finally:(fun () ->
-      initiate_shutdown ls;
-      (try Unix.close socket with Unix.Unix_error _ -> ());
-      Par_runner.Pool.shutdown pool;
-      try Unix.unlink path with Unix.Unix_error _ -> ())
-    accept_loop
+  Fun.protect ~finally:(fun () -> finale r path) (fun () -> reactor_loop r)

@@ -12,16 +12,26 @@ val serve_stdio : Handler.t -> unit
 val serve_unix : ?jobs:int -> ?max_backlog:int -> Handler.t -> string -> unit
 (** [serve_unix ~jobs handler path] binds a Unix-domain socket at [path]
     (replacing any stale socket file) and serves clients until a
-    [shutdown] request.  Each connection is handed to a persistent
-    {!Par_runner.Pool} worker, so up to [jobs] (default
-    {!Par_runner.default_jobs}) clients are served concurrently: queries
-    on different sessions run genuinely in parallel, while same-session
-    queries serialize on the session lock.
+    [shutdown] request.
 
-    Backpressure: when every worker is busy and more than [max_backlog]
-    (default [2 * jobs]) connections are already queued, a new connection
-    is answered with a single [overloaded] error line and closed instead
-    of queueing — clients should retry after a backoff.
+    The transport is an event-driven reactor: one domain multiplexes
+    every connection with [select] over non-blocking sockets and
+    per-connection buffers.  Cheap queries are answered inline on the
+    reactor; solver-scale requests ({!Handler.heavy_request}: [open],
+    [lint], [update], implicit opens, tier-changing opts) are dispatched
+    to a persistent {!Par_runner.Pool} of [jobs] workers (default
+    {!Par_runner.default_jobs}), at most one in flight per connection so
+    responses keep request order.  An inline query that would block on a
+    session lock held by a worker is punted to the pool instead of
+    stalling the event loop.
 
-    On shutdown the listening socket and every live connection are
-    closed, the worker pool is joined, and the socket file is removed. *)
+    Backpressure is per request: when more than [max_backlog] (default
+    [max 8 (2 * jobs)]) pool jobs are in flight, further heavy requests are
+    refused with an [overloaded] error response — the connection stays
+    open and cheap queries keep flowing; clients should retry the
+    refused request after a backoff.
+
+    [shutdown] is handled inline and takes effect immediately: pending
+    replies get a bounded (≤1s) drain, every live connection and the
+    listening socket are closed, the worker pool is joined, and the
+    socket file is removed. *)

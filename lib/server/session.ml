@@ -17,7 +17,16 @@
    session hit is only a hit when the live entry's tier satisfies the
    request's floor; a too-coarse entry is dropped and re-solved — the
    upgrade path.  Budgets of in-flight solves are registered by path so
-   close/shutdown can cancel them mid-solve. *)
+   close/shutdown can cancel them mid-solve.
+
+   Shared solution store (protocol v6): every exhaustive solve also
+   registers its solution in a process-wide store keyed by the canonical
+   solution digest, refcounted by the live entries sharing it.  The
+   store retains recently dropped solutions (bounded LRU over zero-ref
+   slots), so closing and re-opening a file — or N clients cycling
+   through the same working set — rebinds the already-solved solution
+   without touching the engine at all: one solved heap serves every
+   client of the same content. *)
 
 type entry = {
   ses_id : string;  (* the Engine.cache_key digest, exposed to clients *)
@@ -33,11 +42,31 @@ type entry = {
       (* per-session dyck solver for tier="dyck" queries on a node-tier
          session, built on first use over the session's own VDG;
          dyck-tier sessions answer from td_dyck instead *)
-  ses_bytes : int;  (* approximate retained size *)
+  ses_bytes : int;  (* approximate retained size; 0 for store-shared entries *)
   ses_lock : Mutex.t;  (* serializes queries on this session *)
   mutable ses_stamp : int;  (* LRU clock value of the last touch *)
   mutable ses_queries : int;
+  mutable ses_digest : string option;
+      (* memoized canonical solution digest; None below the Ci tier *)
+  ses_memo : (string, Ejson.t * int) Hashtbl.t;
+      (* per-session answer memo for deterministic whole-file methods
+         (lint/purity/conflicts/modref): request key -> (result JSON,
+         degradation count).  Entries are only valid for the current
+         solution, so the table is reset on promotion; update/open build
+         a fresh entry, which drops it wholesale. *)
 }
+
+(* Keep the answer memo bounded for long-lived sessions queried with
+   many distinct params (per-function conflicts, checker subsets). *)
+let memo_cap = 256
+
+(* Both ends run under [ses_lock] — the handler only reaches a session
+   through {!with_entry}/{!try_with_entry}. *)
+let memo_find e key = Hashtbl.find_opt e.ses_memo key
+
+let memo_add e key v =
+  if Hashtbl.length e.ses_memo >= memo_cap then Hashtbl.reset e.ses_memo;
+  Hashtbl.replace e.ses_memo key v
 
 exception Engine_error of Engine.error
 exception Tier_unavailable of string
@@ -60,7 +89,41 @@ type stats = {
   mutable st_upgraded : int;  (* re-solves because a hit's tier was too low *)
   mutable st_cancelled : int;  (* in-flight budgets cancelled *)
   mutable st_updated : int;  (* sessions re-analyzed in place (protocol v5) *)
+  mutable st_shared : int;  (* opens rebound from the solution store (v6) *)
 }
+
+(* One retained solution in the process-wide store.  [sl_key] records the
+   content key the solution was solved from: a rebind is only sound for
+   the same key (same source text and config — node ids, line tables and
+   the AST all coincide), so a digest collision across different content
+   never shares. *)
+type slot = {
+  sl_key : string;  (* Engine.cache_key of the solved input *)
+  sl_digest : string;
+  sl_td : Engine.tiered;
+  sl_bytes : int;
+  mutable sl_refs : int;  (* live entries sharing this solution *)
+  mutable sl_stamp : int;  (* LRU clock for zero-ref retention *)
+  mutable sl_hits : int;
+}
+
+(* What must be unchanged for an on-disk file to be assumed identical
+   without re-reading it: same inode, byte size and (sub-second)
+   modification time.  The same assumption every incremental build tool
+   makes; a same-size in-place rewrite within the filesystem's timestamp
+   resolution can defeat it, which is why the fingerprint only ever
+   short-circuits straight session hits. *)
+type stat_fp = { fp_dev : int; fp_ino : int; fp_size : int; fp_mtime : float }
+
+let stat_fp (st : Unix.stats) =
+  {
+    fp_dev = st.Unix.st_dev;
+    fp_ino = st.Unix.st_ino;
+    fp_size = st.Unix.st_size;
+    fp_mtime = st.Unix.st_mtime;
+  }
+
+let stat_cache_cap = 256
 
 type t = {
   tbl : (string, entry) Hashtbl.t;  (* by session id *)
@@ -75,11 +138,17 @@ type t = {
   cache : Engine.analysis Engine_cache.t option;
   disk_budget : int option;  (* Engine_cache.prune target, if any *)
   default_deadline_s : float option;  (* applied when an open names none *)
+  store : (string, slot) Hashtbl.t;  (* by solution digest *)
+  store_by_key : (string, string) Hashtbl.t;  (* content key -> digest *)
+  max_solutions : int;  (* store slot budget (live + retained) *)
+  stat_cache : (string, stat_fp * string) Hashtbl.t;
+      (* path -> (stat fingerprint, content key) of the last open: lets a
+         re-open of an untouched file skip the re-read + re-digest *)
   st : stats;
 }
 
 let create ?(max_entries = 16) ?(max_bytes = 1 lsl 30) ?config ?cache
-    ?disk_budget ?default_deadline_s () =
+    ?disk_budget ?default_deadline_s ?(max_solutions = 32) () =
   {
     tbl = Hashtbl.create 16;
     by_path = Hashtbl.create 16;
@@ -93,6 +162,10 @@ let create ?(max_entries = 16) ?(max_bytes = 1 lsl 30) ?config ?cache
     cache;
     disk_budget;
     default_deadline_s;
+    store = Hashtbl.create 16;
+    store_by_key = Hashtbl.create 16;
+    max_solutions = max 1 max_solutions;
+    stat_cache = Hashtbl.create 16;
     st =
       {
         st_solved = 0;
@@ -104,6 +177,7 @@ let create ?(max_entries = 16) ?(max_bytes = 1 lsl 30) ?config ?cache
         st_upgraded = 0;
         st_cancelled = 0;
         st_updated = 0;
+        st_shared = 0;
       };
   }
 
@@ -125,6 +199,8 @@ let require_analysis t e =
       match Engine.promote e.ses_tiered with
       | Ok td ->
         e.ses_tiered <- td;
+        (* answers memoized against the pre-promotion solution are stale *)
+        Hashtbl.reset e.ses_memo;
         e.ses_modref <-
           Option.map
             (fun (a : Engine.analysis) -> lazy (Modref.of_ci a.Engine.ci))
@@ -191,9 +267,83 @@ let touch t e =
   t.clock <- t.clock + 1;
   e.ses_stamp <- t.clock
 
+(* ---- shared solution store (all helpers run under t.lock) ----------------------- *)
+
+(* Trim zero-ref retained solutions, LRU by last release, down to the
+   slot budget.  Slots still referenced by live entries never go. *)
+let store_evict t =
+  let rec loop () =
+    if Hashtbl.length t.store > t.max_solutions then
+      let victim =
+        Hashtbl.fold
+          (fun _ sl acc ->
+            if sl.sl_refs > 0 then acc
+            else
+              match acc with
+              | Some best when best.sl_stamp <= sl.sl_stamp -> acc
+              | _ -> Some sl)
+          t.store None
+      in
+      match victim with
+      | Some sl ->
+        Hashtbl.remove t.store sl.sl_digest;
+        (* several content keys may have registered the same digest;
+           the store stays small, so a scan is fine *)
+        let keys =
+          Hashtbl.fold
+            (fun k d acc -> if String.equal d sl.sl_digest then k :: acc else acc)
+            t.store_by_key []
+        in
+        List.iter (Hashtbl.remove t.store_by_key) keys;
+        loop ()
+      | None -> ()
+  in
+  loop ()
+
+(* Register a freshly solved exhaustive solution under [digest]; when a
+   racing solve of the same content already registered one, share the
+   first heap instead (the entry's tiered is swapped to the stored one,
+   and the duplicate is dropped on the floor for the GC). *)
+let store_insert t entry digest =
+  match Hashtbl.find_opt t.store digest with
+  | Some sl when String.equal sl.sl_key entry.ses_id ->
+    entry.ses_tiered <- sl.sl_td;
+    sl.sl_refs <- sl.sl_refs + 1
+  | Some _ ->
+    (* same solution digest from different content (say, a comment-only
+       variant): the node ids and line tables differ, so the heaps must
+       not be shared — leave the existing slot alone *)
+    ()
+  | None ->
+    Hashtbl.replace t.store digest
+      {
+        sl_key = entry.ses_id;
+        sl_digest = digest;
+        sl_td = entry.ses_tiered;
+        sl_bytes = entry.ses_bytes;
+        sl_refs = 1;
+        sl_stamp = t.clock;
+        sl_hits = 0;
+      };
+    Hashtbl.replace t.store_by_key entry.ses_id digest;
+    store_evict t
+
+(* A dropped entry releases its slot; the slot is retained (zero-ref)
+   until the budget pushes it out, so a near-future re-open rebinds it. *)
+let store_release t e =
+  match e.ses_digest with
+  | None -> ()
+  | Some d -> (
+    match Hashtbl.find_opt t.store d with
+    | Some sl when String.equal sl.sl_key e.ses_id ->
+      sl.sl_refs <- max 0 (sl.sl_refs - 1);
+      sl.sl_stamp <- t.clock
+    | _ -> ())
+
 let drop t e =
   Hashtbl.remove t.tbl e.ses_id;
   t.live_bytes <- t.live_bytes - e.ses_bytes;
+  store_release t e;
   match Hashtbl.find_opt t.by_path e.ses_path with
   | Some id when id = e.ses_id -> Hashtbl.remove t.by_path e.ses_path
   | _ -> ()
@@ -269,13 +419,12 @@ let cancel_all_inflight t =
 
 (* ---- opening -------------------------------------------------------------------- *)
 
-type open_status = [ `Session_hit | `Solved of Telemetry.cache_status ]
+type open_status =
+  [ `Session_hit | `Shared | `Solved of Telemetry.cache_status ]
 
 type open_result = { or_entry : entry; or_status : open_status }
 
 let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) t path =
-  let input = Engine.load_file path in
-  let key = Engine.cache_key t.config input in
   let deadline_s =
     match deadline_s with Some _ as d -> d | None -> t.default_deadline_s
   in
@@ -295,6 +444,44 @@ let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) t path =
       | None, `Exhaustive -> Engine.Ci)
   in
   let satisfies e = Engine.tier_rank (tier e) >= Engine.tier_rank floor in
+  (* Fast path: the file's stat fingerprint is unchanged since the last
+     open of this path and the session it mapped to is still live and
+     precise enough — a straight session hit without re-reading or
+     re-digesting the source.  Anything less clear-cut (fingerprint
+     moved, session evicted/closed, tier too coarse) falls through to
+     the full re-digest below. *)
+  let fp =
+    match Unix.stat path with
+    | st -> Some (stat_fp st)
+    | exception (Unix.Unix_error _ | Sys_error _) -> None
+  in
+  let fast =
+    match fp with
+    | None -> None
+    | Some fp ->
+      locked t (fun () ->
+          match Hashtbl.find_opt t.stat_cache path with
+          | Some (fp', key) when fp' = fp -> (
+            match Hashtbl.find_opt t.tbl key with
+            | Some e when satisfies e ->
+              t.st.st_session_hits <- t.st.st_session_hits + 1;
+              touch t e;
+              Some e
+            | _ -> None)
+          | _ -> None)
+  in
+  match fast with
+  | Some e -> { or_entry = e; or_status = `Session_hit }
+  | None ->
+  let input = Engine.load_file path in
+  let key = Engine.cache_key t.config input in
+  (match fp with
+  | Some fp ->
+    locked t (fun () ->
+        if Hashtbl.length t.stat_cache >= stat_cache_cap then
+          Hashtbl.reset t.stat_cache;
+        Hashtbl.replace t.stat_cache path (fp, key))
+  | None -> ());
   let live =
     locked t (fun () ->
         match Hashtbl.find_opt t.tbl key with
@@ -327,6 +514,61 @@ let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) t path =
       (fun () -> ignore (require_analysis t e : Engine.analysis));
     { or_entry = e; or_status = `Session_hit }
   | `Miss ->
+    (* The solution store may retain the solved solution for this very
+       content (closed or evicted earlier): rebind it — no engine work at
+       all.  One locked section end to end, so the slot cannot be evicted
+       between lookup and insert. *)
+    let rebound =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.store_by_key key with
+          | None -> None
+          | Some d -> (
+            match Hashtbl.find_opt t.store d with
+            | Some sl
+              when String.equal sl.sl_key key
+                   && Engine.tier_rank sl.sl_td.Engine.td_tier
+                      >= Engine.tier_rank floor
+                   && Hashtbl.find_opt t.tbl key = None ->
+              let entry =
+                {
+                  ses_id = key;
+                  ses_path = path;
+                  ses_tiered = sl.sl_td;
+                  ses_modref =
+                    Option.map
+                      (fun (a : Engine.analysis) ->
+                        lazy (Modref.of_ci a.Engine.ci))
+                      sl.sl_td.Engine.td_analysis;
+                  ses_dyck = None;
+                  ses_bytes = 0;  (* the heap belongs to the slot *)
+                  ses_lock = Mutex.create ();
+                  ses_stamp = 0;
+                  ses_queries = 0;
+                  ses_digest = Some sl.sl_digest;
+                  ses_memo = Hashtbl.create 8;
+                }
+              in
+              (match Hashtbl.find_opt t.by_path path with
+              | Some stale_id when stale_id <> key -> (
+                match Hashtbl.find_opt t.tbl stale_id with
+                | Some stale ->
+                  drop t stale;
+                  t.st.st_invalidated <- t.st.st_invalidated + 1
+                | None -> ())
+              | _ -> ());
+              Hashtbl.replace t.tbl key entry;
+              Hashtbl.replace t.by_path path key;
+              sl.sl_refs <- sl.sl_refs + 1;
+              sl.sl_hits <- sl.sl_hits + 1;
+              t.st.st_shared <- t.st.st_shared + 1;
+              touch t entry;
+              evict_over_budget t ~keep:key;
+              Some entry
+            | _ -> None))
+    in
+    (match rebound with
+    | Some entry -> { or_entry = entry; or_status = `Shared }
+    | None ->
     (* Solve outside the manager lock: other sessions stay responsive
        while this one compiles.  Two racing opens of the same new file
        may both solve; the second insert below defers to the first. *)
@@ -357,6 +599,14 @@ let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) t path =
             ~min_tier:floor input)
     in
     let td = match solved with Ok td -> td | Error e -> raise (Engine_error e) in
+    (* the canonical solution digest keys the shared store and is echoed
+       to clients; computed outside the manager lock (it walks the whole
+       solution) and only for exhaustive tiers *)
+    let digest =
+      Option.map
+        (fun (a : Engine.analysis) -> Solution_digest.ci_digest a)
+        td.Engine.td_analysis
+    in
     let entry =
       {
         ses_id = key;
@@ -371,6 +621,8 @@ let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) t path =
         ses_lock = Mutex.create ();
         ses_stamp = 0;
         ses_queries = 0;
+        ses_digest = digest;
+        ses_memo = Hashtbl.create 8;
       }
     in
     let result =
@@ -401,6 +653,9 @@ let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) t path =
             t.live_bytes <- t.live_bytes + entry.ses_bytes;
             touch t entry;
             t.st.st_solved <- t.st.st_solved + 1;
+            (match digest with
+            | Some d -> store_insert t entry d
+            | None -> ());
             evict_over_budget t ~keep:key;
             {
               or_entry = entry;
@@ -413,7 +668,7 @@ let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) t path =
     (match (t.cache, t.disk_budget) with
     | Some c, Some budget -> ignore (Engine_cache.prune c ~max_bytes:budget)
     | _ -> ());
-    result
+    result)
 
 (* ---- in-place update (protocol v5) ---------------------------------------------- *)
 
@@ -469,6 +724,11 @@ let update ?source t path =
       match solved with Ok r -> r | Error err -> raise (Engine_error err)
     in
     let td, outcome = td in
+    let digest =
+      Option.map
+        (fun (a : Engine.analysis) -> Solution_digest.ci_digest a)
+        td.Engine.td_analysis
+    in
     let entry =
       {
         ses_id = key;
@@ -483,6 +743,8 @@ let update ?source t path =
         ses_lock = Mutex.create ();
         ses_stamp = 0;
         ses_queries = 0;
+        ses_digest = digest;
+        ses_memo = Hashtbl.create 8;
       }
     in
     locked t (fun () ->
@@ -503,8 +765,24 @@ let update ?source t path =
         t.live_bytes <- t.live_bytes + entry.ses_bytes;
         touch t entry;
         t.st.st_updated <- t.st.st_updated + 1;
+        (match digest with Some d -> store_insert t entry d | None -> ());
         evict_over_budget t ~keep:key);
     (entry, outcome)
+
+(* The entry's canonical solution digest, memoized.  Computed on first
+   ask for entries that gained their analysis after insertion (a promoted
+   demand/dyck session); lazy tiers stay [None] — the digest never forces
+   a promotion. *)
+let solution_digest _t e =
+  match e.ses_digest with
+  | Some _ as d -> d
+  | None -> (
+    match analysis e with
+    | None -> None
+    | Some a ->
+      let d = Solution_digest.ci_digest a in
+      e.ses_digest <- Some d;
+      Some d)
 
 let find t id =
   locked t (fun () ->
@@ -558,6 +836,20 @@ let with_entry e f =
       e.ses_queries <- e.ses_queries + 1;
       f ())
 
+exception Busy
+
+(* The reactor's non-blocking variant: an inline query must never park
+   the event loop behind a session lock a worker job (a lint, a CS
+   solve) is holding — it punts back to the pool instead. *)
+let try_with_entry e f =
+  if Mutex.try_lock e.ses_lock then
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock e.ses_lock)
+      (fun () ->
+        e.ses_queries <- e.ses_queries + 1;
+        f ())
+  else raise Busy
+
 let live t = locked t (fun () -> Hashtbl.length t.tbl)
 
 let stats_json t =
@@ -577,6 +869,10 @@ let stats_json t =
         ("upgraded", Ejson.Int t.st.st_upgraded);
         ("cancelled", Ejson.Int t.st.st_cancelled);
         ("updated", Ejson.Int t.st.st_updated);
+        ("solutions", Ejson.Int (Hashtbl.length t.store));
+        ("solution_hits", Ejson.Int t.st.st_shared);
+        ( "solution_bytes",
+          Ejson.Int (Hashtbl.fold (fun _ sl n -> n + sl.sl_bytes) t.store 0) );
       ])
 
 let engine_cache_stats_json t =

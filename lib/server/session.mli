@@ -17,7 +17,15 @@
     A session hit requires the live entry's tier to satisfy the
     request's floor; a too-coarse entry is dropped and re-solved (the
     upgrade path).  Budgets of in-flight solves are registered by path
-    so close/shutdown can cancel them mid-solve. *)
+    so close/shutdown can cancel them mid-solve.
+
+    Shared solution store (protocol v6): every exhaustive solve also
+    registers its solution in a process-wide store keyed by the
+    canonical solution digest ({!Solution_digest.ci_digest}), refcounted by
+    the live entries sharing it and retaining recently dropped solutions
+    under a bounded LRU — so closing and re-opening a file rebinds the
+    already-solved heap without touching the engine, and N clients of
+    the same content share one solved solution. *)
 
 type entry = {
   ses_id : string;  (** the {!Engine.cache_key} digest, exposed to clients *)
@@ -33,10 +41,17 @@ type entry = {
       (** per-session dyck solver for [tier="dyck"] queries on a
           node-tier session, built lazily by {!require_dyck}; dyck-tier
           sessions answer from [td_dyck] instead *)
-  ses_bytes : int;  (** approximate retained size *)
+  ses_bytes : int;
+      (** approximate retained size; 0 for entries rebound from the
+          solution store (the heap is accounted to the store slot) *)
   ses_lock : Mutex.t;  (** serializes queries on this session *)
   mutable ses_stamp : int;  (** LRU clock value of the last touch *)
   mutable ses_queries : int;
+  mutable ses_digest : string option;
+      (** memoized canonical solution digest; [None] below [Ci] *)
+  ses_memo : (string, Ejson.t * int) Hashtbl.t;
+      (** per-session answer memo, see {!memo_find} — use the accessors,
+          not the table *)
 }
 
 exception Engine_error of Engine.error
@@ -87,6 +102,7 @@ val create :
   ?cache:Engine.analysis Engine_cache.t ->
   ?disk_budget:int ->
   ?default_deadline_s:float ->
+  ?max_solutions:int ->
   unit ->
   t
 (** [max_entries] (default 16, minimum 1) and [max_bytes] (default 1 GiB;
@@ -94,10 +110,15 @@ val create :
     [cache], solves go through the engine cache's memory and disk layers;
     with [disk_budget], {!Engine_cache.prune} runs after each open.
     [default_deadline_s] is applied to opens that do not name their own
-    deadline — the server-wide budget default. *)
+    deadline — the server-wide budget default.  [max_solutions] (default
+    32, minimum 1) bounds the shared solution store (live plus retained
+    slots). *)
 
 type open_status =
   [ `Session_hit  (** answered by a live session, nothing re-solved *)
+  | `Shared
+    (** rebound from the shared solution store: the content was solved
+        earlier in this process and its solution was still retained *)
   | `Solved of Telemetry.cache_status
     (** went through the engine; the status tells whether the engine
         cache answered from memory, disk, or solved cold *) ]
@@ -148,6 +169,12 @@ val update : ?source:string -> t -> string -> entry * Incr_engine.outcome
     baseline or lazy tier has no CI solution to diff against.
     @raise Engine_error when the incremental solve returns [Error]. *)
 
+val solution_digest : t -> entry -> string option
+(** The entry's canonical solution digest ({!Solution_digest.ci_digest}),
+    memoized on the entry; computed on first ask for entries that gained
+    their analysis after insertion (a promoted session).  [None] for
+    lazy and baseline tiers — never forces a promotion. *)
+
 val find : t -> string -> entry option
 (** Look up a live session by id; touches its LRU stamp. *)
 
@@ -172,11 +199,30 @@ val with_entry : entry -> (unit -> 'a) -> 'a
     on different worker domains; two clients of the same session take
     turns. *)
 
+exception Busy
+
+val try_with_entry : entry -> (unit -> 'a) -> 'a
+(** As {!with_entry} but never blocks: raises {!Busy} when the session
+    lock is already held.  The reactor evaluates inline queries through
+    this so a worker-held lock punts the query back to the pool instead
+    of parking the event loop. *)
+
+val memo_find : entry -> string -> (Ejson.t * int) option
+(** Per-session answer memo for methods that are deterministic functions
+    of the solution and their params (lint, purity, conflicts, modref):
+    request key -> (result JSON, degradation count).  Invalidated
+    whenever the entry's solution changes (tier promotion in place;
+    update/re-open build a fresh entry).  Bounded; both calls must run
+    under {!with_entry}/{!try_with_entry}. *)
+
+val memo_add : entry -> string -> Ejson.t * int -> unit
+
 val live : t -> int
 
 val stats_json : t -> (string * Ejson.t) list
-(** Includes the governance counters: [inflight], [degradations],
-    [upgraded], [cancelled], [updated]. *)
+(** Includes the governance counters ([inflight], [degradations],
+    [upgraded], [cancelled], [updated]) and the solution-store counters
+    ([solutions], [solution_hits], [solution_bytes]). *)
 
 val engine_cache_stats_json : t -> (string * Ejson.t) list option
 (** The engine cache's hit/miss/store counters, when a cache is wired. *)

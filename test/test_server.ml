@@ -1315,6 +1315,348 @@ let test_client_timeout_on_dead_daemon () =
   Client.close c;
   Unix.close srv
 
+(* ---- (h) protocol v6: batch envelope, query opts, pipelining, restarts ---------- *)
+
+let mk_request id meth params =
+  { Protocol.rq_id = Ejson.Int id; rq_method = meth; rq_params = params }
+
+let test_batch_envelope_codec () =
+  (* a single object still parses as a Single envelope *)
+  (match
+     Protocol.envelope_of_line
+       (Protocol.request_line ~id:1 ~meth:"ping" ~params:Ejson.Null ())
+   with
+  | Ok (Protocol.Single rq) ->
+    Alcotest.(check string) "single method" "ping" rq.Protocol.rq_method
+  | Ok (Protocol.Batch _) -> Alcotest.fail "an object must not parse as a batch"
+  | Error (_, msg) -> Alcotest.failf "single parse failed: %s" msg);
+  (* a batch line round-trips, preserving element order *)
+  let reqs =
+    [ mk_request 1 "ping" Ejson.Null; mk_request 2 "stats" Ejson.Null ]
+  in
+  (match Protocol.envelope_of_line (Protocol.batch_line reqs) with
+  | Ok (Protocol.Batch [ Ok a; Ok b ]) ->
+    Alcotest.(check string) "first element" "ping" a.Protocol.rq_method;
+    Alcotest.(check string) "second element" "stats" b.Protocol.rq_method
+  | Ok _ -> Alcotest.fail "a two-element batch must parse as two elements"
+  | Error (_, msg) -> Alcotest.failf "batch parse failed: %s" msg);
+  (* whole-line rejections: empty, oversized, non-object elements *)
+  let rejected what line =
+    match Protocol.envelope_of_line line with
+    | Error (Protocol.Invalid_request, _) -> ()
+    | Error (code, _) ->
+      Alcotest.failf "%s: wrong code %s" what
+        (Protocol.string_of_error_code code)
+    | Ok _ -> Alcotest.failf "%s must be rejected whole" what
+  in
+  rejected "empty batch" "[]";
+  rejected "non-object element" "[1,2]";
+  rejected "oversized batch"
+    (Protocol.batch_line
+       (List.init (Protocol.max_batch + 1) (fun i ->
+            mk_request i "ping" Ejson.Null)));
+  (* an object element that is not a valid request degrades to a
+     per-element error instead of rejecting its batch *)
+  (match
+     Protocol.envelope_of_line
+       "[{\"id\":3},{\"id\":4,\"method\":\"ping\"}]"
+   with
+  | Ok (Protocol.Batch [ Error (Protocol.Invalid_request, _); Ok rq ]) ->
+    Alcotest.(check string) "valid element survives" "ping" rq.Protocol.rq_method
+  | Ok _ -> Alcotest.fail "expected one bad and one good element"
+  | Error (_, msg) ->
+    Alcotest.failf "a bad element must not reject the batch: %s" msg);
+  (* the reply side: an ordered array of response objects on one line *)
+  match
+    Protocol.batch_responses_of_line
+      (Protocol.batch_response
+         [
+           Protocol.ok_response_json ~id:(Ejson.Int 1) (Ejson.Bool true);
+           Protocol.error_response_json ~id:(Ejson.Int 2)
+             Protocol.Method_not_found "nope";
+         ])
+  with
+  | Ok [ r1; r2 ] ->
+    (match r1.Protocol.rs_result with
+    | Ok (Ejson.Bool true) -> ()
+    | _ -> Alcotest.fail "first response must carry its result");
+    (match r2.Protocol.rs_result with
+    | Error (Protocol.Method_not_found, _) -> ()
+    | _ -> Alcotest.fail "second response must carry its error")
+  | Ok rs -> Alcotest.failf "wrong reply count: %d" (List.length rs)
+  | Error msg -> Alcotest.failf "batch reply parse failed: %s" msg
+
+let test_batch_dispatch () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "conflict.c" conflict_src in
+  let h = Handler.create (Session.create ()) in
+  let conn = Handler.new_conn () in
+  let line =
+    Protocol.batch_line
+      [
+        mk_request 1 "open" (Ejson.Assoc [ ("file", Ejson.String file) ]);
+        (* no session parameter: must see the default set by the open
+           earlier in the same batch (in-order evaluation) *)
+        mk_request 2 "conflicts" Ejson.Null;
+        mk_request 3 "shutdown" Ejson.Null;
+        mk_request 4 "no_such_method" Ejson.Null;
+      ]
+  in
+  match Handler.handle_line h conn line with
+  | Handler.Reply_shutdown _ ->
+    Alcotest.fail "shutdown inside a batch must not stop the server"
+  | Handler.Reply r -> (
+    match Protocol.batch_responses_of_line r with
+    | Error msg -> Alcotest.failf "unparsable batch reply: %s" msg
+    | Ok [ r1; r2; r3; r4 ] ->
+      List.iteri
+        (fun i rs ->
+          Alcotest.(check int)
+            (Printf.sprintf "id %d echoed in order" (i + 1))
+            (i + 1)
+            (match rs.Protocol.rs_id with Ejson.Int n -> n | _ -> -1))
+        [ r1; r2; r3; r4 ];
+      ignore (expect_ok "batched open" r1.Protocol.rs_result : Ejson.t);
+      let conflicts = expect_ok "batched conflicts" r2.Protocol.rs_result in
+      Alcotest.(check bool)
+        "conflicts answered against the batch's own open" true
+        (int_field "conflicts" "count" conflicts >= 0);
+      expect_error "shutdown refused inside a batch" Protocol.Invalid_request
+        r3.Protocol.rs_result;
+      expect_error "unknown method still per-element" Protocol.Method_not_found
+        r4.Protocol.rs_result
+    | Ok rs -> Alcotest.failf "wrong reply count: %d" (List.length rs))
+
+let test_query_opts_codec () =
+  let nested =
+    Ejson.Assoc
+      [
+        ( "opts",
+          Ejson.Assoc
+            [
+              ("tier", Ejson.String "dyck");
+              ("deadline_ms", Ejson.Int 5);
+              ("min_tier", Ejson.String "ci");
+            ] );
+      ]
+  in
+  let qo = Protocol.query_opts_of_params nested in
+  Alcotest.(check (option string)) "nested tier" (Some "dyck") qo.Protocol.qo_tier;
+  Alcotest.(check (option int)) "nested deadline" (Some 5) qo.Protocol.qo_deadline_ms;
+  Alcotest.(check (option string)) "nested floor" (Some "ci") qo.Protocol.qo_min_tier;
+  (* v5 clients spell the same knobs as flat parameters *)
+  let flat =
+    Protocol.query_opts_of_params
+      (Ejson.Assoc
+         [ ("tier", Ejson.String "dyck"); ("deadline_ms", Ejson.Int 5) ])
+  in
+  Alcotest.(check (option string)) "flat tier" (Some "dyck") flat.Protocol.qo_tier;
+  Alcotest.(check (option int)) "flat deadline" (Some 5) flat.Protocol.qo_deadline_ms;
+  Alcotest.(check (option string)) "flat floor unset" None flat.Protocol.qo_min_tier;
+  (* when both spellings appear, the nested object wins field-by-field *)
+  let mixed =
+    Protocol.query_opts_of_params
+      (Ejson.Assoc
+         [
+           ("tier", Ejson.String "ci");
+           ("deadline_ms", Ejson.Int 9);
+           ("opts", Ejson.Assoc [ ("tier", Ejson.String "cs") ]);
+         ])
+  in
+  Alcotest.(check (option string)) "nested tier wins" (Some "cs") mixed.Protocol.qo_tier;
+  Alcotest.(check (option int))
+    "flat deadline survives" (Some 9) mixed.Protocol.qo_deadline_ms;
+  (* encode/decode round-trip through params_with_opts *)
+  let rt =
+    Protocol.query_opts_of_params
+      (Protocol.params_with_opts qo [ ("a", Ejson.Int 1) ])
+  in
+  Alcotest.(check bool) "round-trip preserves every field" true (rt = qo);
+  (* no_query_opts encodes to no opts member at all *)
+  (match Protocol.params_with_opts Protocol.no_query_opts [ ("a", Ejson.Int 1) ] with
+  | Ejson.Assoc fields ->
+    Alcotest.(check bool)
+      "empty opts omitted" true
+      (List.assoc_opt "opts" fields = None)
+  | _ -> Alcotest.fail "params_with_opts must build an object");
+  (* type mismatches raise Bad_params in either spelling *)
+  match
+    Protocol.query_opts_of_params
+      (Ejson.Assoc
+         [ ("opts", Ejson.Assoc [ ("deadline_ms", Ejson.String "x") ]) ])
+  with
+  | exception Protocol.Bad_params _ -> ()
+  | _ -> Alcotest.fail "a mistyped nested knob must raise Bad_params"
+
+let test_batched_matches_unbatched () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "conflict.c" conflict_src in
+  let h = Handler.create (Session.create ()) in
+  let conn = Handler.new_conn () in
+  ignore
+    (expect_ok "open"
+       (rpc h conn "open" (Ejson.Assoc [ ("file", Ejson.String file) ]))
+      : Ejson.t);
+  (* every deterministic query method, with representative params *)
+  let queries =
+    [
+      ("may_alias", Ejson.Assoc [ ("a", Ejson.Int 0); ("b", Ejson.Int 1) ]);
+      ("points_to", Ejson.Assoc [ ("node", Ejson.Int 0) ]);
+      ("modref", Ejson.Null);
+      ("purity", Ejson.Null);
+      ("conflicts", Ejson.Null);
+      ("lint", Ejson.Null);
+    ]
+  in
+  let unbatched =
+    List.map
+      (fun (meth, params) ->
+        Ejson.to_compact_string (expect_ok meth (rpc h conn meth params)))
+      queries
+  in
+  let line =
+    Protocol.batch_line
+      (List.mapi (fun i (meth, params) -> mk_request i meth params) queries)
+  in
+  match Handler.handle_line h conn line with
+  | Handler.Reply_shutdown _ -> Alcotest.fail "a query batch must not shut down"
+  | Handler.Reply r -> (
+    match Protocol.batch_responses_of_line r with
+    | Error msg -> Alcotest.failf "unparsable batch reply: %s" msg
+    | Ok rs ->
+      Alcotest.(check int)
+        "one response per query" (List.length queries) (List.length rs);
+      List.iter2
+        (fun (meth, _) (want, got) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: batched payload identical" meth)
+            want
+            (Ejson.to_compact_string (expect_ok meth got.Protocol.rs_result)))
+        queries
+        (List.combine unbatched rs))
+
+let test_shutdown_latency () =
+  let dir = fresh_dir () in
+  let socket = Filename.concat dir "fast.sock" in
+  let handler = Handler.create (Session.create ()) in
+  let server = Domain.spawn (fun () -> Server.serve_unix ~jobs:1 handler socket) in
+  let c = Client.connect ~retry_for:10. socket in
+  ignore (Client.call c ~meth:"ping" ~params:Ejson.Null);
+  (* the reactor parks in select with no poll interval: a shutdown must
+     take effect immediately, not after a polling tick *)
+  let t0 = Unix.gettimeofday () in
+  (match Client.call c ~meth:"shutdown" ~params:Ejson.Null with
+  | Ok reply ->
+    Alcotest.(check bool)
+      "shutdown acknowledged" true
+      (bool_field "shutdown" "stopping" reply)
+  | Error (_, msg) -> Alcotest.failf "shutdown failed: %s" msg);
+  Domain.join server;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Client.close c;
+  Alcotest.(check bool)
+    (Printf.sprintf "shutdown-to-exit under 50ms (took %.1fms)"
+       (1e3 *. elapsed))
+    true (elapsed < 0.05)
+
+let test_pipelined_out_of_order_await () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "conflict.c" conflict_src in
+  let socket = Filename.concat dir "pipe.sock" in
+  let handler = Handler.create (Session.create ()) in
+  let server = Domain.spawn (fun () -> Server.serve_unix ~jobs:1 handler socket) in
+  let c = Client.connect ~retry_for:10. socket in
+  ignore
+    (Client.call c ~meth:"open"
+       ~params:(Ejson.Assoc [ ("file", Ejson.String file) ]));
+  (* three requests on the wire at once, awaited newest-first: replies
+     arrive in wire order, so earlier completions must be parked *)
+  let t1 = Client.submit c ~meth:"ping" ~params:Ejson.Null in
+  let t2 = Client.submit c ~meth:"stats" ~params:Ejson.Null in
+  let t3 = Client.submit c ~meth:"purity" ~params:Ejson.Null in
+  let r3 = expect_ok "purity ticket" (Client.await c t3) in
+  Alcotest.(check bool)
+    "purity reply reached its ticket" true
+    (Ejson.member "functions" r3 <> None);
+  let r1 = expect_ok "ping ticket" (Client.await c t1) in
+  Alcotest.(check int)
+    "ping reply reached its ticket" Protocol.protocol_version
+    (int_field "ping" "protocol_version" r1);
+  let r2 = expect_ok "stats ticket" (Client.await c t2) in
+  Alcotest.(check bool)
+    "stats reply reached its ticket" true
+    (int_field "stats" "requests" r2 >= 1);
+  (* a ticket can only be awaited once *)
+  (match Client.await c t2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "an already-awaited ticket must be refused");
+  (* a batch submit yields one ticket per element, awaitable in order *)
+  let tickets =
+    Client.submit_batch c
+      [ ("ping", Ejson.Null); ("conflicts", Ejson.Null) ]
+  in
+  Alcotest.(check int) "two tickets for two elements" 2 (List.length tickets);
+  List.iter
+    (fun t -> ignore (expect_ok "batched ticket" (Client.await c t) : Ejson.t))
+    tickets;
+  (match Client.call c ~meth:"shutdown" ~params:Ejson.Null with
+  | Ok _ -> ()
+  | Error (_, msg) -> Alcotest.failf "shutdown failed: %s" msg);
+  Domain.join server;
+  Client.close c
+
+let test_solution_store_rebind () =
+  let dir = fresh_dir () in
+  let file = temp_c dir "conflict.c" conflict_src in
+  let sessions = Session.create () in
+  let h = Handler.create sessions in
+  let conn = Handler.new_conn () in
+  let params = Ejson.Assoc [ ("file", Ejson.String file) ] in
+  let first = expect_ok "first open" (rpc h conn "open" params) in
+  let digest1 = string_field "open" "solution_digest" first in
+  let id = string_field "open" "session" first in
+  ignore
+    (expect_ok "close"
+       (rpc h conn "close" (Ejson.Assoc [ ("session", Ejson.String id) ]))
+      : Ejson.t);
+  (* the session is gone but the store still retains its solution:
+     re-opening the unchanged content rebinds without engine work *)
+  let second = expect_ok "re-open" (rpc h conn "open" params) in
+  Alcotest.(check string)
+    "re-open after close rebinds from the store" "solution-hit"
+    (string_field "open" "status" second);
+  Alcotest.(check string)
+    "rebound solution is the identical solution" digest1
+    (string_field "open" "solution_digest" second);
+  Alcotest.(check int) "exactly one solve" 1 (session_stat sessions "solved")
+
+let test_warm_restart_snapshot () =
+  let dir = fresh_dir () in
+  let cache_dir = Filename.concat dir "cache" in
+  let file = temp_c dir "conflict.c" conflict_src in
+  let params = Ejson.Assoc [ ("file", Ejson.String file) ] in
+  let open_once () =
+    (* a fresh cache instance over the same directory each time: only
+       the on-disk snapshots survive the "restart" *)
+    let cache : Engine.analysis Engine_cache.t =
+      Engine_cache.create ~dir:cache_dir ()
+    in
+    let h = Handler.create (Session.create ~cache ()) in
+    expect_ok "open" (rpc h (Handler.new_conn ()) "open" params)
+  in
+  let cold = open_once () in
+  Alcotest.(check string)
+    "first server instance solves cold" "miss"
+    (string_field "open" "status" cold);
+  let warm = open_once () in
+  Alcotest.(check string)
+    "restarted server answers from the disk snapshot" "disk-hit"
+    (string_field "open" "status" warm);
+  Alcotest.(check string)
+    "snapshot yields the identical solution"
+    (string_field "open" "solution_digest" cold)
+    (string_field "open" "solution_digest" warm)
+
 let tests =
   [
     Alcotest.test_case "protocol: codec round-trips" `Quick test_protocol_roundtrip;
@@ -1363,4 +1705,19 @@ let tests =
       test_update_source_param;
     Alcotest.test_case "update: structured error paths" `Quick
       test_update_errors;
+    Alcotest.test_case "v6: batch envelope codec" `Quick test_batch_envelope_codec;
+    Alcotest.test_case "v6: batch dispatch order and refusals" `Quick
+      test_batch_dispatch;
+    Alcotest.test_case "v6: query opts round-trip and v5 compat" `Quick
+      test_query_opts_codec;
+    Alcotest.test_case "v6: batched payloads match unbatched" `Quick
+      test_batched_matches_unbatched;
+    Alcotest.test_case "v6: shutdown under 50ms on a live socket" `Quick
+      test_shutdown_latency;
+    Alcotest.test_case "v6: pipelined client awaits out of order" `Quick
+      test_pipelined_out_of_order_await;
+    Alcotest.test_case "v6: solution store rebinds after close" `Quick
+      test_solution_store_rebind;
+    Alcotest.test_case "v6: warm restart answers from disk snapshot" `Quick
+      test_warm_restart_snapshot;
   ]
