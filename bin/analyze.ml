@@ -273,13 +273,18 @@ let report_baseline (td : Engine.tiered) =
   Table.print t
 
 let run_analyze file dump_sil dump_dot context_sensitive demand dyck show_pairs
-    deadline_ms min_tier metrics =
+    deadline_ms min_tier metrics jobs =
   with_frontend_errors @@ fun () ->
   if (context_sensitive && (demand || dyck)) || (demand && dyck) then begin
     prerr_endline
       "alias-analyze: --demand, --dyck and --context-sensitive conflict";
     exit 2
   end;
+  (match jobs with
+  | Some n when n < 1 ->
+    prerr_endline "alias-analyze: --jobs must be at least 1";
+    exit 2
+  | _ -> ());
   let input = Engine.load_file file in
   let budget = budget_of_deadline deadline_ms in
   let want =
@@ -288,7 +293,7 @@ let run_analyze file dump_sil dump_dot context_sensitive demand dyck show_pairs
     else if dyck then Engine.Dyck
     else Engine.Ci
   in
-  let td = engine_errors (Engine.run_tiered ?budget ?min_tier ~want input) in
+  let td = engine_errors (Engine.run_tiered ?budget ?min_tier ?jobs ~want input) in
   if
     deadline_ms <> None || demand || dyck
     || td.Engine.td_degradations <> []
@@ -344,11 +349,23 @@ let analyze_cmd =
   let dot =
     Arg.(value & flag & info [ "dot" ] ~doc:"Print the VDG in GraphViz format.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Shard the CI solve across $(docv) OCaml domains (call-graph \
+             components scheduled bottom-up over the SCC condensation).  \
+             The solution is byte-identical to a sequential solve at any \
+             width.  Ignored under --deadline-ms, which takes the \
+             budget-governed sequential path.")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the points-to analysis on a C file")
     Term.(
       const run_analyze $ file $ dump_sil $ dot $ cs $ demand $ dyck $ pairs
-      $ deadline_arg $ min_tier_arg $ metrics_arg)
+      $ deadline_arg $ min_tier_arg $ metrics_arg $ jobs)
 
 (* ---- conflicts ----------------------------------------------------------------- *)
 
@@ -536,9 +553,14 @@ let tables_cmd =
 
 let run_serve socket stdio jobs cache_dir no_cache max_sessions max_bytes
     disk_budget default_deadline_ms max_backlog =
-  if jobs < 1 then (
-    prerr_endline "alias-analyze: --jobs must be at least 1";
-    exit 2);
+  let jobs =
+    match jobs with
+    | Some n when n < 1 ->
+      prerr_endline "alias-analyze: --jobs must be at least 1";
+      exit 2
+    | Some n -> n
+    | None -> Par_runner.default_jobs ()
+  in
   let cache =
     if no_cache then None else Some (Engine_cache.create ~dir:cache_dir ())
   in
@@ -595,9 +617,12 @@ let serve_cmd =
   in
   let jobs =
     Arg.(
-      value & opt int 4
+      value
+      & opt (some int) None
       & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:"Serve up to $(docv) connections in parallel (OCaml domains).")
+          ~doc:
+            "Serve up to $(docv) connections in parallel (OCaml domains; \
+             default: the hardware's recommended domain count).")
   in
   let cache_dir =
     Arg.(
@@ -849,20 +874,52 @@ let query_cmd =
 
 (* ---- gen ----------------------------------------------------------------------- *)
 
-let run_gen name =
-  match Suite.find name with
-  | Some entry -> print_string (Suite.source entry)
-  | None ->
-    Printf.eprintf "unknown benchmark '%s'; try bench-list\n" name;
+let run_gen name profile lines =
+  match (name, profile) with
+  | _, Some "linux" ->
+    let lines = Option.value ~default:100_000 lines in
+    if lines < 1 then begin
+      prerr_endline "alias-analyze: --lines must be positive";
+      exit 2
+    end;
+    print_string (Genc.generate (Profile.linux ~target_lines:lines))
+  | _, Some p ->
+    Printf.eprintf "unknown profile '%s'; available: linux\n" p;
     exit 1
+  | Some name, None -> (
+    match Suite.find name with
+    | Some entry -> print_string (Suite.source entry)
+    | None ->
+      Printf.eprintf "unknown benchmark '%s'; try bench-list\n" name;
+      exit 1)
+  | None, None ->
+    prerr_endline "alias-analyze: gen needs a BENCHMARK name or --profile";
+    exit 2
 
 let gen_cmd =
   let bench_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"NAME"
+          ~doc:
+            "Generate from a scale preset instead of a paper benchmark.  \
+             $(b,linux) emits a kernel-shaped program (deep call chains, \
+             wide fan-in, function pointers) at --lines size.")
+  in
+  let lines =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "lines" ] ~docv:"N"
+          ~doc:"Target source-line count for --profile (default 100000).")
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Print a generated benchmark program")
-    Term.(const run_gen $ bench_arg)
+    Term.(const run_gen $ bench_arg $ profile $ lines)
 
 (* ---- interp -------------------------------------------------------------------- *)
 

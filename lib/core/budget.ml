@@ -81,6 +81,13 @@ let restart t =
 let cancel t = Atomic.set t.cancelled true
 let is_cancelled t = Atomic.get t.cancelled
 
+let is_unbounded t =
+  t.deadline = None
+  && t.max_transfers = max_int
+  && t.max_meets = max_int
+  && t.max_heap_words = max_int
+  && not (Atomic.get t.cancelled)
+
 let slow_check_poll t =
   t.until_slow_check <- check_interval;
   if Atomic.get t.cancelled then Some Cancelled

@@ -55,6 +55,12 @@ val cancel : t -> unit
 
 val is_cancelled : t -> bool
 
+(** [is_unbounded t] is true iff no axis can ever trip: no deadline, no
+    operation or heap limits, and no cancellation requested so far.  The
+    engine uses this to decide whether a solve may run on the parallel
+    path, which does not checkpoint budgets. *)
+val is_unbounded : t -> bool
+
 (** Checkpoints, called from solver hot loops.  Raise {!Exhausted} when a
     limit has tripped. *)
 

@@ -15,6 +15,19 @@ type callee_edge = {
   ce_argmap : int array option;  (* None = identity *)
 }
 
+(* Work the sharded parallel solver must hand to another shard: a fact
+   for a foreign output, a worklist notification for a foreign consumer,
+   or a caller registration at a foreign callee.  The sequential solver
+   owns every node and never emits one of these. *)
+type remote_event =
+  | Rflow_out of Vdg.node_id * Ptpair.t
+  | Rflow_in of Vdg.node_id * int * Ptpair.t
+  | Rnew_caller of string * Vdg.node_id
+
+type sharding =
+  | Sequential
+  | Sharded of { sh_owns : Vdg.node_id -> bool; sh_emit : remote_event -> unit }
+
 type t = {
   g : Vdg.t;
   config : config;
@@ -33,14 +46,25 @@ type t = {
   call_callees : (Vdg.node_id, callee_edge list ref) Hashtbl.t;
   fun_callers : (string, Vdg.node_id list ref) Hashtbl.t;
   ext_callees : (Vdg.node_id, string list ref) Hashtbl.t;
+  (* sharding hooks (Par_solver): [owns] says whether this state is
+     responsible for a node's output; flows destined for un-owned nodes
+     go through [emit] to the owning shard instead of being applied
+     here.  Kept as a variant rather than function fields so sequential
+     solutions stay Marshal-safe for the disk cache — only live shard
+     states (never marshaled) carry closures. *)
+  sharding : sharding;
+  (* counter offsets so a solution assembled from parallel shards can
+     report their summed worklist traffic through a fresh workbag *)
+  mutable push_base : int;
+  mutable pop_base : int;
 }
 
 let graph t = t.g
 let pairs t nid = t.pts.(nid)
 let flow_in_count t = t.flow_in_count
 let flow_out_count t = t.flow_out_count
-let worklist_pushes t = Workbag.pushed t.worklist
-let worklist_pops t = Workbag.popped t.worklist
+let worklist_pushes t = t.push_base + Workbag.pushed t.worklist
+let worklist_pops t = t.pop_base + Workbag.popped t.worklist
 let worklist_dup_skips t = t.dup_skips
 
 let ptset_stats t =
@@ -66,18 +90,31 @@ let extern_callees t call =
 
 (* ---- flow-out: add a pair to an output, notify consumers ------------------- *)
 
+let owns t nid =
+  match t.sharding with Sequential -> true | Sharded s -> s.sh_owns nid
+
+let emit t ev =
+  match t.sharding with
+  | Sequential -> assert false (* unreachable: sequential owns every node *)
+  | Sharded s -> s.sh_emit ev
+
 let rec flow_out t output pair =
+  if not (owns t output) then emit t (Rflow_out (output, pair))
+  else begin
   t.flow_out_count <- t.flow_out_count + 1;
   Budget.tick_meet t.budget;
   if Ptpair.Set.add t.pts.(output) pair then begin
     let pkey = Ptpair.key pair in
     List.iter
       (fun (consumer, idx) ->
-        let wkey = (consumer, idx, pkey) in
-        if Hashtbl.mem t.pending wkey then t.dup_skips <- t.dup_skips + 1
+        if not (owns t consumer) then emit t (Rflow_in (consumer, idx, pair))
         else begin
-          Hashtbl.replace t.pending wkey ();
-          Workbag.add t.worklist (consumer, idx, pair)
+          let wkey = (consumer, idx, pkey) in
+          if Hashtbl.mem t.pending wkey then t.dup_skips <- t.dup_skips + 1
+          else begin
+            Hashtbl.replace t.pending wkey ();
+            Workbag.add t.worklist (consumer, idx, pair)
+          end
         end)
       (Vdg.consumers t.g output);
     (* return values/stores flow to every discovered call site *)
@@ -98,6 +135,7 @@ let rec flow_out t output pair =
         (callers t fname)
     | _ -> ()
   end
+  end
 
 (* ---- call-edge discovery ----------------------------------------------------- *)
 
@@ -112,6 +150,34 @@ let actual_for cm edge formal_idx =
     then Some cm.Vdg.cm_args.(map.(formal_idx))
     else None
 
+(* Record [call] as a caller of [fname] and back-flow the callee's
+   existing return facts to the call site.  In the sequential solver
+   this is inlined in {!add_defined_callee}; in the parallel solver it
+   also runs at the callee's owning shard on receipt of [Rnew_caller]
+   (the callee's pair sets may only be trusted at their owner — any
+   stale remote read would miss facts the owner has not yet published,
+   so the owner performs the authoritative back-flow). *)
+let register_caller t fname call =
+  let callers_cell =
+    match Hashtbl.find_opt t.fun_callers fname with
+    | Some c -> c
+    | None ->
+      let c = ref [] in
+      Hashtbl.add t.fun_callers fname c;
+      c
+  in
+  if not (List.mem call !callers_cell) then begin
+    callers_cell := call :: !callers_cell;
+    let cm = Hashtbl.find t.g.Vdg.call_meta call in
+    let meta = Hashtbl.find t.g.Vdg.funs fname in
+    (match cm.Vdg.cm_result, meta.Vdg.fm_ret_value with
+    | Some res, Some rv -> Ptpair.Set.iter (fun p -> flow_out t res p) t.pts.(rv)
+    | _ -> ());
+    Ptpair.Set.iter
+      (fun p -> flow_out t cm.Vdg.cm_cstore p)
+      t.pts.(meta.Vdg.fm_ret_store)
+  end
+
 let add_defined_callee t call edge =
   let cell =
     match Hashtbl.find_opt t.call_callees call with
@@ -124,20 +190,26 @@ let add_defined_callee t call edge =
   if not (List.exists (fun e -> e.ce_name = edge.ce_name && e.ce_argmap = edge.ce_argmap) !cell)
   then begin
     cell := edge :: !cell;
-    let callers_cell =
-      match Hashtbl.find_opt t.fun_callers edge.ce_name with
-      | Some c -> c
-      | None ->
-        let c = ref [] in
-        Hashtbl.add t.fun_callers edge.ce_name c;
-        c
-    in
-    if not (List.mem call !callers_cell) then callers_cell := call :: !callers_cell;
     (* repropagation: existing facts at the call site flow into the callee,
        and the callee's existing results flow back (paper: "a new function
        updates the call graph and performs appropriate repropagation") *)
     let cm = Hashtbl.find t.g.Vdg.call_meta call in
     let meta = Hashtbl.find t.g.Vdg.funs edge.ce_name in
+    let callee_owned = owns t meta.Vdg.fm_formal_store in
+    if callee_owned then begin
+      (* caller registration only; the per-edge back-flow below keeps
+         the sequential flow order byte-for-byte *)
+      let callers_cell =
+        match Hashtbl.find_opt t.fun_callers edge.ce_name with
+        | Some c -> c
+        | None ->
+          let c = ref [] in
+          Hashtbl.add t.fun_callers edge.ce_name c;
+          c
+      in
+      if not (List.mem call !callers_cell) then callers_cell := call :: !callers_cell
+    end
+    else emit t (Rnew_caller (edge.ce_name, call));
     Array.iteri
       (fun formal_idx formal_out ->
         match actual_for cm edge formal_idx with
@@ -148,12 +220,14 @@ let add_defined_callee t call edge =
     Ptpair.Set.iter
       (fun p -> flow_out t meta.Vdg.fm_formal_store p)
       t.pts.(cm.Vdg.cm_store);
-    (match cm.Vdg.cm_result, meta.Vdg.fm_ret_value with
-    | Some res, Some rv -> Ptpair.Set.iter (fun p -> flow_out t res p) t.pts.(rv)
-    | _ -> ());
-    Ptpair.Set.iter
-      (fun p -> flow_out t cm.Vdg.cm_cstore p)
-      t.pts.(meta.Vdg.fm_ret_store)
+    if callee_owned then begin
+      (match cm.Vdg.cm_result, meta.Vdg.fm_ret_value with
+      | Some res, Some rv -> Ptpair.Set.iter (fun p -> flow_out t res p) t.pts.(rv)
+      | _ -> ());
+      Ptpair.Set.iter
+        (fun p -> flow_out t cm.Vdg.cm_cstore p)
+        t.pts.(meta.Vdg.fm_ret_store)
+    end
   end
 
 let rec add_extern_callee t call name =
@@ -384,16 +458,17 @@ let flow_in t (nid : Vdg.node_id) (idx : int) (pair : Ptpair.t) =
 
 (* ---- driver ---------------------------------------------------------------------- *)
 
-let seed t =
+let seed_node t (n : Vdg.node) =
   let tbl = t.g.Vdg.tbl in
-  let eps = Apath.empty_offset tbl in
-  Vdg.iter_nodes t.g (fun n ->
-      match n.Vdg.nkind with
-      | Vdg.Nbase b | Vdg.Nalloc b ->
-        flow_out t n.Vdg.nid (Ptpair.make eps (Apath.of_base tbl b))
-      | _ -> ());
-  (* seed the initial store with argv's contents: argv[i] points to
-     external string storage *)
+  match n.Vdg.nkind with
+  | Vdg.Nbase b | Vdg.Nalloc b ->
+    flow_out t n.Vdg.nid (Ptpair.make (Apath.empty_offset tbl) (Apath.of_base tbl b))
+  | _ -> ()
+
+(* seed the initial store with argv's contents: argv[i] points to
+   external string storage *)
+let seed_entry t =
+  let tbl = t.g.Vdg.tbl in
   if t.g.Vdg.entry_store >= 0 then begin
     let argv_arr = Apath.mk_base tbl (Apath.Bext "argv") ~singular:false in
     let argv_str = Apath.mk_base tbl (Apath.Bext "argv_strings") ~singular:false in
@@ -401,33 +476,54 @@ let seed t =
     flow_out t t.g.Vdg.entry_store (Ptpair.make slot (Apath.of_base tbl argv_str))
   end
 
-let solve ?(config = default_config) ?budget (g : Vdg.t) : t =
-  let budget =
-    match budget with Some b -> b | None -> Budget.unlimited ()
+let seed t =
+  Vdg.iter_nodes t.g (fun n -> seed_node t n);
+  seed_entry t
+
+let mk_state ?(config = default_config) ?budget ?pts ?(sharding = Sequential)
+    (g : Vdg.t) : t =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let pts =
+    match pts with
+    | Some a -> a
+    | None -> Array.init (Vdg.n_nodes g) (fun _ -> Ptpair.Set.create ())
   in
-  let before = Ptset.stats () in
-  let t =
-    {
-      g;
-      config;
-      budget;
-      pts = Array.init (Vdg.n_nodes g) (fun _ -> Ptpair.Set.create ());
-      worklist = Workbag.create config.schedule;
-      pending = Hashtbl.create 1024;
-      dup_skips = 0;
-      flow_in_count = 0;
-      flow_out_count = 0;
-      ptset_stats = None;
-      call_callees = Hashtbl.create 64;
-      fun_callers = Hashtbl.create 64;
-      ext_callees = Hashtbl.create 64;
-    }
-  in
-  seed t;
-  while not (Workbag.is_empty t.worklist) do
+  {
+    g;
+    config;
+    budget;
+    pts;
+    worklist = Workbag.create config.schedule;
+    pending = Hashtbl.create 1024;
+    dup_skips = 0;
+    flow_in_count = 0;
+    flow_out_count = 0;
+    ptset_stats = None;
+    call_callees = Hashtbl.create 64;
+    fun_callers = Hashtbl.create 64;
+    ext_callees = Hashtbl.create 64;
+    sharding;
+    push_base = 0;
+    pop_base = 0;
+  }
+
+(* one worklist item: pop, clear its pending slot, apply the transfer
+   function; [false] when the worklist is empty *)
+let step t =
+  if Workbag.is_empty t.worklist then false
+  else begin
     let nid, idx, pair = Workbag.pop t.worklist in
     Hashtbl.remove t.pending (nid, idx, Ptpair.key pair);
-    flow_in t nid idx pair
+    flow_in t nid idx pair;
+    true
+  end
+
+let solve ?(config = default_config) ?budget (g : Vdg.t) : t =
+  let before = Ptset.stats () in
+  let t = mk_state ~config ?budget g in
+  seed t;
+  while step t do
+    ()
   done;
   t.ptset_stats <- Some (Ptset.delta ~before ~after:(Ptset.stats ()));
   t
@@ -468,25 +564,8 @@ let solve_warm ?(config = default_config) ?budget (g : Vdg.t)
     ~(preset : (Vdg.node_id * Ptpair.t list) list)
     ~(calls : (Vdg.node_id * (string * int array option) list) list)
     ~(ext_calls : (Vdg.node_id * string list) list) : t * Vdg.node_id list =
-  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let before = Ptset.stats () in
-  let t =
-    {
-      g;
-      config;
-      budget;
-      pts = Array.init (Vdg.n_nodes g) (fun _ -> Ptpair.Set.create ());
-      worklist = Workbag.create config.schedule;
-      pending = Hashtbl.create 1024;
-      dup_skips = 0;
-      flow_in_count = 0;
-      flow_out_count = 0;
-      ptset_stats = None;
-      call_callees = Hashtbl.create 64;
-      fun_callers = Hashtbl.create 64;
-      ext_callees = Hashtbl.create 64;
-    }
-  in
+  let t = mk_state ~config ?budget g in
   (* install frozen facts silently *)
   List.iter
     (fun (nid, pairs) ->
@@ -561,10 +640,8 @@ let solve_warm ?(config = default_config) ?budget (g : Vdg.t)
   (* ordinary seeding: frozen nodes' base pairs are already preset, so
      only region nodes generate work *)
   seed t;
-  while not (Workbag.is_empty t.worklist) do
-    let nid, idx, pair = Workbag.pop t.worklist in
-    Hashtbl.remove t.pending (nid, idx, Ptpair.key pair);
-    flow_in t nid idx pair
+  while step t do
+    ()
   done;
   t.ptset_stats <- Some (Ptset.delta ~before ~after:(Ptset.stats ()));
   let violations = ref [] in
@@ -574,6 +651,57 @@ let solve_warm ?(config = default_config) ?budget (g : Vdg.t)
         violations := nid :: !violations)
     frozen;
   (t, List.rev !violations)
+
+(* ---- parallel-solver internals ------------------------------------------------ *)
+
+module Internal = struct
+  let mk ?config ?pts ~owns ~emit g =
+    mk_state ?config ?pts ~sharding:(Sharded { sh_owns = owns; sh_emit = emit }) g
+  let flow_out = flow_out
+  let enqueue = enqueue
+  let register_caller = register_caller
+  let seed_entry = seed_entry
+  let step = step
+
+  let seed_nodes t nids = List.iter (fun nid -> seed_node t (Vdg.node t.g nid)) nids
+  let has_local_work t = not (Workbag.is_empty t.worklist)
+  let raw_pushes t = Workbag.pushed t.worklist
+  let raw_pops t = Workbag.popped t.worklist
+  let dup_skips t = t.dup_skips
+
+  let call_entries t =
+    Hashtbl.fold
+      (fun call cell acc ->
+        (call, List.map (fun e -> (e.ce_name, e.ce_argmap)) !cell) :: acc)
+      t.call_callees []
+
+  let caller_entries t = Hashtbl.fold (fun f cell acc -> (f, !cell) :: acc) t.fun_callers []
+  let ext_entries t = Hashtbl.fold (fun call cell acc -> (call, !cell) :: acc) t.ext_callees []
+
+  (* Build a finished solution from merged shard data.  [pts] slots must
+     already be canonical sets interned in the calling domain's
+     universe; call tables are installed verbatim. *)
+  let assemble ?(config = default_config) (g : Vdg.t) ~(pts : Ptpair.Set.t array)
+      ~(calls : (Vdg.node_id * (string * int array option) list) list)
+      ~(callers : (string * Vdg.node_id list) list)
+      ~(ext_calls : (Vdg.node_id * string list) list) ~flow_in_count ~flow_out_count
+      ~pushes ~pops ~dup_skips ~(ptset_stats : Ptset.stats) : t =
+    let t = mk_state ~config ~pts g in
+    List.iter
+      (fun (call, edges) ->
+        Hashtbl.replace t.call_callees call
+          (ref (List.map (fun (name, argmap) -> { ce_name = name; ce_argmap = argmap }) edges)))
+      calls;
+    List.iter (fun (f, cs) -> Hashtbl.replace t.fun_callers f (ref cs)) callers;
+    List.iter (fun (call, names) -> Hashtbl.replace t.ext_callees call (ref names)) ext_calls;
+    t.flow_in_count <- flow_in_count;
+    t.flow_out_count <- flow_out_count;
+    t.push_base <- pushes;
+    t.pop_base <- pops;
+    t.dup_skips <- dup_skips;
+    t.ptset_stats <- Some ptset_stats;
+    t
+end
 
 let referenced_locations t nid =
   let n = Vdg.node t.g nid in
@@ -589,5 +717,12 @@ let referenced_locations t nid =
         end
         else acc)
       t.pts.(loc) []
-    |> List.rev
+    (* canonical order, not set-iteration order: a parallel solve's merged
+       sets iterate (and intern pids) differently from a sequential
+       solve's, so order by print form — the same canonicalization the
+       solution digest uses — and reports built on this list cannot
+       depend on --jobs *)
+    |> List.map (fun p -> (Apath.to_string p, p))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map snd
   | _ -> []

@@ -98,4 +98,74 @@ val callers : t -> string -> Vdg.node_id list
 val referenced_locations : t -> Vdg.node_id -> Apath.t list
 (** Distinct location referents arriving at the location input of a
     lookup/update node — the paper's "locations referenced/modified by an
-    indirect memory operation" (Figure 4). *)
+    indirect memory operation" (Figure 4).  In canonical print-form
+    order, independent of how (and at what [jobs] width) the solution
+    was computed. *)
+
+(** {2 Parallel-solver internals}
+
+    Everything below exists for {!Par_solver} and the tests; ordinary
+    clients never need it.  A sharded solve runs one solver state per
+    domain over a {e shared} [pts] array: a slot is mutated only by the
+    shard whose [owns] predicate claims its node, and flows that land on
+    foreign nodes are emitted as {!remote_event}s for the owning shard
+    to apply.  Foreign slots may still be read (iteration snapshots the
+    immutable item list); a stale read is repaired by the owner's
+    subsequent consumer notification, exactly like a late worklist
+    arrival in the sequential algorithm. *)
+
+type remote_event =
+  | Rflow_out of Vdg.node_id * Ptpair.t
+      (** a fact for a foreign output (meet happens at its owner) *)
+  | Rflow_in of Vdg.node_id * int * Ptpair.t
+      (** a worklist notification for a foreign consumer *)
+  | Rnew_caller of string * Vdg.node_id
+      (** register a call site with a foreign callee's owner (which then
+          performs the authoritative return-fact back-flow) *)
+
+module Internal : sig
+  val mk :
+    ?config:config ->
+    ?pts:Ptpair.Set.t array ->
+    owns:(Vdg.node_id -> bool) ->
+    emit:(remote_event -> unit) ->
+    Vdg.t ->
+    t
+  (** A shard state.  [pts] is the shared per-node array (fresh when
+      omitted); the state runs on an unlimited budget. *)
+
+  val flow_out : t -> Vdg.node_id -> Ptpair.t -> unit
+  val enqueue : t -> Vdg.node_id -> int -> Ptpair.t -> unit
+  val register_caller : t -> string -> Vdg.node_id -> unit
+  val seed_nodes : t -> Vdg.node_id list -> unit
+  val seed_entry : t -> unit
+
+  val step : t -> bool
+  (** Process one worklist item; [false] when the local worklist is
+      empty. *)
+
+  val has_local_work : t -> bool
+  val raw_pushes : t -> int
+  val raw_pops : t -> int
+  val dup_skips : t -> int
+  val call_entries : t -> (Vdg.node_id * (string * int array option) list) list
+  val caller_entries : t -> (string * Vdg.node_id list) list
+  val ext_entries : t -> (Vdg.node_id * string list) list
+
+  val assemble :
+    ?config:config ->
+    Vdg.t ->
+    pts:Ptpair.Set.t array ->
+    calls:(Vdg.node_id * (string * int array option) list) list ->
+    callers:(string * Vdg.node_id list) list ->
+    ext_calls:(Vdg.node_id * string list) list ->
+    flow_in_count:int ->
+    flow_out_count:int ->
+    pushes:int ->
+    pops:int ->
+    dup_skips:int ->
+    ptset_stats:Ptset.stats ->
+    t
+  (** A finished solution from merged shard data; [pts] slots must be
+      canonical sets interned in the calling domain's universe. *)
+end

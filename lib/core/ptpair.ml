@@ -48,6 +48,14 @@ module Set = struct
       true
     end
 
+  (* Bulk constructor for the parallel solver's shard merge: one sort +
+     one intern instead of n incremental [add]s (each of which copies
+     the version array, O(n^2) total).  Input need not be sorted or
+     deduplicated; the result's iteration order is ascending [key]. *)
+  let of_pairs ps =
+    let sorted = List.sort_uniq (fun a b -> Int.compare (key a) (key b)) ps in
+    { ver = Ptset.of_list (List.map key sorted); items = List.rev sorted }
+
   let cardinal s = Ptset.cardinal s.ver
 
   let version s = s.ver

@@ -43,6 +43,13 @@ module Set : sig
   type t
 
   val create : unit -> t
+
+  val of_pairs : pair list -> t
+  (** Bulk construction (one sort and one intern; input may be unsorted
+      and carry duplicates).  Iteration order is ascending {!key}.  Used
+      by the parallel solver to re-intern merged shard results into the
+      calling domain's universe. *)
+
   val mem : t -> pair -> bool
   val add : t -> pair -> bool
   (** [add s p] inserts and returns [true] iff [p] was new. *)

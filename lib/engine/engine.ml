@@ -385,7 +385,33 @@ let store_payload cache key a =
       s_program_digest = program_digest;
     }
 
-let fresh_run ?cache ?budget ~key config input =
+(* The sharded parallel path replaces the sequential CI solve when the
+   caller asked for width and nothing needs budget checkpoints: the
+   shards do not tick budgets, so any real limit (or a cancellable
+   budget that has already been cancelled) forces the sequential
+   solver.  [jobs] never enters the cache fingerprint — the parallel
+   solution is byte-identical to the sequential one, so a cache entry
+   produced at any width serves every width. *)
+let solve_ci_wide ~config ?budget ~jobs ~telemetry graph =
+  let parallel =
+    jobs > 1
+    && (match budget with None -> true | Some b -> Budget.is_unbounded b)
+  in
+  if parallel then begin
+    let ci, pstats = Par_solver.solve ~config:config.ci_config ~jobs graph in
+    telemetry.Telemetry.t_par <-
+      Some
+        {
+          Telemetry.pc_jobs = pstats.Par_solver.par_jobs;
+          pc_components = pstats.Par_solver.par_components;
+          pc_steals = pstats.Par_solver.par_steals;
+          pc_messages = pstats.Par_solver.par_messages;
+        };
+    ci
+  end
+  else solve_ci ~config ?budget graph
+
+let fresh_run ?cache ?budget ?(jobs = 1) ~key config input =
   let telemetry =
     Telemetry.create ~file:input.in_file
       ~source_bytes:(String.length input.in_source)
@@ -394,7 +420,10 @@ let fresh_run ?cache ?budget ~key config input =
   let prog = Telemetry.time telemetry "frontend" (fun () -> compile input) in
   (match budget with Some b -> Budget.check_now b | None -> ());
   let graph = Telemetry.time telemetry "vdg" (fun () -> build_graph ~config prog) in
-  let ci = Telemetry.time telemetry "ci" (fun () -> solve_ci ~config ?budget graph) in
+  let ci =
+    Telemetry.time telemetry "ci" (fun () ->
+        solve_ci_wide ~config ?budget ~jobs ~telemetry graph)
+  in
   populate_shape_counters telemetry prog graph;
   telemetry.Telemetry.t_ci <- Some (ci_counters ci);
   telemetry.Telemetry.t_tier <- Some (string_of_tier Ci);
@@ -467,9 +496,9 @@ let hit_view status a =
    it.  Raises Srcloc.Error (frontend), Budget.Exhausted (budget), and —
    in strict-cache mode — Corrupt_entry. *)
 let run_raw ?(config = default_config) ?cache ?(strict_cache = false) ?budget
-    input =
+    ?jobs input =
   match cache with
-  | None -> fresh_run ?budget ~key:"" config input
+  | None -> fresh_run ?budget ?jobs ~key:"" config input
   | Some c -> (
     let key = cache_key config input in
     match Engine_cache.find_memory c key with
@@ -486,12 +515,12 @@ let run_raw ?(config = default_config) ?cache ?(strict_cache = false) ?budget
       | `Corrupt msg when strict_cache -> raise (Corrupt_entry msg)
       | `Corrupt _ | `Miss ->
         Engine_cache.record_miss c;
-        fresh_run ~cache:c ?budget ~key config input))
+        fresh_run ~cache:c ?budget ?jobs ~key config input))
 
-let run_exn ?config ?cache input = run_raw ?config ?cache input
+let run_exn ?config ?cache ?jobs input = run_raw ?config ?cache ?jobs input
 
-let run ?config ?cache ?strict_cache ?budget input =
-  match run_raw ?config ?cache ?strict_cache ?budget input with
+let run ?config ?cache ?strict_cache ?budget ?jobs input =
+  match run_raw ?config ?cache ?strict_cache ?budget ?jobs input with
   | a -> Ok a
   | exception Srcloc.Error (loc, msg) ->
     Error (Frontend_error { fe_loc = loc; fe_message = msg })
@@ -813,7 +842,7 @@ let dyck_fresh ~config ~budget ~min_tier ~degradations input =
         td_degradations = degradations;
       }
 
-let run_tiered ?(config = default_config) ?cache ?strict_cache ?budget
+let run_tiered ?(config = default_config) ?cache ?strict_cache ?budget ?jobs
     ?(want = Ci) ?(min_tier = Steensgaard) input =
   if tier_rank want < tier_rank min_tier then
     invalid_arg "Engine.run_tiered: want is below min_tier";
@@ -867,7 +896,7 @@ let run_tiered ?(config = default_config) ?cache ?strict_cache ?budget
       else demand_fresh ~config ~budget ~min_tier ~degradations:[] input
   end
   else
-    match run_raw ~config ?cache ?strict_cache ~budget input with
+    match run_raw ~config ?cache ?strict_cache ~budget ?jobs input with
     | a ->
       if tier_rank want >= tier_rank Cs then begin
         match cs_tiered ~budget a with

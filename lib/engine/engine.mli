@@ -142,6 +142,7 @@ val run :
   ?cache:analysis Engine_cache.t ->
   ?strict_cache:bool ->
   ?budget:Budget.t ->
+  ?jobs:int ->
   input ->
   (analysis, error) result
 (** Compile, build the VDG, and solve CI (the CS solve is left on
@@ -151,10 +152,21 @@ val run :
     and re-solved by default; with [strict_cache:true] it returns
     [Error (Cache_corrupt _)] instead.  With [budget], the CI solve is
     governed: exhaustion returns [Error (Budget_exhausted {be_tier = Ci})]
-    (no ladder — use {!run_tiered} for graceful degradation). *)
+    (no ladder — use {!run_tiered} for graceful degradation).
+
+    With [jobs > 1] and no effective budget ({!Budget.is_unbounded}),
+    the CI solve is sharded across that many domains by {!Par_solver};
+    the solution is byte-identical to the sequential one, so [jobs]
+    does not enter the cache fingerprint and cached entries serve every
+    width.  Any real budget forces the sequential path, since the
+    parallel solver does not checkpoint budgets. *)
 
 val run_exn :
-  ?config:config -> ?cache:analysis Engine_cache.t -> input -> analysis
+  ?config:config ->
+  ?cache:analysis Engine_cache.t ->
+  ?jobs:int ->
+  input ->
+  analysis
 (** Exception-shaped compatibility wrapper over {!run} without a budget:
     raises [Srcloc.Error] on frontend failure, exactly like the pre-result
     API.  Prefer {!run} in new code. *)
@@ -235,6 +247,7 @@ val run_tiered :
   ?cache:analysis Engine_cache.t ->
   ?strict_cache:bool ->
   ?budget:Budget.t ->
+  ?jobs:int ->
   ?want:tier ->
   ?min_tier:tier ->
   input ->

@@ -7,7 +7,10 @@
    Work is distributed by an atomic cursor rather than pre-chunking, so
    a few slow benchmarks (bc, simulator) don't strand the other workers. *)
 
-let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+(* Size the pool from what the runtime says the hardware supports, not a
+   hard-coded count: on big machines a fixed cap stranded cores, on
+   small ones it oversubscribed.  Callers wanting a bound pass ~jobs. *)
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
 exception Worker_failure of exn
 

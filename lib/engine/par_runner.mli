@@ -6,7 +6,9 @@
     carry their own locks. *)
 
 val default_jobs : unit -> int
-(** [min 8 (Domain.recommended_domain_count ())], at least 1. *)
+(** [Domain.recommended_domain_count ()], at least 1 — the hardware's
+    advertised width, with no hard-coded cap.  Callers wanting a bound
+    pass [~jobs] explicitly. *)
 
 exception Worker_failure of exn
 (** Raised by {!map} when a worker's [f] raised; carries the first

@@ -61,6 +61,15 @@ type incr_counters = {
   inc_full_fallback : bool;  (* program-level context changed: cold solve *)
 }
 
+(* Counters of the sharded parallel CI solve (Par_solver): how wide the
+   solve ran and how much cross-shard coordination it cost. *)
+type par_counters = {
+  pc_jobs : int;       (* domains used *)
+  pc_components : int; (* scheduled call-graph components *)
+  pc_steals : int;     (* successful deque steals *)
+  pc_messages : int;   (* cross-shard events posted *)
+}
+
 (* One step down the precision ladder: which tier was abandoned, which
    tier answered instead, and which budget axis tripped. *)
 type degradation_event = {
@@ -84,6 +93,7 @@ type t = {
                                                 also an activation-gated lazy
                                                 resolver *)
   mutable t_incr : incr_counters option;     (* set by Engine.run_incremental *)
+  mutable t_par : par_counters option;       (* set when the CI solve was sharded *)
   mutable t_checkers : checker_stat list;    (* in execution order *)
   mutable t_tier : string option;            (* ladder tier actually achieved *)
   mutable t_degradations : degradation_event list;  (* in occurrence order *)
@@ -110,6 +120,7 @@ let create ~file ~source_bytes =
     t_demand = None;
     t_dyck = None;
     t_incr = None;
+    t_par = None;
     t_checkers = [];
     t_tier = None;
     t_degradations = [];
@@ -245,6 +256,7 @@ let copy t =
     t_demand = t.t_demand;
     t_dyck = t.t_dyck;
     t_incr = t.t_incr;
+    t_par = t.t_par;
     t_checkers = t.t_checkers;
     t_tier = t.t_tier;
     t_degradations = t.t_degradations;
@@ -292,6 +304,14 @@ let incr_json (i : incr_counters) =
     ("incr_full_fallback", Ejson.Bool i.inc_full_fallback);
   ]
 
+let par_json (p : par_counters) =
+  [
+    ("par_jobs", Ejson.Int p.pc_jobs);
+    ("par_components", Ejson.Int p.pc_components);
+    ("par_steals", Ejson.Int p.pc_steals);
+    ("par_messages", Ejson.Int p.pc_messages);
+  ]
+
 let to_json t =
   let phases =
     Ejson.Assoc (List.map (fun (name, s) -> (name, Ejson.Float s)) t.t_phases)
@@ -307,6 +327,7 @@ let to_json t =
     @ (match t.t_demand with Some d -> demand_json d | None -> [])
     @ (match t.t_dyck with Some d -> lazy_counters_json "dyck" d | None -> [])
     @ (match t.t_incr with Some i -> incr_json i | None -> [])
+    @ (match t.t_par with Some p -> par_json p | None -> [])
   in
   let checkers =
     match t.t_checkers with

@@ -63,6 +63,15 @@ type incr_counters = {
   inc_full_fallback : bool;  (** program-level context changed: cold solve *)
 }
 
+(** Counters of the sharded parallel CI solve ([Par_solver]): how wide
+    the solve ran and how much cross-shard coordination it cost. *)
+type par_counters = {
+  pc_jobs : int;  (** domains used *)
+  pc_components : int;  (** scheduled call-graph components *)
+  pc_steals : int;  (** successful deque steals *)
+  pc_messages : int;  (** cross-shard events posted *)
+}
+
 (** One step down the precision ladder: which tier was abandoned, which
     tier answered instead, and which budget axis tripped (a
     {!Budget.reason} rendered as a string). *)
@@ -89,6 +98,8 @@ type t = {
           reports the same counter shape under a ["dyck_"] prefix *)
   mutable t_incr : incr_counters option;
       (** set by [Engine.run_incremental] *)
+  mutable t_par : par_counters option;
+      (** set when the CI solve was sharded across domains *)
   mutable t_checkers : checker_stat list;  (** in execution order *)
   mutable t_tier : string option;  (** ladder tier actually achieved *)
   mutable t_degradations : degradation_event list;  (** in occurrence order *)
@@ -162,6 +173,10 @@ val demand_json : demand_counters -> (string * Ejson.t) list
 val incr_json : incr_counters -> (string * Ejson.t) list
 (** The ["incr_*"] counter fields, as embedded in {!to_json} and the
     server's [update] reply. *)
+
+val par_json : par_counters -> (string * Ejson.t) list
+(** The ["par_*"] counter fields, as embedded in {!to_json} and the
+    server's [stats] reply. *)
 
 val to_json : t -> Ejson.t
 

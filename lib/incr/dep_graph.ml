@@ -9,8 +9,9 @@
    and on its callers' argument/store summaries, so dirtiness closure
    runs in both directions over the condensation when needed.
 
-   The SCC computation is an iterative Tarjan (workload programs have
-   deep call chains; no recursion on the call graph's depth). *)
+   The SCC computation is the shared iterative Tarjan in
+   {!Scc.condense} (lib/support), also used by the parallel solver's
+   bottom-up schedule. *)
 
 type t = {
   procs : string array;
@@ -105,99 +106,19 @@ let build (prog : Sil.program) ~(extra : (string * string) list) : t =
         end
       | _ -> ())
     (static_edges prog @ extra);
-  (* iterative Tarjan *)
-  let indexv = Array.make n (-1) in
-  let lowlink = Array.make n 0 in
-  let on_stack = Array.make n false in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let scc_of = Array.make n (-1) in
-  let scc_members = ref [] in
-  let n_scc = ref 0 in
-  for root = 0 to n - 1 do
-    if indexv.(root) < 0 then begin
-      (* frame: (node, remaining successors) *)
-      let call_stack = ref [ (root, succ.(root)) ] in
-      indexv.(root) <- !counter;
-      lowlink.(root) <- !counter;
-      incr counter;
-      stack := root :: !stack;
-      on_stack.(root) <- true;
-      while !call_stack <> [] do
-        match !call_stack with
-        | [] -> ()
-        | (v, rest) :: frames -> (
-          match rest with
-          | w :: rest' ->
-            call_stack := (v, rest') :: frames;
-            if indexv.(w) < 0 then begin
-              indexv.(w) <- !counter;
-              lowlink.(w) <- !counter;
-              incr counter;
-              stack := w :: !stack;
-              on_stack.(w) <- true;
-              call_stack := (w, succ.(w)) :: !call_stack
-            end
-            else if on_stack.(w) then
-              lowlink.(v) <- min lowlink.(v) indexv.(w)
-          | [] ->
-            (* post-visit of v *)
-            if lowlink.(v) = indexv.(v) then begin
-              let id = !n_scc in
-              incr n_scc;
-              let membs = ref [] in
-              let continue = ref true in
-              while !continue do
-                match !stack with
-                | w :: tl ->
-                  stack := tl;
-                  on_stack.(w) <- false;
-                  scc_of.(w) <- id;
-                  membs := w :: !membs;
-                  if w = v then continue := false
-                | [] -> continue := false
-              done;
-              scc_members := !membs :: !scc_members
-            end;
-            call_stack := frames;
-            (match frames with
-            | (u, _) :: _ -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
-            | [] -> ()))
-      done
-    end
-  done;
-  let scc_members = Array.of_list (List.rev !scc_members) in
-  let k = !n_scc in
-  let scc_succ = Array.make k [] in
-  let scc_pred = Array.make k [] in
-  let eseen = Hashtbl.create 256 in
-  Array.iteri
-    (fun i js ->
-      List.iter
-        (fun j ->
-          let a = scc_of.(i) and b = scc_of.(j) in
-          if a <> b && not (Hashtbl.mem eseen (a, b)) then begin
-            Hashtbl.replace eseen (a, b) ();
-            scc_succ.(a) <- b :: scc_succ.(a);
-            scc_pred.(b) <- a :: scc_pred.(b)
-          end)
-        js)
-    succ;
-  (* Tarjan emits SCCs in reverse topological order of the condensation
-     (a component is closed only after everything it reaches): scc id 0
-     is emitted first and depends only on earlier-emitted components, so
-     ascending id order is already callees-before-callers *)
-  let topo = Array.init k (fun i -> i) in
+  (* with callee edges as successors, Scc's successors-before-
+     predecessors topo order is callees-before-callers *)
+  let scc = Scc.condense ~n ~succ in
   {
     procs = names;
     index;
     succ;
     pred;
-    scc_of;
-    scc_members;
-    scc_succ;
-    scc_pred;
-    topo;
+    scc_of = scc.Scc.scc_of;
+    scc_members = scc.Scc.members;
+    scc_succ = scc.Scc.succ;
+    scc_pred = scc.Scc.pred;
+    topo = scc.Scc.topo;
   }
 
 let of_solution prog ci = build prog ~extra:(discovered_edges ci)

@@ -32,14 +32,57 @@ type base_key =
   | Kext of string
 
 type table = {
+  tid : int;  (* process-unique stamp, keys the domain-local caches *)
   bases : (base_key, base) Hashtbl.t;
   mutable nbases : int;
   paths : (int * accessor list * bool, t) Hashtbl.t;
   mutable npaths : int;
+  mutable lock : Mutex.t option;
+      (* [Some _] while the table is shared across domains (parallel
+         solve): all interning then goes through the lock, fronted by a
+         per-domain memo cache.  [None] keeps the sequential fast path
+         lock-free. *)
 }
 
+let table_stamps = Atomic.make 0
+
 let create_table () =
-  { bases = Hashtbl.create 256; nbases = 0; paths = Hashtbl.create 1024; npaths = 0 }
+  {
+    tid = Atomic.fetch_and_add table_stamps 1;
+    bases = Hashtbl.create 256;
+    nbases = 0;
+    paths = Hashtbl.create 1024;
+    npaths = 0;
+    lock = None;
+  }
+
+let share tbl = if tbl.lock = None then tbl.lock <- Some (Mutex.create ())
+let unshare tbl = tbl.lock <- None
+
+(* Per-domain memo over a shared table.  Interned bases and paths are
+   immutable once published, so a domain may cache any (key -> value)
+   binding it has seen and serve repeat lookups without the lock; only
+   genuine misses pay for mutual exclusion.  One cache per domain,
+   re-pointed (and cleared) whenever the domain touches a different
+   table. *)
+type dls_cache = {
+  mutable c_tid : int;
+  c_bases : (base_key, base) Hashtbl.t;
+  c_paths : (int * accessor list * bool, t) Hashtbl.t;
+}
+
+let cache_key =
+  Domain.DLS.new_key (fun () ->
+      { c_tid = -1; c_bases = Hashtbl.create 64; c_paths = Hashtbl.create 1024 })
+
+let cache_for tbl =
+  let c = Domain.DLS.get cache_key in
+  if c.c_tid <> tbl.tid then begin
+    Hashtbl.reset c.c_bases;
+    Hashtbl.reset c.c_paths;
+    c.c_tid <- tbl.tid
+  end;
+  c
 
 let base_key = function
   | Bvar v -> Kvar v.Sil.vid
@@ -48,8 +91,7 @@ let base_key = function
   | Bfun name -> Kfun name
   | Bext name -> Kext name
 
-let mk_base tbl bkind ~singular =
-  let key = base_key bkind in
+let mk_base_locked tbl key bkind ~singular =
   match Hashtbl.find_opt tbl.bases key with
   | Some b -> b
   | None ->
@@ -57,6 +99,19 @@ let mk_base tbl bkind ~singular =
     tbl.nbases <- tbl.nbases + 1;
     Hashtbl.add tbl.bases key b;
     b
+
+let mk_base tbl bkind ~singular =
+  let key = base_key bkind in
+  match tbl.lock with
+  | None -> mk_base_locked tbl key bkind ~singular
+  | Some m ->
+    let c = cache_for tbl in
+    (match Hashtbl.find_opt c.c_bases key with
+    | Some b -> b
+    | None ->
+      let b = Mutex.protect m (fun () -> mk_base_locked tbl key bkind ~singular) in
+      Hashtbl.add c.c_bases key b;
+      b)
 
 let base_count tbl = tbl.nbases
 let path_count tbl = tbl.npaths
@@ -69,9 +124,7 @@ let max_depth = 8
    on it. *)
 let max_paths = 1 lsl 31
 
-let intern tbl root accs truncated =
-  let root_id = match root with None -> -1 | Some b -> b.bid in
-  let key = (root_id, accs, truncated) in
+let intern_locked tbl key root accs truncated =
   match Hashtbl.find_opt tbl.paths key with
   | Some p -> p
   | None ->
@@ -80,6 +133,20 @@ let intern tbl root accs truncated =
     tbl.npaths <- tbl.npaths + 1;
     Hashtbl.add tbl.paths key p;
     p
+
+let intern tbl root accs truncated =
+  let root_id = match root with None -> -1 | Some b -> b.bid in
+  let key = (root_id, accs, truncated) in
+  match tbl.lock with
+  | None -> intern_locked tbl key root accs truncated
+  | Some m ->
+    let c = cache_for tbl in
+    (match Hashtbl.find_opt c.c_paths key with
+    | Some p -> p
+    | None ->
+      let p = Mutex.protect m (fun () -> intern_locked tbl key root accs truncated) in
+      Hashtbl.add c.c_paths key p;
+      p)
 
 let of_base tbl b = intern tbl (Some b) [] false
 

@@ -47,6 +47,20 @@ type table
 
 val create_table : unit -> table
 
+val share : table -> unit
+(** Switch the table into cross-domain mode: subsequent interning
+    ({!mk_base}, {!intern}-backed operations such as {!extend},
+    {!append}, {!subtract}, {!of_base}, {!empty_offset}) is serialized
+    behind a mutex, fronted by a per-domain memo cache so repeat lookups
+    stay lock-free.  Interned values are immutable, so handles obtained
+    by any domain remain valid everywhere.  Must be called before other
+    domains touch the table; idempotent. *)
+
+val unshare : table -> unit
+(** Drop back to the lock-free single-domain fast path.  Only safe once
+    no other domain can touch the table (the parallel solver calls this
+    after joining its workers). *)
+
 val mk_base : table -> base_kind -> singular:bool -> base
 (** Interned: the same kind yields the same base. *)
 

@@ -57,6 +57,7 @@ type t = {
   mutable h_requests : int;
   mutable h_errors : int;
   mutable h_degraded : int;  (* responses that answered below the asked tier *)
+  mutable h_pool_width : int;  (* worker domains serving connections *)
 }
 
 type outcome =
@@ -74,7 +75,13 @@ let create sessions =
     h_requests = 0;
     h_errors = 0;
     h_degraded = 0;
+    h_pool_width = 1;
   }
+
+(* The transport reports how many worker domains it actually spawned
+   (serve_unix's pool; 1 for stdio), so "stats" can surface the chosen
+   width rather than whatever the CLI was asked for. *)
+let set_pool_width t n = t.h_pool_width <- max 1 n
 
 let sessions t = t.h_sessions
 
@@ -257,12 +264,24 @@ let mode_of_params params =
       "parameter \"mode\" must be \"demand\", \"dyck\" or \"exhaustive\" \
        (got %S)" s
 
+(* v6: cold exhaustive opens may shard their CI solve across domains.
+   The solution is byte-identical at any width, so "jobs" affects only
+   the open's latency, never the session produced. *)
+let jobs_of_params params =
+  match Protocol.opt_int_param params "jobs" with
+  | None -> None
+  | Some n when n >= 1 -> Some n
+  | Some n -> Protocol.bad_params "parameter \"jobs\" must be >= 1 (got %d)" n
+
 let do_open t conn params =
   let path = Protocol.string_param params "file" in
   let deadline_s = deadline_of_params params in
   let min_tier = min_tier_of_params params in
   let mode = mode_of_params params in
-  let r = Session.open_path ?deadline_s ?min_tier ?mode t.h_sessions path in
+  let jobs = jobs_of_params params in
+  let r =
+    Session.open_path ?deadline_s ?min_tier ?mode ?jobs t.h_sessions path
+  in
   let e = r.Session.or_entry in
   conn.cn_session <- Some e.Session.ses_id;
   let td = e.Session.ses_tiered in
@@ -286,6 +305,9 @@ let do_open t conn params =
        ("bytes", Ejson.Int e.Session.ses_bytes);
        ("pipeline_seconds", Ejson.Float (Telemetry.total_seconds tele));
      ]
+    @ (match tele.Telemetry.t_par with
+      | Some p -> [ ("parallel", Ejson.Assoc (Telemetry.par_json p)) ]
+      | None -> [])
     @
     match Session.solution_digest t.h_sessions e with
     | Some d -> [ ("solution_digest", Ejson.String d) ]
@@ -712,6 +734,7 @@ let do_stats t _params =
     ([
        ("uptime_seconds", Ejson.Float (Unix.gettimeofday () -. t.h_started));
        ("protocol_version", Ejson.Int Protocol.protocol_version);
+       ("worker_domains", Ejson.Int t.h_pool_width);
        ("requests", Ejson.Int t.h_requests);
        ("errors", Ejson.Int t.h_errors);
        ("degradations", Ejson.Int degraded);

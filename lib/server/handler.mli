@@ -37,6 +37,11 @@ type t
 val create : Session.t -> t
 (** The handler is shared by every connection of a server. *)
 
+val set_pool_width : t -> int -> unit
+(** Record how many worker domains the transport actually spawned
+    (clamped to at least 1); surfaced as ["worker_domains"] in the
+    [stats] reply.  The stdio transport leaves the default of 1. *)
+
 val sessions : t -> Session.t
 
 val method_names : string list

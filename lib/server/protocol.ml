@@ -24,7 +24,10 @@
    request objects, answered by one line carrying the array of responses
    in the same order) and the nested "opts" query-options object shared
    by may_alias/points_to/modref (the v5 flat tier/deadline_ms/min_tier
-   parameters remain accepted).
+   parameters remain accepted); a v6 "open" may also carry "jobs" to
+   shard a cold undeadlined exhaustive solve across that many domains
+   (the solution is byte-identical at any width, so the parameter
+   affects only latency and plays no part in session identity).
    Requests may carry a "protocol" param: absent and 1..6 are accepted
    (older clients never send the newer parameters, so each version's
    behavior is a strict superset); anything else is rejected with
@@ -34,7 +37,7 @@ let protocol_version = 6
 let capabilities =
   [
     "budgets"; "deadlines"; "tiers"; "cancellation"; "backpressure"; "demand";
-    "dyck"; "incremental"; "batch";
+    "dyck"; "incremental"; "batch"; "parallel";
   ]
 
 (* JSON-RPC reserves -32768..-32000; the server-defined codes sit just

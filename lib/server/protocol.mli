@@ -19,7 +19,7 @@ val protocol_version : int
 val capabilities : string list
 (** Feature tags advertised by [ping]: ["budgets"; "deadlines"; "tiers";
     "cancellation"; "backpressure"; "demand"; "dyck"; "incremental";
-    "batch"]. *)
+    "batch"; "parallel"]. *)
 
 type error_code =
   | Parse_error  (** -32700: the line is not JSON *)

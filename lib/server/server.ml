@@ -481,6 +481,7 @@ let serve_unix ?jobs ?max_backlog handler path =
      (try Unix.close socket with Unix.Unix_error _ -> ());
      raise e);
   let pool = Par_runner.Pool.create ?jobs () in
+  Handler.set_pool_width handler (Par_runner.Pool.size pool);
   let max_backlog =
     match max_backlog with
     | Some n -> max 0 n

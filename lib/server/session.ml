@@ -424,7 +424,7 @@ type open_status =
 
 type open_result = { or_entry : entry; or_status : open_status }
 
-let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) t path =
+let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) ?jobs t path =
   let deadline_s =
     match deadline_s with Some _ as d -> d | None -> t.default_deadline_s
   in
@@ -595,8 +595,8 @@ let open_path ?deadline_s ?min_tier ?(mode = `Exhaustive) t path =
             if Engine.tier_rank floor > Engine.tier_rank aim then floor
             else aim
           in
-          Engine.run_tiered ~config:t.config ?cache:t.cache ~budget ~want
-            ~min_tier:floor input)
+          Engine.run_tiered ~config:t.config ?cache:t.cache ~budget ?jobs
+            ~want ~min_tier:floor input)
     in
     let td = match solved with Ok td -> td | Error e -> raise (Engine_error e) in
     (* the canonical solution digest keys the shared store and is echoed

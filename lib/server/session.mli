@@ -129,6 +129,7 @@ val open_path :
   ?deadline_s:float ->
   ?min_tier:Engine.tier ->
   ?mode:[ `Demand | `Dyck | `Exhaustive ] ->
+  ?jobs:int ->
   t ->
   string ->
   open_result
@@ -148,6 +149,13 @@ val open_path :
     sufficiently-precise session; an exhaustive open landing on a live
     demand/dyck session promotes it in place (the VDG is reused) and
     reports a session hit.
+
+    With [jobs > 1], a cold exhaustive solve without a deadline shards
+    its CI fixpoint across that many domains ({!Par_solver} via
+    [Engine.run_tiered ~jobs]); the solution — and hence the session's
+    digest — is byte-identical to a sequential solve, so [jobs] plays
+    no part in session or cache identity.  Deadlined opens ignore it
+    (the parallel path does not checkpoint budgets).
     @raise Sys_error on an unreadable path.
     @raise Engine_error when the solve returns [Error] (frontend error,
     floor violation, cancellation, strict-cache corruption). *)

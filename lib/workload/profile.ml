@@ -12,6 +12,8 @@ type t = {
   string_heavy : bool;
   list_exchange : bool;
   n_stashers : int;
+  call_depth : int option;
+  fan_in : int;
 }
 
 let default ~name ~target_lines =
@@ -30,4 +32,33 @@ let default ~name ~target_lines =
     string_heavy = false;
     list_exchange = false;
     n_stashers = 1;
+    call_depth = None;
+    fan_in = 0;
+  }
+
+(* A linux-flavoured scale preset: two orders of magnitude past the
+   paper's suite.  Deep call chains model the subsystem -> driver ->
+   helper layering of a kernel tree, wide fan-in models shared utility
+   routines with many callers; both shapes stress exactly what the
+   parallel solve schedules around (long condensation paths, components
+   with many cross-shard consumers). *)
+let linux ~target_lines =
+  let base =
+    default
+      ~name:(Printf.sprintf "linux%dk" (max 1 (target_lines / 1000)))
+      ~target_lines
+  in
+  {
+    base with
+    n_list_types = 4;
+    n_record_types = 3;
+    n_int_globals = 12;
+    n_ptr_globals = 6;
+    n_arrays = 4;
+    n_buffers = 3;
+    use_funptr = true;
+    list_exchange = true;
+    n_stashers = max 2 (target_lines / 12_000);
+    call_depth = Some 24;
+    fan_in = 2;
   }

@@ -30,7 +30,20 @@ type t = {
       (** phases that park pointers in addressable locals, seeding the
           store pairs context-insensitivity spreads to sibling callers;
           calibrates the Figure 6 spurious-pair fraction *)
+  call_depth : int option;
+      (** override the phase-layer count — the depth of the generated
+          call chains ([None] = size-scaled default of 1–3 layers) *)
+  fan_in : int;
+      (** extra cross-layer call edges per phase, on top of the one
+          guaranteed caller; raises the average caller count (wide
+          fan-in, the shape shared kernel utilities have) *)
 }
 
 val default : name:string -> target_lines:int -> t
 (** Mid-sized defaults, scaled to the line target. *)
+
+val linux : target_lines:int -> t
+(** A linux-flavoured scale preset ([linux<N>k]): deep call chains
+    ([call_depth = Some 24]), wide fan-in, function pointers, list
+    exchange — two orders of magnitude past the paper's suite when
+    [target_lines] is 100k+.  Built for the parallel-solve bench. *)

@@ -13,6 +13,7 @@ let () =
       ("vdg", Test_vdg.tests);
       ("ptset", Test_ptset.tests);
       ("ci-solver", Test_ci.tests);
+      ("par-solver", Test_par_solver.tests);
       ("cs-solver", Test_cs.tests);
       ("baseline", Test_baseline.tests);
       ("interp", Test_interp.tests);
